@@ -1,0 +1,69 @@
+// Command batchsvc runs the batch computing service with its HTTP JSON API
+// over the simulated cloud, the reproduction of the paper's Section 5
+// prototype.
+//
+// Usage:
+//
+//	batchsvc [-addr :8080] [-vms 8] [-type n1-highcpu-16] [-zone us-east1-b]
+//
+// Then:
+//
+//	curl -X POST localhost:8080/api/bags -d '{"app":"nanoconfinement","jobs":100,"seed":1}'
+//	curl -X POST localhost:8080/api/run
+//	curl localhost:8080/api/report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/batch"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	vms := flag.Int("vms", 8, "number of VMs in the cluster")
+	vmType := flag.String("type", string(trace.HighCPU16), "VM type")
+	zone := flag.String("zone", string(trace.USEast1B), "zone")
+	gangSize := flag.Int("gang", 1, "VMs per job gang")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	samples := flag.Int("samples", 2000, "model fitting sample size")
+	flag.Parse()
+
+	if *vms <= 0 || *gangSize <= 0 || *vms%*gangSize != 0 {
+		fmt.Fprintln(os.Stderr, "batchsvc: -vms must be a positive multiple of -gang")
+		os.Exit(2)
+	}
+
+	// Bootstrap the preemption models exactly as the paper's service does:
+	// fit per time-of-day environment from the observed (here: generated)
+	// preemption history for this VM type and zone (Section 5's
+	// parameterization by type, region, and time-of-day).
+	models, err := batch.FitStudyModels(trace.VMType(*vmType), trace.Zone(*zone), *samples, *seed)
+	if err != nil {
+		log.Fatalf("batchsvc: fitting preemption models: %v", err)
+	}
+	dayModel := models.MustGet(batch.ModelKey(trace.VMType(*vmType), trace.Zone(*zone), trace.Day))
+	log.Printf("batchsvc: fitted %d models; day model %v", models.Len(), dayModel)
+
+	api := batch.NewAPI(func() (*batch.Service, error) {
+		return batch.New(batch.Config{
+			VMType:         trace.VMType(*vmType),
+			Zone:           trace.Zone(*zone),
+			Gangs:          *vms / *gangSize,
+			GangSize:       *gangSize,
+			Preemptible:    true,
+			HotSpareTTL:    1,
+			Models:         models,
+			UseReusePolicy: true,
+			Seed:           *seed,
+		})
+	})
+	log.Printf("batchsvc: serving on %s (%d x %s in %s)", *addr, *vms, *vmType, *zone)
+	log.Fatal(http.ListenAndServe(*addr, api.Handler()))
+}

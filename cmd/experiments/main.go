@@ -1,0 +1,93 @@
+// Command experiments regenerates the paper's evaluation figures as data
+// tables printed to stdout.
+//
+// Usage:
+//
+//	experiments -all                 # every figure
+//	experiments -fig 4b              # one figure
+//	experiments -list                # available experiment IDs
+//	experiments -fig 8a -dpstep 1    # 1-minute DP resolution
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	all := flag.Bool("all", false, "run every experiment")
+	figID := flag.String("fig", "", "experiment ID (see -list)")
+	list := flag.Bool("list", false, "list experiment IDs")
+	seed := flag.Uint64("seed", 0, "RNG seed (0 = default)")
+	samples := flag.Int("samples", 0, "empirical sample size (0 = default)")
+	dpStep := flag.Float64("dpstep", 0, "checkpoint DP step in minutes (0 = default)")
+	format := flag.String("format", "table", "output format: table or csv")
+	outDir := flag.String("out", "", "write each experiment to <dir>/<id>.<format> instead of stdout")
+	flag.Parse()
+
+	if *format != "table" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	opts := experiments.Options{Seed: *seed, SampleSize: *samples, DPStepMin: *dpStep}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *figID != "":
+		ids = []string{*figID}
+	default:
+		fmt.Fprintln(os.Stderr, "experiments: need -all, -fig <id>, or -list")
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		tab, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		w := io.Writer(os.Stdout)
+		if *outDir != "" {
+			ext := "txt"
+			if *format == "csv" {
+				ext = "csv"
+			}
+			f, err := os.Create(filepath.Join(*outDir, id+"."+ext))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			w = f
+			defer f.Close()
+		}
+		var werr error
+		if *format == "csv" {
+			werr = tab.WriteCSV(w)
+		} else {
+			werr = tab.Format(w)
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", werr)
+			os.Exit(1)
+		}
+	}
+}

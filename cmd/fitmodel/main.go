@@ -1,0 +1,108 @@
+// Command fitmodel fits the four candidate failure distributions of the
+// paper's Figure 1 to a preemption dataset and prints their parameters and
+// goodness of fit.
+//
+// Usage:
+//
+//	fitmodel [-i preemptions.csv] [-type n1-highcpu-16] [-zone us-east1-b]
+//
+// Without -i it generates a synthetic trace for the selected scenario.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/fit"
+	"repro/internal/trace"
+)
+
+func main() {
+	in := flag.String("i", "", "input CSV (default: generate synthetic data)")
+	vmType := flag.String("type", string(trace.HighCPU16), "VM type filter")
+	zone := flag.String("zone", string(trace.USEast1B), "zone filter")
+	n := flag.Int("n", 2000, "synthetic sample size (when no -i)")
+	seed := flag.Uint64("seed", 42, "RNG seed (when no -i)")
+	extended := flag.Bool("extended", false, "also fit lognormal, gamma, and segmented-linear")
+	bootstrap := flag.Int("bootstrap", 0, "bootstrap iterations for bathtub parameter CIs (0 = off)")
+	flag.Parse()
+
+	var samples []float64
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		ds, err := trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		samples = ds.Filter(func(s trace.Scenario) bool {
+			return string(s.Type) == *vmType && string(s.Zone) == *zone
+		})
+		if len(samples) == 0 {
+			fatal(fmt.Errorf("no records for type=%s zone=%s", *vmType, *zone))
+		}
+	} else {
+		sc := trace.Scenario{
+			Type: trace.VMType(*vmType), Zone: trace.Zone(*zone),
+			TimeOfDay: trace.Day, Workload: trace.Busy,
+		}
+		samples = trace.Generate(sc, *n, *seed)
+	}
+
+	fitAll := fit.FitAll
+	if *extended {
+		fitAll = fit.FitAllExtended
+	}
+	reports, err := fitAll(samples, trace.Deadline)
+	if err != nil {
+		fatal(err)
+	}
+	type row struct {
+		fam string
+		rep fit.FitReport
+	}
+	var rows []row
+	for fam, rep := range reports {
+		rows = append(rows, row{fam, rep})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].rep.SSE < rows[j].rep.SSE })
+
+	fmt.Printf("fitted %d lifetimes (%s, %s), ranked by SSE:\n\n", len(samples), *vmType, *zone)
+	for _, r := range rows {
+		fmt.Printf("%-17s SSE=%8.3f  RMSE=%.4f  R2=%.4f  KS=%.4f  params=%v\n",
+			r.fam, r.rep.SSE, r.rep.RMSE, r.rep.R2, r.rep.KS, fmtParams(r.rep.Params))
+	}
+	fmt.Printf("\nbest fit: %s\n", rows[0].fam)
+
+	if *bootstrap > 0 {
+		cis, err := fit.BootstrapBathtub(samples, trace.Deadline, *bootstrap, 0.9, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nbathtub parameter 90%% bootstrap intervals (%d refits):\n", *bootstrap)
+		for _, ci := range cis {
+			fmt.Printf("  %-5s %8.4f  [%8.4f, %8.4f]\n", ci.Name, ci.Point, ci.Lo, ci.Hi)
+		}
+	}
+}
+
+func fmtParams(p []float64) string {
+	s := "["
+	for i, v := range p {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.4g", v)
+	}
+	return s + "]"
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fitmodel: %v\n", err)
+	os.Exit(1)
+}

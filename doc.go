@@ -1,0 +1,19 @@
+// Package repro is a from-scratch Go reproduction of "Modeling The
+// Temporally Constrained Preemptions of Transient Cloud VMs" (Kadupitiya,
+// Jadhao, Sharma; HPDC 2020).
+//
+// The library implements the paper's constrained-preemption probability
+// model and everything it depends on: hand-rolled least-squares fitting
+// (internal/fit), failure distributions (internal/dist), a synthetic
+// preemption study standing in for the paper's Google Preemptible VM
+// measurements (internal/trace), model-driven scheduling and checkpointing
+// policies (internal/policy), a discrete-event cloud and cluster simulator
+// (internal/sim, internal/cloud, internal/cluster), and the batch computing
+// service of Section 5 (internal/batch). internal/experiments regenerates
+// every figure of the paper's evaluation; bench_test.go in this directory
+// exposes one benchmark per figure.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// paper-faithfulness notes, and EXPERIMENTS.md for paper-vs-measured
+// results.
+package repro

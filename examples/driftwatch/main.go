@@ -1,0 +1,80 @@
+// Driftwatch: detecting provider policy changes (Section 8).
+//
+// A long-running service should notice when the cloud's preemption behavior
+// stops matching its fitted model ("What if preemption characteristics
+// change?"). This example fits a model, streams preemption observations
+// through the change-point detector while the provider silently switches
+// from bathtub to uniform reclamation, and refits once the detector fires.
+//
+// Run with: go run ./examples/driftwatch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/changepoint"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/mathx"
+	"repro/internal/trace"
+)
+
+func main() {
+	sc := trace.DefaultScenario()
+	model, rep, err := core.Fit(trace.Generate(sc, 2000, 42), trace.Deadline)
+	if err != nil {
+		log.Fatalf("fitting model: %v", err)
+	}
+	fmt.Printf("fitted model %v (R2=%.4f)\n", model, rep.R2)
+
+	det := changepoint.New(model, changepoint.DefaultConfig())
+	rng := mathx.NewRNG(7)
+	truth := trace.GroundTruth(sc)
+	changed := dist.NewUniform(trace.Deadline)
+
+	const regimeSwitch = 400
+	var refitBuf []float64
+	for i := 0; i < 1200; i++ {
+		var lifetime float64
+		if i < regimeSwitch {
+			lifetime = truth.Sample(rng)
+		} else {
+			// The provider silently changes policy: uniform preemptions.
+			lifetime = dist.Sample(changed, rng, trace.Deadline)
+		}
+		if det.Flagged() {
+			refitBuf = append(refitBuf, lifetime)
+			continue
+		}
+		if det.Observe(lifetime) {
+			fmt.Printf("change point flagged after %d observations (regime switched at %d)\n",
+				det.FlaggedAt(), regimeSwitch)
+		}
+	}
+	if !det.Flagged() {
+		log.Fatal("drift was not detected")
+	}
+
+	// Refit on post-change observations and resume monitoring.
+	for len(refitBuf) < 300 {
+		refitBuf = append(refitBuf, dist.Sample(changed, rng, trace.Deadline))
+	}
+	newModel, newRep, err := core.Fit(refitBuf, trace.Deadline)
+	if err != nil {
+		log.Fatalf("refitting: %v", err)
+	}
+	fmt.Printf("refitted model %v (R2=%.4f)\n", newModel, newRep.R2)
+	det.Reset(newModel)
+
+	// The refitted model should track the new regime without new flags.
+	alarms := 0
+	for i := 0; i < 600; i++ {
+		if det.Observe(dist.Sample(changed, rng, trace.Deadline)) {
+			alarms++
+		}
+	}
+	fmt.Printf("monitoring after refit: %d false alarms in 600 observations\n", alarms)
+	fmt.Printf("old model E[L]=%.2fh, refitted E[L]=%.2fh (uniform truth: 12h)\n",
+		model.NormalizedExpectedLifetime(), newModel.NormalizedExpectedLifetime())
+}

@@ -1,0 +1,55 @@
+// Quickstart: fit the constrained-preemption model to observed lifetimes
+// and query it.
+//
+// This walks the core loop of the library: generate (or load) preemption
+// observations, fit the paper's bathtub model (Equation 1), and ask the
+// questions a transient-computing system needs answered — preemption
+// probabilities, the expected lifetime (Equation 3), and expected job
+// makespans (Equations 7-8).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func main() {
+	// 1. Observations. In production these come from your own preemption
+	// history; here we draw from the synthetic study's ground truth for
+	// the paper's headline configuration (n1-highcpu-16, us-east1-b).
+	scenario := trace.DefaultScenario()
+	lifetimes := trace.Generate(scenario, 500, 7)
+	fmt.Printf("observed %d preemptions of %s\n", len(lifetimes), scenario)
+
+	// 2. Fit the bathtub model.
+	model, report, err := core.Fit(lifetimes, trace.Deadline)
+	if err != nil {
+		log.Fatalf("fitting model: %v", err)
+	}
+	bt := model.Bathtub()
+	fmt.Printf("fitted: A=%.3f tau1=%.3fh tau2=%.3fh b=%.2fh (R2=%.4f)\n",
+		bt.A, bt.Tau1, bt.Tau2, bt.B, report.R2)
+
+	// 3. Query preemption behavior.
+	fmt.Printf("\nP(preempted within  1h) = %.3f\n", model.CDF(1))
+	fmt.Printf("P(preempted within  6h) = %.3f\n", model.CDF(6))
+	fmt.Printf("P(preempted within 23h) = %.3f\n", model.CDF(23))
+	fmt.Printf("expected lifetime (Eq 3) = %.2fh\n", model.NormalizedExpectedLifetime())
+
+	t1, t2 := model.PhaseBoundaries()
+	fmt.Printf("preemption phases: initial [0, %.1fh), stable [%.1fh, %.1fh), deadline [%.1fh, 24h]\n",
+		t1, t1, t2, t2)
+
+	// 4. Job planning: how long will a 6-hour job really take?
+	fmt.Printf("\n6h job on a fresh VM:   E[makespan] = %.2fh, P(failure) = %.3f\n",
+		model.ExpectedMakespan(6), model.ConditionalFailure(0, 6))
+	fmt.Printf("6h job at VM age 8h:    E[makespan] = %.2fh, P(failure) = %.3f\n",
+		model.ExpectedMakespanAt(8, 6), model.ConditionalFailure(8, 6))
+	fmt.Printf("6h job at VM age 19h:   P(failure) = %.3f (crosses the 24h deadline)\n",
+		model.ConditionalFailure(19, 6))
+}

@@ -1,0 +1,53 @@
+// Scheduling: the VM reuse policy of Section 4.2.
+//
+// A long-running service must repeatedly decide whether the next job should
+// run on an already-running VM (whose age it knows) or on a freshly
+// launched one. This example sweeps VM ages and job lengths and prints the
+// policy's decisions, its crossover age for the paper's 6-hour example, and
+// the failure-probability comparison against the memoryless baseline.
+//
+// Run with: go run ./examples/scheduling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+func main() {
+	model, _, err := core.Fit(trace.Generate(trace.DefaultScenario(), 2000, 42), trace.Deadline)
+	if err != nil {
+		log.Fatalf("fitting model: %v", err)
+	}
+	sched := policy.NewFailureAwareScheduler(model)
+	base := policy.MemorylessScheduler{}
+
+	fmt.Println("reuse decision for a 6h job by VM age:")
+	for _, age := range []float64{0, 4, 8, 12, 16, 17, 18, 20, 23} {
+		d := sched.Decide(age, 6)
+		verdict := "REUSE"
+		if !sched.ShouldReuse(age, 6) {
+			verdict = "NEW-VM"
+		}
+		fmt.Printf("  age %4.1fh: %-7s P(fail|reuse)=%.3f P(fail|new)=%.3f\n",
+			age, verdict, d.FailureProbVM, d.FailureProbNew)
+	}
+	fmt.Printf("\ncrossover age for 6h jobs: %.1fh (paper: ~18h)\n", sched.CrossoverAge(6))
+
+	fmt.Println("\nmaximum job length T* that should reuse, by VM age:")
+	for _, age := range []float64{2, 6, 10, 14, 18, 22} {
+		fmt.Printf("  age %4.1fh: T* = %.1fh\n", age, sched.CrossoverJobLength(age))
+	}
+
+	fmt.Println("\nmean failure probability across start times (Figure 6):")
+	for _, J := range []float64{2, 4, 6, 8, 12} {
+		ours := policy.MeanFailureProb(sched, model, J, 96)
+		mem := policy.MeanFailureProb(base, model, J, 96)
+		fmt.Printf("  %4.1fh job: ours %.3f vs memoryless %.3f (%.1fx lower)\n",
+			J, ours, mem, mem/ours)
+	}
+}

@@ -1,0 +1,208 @@
+package repro
+
+// Cross-module integration tests: each exercises the full pipeline
+// (synthetic study -> fitting -> model -> policies -> simulated service)
+// rather than a single package.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/empirical"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestEndToEndModelPredictsSimulator checks the consistency loop the whole
+// reproduction rests on: a model fitted to trace data must predict the
+// lifetimes that the cloud simulator (driven by the same ground truth)
+// actually produces.
+func TestEndToEndModelPredictsSimulator(t *testing.T) {
+	sc := trace.DefaultScenario()
+	model, rep, err := core.Fit(trace.Generate(sc, 3000, 11), trace.Deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.R2 < 0.98 {
+		t.Fatalf("fit R2 = %v", rep.R2)
+	}
+
+	// Launch many VMs in the simulator at a clock time matching the
+	// scenario (daytime) and record their lifetimes.
+	engine := sim.NewEngine()
+	engine.RunUntil(9) // 9AM: trace.Day
+	provider := cloud.NewProvider(engine, 77, trace.Busy)
+	const n = 1500
+	vms := make([]*cloud.VM, n)
+	for i := range vms {
+		vm, err := provider.Launch(sc.Type, sc.Zone, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vms[i] = vm
+	}
+	engine.Run()
+	lifetimes := make([]float64, n)
+	for i, vm := range vms {
+		if vm.State != cloud.VMPreempted {
+			t.Fatalf("VM %s not preempted", vm.ID)
+		}
+		lifetimes[i] = vm.EndedAt - vm.LaunchedAt
+	}
+
+	// The fitted model's CDF must track the simulated empirical CDF.
+	d := empirical.KSDistance(lifetimes, model.CDF)
+	if d > 0.08 {
+		t.Fatalf("KS(model, simulated lifetimes) = %v", d)
+	}
+}
+
+// TestReusePolicyBeatsNaiveServiceOnFailures runs the same bag through the
+// service with and without the model-driven reuse policy and checks the
+// policy reduces preemption-induced job failures per completed job — the
+// service-level consequence of Figures 5-6.
+func TestReusePolicyBeatsNaiveServiceOnFailures(t *testing.T) {
+	model, _, err := core.Fit(trace.Generate(trace.DefaultScenario(), 2000, 42), trace.Deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(usePolicy bool, seed uint64) batch.Report {
+		cfg := batch.Config{
+			VMType:         trace.HighCPU16,
+			Zone:           trace.USEast1B,
+			Gangs:          4,
+			GangSize:       1,
+			Preemptible:    true,
+			HotSpareTTL:    1,
+			Model:          model,
+			UseReusePolicy: usePolicy,
+			Seed:           seed,
+		}
+		svc, err := batch.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bag := workload.Bag{App: workload.Nanoconfinement}
+		for i := 0; i < 40; i++ {
+			bag.Jobs = append(bag.Jobs, workload.JobSpec{
+				ID:      "j" + string(rune('a'+i/26)) + string(rune('a'+i%26)),
+				App:     "nanoconfinement",
+				Runtime: 4, // long jobs: deadline-risky placements matter
+			})
+		}
+		if err := svc.SubmitBag(bag); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := svc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.JobsCompleted != 40 {
+			t.Fatalf("completed %d", rep.JobsCompleted)
+		}
+		return rep
+	}
+	// Average over several seeds to damp run-to-run noise.
+	var withFails, withoutFails float64
+	const seeds = 5
+	for s := uint64(0); s < seeds; s++ {
+		withFails += float64(run(true, 100+s).JobFailures)
+		withoutFails += float64(run(false, 100+s).JobFailures)
+	}
+	// The policy must not increase failures; typically it reduces them by
+	// avoiding deadline-crossing placements.
+	if withFails > withoutFails {
+		t.Fatalf("reuse policy increased failures: %v vs %v (sum over %d seeds)",
+			withFails, withoutFails, seeds)
+	}
+}
+
+// TestCheckpointedServiceMakespanBound: with DP checkpointing the total
+// makespan of a long-job bag must stay within a modest factor of the ideal,
+// because lost work per preemption is bounded by one checkpoint interval.
+func TestCheckpointedServiceMakespanBound(t *testing.T) {
+	model, _, err := core.Fit(trace.Generate(trace.DefaultScenario(), 2000, 42), trace.Deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := batch.Config{
+		VMType:          trace.HighCPU16,
+		Zone:            trace.USEast1B,
+		Gangs:           4,
+		GangSize:        1,
+		Preemptible:     true,
+		HotSpareTTL:     1,
+		Model:           model,
+		UseReusePolicy:  true,
+		CheckpointDelta: 1.0 / 60,
+		CheckpointStep:  5.0 / 60,
+		Seed:            9,
+	}
+	svc, err := batch.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bag := workload.Bag{App: workload.Nanoconfinement}
+	for i := 0; i < 16; i++ {
+		bag.Jobs = append(bag.Jobs, workload.JobSpec{
+			ID: "ck" + string(rune('a'+i)), App: "nanoconfinement", Runtime: 5,
+		})
+	}
+	if err := svc.SubmitBag(bag); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := svc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.JobsCompleted != 16 {
+		t.Fatalf("completed %d", rep.JobsCompleted)
+	}
+	// 80 work-hours over 4 gangs = 20h ideal; checkpointing bounds the
+	// blowup well under a 2x factor even with preemptions.
+	if rep.Makespan > 2*rep.IdealMakespan {
+		t.Fatalf("makespan %vh more than doubles ideal %vh", rep.Makespan, rep.IdealMakespan)
+	}
+}
+
+// TestMultiFailureMakespanMatchesMonteCarlo cross-validates the analytic
+// geometric-restart makespan against direct simulation of the restart
+// process.
+func TestMultiFailureMakespanMatchesMonteCarlo(t *testing.T) {
+	model, _, err := core.Fit(trace.Generate(trace.DefaultScenario(), 2500, 42), trace.Deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := policy.MCConfig{Runs: 8000, Seed: 17}
+	for _, c := range []struct{ s, T float64 }{
+		{0, 1}, {0, 3}, {0, 6}, {8, 4}, {20, 6},
+	} {
+		analytic := model.ExpectedMakespanMultiFailureAt(c.s, c.T)
+		mc := policy.MCMakespanNoCheckpoint(model, c.T, c.s, cfg)
+		if math.Abs(analytic-mc) > 0.06*analytic+0.05 {
+			t.Fatalf("s=%v T=%v: analytic %v vs MC %v", c.s, c.T, analytic, mc)
+		}
+	}
+}
+
+// TestPolicyConsistencyModelVsPlanner: the checkpoint DP's expected
+// makespan at age 0 for a tiny job must approach the job length (no
+// checkpoints, negligible failure mass), tying the planner's scale to the
+// model's.
+func TestPolicyConsistencyModelVsPlanner(t *testing.T) {
+	model, _, err := core.Fit(trace.Generate(trace.DefaultScenario(), 2000, 42), trace.Deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := policy.NewCheckpointPlanner(model, 1.0/60, 5.0/60)
+	const tiny = 10.0 / 60              // 10 minutes
+	em := dp.ExpectedMakespan(tiny, 10) // stable phase: essentially no risk
+	if math.Abs(em-tiny) > 0.02 {
+		t.Fatalf("tiny-job makespan %v differs from %v", em, tiny)
+	}
+}

@@ -1,0 +1,246 @@
+package batch
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/workload"
+)
+
+// API exposes the batch service over HTTP with a JSON API, mirroring the
+// paper's controller interface (Section 5: "exposes an HTTP API to
+// end-users"). The simulation is single-threaded, so every handler
+// serializes on one mutex. The intended flow is:
+//
+//	POST /api/bags   {"app": "nanoconfinement", "jobs": 100, "seed": 1}
+//	POST /api/run    {}                       -> runs to completion
+//	GET  /api/report                          -> cost / preemption summary
+//	GET  /api/jobs                            -> per-job status
+type API struct {
+	mu     sync.Mutex
+	svc    *Service
+	mkSvc  func() (*Service, error)
+	ran    bool
+	report Report
+}
+
+// NewAPI wraps a service constructor; the service is (re)created lazily so
+// a client can run multiple configurations in one process lifetime.
+func NewAPI(mkSvc func() (*Service, error)) *API {
+	if mkSvc == nil {
+		panic("batch: nil service constructor")
+	}
+	return &API{mkSvc: mkSvc}
+}
+
+// Handler returns the HTTP handler.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/bags", a.handleSubmitBag)
+	mux.HandleFunc("POST /api/run", a.handleRun)
+	mux.HandleFunc("GET /api/report", a.handleReport)
+	mux.HandleFunc("GET /api/jobs", a.handleJobs)
+	mux.HandleFunc("GET /api/status", a.handleStatus)
+	mux.HandleFunc("GET /api/vms", a.handleVMs)
+	mux.HandleFunc("POST /api/estimate", a.handleEstimate)
+	return mux
+}
+
+// handleEstimate quotes a bag's expected makespan and cost without running
+// it (Section 4.1's "scheduling and monitoring" use of the analysis).
+func (a *API) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var req bagRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding estimate request: %w", err))
+		return
+	}
+	app, err := workload.ByName(req.App)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Jobs <= 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("jobs must be positive"))
+		return
+	}
+	if err := a.ensureService(); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	est, err := a.svc.Estimate(workload.NewBag(app, req.Jobs, req.Jitter, req.Seed))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ideal_makespan_hours":    est.IdealMakespan,
+		"expected_makespan_hours": est.ExpectedMakespan,
+		"per_job_failure_prob":    est.PerJobFailureProb,
+		"expected_cost_usd":       est.ExpectedCost,
+	})
+}
+
+// vmJSON is the wire form of one VM for GET /api/vms.
+type vmJSON struct {
+	ID          string  `json:"id"`
+	Type        string  `json:"type"`
+	Zone        string  `json:"zone"`
+	Preemptible bool    `json:"preemptible"`
+	AgeHours    float64 `json:"age_hours"`
+}
+
+func (a *API) handleVMs(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := []vmJSON{}
+	if a.svc != nil {
+		now := a.svc.Engine.Now()
+		for _, vm := range a.svc.Provider.Running() {
+			out = append(out, vmJSON{
+				ID:          vm.ID,
+				Type:        string(vm.Type),
+				Zone:        string(vm.Zone),
+				Preemptible: vm.Preemptible,
+				AgeHours:    vm.Age(now),
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type bagRequest struct {
+	App    string  `json:"app"`
+	Jobs   int     `json:"jobs"`
+	Jitter float64 `json:"jitter"`
+	Seed   uint64  `json:"seed"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (a *API) ensureService() error {
+	if a.svc != nil {
+		return nil
+	}
+	svc, err := a.mkSvc()
+	if err != nil {
+		return err
+	}
+	a.svc = svc
+	a.ran = false
+	return nil
+}
+
+func (a *API) handleSubmitBag(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var req bagRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding bag request: %w", err))
+		return
+	}
+	app, err := workload.ByName(req.App)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Jobs <= 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("jobs must be positive"))
+		return
+	}
+	if err := a.ensureService(); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if a.ran {
+		writeErr(w, http.StatusConflict, fmt.Errorf("service already ran; restart to submit more work"))
+		return
+	}
+	bag := workload.NewBag(app, req.Jobs, req.Jitter, req.Seed)
+	if err := a.svc.SubmitBag(bag); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"submitted":    len(bag.Jobs),
+		"mean_runtime": bag.MeanRuntime(),
+	})
+}
+
+func (a *API) handleRun(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.svc == nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("no bag submitted"))
+		return
+	}
+	if a.ran {
+		writeErr(w, http.StatusConflict, fmt.Errorf("already ran"))
+		return
+	}
+	rep, err := a.svc.Run()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	a.ran = true
+	a.report = rep
+	writeJSON(w, http.StatusOK, reportJSON(rep))
+}
+
+func (a *API) handleReport(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.ran {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no completed run"))
+		return
+	}
+	writeJSON(w, http.StatusOK, reportJSON(a.report))
+}
+
+func (a *API) handleJobs(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.svc == nil {
+		writeJSON(w, http.StatusOK, []JobStatus{})
+		return
+	}
+	writeJSON(w, http.StatusOK, a.svc.JobStatuses())
+}
+
+func (a *API) handleStatus(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := map[string]any{"ran": a.ran}
+	if a.svc != nil {
+		st["remaining_jobs"] = a.svc.RemainingJobs()
+		st["active_gangs"] = a.svc.ActiveGangs()
+		st["virtual_time"] = a.svc.Engine.Now()
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func reportJSON(r Report) map[string]any {
+	return map[string]any{
+		"jobs_completed": r.JobsCompleted,
+		"job_failures":   r.JobFailures,
+		"preemptions":    r.Preemptions,
+		"total_cost_usd": roundCents(r.TotalCost),
+		"cost_per_job":   r.CostPerJob,
+		"makespan_hours": r.Makespan,
+		"ideal_makespan": r.IdealMakespan,
+		"increase_pct":   r.IncreasePct,
+		"mean_attempts":  r.MeanAttempts,
+	}
+}

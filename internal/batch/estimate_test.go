@@ -1,0 +1,96 @@
+package batch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestEstimateBagBasics(t *testing.T) {
+	cfg := baseConfig()
+	bag := workload.NewBag(workload.Nanoconfinement, 40, 0.02, 3)
+	est, err := EstimateBag(cfg, bag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdeal := bag.TotalWork() / float64(cfg.Gangs)
+	if math.Abs(est.IdealMakespan-wantIdeal) > 1e-12 {
+		t.Fatalf("ideal = %v, want %v", est.IdealMakespan, wantIdeal)
+	}
+	if est.ExpectedMakespan < est.IdealMakespan {
+		t.Fatal("expected makespan below ideal")
+	}
+	if est.PerJobFailureProb <= 0 || est.PerJobFailureProb >= 1 {
+		t.Fatalf("failure prob = %v", est.PerJobFailureProb)
+	}
+	if est.ExpectedCost <= 0 {
+		t.Fatalf("cost = %v", est.ExpectedCost)
+	}
+}
+
+func TestEstimateOnDemandNoSlowdown(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Preemptible = false
+	bag := workload.NewBag(workload.Shapes, 10, 0, 1)
+	est, err := EstimateBag(cfg, bag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.ExpectedMakespan != est.IdealMakespan {
+		t.Fatal("on-demand estimate must have no slowdown")
+	}
+	if est.PerJobFailureProb != 0 {
+		t.Fatal("on-demand jobs cannot be preempted")
+	}
+}
+
+func TestEstimatePredictsActualRun(t *testing.T) {
+	// The a-priori estimate should land in the right ballpark of a real
+	// simulated run (within a factor of ~1.5 either way for short jobs).
+	cfg := baseConfig()
+	cfg.Seed = 19
+	bag := workload.NewBag(workload.Nanoconfinement, 60, 0.02, 7)
+	est, err := EstimateBag(cfg, bag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SubmitBag(bag); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := svc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := rep.Makespan / est.ExpectedMakespan
+	if ratio < 0.5 || ratio > 1.6 {
+		t.Fatalf("actual %vh vs estimate %vh (ratio %v)", rep.Makespan, est.ExpectedMakespan, ratio)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	cfg := baseConfig()
+	bag := workload.NewBag(workload.Shapes, 5, 0, 1)
+	noModel := cfg
+	noModel.Model = nil
+	if _, err := EstimateBag(noModel, bag); err == nil {
+		t.Fatal("no model accepted")
+	}
+	if _, err := EstimateBag(cfg, workload.Bag{}); err == nil {
+		t.Fatal("empty bag accepted")
+	}
+	badShape := cfg
+	badShape.Gangs = 0
+	if _, err := EstimateBag(badShape, bag); err == nil {
+		t.Fatal("bad shape accepted")
+	}
+	// A bag of deadline-length jobs cannot be estimated.
+	huge := workload.Bag{App: workload.Shapes, Jobs: []workload.JobSpec{{ID: "x", Runtime: 25}}}
+	if _, err := EstimateBag(cfg, huge); err == nil {
+		t.Fatal("infeasible bag accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package batch
+
+import (
+	"fmt"
+
+	"repro/internal/cloud"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// gang is a scheduling slot backed by GangSize VMs launched together. The
+// cluster manager sees one node per gang; a job occupies the whole gang.
+type gang struct {
+	id      int
+	rev     int // increments every time the gang rejoins the cluster
+	node    cluster.NodeID
+	members []*cloud.VM
+	retired bool
+
+	spareTimer *sim.Timer
+}
+
+// nodeID derives the cluster node name for the gang's current revision.
+func (g *gang) nodeID() cluster.NodeID {
+	return cluster.NodeID(fmt.Sprintf("gang-%03d.r%d", g.id, g.rev))
+}
+
+// OldestAge returns the age of the gang's oldest running member — the
+// member closest to its 24h deadline, which dominates the reuse decision.
+func (g *gang) OldestAge(now float64) float64 {
+	oldest := 0.0
+	for _, vm := range g.members {
+		if vm.State != cloud.VMRunning {
+			continue
+		}
+		if a := vm.Age(now); a > oldest {
+			oldest = a
+		}
+	}
+	return oldest
+}
+
+// launchGang starts a fresh gang of GangSize VMs and registers it as a
+// cluster node.
+func (s *Service) launchGang() (*gang, error) {
+	s.gangCounter++
+	g := &gang{id: s.gangCounter}
+	for i := 0; i < s.cfg.GangSize; i++ {
+		vm, err := s.Provider.Launch(s.cfg.VMType, s.cfg.Zone, s.cfg.Preemptible)
+		if err != nil {
+			return nil, err
+		}
+		g.members = append(g.members, vm)
+	}
+	g.node = g.nodeID()
+	s.gangs[g.node] = g
+	if err := s.Manager.AddNode(g.node); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// retireGang terminates all members and removes the gang from the cluster.
+func (s *Service) retireGang(g *gang) {
+	if g.retired {
+		return
+	}
+	g.retired = true
+	if g.spareTimer != nil {
+		g.spareTimer.Cancel()
+	}
+	// Removing the node first fails any running job (shouldn't happen for
+	// idle retirement, but drain() may retire busy gangs only after all
+	// jobs are done).
+	_ = s.Manager.RemoveNode(g.node)
+	delete(s.gangs, g.node)
+	for _, vm := range g.members {
+		if vm.State == cloud.VMRunning {
+			if err := s.Provider.Terminate(vm.ID); err != nil {
+				panic(fmt.Sprintf("batch: retiring gang %s: %v", g.node, err))
+			}
+		}
+	}
+}
+
+// onPreemption handles a member VM preemption: the gang's running job (if
+// any) fails via RemoveNode; the dead member is replaced and the gang
+// rejoins the cluster when there is outstanding work.
+func (s *Service) onPreemption(vm *cloud.VM) {
+	g := s.findGang(vm)
+	if g == nil || g.retired {
+		return
+	}
+	if g.spareTimer != nil {
+		g.spareTimer.Cancel()
+	}
+	// Fail the running job and detach the gang under its old identity.
+	_ = s.Manager.RemoveNode(g.node)
+	delete(s.gangs, g.node)
+
+	if s.remaining == 0 {
+		// Nothing left to run: terminate survivors.
+		g.retired = true
+		for _, m := range g.members {
+			if m.State == cloud.VMRunning {
+				_ = s.Provider.Terminate(m.ID)
+			}
+		}
+		return
+	}
+	// Replace the dead member (the paper's service maintains cluster
+	// size) and rejoin under a new revision.
+	for i, m := range g.members {
+		if m.State != cloud.VMRunning {
+			nv, err := s.Provider.Launch(s.cfg.VMType, s.cfg.Zone, s.cfg.Preemptible)
+			if err != nil {
+				panic(fmt.Sprintf("batch: replacing preempted member: %v", err))
+			}
+			g.members[i] = nv
+		}
+	}
+	g.rev++
+	g.node = g.nodeID()
+	s.gangs[g.node] = g
+	if err := s.Manager.AddNode(g.node); err != nil {
+		panic(fmt.Sprintf("batch: rejoining gang: %v", err))
+	}
+}
+
+func (s *Service) findGang(vm *cloud.VM) *gang {
+	for _, g := range s.gangs {
+		for _, m := range g.members {
+			if m.ID == vm.ID {
+				return g
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package batch
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// The paper's service "parametrizes the bathtub model based on the VM
+// type, region, time-of-day, and day-of-week" (Section 5). A Config may
+// carry a core.Registry of models keyed by ModelKey; the scheduler then
+// consults the model matching the conditions at decision time, falling
+// back to Config.Model when no environment-specific model is registered.
+
+// ModelKey is the registry key for one preemption environment.
+func ModelKey(vt trace.VMType, zone trace.Zone, tod trace.TimeOfDay) string {
+	return fmt.Sprintf("%s|%s|%s", vt, zone, tod)
+}
+
+// FitStudyModels fits a model for each time-of-day variant of the given VM
+// type and zone from freshly generated study data, returning a registry the
+// service can use directly.
+func FitStudyModels(vt trace.VMType, zone trace.Zone, samples int, seed uint64) (*core.Registry, error) {
+	reg := core.NewRegistry()
+	for i, tod := range []trace.TimeOfDay{trace.Day, trace.Night} {
+		sc := trace.Scenario{Type: vt, Zone: zone, TimeOfDay: tod, Workload: trace.Busy}
+		m, _, err := core.Fit(trace.Generate(sc, samples, seed+uint64(i)*7919), trace.Deadline)
+		if err != nil {
+			return nil, fmt.Errorf("batch: fitting %s model: %w", tod, err)
+		}
+		reg.Put(ModelKey(vt, zone, tod), m)
+	}
+	return reg, nil
+}
+
+// modelFor returns the model matching the current simulation conditions.
+func (s *Service) modelFor(now float64) *core.Model {
+	if s.cfg.Models != nil {
+		tod := trace.Day
+		h := now - 24*float64(int(now/24))
+		if h < 8 || h >= 20 {
+			tod = trace.Night
+		}
+		if m, ok := s.cfg.Models.Get(ModelKey(s.cfg.VMType, s.cfg.Zone, tod)); ok {
+			return m
+		}
+	}
+	return s.cfg.Model
+}
+
+// schedulerFor returns (and caches) the reuse policy for the model active
+// at the given time.
+func (s *Service) schedulerFor(now float64) *policy.ModelScheduler {
+	m := s.modelFor(now)
+	if sc, ok := s.schedCache[m]; ok {
+		return sc
+	}
+	sc := policy.NewFailureAwareScheduler(m)
+	s.schedCache[m] = sc
+	return sc
+}

@@ -1,0 +1,106 @@
+package batch
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestModelKeyFormat(t *testing.T) {
+	k := ModelKey(trace.HighCPU16, trace.USEast1B, trace.Day)
+	if k != "n1-highcpu-16|us-east1-b|day" {
+		t.Fatalf("key = %q", k)
+	}
+}
+
+func TestFitStudyModels(t *testing.T) {
+	reg, err := FitStudyModels(trace.HighCPU16, trace.USEast1B, 1200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 2 {
+		t.Fatalf("registry size %d", reg.Len())
+	}
+	day := reg.MustGet(ModelKey(trace.HighCPU16, trace.USEast1B, trace.Day))
+	night := reg.MustGet(ModelKey(trace.HighCPU16, trace.USEast1B, trace.Night))
+	// Night VMs live longer (Observation 5), so the night model's expected
+	// lifetime must exceed the day model's.
+	if !(night.NormalizedExpectedLifetime() > day.NormalizedExpectedLifetime()) {
+		t.Fatalf("night E[L] %v not above day %v",
+			night.NormalizedExpectedLifetime(), day.NormalizedExpectedLifetime())
+	}
+}
+
+func TestServiceWithModelRegistry(t *testing.T) {
+	reg, err := FitStudyModels(trace.HighCPU16, trace.USEast1B, 1200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		VMType:         trace.HighCPU16,
+		Zone:           trace.USEast1B,
+		Gangs:          3,
+		GangSize:       1,
+		Preemptible:    true,
+		HotSpareTTL:    1,
+		Models:         reg,
+		UseReusePolicy: true,
+		Seed:           21,
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SubmitBag(workload.NewBag(workload.Shapes, 30, 0.02, 3)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := svc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.JobsCompleted != 30 {
+		t.Fatalf("completed %d", rep.JobsCompleted)
+	}
+}
+
+func TestServiceRegistryMissingEntries(t *testing.T) {
+	reg := core.NewRegistry()
+	reg.Put(ModelKey(trace.HighCPU16, trace.USEast1B, trace.Day), testModel())
+	cfg := baseConfig()
+	cfg.Model = nil
+	cfg.Models = reg // night entry missing
+	if _, err := New(cfg); err == nil {
+		t.Fatal("incomplete registry accepted")
+	}
+}
+
+func TestModelForTimeOfDay(t *testing.T) {
+	reg, err := FitStudyModels(trace.HighCPU16, trace.USEast1B, 1200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig()
+	cfg.Model = nil
+	cfg.Models = reg
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := reg.MustGet(ModelKey(trace.HighCPU16, trace.USEast1B, trace.Day))
+	night := reg.MustGet(ModelKey(trace.HighCPU16, trace.USEast1B, trace.Night))
+	if svc.modelFor(12) != day { // noon
+		t.Fatal("noon should use the day model")
+	}
+	if svc.modelFor(2) != night { // 2AM
+		t.Fatal("2AM should use the night model")
+	}
+	if svc.modelFor(24+21) != night { // 9PM next day
+		t.Fatal("9PM should use the night model")
+	}
+	// Scheduler cache returns stable instances.
+	if svc.schedulerFor(12) != svc.schedulerFor(13) {
+		t.Fatal("scheduler cache miss for same model")
+	}
+}

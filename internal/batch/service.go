@@ -1,0 +1,456 @@
+// Package batch implements the paper's batch computing service (Section 5):
+// a centralized controller that maintains a cluster of preemptible VMs on
+// the (simulated) cloud, schedules bag-of-jobs workloads through the
+// Slurm-like cluster manager, applies the model-driven VM reuse policy,
+// keeps stable VMs as hot spares, optionally checkpoints jobs with the DP
+// schedule, accounts costs, and exposes an HTTP JSON API.
+//
+// Jobs occupy gangs: an application needing more cores than one VM provides
+// runs on ceil(cores/vmCPUs) VMs launched and scheduled together. A gang is
+// the cluster manager's node unit; preempting any member fails the gang's
+// running job, after which the dead member is replaced and the gang
+// rejoins. The reuse policy evaluates the gang's oldest member, which
+// carries the deadline risk.
+package batch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cloud"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config configures a Service.
+type Config struct {
+	VMType trace.VMType
+	Zone   trace.Zone
+	// Gangs is the number of gangs (scheduling slots) the cluster
+	// maintains. Total VMs = Gangs * GangSize.
+	Gangs int
+	// GangSize is the number of VMs per gang (ceil(app cores / VM CPUs)).
+	GangSize int
+	// Preemptible selects preemptible or on-demand VMs (the Figure 9a
+	// baseline uses on-demand).
+	Preemptible bool
+	// HotSpareTTL is how long an idle gang is retained before being
+	// terminated (the paper keeps stable VMs for one hour).
+	HotSpareTTL float64
+	// Model is the fitted preemption model used by the policies; nil
+	// disables model-driven decisions (memoryless behavior).
+	Model *core.Model
+	// Models optionally carries environment-specific models keyed by
+	// ModelKey (Section 5's per-VM-type/region/time-of-day
+	// parameterization); when set, policy decisions use the model matching
+	// the conditions at decision time, falling back to Model.
+	Models *core.Registry
+	// UseReusePolicy enables the Section 4.2 VM reuse policy (requires
+	// Model).
+	UseReusePolicy bool
+	// CheckpointDelta > 0 enables DP checkpointing with the given
+	// per-checkpoint cost in hours (requires Model).
+	CheckpointDelta float64
+	// CheckpointStep is the DP resolution in hours (default 1 minute).
+	CheckpointStep float64
+	// WarningCheckpoint enables emergency checkpoints on the provider's
+	// ~30-second preemption notice (Section 2.1's "small advance
+	// warning"): the work completed on the current attempt up to the
+	// warning instant survives the preemption.
+	WarningCheckpoint bool
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// GangSizeFor returns ceil(app.Cores / cpus) for the config's VM type.
+func GangSizeFor(app workload.App, vt trace.VMType) int {
+	cpus := vt.CPUs()
+	return (app.Cores + cpus - 1) / cpus
+}
+
+// jobState tracks one job across attempts.
+type jobState struct {
+	spec      workload.JobSpec
+	remaining float64 // work hours still to do (after checkpoint recovery)
+	attempts  int
+	failures  int
+	done      bool
+	doneAt    float64
+	// schedule of the current attempt, for checkpoint recovery mapping.
+	schedule policy.Schedule
+	hasCkpt  bool
+	// warningWork is the work snapshotted by an emergency checkpoint on
+	// the current attempt (WarningCheckpoint mode).
+	warningWork float64
+	// arrival is the virtual time the job becomes available.
+	arrival float64
+}
+
+// Service is the batch computing controller.
+type Service struct {
+	Engine   *sim.Engine
+	Provider *cloud.Provider
+	Manager  *cluster.Manager
+
+	cfg        Config
+	planner    *policy.CheckpointPlanner
+	schedCache map[*core.Model]*policy.ModelScheduler
+
+	gangs     map[cluster.NodeID]*gang
+	jobs      map[string]*jobState
+	jobOrder  []string
+	remaining int // jobs not yet done
+	// running tracks which job occupies each gang, for warning handling.
+	running map[cluster.NodeID]*jobState
+
+	startedAt   float64
+	finishedAt  float64
+	gangCounter int
+}
+
+// New creates a service over a fresh engine and provider. Call SubmitBag
+// then Run.
+func New(cfg Config) (*Service, error) {
+	if cfg.Gangs <= 0 || cfg.GangSize <= 0 {
+		return nil, fmt.Errorf("batch: invalid cluster shape gangs=%d size=%d", cfg.Gangs, cfg.GangSize)
+	}
+	if _, err := cloud.Lookup(cfg.VMType); err != nil {
+		return nil, err
+	}
+	if cfg.UseReusePolicy && cfg.Model == nil && cfg.Models == nil {
+		return nil, fmt.Errorf("batch: reuse policy requires a model or registry")
+	}
+	if cfg.UseReusePolicy && cfg.Model == nil && cfg.Models != nil {
+		// Without a fallback model, the registry must cover every
+		// time-of-day the service can encounter.
+		for _, tod := range []trace.TimeOfDay{trace.Day, trace.Night} {
+			if _, ok := cfg.Models.Get(ModelKey(cfg.VMType, cfg.Zone, tod)); !ok {
+				return nil, fmt.Errorf("batch: model registry missing %s entry for %s/%s",
+					tod, cfg.VMType, cfg.Zone)
+			}
+		}
+	}
+	if cfg.CheckpointDelta > 0 && cfg.Model == nil {
+		return nil, fmt.Errorf("batch: checkpointing requires a model")
+	}
+	if cfg.CheckpointStep <= 0 {
+		cfg.CheckpointStep = 1.0 / 60
+	}
+	if cfg.HotSpareTTL < 0 {
+		return nil, fmt.Errorf("batch: negative hot spare TTL")
+	}
+
+	engine := sim.NewEngine()
+	provider := cloud.NewProvider(engine, cfg.Seed, trace.Busy)
+	mgr := cluster.New(engine)
+	s := &Service{
+		Engine:     engine,
+		Provider:   provider,
+		Manager:    mgr,
+		cfg:        cfg,
+		gangs:      make(map[cluster.NodeID]*gang),
+		jobs:       make(map[string]*jobState),
+		running:    make(map[cluster.NodeID]*jobState),
+		schedCache: make(map[*core.Model]*policy.ModelScheduler),
+	}
+	if cfg.UseReusePolicy {
+		mgr.PlaceFilter = s.placeFilter
+		mgr.OnBlocked = s.onBlocked
+	}
+	if cfg.CheckpointDelta > 0 {
+		s.planner = policy.NewCheckpointPlanner(cfg.Model, cfg.CheckpointDelta, cfg.CheckpointStep)
+	}
+	mgr.OnIdle = s.onGangIdle
+	mgr.OnPlace = s.onPlace
+	provider.OnPreemption(s.onPreemption)
+	if cfg.WarningCheckpoint {
+		provider.WarningLead = cloud.DefaultWarningLead
+		provider.OnWarning(s.onWarning)
+	}
+	return s, nil
+}
+
+// onPlace records which job occupies a gang.
+func (s *Service) onPlace(j *cluster.Job, node cluster.NodeID) {
+	if js, ok := j.Ctx.(*jobState); ok {
+		s.running[node] = js
+	}
+}
+
+// onWarning takes an emergency checkpoint for the job running on the
+// warned VM's gang: everything computed on the current attempt up to this
+// instant survives the imminent preemption.
+func (s *Service) onWarning(vm *cloud.VM) {
+	g := s.findGang(vm)
+	if g == nil || g.retired {
+		return
+	}
+	js, ok := s.running[g.node]
+	if !ok {
+		return
+	}
+	j, startedAt := s.Manager.RunningJob(g.node)
+	if j == nil {
+		return
+	}
+	elapsed := s.Engine.Now() - startedAt
+	sched := js.schedule
+	if !js.hasCkpt {
+		sched = policy.Schedule{Intervals: []float64{js.remaining}}
+	}
+	if w := workAtElapsed(sched, s.cfg.CheckpointDelta, elapsed); w > js.warningWork {
+		js.warningWork = w
+	}
+}
+
+// workAtElapsed maps elapsed wall time of an attempt to the work actually
+// computed (excluding checkpoint-write time), counting partial segments —
+// the quantity an emergency checkpoint preserves.
+func workAtElapsed(sched policy.Schedule, delta, elapsed float64) float64 {
+	var wall, work float64
+	for i, iv := range sched.Intervals {
+		if elapsed < wall+iv {
+			return work + (elapsed - wall)
+		}
+		work += iv
+		wall += iv
+		if i < len(sched.Intervals)-1 {
+			if elapsed < wall+delta {
+				return work // mid checkpoint write: no new work
+			}
+			wall += delta
+		}
+	}
+	return work
+}
+
+// SubmitBag registers all jobs of a bag for immediate execution. The
+// service learns job runtimes from the bag's mean (Section 5's bag-of-jobs
+// abstraction).
+func (s *Service) SubmitBag(bag workload.Bag) error {
+	return s.SubmitBagAt(bag, 0)
+}
+
+// SubmitBagAt registers a bag whose jobs arrive at the given virtual time
+// (hours after Run starts). Deferred bags model a service receiving work
+// over its lifetime — the situation where retaining stable VMs as hot
+// spares between bags pays off. Must be called before Run.
+func (s *Service) SubmitBagAt(bag workload.Bag, at float64) error {
+	if len(bag.Jobs) == 0 {
+		return fmt.Errorf("batch: empty bag")
+	}
+	if at < 0 {
+		return fmt.Errorf("batch: negative arrival time %v", at)
+	}
+	for _, spec := range bag.Jobs {
+		if _, dup := s.jobs[spec.ID]; dup {
+			return fmt.Errorf("batch: duplicate job %q", spec.ID)
+		}
+		if spec.Runtime <= 0 {
+			return fmt.Errorf("batch: job %q has non-positive runtime", spec.ID)
+		}
+		js := &jobState{spec: spec, remaining: spec.Runtime, arrival: at}
+		s.jobs[spec.ID] = js
+		s.jobOrder = append(s.jobOrder, spec.ID)
+		s.remaining++
+	}
+	return nil
+}
+
+// Run launches the cluster, executes all submitted jobs to completion, then
+// drains the cluster and returns the report. It must be called once.
+func (s *Service) Run() (Report, error) {
+	if s.remaining == 0 {
+		return Report{}, fmt.Errorf("batch: no jobs submitted")
+	}
+	s.startedAt = s.Engine.Now()
+	for i := 0; i < s.cfg.Gangs; i++ {
+		if _, err := s.launchGang(); err != nil {
+			return Report{}, err
+		}
+	}
+	for _, id := range s.jobOrder {
+		js := s.jobs[id]
+		if js.arrival <= s.Engine.Now() {
+			s.enqueue(js)
+		} else {
+			js := js
+			s.Engine.At(js.arrival, func() { s.enqueue(js) })
+		}
+	}
+	// Drive the simulation until every job completes.
+	for s.remaining > 0 {
+		if !s.Engine.Step() {
+			return Report{}, fmt.Errorf("batch: simulation stalled with %d jobs remaining", s.remaining)
+		}
+	}
+	s.finishedAt = s.Engine.Now()
+	s.drain()
+	return s.report(), nil
+}
+
+// ensureCapacity scales the cluster back toward its configured size when
+// work is outstanding — after an idle period the hot-spare TTL may have
+// retired every gang.
+func (s *Service) ensureCapacity() {
+	target := s.cfg.Gangs
+	if s.remaining < target {
+		target = s.remaining
+	}
+	for len(s.gangs) < target {
+		if _, err := s.launchGang(); err != nil {
+			panic(fmt.Sprintf("batch: restoring cluster capacity: %v", err))
+		}
+	}
+}
+
+// enqueue submits (or resubmits) a job's remaining work to the cluster.
+func (s *Service) enqueue(js *jobState) {
+	wall := js.remaining
+	js.hasCkpt = false
+	// The checkpoint schedule depends on the age of the gang the job will
+	// land on, which is unknown until placement. The planner is consulted
+	// at placement time via the wall-time adjustment below being
+	// recomputed; as a controller simplification we plan at age 0 when
+	// enqueueing and re-plan on each attempt (the paper precomputes
+	// schedules per job length the same way).
+	if s.planner != nil {
+		js.schedule = s.planner.Plan(js.remaining, 0)
+		js.hasCkpt = true
+		wall = js.remaining + s.cfg.CheckpointDelta*float64(js.schedule.NumCheckpoints())
+	}
+	js.attempts++
+	js.warningWork = 0
+	job := &cluster.Job{
+		ID:        fmt.Sprintf("%s#%d", js.spec.ID, js.attempts),
+		Remaining: wall,
+		Ctx:       js,
+		OnComplete: func(node cluster.NodeID) {
+			delete(s.running, node)
+			s.onJobComplete(js)
+		},
+		OnFail: func(node cluster.NodeID, progress float64) {
+			delete(s.running, node)
+			s.onJobFail(js, progress)
+		},
+	}
+	s.ensureCapacity()
+	s.Manager.Submit(job)
+}
+
+func (s *Service) onJobComplete(js *jobState) {
+	js.remaining = 0
+	js.done = true
+	js.doneAt = s.Engine.Now()
+	s.remaining--
+}
+
+// onJobFail handles a preemption-induced failure: recover checkpointed
+// progress and resubmit.
+func (s *Service) onJobFail(js *jobState, elapsedWall float64) {
+	js.failures++
+	recovered := 0.0
+	if js.hasCkpt {
+		recovered = recoveredWork(js.schedule, s.cfg.CheckpointDelta, elapsedWall)
+	}
+	// An emergency warning checkpoint may have preserved more than the
+	// last periodic one.
+	if js.warningWork > recovered {
+		recovered = js.warningWork
+	}
+	if recovered > 0 {
+		js.remaining -= recovered
+		if js.remaining < 0 {
+			js.remaining = 0
+		}
+	}
+	// Without any checkpoint all progress is lost; remaining unchanged.
+	s.enqueue(js)
+}
+
+// recoveredWork maps elapsed wall time of a failed attempt to the work
+// preserved by its last completed checkpoint.
+func recoveredWork(sched policy.Schedule, delta, elapsed float64) float64 {
+	var wall, work float64
+	for i, iv := range sched.Intervals {
+		if i == len(sched.Intervals)-1 {
+			// The final segment completes the job and is not followed by
+			// a checkpoint; a failure during it recovers nothing extra.
+			break
+		}
+		segEnd := wall + iv + delta // work plus the checkpoint write
+		if elapsed+1e-12 < segEnd {
+			break
+		}
+		wall = segEnd
+		work += iv
+	}
+	return work
+}
+
+// placeFilter implements the VM reuse policy at placement time, using the
+// model matching the current conditions.
+func (s *Service) placeFilter(j *cluster.Job, node cluster.NodeID) bool {
+	g, ok := s.gangs[node]
+	if !ok {
+		return true
+	}
+	now := s.Engine.Now()
+	return s.schedulerFor(now).ShouldReuse(g.OldestAge(now), j.Remaining)
+}
+
+// onBlocked fires when all idle gangs were refused for the head job: retire
+// the refused idle gangs (they are deadline-risky) and launch a fresh one.
+func (s *Service) onBlocked(j *cluster.Job) {
+	now := s.Engine.Now()
+	sched := s.schedulerFor(now)
+	for _, id := range s.Manager.NodeIDs() {
+		if st, ok := s.Manager.State(id); !ok || st != cluster.NodeIdle {
+			continue
+		}
+		if g, ok := s.gangs[id]; ok && !sched.ShouldReuse(g.OldestAge(now), j.Remaining) {
+			s.retireGang(g)
+		}
+	}
+	if _, err := s.launchGang(); err != nil {
+		// Launching can only fail on catalog errors, which New validated.
+		panic(err)
+	}
+}
+
+// onGangIdle starts the hot-spare TTL for an idle gang.
+func (s *Service) onGangIdle(node cluster.NodeID) {
+	g, ok := s.gangs[node]
+	if !ok {
+		return
+	}
+	if s.cfg.HotSpareTTL == 0 {
+		s.retireGang(g)
+		return
+	}
+	ttl := s.cfg.HotSpareTTL
+	g.spareTimer = s.Engine.After(ttl, func() {
+		if st, ok := s.Manager.State(g.node); ok && st == cluster.NodeIdle {
+			s.retireGang(g)
+		}
+	})
+}
+
+// drain terminates every remaining gang after the last job completes, in
+// node-ID order so that cost accumulation is deterministic.
+func (s *Service) drain() {
+	ids := make([]cluster.NodeID, 0, len(s.gangs))
+	for id := range s.gangs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if g, ok := s.gangs[id]; ok && !g.retired {
+			s.retireGang(g)
+		}
+	}
+}

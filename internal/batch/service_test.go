@@ -1,0 +1,387 @@
+package batch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/policy"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func testModel() *core.Model {
+	return core.New(dist.NewBathtub(0.45, 1.0, 0.8, 24, 24))
+}
+
+func baseConfig() Config {
+	return Config{
+		VMType:         trace.HighCPU16,
+		Zone:           trace.USEast1B,
+		Gangs:          4,
+		GangSize:       1,
+		Preemptible:    true,
+		HotSpareTTL:    1,
+		Model:          testModel(),
+		UseReusePolicy: true,
+		Seed:           7,
+	}
+}
+
+func TestRunCompletesAllJobs(t *testing.T) {
+	svc, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bag := workload.NewBag(workload.Nanoconfinement, 40, 0.02, 3)
+	if err := svc.SubmitBag(bag); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := svc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.JobsCompleted != 40 {
+		t.Fatalf("completed %d of 40", rep.JobsCompleted)
+	}
+	if rep.Makespan <= 0 {
+		t.Fatalf("makespan = %v", rep.Makespan)
+	}
+	if rep.TotalCost <= 0 {
+		t.Fatalf("cost = %v", rep.TotalCost)
+	}
+	if svc.RemainingJobs() != 0 {
+		t.Fatal("jobs remaining after Run")
+	}
+	if svc.ActiveGangs() != 0 {
+		t.Fatalf("gangs still active after drain: %d", svc.ActiveGangs())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() Report {
+		svc, err := New(baseConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.SubmitBag(workload.NewBag(workload.Shapes, 25, 0.02, 5)); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := svc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic runs:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestPreemptibleMuchCheaperThanOnDemand(t *testing.T) {
+	// Figure 9a: our service on preemptible VMs is ~5x cheaper per job
+	// than on-demand, with identical workloads.
+	runWith := func(preemptible bool) Report {
+		cfg := baseConfig()
+		cfg.Preemptible = preemptible
+		svc, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.SubmitBag(workload.NewBag(workload.Nanoconfinement, 50, 0.02, 11)); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := svc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.JobsCompleted != 50 {
+			t.Fatalf("completed %d", rep.JobsCompleted)
+		}
+		return rep
+	}
+	pre := runWith(true)
+	od := runWith(false)
+	ratio := od.CostPerJob / pre.CostPerJob
+	if ratio < 3 || ratio > 6 {
+		t.Fatalf("cost ratio %v (od $%v vs pre $%v), want ~4.7x", ratio, od.CostPerJob, pre.CostPerJob)
+	}
+	if od.Preemptions != 0 {
+		t.Fatalf("on-demand run saw %d preemptions", od.Preemptions)
+	}
+}
+
+func TestFailuresAreRetried(t *testing.T) {
+	// With long jobs on small VMs preemptions are common; every failure
+	// must be retried until completion.
+	cfg := baseConfig()
+	cfg.Seed = 13
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3-hour jobs totalling 180 VM-hours: the cluster must cycle through
+	// several gang generations, so preemptions are essentially certain.
+	bag := workload.Bag{App: workload.Nanoconfinement}
+	for i := 0; i < 60; i++ {
+		bag.Jobs = append(bag.Jobs, workload.JobSpec{
+			ID: bag.App.Name + jobSuffix(i), App: bag.App.Name, Runtime: 3,
+		})
+	}
+	if err := svc.SubmitBag(bag); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := svc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.JobsCompleted != 60 {
+		t.Fatalf("completed %d", rep.JobsCompleted)
+	}
+	if rep.Preemptions == 0 {
+		t.Fatal("expected some preemptions with 180 VM-hours of work")
+	}
+	if rep.JobFailures == 0 {
+		t.Fatal("expected job failures given preemptions")
+	}
+	if rep.MeanAttempts <= 1 {
+		t.Fatalf("mean attempts %v", rep.MeanAttempts)
+	}
+}
+
+func jobSuffix(i int) string {
+	return string(rune('a'+i/26)) + string(rune('a'+i%26))
+}
+
+func TestGangSizing(t *testing.T) {
+	if g := GangSizeFor(workload.Nanoconfinement, trace.HighCPU16); g != 4 {
+		t.Fatalf("nanoconfinement on hc16 needs %d VMs, want 4", g)
+	}
+	if g := GangSizeFor(workload.Nanoconfinement, trace.HighCPU32); g != 2 {
+		t.Fatalf("on hc32: %d, want 2", g)
+	}
+	if g := GangSizeFor(workload.LULESH, trace.HighCPU8); g != 8 {
+		t.Fatalf("lulesh on hc8: %d, want 8", g)
+	}
+}
+
+func TestGangRunCostScalesWithSize(t *testing.T) {
+	runWith := func(gangSize int) Report {
+		cfg := baseConfig()
+		cfg.GangSize = gangSize
+		cfg.Gangs = 2
+		svc, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.SubmitBag(workload.NewBag(workload.Shapes, 20, 0, 9)); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := svc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	small := runWith(1)
+	big := runWith(4)
+	// 4 VMs per gang cost roughly 4x as much per job (more with extra
+	// preemption exposure).
+	ratio := big.CostPerJob / small.CostPerJob
+	if ratio < 3 || ratio > 8 {
+		t.Fatalf("gang cost ratio %v", ratio)
+	}
+}
+
+func TestCheckpointingReducesLostWork(t *testing.T) {
+	// With checkpointing enabled, failures recover progress, so mean
+	// attempts can stay the same but the makespan shrinks for long jobs.
+	run := func(delta float64) Report {
+		cfg := baseConfig()
+		cfg.Gangs = 2
+		cfg.Seed = 31
+		cfg.CheckpointDelta = delta
+		cfg.CheckpointStep = 5.0 / 60
+		svc, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bag := workload.Bag{App: workload.Nanoconfinement}
+		for i := 0; i < 12; i++ {
+			bag.Jobs = append(bag.Jobs, workload.JobSpec{
+				ID: "job" + jobSuffix(i), App: "nanoconfinement", Runtime: 4,
+			})
+		}
+		if err := svc.SubmitBag(bag); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := svc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.JobsCompleted != 12 {
+			t.Fatalf("completed %d", rep.JobsCompleted)
+		}
+		return rep
+	}
+	with := run(1.0 / 60)
+	without := run(0)
+	if with.Preemptions == 0 && without.Preemptions == 0 {
+		t.Skip("no preemptions in either run; cannot compare recovery")
+	}
+	// Checkpointing must not make things dramatically worse; with 48
+	// VM-hours of 4h jobs it should help.
+	if with.Makespan > without.Makespan*1.1 {
+		t.Fatalf("checkpointing hurt: %v vs %v hours", with.Makespan, without.Makespan)
+	}
+}
+
+func TestRecoveredWorkMapping(t *testing.T) {
+	sched := policy.Schedule{Intervals: []float64{1, 2, 3}}
+	delta := 0.5
+	cases := []struct {
+		elapsed float64
+		want    float64
+	}{
+		{0.5, 0}, // mid first segment
+		{1.0, 0}, // reached checkpoint boundary but checkpoint not written
+		{1.5, 1}, // first checkpoint written at 1+0.5
+		{3.4, 1}, // mid second segment
+		{4.0, 3}, // second checkpoint written at 1+0.5+2+0.5
+		{7.0, 3}, // final segment has no checkpoint
+	}
+	for _, c := range cases {
+		if got := recoveredWork(sched, delta, c.elapsed); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("recoveredWork(%v) = %v, want %v", c.elapsed, got, c.want)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Gangs = 0 },
+		func(c *Config) { c.GangSize = 0 },
+		func(c *Config) { c.VMType = "bogus" },
+		func(c *Config) { c.Model = nil }, // reuse policy without model
+		func(c *Config) { c.HotSpareTTL = -1 },
+		func(c *Config) { c.Model = nil; c.UseReusePolicy = false; c.CheckpointDelta = 0.1 },
+	}
+	for i, mod := range bad {
+		cfg := baseConfig()
+		mod(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	svc, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SubmitBag(workload.Bag{}); err == nil {
+		t.Fatal("empty bag accepted")
+	}
+	bag := workload.NewBag(workload.Shapes, 3, 0, 1)
+	if err := svc.SubmitBag(bag); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SubmitBag(bag); err == nil {
+		t.Fatal("duplicate jobs accepted")
+	}
+	badBag := workload.Bag{Jobs: []workload.JobSpec{{ID: "x", Runtime: 0}}}
+	if err := svc.SubmitBag(badBag); err == nil {
+		t.Fatal("zero-runtime job accepted")
+	}
+}
+
+func TestDeferredBagArrival(t *testing.T) {
+	svc, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := workload.NewBag(workload.Shapes, 8, 0, 1)
+	if err := svc.SubmitBag(first); err != nil {
+		t.Fatal(err)
+	}
+	second := workload.Bag{App: workload.Shapes}
+	for i := 0; i < 8; i++ {
+		second.Jobs = append(second.Jobs, workload.JobSpec{
+			ID: "late" + jobSuffix(i), App: "shapes", Runtime: workload.Shapes.JobRuntime,
+		})
+	}
+	const gap = 3.0
+	if err := svc.SubmitBagAt(second, gap); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := svc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.JobsCompleted != 16 {
+		t.Fatalf("completed %d", rep.JobsCompleted)
+	}
+	// The run cannot finish before the second bag arrived and ran.
+	if rep.Makespan < gap {
+		t.Fatalf("makespan %v ends before the deferred arrival", rep.Makespan)
+	}
+	// Every late job completed after the gap.
+	for _, st := range svc.JobStatuses() {
+		if len(st.ID) >= 4 && st.ID[:4] == "late" && st.DoneAt < gap {
+			t.Fatalf("late job %s done at %v, before arrival", st.ID, st.DoneAt)
+		}
+	}
+}
+
+func TestSubmitBagAtValidation(t *testing.T) {
+	svc, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SubmitBagAt(workload.NewBag(workload.Shapes, 2, 0, 1), -1); err == nil {
+		t.Fatal("negative arrival accepted")
+	}
+}
+
+func TestRunWithoutJobs(t *testing.T) {
+	svc, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Run(); err == nil {
+		t.Fatal("Run without jobs should error")
+	}
+}
+
+func TestJobStatuses(t *testing.T) {
+	svc, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bag := workload.NewBag(workload.LULESH, 5, 0.01, 2)
+	if err := svc.SubmitBag(bag); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sts := svc.JobStatuses()
+	if len(sts) != 5 {
+		t.Fatalf("statuses = %d", len(sts))
+	}
+	for _, st := range sts {
+		if !st.Done || st.Remaining != 0 || st.Attempts < 1 {
+			t.Fatalf("bad status %+v", st)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{JobsCompleted: 3, TotalCost: 1.5, Makespan: 2}
+	if r.String() == "" {
+		t.Fatal("empty report string")
+	}
+}

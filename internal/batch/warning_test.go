@@ -1,0 +1,141 @@
+package batch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestProviderWarningFiresBeforePreemption(t *testing.T) {
+	e := sim.NewEngine()
+	p := cloud.NewProvider(e, 3, trace.Busy)
+	p.WarningLead = cloud.DefaultWarningLead
+	vm, err := p.Launch(trace.HighCPU16, trace.USEast1B, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warnedAt, preemptedAt float64 = -1, -1
+	p.OnWarning(func(v *cloud.VM) {
+		if v.ID == vm.ID {
+			warnedAt = e.Now()
+		}
+	})
+	p.OnPreemption(func(v *cloud.VM) {
+		if v.ID == vm.ID {
+			preemptedAt = e.Now()
+		}
+	})
+	e.Run()
+	if warnedAt < 0 || preemptedAt < 0 {
+		t.Fatalf("warning %v / preemption %v not delivered", warnedAt, preemptedAt)
+	}
+	gap := preemptedAt - warnedAt
+	if gap < 0 || gap > cloud.DefaultWarningLead+1e-9 {
+		t.Fatalf("warning lead %v, want <= %v", gap, cloud.DefaultWarningLead)
+	}
+}
+
+func TestProviderNoWarningAfterTerminate(t *testing.T) {
+	e := sim.NewEngine()
+	p := cloud.NewProvider(e, 3, trace.Busy)
+	p.WarningLead = cloud.DefaultWarningLead
+	vm, _ := p.Launch(trace.HighCPU16, trace.USEast1B, true)
+	warned := false
+	p.OnWarning(func(*cloud.VM) { warned = true })
+	if err := p.Terminate(vm.ID); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if warned {
+		t.Fatal("terminated VM must not warn")
+	}
+}
+
+func TestWorkAtElapsed(t *testing.T) {
+	sched := policy.Schedule{Intervals: []float64{1, 2, 3}}
+	delta := 0.5
+	cases := []struct{ elapsed, want float64 }{
+		{0.4, 0.4}, // mid first segment
+		{1.0, 1.0}, // segment boundary
+		{1.2, 1.0}, // mid checkpoint write: no new work
+		{1.5, 1.0}, // checkpoint done
+		{2.5, 2.0}, // mid second segment
+		{3.5, 3.0}, // second segment done
+		{4.0, 3.0}, // second checkpoint done
+		{5.5, 4.5}, // mid final segment
+		{99, 6},    // past the end
+	}
+	for _, c := range cases {
+		if got := workAtElapsed(sched, delta, c.elapsed); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("workAtElapsed(%v) = %v, want %v", c.elapsed, got, c.want)
+		}
+	}
+}
+
+func TestWarningCheckpointReducesMakespan(t *testing.T) {
+	// With warning checkpoints, essentially no work is lost to
+	// preemptions, so the bag's makespan cannot exceed the plain run's.
+	run := func(warning bool) Report {
+		cfg := baseConfig()
+		cfg.Seed = 41
+		cfg.Gangs = 2
+		cfg.WarningCheckpoint = warning
+		svc, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bag := workload.Bag{App: workload.Nanoconfinement}
+		for i := 0; i < 12; i++ {
+			bag.Jobs = append(bag.Jobs, workload.JobSpec{
+				ID: "w" + jobSuffix(i), App: "nanoconfinement", Runtime: 4,
+			})
+		}
+		if err := svc.SubmitBag(bag); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := svc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.JobsCompleted != 12 {
+			t.Fatalf("completed %d", rep.JobsCompleted)
+		}
+		return rep
+	}
+	with := run(true)
+	without := run(false)
+	if with.Preemptions == 0 {
+		t.Skip("no preemptions with this seed")
+	}
+	if with.Makespan > without.Makespan+1e-9 {
+		t.Fatalf("warning checkpointing increased makespan: %v vs %v", with.Makespan, without.Makespan)
+	}
+}
+
+func TestWarningCheckpointDeterministic(t *testing.T) {
+	run := func() Report {
+		cfg := baseConfig()
+		cfg.WarningCheckpoint = true
+		cfg.Seed = 77
+		svc, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.SubmitBag(workload.NewBag(workload.Shapes, 20, 0.02, 5)); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := svc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,130 @@
+// Package changepoint implements the paper's Section 8 extension: detecting
+// when the cloud provider's preemption policy changes by comparing recently
+// observed lifetimes against the fitted model's predictions. A long-running
+// service feeds every observed preemption into a Detector; when the rolling
+// window's Kolmogorov-Smirnov distance to the model exceeds a threshold for
+// consecutive windows, the detector flags a change point and the service
+// can refit its model.
+package changepoint
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/empirical"
+)
+
+// Config tunes a Detector.
+type Config struct {
+	// Window is the number of recent lifetimes compared against the model.
+	Window int
+	// Threshold is the KS distance above which a window is suspicious.
+	// With n observations, KS values around sqrt(ln(2/alpha)/2n) occur by
+	// chance; 0.25 on a 50-sample window corresponds to alpha ~ 0.003.
+	Threshold float64
+	// Patience is how many consecutive suspicious windows trigger a flag
+	// (debouncing transient demand spikes).
+	Patience int
+}
+
+// DefaultConfig returns the tuning used by the batch service: 50-sample
+// windows, KS threshold 0.25, two consecutive suspicious windows.
+func DefaultConfig() Config {
+	return Config{Window: 50, Threshold: 0.25, Patience: 2}
+}
+
+// ConfigForAlpha derives the KS threshold from a per-window false-alarm
+// rate using the Kolmogorov asymptotic distribution, instead of the fixed
+// default. With patience p, the sustained false-alarm probability is
+// roughly alpha^p per p windows.
+func ConfigForAlpha(window int, alpha float64, patience int) Config {
+	return Config{
+		Window:    window,
+		Threshold: empirical.KSThreshold(window, alpha),
+		Patience:  patience,
+	}
+}
+
+// Detector accumulates observed lifetimes and flags model drift. It is not
+// safe for concurrent use.
+type Detector struct {
+	cfg    Config
+	model  *core.Model
+	buf    []float64
+	streak int
+
+	observations int
+	flagged      bool
+	flaggedAt    int // observation index of the flag
+}
+
+// New returns a detector for the given fitted model.
+func New(model *core.Model, cfg Config) *Detector {
+	if model == nil {
+		panic("changepoint: nil model")
+	}
+	if cfg.Window < 5 {
+		panic(fmt.Sprintf("changepoint: window %d too small", cfg.Window))
+	}
+	if cfg.Threshold <= 0 || cfg.Threshold >= 1 {
+		panic(fmt.Sprintf("changepoint: threshold %v outside (0,1)", cfg.Threshold))
+	}
+	if cfg.Patience < 1 {
+		panic(fmt.Sprintf("changepoint: patience %d", cfg.Patience))
+	}
+	return &Detector{cfg: cfg, model: model}
+}
+
+// Observe feeds one preemption lifetime and returns true if this
+// observation completes a window that triggers the change-point flag. Once
+// flagged, the detector stays flagged until Reset.
+func (d *Detector) Observe(lifetime float64) bool {
+	if lifetime < 0 {
+		panic(fmt.Sprintf("changepoint: negative lifetime %v", lifetime))
+	}
+	d.observations++
+	d.buf = append(d.buf, lifetime)
+	if len(d.buf) < d.cfg.Window {
+		return false
+	}
+	ks := empirical.KSDistance(d.buf, d.model.CDF)
+	d.buf = d.buf[:0]
+	if ks > d.cfg.Threshold {
+		d.streak++
+	} else {
+		d.streak = 0
+	}
+	if !d.flagged && d.streak >= d.cfg.Patience {
+		d.flagged = true
+		d.flaggedAt = d.observations
+		return true
+	}
+	return false
+}
+
+// Flagged reports whether a change point has been detected.
+func (d *Detector) Flagged() bool { return d.flagged }
+
+// FlaggedAt returns the observation count at which the flag fired (0 when
+// not flagged).
+func (d *Detector) FlaggedAt() int {
+	if !d.flagged {
+		return 0
+	}
+	return d.flaggedAt
+}
+
+// Observations returns the total number of lifetimes observed.
+func (d *Detector) Observations() int { return d.observations }
+
+// Reset clears the flag and buffers, typically after refitting the model.
+func (d *Detector) Reset(model *core.Model) {
+	if model == nil {
+		panic("changepoint: nil model")
+	}
+	d.model = model
+	d.buf = d.buf[:0]
+	d.streak = 0
+	d.flagged = false
+	d.flaggedAt = 0
+}

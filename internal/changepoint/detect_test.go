@@ -1,0 +1,153 @@
+package changepoint
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/mathx"
+	"repro/internal/trace"
+)
+
+func fittedModel(t *testing.T, sc trace.Scenario) *core.Model {
+	t.Helper()
+	m, _, err := core.Fit(trace.Generate(sc, 2500, 3), trace.Deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNoFalseAlarmOnMatchingData(t *testing.T) {
+	sc := trace.DefaultScenario()
+	m := fittedModel(t, sc)
+	d := New(m, DefaultConfig())
+	truth := trace.GroundTruth(sc)
+	rng := mathx.NewRNG(17)
+	for i := 0; i < 1000; i++ {
+		if d.Observe(truth.Sample(rng)) {
+			t.Fatalf("false alarm at observation %d", i)
+		}
+	}
+	if d.Flagged() {
+		t.Fatal("flagged on matching data")
+	}
+	if d.Observations() != 1000 {
+		t.Fatalf("observations = %d", d.Observations())
+	}
+}
+
+func TestDetectsPolicyChange(t *testing.T) {
+	sc := trace.DefaultScenario()
+	m := fittedModel(t, sc)
+	d := New(m, DefaultConfig())
+	truth := trace.GroundTruth(sc)
+	rng := mathx.NewRNG(29)
+	// Warm-up period under the fitted regime.
+	for i := 0; i < 200; i++ {
+		d.Observe(truth.Sample(rng))
+	}
+	if d.Flagged() {
+		t.Fatal("premature flag")
+	}
+	// The provider "changes policy": preemptions become uniform.
+	changed := dist.NewUniform(24)
+	tripped := false
+	for i := 0; i < 500 && !tripped; i++ {
+		tripped = d.Observe(dist.Sample(changed, rng, 24))
+	}
+	if !tripped || !d.Flagged() {
+		t.Fatal("change point not detected")
+	}
+	if d.FlaggedAt() <= 200 {
+		t.Fatalf("flagged at %d, before the change", d.FlaggedAt())
+	}
+}
+
+func TestResetClearsFlag(t *testing.T) {
+	sc := trace.DefaultScenario()
+	m := fittedModel(t, sc)
+	d := New(m, Config{Window: 10, Threshold: 0.3, Patience: 1})
+	rng := mathx.NewRNG(5)
+	u := dist.NewUniform(24)
+	for i := 0; i < 200 && !d.Flagged(); i++ {
+		d.Observe(dist.Sample(u, rng, 24))
+	}
+	if !d.Flagged() {
+		t.Skip("uniform data did not trip this fitted model; seed-dependent")
+	}
+	d.Reset(m)
+	if d.Flagged() || d.FlaggedAt() != 0 {
+		t.Fatal("reset did not clear the flag")
+	}
+}
+
+func TestConfigForAlpha(t *testing.T) {
+	cfg := ConfigForAlpha(100, 0.001, 2)
+	if cfg.Window != 100 || cfg.Patience != 2 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	// alpha=0.001 on n=100 gives a threshold near 0.2; tighter alpha means
+	// higher threshold.
+	loose := ConfigForAlpha(100, 0.05, 2)
+	if !(cfg.Threshold > loose.Threshold) {
+		t.Fatalf("threshold ordering: %v vs %v", cfg.Threshold, loose.Threshold)
+	}
+	// And it must be usable.
+	m := core.New(dist.NewBathtub(0.45, 1, 0.8, 24, 24))
+	d := New(m, cfg)
+	rng := mathx.NewRNG(2)
+	tr := dist.Truncate(m.Bathtub(), 24)
+	for i := 0; i < 400; i++ {
+		if d.Observe(dist.Sample(tr, rng, 24)) {
+			t.Fatal("false alarm on matching data")
+		}
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	m := core.New(dist.NewBathtub(0.45, 1, 0.8, 24, 24))
+	d := New(m, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Observe(-1)
+}
+
+func TestConfigValidation(t *testing.T) {
+	m := core.New(dist.NewBathtub(0.45, 1, 0.8, 24, 24))
+	bad := []Config{
+		{Window: 2, Threshold: 0.2, Patience: 1},
+		{Window: 50, Threshold: 0, Patience: 1},
+		{Window: 50, Threshold: 1.5, Patience: 1},
+		{Window: 50, Threshold: 0.2, Patience: 0},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			New(m, cfg)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("nil model: expected panic")
+			}
+		}()
+		New(nil, DefaultConfig())
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("nil reset: expected panic")
+			}
+		}()
+		New(m, DefaultConfig()).Reset(nil)
+	}()
+}

@@ -1,0 +1,65 @@
+// Package cloud simulates the IaaS substrate the paper's batch computing
+// service runs on: an instance catalog with on-demand and preemptible
+// pricing, VM lifecycle (launch, terminate, preempt), zones with distinct
+// preemption behavior, diurnal effects, preemption notifications, and cost
+// metering. It replaces the Google Cloud API of Section 5 with a
+// deterministic simulator driven by the ground-truth lifetime distributions
+// of package trace.
+package cloud
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// InstanceType describes one machine type and its hourly prices in USD.
+// Prices follow the published us-central1 n1-highcpu rates at the time of
+// the paper's study: preemptible capacity is ~4.7-5x cheaper, the discount
+// that drives Figure 9a.
+type InstanceType struct {
+	Name               trace.VMType
+	CPUs               int
+	OnDemandPerHour    float64
+	PreemptiblePerHour float64
+}
+
+// Discount returns the on-demand / preemptible price ratio.
+func (it InstanceType) Discount() float64 {
+	return it.OnDemandPerHour / it.PreemptiblePerHour
+}
+
+var catalog = map[trace.VMType]InstanceType{
+	trace.HighCPU2:  {Name: trace.HighCPU2, CPUs: 2, OnDemandPerHour: 0.0709, PreemptiblePerHour: 0.015},
+	trace.HighCPU4:  {Name: trace.HighCPU4, CPUs: 4, OnDemandPerHour: 0.1418, PreemptiblePerHour: 0.030},
+	trace.HighCPU8:  {Name: trace.HighCPU8, CPUs: 8, OnDemandPerHour: 0.2836, PreemptiblePerHour: 0.060},
+	trace.HighCPU16: {Name: trace.HighCPU16, CPUs: 16, OnDemandPerHour: 0.5672, PreemptiblePerHour: 0.120},
+	trace.HighCPU32: {Name: trace.HighCPU32, CPUs: 32, OnDemandPerHour: 1.1344, PreemptiblePerHour: 0.240},
+}
+
+// Lookup returns the catalog entry for a VM type.
+func Lookup(vt trace.VMType) (InstanceType, error) {
+	it, ok := catalog[vt]
+	if !ok {
+		return InstanceType{}, fmt.Errorf("cloud: unknown instance type %q", string(vt))
+	}
+	return it, nil
+}
+
+// MustLookup is Lookup for types known to be in the catalog.
+func MustLookup(vt trace.VMType) InstanceType {
+	it, err := Lookup(vt)
+	if err != nil {
+		panic(err)
+	}
+	return it
+}
+
+// Catalog returns all instance types in increasing size order.
+func Catalog() []InstanceType {
+	out := make([]InstanceType, 0, len(catalog))
+	for _, vt := range trace.AllVMTypes() {
+		out = append(out, catalog[vt])
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+package cloud
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mathx"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// VMState is the lifecycle state of a simulated VM.
+type VMState int
+
+// VM lifecycle states.
+const (
+	VMRunning VMState = iota
+	VMPreempted
+	VMTerminated
+)
+
+func (s VMState) String() string {
+	switch s {
+	case VMRunning:
+		return "running"
+	case VMPreempted:
+		return "preempted"
+	case VMTerminated:
+		return "terminated"
+	default:
+		return "unknown"
+	}
+}
+
+// VM is one simulated instance.
+type VM struct {
+	ID          string
+	Type        trace.VMType
+	Zone        trace.Zone
+	Preemptible bool
+	LaunchedAt  float64 // virtual hours
+	EndedAt     float64 // set when preempted/terminated
+	State       VMState
+
+	preemptTimer *sim.Timer
+	deadline     *sim.Timer
+	warnTimer    *sim.Timer
+}
+
+// Age returns the VM's age at virtual time now.
+func (vm *VM) Age(now float64) float64 {
+	end := now
+	if vm.State != VMRunning {
+		end = vm.EndedAt
+	}
+	return end - vm.LaunchedAt
+}
+
+// Provider simulates the cloud: launching a preemptible VM samples its
+// lifetime from the zone/type/time-of-day ground truth and schedules the
+// preemption; on-demand VMs run until terminated. All costs accrue per
+// VM-hour at catalog rates.
+type Provider struct {
+	Engine *sim.Engine
+
+	// WarningLead is how far in advance of a preemption the provider
+	// notifies OnWarning subscribers, in hours. Google gives ~30 seconds
+	// (1.0/120); zero disables warnings. Set before launching VMs.
+	WarningLead float64
+
+	rng       *mathx.RNG
+	workload  trace.Workload
+	replay    *ReplaySource // non-nil: lifetimes come from a recorded dataset
+	nextID    int
+	vms       map[string]*VM
+	onPreempt []func(*VM)
+	onWarning []func(*VM)
+
+	// accounting
+	cost        float64
+	preemptions int
+}
+
+// DefaultWarningLead is the ~30 second advance notice Google Preemptible
+// VMs receive, in hours.
+const DefaultWarningLead = 1.0 / 120
+
+// NewProvider returns a provider over the given engine with a deterministic
+// seed. The workload knob feeds the ground truth (busy VMs are preempted
+// slightly more; Figure 2b).
+func NewProvider(engine *sim.Engine, seed uint64, workload trace.Workload) *Provider {
+	if engine == nil {
+		panic("cloud: nil engine")
+	}
+	return &Provider{
+		Engine:   engine,
+		rng:      mathx.NewRNG(seed),
+		workload: workload,
+		vms:      make(map[string]*VM),
+	}
+}
+
+// OnPreemption registers a callback invoked (after state update) whenever a
+// preemptible VM is reclaimed.
+func (p *Provider) OnPreemption(fn func(*VM)) {
+	if fn == nil {
+		panic("cloud: nil preemption callback")
+	}
+	p.onPreempt = append(p.onPreempt, fn)
+}
+
+// OnWarning registers a callback invoked WarningLead hours before each
+// preemption (the platform's advance notice). Warnings fire only for VMs
+// launched while WarningLead > 0, and never for VMs that are terminated
+// before their preemption time.
+func (p *Provider) OnWarning(fn func(*VM)) {
+	if fn == nil {
+		panic("cloud: nil warning callback")
+	}
+	p.onWarning = append(p.onWarning, fn)
+}
+
+// timeOfDay maps the virtual clock to the paper's day/night split (day is
+// 8AM-8PM; the simulation starts at midnight).
+func timeOfDay(now float64) trace.TimeOfDay {
+	h := math.Mod(now, 24)
+	if h >= 8 && h < 20 {
+		return trace.Day
+	}
+	return trace.Night
+}
+
+// Launch starts a VM. Preemptible VMs get a sampled lifetime (capped at the
+// 24h deadline); on-demand VMs run until Terminate.
+func (p *Provider) Launch(vt trace.VMType, zone trace.Zone, preemptible bool) (*VM, error) {
+	if _, err := Lookup(vt); err != nil {
+		return nil, err
+	}
+	p.nextID++
+	vm := &VM{
+		ID:          fmt.Sprintf("vm-%04d", p.nextID),
+		Type:        vt,
+		Zone:        zone,
+		Preemptible: preemptible,
+		LaunchedAt:  p.Engine.Now(),
+		State:       VMRunning,
+	}
+	p.vms[vm.ID] = vm
+	if preemptible {
+		sc := trace.Scenario{
+			Type:      vt,
+			Zone:      zone,
+			TimeOfDay: timeOfDay(p.Engine.Now()),
+			Workload:  p.workload,
+		}
+		var lifetime float64
+		if p.replay != nil {
+			l, err := p.replay.Lifetime(sc)
+			if err != nil {
+				delete(p.vms, vm.ID)
+				return nil, err
+			}
+			lifetime = l
+		} else {
+			gt := trace.GroundTruthOn(sc, trace.IsWeekend(p.Engine.Now()))
+			lifetime = gt.Sample(p.rng)
+		}
+		if lifetime > trace.Deadline {
+			lifetime = trace.Deadline
+		}
+		vm.preemptTimer = p.Engine.After(lifetime, func() { p.preempt(vm) })
+		// The 24-hour hard deadline is enforced independently of the
+		// sampled lifetime, mirroring the platform behavior.
+		vm.deadline = p.Engine.After(trace.Deadline, func() { p.preempt(vm) })
+		if p.WarningLead > 0 {
+			lead := p.WarningLead
+			if lead > lifetime {
+				lead = lifetime
+			}
+			vm.warnTimer = p.Engine.After(lifetime-lead, func() {
+				if vm.State != VMRunning {
+					return
+				}
+				for _, fn := range p.onWarning {
+					fn(vm)
+				}
+			})
+		}
+	}
+	return vm, nil
+}
+
+func (p *Provider) preempt(vm *VM) {
+	if vm.State != VMRunning {
+		return
+	}
+	vm.State = VMPreempted
+	vm.EndedAt = p.Engine.Now()
+	p.settle(vm)
+	p.preemptions++
+	for _, fn := range p.onPreempt {
+		fn(vm)
+	}
+}
+
+// Terminate shuts down a running VM (customer-initiated). Terminating an
+// already-ended VM is an error surfaced to the caller, since double
+// termination indicates a controller bug.
+func (p *Provider) Terminate(id string) error {
+	vm, ok := p.vms[id]
+	if !ok {
+		return fmt.Errorf("cloud: terminate of unknown VM %q", id)
+	}
+	if vm.State != VMRunning {
+		return fmt.Errorf("cloud: terminate of %s VM %q", vm.State, id)
+	}
+	vm.State = VMTerminated
+	vm.EndedAt = p.Engine.Now()
+	if vm.preemptTimer != nil {
+		vm.preemptTimer.Cancel()
+	}
+	if vm.deadline != nil {
+		vm.deadline.Cancel()
+	}
+	if vm.warnTimer != nil {
+		vm.warnTimer.Cancel()
+	}
+	p.settle(vm)
+	return nil
+}
+
+// settle accrues the VM's final cost.
+func (p *Provider) settle(vm *VM) {
+	it := MustLookup(vm.Type)
+	rate := it.OnDemandPerHour
+	if vm.Preemptible {
+		rate = it.PreemptiblePerHour
+	}
+	p.cost += rate * (vm.EndedAt - vm.LaunchedAt)
+}
+
+// Get returns a VM by ID.
+func (p *Provider) Get(id string) (*VM, bool) {
+	vm, ok := p.vms[id]
+	return vm, ok
+}
+
+// Running returns the currently running VMs sorted by ID.
+func (p *Provider) Running() []*VM {
+	var out []*VM
+	for _, vm := range p.vms {
+		if vm.State == VMRunning {
+			out = append(out, vm)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TotalCost returns the accrued cost of ended VMs plus the running cost of
+// live VMs up to the current time.
+func (p *Provider) TotalCost() float64 {
+	total := p.cost
+	now := p.Engine.Now()
+	for _, vm := range p.vms {
+		if vm.State != VMRunning {
+			continue
+		}
+		it := MustLookup(vm.Type)
+		rate := it.OnDemandPerHour
+		if vm.Preemptible {
+			rate = it.PreemptiblePerHour
+		}
+		total += rate * (now - vm.LaunchedAt)
+	}
+	return total
+}
+
+// Preemptions returns the number of preemptions observed so far.
+func (p *Provider) Preemptions() int { return p.preemptions }

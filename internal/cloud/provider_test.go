@@ -1,0 +1,281 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func newTestProvider() (*sim.Engine, *Provider) {
+	e := sim.NewEngine()
+	return e, NewProvider(e, 42, trace.Busy)
+}
+
+func TestCatalogComplete(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 5 {
+		t.Fatalf("catalog size %d", len(cat))
+	}
+	prevCPU := 0
+	for _, it := range cat {
+		if it.CPUs <= prevCPU {
+			t.Fatalf("catalog not in size order at %s", it.Name)
+		}
+		prevCPU = it.CPUs
+		// The preemptible discount that motivates the paper: 4.5-5x.
+		if d := it.Discount(); d < 4 || d > 6 {
+			t.Fatalf("%s discount %v outside [4, 6]", it.Name, d)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup(trace.VMType("m1-mega")); err == nil {
+		t.Fatal("expected error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup should panic")
+		}
+	}()
+	MustLookup(trace.VMType("m1-mega"))
+}
+
+func TestLaunchPreemptibleGetsPreempted(t *testing.T) {
+	e, p := newTestProvider()
+	vm, err := p.Launch(trace.HighCPU16, trace.USEast1B, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.State != VMRunning {
+		t.Fatalf("state = %v", vm.State)
+	}
+	var preempted *VM
+	p.OnPreemption(func(v *VM) { preempted = v })
+	e.Run()
+	if preempted == nil || preempted.ID != vm.ID {
+		t.Fatal("preemption callback not delivered")
+	}
+	if vm.State != VMPreempted {
+		t.Fatalf("state = %v", vm.State)
+	}
+	if vm.EndedAt <= 0 || vm.EndedAt > trace.Deadline+1e-9 {
+		t.Fatalf("preempted at %v, outside (0, 24]", vm.EndedAt)
+	}
+	if p.Preemptions() != 1 {
+		t.Fatalf("preemptions = %d", p.Preemptions())
+	}
+}
+
+func TestDeadlineNeverExceeded(t *testing.T) {
+	e := sim.NewEngine()
+	p := NewProvider(e, 7, trace.Busy)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if _, err := p.Launch(trace.HighCPU2, trace.USWest1A, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run()
+	if p.Preemptions() != n {
+		t.Fatalf("preemptions = %d, want %d", p.Preemptions(), n)
+	}
+	if e.Now() > trace.Deadline+1e-9 {
+		t.Fatalf("simulation ran past the deadline: %v", e.Now())
+	}
+}
+
+func TestOnDemandNeverPreempted(t *testing.T) {
+	e, p := newTestProvider()
+	vm, err := p.Launch(trace.HighCPU16, trace.USEast1B, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run() // no events scheduled for on-demand VMs
+	if vm.State != VMRunning {
+		t.Fatalf("on-demand VM state = %v", vm.State)
+	}
+}
+
+func TestTerminateStopsPreemption(t *testing.T) {
+	e, p := newTestProvider()
+	vm, _ := p.Launch(trace.HighCPU16, trace.USEast1B, true)
+	if err := p.Terminate(vm.ID); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if vm.State != VMTerminated {
+		t.Fatalf("state = %v", vm.State)
+	}
+	if p.Preemptions() != 0 {
+		t.Fatal("terminated VM must not be preempted")
+	}
+}
+
+func TestTerminateErrors(t *testing.T) {
+	_, p := newTestProvider()
+	if err := p.Terminate("nope"); err == nil {
+		t.Fatal("unknown VM")
+	}
+	vm, _ := p.Launch(trace.HighCPU16, trace.USEast1B, true)
+	if err := p.Terminate(vm.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Terminate(vm.ID); err == nil {
+		t.Fatal("double terminate must error")
+	}
+}
+
+func TestLaunchUnknownType(t *testing.T) {
+	_, p := newTestProvider()
+	if _, err := p.Launch(trace.VMType("bogus"), trace.USEast1B, true); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	e, p := newTestProvider()
+	vm, _ := p.Launch(trace.HighCPU32, trace.USEast1B, false)
+	e.At(10, func() {
+		if err := p.Terminate(vm.ID); err != nil {
+			t.Error(err)
+		}
+	})
+	e.Run()
+	want := 10 * MustLookup(trace.HighCPU32).OnDemandPerHour
+	if math.Abs(p.TotalCost()-want) > 1e-9 {
+		t.Fatalf("cost = %v, want %v", p.TotalCost(), want)
+	}
+}
+
+func TestRunningCostIncludesLiveVMs(t *testing.T) {
+	e, p := newTestProvider()
+	p.Launch(trace.HighCPU2, trace.USEast1B, false)
+	e.At(4, func() {})
+	e.Run()
+	want := 4 * MustLookup(trace.HighCPU2).OnDemandPerHour
+	if math.Abs(p.TotalCost()-want) > 1e-9 {
+		t.Fatalf("cost = %v, want %v", p.TotalCost(), want)
+	}
+}
+
+func TestPreemptibleCheaper(t *testing.T) {
+	e1 := sim.NewEngine()
+	p1 := NewProvider(e1, 1, trace.Busy)
+	vmP, _ := p1.Launch(trace.HighCPU32, trace.USEast1B, true)
+	e1.At(5, func() { _ = p1.Terminate(vmP.ID) })
+	// The VM may be preempted before 5h; either way cost accrues at the
+	// preemptible rate.
+	e1.RunUntil(5)
+	odRate := MustLookup(trace.HighCPU32).OnDemandPerHour
+	if p1.TotalCost() >= odRate*5 {
+		t.Fatalf("preemptible cost %v not below on-demand %v", p1.TotalCost(), odRate*5)
+	}
+}
+
+func TestVMAge(t *testing.T) {
+	e, p := newTestProvider()
+	vm, _ := p.Launch(trace.HighCPU16, trace.USEast1B, false)
+	e.At(3, func() {
+		if got := vm.Age(e.Now()); math.Abs(got-3) > 1e-12 {
+			t.Errorf("age = %v", got)
+		}
+	})
+	e.At(7, func() { _ = p.Terminate(vm.ID) })
+	e.At(9, func() {})
+	e.Run()
+	// After termination the age freezes at the end time.
+	if got := vm.Age(e.Now()); math.Abs(got-7) > 1e-12 {
+		t.Fatalf("post-termination age = %v", got)
+	}
+}
+
+func TestRunningList(t *testing.T) {
+	e, p := newTestProvider()
+	a, _ := p.Launch(trace.HighCPU16, trace.USEast1B, false)
+	b, _ := p.Launch(trace.HighCPU16, trace.USEast1B, false)
+	got := p.Running()
+	if len(got) != 2 || got[0].ID != a.ID || got[1].ID != b.ID {
+		t.Fatalf("running = %v", got)
+	}
+	_ = p.Terminate(a.ID)
+	if got := p.Running(); len(got) != 1 || got[0].ID != b.ID {
+		t.Fatalf("running after terminate = %v", got)
+	}
+	if v, ok := p.Get(a.ID); !ok || v != a {
+		t.Fatal("Get")
+	}
+	_ = e
+}
+
+func TestLifetimesFollowGroundTruthOrdering(t *testing.T) {
+	// Bigger VMs must die sooner on average in the simulator too.
+	mean := func(vt trace.VMType) float64 {
+		e := sim.NewEngine()
+		p := NewProvider(e, 99, trace.Busy)
+		vms := make([]*VM, 400)
+		for i := range vms {
+			vms[i], _ = p.Launch(vt, trace.USCentral1C, true)
+		}
+		e.Run()
+		var sum float64
+		for _, vm := range vms {
+			sum += vm.EndedAt - vm.LaunchedAt
+		}
+		return sum / float64(len(vms))
+	}
+	small := mean(trace.HighCPU2)
+	large := mean(trace.HighCPU32)
+	if !(large < small) {
+		t.Fatalf("mean lifetime: hc32 %v should be below hc2 %v", large, small)
+	}
+}
+
+func TestVMStateString(t *testing.T) {
+	if VMRunning.String() != "running" || VMPreempted.String() != "preempted" ||
+		VMTerminated.String() != "terminated" || VMState(9).String() != "unknown" {
+		t.Fatal("state names")
+	}
+}
+
+func TestWeekendLaunchesLiveLonger(t *testing.T) {
+	// VMs launched on a weekend (sim day 5-6) sample from a gentler ground
+	// truth; compare mean lifetimes across many launches.
+	mean := func(startHour float64) float64 {
+		e := sim.NewEngine()
+		e.RunUntil(startHour)
+		p := NewProvider(e, 1234, trace.Busy)
+		vms := make([]*VM, 600)
+		for i := range vms {
+			vms[i], _ = p.Launch(trace.HighCPU16, trace.USEast1B, true)
+		}
+		e.Run()
+		var sum float64
+		for _, vm := range vms {
+			sum += vm.EndedAt - vm.LaunchedAt
+		}
+		return sum / float64(len(vms))
+	}
+	weekday := mean(24*2 + 12) // Wednesday noon
+	weekend := mean(24*5 + 12) // Saturday noon
+	if !(weekend > weekday) {
+		t.Fatalf("weekend mean %v not above weekday %v", weekend, weekday)
+	}
+}
+
+func TestTimeOfDayMapping(t *testing.T) {
+	cases := []struct {
+		now  float64
+		want trace.TimeOfDay
+	}{
+		{0, trace.Night}, {7.9, trace.Night}, {8, trace.Day},
+		{19.9, trace.Day}, {20, trace.Night}, {24 + 9, trace.Day},
+	}
+	for _, c := range cases {
+		if got := timeOfDay(c.now); got != c.want {
+			t.Fatalf("timeOfDay(%v) = %v, want %v", c.now, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package cloud
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Replay support: instead of sampling lifetimes from the parametric ground
+// truth, a provider can replay a recorded preemption dataset (e.g. the
+// paper's published measurements loaded via trace.ReadCSV). Each launch
+// consumes the next recorded lifetime for its (type, zone, time-of-day)
+// scenario, cycling when the pool is exhausted — deterministic and
+// faithful to the measured marginal distribution.
+
+// ReplaySource hands out lifetimes per scenario from a dataset.
+type ReplaySource struct {
+	pools map[trace.Scenario][]float64
+	next  map[trace.Scenario]int
+}
+
+// NewReplaySource indexes a dataset by scenario. It errors when the
+// dataset is empty.
+func NewReplaySource(ds *trace.Dataset) (*ReplaySource, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("cloud: empty replay dataset")
+	}
+	rs := &ReplaySource{
+		pools: make(map[trace.Scenario][]float64),
+		next:  make(map[trace.Scenario]int),
+	}
+	for _, r := range ds.Records {
+		rs.pools[r.Scenario] = append(rs.pools[r.Scenario], r.Lifetime)
+	}
+	return rs, nil
+}
+
+// Lifetime returns the next recorded lifetime for the scenario. When the
+// exact scenario has no records it falls back to any record of the same VM
+// type and zone (ignoring time-of-day and workload); a scenario with no
+// records at all errors.
+func (rs *ReplaySource) Lifetime(sc trace.Scenario) (float64, error) {
+	pool, ok := rs.pools[sc]
+	if !ok {
+		for cand, p := range rs.pools {
+			if cand.Type == sc.Type && cand.Zone == sc.Zone {
+				pool, sc, ok = p, cand, true
+				break
+			}
+		}
+	}
+	if !ok || len(pool) == 0 {
+		return 0, fmt.Errorf("cloud: no replay records for %s", sc)
+	}
+	i := rs.next[sc] % len(pool)
+	rs.next[sc] = i + 1
+	return pool[i], nil
+}
+
+// NewReplayProvider returns a provider whose preemptible launches consume
+// lifetimes from the replay source instead of the parametric ground truth.
+// All other behavior (deadline enforcement, warnings, billing) is
+// unchanged.
+func NewReplayProvider(engine *sim.Engine, src *ReplaySource, workload trace.Workload) *Provider {
+	if src == nil {
+		panic("cloud: nil replay source")
+	}
+	p := NewProvider(engine, 0, workload)
+	p.replay = src
+	return p
+}

@@ -1,0 +1,136 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestReplaySourceCycles(t *testing.T) {
+	sc := trace.DefaultScenario()
+	ds := &trace.Dataset{Records: []trace.Record{
+		{Scenario: sc, Lifetime: 1},
+		{Scenario: sc, Lifetime: 2},
+	}}
+	rs, err := NewReplaySource(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 1, 2, 1}
+	for i, w := range want {
+		got, err := rs.Lifetime(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Fatalf("draw %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestReplaySourceFallback(t *testing.T) {
+	day := trace.Scenario{Type: trace.HighCPU16, Zone: trace.USEast1B, TimeOfDay: trace.Day, Workload: trace.Busy}
+	ds := &trace.Dataset{Records: []trace.Record{{Scenario: day, Lifetime: 7}}}
+	rs, err := NewReplaySource(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Night scenario falls back to same type+zone records.
+	night := day
+	night.TimeOfDay = trace.Night
+	got, err := rs.Lifetime(night)
+	if err != nil || got != 7 {
+		t.Fatalf("fallback = %v, %v", got, err)
+	}
+	// A different type has no records.
+	other := day
+	other.Type = trace.HighCPU2
+	if _, err := rs.Lifetime(other); err == nil {
+		t.Fatal("missing scenario accepted")
+	}
+}
+
+func TestReplaySourceEmpty(t *testing.T) {
+	if _, err := NewReplaySource(&trace.Dataset{}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	if _, err := NewReplaySource(nil); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+}
+
+func TestReplayProviderUsesRecordedLifetimes(t *testing.T) {
+	sc := trace.DefaultScenario()
+	lifetimes := []float64{0.5, 1.25, 3}
+	var recs []trace.Record
+	for _, l := range lifetimes {
+		recs = append(recs, trace.Record{Scenario: sc, Lifetime: l})
+	}
+	rs, err := NewReplaySource(&trace.Dataset{Records: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine()
+	e.RunUntil(9) // daytime, matching the recorded scenario
+	p := NewReplayProvider(e, rs, trace.Busy)
+	var vms []*VM
+	for range lifetimes {
+		vm, err := p.Launch(sc.Type, sc.Zone, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vms = append(vms, vm)
+	}
+	e.Run()
+	for i, vm := range vms {
+		got := vm.EndedAt - vm.LaunchedAt
+		if math.Abs(got-lifetimes[i]) > 1e-12 {
+			t.Fatalf("vm %d lived %v, want %v", i, got, lifetimes[i])
+		}
+	}
+}
+
+func TestReplayProviderDeterministic(t *testing.T) {
+	// Replay has no RNG at all: two identical runs match exactly.
+	run := func() []float64 {
+		ds := trace.GenerateDataset(2, 9)
+		rs, err := NewReplaySource(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := sim.NewEngine()
+		e.RunUntil(10)
+		p := NewReplayProvider(e, rs, trace.Busy)
+		var vms []*VM
+		for i := 0; i < 5; i++ {
+			vm, err := p.Launch(trace.HighCPU16, trace.USEast1B, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vms = append(vms, vm)
+		}
+		e.Run()
+		out := make([]float64, len(vms))
+		for i, vm := range vms {
+			out[i] = vm.EndedAt - vm.LaunchedAt
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("replay not deterministic")
+		}
+	}
+}
+
+func TestNewReplayProviderNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewReplayProvider(sim.NewEngine(), nil, trace.Busy)
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPlaceFilterSkipsRefusedNodes(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e)
+	m.AddNode("n1")
+	m.AddNode("n2")
+	// Refuse n1 for every job.
+	m.PlaceFilter = func(j *Job, n NodeID) bool { return n != "n1" }
+	var ran NodeID
+	m.Submit(&Job{ID: "j", Remaining: 1, OnComplete: func(n NodeID) { ran = n }})
+	e.Run()
+	if ran != "n2" {
+		t.Fatalf("job placed on %v, want n2", ran)
+	}
+}
+
+func TestOnBlockedFiresWhenAllRefused(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e)
+	m.AddNode("n1")
+	m.PlaceFilter = func(*Job, NodeID) bool { return false }
+	var blocked []string
+	m.OnBlocked = func(j *Job) { blocked = append(blocked, j.ID) }
+	m.Submit(&Job{ID: "a", Remaining: 1})
+	if len(blocked) != 1 || blocked[0] != "a" {
+		t.Fatalf("blocked = %v", blocked)
+	}
+	// The job stays queued.
+	if m.QueueLen() != 1 {
+		t.Fatalf("queue = %d", m.QueueLen())
+	}
+	// Adding an acceptable node unblocks it.
+	m.PlaceFilter = func(j *Job, n NodeID) bool { return n == "n2" }
+	m.AddNode("n2")
+	if m.QueueLen() != 0 {
+		t.Fatal("job not dispatched after acceptable node joined")
+	}
+}
+
+func TestOnBlockedNotFiredWithoutIdleNodes(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e)
+	m.AddNode("n1")
+	m.PlaceFilter = func(*Job, NodeID) bool { return true }
+	fired := 0
+	m.OnBlocked = func(*Job) { fired++ }
+	m.Submit(&Job{ID: "a", Remaining: 5}) // occupies n1
+	m.Submit(&Job{ID: "b", Remaining: 1}) // queued: no idle node, not "blocked"
+	if fired != 0 {
+		t.Fatalf("OnBlocked fired %d times with no idle nodes", fired)
+	}
+	e.Run()
+}
+
+func TestOnPlaceAndRunningJob(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e)
+	m.AddNode("n1")
+	var placed []string
+	m.OnPlace = func(j *Job, n NodeID) { placed = append(placed, j.ID+"@"+string(n)) }
+	type ctx struct{ tag string }
+	j := &Job{ID: "a", Remaining: 2, Ctx: &ctx{tag: "hello"}}
+	m.Submit(j)
+	if len(placed) != 1 || placed[0] != "a@n1" {
+		t.Fatalf("placed = %v", placed)
+	}
+	running, startedAt := m.RunningJob("n1")
+	if running != j || startedAt != 0 {
+		t.Fatalf("running = %v at %v", running, startedAt)
+	}
+	if running.Ctx.(*ctx).tag != "hello" {
+		t.Fatal("job context lost")
+	}
+	e.Run()
+	if r, _ := m.RunningJob("n1"); r != nil {
+		t.Fatal("running job after completion")
+	}
+	if r, _ := m.RunningJob("ghost"); r != nil {
+		t.Fatal("running job on unknown node")
+	}
+}
+
+func TestHeadOfLineBlocking(t *testing.T) {
+	// The head job blocks the queue even if a later job would be accepted
+	// (bag jobs are interchangeable, so this is by design).
+	e := sim.NewEngine()
+	m := New(e)
+	m.AddNode("n1")
+	m.PlaceFilter = func(j *Job, n NodeID) bool { return j.ID != "head" }
+	m.Submit(&Job{ID: "head", Remaining: 1})
+	m.Submit(&Job{ID: "tail", Remaining: 1})
+	if m.QueueLen() != 2 {
+		t.Fatalf("queue = %d, head-of-line blocking expected", m.QueueLen())
+	}
+}

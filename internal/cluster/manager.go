@@ -1,0 +1,270 @@
+// Package cluster is the Slurm-like cluster manager substrate of the batch
+// computing service (Section 5): it tracks compute nodes (cloud VMs), holds
+// a queue of pending jobs, places jobs on idle nodes FIFO, and delivers
+// completion / failure callbacks, the role the paper fills with Slurm
+// "cloud" nodes and call-backs.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// NodeID identifies a compute node (the backing VM's ID).
+type NodeID string
+
+// NodeState is the state of a node.
+type NodeState int
+
+// Node states.
+const (
+	NodeIdle NodeState = iota
+	NodeBusy
+	NodeDown
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case NodeIdle:
+		return "idle"
+	case NodeBusy:
+		return "busy"
+	case NodeDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// Job is a unit of work: Remaining hours of computation on a whole node.
+// Callbacks fire inside the simulation; they may submit more work.
+type Job struct {
+	ID        string
+	Remaining float64 // hours of work left
+	// Ctx is an opaque owner context carried with the job (the batch
+	// service stores its per-job state here so manager-level callbacks can
+	// reach it).
+	Ctx any
+	// OnComplete fires when the job finishes; node is the node it ran on.
+	OnComplete func(node NodeID)
+	// OnFail fires when the node dies mid-run with the hours of progress
+	// the job had made on this attempt. The job is NOT automatically
+	// requeued; the batch service decides (it may resume from a
+	// checkpoint, pick a different VM, etc).
+	OnFail func(node NodeID, progress float64)
+
+	startedAt float64
+	node      NodeID
+	timer     *sim.Timer
+}
+
+// node is the manager's view of one compute node.
+type node struct {
+	id    NodeID
+	state NodeState
+	job   *Job
+}
+
+// Manager is the cluster manager. Like the engine it is single-threaded.
+type Manager struct {
+	engine *sim.Engine
+	nodes  map[NodeID]*node
+	queue  []*Job
+
+	// OnIdle, if set, fires whenever a node becomes idle and the queue is
+	// empty (the batch service uses it to retire hot spares).
+	OnIdle func(NodeID)
+
+	// PlaceFilter, if set, is consulted before placing a job on an idle
+	// node; returning false skips that node for this job. The batch
+	// service implements the VM reuse policy here (Section 4.2).
+	PlaceFilter func(*Job, NodeID) bool
+
+	// OnBlocked, if set, fires when the head-of-queue job could not be
+	// placed on any idle node because PlaceFilter refused them all (it
+	// does not fire when there are simply no idle nodes). The batch
+	// service reacts by launching a fresh VM.
+	OnBlocked func(*Job)
+
+	// OnPlace, if set, fires when a job starts running on a node.
+	OnPlace func(*Job, NodeID)
+
+	completed int
+	failed    int
+}
+
+// New returns a manager over the engine.
+func New(engine *sim.Engine) *Manager {
+	if engine == nil {
+		panic("cluster: nil engine")
+	}
+	return &Manager{engine: engine, nodes: make(map[NodeID]*node)}
+}
+
+// AddNode registers an idle node and immediately tries to place queued
+// work on it.
+func (m *Manager) AddNode(id NodeID) error {
+	if _, ok := m.nodes[id]; ok {
+		return fmt.Errorf("cluster: node %q already registered", id)
+	}
+	m.nodes[id] = &node{id: id, state: NodeIdle}
+	m.dispatch()
+	return nil
+}
+
+// RemoveNode deregisters a node (VM preempted or terminated). A job running
+// on it fails with its current progress.
+func (m *Manager) RemoveNode(id NodeID) error {
+	n, ok := m.nodes[id]
+	if !ok {
+		return fmt.Errorf("cluster: removing unknown node %q", id)
+	}
+	delete(m.nodes, id)
+	if n.state == NodeBusy && n.job != nil {
+		j := n.job
+		if j.timer != nil {
+			j.timer.Cancel()
+		}
+		progress := m.engine.Now() - j.startedAt
+		if progress > j.Remaining {
+			progress = j.Remaining
+		}
+		m.failed++
+		if j.OnFail != nil {
+			j.OnFail(id, progress)
+		}
+	}
+	return nil
+}
+
+// Submit enqueues a job and tries to place it. Jobs with non-positive
+// remaining work complete immediately.
+func (m *Manager) Submit(j *Job) {
+	if j == nil {
+		panic("cluster: nil job")
+	}
+	if j.Remaining <= 0 {
+		m.completed++
+		if j.OnComplete != nil {
+			j.OnComplete("")
+		}
+		return
+	}
+	m.queue = append(m.queue, j)
+	m.dispatch()
+}
+
+// dispatch places queued jobs on idle nodes FIFO. The head job blocks the
+// queue (jobs within a bag are interchangeable, so head-of-line blocking is
+// harmless here).
+func (m *Manager) dispatch() {
+	for len(m.queue) > 0 {
+		j := m.queue[0]
+		n, sawIdle := m.idleNodeFor(j)
+		if n == nil {
+			if sawIdle && m.OnBlocked != nil {
+				m.OnBlocked(j)
+			}
+			return
+		}
+		m.queue = m.queue[1:]
+		m.place(j, n)
+	}
+}
+
+// idleNodeFor returns the first acceptable idle node for j in ID order, and
+// whether any idle node existed at all.
+func (m *Manager) idleNodeFor(j *Job) (*node, bool) {
+	ids := m.NodeIDs()
+	sawIdle := false
+	for _, id := range ids {
+		n := m.nodes[id]
+		if n.state != NodeIdle {
+			continue
+		}
+		sawIdle = true
+		if m.PlaceFilter != nil && !m.PlaceFilter(j, n.id) {
+			continue
+		}
+		return n, true
+	}
+	return nil, sawIdle
+}
+
+func (m *Manager) place(j *Job, n *node) {
+	n.state = NodeBusy
+	n.job = j
+	j.node = n.id
+	j.startedAt = m.engine.Now()
+	j.timer = m.engine.After(j.Remaining, func() { m.complete(j, n) })
+	if m.OnPlace != nil {
+		m.OnPlace(j, n.id)
+	}
+}
+
+// RunningJob returns the job currently executing on node (nil when idle or
+// unknown) and the virtual time it started.
+func (m *Manager) RunningJob(id NodeID) (*Job, float64) {
+	n, ok := m.nodes[id]
+	if !ok || n.job == nil {
+		return nil, 0
+	}
+	return n.job, n.job.startedAt
+}
+
+func (m *Manager) complete(j *Job, n *node) {
+	j.Remaining = 0
+	n.state = NodeIdle
+	n.job = nil
+	m.completed++
+	if j.OnComplete != nil {
+		j.OnComplete(n.id)
+	}
+	m.dispatch()
+	if n.state == NodeIdle && len(m.queue) == 0 && m.OnIdle != nil {
+		// Re-check registration: the completion callback may have removed
+		// the node.
+		if _, ok := m.nodes[n.id]; ok {
+			m.OnIdle(n.id)
+		}
+	}
+}
+
+// QueueLen returns the number of queued (unplaced) jobs.
+func (m *Manager) QueueLen() int { return len(m.queue) }
+
+// Nodes returns the node IDs sorted, with their states.
+func (m *Manager) Nodes() map[NodeID]NodeState {
+	out := make(map[NodeID]NodeState, len(m.nodes))
+	for id, n := range m.nodes {
+		out[id] = n.state
+	}
+	return out
+}
+
+// NodeIDs returns sorted node IDs.
+func (m *Manager) NodeIDs() []NodeID {
+	ids := make([]NodeID, 0, len(m.nodes))
+	for id := range m.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// State returns a node's state; ok is false for unknown nodes.
+func (m *Manager) State(id NodeID) (NodeState, bool) {
+	n, ok := m.nodes[id]
+	if !ok {
+		return 0, false
+	}
+	return n.state, true
+}
+
+// Completed and Failed return lifetime counters.
+func (m *Manager) Completed() int { return m.completed }
+
+// Failed returns the number of job failures delivered.
+func (m *Manager) Failed() int { return m.failed }

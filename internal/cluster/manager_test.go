@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSubmitRunsOnIdleNode(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e)
+	if err := m.AddNode("n1"); err != nil {
+		t.Fatal(err)
+	}
+	var doneAt float64 = -1
+	var doneOn NodeID
+	m.Submit(&Job{ID: "j1", Remaining: 2, OnComplete: func(n NodeID) {
+		doneAt = e.Now()
+		doneOn = n
+	}})
+	e.Run()
+	if doneAt != 2 || doneOn != "n1" {
+		t.Fatalf("completed at %v on %v", doneAt, doneOn)
+	}
+	if m.Completed() != 1 || m.Failed() != 0 {
+		t.Fatalf("counters: %d/%d", m.Completed(), m.Failed())
+	}
+}
+
+func TestFIFOQueueing(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e)
+	m.AddNode("n1")
+	var order []string
+	mk := func(id string) *Job {
+		return &Job{ID: id, Remaining: 1, OnComplete: func(NodeID) { order = append(order, id) }}
+	}
+	m.Submit(mk("a"))
+	m.Submit(mk("b"))
+	m.Submit(mk("c"))
+	if m.QueueLen() != 2 {
+		t.Fatalf("queue = %d", m.QueueLen())
+	}
+	e.Run()
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestParallelNodes(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e)
+	m.AddNode("n1")
+	m.AddNode("n2")
+	var done int
+	for i := 0; i < 2; i++ {
+		m.Submit(&Job{ID: "j", Remaining: 3, OnComplete: func(NodeID) { done++ }})
+	}
+	e.Run()
+	if e.Now() != 3 {
+		t.Fatalf("two nodes should finish both jobs at t=3, clock=%v", e.Now())
+	}
+	if done != 2 {
+		t.Fatalf("done = %d", done)
+	}
+}
+
+func TestRemoveNodeFailsRunningJob(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e)
+	m.AddNode("n1")
+	var failedProgress float64 = -1
+	var failedNode NodeID
+	m.Submit(&Job{ID: "j", Remaining: 5, OnFail: func(n NodeID, p float64) {
+		failedNode = n
+		failedProgress = p
+	}})
+	e.At(2, func() {
+		if err := m.RemoveNode("n1"); err != nil {
+			t.Error(err)
+		}
+	})
+	e.Run()
+	if failedNode != "n1" || math.Abs(failedProgress-2) > 1e-12 {
+		t.Fatalf("failure: node %v progress %v", failedNode, failedProgress)
+	}
+	if m.Failed() != 1 || m.Completed() != 0 {
+		t.Fatalf("counters: %d/%d", m.Completed(), m.Failed())
+	}
+	// The completion timer must not fire later.
+	if e.Pending() != 0 {
+		t.Fatalf("pending events: %d", e.Pending())
+	}
+}
+
+func TestFailedJobCanBeResubmitted(t *testing.T) {
+	// The batch-service pattern: on failure, resubmit the remaining work.
+	e := sim.NewEngine()
+	m := New(e)
+	m.AddNode("n1")
+	var doneAt float64 = -1
+	var j *Job
+	j = &Job{
+		ID:         "j",
+		Remaining:  5,
+		OnComplete: func(NodeID) { doneAt = e.Now() },
+		OnFail: func(_ NodeID, progress float64) {
+			// No checkpointing: all progress lost, rerun whole job.
+			m.AddNode("n2")
+			m.Submit(j)
+		},
+	}
+	m.Submit(j)
+	e.At(2, func() { _ = m.RemoveNode("n1") })
+	e.Run()
+	// Failed at t=2 with full 5h remaining; completes at 2+5=7.
+	if doneAt != 7 {
+		t.Fatalf("completed at %v, want 7", doneAt)
+	}
+}
+
+func TestZeroLengthJobCompletesImmediately(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e)
+	fired := false
+	m.Submit(&Job{ID: "j", Remaining: 0, OnComplete: func(n NodeID) {
+		fired = true
+		if n != "" {
+			t.Errorf("zero job should not occupy a node, got %v", n)
+		}
+	}})
+	if !fired {
+		t.Fatal("zero-length job must complete synchronously")
+	}
+	_ = e
+}
+
+func TestAddNodeErrors(t *testing.T) {
+	m := New(sim.NewEngine())
+	if err := m.AddNode("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddNode("n1"); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if err := m.RemoveNode("ghost"); err == nil {
+		t.Fatal("removing unknown node accepted")
+	}
+}
+
+func TestDeterministicNodeSelection(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e)
+	m.AddNode("n2")
+	m.AddNode("n1")
+	var ran NodeID
+	m.Submit(&Job{ID: "j", Remaining: 1, OnComplete: func(n NodeID) { ran = n }})
+	e.Run()
+	if ran != "n1" {
+		t.Fatalf("job placed on %v, want lexicographically first idle node n1", ran)
+	}
+}
+
+func TestOnIdleHotSpareHook(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e)
+	m.AddNode("n1")
+	var idleEvents []NodeID
+	m.OnIdle = func(n NodeID) { idleEvents = append(idleEvents, n) }
+	m.Submit(&Job{ID: "a", Remaining: 1})
+	m.Submit(&Job{ID: "b", Remaining: 1})
+	e.Run()
+	// The hook fires only when the queue is drained: once, after job b.
+	if len(idleEvents) != 1 || idleEvents[0] != "n1" {
+		t.Fatalf("idle events = %v", idleEvents)
+	}
+}
+
+func TestNodeStateTransitions(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e)
+	m.AddNode("n1")
+	if st, ok := m.State("n1"); !ok || st != NodeIdle {
+		t.Fatalf("state = %v, %v", st, ok)
+	}
+	m.Submit(&Job{ID: "j", Remaining: 4})
+	if st, _ := m.State("n1"); st != NodeBusy {
+		t.Fatalf("state while running = %v", st)
+	}
+	e.Run()
+	if st, _ := m.State("n1"); st != NodeIdle {
+		t.Fatalf("state after completion = %v", st)
+	}
+	if _, ok := m.State("ghost"); ok {
+		t.Fatal("unknown node has state")
+	}
+}
+
+func TestNodesSnapshotAndIDs(t *testing.T) {
+	m := New(sim.NewEngine())
+	m.AddNode("b")
+	m.AddNode("a")
+	ids := m.NodeIDs()
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Fatalf("ids = %v", ids)
+	}
+	snap := m.Nodes()
+	if len(snap) != 2 || snap["a"] != NodeIdle {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestSubmitNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(sim.NewEngine()).Submit(nil)
+}
+
+func TestNodeStateString(t *testing.T) {
+	if NodeIdle.String() != "idle" || NodeBusy.String() != "busy" ||
+		NodeDown.String() != "down" || NodeState(7).String() != "unknown" {
+		t.Fatal("state names")
+	}
+}

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+	"repro/internal/sim"
+)
+
+// TestClusterInvariantProperty drives the manager through random operation
+// sequences (add/remove nodes, submit jobs, advance time) and checks the
+// accounting invariant: every submitted job is exactly one of completed,
+// failed-and-not-resubmitted, queued, or running.
+func TestClusterInvariantProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		e := sim.NewEngine()
+		m := New(e)
+		submitted, completed, failed := 0, 0, 0
+		nodes := 0
+		nodeID := func(i int) NodeID { return NodeID(fmt.Sprintf("n%03d", i)) }
+
+		for op := 0; op < 60; op++ {
+			switch rng.Intn(4) {
+			case 0: // add a node
+				if err := m.AddNode(nodeID(nodes)); err != nil {
+					return false
+				}
+				nodes++
+			case 1: // remove a random node (if any)
+				if nodes > 0 {
+					id := nodeID(rng.Intn(nodes))
+					// Removing twice errors; tolerate by checking state.
+					if _, ok := m.State(id); ok {
+						if err := m.RemoveNode(id); err != nil {
+							return false
+						}
+					}
+				}
+			case 2: // submit a job
+				submitted++
+				m.Submit(&Job{
+					ID:         fmt.Sprintf("j%04d", submitted),
+					Remaining:  0.1 + rng.Float64()*2,
+					OnComplete: func(NodeID) { completed++ },
+					OnFail:     func(NodeID, float64) { failed++ },
+				})
+			case 3: // advance time
+				e.RunUntil(e.Now() + rng.Float64())
+			}
+			// Invariant: submitted = completed + failed + queued + running.
+			running := 0
+			for _, st := range m.Nodes() {
+				if st == NodeBusy {
+					running++
+				}
+			}
+			if completed+failed+m.QueueLen()+running != submitted {
+				return false
+			}
+			if m.Completed() != completed || m.Failed() != failed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

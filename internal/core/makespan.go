@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/mathx"
+)
+
+// ExpectedWastedWork returns Equation 5: the expected work lost if a job of
+// length T suffers exactly one preemption,
+//
+//	E[W1(T)] = (1 / F(T)) * int_0^T t f(t) dt,
+//
+// using the paper's raw CDF and closed-form moment. It returns 0 for T <= 0
+// and treats a vanishing F(T) (no failure mass yet) as no expected waste.
+func (m *Model) ExpectedWastedWork(T float64) float64 {
+	if T <= 0 {
+		return 0
+	}
+	f := m.bt.Raw(T)
+	if f <= 0 {
+		return 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return m.bt.PartialMoment(T) / f
+}
+
+// ExpectedMakespan returns Equation 7: the expected total running time of a
+// job of length T launched on a fresh VM, assuming at most one preemption,
+//
+//	E[T] = T + int_0^T t f(t) dt.
+func (m *Model) ExpectedMakespan(T float64) float64 {
+	if T <= 0 {
+		return 0
+	}
+	return T + m.bt.PartialMoment(T)
+}
+
+// ExpectedIncrease returns the expected increase in running time
+// E[T] - T = int_0^T t f(t) dt, the quantity of Figure 4b.
+func (m *Model) ExpectedIncrease(T float64) float64 {
+	if T <= 0 {
+		return 0
+	}
+	return m.bt.PartialMoment(T)
+}
+
+// ExpectedMakespanAt returns Equation 8: the expected running time of a job
+// of length T started on a VM of age s,
+//
+//	E[Ts] = T + int_s^{s+T} t f(t) dt,
+//
+// exactly as written in the paper (wasted work is charged as absolute VM
+// age; see DESIGN.md note 2). The job scheduling policy compares
+// ExpectedMakespanAt(s, T) against ExpectedMakespanAt(0, T).
+func (m *Model) ExpectedMakespanAt(s, T float64) float64 {
+	if T <= 0 {
+		return 0
+	}
+	if s < 0 {
+		s = 0
+	}
+	return T + m.bt.MomentBetween(s, s+T)
+}
+
+// ExpectedMakespanElapsed is the corrected variant of Equation 8 that
+// charges only the elapsed job time (t - s) as waste:
+//
+//	T + int_s^{s+T} (t - s) f(t) dt
+//	  = T + int_s^{s+T} t f(t) dt - s (F(s+T) - F(s)).
+func (m *Model) ExpectedMakespanElapsed(s, T float64) float64 {
+	if T <= 0 {
+		return 0
+	}
+	if s < 0 {
+		s = 0
+	}
+	e := s + T
+	mom := m.bt.MomentBetween(s, e)
+	dF := m.bt.CDF(e) - m.bt.CDF(s)
+	return T + mom - s*dF
+}
+
+// ExpectedMakespanMultiFailure extends Equation 7 to arbitrarily many
+// failures (the "higher order terms" the paper says follow from the base
+// case): the job restarts on a fresh VM after every preemption, so the
+// number of failed attempts is geometric with success probability
+// 1 - q, q = P(preempted within T) under the normalized model, and each
+// failed attempt wastes E[lifetime | lifetime < T] hours:
+//
+//	E[M] = T + q/(1-q) * E[waste | failure]
+//
+// It returns +Inf when the job cannot fit before the deadline (q = 1).
+func (m *Model) ExpectedMakespanMultiFailure(T float64) float64 {
+	if T <= 0 {
+		return 0
+	}
+	q := m.CDF(T)
+	if q >= 1 {
+		return math.Inf(1)
+	}
+	if q == 0 {
+		return T
+	}
+	waste := m.bt.PartialMoment(T) / m.norm / q // E[lifetime | lifetime < T]
+	return T + q/(1-q)*waste
+}
+
+// ExpectedMakespanMultiFailureAt is the start-age variant: the first
+// attempt runs on a VM of age s (conditional on it being alive), and every
+// retry runs on a fresh VM.
+func (m *Model) ExpectedMakespanMultiFailureAt(s, T float64) float64 {
+	if T <= 0 {
+		return 0
+	}
+	if s <= 0 {
+		return m.ExpectedMakespanMultiFailure(T)
+	}
+	qs := m.ConditionalFailure(s, T)
+	if qs == 0 {
+		return T
+	}
+	restart := m.ExpectedMakespanMultiFailure(T)
+	if math.IsInf(restart, 1) && qs > 0 {
+		return math.Inf(1)
+	}
+	// Expected elapsed time of the failed first attempt:
+	// E[lifetime - s | s < lifetime < s+T].
+	var waste float64
+	if s+T >= m.bt.L {
+		// Failure may also come from the deadline itself; bound the waste
+		// by the remaining window.
+		winEnd := m.bt.L
+		mass := m.CDF(winEnd) - m.CDF(s)
+		if mass > 0 {
+			waste = (m.bt.MomentBetween(s, winEnd)/m.norm)/mass - s
+		}
+		surv := 1 - m.CDF(s)
+		if surv > 0 {
+			// VMs surviving to the deadline waste the full window to L.
+			pDeadline := (1 - m.CDF(winEnd)) / surv
+			waste = waste*(1-pDeadline) + (winEnd-s)*pDeadline
+		}
+	} else {
+		mass := m.CDF(s+T) - m.CDF(s)
+		if mass > 0 {
+			waste = (m.bt.MomentBetween(s, s+T)/m.norm)/mass - s
+		}
+	}
+	if waste < 0 {
+		waste = 0
+	}
+	return (1-qs)*T + qs*(waste+restart)
+}
+
+// The generic counterparts below evaluate the same quantities for an
+// arbitrary failure distribution by quadrature. Section 6.1 uses them to
+// compare bathtub preemptions against uniformly distributed ones.
+
+// WastedWorkDist is Equation 5 for an arbitrary distribution.
+func WastedWorkDist(d dist.Distribution, T float64) float64 {
+	if T <= 0 {
+		return 0
+	}
+	f := d.CDF(T)
+	if f <= 0 {
+		return 0
+	}
+	mom := mathx.Integrate(func(x float64) float64 { return x * d.PDF(x) }, 0, T, 1e-10)
+	return mom / f
+}
+
+// MakespanDist is Equation 7 for an arbitrary distribution.
+func MakespanDist(d dist.Distribution, T float64) float64 {
+	if T <= 0 {
+		return 0
+	}
+	return T + IncreaseDist(d, T)
+}
+
+// IncreaseDist is the Figure 4b expected-increase integral for an arbitrary
+// distribution.
+func IncreaseDist(d dist.Distribution, T float64) float64 {
+	if T <= 0 {
+		return 0
+	}
+	return mathx.Integrate(func(x float64) float64 { return x * d.PDF(x) }, 0, T, 1e-10)
+}

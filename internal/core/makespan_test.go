@@ -1,0 +1,288 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/mathx"
+)
+
+func TestExpectedWastedWorkEdges(t *testing.T) {
+	m := paperModel()
+	if m.ExpectedWastedWork(0) != 0 || m.ExpectedWastedWork(-1) != 0 {
+		t.Fatal("non-positive job length has no waste")
+	}
+	// Waste given a failure is bounded by the job length.
+	for _, T := range []float64{0.5, 2, 6, 12, 24} {
+		w := m.ExpectedWastedWork(T)
+		if w < 0 || w > T {
+			t.Fatalf("E[W1(%v)] = %v outside [0, T]", T, w)
+		}
+	}
+}
+
+func TestUniformWasteIsHalfJobLength(t *testing.T) {
+	// Section 6.1: for uniform preemptions the wasted work is J/2.
+	u := dist.NewUniform(24)
+	for _, T := range []float64{2, 6, 12, 20} {
+		got := WastedWorkDist(u, T)
+		if math.Abs(got-T/2) > 1e-6 {
+			t.Fatalf("uniform waste at %v = %v, want %v", T, got, T/2)
+		}
+	}
+}
+
+func TestUniformIncreaseIsQuadratic(t *testing.T) {
+	// Section 6.1: uniform expected increase = J^2/48 for L = 24.
+	u := dist.NewUniform(24)
+	for _, T := range []float64{2, 6, 10, 20} {
+		got := IncreaseDist(u, T)
+		want := T * T / 48
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("uniform increase at %v = %v, want %v", T, got, want)
+		}
+	}
+}
+
+func TestMakespanEq7Consistency(t *testing.T) {
+	m := paperModel()
+	for _, T := range []float64{1, 4, 10, 20} {
+		// Eq 7 = T + F(T) * E[W1(T)] (by Eq 5).
+		lhs := m.ExpectedMakespan(T)
+		f := math.Min(m.Bathtub().Raw(T), 1)
+		rhs := T + f*m.ExpectedWastedWork(T)
+		if math.Abs(lhs-rhs) > 1e-9 {
+			t.Fatalf("Eq7 vs Eq5 at %v: %v vs %v", T, lhs, rhs)
+		}
+	}
+}
+
+func TestMakespanAtReducesToMakespan(t *testing.T) {
+	m := paperModel()
+	for _, T := range []float64{1, 5, 12} {
+		a := m.ExpectedMakespanAt(0, T)
+		b := m.ExpectedMakespan(T)
+		if math.Abs(a-b) > 1e-12 {
+			t.Fatalf("Eq8 at s=0 differs from Eq7: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestMakespanCrossoverNearDeadline(t *testing.T) {
+	// The reuse decision's raison d'etre: a 6 hour job started at age 19
+	// (window hits the deadline spike) must look worse than on a fresh VM.
+	m := paperModel()
+	T := 6.0
+	fresh := m.ExpectedMakespanAt(0, T)
+	late := m.ExpectedMakespanAt(19, T)
+	if !(late > fresh) {
+		t.Fatalf("late-start makespan %v should exceed fresh %v", late, fresh)
+	}
+	// And a mid-life start must look better than fresh (stable phase).
+	mid := m.ExpectedMakespanAt(8, T)
+	if !(mid < fresh) {
+		t.Fatalf("mid-life makespan %v should beat fresh %v", mid, fresh)
+	}
+}
+
+func TestMakespanElapsedNeverExceedsPaperForm(t *testing.T) {
+	// Charging only elapsed time (t-s) wastes less than charging absolute
+	// age t, for any s > 0.
+	m := paperModel()
+	for _, s := range []float64{1, 5, 10, 15} {
+		for _, T := range []float64{1, 3, 6} {
+			paper := m.ExpectedMakespanAt(s, T)
+			elapsed := m.ExpectedMakespanElapsed(s, T)
+			if elapsed > paper+1e-9 {
+				t.Fatalf("elapsed %v exceeds paper %v at s=%v T=%v", elapsed, paper, s, T)
+			}
+			if elapsed < T {
+				t.Fatalf("elapsed makespan %v below job length %v", elapsed, T)
+			}
+		}
+	}
+}
+
+func TestGenericMatchesClosedFormOnBathtub(t *testing.T) {
+	m := paperModel()
+	bt := m.Bathtub()
+	for _, T := range []float64{2, 8, 16} {
+		g := IncreaseDist(bt, T)
+		c := m.ExpectedIncrease(T)
+		if math.Abs(g-c) > 1e-6 {
+			t.Fatalf("generic %v vs closed form %v at %v", g, c, T)
+		}
+	}
+}
+
+func TestBathtubBeatsUniformForLongJobs(t *testing.T) {
+	// Figure 4b's headline: past a crossover (~5h), bathtub preemptions
+	// waste less than uniform ones; for very short jobs they are slightly
+	// worse.
+	m := paperModel()
+	u := dist.NewUniform(24)
+	longBathtub := m.ExpectedIncrease(10)
+	longUniform := IncreaseDist(u, 10)
+	if !(longBathtub < longUniform) {
+		t.Fatalf("10h job: bathtub %v should beat uniform %v", longBathtub, longUniform)
+	}
+	shortBathtub := m.ExpectedIncrease(1)
+	shortUniform := IncreaseDist(u, 1)
+	if !(shortBathtub > shortUniform) {
+		t.Fatalf("1h job: bathtub %v should be worse than uniform %v", shortBathtub, shortUniform)
+	}
+}
+
+func TestMakespanMonotoneInJobLength(t *testing.T) {
+	m := paperModel()
+	prev := 0.0
+	for i := 1; i <= 24; i++ {
+		v := m.ExpectedMakespan(float64(i))
+		if v <= prev {
+			t.Fatalf("makespan not increasing at %d", i)
+		}
+		prev = v
+	}
+}
+
+func TestWastedWorkDistZeroMass(t *testing.T) {
+	// A distribution with no mass below T yields zero waste.
+	e := dist.NewExponential(1e-9)
+	if w := WastedWorkDist(e, 1e-9); w != 0 {
+		// F(T) is tiny but positive; accept small values.
+		if w > 1e-6 {
+			t.Fatalf("waste = %v", w)
+		}
+	}
+	if MakespanDist(e, 0) != 0 {
+		t.Fatal("zero-length job")
+	}
+}
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	if r.Len() != 0 {
+		t.Fatal("fresh registry not empty")
+	}
+	m := paperModel()
+	r.Put("b", m)
+	r.Put("a", m)
+	if got, ok := r.Get("a"); !ok || got != m {
+		t.Fatal("Get after Put failed")
+	}
+	if _, ok := r.Get("missing"); ok {
+		t.Fatal("Get of missing key succeeded")
+	}
+	keys := r.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("Keys() = %v", keys)
+	}
+	if r.MustGet("b") != m {
+		t.Fatal("MustGet")
+	}
+}
+
+func TestRegistryMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRegistry().MustGet("nope")
+}
+
+func TestRegistryPutNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRegistry().Put("x", nil)
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	m := paperModel()
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 200; j++ {
+				r.Put("k", m)
+				r.Get("k")
+				r.Keys()
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestPhaseBoundariesOrdered(t *testing.T) {
+	m := paperModel()
+	t1, t2 := m.PhaseBoundaries()
+	if !(0 < t1 && t1 < t2 && t2 < 24) {
+		t.Fatalf("boundaries (%v, %v) not interior-ordered", t1, t2)
+	}
+	// The paper observes the initial phase spans roughly [0, 3] hours for
+	// tau1 ~ 1; accept a generous band.
+	if t1 < 0.5 || t1 > 6 {
+		t.Fatalf("initial phase ends at %v, expected a few hours", t1)
+	}
+	// Deadline phase hugs the deadline.
+	if t2 < 18 {
+		t.Fatalf("deadline phase starts at %v, expected near 24", t2)
+	}
+}
+
+func TestPhaseAtClassification(t *testing.T) {
+	m := paperModel()
+	t1, t2 := m.PhaseBoundaries()
+	if m.PhaseAt(t1/2) != PhaseInitial {
+		t.Fatal("early age must be initial phase")
+	}
+	if m.PhaseAt((t1+t2)/2) != PhaseStable {
+		t.Fatal("mid age must be stable phase")
+	}
+	if m.PhaseAt(t2+0.1) != PhaseDeadline {
+		t.Fatal("late age must be deadline phase")
+	}
+}
+
+func TestStableWindowDominates(t *testing.T) {
+	// With paper-typical parameters most of the VM's life is stable.
+	m := paperModel()
+	if w := m.StableWindow(); w < 12 {
+		t.Fatalf("stable window %v too short", w)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseInitial.String() != "initial" || PhaseStable.String() != "stable" ||
+		PhaseDeadline.String() != "deadline" || Phase(99).String() != "unknown" {
+		t.Fatal("phase names")
+	}
+}
+
+func TestPhaseBoundariesDegenerate(t *testing.T) {
+	// A nearly flat bathtub (huge tau1) has a long, slowly decaying infant
+	// phase; the boundaries must still be ordered and bracket the trough.
+	m := New(dist.NewBathtub(0.45, 7.9, 0.8, 24, 24))
+	t1, t2 := m.PhaseBoundaries()
+	trough := m.Bathtub().TroughTime()
+	if !(0 < t1 && t1 <= trough && trough <= t2 && t2 < 24) {
+		t.Fatalf("boundaries (%v, %v) do not bracket trough %v", t1, t2, trough)
+	}
+	// And a steeper infant phase must end earlier.
+	steep := New(dist.NewBathtub(0.45, 0.5, 0.8, 24, 24))
+	s1, _ := steep.PhaseBoundaries()
+	if !(s1 < t1) {
+		t.Fatalf("steep model boundary %v not before flat model boundary %v", s1, t1)
+	}
+	_ = mathx.Clamp // keep import if unused elsewhere
+}

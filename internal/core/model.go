@@ -1,0 +1,134 @@
+// Package core implements the paper's primary contribution: the
+// constrained-preemption probability model (Section 3.2) and the running
+// time analysis built on it (Section 4.1, Equations 3-8). A Model wraps the
+// fitted bathtub distribution (Equation 1) and answers the questions
+// policies need: preemption probabilities, expected wasted work, expected
+// makespans for jobs starting at arbitrary VM ages, and the three
+// preemption phases.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/fit"
+	"repro/internal/mathx"
+)
+
+// Model is a fitted constrained-preemption model for one VM environment.
+// It is immutable and safe for concurrent use.
+type Model struct {
+	bt   dist.Bathtub
+	norm float64 // F(L), the raw CDF mass at the deadline
+}
+
+// New wraps a bathtub distribution as a Model.
+func New(bt dist.Bathtub) *Model {
+	raw := bt.Raw(bt.L)
+	if !(raw > 0) {
+		panic(fmt.Sprintf("core: bathtub %v has no mass before its deadline", bt))
+	}
+	return &Model{bt: bt, norm: raw}
+}
+
+// Fit fits the paper's model to observed lifetimes with deadline l and
+// returns the model together with the fit report (parameters and goodness
+// of fit).
+func Fit(samples []float64, l float64) (*Model, fit.FitReport, error) {
+	rep, err := fit.FitBathtub(samples, l)
+	if err != nil {
+		return nil, fit.FitReport{}, err
+	}
+	return New(rep.Dist.(dist.Bathtub)), rep, nil
+}
+
+// Bathtub returns the underlying distribution parameters.
+func (m *Model) Bathtub() dist.Bathtub { return m.bt }
+
+// Deadline returns the temporal constraint L.
+func (m *Model) Deadline() float64 { return m.bt.L }
+
+// RawCDF evaluates Equation 1 (clamped to [0,1]); this is the quantity the
+// paper plots and uses in its expressions.
+func (m *Model) RawCDF(t float64) float64 { return m.bt.CDF(t) }
+
+// CDF returns the normalized preemption probability P(lifetime <= t): the
+// raw model scaled so the deadline has probability 1 (DESIGN.md note 1).
+func (m *Model) CDF(t float64) float64 {
+	if t >= m.bt.L {
+		return 1
+	}
+	v := m.bt.CDF(t) / m.norm
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// PDF returns the normalized preemption density.
+func (m *Model) PDF(t float64) float64 {
+	return m.bt.PDF(t) / m.norm
+}
+
+// SurvivalTo returns P(lifetime > t) under the normalized model.
+func (m *Model) SurvivalTo(t float64) float64 { return 1 - m.CDF(t) }
+
+// Hazard returns the instantaneous preemption rate h(t) = f(t)/(1 - F(t))
+// under the normalized model; it is the bathtub curve itself and diverges
+// at the deadline.
+func (m *Model) Hazard(t float64) float64 {
+	return dist.Hazard(hazardView{m}, t)
+}
+
+// hazardView adapts the normalized model to dist.Distribution for the
+// shared hazard helper.
+type hazardView struct{ m *Model }
+
+func (h hazardView) CDF(t float64) float64 { return h.m.CDF(t) }
+func (h hazardView) PDF(t float64) float64 { return h.m.PDF(t) }
+func (h hazardView) Name() string          { return "model" }
+
+// ConditionalFailure returns the probability that a VM alive at age s is
+// preempted within the next d hours:
+//
+//	P(s < T <= s+d | T > s) = (F(s+d) - F(s)) / (1 - F(s))
+//
+// A window reaching the deadline has probability 1 (the VM cannot outlive
+// L). This is the job failure probability of Figures 5-7.
+func (m *Model) ConditionalFailure(s, d float64) float64 {
+	if d <= 0 {
+		return 0
+	}
+	if s < 0 {
+		s = 0
+	}
+	if s+d >= m.bt.L {
+		return 1
+	}
+	surv := 1 - m.CDF(s)
+	if surv <= 0 {
+		return 1
+	}
+	p := (m.CDF(s+d) - m.CDF(s)) / surv
+	return mathx.Clamp(p, 0, 1)
+}
+
+// ExpectedLifetime returns Equation 3 on the raw model, the paper's
+// MTTF substitute for comparing VM environments.
+func (m *Model) ExpectedLifetime() float64 { return m.bt.ExpectedLifetime() }
+
+// NormalizedExpectedLifetime returns E[T] under the normalized (proper)
+// distribution, i.e. Equation 3 divided by F(L).
+func (m *Model) NormalizedExpectedLifetime() float64 {
+	return m.bt.ExpectedLifetime() / m.norm
+}
+
+// Sample draws a lifetime from the normalized model.
+func (m *Model) Sample(rng *mathx.RNG) float64 {
+	tr := dist.Truncate(m.bt, m.bt.L)
+	return dist.Sample(tr, rng, m.bt.L)
+}
+
+func (m *Model) String() string {
+	return fmt.Sprintf("model{%v, E[L]=%.2fh}", m.bt, m.ExpectedLifetime())
+}

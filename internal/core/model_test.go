@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/mathx"
+	"repro/internal/trace"
+)
+
+// paperModel returns a model with the paper's typical fitted parameters.
+func paperModel() *Model {
+	return New(dist.NewBathtub(0.45, 1.0, 0.8, 24, 24))
+}
+
+func TestModelCDFNormalized(t *testing.T) {
+	m := paperModel()
+	if m.CDF(24) != 1 || m.CDF(30) != 1 {
+		t.Fatal("CDF at and beyond deadline must be 1")
+	}
+	if m.CDF(0) > 1e-9 {
+		t.Fatalf("CDF(0) = %v", m.CDF(0))
+	}
+	prev := 0.0
+	for i := 0; i <= 240; i++ {
+		v := m.CDF(float64(i) / 10)
+		if v < prev-1e-12 || v > 1 {
+			t.Fatalf("CDF misbehaves at %v: %v", float64(i)/10, v)
+		}
+		prev = v
+	}
+}
+
+func TestModelSurvival(t *testing.T) {
+	m := paperModel()
+	for _, tt := range []float64{0, 5, 12, 23, 24} {
+		if math.Abs(m.SurvivalTo(tt)+m.CDF(tt)-1) > 1e-12 {
+			t.Fatalf("survival + CDF != 1 at %v", tt)
+		}
+	}
+}
+
+func TestConditionalFailureProperties(t *testing.T) {
+	m := paperModel()
+	// Reaching the deadline means certain failure.
+	if m.ConditionalFailure(20, 5) != 1 {
+		t.Fatal("window past deadline must fail with certainty")
+	}
+	if m.ConditionalFailure(10, 0) != 0 {
+		t.Fatal("zero-length window cannot fail")
+	}
+	// Monotone in window length.
+	prev := 0.0
+	for _, d := range []float64{0.5, 1, 2, 4, 8} {
+		v := m.ConditionalFailure(6, d)
+		if v < prev {
+			t.Fatalf("conditional failure not monotone in d at %v", d)
+		}
+		prev = v
+	}
+	// Mid-life short jobs are much safer than on a fresh VM (the bathtub
+	// insight behind VM reuse).
+	fresh := m.ConditionalFailure(0, 2)
+	mid := m.ConditionalFailure(10, 2)
+	if !(mid < fresh/2) {
+		t.Fatalf("mid-life failure %v not well below fresh %v", mid, fresh)
+	}
+}
+
+func TestConditionalFailureMatchesDefinition(t *testing.T) {
+	m := paperModel()
+	s, d := 4.0, 3.0
+	want := (m.CDF(s+d) - m.CDF(s)) / (1 - m.CDF(s))
+	if got := m.ConditionalFailure(s, d); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestExpectedLifetimeInRange(t *testing.T) {
+	m := paperModel()
+	el := m.ExpectedLifetime()
+	if el <= 0 || el >= 24 {
+		t.Fatalf("E[L] = %v", el)
+	}
+	nel := m.NormalizedExpectedLifetime()
+	if nel <= 0 || nel >= 24 {
+		t.Fatalf("normalized E[L] = %v", nel)
+	}
+	// Normalization with F(L) < 1 inflates the expectation.
+	if m.Bathtub().Raw(24) < 1 && nel <= el {
+		t.Fatalf("normalized %v should exceed raw %v", nel, el)
+	}
+}
+
+func TestLargerVMsShorterLifetime(t *testing.T) {
+	// Fit models to ground-truth scenarios of increasing size; expected
+	// lifetimes must decrease (Observation 4 through the model).
+	prev := math.Inf(1)
+	for _, vt := range trace.AllVMTypes() {
+		sc := trace.Scenario{Type: vt, Zone: trace.USCentral1C, TimeOfDay: trace.Day, Workload: trace.Busy}
+		samples := trace.Generate(sc, 3000, 7)
+		m, _, err := Fit(samples, trace.Deadline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		el := m.NormalizedExpectedLifetime()
+		if el >= prev {
+			t.Fatalf("%s: E[L]=%v not below previous %v", vt, el, prev)
+		}
+		prev = el
+	}
+}
+
+func TestFitQualityOnGroundTruth(t *testing.T) {
+	sc := trace.DefaultScenario()
+	samples := trace.Generate(sc, 3000, 21)
+	m, rep, err := Fit(samples, trace.Deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.R2 < 0.98 {
+		t.Fatalf("R2 = %v", rep.R2)
+	}
+	truth := trace.GroundTruth(sc)
+	// The fitted normalized CDF tracks ground truth within a few percent.
+	for _, tt := range []float64{2, 6, 12, 18, 23} {
+		if d := math.Abs(m.CDF(tt) - truth.CDF(tt)); d > 0.06 {
+			t.Fatalf("model vs truth CDF at %v differs by %v", tt, d)
+		}
+	}
+}
+
+func TestModelHazardBathtub(t *testing.T) {
+	m := paperModel()
+	early := m.Hazard(0.25)
+	mid := m.Hazard(12)
+	late := m.Hazard(23.5)
+	if !(early > 3*mid) {
+		t.Fatalf("early hazard %v not well above middle %v", early, mid)
+	}
+	if !(late > 3*mid) {
+		t.Fatalf("deadline hazard %v not well above middle %v", late, mid)
+	}
+	if !math.IsInf(m.Hazard(24), 1) {
+		t.Fatal("hazard at the deadline must diverge")
+	}
+}
+
+func TestModelSampleRange(t *testing.T) {
+	m := paperModel()
+	rng := mathx.NewRNG(3)
+	for i := 0; i < 200; i++ {
+		v := m.Sample(rng)
+		if v < 0 || v > 24 {
+			t.Fatalf("sample %v outside [0,24]", v)
+		}
+	}
+}
+
+func TestNewPanicsOnMasslessModel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	// A zero-weight model (constructed via the struct literal, bypassing
+	// NewBathtub's validation) has no mass at any age.
+	New(dist.Bathtub{A: 0, Tau1: 1, Tau2: 1, B: 24, L: 24})
+}
+
+func TestModelString(t *testing.T) {
+	if s := paperModel().String(); !strings.Contains(s, "E[L]") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestCDFPropertyBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		m := New(dist.NewBathtub(
+			0.3+0.3*rng.Float64(),
+			0.4+2*rng.Float64(),
+			0.5+0.8*rng.Float64(),
+			22+3*rng.Float64(),
+			24,
+		))
+		for i := 0; i <= 48; i++ {
+			tt := float64(i) / 2
+			v := m.CDF(tt)
+			if v < 0 || v > 1 {
+				return false
+			}
+			cf := m.ConditionalFailure(tt, 1)
+			if cf < 0 || cf > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

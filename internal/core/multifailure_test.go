@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMultiFailureReducesToEq7Regime(t *testing.T) {
+	// For jobs with low failure probability, the multi-failure makespan is
+	// close to (and at least) the single-failure Equation 7 value.
+	m := paperModel()
+	for _, T := range []float64{0.5, 1, 2} {
+		single := m.ExpectedMakespan(T)
+		multi := m.ExpectedMakespanMultiFailure(T)
+		if multi < T {
+			t.Fatalf("multi-failure makespan %v below job length %v", multi, T)
+		}
+		// Multi-failure under restart semantics can differ from Eq 7's
+		// at-most-once accounting, but for short jobs they agree within
+		// the second-order term.
+		if math.Abs(multi-single) > 0.6*single {
+			t.Fatalf("T=%v: multi %v vs single %v diverge unreasonably", T, multi, single)
+		}
+	}
+}
+
+func TestMultiFailureMonotoneInJobLength(t *testing.T) {
+	m := paperModel()
+	prev := 0.0
+	for _, T := range []float64{1, 3, 6, 10, 16, 22} {
+		v := m.ExpectedMakespanMultiFailure(T)
+		if v <= prev {
+			t.Fatalf("not increasing at T=%v: %v <= %v", T, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestMultiFailureInfiniteAtDeadline(t *testing.T) {
+	m := paperModel()
+	if !math.IsInf(m.ExpectedMakespanMultiFailure(24), 1) {
+		t.Fatal("a job as long as the deadline can never finish")
+	}
+	if !math.IsInf(m.ExpectedMakespanMultiFailure(30), 1) {
+		t.Fatal("longer than deadline")
+	}
+}
+
+func TestMultiFailureZeroJob(t *testing.T) {
+	m := paperModel()
+	if m.ExpectedMakespanMultiFailure(0) != 0 || m.ExpectedMakespanMultiFailureAt(5, 0) != 0 {
+		t.Fatal("zero job")
+	}
+}
+
+func TestMultiFailureAtStableAgeBeatsFresh(t *testing.T) {
+	// Starting in the stable phase, the first attempt almost always
+	// succeeds, so the expected makespan approaches T and beats a fresh
+	// start with its infant-mortality retries.
+	m := paperModel()
+	fresh := m.ExpectedMakespanMultiFailure(4)
+	stable := m.ExpectedMakespanMultiFailureAt(8, 4)
+	if !(stable < fresh) {
+		t.Fatalf("stable-age start %v not below fresh %v", stable, fresh)
+	}
+	if stable > 4.3 {
+		t.Fatalf("stable-age 4h job makespan %v should be near 4", stable)
+	}
+}
+
+func TestMultiFailureAtReducesToFreshAtZero(t *testing.T) {
+	m := paperModel()
+	a := m.ExpectedMakespanMultiFailureAt(0, 5)
+	b := m.ExpectedMakespanMultiFailure(5)
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("s=0 variant %v differs from fresh %v", a, b)
+	}
+}
+
+func TestMultiFailureAtDeadlineWindow(t *testing.T) {
+	// A job whose first attempt cannot fit (s+T > L) pays a guaranteed
+	// first failure, so its makespan exceeds the fresh restart value.
+	m := paperModel()
+	late := m.ExpectedMakespanMultiFailureAt(20, 6)
+	fresh := m.ExpectedMakespanMultiFailure(6)
+	if !(late > fresh) {
+		t.Fatalf("late start %v should exceed fresh %v", late, fresh)
+	}
+	if math.IsInf(late, 1) || math.IsNaN(late) {
+		t.Fatalf("late start makespan = %v", late)
+	}
+}

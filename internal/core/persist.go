@@ -1,0 +1,74 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/dist"
+)
+
+// Model persistence: a long-running service refits models from recent
+// preemption history and must persist them across restarts (Section 8's
+// "continuously update the model"). Models serialize as their Equation 1
+// parameters; registries as a key -> parameters map.
+
+// modelJSON is the wire form of a fitted model.
+type modelJSON struct {
+	A    float64 `json:"a"`
+	Tau1 float64 `json:"tau1"`
+	Tau2 float64 `json:"tau2"`
+	B    float64 `json:"b"`
+	L    float64 `json:"l"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	bt := m.bt
+	return json.Marshal(modelJSON{A: bt.A, Tau1: bt.Tau1, Tau2: bt.Tau2, B: bt.B, L: bt.L})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var mj modelJSON
+	if err := json.Unmarshal(data, &mj); err != nil {
+		return fmt.Errorf("core: decoding model: %w", err)
+	}
+	if mj.A <= 0 || mj.Tau1 <= 0 || mj.Tau2 <= 0 || mj.B <= 0 || mj.L <= 0 {
+		return fmt.Errorf("core: decoded model has non-positive parameters: %+v", mj)
+	}
+	bt := dist.NewBathtub(mj.A, mj.Tau1, mj.Tau2, mj.B, mj.L)
+	if !(bt.Raw(bt.L) > 0) {
+		return fmt.Errorf("core: decoded model has no mass before its deadline")
+	}
+	*m = *New(bt)
+	return nil
+}
+
+// SaveRegistry writes all models of r as one JSON document.
+func SaveRegistry(r *Registry, w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.models); err != nil {
+		return fmt.Errorf("core: encoding registry: %w", err)
+	}
+	return nil
+}
+
+// LoadRegistry reads a registry written by SaveRegistry.
+func LoadRegistry(rd io.Reader) (*Registry, error) {
+	var raw map[string]*Model
+	if err := json.NewDecoder(rd).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("core: decoding registry: %w", err)
+	}
+	out := NewRegistry()
+	for k, m := range raw {
+		if m == nil {
+			return nil, fmt.Errorf("core: registry entry %q is null", k)
+		}
+		out.Put(k, m)
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	m := paperModel()
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Bathtub() != m.Bathtub() {
+		t.Fatalf("round trip changed parameters: %v vs %v", back.Bathtub(), m.Bathtub())
+	}
+	// The decoded model is fully functional.
+	if math.Abs(back.CDF(6)-m.CDF(6)) > 1e-15 {
+		t.Fatal("decoded model behaves differently")
+	}
+}
+
+func TestModelUnmarshalRejectsBadParams(t *testing.T) {
+	cases := []string{
+		`{"a":0,"tau1":1,"tau2":1,"b":24,"l":24}`,
+		`{"a":0.4,"tau1":-1,"tau2":1,"b":24,"l":24}`,
+		`{"a":0.4,"tau1":1,"tau2":1,"b":24,"l":0}`,
+		`not json`,
+	}
+	for i, c := range cases {
+		var m Model
+		if err := json.Unmarshal([]byte(c), &m); err == nil {
+			t.Fatalf("case %d: bad model accepted", i)
+		}
+	}
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Put("day", paperModel())
+	r.Put("night", New(paperModel().Bathtub())) // distinct instance
+	var buf bytes.Buffer
+	if err := SaveRegistry(r, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadRegistry(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("registry size %d", back.Len())
+	}
+	for _, k := range []string{"day", "night"} {
+		if back.MustGet(k).Bathtub() != r.MustGet(k).Bathtub() {
+			t.Fatalf("entry %q changed", k)
+		}
+	}
+}
+
+func TestLoadRegistryRejectsGarbage(t *testing.T) {
+	if _, err := LoadRegistry(strings.NewReader("[]")); err == nil {
+		t.Fatal("array accepted")
+	}
+	if _, err := LoadRegistry(strings.NewReader(`{"x": null}`)); err == nil {
+		t.Fatal("null entry accepted")
+	}
+	if _, err := LoadRegistry(strings.NewReader(`{"x": {"a":0,"tau1":1,"tau2":1,"b":24,"l":24}}`)); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"repro/internal/mathx"
+)
+
+// Phase identifies one of the three preemption phases of Observation 1.
+type Phase int
+
+// The three phases: high infant preemption rate, stable low-rate middle,
+// and the deadline-driven final spike.
+const (
+	PhaseInitial Phase = iota + 1
+	PhaseStable
+	PhaseDeadline
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseInitial:
+		return "initial"
+	case PhaseStable:
+		return "stable"
+	case PhaseDeadline:
+		return "deadline"
+	default:
+		return "unknown"
+	}
+}
+
+// PhaseBoundaries returns the ages (t1, t2) at which the preemption rate
+// transitions between phases: [0, t1) is the initial phase, [t1, t2) the
+// stable phase, and [t2, L] the deadline phase. The initial phase ends
+// where the density has shed 95% of its initial excess over the trough
+// (for a fitted tau1 ~ 1h this is ~3h, matching the paper's observed
+// [0, 3] hour infant phase); symmetrically, the deadline phase begins
+// where the density has climbed 5% of the way from the trough to its
+// deadline value. Both crossings are found by Brent around the closed-form
+// trough.
+func (m *Model) PhaseBoundaries() (t1, t2 float64) {
+	bt := m.bt
+	trough := bt.TroughTime()
+	fTrough := bt.PDF(trough)
+	const residual = 0.05
+
+	// Descending branch from the infant peak.
+	th1 := fTrough + residual*(bt.PDF(0)-fTrough)
+	g1 := func(t float64) float64 { return bt.PDF(t) - th1 }
+	if g1(0) <= 0 || trough == 0 {
+		t1 = 0
+	} else if v, err := mathx.Brent(g1, 0, trough, 1e-9); err == nil {
+		t1 = v
+	} else {
+		t1 = trough
+	}
+	// Ascending branch toward the deadline.
+	th2 := fTrough + residual*(bt.PDF(bt.L)-fTrough)
+	g2 := func(t float64) float64 { return bt.PDF(t) - th2 }
+	if g2(bt.L) <= 0 || trough >= bt.L {
+		t2 = bt.L
+	} else if v, err := mathx.Brent(g2, trough, bt.L, 1e-9); err == nil {
+		t2 = v
+	} else {
+		t2 = bt.L
+	}
+	return t1, t2
+}
+
+// PhaseAt classifies a VM age into its preemption phase.
+func (m *Model) PhaseAt(t float64) Phase {
+	t1, t2 := m.PhaseBoundaries()
+	switch {
+	case t < t1:
+		return PhaseInitial
+	case t < t2:
+		return PhaseStable
+	default:
+		return PhaseDeadline
+	}
+}
+
+// StableWindow returns the length of the stable phase, the "valuable" VM
+// age range that the service's hot-spare policy exploits (Section 5).
+func (m *Model) StableWindow() float64 {
+	t1, t2 := m.PhaseBoundaries()
+	return t2 - t1
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry stores fitted models keyed by environment (the batch service
+// parametrizes the bathtub model by VM type, region, time-of-day and
+// day-of-week; Section 5). It is safe for concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]*Model
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{models: make(map[string]*Model)}
+}
+
+// Put stores or replaces the model for key.
+func (r *Registry) Put(key string, m *Model) {
+	if m == nil {
+		panic("core: Registry.Put with nil model")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.models[key] = m
+}
+
+// Get returns the model for key, or false when absent.
+func (r *Registry) Get(key string) (*Model, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.models[key]
+	return m, ok
+}
+
+// MustGet returns the model for key, panicking when absent; callers use it
+// for keys they have just registered.
+func (r *Registry) MustGet(key string) *Model {
+	m, ok := r.Get(key)
+	if !ok {
+		panic(fmt.Sprintf("core: no model registered for %q", key))
+	}
+	return m
+}
+
+// Keys returns the registered keys in sorted order.
+func (r *Registry) Keys() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	keys := make([]string, 0, len(r.models))
+	for k := range r.models {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Len returns the number of registered models.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.models)
+}

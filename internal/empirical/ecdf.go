@@ -1,0 +1,100 @@
+// Package empirical provides the empirical statistics used to analyze
+// preemption measurements: empirical CDFs, quantiles, histograms, summary
+// statistics, and Kolmogorov-Smirnov distances. These are the estimators the
+// paper's Python analysis gets from numpy/scipy, hand-rolled for Go.
+package empirical
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ECDF is the empirical cumulative distribution function of a sample. The
+// zero value is unusable; construct with NewECDF.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from samples (the slice is copied, not retained).
+// It panics on an empty sample or non-finite values: preemption lifetimes
+// come from measurement or simulation and are finite by construction, so a
+// violation is a programming error.
+func NewECDF(samples []float64) *ECDF {
+	if len(samples) == 0 {
+		panic("empirical: ECDF of empty sample")
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	for _, v := range s {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			panic(fmt.Sprintf("empirical: non-finite sample %v", v))
+		}
+	}
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// At returns the fraction of samples <= t.
+func (e *ECDF) At(t float64) float64 {
+	// SearchFloat64s returns the first index with sorted[i] >= t; we need
+	// strictly-greater to implement <= semantics.
+	idx := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > t })
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// Quantile returns the p-quantile (type-7 linear interpolation, matching
+// numpy's default). p outside [0,1] is clamped.
+func (e *ECDF) Quantile(p float64) float64 {
+	n := len(e.sorted)
+	if p <= 0 {
+		return e.sorted[0]
+	}
+	if p >= 1 {
+		return e.sorted[n-1]
+	}
+	h := p * float64(n-1)
+	lo := int(math.Floor(h))
+	frac := h - float64(lo)
+	if lo+1 >= n {
+		return e.sorted[n-1]
+	}
+	return e.sorted[lo]*(1-frac) + e.sorted[lo+1]*frac
+}
+
+// Sorted returns the underlying sorted sample (read-only view; callers must
+// not mutate it).
+func (e *ECDF) Sorted() []float64 { return e.sorted }
+
+// Min and Max return the sample extremes.
+func (e *ECDF) Min() float64 { return e.sorted[0] }
+
+// Max returns the largest sample.
+func (e *ECDF) Max() float64 { return e.sorted[len(e.sorted)-1] }
+
+// Points returns the staircase evaluation points of the ECDF: for each
+// sorted sample x_i, the pair (x_i, (i+1)/n). These are the (t, F) pairs the
+// least-squares fitters match a model CDF against, mirroring how the paper
+// fits Equation 1 to the measured CDF.
+func (e *ECDF) Points() (ts, fs []float64) {
+	n := len(e.sorted)
+	ts = make([]float64, n)
+	fs = make([]float64, n)
+	for i, v := range e.sorted {
+		ts[i] = v
+		fs[i] = float64(i+1) / float64(n)
+	}
+	return ts, fs
+}
+
+// Eval evaluates the ECDF on an arbitrary grid.
+func (e *ECDF) Eval(grid []float64) []float64 {
+	out := make([]float64, len(grid))
+	for i, t := range grid {
+		out[i] = e.At(t)
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package empirical
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{3, 1, 2})
+	if e.N() != 3 {
+		t.Fatalf("N = %d", e.N())
+	}
+	cases := []struct{ t, want float64 }{
+		{0.5, 0}, {1, 1.0 / 3}, {1.5, 1.0 / 3}, {2, 2.0 / 3}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestECDFDuplicates(t *testing.T) {
+	e := NewECDF([]float64{2, 2, 2, 5})
+	if got := e.At(2); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("At(2) = %v, want 0.75", got)
+	}
+	if got := e.At(1.99); got != 0 {
+		t.Fatalf("At(1.99) = %v, want 0", got)
+	}
+}
+
+func TestECDFPanics(t *testing.T) {
+	for i, samples := range [][]float64{{}, {math.NaN()}, {math.Inf(1)}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			NewECDF(samples)
+		}()
+	}
+}
+
+func TestECDFDoesNotAliasInput(t *testing.T) {
+	in := []float64{5, 1, 3}
+	e := NewECDF(in)
+	in[0] = -100
+	if e.Min() != 1 {
+		t.Fatal("ECDF must copy its input")
+	}
+}
+
+func TestECDFQuantileMedian(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3, 4, 5})
+	if q := e.Quantile(0.5); q != 3 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := e.Quantile(0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := e.Quantile(1); q != 5 {
+		t.Fatalf("q1 = %v", q)
+	}
+	// Interpolated quantile (numpy type-7): p=0.25 over 5 points -> index 1.
+	if q := e.Quantile(0.25); q != 2 {
+		t.Fatalf("q25 = %v", q)
+	}
+	// Between points.
+	if q := e.Quantile(0.375); math.Abs(q-2.5) > 1e-12 {
+		t.Fatalf("q37.5 = %v", q)
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e := NewECDF([]float64{4, 2})
+	ts, fs := e.Points()
+	if ts[0] != 2 || ts[1] != 4 || fs[0] != 0.5 || fs[1] != 1 {
+		t.Fatalf("Points() = %v, %v", ts, fs)
+	}
+}
+
+func TestECDFEval(t *testing.T) {
+	e := NewECDF([]float64{1, 2})
+	got := e.Eval([]float64{0, 1, 2})
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Eval = %v", got)
+		}
+	}
+}
+
+func TestECDFPropertyMonotoneBounded(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		n := 1 + rng.Intn(100)
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = rng.Float64() * 24
+		}
+		e := NewECDF(s)
+		prev := -1.0
+		for i := 0; i <= 50; i++ {
+			v := e.At(float64(i) * 0.5)
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return e.At(25) == 1 && e.At(-1) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECDFQuantileRoundTripProperty(t *testing.T) {
+	// Property: At(Quantile(p)) >= p - 1/n. Type-7 quantiles interpolate
+	// between order statistics, so the round trip can undershoot p by at
+	// most one sample's worth of mass (it is NOT the inverse-CDF infimum).
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		n := 2 + rng.Intn(50)
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = rng.Float64() * 10
+		}
+		e := NewECDF(s)
+		slack := 1/float64(n) + 1e-9
+		for _, p := range []float64{0.1, 0.25, 0.5, 0.9} {
+			if e.At(e.Quantile(p)) < p-slack {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

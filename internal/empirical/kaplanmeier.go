@@ -1,0 +1,105 @@
+package empirical
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kaplan-Meier survival estimation. The paper's methodology terminates VMs
+// when work runs out, so a real preemption study observes right-censored
+// lifetimes: "the VM was still alive at age t when we shut it down". The
+// plain ECDF treats censored ages as deaths and biases the CDF upward; the
+// product-limit estimator handles them correctly, and its complement feeds
+// the same least-squares fitters.
+
+// Observation is one VM's outcome: its age when it ended and whether that
+// end was a preemption (event) or a customer termination (censored).
+type Observation struct {
+	Time  float64
+	Event bool // true = preempted, false = right-censored
+}
+
+// KaplanMeier is the product-limit survival estimate.
+type KaplanMeier struct {
+	times []float64 // distinct event times, ascending
+	surv  []float64 // S(t) immediately after each event time
+}
+
+// NewKaplanMeier computes the estimator. It panics on an empty sample or
+// non-finite/negative times, and errors if no preemption events exist (the
+// survival curve would be identically 1 and fitting meaningless).
+func NewKaplanMeier(obs []Observation) (*KaplanMeier, error) {
+	if len(obs) == 0 {
+		panic("empirical: Kaplan-Meier of empty sample")
+	}
+	sorted := make([]Observation, len(obs))
+	copy(sorted, obs)
+	for _, o := range sorted {
+		if !(o.Time >= 0) || o.Time != o.Time {
+			panic(fmt.Sprintf("empirical: invalid observation time %v", o.Time))
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+
+	km := &KaplanMeier{}
+	n := len(sorted)
+	atRisk := n
+	s := 1.0
+	i := 0
+	events := 0
+	for i < n {
+		t := sorted[i].Time
+		deaths, censored := 0, 0
+		for i < n && sorted[i].Time == t {
+			if sorted[i].Event {
+				deaths++
+			} else {
+				censored++
+			}
+			i++
+		}
+		if deaths > 0 {
+			s *= 1 - float64(deaths)/float64(atRisk)
+			km.times = append(km.times, t)
+			km.surv = append(km.surv, s)
+			events += deaths
+		}
+		atRisk -= deaths + censored
+	}
+	if events == 0 {
+		return nil, fmt.Errorf("empirical: no preemption events among %d observations", n)
+	}
+	return km, nil
+}
+
+// Survival returns S(t), the estimated probability of surviving past t.
+func (km *KaplanMeier) Survival(t float64) float64 {
+	idx := sort.SearchFloat64s(km.times, t)
+	// idx is the first event time > t ... SearchFloat64s returns first >= t;
+	// survival drops AT the event time, so include equality.
+	if idx < len(km.times) && km.times[idx] == t {
+		return km.surv[idx]
+	}
+	if idx == 0 {
+		return 1
+	}
+	return km.surv[idx-1]
+}
+
+// CDF returns 1 - S(t), the failure-probability estimate the fitters use.
+func (km *KaplanMeier) CDF(t float64) float64 { return 1 - km.Survival(t) }
+
+// Points returns the event times and the CDF value at each, the analogue of
+// ECDF.Points for censored data.
+func (km *KaplanMeier) Points() (ts, fs []float64) {
+	ts = make([]float64, len(km.times))
+	fs = make([]float64, len(km.times))
+	for i := range km.times {
+		ts[i] = km.times[i]
+		fs[i] = 1 - km.surv[i]
+	}
+	return ts, fs
+}
+
+// Events returns the number of distinct event times.
+func (km *KaplanMeier) Events() int { return len(km.times) }

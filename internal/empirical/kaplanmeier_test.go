@@ -1,0 +1,143 @@
+package empirical
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestKMNoCensoringMatchesECDF(t *testing.T) {
+	// With no censored observations the product-limit estimate is the ECDF.
+	times := []float64{1, 2, 3, 4, 5}
+	obs := make([]Observation, len(times))
+	for i, tt := range times {
+		obs[i] = Observation{Time: tt, Event: true}
+	}
+	km, err := NewKaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewECDF(times)
+	for _, tt := range []float64{0.5, 1, 2.5, 5, 6} {
+		if math.Abs(km.CDF(tt)-e.At(tt)) > 1e-12 {
+			t.Fatalf("KM(%v)=%v vs ECDF %v", tt, km.CDF(tt), e.At(tt))
+		}
+	}
+}
+
+func TestKMTextbookExample(t *testing.T) {
+	// Classic worked example: events at 1, 3; censored at 2.
+	// S(1) = 1 - 1/3 = 2/3. At t=3 only 1 at risk: S(3) = 2/3 * 0 = 0.
+	obs := []Observation{
+		{Time: 1, Event: true},
+		{Time: 2, Event: false},
+		{Time: 3, Event: true},
+	}
+	km, err := NewKaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostKM(km.Survival(1), 2.0/3) || !almostKM(km.Survival(2.5), 2.0/3) {
+		t.Fatalf("S(1)=%v", km.Survival(1))
+	}
+	if !almostKM(km.Survival(3), 0) {
+		t.Fatalf("S(3)=%v", km.Survival(3))
+	}
+	if km.Events() != 2 {
+		t.Fatalf("events = %d", km.Events())
+	}
+}
+
+func almostKM(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestKMCensoringCorrectsBias(t *testing.T) {
+	// Simulate lifetimes ~ Exp(1/5h) censored at 4h. The naive ECDF of
+	// ended-at times overestimates the CDF; Kaplan-Meier recovers the
+	// truth at times below the censoring horizon.
+	rng := mathx.NewRNG(11)
+	var obs []Observation
+	var naive []float64
+	const n = 6000
+	for i := 0; i < n; i++ {
+		life := -5 * math.Log(1-rng.Float64())
+		if life > 4 {
+			obs = append(obs, Observation{Time: 4, Event: false})
+			naive = append(naive, 4)
+		} else {
+			obs = append(obs, Observation{Time: life, Event: true})
+			naive = append(naive, life)
+		}
+	}
+	km, err := NewKaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthCDF := func(t float64) float64 { return 1 - math.Exp(-t/5) }
+	for _, tt := range []float64{1, 2, 3, 3.9} {
+		if d := math.Abs(km.CDF(tt) - truthCDF(tt)); d > 0.02 {
+			t.Fatalf("KM at %v off by %v", tt, d)
+		}
+	}
+	// The naive ECDF is fine below the horizon too (censor time is at the
+	// horizon), but AT the horizon it jumps to 1 whereas truth is ~0.55.
+	e := NewECDF(naive)
+	if e.At(4) != 1 {
+		t.Fatal("naive ECDF should hit 1 at the censoring horizon")
+	}
+	if km.CDF(4) > 0.65 {
+		t.Fatalf("KM at horizon = %v, want ~%v", km.CDF(4), truthCDF(4))
+	}
+}
+
+func TestKMPoints(t *testing.T) {
+	obs := []Observation{{Time: 2, Event: true}, {Time: 1, Event: true}, {Time: 3, Event: false}}
+	km, err := NewKaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, fs := km.Points()
+	if len(ts) != 2 || ts[0] != 1 || ts[1] != 2 {
+		t.Fatalf("times = %v", ts)
+	}
+	for i := 1; i < len(fs); i++ {
+		if fs[i] < fs[i-1] {
+			t.Fatalf("CDF points not monotone: %v", fs)
+		}
+	}
+}
+
+func TestKMErrors(t *testing.T) {
+	// All censored: error.
+	if _, err := NewKaplanMeier([]Observation{{Time: 1, Event: false}}); err == nil {
+		t.Fatal("all-censored sample accepted")
+	}
+	// Empty: panic.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		NewKaplanMeier(nil)
+	}()
+	// Negative time: panic.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		NewKaplanMeier([]Observation{{Time: -1, Event: true}})
+	}()
+}
+
+func TestKMDoesNotMutateInput(t *testing.T) {
+	obs := []Observation{{Time: 3, Event: true}, {Time: 1, Event: true}}
+	if _, err := NewKaplanMeier(obs); err != nil {
+		t.Fatal(err)
+	}
+	if obs[0].Time != 3 {
+		t.Fatal("input reordered")
+	}
+}

@@ -1,0 +1,64 @@
+package empirical
+
+import (
+	"fmt"
+	"math"
+)
+
+// KSPValue returns the asymptotic p-value of a one-sample Kolmogorov-
+// Smirnov statistic d computed from n observations: the probability of a
+// distance at least this large under the null hypothesis that the sample
+// came from the reference distribution. It uses the Kolmogorov asymptotic
+// series with the Stephens small-sample correction
+// lambda = d * (sqrt(n) + 0.12 + 0.11/sqrt(n)).
+func KSPValue(d float64, n int) float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("empirical: KSPValue with n=%d", n))
+	}
+	if d <= 0 {
+		return 1
+	}
+	if d >= 1 {
+		return 0
+	}
+	sn := math.Sqrt(float64(n))
+	lambda := d * (sn + 0.12 + 0.11/sn)
+	// Q_KS(lambda) = 2 sum_{k>=1} (-1)^{k-1} e^{-2 k^2 lambda^2}.
+	var sum float64
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := math.Exp(-2 * float64(k*k) * lambda * lambda)
+		sum += sign * term
+		if term < 1e-16 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// KSThreshold returns the KS distance whose p-value equals alpha for
+// samples of size n: distances above it reject the null at level alpha.
+// Found by bisection on the monotone KSPValue.
+func KSThreshold(n int, alpha float64) float64 {
+	if alpha <= 0 || alpha >= 1 {
+		panic(fmt.Sprintf("empirical: KSThreshold alpha %v outside (0,1)", alpha))
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 100; i++ {
+		mid := 0.5 * (lo + hi)
+		if KSPValue(mid, n) > alpha {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi)
+}

@@ -1,0 +1,96 @@
+package empirical
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestKSPValueEdges(t *testing.T) {
+	if KSPValue(0, 100) != 1 || KSPValue(-1, 100) != 1 {
+		t.Fatal("zero distance must have p = 1")
+	}
+	if KSPValue(1, 100) != 0 {
+		t.Fatal("distance 1 must have p = 0")
+	}
+}
+
+func TestKSPValueMonotone(t *testing.T) {
+	prev := 1.1
+	for _, d := range []float64{0.01, 0.05, 0.1, 0.2, 0.4, 0.8} {
+		p := KSPValue(d, 200)
+		if p > prev {
+			t.Fatalf("p-value not decreasing at d=%v", d)
+		}
+		prev = p
+	}
+}
+
+func TestKSPValueClassicCriticalValue(t *testing.T) {
+	// The classical alpha=0.05 critical value is ~1.358/sqrt(n) for large
+	// n; its p-value must be near 0.05.
+	n := 1000
+	d := 1.358 / math.Sqrt(float64(n))
+	p := KSPValue(d, n)
+	if math.Abs(p-0.05) > 0.005 {
+		t.Fatalf("p-value at the 5%% critical value = %v", p)
+	}
+}
+
+func TestKSThresholdRoundTrip(t *testing.T) {
+	for _, n := range []int{50, 200, 1000} {
+		for _, alpha := range []float64{0.01, 0.05, 0.2} {
+			d := KSThreshold(n, alpha)
+			if p := KSPValue(d, n); math.Abs(p-alpha) > 1e-6 {
+				t.Fatalf("n=%d alpha=%v: threshold %v gives p=%v", n, alpha, d, p)
+			}
+		}
+	}
+}
+
+func TestKSThresholdShrinksWithN(t *testing.T) {
+	if !(KSThreshold(1000, 0.05) < KSThreshold(50, 0.05)) {
+		t.Fatal("threshold must shrink with sample size")
+	}
+}
+
+func TestKSPValueUnderNull(t *testing.T) {
+	// Samples actually drawn from the reference distribution should rarely
+	// produce tiny p-values: count rejections at alpha = 0.05 across
+	// repeated draws; expect roughly 5%, certainly below 15%.
+	rng := mathx.NewRNG(3)
+	uniform := func(x float64) float64 { return mathx.Clamp(x, 0, 1) }
+	rejects := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		s := make([]float64, 100)
+		for j := range s {
+			s[j] = rng.Float64()
+		}
+		d := KSDistance(s, uniform)
+		if KSPValue(d, len(s)) < 0.05 {
+			rejects++
+		}
+	}
+	if rejects > trials*15/100 {
+		t.Fatalf("%d/%d rejections under the null", rejects, trials)
+	}
+}
+
+func TestKSValidation(t *testing.T) {
+	for i, f := range []func(){
+		func() { KSPValue(0.1, 0) },
+		func() { KSThreshold(10, 0) },
+		func() { KSThreshold(10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,147 @@
+package empirical
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds the descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+	P25    float64
+	P75    float64
+}
+
+// Summarize computes descriptive statistics. It panics on an empty sample.
+func Summarize(samples []float64) Summary {
+	e := NewECDF(samples)
+	s := e.Sorted()
+	n := len(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, v := range s {
+		d := v - mean
+		ss += d * d
+	}
+	std := 0.0
+	if n > 1 {
+		std = math.Sqrt(ss / float64(n-1))
+	}
+	return Summary{
+		N:      n,
+		Mean:   mean,
+		Std:    std,
+		Min:    s[0],
+		Max:    s[n-1],
+		Median: e.Quantile(0.5),
+		P25:    e.Quantile(0.25),
+		P75:    e.Quantile(0.75),
+	}
+}
+
+// Mean returns the arithmetic mean; it panics on an empty sample.
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		panic("empirical: Mean of empty sample")
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples))
+}
+
+// Histogram bins samples into nbins uniform bins over [lo, hi]. Values
+// outside the range are clamped into the edge bins. Counts[i] covers
+// [lo + i*w, lo + (i+1)*w).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram builds a histogram. nbins must be positive and hi > lo.
+func NewHistogram(samples []float64, lo, hi float64, nbins int) Histogram {
+	if nbins <= 0 || hi <= lo {
+		panic("empirical: invalid histogram parameters")
+	}
+	h := Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
+	w := (hi - lo) / float64(nbins)
+	for _, v := range samples {
+		i := int((v - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= nbins {
+			i = nbins - 1
+		}
+		h.Counts[i]++
+	}
+	return h
+}
+
+// Density returns the histogram normalized to a probability density.
+func (h Histogram) Density() []float64 {
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	out := make([]float64, len(h.Counts))
+	if total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / (float64(total) * w)
+	}
+	return out
+}
+
+// KSDistance returns the Kolmogorov-Smirnov statistic between a sample and a
+// model CDF: sup_t |F_emp(t) - F_model(t)|, evaluated at the sample points
+// (where the supremum of a staircase-vs-continuous difference is attained).
+func KSDistance(samples []float64, cdf func(float64) float64) float64 {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	n := float64(len(s))
+	var d float64
+	for i, x := range s {
+		fm := cdf(x)
+		// Staircase jumps from i/n to (i+1)/n at x.
+		lo := math.Abs(fm - float64(i)/n)
+		hi := math.Abs(float64(i+1)/n - fm)
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	return d
+}
+
+// KSTwoSample returns the two-sample KS statistic between samples a and b.
+func KSTwoSample(a, b []float64) float64 {
+	ea, eb := NewECDF(a), NewECDF(b)
+	var d float64
+	for _, x := range ea.Sorted() {
+		if v := math.Abs(ea.At(x) - eb.At(x)); v > d {
+			d = v
+		}
+	}
+	for _, x := range eb.Sorted() {
+		if v := math.Abs(ea.At(x) - eb.At(x)); v > d {
+			d = v
+		}
+	}
+	return d
+}

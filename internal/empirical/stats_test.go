@@ -1,0 +1,128 @@
+package empirical
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample std of 1..5 = sqrt(2.5).
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Std != 0 || s.Mean != 7 || s.Median != 7 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestMeanPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestHistogramCounts(t *testing.T) {
+	h := NewHistogram([]float64{0.5, 1.5, 1.6, 3.9, -1, 10}, 0, 4, 4)
+	// Bins: [0,1) [1,2) [2,3) [3,4); -1 clamps into bin 0, 10 into bin 3.
+	want := []int{2, 2, 0, 2}
+	for i := range want {
+		if h.Counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", h.Counts, want)
+		}
+	}
+}
+
+func TestHistogramDensityIntegratesToOne(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	s := make([]float64, 1000)
+	for i := range s {
+		s[i] = rng.Float64() * 24
+	}
+	h := NewHistogram(s, 0, 24, 12)
+	d := h.Density()
+	w := 2.0
+	var total float64
+	for _, v := range d {
+		total += v * w
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("density integrates to %v", total)
+	}
+}
+
+func TestHistogramEmptyDensity(t *testing.T) {
+	h := NewHistogram(nil, 0, 1, 4)
+	for _, v := range h.Density() {
+		if v != 0 {
+			t.Fatal("empty histogram density must be zero")
+		}
+	}
+}
+
+func TestHistogramPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(nil, 1, 0, 4)
+}
+
+func TestKSDistanceSelf(t *testing.T) {
+	// KS distance between a sample and its own ECDF-like smooth CDF should
+	// be small for a large uniform sample.
+	rng := mathx.NewRNG(17)
+	s := make([]float64, 5000)
+	for i := range s {
+		s[i] = rng.Float64()
+	}
+	d := KSDistance(s, func(t float64) float64 {
+		if t < 0 {
+			return 0
+		}
+		if t > 1 {
+			return 1
+		}
+		return t
+	})
+	if d > 0.03 {
+		t.Fatalf("KS distance %v too large for matching distribution", d)
+	}
+}
+
+func TestKSDistanceMismatch(t *testing.T) {
+	// Sample clustered near 0 vs uniform CDF must have large KS distance.
+	s := []float64{0.01, 0.02, 0.03, 0.04, 0.05}
+	d := KSDistance(s, func(t float64) float64 { return mathx.Clamp(t, 0, 1) })
+	if d < 0.9 {
+		t.Fatalf("KS distance %v, want near 1", d)
+	}
+}
+
+func TestKSTwoSampleIdentical(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if d := KSTwoSample(a, a); d != 0 {
+		t.Fatalf("self KS = %v", d)
+	}
+}
+
+func TestKSTwoSampleDisjoint(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	if d := KSTwoSample(a, b); d != 1 {
+		t.Fatalf("disjoint KS = %v, want 1", d)
+	}
+}

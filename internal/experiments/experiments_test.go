@@ -1,0 +1,388 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fastOpts keeps experiment tests quick while preserving the qualitative
+// claims being verified.
+func fastOpts() Options {
+	return Options{Seed: 42, SampleSize: 800, GridPoints: 24, DPStepMin: 5}
+}
+
+func TestFig01BathtubWins(t *testing.T) {
+	tab, err := Fig01ModelFit(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Series) != 5 {
+		t.Fatalf("series = %d", len(tab.Series))
+	}
+	joined := strings.Join(tab.Notes, "\n")
+	if !strings.Contains(joined, "best fit: bathtub") {
+		t.Fatalf("bathtub did not win:\n%s", joined)
+	}
+}
+
+func TestFig02aOrdering(t *testing.T) {
+	tab := Fig02aVMTypes(fastOpts())
+	// CDF at mid-grid must increase with VM size.
+	mid := len(tab.X) / 2
+	prev := -1.0
+	for _, s := range tab.Series {
+		v := s.Y[mid]
+		if v <= prev {
+			t.Fatalf("ordering broken at %s: %v <= %v", s.Name, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestFig02bEffects(t *testing.T) {
+	tab := Fig02bDiurnal(fastOpts())
+	mid := len(tab.X) / 2
+	by := map[string]float64{}
+	for _, s := range tab.Series {
+		by[s.Name] = s.Y[mid]
+	}
+	if !(by["idle"] < by["non-idle"]) {
+		t.Fatalf("idle %v should be below non-idle %v", by["idle"], by["non-idle"])
+	}
+	if !(by["night"] < by["day"]) {
+		t.Fatalf("night %v should be below day %v", by["night"], by["day"])
+	}
+}
+
+func TestFig02cZonesDistinct(t *testing.T) {
+	tab := Fig02cZones(fastOpts())
+	if len(tab.Series) != 4 {
+		t.Fatalf("series = %d", len(tab.Series))
+	}
+	mid := len(tab.X) / 2
+	seen := map[string]float64{}
+	for _, s := range tab.Series {
+		seen[s.Name] = s.Y[mid]
+	}
+	if !(seen["us-east1-b"] > seen["us-west1-a"]) {
+		t.Fatalf("zone ordering: %v", seen)
+	}
+}
+
+func TestFig04aShapes(t *testing.T) {
+	tab, err := Fig04aWastedWork(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bath, unif := tab.Series[0].Y, tab.Series[1].Y
+	// Uniform waste is linear (J/2); bathtub is far below it for
+	// mid-length jobs (the paper's 1x-40x range), converging only at the
+	// deadline where both include the spike.
+	mid := indexNear(tab.X, 10)
+	if b, u := bath[mid], unif[mid]; !(b < u/2) {
+		t.Fatalf("at J=%v: bathtub %v not well below uniform %v", tab.X[mid], b, u)
+	}
+	last := len(tab.X) - 1
+	if !(bath[last] <= unif[last]+1) {
+		t.Fatalf("at the deadline bathtub %v should not exceed uniform %v materially", bath[last], unif[last])
+	}
+}
+
+// indexNear returns the index of the grid point closest to v.
+func indexNear(xs []float64, v float64) int {
+	best, bd := 0, 1e18
+	for i, x := range xs {
+		d := x - v
+		if d < 0 {
+			d = -d
+		}
+		if d < bd {
+			best, bd = i, d
+		}
+	}
+	return best
+}
+
+func TestFig04bCrossover(t *testing.T) {
+	tab, err := Fig04bRunningTime(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bath, unif := tab.Series[0].Y, tab.Series[1].Y
+	// Short jobs: bathtub worse. Mid-length jobs (the paper's 10h
+	// example): bathtub much better.
+	if !(bath[0] > unif[0]) {
+		t.Fatalf("short job: bathtub %v should exceed uniform %v", bath[0], unif[0])
+	}
+	mid := indexNear(tab.X, 10)
+	if !(bath[mid] < unif[mid]/2) {
+		t.Fatalf("10h job: bathtub %v not well below uniform %v", bath[mid], unif[mid])
+	}
+}
+
+func TestFig05Cap(t *testing.T) {
+	tab, err := Fig05JobStartTime(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours, base := tab.Series[0].Y, tab.Series[1].Y
+	for i := range ours {
+		if ours[i] > base[i]+1e-9 {
+			t.Fatalf("our policy worse at x=%v: %v > %v", tab.X[i], ours[i], base[i])
+		}
+	}
+	// Memoryless reaches 1 near the deadline; ours stays capped below 0.7.
+	last := len(ours) - 1
+	if base[last] != 1 {
+		t.Fatalf("memoryless at %v should be 1, got %v", tab.X[last], base[last])
+	}
+	if ours[last] > 0.7 {
+		t.Fatalf("our policy near deadline = %v, want capped at fresh-VM level", ours[last])
+	}
+}
+
+func TestFig06Reduction(t *testing.T) {
+	tab, err := Fig06JobLength(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours, base := tab.Series[0].Y, tab.Series[1].Y
+	// Average reduction over mid-length jobs is substantial.
+	var ratio float64
+	var n int
+	for i, J := range tab.X {
+		if J >= 4 && J <= 12 && ours[i] > 0 {
+			ratio += base[i] / ours[i]
+			n++
+		}
+	}
+	if avg := ratio / float64(n); avg < 1.4 {
+		t.Fatalf("mean reduction %vx, want >1.4x (paper ~2x)", avg)
+	}
+}
+
+func TestFig07SmallPenalty(t *testing.T) {
+	tab, err := Fig07Sensitivity(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseY, bestY, subY []float64
+	for _, s := range tab.Series {
+		switch s.Name {
+		case "memoryless":
+			baseY = s.Y
+		case "best-fit":
+			bestY = s.Y
+		case "suboptimal":
+			subY = s.Y
+		}
+	}
+	for i, J := range tab.X {
+		if J < 4 || J > 12 {
+			continue
+		}
+		// The suboptimal model must still beat memoryless clearly.
+		if !(subY[i] < baseY[i]) {
+			t.Fatalf("J=%v: suboptimal %v not below memoryless %v", J, subY[i], baseY[i])
+		}
+		// And be close to best-fit (paper: <2% penalty; we allow 10 points).
+		if subY[i]-bestY[i] > 0.10 {
+			t.Fatalf("J=%v: suboptimal penalty %v too large", J, subY[i]-bestY[i])
+		}
+	}
+}
+
+func TestFig08aShapes(t *testing.T) {
+	tab, err := Fig08aCheckpointStart(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours, base := tab.Series[0].Y, tab.Series[1].Y
+	for i := range ours {
+		if ours[i] > base[i]+1e-9 {
+			t.Fatalf("DP worse than Young-Daly at %v: %v vs %v", tab.X[i], ours[i], base[i])
+		}
+	}
+	// Mid-life gap is large.
+	mid := len(ours) / 2
+	if !(base[mid] > 3*ours[mid]) {
+		t.Fatalf("mid-life: YD %v not well above ours %v", base[mid], ours[mid])
+	}
+}
+
+func TestFig08bShapes(t *testing.T) {
+	tab, err := Fig08bCheckpointLength(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours, base := tab.Series[0].Y, tab.Series[1].Y
+	for i := range ours {
+		if ours[i] > base[i]+1e-9 {
+			t.Fatalf("DP worse at J=%v", tab.X[i])
+		}
+	}
+}
+
+func TestFig09aCostRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	tab, err := Fig09aCost(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours, od := tab.Series[0].Y, tab.Series[1].Y
+	for i := range ours {
+		ratio := od[i] / ours[i]
+		if ratio < 3 || ratio > 6 {
+			t.Fatalf("app %v: cost ratio %v outside [3, 6]", tab.X[i], ratio)
+		}
+	}
+}
+
+func TestFig09bRoughlyLinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	tab, err := Fig09bPreemptions(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All increases are non-negative and the slope note exists.
+	for i, v := range tab.Series[0].Y {
+		if v < -1e-9 {
+			t.Fatalf("negative increase at run %d: %v", i, v)
+		}
+	}
+	if len(tab.Notes) == 0 {
+		t.Fatal("missing slope note")
+	}
+}
+
+func TestTextCheckpointScheduleIncreasing(t *testing.T) {
+	tab, err := TextCheckpointSchedule(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := tab.Series[0].Y
+	if len(y) < 3 {
+		t.Fatalf("expected several intervals, got %v", y)
+	}
+	for i := 1; i < len(y); i++ {
+		if y[i] < y[i-1]-fastOpts().DPStepMin {
+			t.Fatalf("intervals not increasing: %v", y)
+		}
+	}
+}
+
+func TestTextExpectedLifetimeDecreasing(t *testing.T) {
+	tab, err := TextExpectedLifetime(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := tab.Series[0].Y
+	prev := 1e9
+	for i, v := range fit {
+		if v >= prev {
+			t.Fatalf("E[L] not decreasing at index %d: %v", i, fit)
+		}
+		prev = v
+	}
+}
+
+func TestServiceValidationMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	tab, err := ServiceValidation(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	makespans := tab.Series[0].Y
+	fails := tab.Series[1].Y
+	// Index order: none, reuse, reuse+ckpt, full. Each layer must not make
+	// the bag slower on average, and the reuse policy must cut failures.
+	for i := 1; i < len(makespans); i++ {
+		if makespans[i] > makespans[i-1]*1.05 {
+			t.Fatalf("stack %d slower than %d: %v vs %v", i, i-1, makespans[i], makespans[i-1])
+		}
+	}
+	if !(fails[1] < fails[0]) {
+		t.Fatalf("reuse policy did not cut failures: %v vs %v", fails[1], fails[0])
+	}
+}
+
+func TestRegistryRunsAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for _, id := range IDs() {
+		tab, err := Run(id, fastOpts())
+		if err != nil {
+			t.Fatalf("experiment %s: %v", id, err)
+		}
+		var buf bytes.Buffer
+		if err := tab.Format(&buf); err != nil {
+			t.Fatalf("formatting %s: %v", id, err)
+		}
+		if buf.Len() == 0 || !strings.HasPrefix(buf.String(), "# ") {
+			t.Fatalf("experiment %s produced empty output", id)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("99z", fastOpts()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTableValidation(t *testing.T) {
+	tab := &Table{X: []float64{1, 2}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	tab.AddSeries("bad", []float64{1})
+}
+
+func TestTableFormat(t *testing.T) {
+	tab := &Table{Title: "T", XLabel: "x", X: []float64{1}}
+	tab.AddSeries("y", []float64{2})
+	tab.AddNote("hello %d", 7)
+	var buf bytes.Buffer
+	if err := tab.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# T") || !strings.Contains(out, "note: hello 7") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tab := &Table{Title: "T", XLabel: "x", X: []float64{1, 2}}
+	tab.AddSeries("a", []float64{3, 4})
+	tab.AddSeries("b", []float64{5, 6})
+	tab.AddNote("remark")
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := "x,a,b\n1,3,5\n2,4,6\n# remark\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestGridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	grid(0, 1, 0)
+}

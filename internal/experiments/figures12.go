@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/empirical"
+	"repro/internal/fit"
+	"repro/internal/trace"
+)
+
+// DefaultModel fits the paper's model to the headline scenario
+// (n1-highcpu-16, us-east1-b; Figure 1) at the given fidelity. All
+// policy figures share this model, as the paper's do.
+func DefaultModel(opts Options) (*core.Model, fit.FitReport, error) {
+	opts = opts.normalize()
+	samples := trace.Generate(trace.DefaultScenario(), opts.SampleSize, opts.Seed)
+	return core.Fit(samples, trace.Deadline)
+}
+
+// Fig01ModelFit reproduces Figure 1: the empirical lifetime CDF of the
+// headline VM type against the four fitted failure distributions. The
+// paper's claim: the bathtub model fits far better than exponential,
+// Weibull, and Gompertz-Makeham.
+func Fig01ModelFit(opts Options) (*Table, error) {
+	opts = opts.normalize()
+	samples := trace.Generate(trace.DefaultScenario(), opts.SampleSize, opts.Seed)
+	reports, err := fit.FitAll(samples, trace.Deadline)
+	if err != nil {
+		return nil, fmt.Errorf("fitting figure 1 families: %w", err)
+	}
+	ecdf := empirical.NewECDF(samples)
+	xs := grid(0, trace.Deadline, opts.GridPoints)
+	t := &Table{
+		Title:  "Figure 1: CDF of Preemptible VM lifetimes and fitted models (n1-highcpu-16, us-east1-b)",
+		XLabel: "hours",
+		YLabel: "CDF",
+		X:      xs,
+	}
+	t.AddSeries("empirical", ecdf.Eval(xs))
+	order := []string{"bathtub", "exponential", "weibull", "gompertz-makeham"}
+	for _, fam := range order {
+		rep := reports[fam]
+		y := make([]float64, len(xs))
+		for i, x := range xs {
+			y[i] = rep.Dist.CDF(x)
+		}
+		t.AddSeries(fam, y)
+	}
+	// Rank families by SSE; the bathtub model must win.
+	type ranked struct {
+		fam string
+		sse float64
+	}
+	var rk []ranked
+	for _, fam := range order {
+		rk = append(rk, ranked{fam, reports[fam].SSE})
+	}
+	sort.Slice(rk, func(i, j int) bool { return rk[i].sse < rk[j].sse })
+	for _, r := range rk {
+		rep := reports[r.fam]
+		t.AddNote("%-17s SSE=%.3f RMSE=%.4f R2=%.4f KS=%.4f", r.fam, rep.SSE, rep.RMSE, rep.R2, rep.KS)
+	}
+	t.AddNote("best fit: %s (paper: bathtub/our-model wins)", rk[0].fam)
+	bt := reports["bathtub"]
+	t.AddNote("fitted bathtub params: A=%.3f tau1=%.3f tau2=%.3f b=%.3f",
+		bt.Params[0], bt.Params[1], bt.Params[2], bt.Params[3])
+	return t, nil
+}
+
+// cdfByScenario builds a CDF comparison table across scenarios.
+func cdfByScenario(title string, scenarios []trace.Scenario, labels []string, opts Options) *Table {
+	opts = opts.normalize()
+	xs := grid(0, trace.Deadline, opts.GridPoints)
+	t := &Table{Title: title, XLabel: "hours", YLabel: "CDF", X: xs}
+	for i, sc := range scenarios {
+		samples := trace.Generate(sc, opts.SampleSize, opts.Seed+uint64(i)*1001)
+		ecdf := empirical.NewECDF(samples)
+		t.AddSeries(labels[i], ecdf.Eval(xs))
+	}
+	return t
+}
+
+// Fig02aVMTypes reproduces Figure 2a: lifetime CDFs of the five VM sizes in
+// us-central1-c. Larger VMs are preempted earlier (Observation 4).
+func Fig02aVMTypes(opts Options) *Table {
+	var scs []trace.Scenario
+	var labels []string
+	for _, vt := range trace.AllVMTypes() {
+		scs = append(scs, trace.Scenario{Type: vt, Zone: trace.USCentral1C, TimeOfDay: trace.Day, Workload: trace.Busy})
+		labels = append(labels, string(vt))
+	}
+	t := cdfByScenario("Figure 2a: preemption CDF by VM type (us-central1-c)", scs, labels, opts)
+	// Headline ordering check at mid-life.
+	mid := len(t.X) / 2
+	t.AddNote("CDF at 12h by size: %.3f %.3f %.3f %.3f %.3f (must be increasing)",
+		t.Series[0].Y[mid], t.Series[1].Y[mid], t.Series[2].Y[mid], t.Series[3].Y[mid], t.Series[4].Y[mid])
+	return t
+}
+
+// Fig02bDiurnal reproduces Figure 2b: idle vs busy and day vs night CDFs
+// for the headline VM type (Observation 5).
+func Fig02bDiurnal(opts Options) *Table {
+	base := trace.Scenario{Type: trace.HighCPU16, Zone: trace.USEast1B}
+	scs := []trace.Scenario{
+		{Type: base.Type, Zone: base.Zone, TimeOfDay: trace.Day, Workload: trace.Idle},
+		{Type: base.Type, Zone: base.Zone, TimeOfDay: trace.Day, Workload: trace.Busy},
+		{Type: base.Type, Zone: base.Zone, TimeOfDay: trace.Night, Workload: trace.Busy},
+		{Type: base.Type, Zone: base.Zone, TimeOfDay: trace.Day, Workload: trace.Busy},
+	}
+	labels := []string{"idle", "non-idle", "night", "day"}
+	t := cdfByScenario("Figure 2b: time-of-day and workload effects (n1-highcpu-16)", scs, labels, opts)
+	mid := len(t.X) / 2
+	t.AddNote("CDF at 12h: idle=%.3f non-idle=%.3f night=%.3f day=%.3f (idle<non-idle, night<day)",
+		t.Series[0].Y[mid], t.Series[1].Y[mid], t.Series[2].Y[mid], t.Series[3].Y[mid])
+	return t
+}
+
+// Fig02cZones reproduces Figure 2c: the headline VM type across the four
+// studied zones.
+func Fig02cZones(opts Options) *Table {
+	var scs []trace.Scenario
+	var labels []string
+	for _, z := range trace.AllZones() {
+		scs = append(scs, trace.Scenario{Type: trace.HighCPU16, Zone: z, TimeOfDay: trace.Day, Workload: trace.Busy})
+		labels = append(labels, string(z))
+	}
+	t := cdfByScenario("Figure 2c: n1-highcpu-16 across zones", scs, labels, opts)
+	return t
+}

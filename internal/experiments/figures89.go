@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/batch"
+	"repro/internal/policy"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// checkpointDelta is the paper's 1-minute checkpoint cost.
+const checkpointDelta = 1.0 / 60
+
+// Fig08aCheckpointStart reproduces Figure 8a: expected percentage increase
+// in running time of a 4-hour job vs its start time on the VM, for the DP
+// checkpointing policy and the Young-Daly baseline with MTTF = 1 hour.
+func Fig08aCheckpointStart(opts Options) (*Table, error) {
+	opts = opts.normalize()
+	m, _, err := DefaultModel(opts)
+	if err != nil {
+		return nil, err
+	}
+	step := opts.DPStepMin / 60
+	dp := policy.NewCheckpointPlanner(m, checkpointDelta, step)
+	tau := policy.YoungDalyInterval(checkpointDelta, 1.0)
+	yd := policy.NewFixedIntervalEvaluator(m, checkpointDelta, tau, step)
+	const jobLen = 4.0
+	xs := grid(0, 16, 32)
+	t := &Table{
+		Title:  "Figure 8a: checkpointing overhead vs job start time (4h job, delta=1min)",
+		XLabel: "start hours",
+		YLabel: "% increase",
+		X:      xs,
+	}
+	ours := make([]float64, len(xs))
+	base := make([]float64, len(xs))
+	for i, s := range xs {
+		ours[i] = dp.OverheadPercent(jobLen, s)
+		base[i] = yd.OverheadPercent(jobLen, s)
+	}
+	t.AddSeries("our-policy", ours)
+	t.AddSeries("young-daly", base)
+	t.AddNote("Young-Daly interval sqrt(2*delta*MTTF)=%.1f min with MTTF=1h", tau*60)
+	t.AddNote("mid-life (10h): ours %.1f%% vs Young-Daly %.1f%% (paper: ~1%% vs ~25%%)",
+		dp.OverheadPercent(jobLen, 10), yd.OverheadPercent(jobLen, 10))
+	return t, nil
+}
+
+// Fig08bCheckpointLength reproduces Figure 8b: overhead vs job length for
+// jobs starting on a fresh VM.
+func Fig08bCheckpointLength(opts Options) (*Table, error) {
+	opts = opts.normalize()
+	m, _, err := DefaultModel(opts)
+	if err != nil {
+		return nil, err
+	}
+	step := opts.DPStepMin / 60
+	dp := policy.NewCheckpointPlanner(m, checkpointDelta, step)
+	tau := policy.YoungDalyInterval(checkpointDelta, 1.0)
+	yd := policy.NewFixedIntervalEvaluator(m, checkpointDelta, tau, step)
+	xs := grid(0.5, 9, 17) // (0, 9] hours as in the paper
+	t := &Table{
+		Title:  "Figure 8b: checkpointing overhead vs job length (start at VM age 0)",
+		XLabel: "job hours",
+		YLabel: "% increase",
+		X:      xs,
+	}
+	ours := make([]float64, len(xs))
+	base := make([]float64, len(xs))
+	for i, J := range xs {
+		ours[i] = dp.OverheadPercent(J, 0)
+		base[i] = yd.OverheadPercent(J, 0)
+	}
+	t.AddSeries("our-policy", ours)
+	t.AddSeries("young-daly", base)
+	var avg float64
+	for _, v := range ours {
+		avg += v
+	}
+	t.AddNote("our policy average overhead %.1f%% (paper: ~3%%, <5%% for long jobs)", avg/float64(len(ours)))
+	return t, nil
+}
+
+// fig9Config builds the service configuration of Section 6.3: a cluster of
+// 32 n1-highcpu-32 VMs.
+func fig9Config(app workload.App, preemptible bool, seed uint64) batch.Config {
+	const totalVMs = 32
+	gangSize := batch.GangSizeFor(app, trace.HighCPU32)
+	cfg := batch.Config{
+		VMType:      trace.HighCPU32,
+		Zone:        trace.USEast1B,
+		GangSize:    gangSize,
+		Gangs:       totalVMs / gangSize,
+		Preemptible: preemptible,
+		HotSpareTTL: 1,
+		Seed:        seed,
+	}
+	return cfg
+}
+
+// Fig09aCost reproduces Figure 9a: cost per job of the batch service on
+// preemptible VMs vs conventional on-demand VMs, for the three scientific
+// workloads, each running a bag of 100 jobs on 32 n1-highcpu-32 VMs.
+func Fig09aCost(opts Options) (*Table, error) {
+	opts = opts.normalize()
+	m, _, err := DefaultModel(opts)
+	if err != nil {
+		return nil, err
+	}
+	apps := workload.Apps()
+	xs := make([]float64, len(apps)) // index axis: 0,1,2
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	t := &Table{
+		Title:  "Figure 9a: cost per job, our service vs on-demand (bag of 100 jobs, 32x n1-highcpu-32)",
+		XLabel: "app-index",
+		YLabel: "USD/job",
+		X:      xs,
+	}
+	oursY := make([]float64, len(apps))
+	odY := make([]float64, len(apps))
+	for i, app := range apps {
+		run := func(preemptible bool) (batch.Report, error) {
+			cfg := fig9Config(app, preemptible, opts.Seed+uint64(i))
+			cfg.Model = m
+			cfg.UseReusePolicy = true
+			svc, err := batch.New(cfg)
+			if err != nil {
+				return batch.Report{}, err
+			}
+			if err := svc.SubmitBag(workload.NewBag(app, 100, 0.03, opts.Seed+uint64(i)*7)); err != nil {
+				return batch.Report{}, err
+			}
+			return svc.Run()
+		}
+		pre, err := run(true)
+		if err != nil {
+			return nil, fmt.Errorf("preemptible run for %s: %w", app.Name, err)
+		}
+		od, err := run(false)
+		if err != nil {
+			return nil, fmt.Errorf("on-demand run for %s: %w", app.Name, err)
+		}
+		oursY[i] = pre.CostPerJob
+		odY[i] = od.CostPerJob
+		t.AddNote("%-16s ours $%.4f/job vs on-demand $%.4f/job (%.1fx cheaper; paper: ~5x)",
+			app.Name, pre.CostPerJob, od.CostPerJob, od.CostPerJob/pre.CostPerJob)
+	}
+	t.AddSeries("our-service", oursY)
+	t.AddSeries("on-demand", odY)
+	t.AddNote("apps by index: 0=nanoconfinement 1=shapes 2=lulesh")
+	return t, nil
+}
+
+// Fig09bPreemptions reproduces Figure 9b: percentage increase in running
+// time of an entire bag as a function of the number of VM preemptions
+// observed during the run, for the Nanoconfinement application. The paper
+// observes a roughly linear ~3% increase per preemption. Each point is one
+// run with a different seed.
+func Fig09bPreemptions(opts Options) (*Table, error) {
+	opts = opts.normalize()
+	m, _, err := DefaultModel(opts)
+	if err != nil {
+		return nil, err
+	}
+	app := workload.Nanoconfinement
+	const runs = 12
+	type point struct {
+		preemptions int
+		increase    float64
+	}
+	var pts []point
+	for r := 0; r < runs; r++ {
+		cfg := fig9Config(app, true, opts.Seed*31+uint64(r)*101+1)
+		cfg.Model = m
+		cfg.UseReusePolicy = true
+		svc, err := batch.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Longer jobs than the paper's 14 minutes expose more preemption
+		// variation per run while keeping runtime modest.
+		if err := svc.SubmitBag(workload.NewBag(app, 100, 0.03, uint64(r)+5)); err != nil {
+			return nil, err
+		}
+		rep, err := svc.Run()
+		if err != nil {
+			return nil, fmt.Errorf("run %d: %w", r, err)
+		}
+		pts = append(pts, point{rep.Preemptions, rep.IncreasePct})
+	}
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = float64(p.preemptions)
+		ys[i] = p.increase
+	}
+	t := &Table{
+		Title:  "Figure 9b: % increase in bag running time vs number of VM preemptions (nanoconfinement)",
+		XLabel: "preemptions",
+		YLabel: "% increase",
+		X:      xs,
+	}
+	t.AddSeries("increase-pct", ys)
+	// Least-squares slope through the origin-ish cloud.
+	var sxy, sxx float64
+	for _, p := range pts {
+		sxy += float64(p.preemptions) * p.increase
+		sxx += float64(p.preemptions) * float64(p.preemptions)
+	}
+	if sxx > 0 {
+		t.AddNote("slope: %.2f%% per preemption (paper: ~3%%)", sxy/sxx)
+	}
+	return t, nil
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"repro/internal/empirical"
+	"repro/internal/fit"
+	"repro/internal/trace"
+)
+
+// PhaseWise is the Section 8 extension experiment: compare the paper's
+// continuously differentiable analytical model against the proposed
+// "phase-wise" segmented-linear heuristic on the same data. The discussion
+// section conjectures the piecewise model can capture the phase transitions
+// with comparable accuracy while exposing the boundaries directly.
+func PhaseWise(opts Options) (*Table, error) {
+	opts = opts.normalize()
+	samples := trace.Generate(trace.DefaultScenario(), opts.SampleSize, opts.Seed)
+	bt, err := fit.FitBathtub(samples, trace.Deadline)
+	if err != nil {
+		return nil, err
+	}
+	seg, err := fit.FitSegmented(samples, trace.Deadline)
+	if err != nil {
+		return nil, err
+	}
+	ecdf := empirical.NewECDF(samples)
+	xs := grid(0, trace.Deadline, opts.GridPoints)
+	t := &Table{
+		Title:  "Section 8 extension: analytical bathtub vs phase-wise segmented-linear model",
+		XLabel: "hours",
+		YLabel: "CDF",
+		X:      xs,
+	}
+	t.AddSeries("empirical", ecdf.Eval(xs))
+	btY := make([]float64, len(xs))
+	segY := make([]float64, len(xs))
+	for i, x := range xs {
+		btY[i] = bt.Dist.CDF(x)
+		segY[i] = seg.Dist.CDF(x)
+	}
+	t.AddSeries("bathtub", btY)
+	t.AddSeries("segmented", segY)
+	t.AddNote("bathtub:   SSE=%.3f R2=%.4f KS=%.4f", bt.SSE, bt.R2, bt.KS)
+	t.AddNote("segmented: SSE=%.3f R2=%.4f KS=%.4f (%s)", seg.SSE, seg.R2, seg.KS, seg.Dist)
+	return t, nil
+}

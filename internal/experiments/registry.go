@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one experiment at the given fidelity.
+type Runner func(Options) (*Table, error)
+
+// registry maps experiment IDs (figure numbers and in-text results) to
+// their runners.
+var registry = map[string]Runner{
+	"1":                   Fig01ModelFit,
+	"2a":                  func(o Options) (*Table, error) { return Fig02aVMTypes(o), nil },
+	"2b":                  func(o Options) (*Table, error) { return Fig02bDiurnal(o), nil },
+	"2c":                  func(o Options) (*Table, error) { return Fig02cZones(o), nil },
+	"4a":                  Fig04aWastedWork,
+	"4b":                  Fig04bRunningTime,
+	"5":                   Fig05JobStartTime,
+	"6":                   Fig06JobLength,
+	"7":                   Fig07Sensitivity,
+	"8a":                  Fig08aCheckpointStart,
+	"8b":                  Fig08bCheckpointLength,
+	"9a":                  Fig09aCost,
+	"9b":                  Fig09bPreemptions,
+	"checkpoint-schedule": TextCheckpointSchedule,
+	"expected-lifetime":   TextExpectedLifetime,
+	"phase-wise":          PhaseWise,
+}
+
+// IDs returns all experiment IDs in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run regenerates one experiment by ID.
+func Run(id string, opts Options) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r(opts)
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// VMSelection implements the Section 4.1 analysis the paper sketches:
+// principled selection of VM types for jobs of a given length. For each job
+// length it reports the expected makespan on every VM type (fresh VM,
+// multi-failure restart semantics) and which type each objective picks.
+func VMSelection(opts Options) (*Table, error) {
+	opts = opts.normalize()
+	var cands []policy.Candidate
+	for i, vt := range trace.AllVMTypes() {
+		sc := trace.Scenario{Type: vt, Zone: trace.USCentral1C, TimeOfDay: trace.Day, Workload: trace.Busy}
+		m, _, err := core.Fit(trace.Generate(sc, opts.SampleSize, opts.Seed+uint64(i)*13), trace.Deadline)
+		if err != nil {
+			return nil, err
+		}
+		cands = append(cands, policy.Candidate{
+			Name:         string(vt),
+			Model:        m,
+			PricePerHour: cloud.MustLookup(vt).PreemptiblePerHour,
+		})
+	}
+	xs := grid(1, 20, 19)
+	t := &Table{
+		Title:  "Section 4.1: expected makespan by VM type and job length (fresh VM, with restarts)",
+		XLabel: "job hours",
+		YLabel: "E[makespan] hours",
+		X:      xs,
+	}
+	series := make(map[string][]float64, len(cands))
+	for _, c := range cands {
+		series[c.Name] = make([]float64, len(xs))
+	}
+	for i, J := range xs {
+		r, err := policy.SelectVMType(cands, J, policy.MinMakespan)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range r.Entries {
+			series[e.Name][i] = e.Makespan
+		}
+	}
+	for _, c := range cands {
+		t.AddSeries(c.Name, series[c.Name])
+	}
+	short, _ := policy.SelectVMType(cands, 2, policy.MinMakespan)
+	long, _ := policy.SelectVMType(cands, 12, policy.MinMakespan)
+	costShort, _ := policy.SelectVMType(cands, 2, policy.MinCost)
+	t.AddNote("2h job: makespan objective picks %s, cost objective picks %s", short.Best(), costShort.Best())
+	t.AddNote("12h job: makespan objective picks %s", long.Best())
+	t.AddNote("high-initial-rate types are 'particularly detrimental for short jobs' (Section 4.1)")
+	return t, nil
+}
+
+func init() {
+	registry["vm-selection"] = VMSelection
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/batch"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// ServiceValidation is the capstone system experiment: the same bag of
+// 4-hour jobs runs through the batch service under four policy stacks —
+// none (memoryless placement, no fault tolerance), the Section 4.2 reuse
+// policy, reuse + Section 4.3 DP checkpointing, and reuse + checkpointing +
+// warning checkpoints — averaged over several seeds. Each layer must not
+// hurt, and the full stack should cut lost work substantially, the
+// service-level synthesis of Figures 5-8.
+func ServiceValidation(opts Options) (*Table, error) {
+	opts = opts.normalize()
+	m, _, err := DefaultModel(opts)
+	if err != nil {
+		return nil, err
+	}
+	type stack struct {
+		name    string
+		reuse   bool
+		ckpt    bool
+		warning bool
+	}
+	stacks := []stack{
+		{"none", false, false, false},
+		{"reuse", true, false, false},
+		{"reuse+ckpt", true, true, false},
+		{"full", true, true, true},
+	}
+	const (
+		seeds  = 4
+		nJobs  = 24
+		jobLen = 4.0
+	)
+	makespans := make([]float64, len(stacks))
+	failures := make([]float64, len(stacks))
+	costs := make([]float64, len(stacks))
+	for si, st := range stacks {
+		for s := uint64(0); s < seeds; s++ {
+			cfg := batch.Config{
+				VMType:         trace.HighCPU16,
+				Zone:           trace.USEast1B,
+				Gangs:          4,
+				GangSize:       1,
+				Preemptible:    true,
+				HotSpareTTL:    1,
+				Model:          m,
+				UseReusePolicy: st.reuse,
+				Seed:           1000 + s,
+			}
+			if st.ckpt {
+				cfg.CheckpointDelta = 1.0 / 60
+				cfg.CheckpointStep = opts.DPStepMin / 60
+			}
+			cfg.WarningCheckpoint = st.warning
+			svc, err := batch.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			bag := workload.Bag{App: workload.Nanoconfinement}
+			for i := 0; i < nJobs; i++ {
+				bag.Jobs = append(bag.Jobs, workload.JobSpec{
+					ID:      fmt.Sprintf("sv-%02d", i),
+					App:     "nanoconfinement",
+					Runtime: jobLen,
+				})
+			}
+			if err := svc.SubmitBag(bag); err != nil {
+				return nil, err
+			}
+			rep, err := svc.Run()
+			if err != nil {
+				return nil, err
+			}
+			if rep.JobsCompleted != nJobs {
+				return nil, fmt.Errorf("stack %s seed %d: %d jobs completed", st.name, s, rep.JobsCompleted)
+			}
+			makespans[si] += rep.Makespan / seeds
+			failures[si] += float64(rep.JobFailures) / seeds
+			costs[si] += rep.TotalCost / seeds
+		}
+	}
+	xs := make([]float64, len(stacks))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	t := &Table{
+		Title:  "Service validation: policy stacks on a 96 VM-hour bag (mean over seeds)",
+		XLabel: "stack-index",
+		YLabel: "value",
+		X:      xs,
+	}
+	t.AddSeries("makespan-hours", makespans)
+	t.AddSeries("job-failures", failures)
+	t.AddSeries("cost-usd", costs)
+	for i, st := range stacks {
+		t.AddNote("%d=%s: makespan %.2fh, %.1f failures, $%.2f", i, st.name,
+			makespans[i], failures[i], costs[i])
+	}
+	t.AddNote("full stack vs none: makespan %.2fx, ideal %.1fh",
+		makespans[len(stacks)-1]/makespans[0], float64(nJobs)*jobLen/4)
+	return t, nil
+}
+
+func init() {
+	registry["service-validation"] = ServiceValidation
+}

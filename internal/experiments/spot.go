@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/empirical"
+	"repro/internal/fit"
+	"repro/internal/spot"
+	"repro/internal/trace"
+)
+
+// SpotContrast reproduces the paper's Section 2.2 framing claim: spot
+// market preemptions (price-driven, EC2-style) are approximately
+// memoryless, so the exponential model fits them well and memoryless
+// policies are appropriate — whereas on temporally constrained preemptions
+// the exponential fails and the bathtub model dominates (Figure 1). The
+// table shows both models' CDFs on both kinds of preemption data.
+func SpotContrast(opts Options) (*Table, error) {
+	opts = opts.normalize()
+	const dt = 1.0 / 60
+	proc := spot.DefaultProcess(0.10)
+	series := proc.Series(dt, 400000, opts.Seed+7)
+	spotLifetimes := spot.Lifetimes(series, dt, 0.20)
+	if len(spotLifetimes) < 50 {
+		return nil, fmt.Errorf("spot trace produced only %d lifetimes", len(spotLifetimes))
+	}
+	constrained := trace.Generate(trace.DefaultScenario(), opts.SampleSize, opts.Seed)
+
+	spotExp, err := fit.FitExponential(spotLifetimes)
+	if err != nil {
+		return nil, err
+	}
+	spotBt, err := fit.FitBathtub(spotLifetimes, trace.Deadline)
+	if err != nil {
+		return nil, err
+	}
+	conExp, err := fit.FitExponential(constrained)
+	if err != nil {
+		return nil, err
+	}
+	conBt, err := fit.FitBathtub(constrained, trace.Deadline)
+	if err != nil {
+		return nil, err
+	}
+
+	xs := grid(0, trace.Deadline, opts.GridPoints)
+	t := &Table{
+		Title:  "Section 2.2 contrast: spot-market vs constrained preemptions under both models",
+		XLabel: "hours",
+		YLabel: "CDF",
+		X:      xs,
+	}
+	spotECDF := empirical.NewECDF(spotLifetimes)
+	conECDF := empirical.NewECDF(constrained)
+	t.AddSeries("spot-empirical", spotECDF.Eval(xs))
+	addCDF := func(name string, cdf func(float64) float64) {
+		y := make([]float64, len(xs))
+		for i, x := range xs {
+			y[i] = cdf(x)
+		}
+		t.AddSeries(name, y)
+	}
+	addCDF("spot-exponential", spotExp.Dist.CDF)
+	t.AddSeries("constrained-empirical", conECDF.Eval(xs))
+	addCDF("constrained-exponential", conExp.Dist.CDF)
+
+	t.AddNote("spot data (%d lifetimes, MTTF=%.2fh): exponential R2=%.4f, bathtub R2=%.4f (gap %.4f)",
+		len(spotLifetimes), spotExp.Dist.(interface{ Mean() float64 }).Mean(),
+		spotExp.R2, spotBt.R2, spotBt.R2-spotExp.R2)
+	t.AddNote("constrained data: exponential R2=%.4f, bathtub R2=%.4f (bathtub required)",
+		conExp.R2, conBt.R2)
+	t.AddNote("claim: memoryless models suffice for spot but fail for constrained preemptions")
+	return t, nil
+}
+
+func init() {
+	registry["spot-contrast"] = SpotContrast
+}

@@ -1,0 +1,164 @@
+// Package experiments regenerates every figure of the paper's evaluation as
+// a printable data table: the same x-grids and series the figures plot,
+// produced by this repository's model, policies, and simulated batch
+// service. cmd/experiments prints them; bench_test.go wraps each one in a
+// benchmark so `go test -bench` regenerates the full evaluation.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Series is one curve: y values over the table's shared x grid.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Table is one figure's data: a shared x column plus one column per series,
+// with free-form notes recording the headline comparison (who wins, by what
+// factor).
+type Table struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+	Notes  []string
+}
+
+// AddSeries appends a series, validating its length against the x grid.
+func (t *Table) AddSeries(name string, y []float64) {
+	if len(y) != len(t.X) {
+		panic(fmt.Sprintf("experiments: series %q has %d points, x grid has %d", name, len(y), len(t.X)))
+	}
+	t.Series = append(t.Series, Series{Name: name, Y: y})
+}
+
+// AddNote appends a formatted note line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format writes the table as aligned columns.
+func (t *Table) Format(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+		return err
+	}
+	headers := []string{t.XLabel}
+	for _, s := range t.Series {
+		headers = append(headers, s.Name)
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", strings.Join(pad(headers), "  ")); err != nil {
+		return err
+	}
+	for i := range t.X {
+		row := []string{fmt.Sprintf("%.4g", t.X[i])}
+		for _, s := range t.Series {
+			row = append(row, fmt.Sprintf("%.4g", s.Y[i]))
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", strings.Join(pad(row), "  ")); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV writes the table as CSV: a header row of x-label and series
+// names, one row per grid point, and notes as trailing comment lines.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{t.XLabel}
+	for _, s := range t.Series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: writing CSV header: %w", err)
+	}
+	for i := range t.X {
+		row := []string{strconv.FormatFloat(t.X[i], 'g', -1, 64)}
+		for _, s := range t.Series {
+			row = append(row, strconv.FormatFloat(s.Y[i], 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pad right-pads each cell to a fixed width for alignment.
+func pad(cells []string) []string {
+	const width = 14
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		if len(c) < width {
+			c += strings.Repeat(" ", width-len(c))
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// grid returns n+1 evenly spaced points from lo to hi inclusive.
+func grid(lo, hi float64, n int) []float64 {
+	if n < 1 {
+		panic("experiments: grid needs at least one interval")
+	}
+	out := make([]float64, n+1)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n)
+	}
+	return out
+}
+
+// Options tunes experiment fidelity; the zero value is replaced by
+// Defaults. Benches use the defaults; tests may lower fidelity.
+type Options struct {
+	Seed       uint64
+	SampleSize int     // lifetimes per empirical CDF
+	GridPoints int     // x-grid resolution
+	DPStepMin  float64 // checkpoint DP resolution in minutes
+}
+
+// Defaults returns the fidelity used for reported results.
+func Defaults() Options {
+	return Options{Seed: 42, SampleSize: 2000, GridPoints: 48, DPStepMin: 2}
+}
+
+// normalize fills zero fields from Defaults.
+func (o Options) normalize() Options {
+	d := Defaults()
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	if o.SampleSize == 0 {
+		o.SampleSize = d.SampleSize
+	}
+	if o.GridPoints == 0 {
+		o.GridPoints = d.GridPoints
+	}
+	if o.DPStepMin == 0 {
+		o.DPStepMin = d.DPStepMin
+	}
+	return o
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// TextCheckpointSchedule reproduces the in-text example of Section 4.3: the
+// optimal checkpoint schedule of a 5-hour job launched on a fresh VM. The
+// paper reports the non-uniform, increasing intervals
+// (15, 28, 38, 59, 128) minutes; we report ours, which must be increasing
+// with a short first interval.
+func TextCheckpointSchedule(opts Options) (*Table, error) {
+	opts = opts.normalize()
+	m, _, err := DefaultModel(opts)
+	if err != nil {
+		return nil, err
+	}
+	step := opts.DPStepMin / 60
+	dp := policy.NewCheckpointPlanner(m, checkpointDelta, step)
+	sched := dp.Plan(5, 0)
+	xs := make([]float64, len(sched.Intervals))
+	ys := make([]float64, len(sched.Intervals))
+	for i, iv := range sched.Intervals {
+		xs[i] = float64(i + 1)
+		ys[i] = iv * 60 // minutes
+	}
+	t := &Table{
+		Title:  "Section 4.3 example: optimal checkpoint intervals for a 5h job at VM age 0",
+		XLabel: "interval#",
+		YLabel: "minutes",
+		X:      xs,
+	}
+	t.AddSeries("interval-min", ys)
+	t.AddNote("paper's example: (15, 28, 38, 59, 128) minutes, increasing")
+	t.AddNote("expected makespan %.3fh for the 5h job (overhead %.1f%%)",
+		sched.ExpectedMakespan, dp.OverheadPercent(5, 0))
+	return t, nil
+}
+
+// TextExpectedLifetime reproduces the Equation 3 expected-lifetime summary:
+// the MTTF substitute for each VM type, fitted from its own synthetic
+// study data. Larger VMs must show shorter expected lifetimes.
+func TextExpectedLifetime(opts Options) (*Table, error) {
+	opts = opts.normalize()
+	types := trace.AllVMTypes()
+	xs := make([]float64, len(types))
+	fitY := make([]float64, len(types))
+	truthY := make([]float64, len(types))
+	for i, vt := range types {
+		xs[i] = float64(vt.CPUs())
+		sc := trace.Scenario{Type: vt, Zone: trace.USCentral1C, TimeOfDay: trace.Day, Workload: trace.Busy}
+		m, _, err := core.Fit(trace.Generate(sc, opts.SampleSize, opts.Seed+uint64(i)*3), trace.Deadline)
+		if err != nil {
+			return nil, err
+		}
+		fitY[i] = m.NormalizedExpectedLifetime()
+		truthY[i] = trace.GroundTruth(sc).Mean()
+	}
+	t := &Table{
+		Title:  "Equation 3: expected VM lifetime (MTTF substitute) by VM size",
+		XLabel: "vCPUs",
+		YLabel: "hours",
+		X:      xs,
+	}
+	t.AddSeries("fitted-E[L]", fitY)
+	t.AddSeries("ground-truth", truthY)
+	t.AddNote("expected lifetime decreases with VM size (Observation 4)")
+	return t, nil
+}

@@ -1,0 +1,90 @@
+package fit
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mathx"
+)
+
+// Bootstrap confidence intervals for the bathtub parameters. The paper's
+// sensitivity analysis (Figure 7) asks how much fitted parameters can be
+// trusted; the nonparametric bootstrap answers directly: resample the
+// lifetimes with replacement, refit, and report percentile intervals.
+
+// ParamCI is a percentile confidence interval for one parameter.
+type ParamCI struct {
+	Name             string
+	Point            float64 // fit on the original sample
+	Lo, Hi           float64 // percentile bounds
+	BootstrapSamples int
+}
+
+// BootstrapBathtub fits the bathtub model to the sample and to iters
+// bootstrap resamples, returning per-parameter level-confidence percentile
+// intervals (e.g. level 0.9 gives the 5th-95th percentile band).
+// Deterministic under seed.
+func BootstrapBathtub(samples []float64, l float64, iters int, level float64, seed uint64) ([]ParamCI, error) {
+	if iters < 10 {
+		return nil, fmt.Errorf("fit: bootstrap needs at least 10 iterations, got %d", iters)
+	}
+	if level <= 0 || level >= 1 {
+		return nil, fmt.Errorf("fit: confidence level %v outside (0,1)", level)
+	}
+	base, err := FitBathtub(samples, l)
+	if err != nil {
+		return nil, err
+	}
+	names := []string{"A", "tau1", "tau2", "b"}
+	draws := make([][]float64, len(names))
+
+	rng := mathx.NewRNG(seed)
+	resample := make([]float64, len(samples))
+	failures := 0
+	for it := 0; it < iters; it++ {
+		for i := range resample {
+			resample[i] = samples[rng.Intn(len(samples))]
+		}
+		rep, err := FitBathtub(resample, l)
+		if err != nil {
+			// Degenerate resamples (e.g. too many ties) are rare; skip
+			// but bound how many we tolerate.
+			failures++
+			if failures > iters/4 {
+				return nil, fmt.Errorf("fit: %d of %d bootstrap refits failed", failures, it+1)
+			}
+			continue
+		}
+		for p := range names {
+			draws[p] = append(draws[p], rep.Params[p])
+		}
+	}
+	alpha := (1 - level) / 2
+	out := make([]ParamCI, len(names))
+	for p, name := range names {
+		ds := draws[p]
+		sort.Float64s(ds)
+		out[p] = ParamCI{
+			Name:             name,
+			Point:            base.Params[p],
+			Lo:               percentile(ds, alpha),
+			Hi:               percentile(ds, 1-alpha),
+			BootstrapSamples: len(ds),
+		}
+	}
+	return out, nil
+}
+
+// percentile returns the p-quantile of sorted xs by linear interpolation.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	h := p * float64(len(xs)-1)
+	lo := int(h)
+	if lo >= len(xs)-1 {
+		return xs[len(xs)-1]
+	}
+	frac := h - float64(lo)
+	return xs[lo]*(1-frac) + xs[lo+1]*frac
+}

@@ -1,0 +1,72 @@
+package fit
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/trace"
+)
+
+func TestBootstrapBathtubCoversTruthShape(t *testing.T) {
+	truth := dist.NewBathtub(0.45, 1.0, 0.8, 24, 24)
+	samples := sampleFrom(dist.Truncate(truth, 24), 1200, 41)
+	cis, err := BootstrapBathtub(samples, 24, 30, 0.9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cis) != 4 {
+		t.Fatalf("CIs = %d", len(cis))
+	}
+	byName := map[string]ParamCI{}
+	for _, ci := range cis {
+		byName[ci.Name] = ci
+		if !(ci.Lo <= ci.Hi) {
+			t.Fatalf("%s: inverted interval [%v, %v]", ci.Name, ci.Lo, ci.Hi)
+		}
+		if ci.Point < ci.Lo-0.5 || ci.Point > ci.Hi+0.5 {
+			t.Fatalf("%s: point %v far outside [%v, %v]", ci.Name, ci.Point, ci.Lo, ci.Hi)
+		}
+		if ci.BootstrapSamples < 20 {
+			t.Fatalf("%s: only %d successful refits", ci.Name, ci.BootstrapSamples)
+		}
+	}
+	// tau1 interval should bracket the truth (sampling normalization can
+	// shift A, so only shape parameters are checked).
+	if tau1 := byName["tau1"]; truth.Tau1 < tau1.Lo-0.3 || truth.Tau1 > tau1.Hi+0.3 {
+		t.Fatalf("tau1 interval [%v, %v] far from truth %v", tau1.Lo, tau1.Hi, truth.Tau1)
+	}
+	// b is tightly identified by the deadline spike.
+	if b := byName["b"]; b.Hi-b.Lo > 4 {
+		t.Fatalf("b interval [%v, %v] too wide", b.Lo, b.Hi)
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	samples := trace.Generate(trace.DefaultScenario(), 600, 3)
+	a, err := BootstrapBathtub(samples, 24, 15, 0.8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BootstrapBathtub(samples, 24, 15, 0.8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("bootstrap not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestBootstrapValidation(t *testing.T) {
+	samples := trace.Generate(trace.DefaultScenario(), 200, 3)
+	if _, err := BootstrapBathtub(samples, 24, 5, 0.9, 1); err == nil {
+		t.Fatal("too few iterations accepted")
+	}
+	if _, err := BootstrapBathtub(samples, 24, 20, 1.5, 1); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := BootstrapBathtub([]float64{1}, 24, 20, 0.9, 1); err == nil {
+		t.Fatal("tiny sample accepted")
+	}
+}

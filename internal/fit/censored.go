@@ -1,0 +1,81 @@
+package fit
+
+import (
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/empirical"
+)
+
+// FitBathtubCensored fits the bathtub model to right-censored observations
+// (VMs terminated before preemption are censored) by least squares against
+// the Kaplan-Meier CDF estimate instead of the naive ECDF. A study run the
+// paper's way — VMs shut down when their jobs finish — must use this
+// variant or it overestimates preemption rates.
+func FitBathtubCensored(obs []empirical.Observation, l float64) (FitReport, error) {
+	km, err := NewKMOrError(obs)
+	if err != nil {
+		return FitReport{}, err
+	}
+	ts, fs := km.Points()
+	if len(ts) < 5 {
+		return FitReport{}, ErrTooFewSamples
+	}
+	lo, hi := BathtubBounds(l)
+	model := func(t float64, q []float64) float64 {
+		return q[0] * (1 - math.Exp(-t/q[1]) + math.Exp((t-q[3])/q[2]))
+	}
+	p := &Problem{Model: model, Ts: ts, Ys: fs, Lo: lo, Hi: hi}
+	starts := [][]float64{
+		{0.45, 1.0, 0.8, l},
+		{0.4, 0.5, 0.5, l - 1},
+		{0.5, 2.0, 1.2, l + 1},
+	}
+	r, err := MultiStart(p, starts, 500)
+	if err != nil {
+		return FitReport{}, err
+	}
+	nmX, nmF := NelderMead(p.sse, r.Params, lo, hi, 2000)
+	params := r.Params
+	if nmF < r.SSE {
+		params = nmX
+	}
+	d := dist.NewBathtub(params[0], params[1], params[2], params[3], l)
+	// Goodness of fit against the KM points (event lifetimes only).
+	pred := make([]float64, len(ts))
+	for i, t := range ts {
+		pred[i] = d.Raw(t)
+	}
+	sse := SSE(fs, pred)
+	return FitReport{
+		Dist:   d,
+		Family: "bathtub-censored",
+		Params: params,
+		SSE:    sse,
+		RMSE:   math.Sqrt(sse / float64(len(ts))),
+		R2:     RSquared(fs, pred),
+		KS:     maxAbsAgainst(km, d),
+	}, nil
+}
+
+// NewKMOrError wraps empirical.NewKaplanMeier, converting its panic-free
+// error contract for fit callers.
+func NewKMOrError(obs []empirical.Observation) (*empirical.KaplanMeier, error) {
+	if len(obs) < 5 {
+		return nil, ErrTooFewSamples
+	}
+	return empirical.NewKaplanMeier(obs)
+}
+
+// maxAbsAgainst is the KS-style distance between the KM estimate and a
+// model CDF, evaluated at the event times.
+func maxAbsAgainst(km *empirical.KaplanMeier, d dist.Distribution) float64 {
+	ts, fs := km.Points()
+	var m float64
+	for i, t := range ts {
+		if v := math.Abs(fs[i] - d.CDF(t)); v > m {
+			m = v
+		}
+	}
+	return m
+}

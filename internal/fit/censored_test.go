@@ -1,0 +1,97 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/empirical"
+	"repro/internal/mathx"
+	"repro/internal/trace"
+)
+
+// censoredStudy simulates the paper's methodology: VMs run until preempted
+// or until their work finishes at a random age (censoring).
+func censoredStudy(n int, censorMean float64, seed uint64) []empirical.Observation {
+	rng := mathx.NewRNG(seed)
+	truth := trace.GroundTruth(trace.DefaultScenario())
+	obs := make([]empirical.Observation, n)
+	for i := range obs {
+		life := truth.Sample(rng)
+		censor := censorMean * rng.ExpFloat64()
+		if censor < life {
+			obs[i] = empirical.Observation{Time: censor, Event: false}
+		} else {
+			obs[i] = empirical.Observation{Time: life, Event: true}
+		}
+	}
+	return obs
+}
+
+func TestFitBathtubCensoredRecoversTruth(t *testing.T) {
+	// Heavy censoring (mean censor age 12h) still yields a model close to
+	// the ground truth where the KM estimate has support.
+	obs := censoredStudy(6000, 12, 3)
+	rep, err := FitBathtubCensored(obs, trace.Deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.R2 < 0.97 {
+		t.Fatalf("censored fit R2 = %v", rep.R2)
+	}
+	truth := trace.GroundTruth(trace.DefaultScenario())
+	bt := rep.Dist.(dist.Bathtub)
+	norm := bt.Raw(trace.Deadline)
+	for _, tt := range []float64{2, 6, 10} {
+		model := math.Min(bt.Raw(tt)/norm, 1)
+		if d := math.Abs(model - truth.CDF(tt)); d > 0.08 {
+			t.Fatalf("censored fit off truth at %v by %v", tt, d)
+		}
+	}
+}
+
+func TestCensoredBeatsNaiveOnCensoredData(t *testing.T) {
+	// Fitting the naive ECDF of ended-at ages (treating censorings as
+	// preemptions) must be visibly worse against the ground truth than the
+	// Kaplan-Meier-based fit.
+	obs := censoredStudy(6000, 8, 7)
+	naive := make([]float64, len(obs))
+	for i, o := range obs {
+		naive[i] = o.Time
+	}
+	censoredRep, err := FitBathtubCensored(obs, trace.Deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveRep, err := FitBathtub(naive, trace.Deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := trace.GroundTruth(trace.DefaultScenario())
+	errAt := func(rep FitReport, tt float64) float64 {
+		bt := rep.Dist.(dist.Bathtub)
+		norm := bt.Raw(trace.Deadline)
+		return math.Abs(math.Min(bt.Raw(tt)/norm, 1) - truth.CDF(tt))
+	}
+	var cenErr, naiveErr float64
+	for _, tt := range []float64{2, 4, 6, 8} {
+		cenErr += errAt(censoredRep, tt)
+		naiveErr += errAt(naiveRep, tt)
+	}
+	if !(cenErr < naiveErr) {
+		t.Fatalf("KM-based fit error %v not below naive %v", cenErr, naiveErr)
+	}
+}
+
+func TestFitBathtubCensoredErrors(t *testing.T) {
+	if _, err := FitBathtubCensored(nil, 24); err != ErrTooFewSamples {
+		t.Fatalf("err = %v", err)
+	}
+	// All censored: KM errors out.
+	obs := []empirical.Observation{
+		{Time: 1}, {Time: 2}, {Time: 3}, {Time: 4}, {Time: 5},
+	}
+	if _, err := FitBathtubCensored(obs, 24); err == nil {
+		t.Fatal("all-censored accepted")
+	}
+}

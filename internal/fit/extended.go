@@ -1,0 +1,109 @@
+package fit
+
+import (
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/empirical"
+)
+
+// FitLogNormal fits (mu, sigma) by least squares on the CDF. The method of
+// moments on log-lifetimes seeds the optimizer.
+func FitLogNormal(samples []float64) (FitReport, error) {
+	ts, fs, err := ecdfPoints(samples)
+	if err != nil {
+		return FitReport{}, err
+	}
+	// Moment seed from log samples (guarding zero lifetimes).
+	var sum, sumsq float64
+	n := 0
+	for _, s := range samples {
+		if s <= 0 {
+			continue
+		}
+		l := math.Log(s)
+		sum += l
+		sumsq += l * l
+		n++
+	}
+	mu0, sigma0 := 0.0, 1.0
+	if n > 1 {
+		mu0 = sum / float64(n)
+		v := sumsq/float64(n) - mu0*mu0
+		if v > 1e-6 {
+			sigma0 = math.Sqrt(v)
+		}
+	}
+	model := func(t float64, q []float64) float64 {
+		return dist.LogNormal{Mu: q[0], Sigma: q[1]}.CDF(t)
+	}
+	p := &Problem{
+		Model: model, Ts: ts, Ys: fs,
+		Lo: []float64{-10, 0.01}, Hi: []float64{10, 10},
+	}
+	starts := [][]float64{{mu0, sigma0}, {mu0, sigma0 * 2}, {0, 1}}
+	r, err := MultiStart(p, starts, 400)
+	if err != nil {
+		return FitReport{}, err
+	}
+	d := dist.NewLogNormal(r.Params[0], r.Params[1])
+	return makeReport(d, "lognormal", r.Params, samples, ts, fs), nil
+}
+
+// FitGamma fits (k, lambda) by least squares on the CDF, seeded by the
+// method of moments.
+func FitGamma(samples []float64) (FitReport, error) {
+	ts, fs, err := ecdfPoints(samples)
+	if err != nil {
+		return FitReport{}, err
+	}
+	sum := empirical.Summarize(samples)
+	k0, lam0 := 1.0, 1.0
+	if sum.Std > 1e-9 && sum.Mean > 1e-9 {
+		v := sum.Std * sum.Std
+		k0 = sum.Mean * sum.Mean / v
+		lam0 = sum.Mean / v
+	}
+	model := func(t float64, q []float64) float64 {
+		if t <= 0 {
+			return 0
+		}
+		return dist.Gamma{K: q[0], Lambda: q[1]}.CDF(t)
+	}
+	p := &Problem{
+		Model: model, Ts: ts, Ys: fs,
+		Lo: []float64{0.05, 1e-4}, Hi: []float64{50, 50},
+	}
+	starts := [][]float64{{k0, lam0}, {1, lam0}, {2, 2 * lam0}}
+	r, err := MultiStart(p, starts, 400)
+	if err != nil {
+		return FitReport{}, err
+	}
+	d := dist.NewGamma(r.Params[0], r.Params[1])
+	return makeReport(d, "gamma", r.Params, samples, ts, fs), nil
+}
+
+// FitAllExtended fits the paper's four Figure 1 families plus the
+// log-normal, gamma, and segmented-linear extensions.
+func FitAllExtended(samples []float64, l float64) (map[string]FitReport, error) {
+	out, err := FitAll(samples, l)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := FitLogNormal(samples)
+	if err != nil {
+		return nil, err
+	}
+	out["lognormal"] = ln
+	gm, err := FitGamma(samples)
+	if err != nil {
+		return nil, err
+	}
+	out["gamma"] = gm
+	seg, err := FitSegmented(samples, l)
+	if err != nil {
+		return nil, err
+	}
+	out["segmented-linear"] = seg
+	return out, nil
+}

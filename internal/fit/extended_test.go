@@ -1,0 +1,71 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/trace"
+)
+
+func TestFitLogNormalRecovery(t *testing.T) {
+	truth := dist.NewLogNormal(1.0, 0.5)
+	samples := sampleFrom(truth, 2500, 29)
+	rep, err := FitLogNormal(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Params[0]-1.0) > 0.1 || math.Abs(rep.Params[1]-0.5) > 0.1 {
+		t.Fatalf("params = %v, want ~[1.0 0.5]", rep.Params)
+	}
+	if rep.R2 < 0.99 {
+		t.Fatalf("R2 = %v", rep.R2)
+	}
+}
+
+func TestFitGammaRecovery(t *testing.T) {
+	truth := dist.NewGamma(3, 0.8)
+	samples := sampleFrom(truth, 2500, 31)
+	rep, err := FitGamma(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Params[0]-3) > 0.5 || math.Abs(rep.Params[1]-0.8) > 0.2 {
+		t.Fatalf("params = %v, want ~[3 0.8]", rep.Params)
+	}
+}
+
+func TestFitAllExtendedBathtubStillWins(t *testing.T) {
+	// Adding baselines must not change Figure 1's verdict on constrained
+	// preemption data: the bathtub model dominates every classical family.
+	samples := trace.Generate(trace.DefaultScenario(), 2000, 37)
+	reports, err := FitAllExtended(samples, trace.Deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 7 {
+		t.Fatalf("families = %d, want 7", len(reports))
+	}
+	bt := reports["bathtub"].SSE
+	for fam, rep := range reports {
+		if fam == "bathtub" || fam == "segmented-linear" {
+			continue
+		}
+		if rep.SSE <= bt {
+			t.Fatalf("%s SSE %v <= bathtub %v", fam, rep.SSE, bt)
+		}
+	}
+	// The segmented phase-wise model is the only competitive alternative.
+	if reports["segmented-linear"].R2 < 0.98 {
+		t.Fatalf("segmented R2 = %v", reports["segmented-linear"].R2)
+	}
+}
+
+func TestFitExtendedTooFew(t *testing.T) {
+	if _, err := FitLogNormal([]float64{1}); err != ErrTooFewSamples {
+		t.Fatal("lognormal")
+	}
+	if _, err := FitGamma([]float64{1}); err != ErrTooFewSamples {
+		t.Fatal("gamma")
+	}
+}

@@ -1,0 +1,206 @@
+package fit
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/empirical"
+)
+
+// FitReport bundles a fitted distribution with its goodness of fit,
+// mirroring the comparison in the paper's Figure 1.
+type FitReport struct {
+	Dist   dist.Distribution
+	Family string
+	Params []float64
+	SSE    float64
+	RMSE   float64
+	R2     float64
+	KS     float64
+}
+
+// ErrTooFewSamples is returned when a fitter receives fewer observations
+// than parameters.
+var ErrTooFewSamples = errors.New("fit: too few samples for the requested family")
+
+// ecdfPoints extracts the (t, F) staircase points a CDF model is fitted to.
+func ecdfPoints(samples []float64) (ts, fs []float64, err error) {
+	if len(samples) < 5 {
+		return nil, nil, ErrTooFewSamples
+	}
+	e := empirical.NewECDF(samples)
+	ts, fs = e.Points()
+	return ts, fs, nil
+}
+
+func makeReport(d dist.Distribution, family string, params []float64, samples, ts, fs []float64) FitReport {
+	pred := make([]float64, len(ts))
+	raw, isBathtub := d.(dist.Bathtub)
+	for i, t := range ts {
+		if isBathtub {
+			pred[i] = raw.Raw(t)
+		} else {
+			pred[i] = d.CDF(t)
+		}
+	}
+	sse := SSE(fs, pred)
+	return FitReport{
+		Dist:   d,
+		Family: family,
+		Params: params,
+		SSE:    sse,
+		RMSE:   math.Sqrt(sse / float64(len(ts))),
+		R2:     RSquared(fs, pred),
+		KS:     empirical.KSDistance(samples, d.CDF),
+	}
+}
+
+// FitExponential fits lambda by least squares on the CDF (the paper's
+// "classical exponential" baseline in Figure 1).
+func FitExponential(samples []float64) (FitReport, error) {
+	ts, fs, err := ecdfPoints(samples)
+	if err != nil {
+		return FitReport{}, err
+	}
+	mean := empirical.Mean(samples)
+	p := &Problem{
+		Model: func(t float64, q []float64) float64 { return 1 - math.Exp(-q[0]*t) },
+		Ts:    ts, Ys: fs,
+		Lo: []float64{1e-6}, Hi: []float64{100},
+	}
+	r, err := MultiStart(p, [][]float64{{1 / math.Max(mean, 1e-6)}, {0.05}, {1}}, 300)
+	if err != nil {
+		return FitReport{}, err
+	}
+	d := dist.NewExponential(r.Params[0])
+	return makeReport(d, "exponential", r.Params, samples, ts, fs), nil
+}
+
+// FitWeibull fits (lambda, k) by least squares on the CDF.
+func FitWeibull(samples []float64) (FitReport, error) {
+	ts, fs, err := ecdfPoints(samples)
+	if err != nil {
+		return FitReport{}, err
+	}
+	mean := empirical.Mean(samples)
+	lam := 1 / math.Max(mean, 1e-6)
+	p := &Problem{
+		Model: func(t float64, q []float64) float64 {
+			if t <= 0 {
+				return 0
+			}
+			return 1 - math.Exp(-math.Pow(q[0]*t, q[1]))
+		},
+		Ts: ts, Ys: fs,
+		Lo: []float64{1e-6, 0.05}, Hi: []float64{100, 20},
+	}
+	starts := [][]float64{{lam, 1}, {lam, 0.5}, {lam, 2}, {lam, 5}}
+	r, err := MultiStart(p, starts, 400)
+	if err != nil {
+		return FitReport{}, err
+	}
+	d := dist.NewWeibull(r.Params[0], r.Params[1])
+	return makeReport(d, "weibull", r.Params, samples, ts, fs), nil
+}
+
+// FitGompertzMakeham fits (lambda, alpha, beta) by least squares on the CDF.
+func FitGompertzMakeham(samples []float64) (FitReport, error) {
+	ts, fs, err := ecdfPoints(samples)
+	if err != nil {
+		return FitReport{}, err
+	}
+	p := &Problem{
+		Model: func(t float64, q []float64) float64 {
+			if t <= 0 {
+				return 0
+			}
+			return 1 - math.Exp(-q[0]*t-(q[1]/q[2])*(math.Exp(q[2]*t)-1))
+		},
+		Ts: ts, Ys: fs,
+		Lo: []float64{1e-8, 1e-10, 1e-4}, Hi: []float64{10, 10, 5},
+	}
+	starts := [][]float64{
+		{0.05, 1e-4, 0.3},
+		{0.1, 1e-6, 0.8},
+		{0.01, 1e-3, 0.2},
+		{0.2, 1e-8, 1.5},
+	}
+	r, err := MultiStart(p, starts, 500)
+	if err != nil {
+		return FitReport{}, err
+	}
+	d := dist.NewGompertzMakeham(r.Params[0], r.Params[1], r.Params[2])
+	return makeReport(d, "gompertz-makeham", r.Params, samples, ts, fs), nil
+}
+
+// BathtubBounds is the parameter box used when fitting the paper's model:
+// A in [0.2, 1], tau1 in [0.05, 8], tau2 in [0.05, 4], b in [L-6, L+4].
+func BathtubBounds(l float64) (lo, hi []float64) {
+	return []float64{0.2, 0.05, 0.05, l - 6}, []float64{1.0, 8, 4, l + 4}
+}
+
+// FitBathtub fits the paper's constrained-preemption model (Equation 1) to
+// lifetime samples with deadline l, reproducing the scipy curve_fit(dogbox)
+// step of Section 3.2.2. Levenberg-Marquardt from several starts is refined
+// by Nelder-Mead when the projected-LM step stalls on the b/tau2 trade-off.
+func FitBathtub(samples []float64, l float64) (FitReport, error) {
+	ts, fs, err := ecdfPoints(samples)
+	if err != nil {
+		return FitReport{}, err
+	}
+	lo, hi := BathtubBounds(l)
+	model := func(t float64, q []float64) float64 {
+		// q = [A, tau1, tau2, b]; Equation 1, unclamped (the raw fit
+		// target, as in the paper).
+		return q[0] * (1 - math.Exp(-t/q[1]) + math.Exp((t-q[3])/q[2]))
+	}
+	p := &Problem{Model: model, Ts: ts, Ys: fs, Lo: lo, Hi: hi}
+	starts := [][]float64{
+		{0.45, 1.0, 0.8, l},
+		{0.4, 0.5, 0.5, l - 1},
+		{0.5, 2.0, 1.2, l + 1},
+		{0.35, 4.0, 0.3, l},
+	}
+	r, err := MultiStart(p, starts, 500)
+	if err != nil {
+		return FitReport{}, err
+	}
+	// Polish with Nelder-Mead; keep the better of the two.
+	nmX, nmF := NelderMead(p.sse, r.Params, lo, hi, 2000)
+	params := r.Params
+	if nmF < r.SSE {
+		params = nmX
+	}
+	d := dist.NewBathtub(params[0], params[1], params[2], params[3], l)
+	return makeReport(d, "bathtub", params, samples, ts, fs), nil
+}
+
+// FitAll fits all four families of Figure 1 and returns the reports keyed by
+// family name. Errors from individual families are returned in the map as
+// absent entries only if the family genuinely cannot be fitted; the first
+// hard error aborts.
+func FitAll(samples []float64, l float64) (map[string]FitReport, error) {
+	out := make(map[string]FitReport, 4)
+	exp, err := FitExponential(samples)
+	if err != nil {
+		return nil, err
+	}
+	out["exponential"] = exp
+	wb, err := FitWeibull(samples)
+	if err != nil {
+		return nil, err
+	}
+	out["weibull"] = wb
+	gm, err := FitGompertzMakeham(samples)
+	if err != nil {
+		return nil, err
+	}
+	out["gompertz-makeham"] = gm
+	bt, err := FitBathtub(samples, l)
+	if err != nil {
+		return nil, err
+	}
+	out["bathtub"] = bt
+	return out, nil
+}

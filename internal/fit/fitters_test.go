@@ -1,0 +1,122 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/mathx"
+)
+
+func sampleFrom(d dist.Distribution, n int, seed uint64) []float64 {
+	rng := mathx.NewRNG(seed)
+	return dist.SampleN(d, rng, 24, n)
+}
+
+func TestFitExponentialRecovery(t *testing.T) {
+	truth := dist.NewExponential(0.25)
+	// Use untruncated sampling far beyond the mean so truncation bias is
+	// negligible: quantile sampling on [0, 24] with lambda=0.25 covers
+	// 1-e^-6 = 99.75% of the mass.
+	samples := sampleFrom(truth, 2000, 7)
+	rep, err := FitExponential(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Params[0]-0.25) > 0.03 {
+		t.Fatalf("lambda = %v, want ~0.25", rep.Params[0])
+	}
+	if rep.R2 < 0.98 {
+		t.Fatalf("R2 = %v", rep.R2)
+	}
+}
+
+func TestFitWeibullRecovery(t *testing.T) {
+	truth := dist.NewWeibull(0.2, 2.0)
+	samples := sampleFrom(truth, 2000, 11)
+	rep, err := FitWeibull(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Params[0]-0.2) > 0.03 || math.Abs(rep.Params[1]-2.0) > 0.3 {
+		t.Fatalf("params = %v, want ~[0.2 2.0]", rep.Params)
+	}
+}
+
+func TestFitGompertzMakehamQuality(t *testing.T) {
+	truth := dist.NewGompertzMakeham(0.05, 0.002, 0.35)
+	samples := sampleFrom(truth, 1500, 13)
+	rep, err := FitGompertzMakeham(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GM parameters are weakly identified; require fit quality, not
+	// parameter recovery.
+	if rep.R2 < 0.98 {
+		t.Fatalf("R2 = %v, params %v", rep.R2, rep.Params)
+	}
+}
+
+func TestFitBathtubRecovery(t *testing.T) {
+	truth := dist.NewBathtub(0.45, 1.0, 0.8, 24, 24)
+	samples := sampleFrom(dist.Truncate(truth, 24), 3000, 17)
+	rep, err := FitBathtub(samples, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := rep.Dist.(dist.Bathtub)
+	// The normalization of sampling rescales A; shape parameters must be
+	// close to truth.
+	if math.Abs(bt.Tau1-1.0) > 0.35 {
+		t.Fatalf("tau1 = %v, want ~1.0 (params %v)", bt.Tau1, rep.Params)
+	}
+	if math.Abs(bt.B-24) > 1.5 {
+		t.Fatalf("b = %v, want ~24", bt.B)
+	}
+	if rep.R2 < 0.99 {
+		t.Fatalf("R2 = %v", rep.R2)
+	}
+}
+
+func TestFitAllBathtubWinsOnBathtubData(t *testing.T) {
+	// The reproduction of Figure 1's qualitative claim: on constrained
+	// bathtub preemption data, the paper's model fits better than
+	// exponential, Weibull, and Gompertz-Makeham.
+	truth := dist.NewBathtub(0.45, 1.2, 0.8, 24, 24)
+	samples := sampleFrom(dist.Truncate(truth, 24), 2500, 23)
+	reports, err := FitAll(samples, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := reports["bathtub"]
+	for _, fam := range []string{"exponential", "weibull", "gompertz-makeham"} {
+		if reports[fam].SSE <= bt.SSE {
+			t.Fatalf("%s SSE %v <= bathtub SSE %v; bathtub should win",
+				fam, reports[fam].SSE, bt.SSE)
+		}
+	}
+	if bt.R2 < 0.99 {
+		t.Fatalf("bathtub R2 = %v", bt.R2)
+	}
+}
+
+func TestFitTooFewSamples(t *testing.T) {
+	if _, err := FitExponential([]float64{1, 2}); err != ErrTooFewSamples {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := FitBathtub([]float64{1}, 24); err != ErrTooFewSamples {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBathtubBounds(t *testing.T) {
+	lo, hi := BathtubBounds(24)
+	if len(lo) != 4 || len(hi) != 4 {
+		t.Fatal("bounds must cover 4 parameters")
+	}
+	for i := range lo {
+		if lo[i] >= hi[i] {
+			t.Fatalf("inverted bound %d", i)
+		}
+	}
+}

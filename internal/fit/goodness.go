@@ -1,0 +1,65 @@
+package fit
+
+import "math"
+
+// SSE returns the sum of squared errors between observed and predicted
+// values. The slices must have equal length.
+func SSE(obs, pred []float64) float64 {
+	if len(obs) != len(pred) {
+		panic("fit: SSE length mismatch")
+	}
+	var s float64
+	for i := range obs {
+		d := obs[i] - pred[i]
+		s += d * d
+	}
+	return s
+}
+
+// RSquared returns the coefficient of determination
+// 1 - SSE/SStot. It is 1 for a perfect fit and can be negative for fits
+// worse than the mean. A constant observation vector yields R2 = 0 by
+// convention unless the fit is exact.
+func RSquared(obs, pred []float64) float64 {
+	if len(obs) != len(pred) {
+		panic("fit: RSquared length mismatch")
+	}
+	var mean float64
+	for _, v := range obs {
+		mean += v
+	}
+	mean /= float64(len(obs))
+	var ssTot, ssRes float64
+	for i := range obs {
+		d := obs[i] - mean
+		ssTot += d * d
+		r := obs[i] - pred[i]
+		ssRes += r * r
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// RMSE returns the root mean squared error.
+func RMSE(obs, pred []float64) float64 {
+	return math.Sqrt(SSE(obs, pred) / float64(len(obs)))
+}
+
+// MaxAbsError returns the largest absolute pointwise error.
+func MaxAbsError(obs, pred []float64) float64 {
+	if len(obs) != len(pred) {
+		panic("fit: MaxAbsError length mismatch")
+	}
+	var m float64
+	for i := range obs {
+		if d := math.Abs(obs[i] - pred[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

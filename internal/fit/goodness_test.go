@@ -1,0 +1,71 @@
+package fit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSSE(t *testing.T) {
+	if got := SSE([]float64{1, 2}, []float64{1, 4}); got != 4 {
+		t.Fatalf("SSE = %v", got)
+	}
+	if got := SSE([]float64{1}, []float64{1}); got != 0 {
+		t.Fatalf("SSE = %v", got)
+	}
+}
+
+func TestSSEPanicsMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SSE([]float64{1}, []float64{1, 2})
+}
+
+func TestRSquaredPerfect(t *testing.T) {
+	obs := []float64{1, 2, 3}
+	if r := RSquared(obs, obs); r != 1 {
+		t.Fatalf("R2 = %v", r)
+	}
+}
+
+func TestRSquaredMeanPredictor(t *testing.T) {
+	obs := []float64{1, 2, 3}
+	pred := []float64{2, 2, 2}
+	if r := RSquared(obs, pred); r != 0 {
+		t.Fatalf("R2 = %v, want 0 for mean predictor", r)
+	}
+}
+
+func TestRSquaredWorseThanMean(t *testing.T) {
+	obs := []float64{1, 2, 3}
+	pred := []float64{10, 10, 10}
+	if r := RSquared(obs, pred); r >= 0 {
+		t.Fatalf("R2 = %v, want negative", r)
+	}
+}
+
+func TestRSquaredConstantObs(t *testing.T) {
+	obs := []float64{5, 5, 5}
+	if r := RSquared(obs, obs); r != 1 {
+		t.Fatalf("exact fit of constant: R2 = %v", r)
+	}
+	if r := RSquared(obs, []float64{4, 5, 6}); r != 0 {
+		t.Fatalf("inexact fit of constant: R2 = %v", r)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	got := RMSE([]float64{0, 0}, []float64{3, 4})
+	want := math.Sqrt(12.5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RMSE = %v, want %v", got, want)
+	}
+}
+
+func TestMaxAbsError(t *testing.T) {
+	if got := MaxAbsError([]float64{1, 5, 2}, []float64{1.5, 4, 2}); got != 1 {
+		t.Fatalf("MaxAbsError = %v", got)
+	}
+}

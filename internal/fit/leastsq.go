@@ -1,0 +1,246 @@
+// Package fit implements nonlinear least-squares curve fitting for lifetime
+// CDFs. The paper fits its bathtub model with scipy's curve_fit using the
+// "dogbox" (bounded trust region) method; Go has no statistics ecosystem, so
+// this package hand-rolls a box-constrained Levenberg-Marquardt optimizer
+// with a Nelder-Mead simplex fallback, plus per-family fitters and
+// goodness-of-fit metrics.
+package fit
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// Model is a parametric curve y = f(t; params).
+type Model func(t float64, params []float64) float64
+
+// Problem describes a bounded least-squares fit of Model to the points
+// (Ts[i], Ys[i]).
+type Problem struct {
+	Model Model
+	Ts    []float64
+	Ys    []float64
+	// Lo and Hi bound each parameter (dogbox-style box constraints).
+	Lo, Hi []float64
+}
+
+// Result is the outcome of an optimization.
+type Result struct {
+	Params []float64
+	SSE    float64 // sum of squared errors at Params
+	Iters  int
+	// Converged reports whether the optimizer met its tolerance (false
+	// means the iteration budget was exhausted; Params is still the best
+	// point found).
+	Converged bool
+}
+
+// ErrBadProblem is returned for structurally invalid problems (mismatched
+// lengths, empty data, inverted bounds).
+var ErrBadProblem = errors.New("fit: invalid problem specification")
+
+func (p *Problem) validate() error {
+	n := len(p.Ts)
+	if n == 0 || len(p.Ys) != n || p.Model == nil {
+		return ErrBadProblem
+	}
+	k := len(p.Lo)
+	if k == 0 || len(p.Hi) != k {
+		return ErrBadProblem
+	}
+	for i := range p.Lo {
+		if p.Lo[i] > p.Hi[i] {
+			return ErrBadProblem
+		}
+	}
+	return nil
+}
+
+func (p *Problem) sse(params []float64) float64 {
+	var s float64
+	for i, t := range p.Ts {
+		r := p.Model(t, params) - p.Ys[i]
+		s += r * r
+	}
+	if math.IsNaN(s) {
+		return math.Inf(1)
+	}
+	return s
+}
+
+func (p *Problem) residuals(params, out []float64) {
+	for i, t := range p.Ts {
+		out[i] = p.Model(t, params) - p.Ys[i]
+	}
+}
+
+// jacobian fills J (n x k, row-major) with central-difference partials of
+// the residual vector.
+func (p *Problem) jacobian(params []float64, j [][]float64) {
+	k := len(params)
+	n := len(p.Ts)
+	pp := make([]float64, k)
+	for c := 0; c < k; c++ {
+		h := 1e-6 * math.Max(1, math.Abs(params[c]))
+		copy(pp, params)
+		pp[c] = mathx.Clamp(params[c]+h, p.Lo[c], p.Hi[c])
+		hiV := pp[c]
+		hiRes := make([]float64, n)
+		p.residuals(pp, hiRes)
+		pp[c] = mathx.Clamp(params[c]-h, p.Lo[c], p.Hi[c])
+		loV := pp[c]
+		loRes := make([]float64, n)
+		p.residuals(pp, loRes)
+		dh := hiV - loV
+		if dh == 0 {
+			// Parameter pinned at both bounds; derivative is zero.
+			for r := 0; r < n; r++ {
+				j[r][c] = 0
+			}
+			continue
+		}
+		for r := 0; r < n; r++ {
+			j[r][c] = (hiRes[r] - loRes[r]) / dh
+		}
+	}
+}
+
+// LevenbergMarquardt minimizes the problem's SSE starting from x0, projecting
+// iterates into the bound box after each step (a projected-LM scheme that
+// approximates scipy's dogbox on these smooth CDF fits). It returns the best
+// point found even when convergence fails.
+func LevenbergMarquardt(p *Problem, x0 []float64, maxIters int) (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	k := len(x0)
+	if k != len(p.Lo) {
+		return Result{}, ErrBadProblem
+	}
+	if maxIters <= 0 {
+		maxIters = 200
+	}
+
+	x := make([]float64, k)
+	for i := range x {
+		x[i] = mathx.Clamp(x0[i], p.Lo[i], p.Hi[i])
+	}
+	n := len(p.Ts)
+	res := make([]float64, n)
+	jac := make([][]float64, n)
+	for i := range jac {
+		jac[i] = make([]float64, k)
+	}
+
+	cost := p.sse(x)
+	lambda := 1e-3
+	const (
+		costTol = 1e-14
+		stepTol = 1e-12
+	)
+
+	iters := 0
+	for ; iters < maxIters; iters++ {
+		p.residuals(x, res)
+		p.jacobian(x, jac)
+
+		// Normal equations: (J^T J + lambda diag(J^T J)) d = -J^T r.
+		jtj := make([][]float64, k)
+		jtr := make([]float64, k)
+		for a := 0; a < k; a++ {
+			jtj[a] = make([]float64, k)
+			for b := 0; b < k; b++ {
+				var s float64
+				for r := 0; r < n; r++ {
+					s += jac[r][a] * jac[r][b]
+				}
+				jtj[a][b] = s
+			}
+			var s float64
+			for r := 0; r < n; r++ {
+				s += jac[r][a] * res[r]
+			}
+			jtr[a] = -s
+		}
+
+		improved := false
+		for attempt := 0; attempt < 30; attempt++ {
+			// Damped copy (SolveLinear clobbers its inputs).
+			a := make([][]float64, k)
+			b := make([]float64, k)
+			for i := range jtj {
+				a[i] = make([]float64, k)
+				copy(a[i], jtj[i])
+				damp := lambda * jtj[i][i]
+				if damp == 0 {
+					damp = lambda
+				}
+				a[i][i] += damp
+				b[i] = jtr[i]
+			}
+			d, err := mathx.SolveLinear(a, b)
+			if err != nil {
+				lambda *= 10
+				continue
+			}
+			trial := make([]float64, k)
+			stepNorm := 0.0
+			for i := range trial {
+				trial[i] = mathx.Clamp(x[i]+d[i], p.Lo[i], p.Hi[i])
+				dv := trial[i] - x[i]
+				stepNorm += dv * dv
+			}
+			trialCost := p.sse(trial)
+			if trialCost < cost {
+				improvement := cost - trialCost
+				copy(x, trial)
+				cost = trialCost
+				lambda = math.Max(lambda/3, 1e-12)
+				improved = true
+				if improvement < costTol*(1+cost) || stepNorm < stepTol*stepTol {
+					return Result{Params: x, SSE: cost, Iters: iters + 1, Converged: true}, nil
+				}
+				break
+			}
+			lambda *= 10
+			if lambda > 1e12 {
+				// Damping saturated: we are at a (possibly constrained)
+				// stationary point.
+				return Result{Params: x, SSE: cost, Iters: iters + 1, Converged: true}, nil
+			}
+		}
+		if !improved {
+			return Result{Params: x, SSE: cost, Iters: iters + 1, Converged: true}, nil
+		}
+	}
+	return Result{Params: x, SSE: cost, Iters: iters, Converged: false}, nil
+}
+
+// MultiStart runs LevenbergMarquardt from each starting point and returns
+// the best result. CDF fits here have mild multi-modality (e.g. Weibull
+// shape above/below 1), which a handful of spread starts resolves.
+func MultiStart(p *Problem, starts [][]float64, maxIters int) (Result, error) {
+	if len(starts) == 0 {
+		return Result{}, ErrBadProblem
+	}
+	best := Result{SSE: math.Inf(1)}
+	var firstErr error
+	for _, s := range starts {
+		r, err := LevenbergMarquardt(p, s, maxIters)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if r.SSE < best.SSE {
+			best = r
+		}
+	}
+	if math.IsInf(best.SSE, 1) {
+		return Result{}, firstErr
+	}
+	return best, nil
+}

@@ -1,0 +1,188 @@
+package fit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func linearProblem(slope, intercept float64, n int) *Problem {
+	ts := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range ts {
+		ts[i] = float64(i)
+		ys[i] = slope*ts[i] + intercept
+	}
+	return &Problem{
+		Model: func(t float64, p []float64) float64 { return p[0]*t + p[1] },
+		Ts:    ts, Ys: ys,
+		Lo: []float64{-100, -100}, Hi: []float64{100, 100},
+	}
+}
+
+func TestLMRecoversLine(t *testing.T) {
+	p := linearProblem(2.5, -1, 20)
+	r, err := LevenbergMarquardt(p, []float64{0, 0}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Params[0]-2.5) > 1e-6 || math.Abs(r.Params[1]+1) > 1e-6 {
+		t.Fatalf("params = %v", r.Params)
+	}
+	if r.SSE > 1e-10 {
+		t.Fatalf("SSE = %v", r.SSE)
+	}
+}
+
+func TestLMRecoversExponentialRate(t *testing.T) {
+	// Noiseless exponential CDF points: exact recovery expected.
+	lambda := 0.37
+	ts := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range ts {
+		ts[i] = float64(i) * 0.5
+		ys[i] = 1 - math.Exp(-lambda*ts[i])
+	}
+	p := &Problem{
+		Model: func(t float64, q []float64) float64 { return 1 - math.Exp(-q[0]*t) },
+		Ts:    ts, Ys: ys,
+		Lo: []float64{1e-6}, Hi: []float64{10},
+	}
+	r, err := LevenbergMarquardt(p, []float64{1}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Params[0]-lambda) > 1e-6 {
+		t.Fatalf("lambda = %v, want %v", r.Params[0], lambda)
+	}
+}
+
+func TestLMRespectsBounds(t *testing.T) {
+	// True slope 5 but the box caps it at 2: solution must sit at bound.
+	p := linearProblem(5, 0, 10)
+	p.Lo = []float64{0, -1}
+	p.Hi = []float64{2, 1}
+	r, err := LevenbergMarquardt(p, []float64{1, 0}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Params[0] > 2+1e-12 {
+		t.Fatalf("bound violated: %v", r.Params)
+	}
+	if math.Abs(r.Params[0]-2) > 1e-6 {
+		t.Fatalf("expected slope pinned at 2, got %v", r.Params[0])
+	}
+}
+
+func TestLMBadProblem(t *testing.T) {
+	bad := []*Problem{
+		{},
+		{Model: func(float64, []float64) float64 { return 0 }, Ts: []float64{1}, Ys: []float64{}},
+		{Model: func(float64, []float64) float64 { return 0 }, Ts: []float64{1}, Ys: []float64{1}, Lo: []float64{1}, Hi: []float64{0}},
+	}
+	for i, p := range bad {
+		if _, err := LevenbergMarquardt(p, []float64{0}, 10); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestLMStartClampedIntoBox(t *testing.T) {
+	p := linearProblem(1, 0, 5)
+	p.Lo = []float64{0, -1}
+	p.Hi = []float64{3, 1}
+	r, err := LevenbergMarquardt(p, []float64{-50, 50}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Params[0]-1) > 1e-6 {
+		t.Fatalf("params = %v", r.Params)
+	}
+}
+
+func TestMultiStartPicksBest(t *testing.T) {
+	// A bimodal-ish objective: y = sin-like residuals trap single starts.
+	ts := []float64{0, 1, 2, 3, 4, 5}
+	ys := make([]float64, len(ts))
+	for i, x := range ts {
+		ys[i] = math.Exp(-2 * x)
+	}
+	p := &Problem{
+		Model: func(t float64, q []float64) float64 { return math.Exp(-q[0] * t) },
+		Ts:    ts, Ys: ys,
+		Lo: []float64{0.001}, Hi: []float64{50},
+	}
+	r, err := MultiStart(p, [][]float64{{40}, {0.01}, {2.5}}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Params[0]-2) > 1e-4 {
+		t.Fatalf("lambda = %v", r.Params[0])
+	}
+}
+
+func TestMultiStartEmpty(t *testing.T) {
+	p := linearProblem(1, 0, 5)
+	if _, err := MultiStart(p, nil, 10); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLMPropertyNoiseRobust(t *testing.T) {
+	// Property: with small noise the recovered rate is near truth.
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		lambda := 0.2 + rng.Float64()
+		ts := make([]float64, 60)
+		ys := make([]float64, 60)
+		for i := range ts {
+			ts[i] = float64(i) * 0.3
+			ys[i] = 1 - math.Exp(-lambda*ts[i]) + 0.005*rng.NormFloat64()
+		}
+		p := &Problem{
+			Model: func(t float64, q []float64) float64 { return 1 - math.Exp(-q[0]*t) },
+			Ts:    ts, Ys: ys,
+			Lo: []float64{1e-6}, Hi: []float64{10},
+		}
+		r, err := LevenbergMarquardt(p, []float64{0.5}, 300)
+		return err == nil && math.Abs(r.Params[0]-lambda) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	fn := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + (x[1]+2)*(x[1]+2)
+	}
+	x, f := NelderMead(fn, []float64{0, 0}, []float64{-10, -10}, []float64{10, 10}, 2000)
+	if math.Abs(x[0]-3) > 1e-4 || math.Abs(x[1]+2) > 1e-4 || f > 1e-7 {
+		t.Fatalf("x = %v, f = %v", x, f)
+	}
+}
+
+func TestNelderMeadRespectsBounds(t *testing.T) {
+	fn := func(x []float64) float64 { return (x[0] - 5) * (x[0] - 5) }
+	x, _ := NelderMead(fn, []float64{0}, []float64{-1}, []float64{2}, 1000)
+	if x[0] > 2+1e-12 {
+		t.Fatalf("bound violated: %v", x)
+	}
+	if math.Abs(x[0]-2) > 1e-3 {
+		t.Fatalf("expected pinned at 2, got %v", x[0])
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	fn := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	x, f := NelderMead(fn, []float64{-1.2, 1}, []float64{-5, -5}, []float64{5, 5}, 5000)
+	if f > 1e-4 {
+		t.Fatalf("Rosenbrock not minimized: x=%v f=%v", x, f)
+	}
+}

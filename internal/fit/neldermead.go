@@ -1,0 +1,113 @@
+package fit
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/mathx"
+)
+
+// NelderMead minimizes fn over the box [lo, hi] with the downhill simplex
+// method, projecting vertices into the box. It is the derivative-free
+// fallback used when Levenberg-Marquardt stalls (e.g. on the bathtub model's
+// nearly-flat directions when b and tau2 trade off).
+func NelderMead(fn func([]float64) float64, x0, lo, hi []float64, maxIters int) ([]float64, float64) {
+	k := len(x0)
+	if maxIters <= 0 {
+		maxIters = 500 * k
+	}
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+	clampVec := func(v []float64) {
+		for i := range v {
+			v[i] = mathx.Clamp(v[i], lo[i], hi[i])
+		}
+	}
+
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	simplex := make([]vertex, k+1)
+	base := make([]float64, k)
+	copy(base, x0)
+	clampVec(base)
+	simplex[0] = vertex{x: base, f: fn(base)}
+	for i := 1; i <= k; i++ {
+		v := make([]float64, k)
+		copy(v, base)
+		step := 0.05 * (hi[i-1] - lo[i-1])
+		if step == 0 || math.IsInf(step, 0) {
+			step = 0.05 * math.Max(1, math.Abs(v[i-1]))
+		}
+		v[i-1] += step
+		clampVec(v)
+		simplex[i] = vertex{x: v, f: fn(v)}
+	}
+
+	centroid := make([]float64, k)
+	for iter := 0; iter < maxIters; iter++ {
+		sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+		if math.Abs(simplex[k].f-simplex[0].f) < 1e-14*(1+math.Abs(simplex[0].f)) {
+			break
+		}
+		// Centroid of all but worst.
+		for j := 0; j < k; j++ {
+			centroid[j] = 0
+			for i := 0; i < k; i++ {
+				centroid[j] += simplex[i].x[j]
+			}
+			centroid[j] /= float64(k)
+		}
+		worst := simplex[k]
+
+		reflect := make([]float64, k)
+		for j := range reflect {
+			reflect[j] = centroid[j] + alpha*(centroid[j]-worst.x[j])
+		}
+		clampVec(reflect)
+		fr := fn(reflect)
+
+		switch {
+		case fr < simplex[0].f:
+			// Try expansion.
+			expand := make([]float64, k)
+			for j := range expand {
+				expand[j] = centroid[j] + gamma*(reflect[j]-centroid[j])
+			}
+			clampVec(expand)
+			if fe := fn(expand); fe < fr {
+				simplex[k] = vertex{x: expand, f: fe}
+			} else {
+				simplex[k] = vertex{x: reflect, f: fr}
+			}
+		case fr < simplex[k-1].f:
+			simplex[k] = vertex{x: reflect, f: fr}
+		default:
+			// Contraction.
+			contract := make([]float64, k)
+			for j := range contract {
+				contract[j] = centroid[j] + rho*(worst.x[j]-centroid[j])
+			}
+			clampVec(contract)
+			if fc := fn(contract); fc < worst.f {
+				simplex[k] = vertex{x: contract, f: fc}
+			} else {
+				// Shrink toward best.
+				for i := 1; i <= k; i++ {
+					for j := 0; j < k; j++ {
+						simplex[i].x[j] = simplex[0].x[j] + sigma*(simplex[i].x[j]-simplex[0].x[j])
+					}
+					clampVec(simplex[i].x)
+					simplex[i].f = fn(simplex[i].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+	return simplex[0].x, simplex[0].f
+}

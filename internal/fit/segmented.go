@@ -1,0 +1,59 @@
+package fit
+
+import (
+	"math"
+
+	"repro/internal/dist"
+)
+
+// FitSegmented fits the Section 8 "phase-wise" model: a three-segment
+// piecewise-linear CDF with free breakpoints (T1, F1), (T2, F2) anchored at
+// F(0)=0 and F(L)=1. Because the objective is non-smooth in the breakpoint
+// positions, the fit uses Nelder-Mead from several starts rather than
+// Levenberg-Marquardt.
+func FitSegmented(samples []float64, l float64) (FitReport, error) {
+	ts, fs, err := ecdfPoints(samples)
+	if err != nil {
+		return FitReport{}, err
+	}
+	// q = [t1, t2, f1, f2]; penalize ordering violations smoothly so the
+	// simplex can recover from bad vertices.
+	sse := func(q []float64) float64 {
+		t1, t2, f1, f2 := q[0], q[1], q[2], q[3]
+		penalty := 0.0
+		if t1 >= t2 {
+			penalty += 1e3 * (1 + t1 - t2)
+		}
+		if f1 > f2 {
+			penalty += 1e3 * (1 + f1 - f2)
+		}
+		if penalty > 0 {
+			return penalty
+		}
+		s := dist.SegmentedLinear{T1: t1, T2: t2, F1: f1, F2: f2, L: l}
+		var sum float64
+		for i, t := range ts {
+			r := s.CDF(t) - fs[i]
+			sum += r * r
+		}
+		return sum
+	}
+	lo := []float64{0.1, l / 2, 0.01, 0.02}
+	hi := []float64{l / 2, l - 0.1, 0.98, 0.99}
+	starts := [][]float64{
+		{3, l - 2, 0.4, 0.5},
+		{1.5, l - 1, 0.3, 0.45},
+		{5, l - 4, 0.5, 0.6},
+		{2, 18, 0.45, 0.55},
+	}
+	best := math.Inf(1)
+	var bestX []float64
+	for _, s0 := range starts {
+		x, f := NelderMead(sse, s0, lo, hi, 4000)
+		if f < best {
+			best, bestX = f, x
+		}
+	}
+	s := dist.NewSegmentedLinear(bestX[0], bestX[1], bestX[2], bestX[3], l)
+	return makeReport(s, "segmented-linear", bestX, samples, ts, fs), nil
+}

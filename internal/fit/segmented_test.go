@@ -1,0 +1,53 @@
+package fit
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestFitSegmentedRecovery(t *testing.T) {
+	truth := dist.NewSegmentedLinear(3, 22, 0.45, 0.55, 24)
+	samples := sampleFrom(truth, 3000, 19)
+	rep, err := FitSegmented(samples, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Dist.(dist.SegmentedLinear)
+	if s.T1 < 2 || s.T1 > 4.5 {
+		t.Fatalf("T1 = %v, want ~3 (params %v)", s.T1, rep.Params)
+	}
+	if s.T2 < 20 || s.T2 > 23.5 {
+		t.Fatalf("T2 = %v, want ~22", s.T2)
+	}
+	if !s.IsBathtub() {
+		t.Fatalf("fitted model not a bathtub: %v", s)
+	}
+	if rep.R2 < 0.99 {
+		t.Fatalf("R2 = %v", rep.R2)
+	}
+}
+
+func TestFitSegmentedOnBathtubData(t *testing.T) {
+	// The phase-wise model must fit analytic-bathtub data decently — it is
+	// the paper's proposed simpler heuristic for the same shape.
+	truth := dist.Truncate(dist.NewBathtub(0.45, 1.0, 0.8, 24, 24), 24)
+	samples := sampleFrom(truth, 3000, 23)
+	rep, err := FitSegmented(samples, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.R2 < 0.97 {
+		t.Fatalf("R2 = %v", rep.R2)
+	}
+	s := rep.Dist.(dist.SegmentedLinear)
+	if !s.IsBathtub() {
+		t.Fatalf("segmented fit of bathtub data not a bathtub: %v", s)
+	}
+}
+
+func TestFitSegmentedTooFew(t *testing.T) {
+	if _, err := FitSegmented([]float64{1, 2}, 24); err != ErrTooFewSamples {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,81 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a linear solve encounters a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("mathx: singular matrix")
+
+// SolveLinear solves the dense system A x = b in place using Gaussian
+// elimination with partial pivoting. A is row-major, n x n; b has length n.
+// A and b are clobbered. The solution is returned in a fresh slice. The
+// systems solved here are the tiny (<=6 unknown) normal equations of
+// Levenberg-Marquardt, so an O(n^3) dense solve is exactly right.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	if len(a) != n {
+		panic("mathx: SolveLinear dimension mismatch")
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			panic("mathx: SolveLinear row length mismatch")
+		}
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, piv = v, r
+			}
+		}
+		if best < 1e-300 {
+			return nil, ErrSingular
+		}
+		if piv != col {
+			a[piv], a[col] = a[col], a[piv]
+			b[piv], b[col] = b[col], b[piv]
+		}
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			factor := a[r][col] * inv
+			if factor == 0 {
+				continue
+			}
+			a[r][col] = 0
+			for c := col + 1; c < n; c++ {
+				a[r][c] -= factor * a[col][c]
+			}
+			b[r] -= factor * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for c := i + 1; c < n; c++ {
+			sum -= a[i][c] * x[c]
+		}
+		x[i] = sum / a[i][i]
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, ErrSingular
+		}
+	}
+	return x, nil
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

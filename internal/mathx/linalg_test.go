@@ -1,0 +1,110 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveLinearIdentity(t *testing.T) {
+	a := [][]float64{{1, 0}, {0, 1}}
+	b := []float64{3, -4}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(x[0], 3, 1e-12) || !approxEq(x[1], -4, 1e-12) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	// 2x + y = 5; x - y = 1 => x=2, y=1.
+	a := [][]float64{{2, 1}, {1, -1}}
+	b := []float64{5, 1}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(x[0], 2, 1e-12) || !approxEq(x[1], 1, 1e-12) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveLinearNeedsPivot(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{7, 9}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(x[0], 9, 1e-12) || !approxEq(x[1], 7, 1e-12) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	b := []float64{1, 2}
+	if _, err := SolveLinear(a, b); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveLinearPropertyResidual(t *testing.T) {
+	// Property: for random diagonally dominant 4x4 systems, the residual
+	// ||Ax-b|| is tiny.
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		const n = 4
+		a := make([][]float64, n)
+		orig := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			orig[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.Float64()*2 - 1
+			}
+			a[i][i] += float64(n) // ensure dominance
+			copy(orig[i], a[i])
+		}
+		b := make([]float64, n)
+		borig := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Float64()*10 - 5
+			borig[i] = b[i]
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				sum += orig[i][j] * x[j]
+			}
+			if math.Abs(sum-borig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Fatalf("Clamp(%v,%v,%v) = %v, want %v", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoBracket is returned when a root finder is called on an interval that
+// does not bracket a sign change.
+var ErrNoBracket = errors.New("mathx: interval does not bracket a root")
+
+// ErrNoConverge is returned when the iteration budget is exhausted before
+// reaching the requested tolerance.
+var ErrNoConverge = errors.New("mathx: root finder failed to converge")
+
+// Bisect finds a root of f in [a,b] by bisection to absolute x-tolerance
+// tol. f(a) and f(b) must have opposite signs (or one endpoint must be an
+// exact root).
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if fa*fb > 0 {
+		return 0, ErrNoBracket
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	for i := 0; i < 200; i++ {
+		m := 0.5 * (a + b)
+		fm := f(m)
+		if fm == 0 || 0.5*(b-a) < tol {
+			return m, nil
+		}
+		if fa*fm < 0 {
+			b = m
+		} else {
+			a, fa = m, fm
+		}
+	}
+	return 0.5 * (a + b), ErrNoConverge
+}
+
+// Brent finds a root of f in the bracketing interval [a,b] using Brent's
+// method (inverse quadratic interpolation with bisection fallback). It
+// converges superlinearly on smooth functions and is the default root finder
+// for quantile inversion.
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if fa*fb > 0 {
+		return 0, ErrNoBracket
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b = b, a
+		fa, fb = fb, fa
+	}
+	c, fc := a, fa
+	mflag := true
+	var d float64
+	for i := 0; i < 200; i++ {
+		if fb == 0 || math.Abs(b-a) < tol {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant step.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo, hi := (3*a+b)/4, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cond := s < lo || s > hi ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if cond {
+			s = 0.5 * (a + b)
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d = c
+		c, fc = b, fb
+		if fa*fs < 0 {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return b, ErrNoConverge
+}
+
+// FindBracket expands outward from [a,b] looking for a sign change of f,
+// growing the interval geometrically up to maxExpand times. It returns a
+// bracketing interval or ErrNoBracket.
+func FindBracket(f func(float64) float64, a, b float64, maxExpand int) (float64, float64, error) {
+	if a > b {
+		a, b = b, a
+	}
+	fa, fb := f(a), f(b)
+	for i := 0; i < maxExpand; i++ {
+		if fa*fb <= 0 {
+			return a, b, nil
+		}
+		w := b - a
+		if math.Abs(fa) < math.Abs(fb) {
+			a -= w
+			fa = f(a)
+		} else {
+			b += w
+			fb = f(b)
+		}
+	}
+	if fa*fb <= 0 {
+		return a, b, nil
+	}
+	return 0, 0, ErrNoBracket
+}

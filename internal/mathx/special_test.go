@@ -1,0 +1,117 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegIncGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^{-x} (exponential CDF).
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x)
+		if got := RegIncGammaP(1, x); !approxEq(got, want, 1e-12) {
+			t.Fatalf("P(1,%v) = %v, want %v", x, got, want)
+		}
+	}
+	// P(a, 0) = 0.
+	if RegIncGammaP(2.5, 0) != 0 {
+		t.Fatal("P(a,0) must be 0")
+	}
+	// Erlang-2: P(2, x) = 1 - e^{-x}(1+x).
+	for _, x := range []float64{0.5, 1, 3, 8} {
+		want := 1 - math.Exp(-x)*(1+x)
+		if got := RegIncGammaP(2, x); !approxEq(got, want, 1e-12) {
+			t.Fatalf("P(2,%v) = %v, want %v", x, got, want)
+		}
+	}
+	// P(1/2, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.25, 1, 4} {
+		want := math.Erf(math.Sqrt(x))
+		if got := RegIncGammaP(0.5, x); !approxEq(got, want, 1e-12) {
+			t.Fatalf("P(0.5,%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestRegIncGammaComplement(t *testing.T) {
+	for _, a := range []float64{0.3, 1, 2.7, 10} {
+		for _, x := range []float64{0.1, 1, 5, 20} {
+			p, q := RegIncGammaP(a, x), RegIncGammaQ(a, x)
+			if !approxEq(p+q, 1, 1e-12) {
+				t.Fatalf("P+Q != 1 at a=%v x=%v: %v", a, x, p+q)
+			}
+		}
+	}
+}
+
+func TestRegIncGammaPMonotoneProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		a := 0.2 + rng.Float64()*9
+		prev := 0.0
+		for i := 1; i <= 40; i++ {
+			x := float64(i) * 0.5
+			v := RegIncGammaP(a, x)
+			if v < prev-1e-12 || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegIncGammaDomainPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { RegIncGammaP(0, 1) },
+		func() { RegIncGammaP(1, -1) },
+		func() { RegIncGammaP(math.NaN(), 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.959963984540054, 0.975},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.z); !approxEq(got, c.want, 1e-12) {
+			t.Fatalf("Phi(%v) = %v, want %v", c.z, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-10, 1e-4, 0.01, 0.3, 0.5, 0.9, 0.999, 1 - 1e-9} {
+		z := NormalQuantile(p)
+		if got := NormalCDF(z); math.Abs(got-p) > 1e-12*(1+1/p) && math.Abs(got-p) > 1e-9 {
+			t.Fatalf("roundtrip p=%v: Phi(quantile) = %v", p, got)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Fatal("quantile endpoints")
+	}
+}
+
+func TestNormalQuantileSymmetry(t *testing.T) {
+	for _, p := range []float64{0.01, 0.2, 0.4} {
+		if !approxEq(NormalQuantile(p), -NormalQuantile(1-p), 1e-9) {
+			t.Fatalf("asymmetric at p=%v", p)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package policy
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBellmanResidual verifies the solved DP table satisfies its own
+// optimality equation: for every sampled state (j, a>0),
+//
+//	V(j,a) = min_i [ Psucc*(w + V(j-i, a+w)) + Pfail*(E[lost] + R_j) ]
+//
+// with R_j = V(j, 0). A non-zero residual would mean the solver's sweep
+// order or fixed-point algebra is wrong.
+func TestBellmanResidual(t *testing.T) {
+	p := NewCheckpointPlanner(paperModel(), testDelta, testStep)
+	tb := p.solve(3) // 3h job at 5-minute resolution: 36 work steps
+	n := 36
+	if tb.nWork < n {
+		t.Fatalf("table covers %d steps", tb.nWork)
+	}
+	for j := 1; j <= n; j += 5 {
+		rj := tb.value[j][0]
+		for a := 1; a < tb.nAges; a += 37 {
+			best := math.Inf(1)
+			for i := 1; i <= j; i++ {
+				w := i
+				if i < j {
+					w += tb.delta
+				}
+				psucc, elost := tb.windowStats(a, w)
+				next := 0.0
+				if i < j {
+					na := a + w
+					if na >= tb.nAges {
+						na = tb.nAges - 1
+					}
+					next = tb.value[j-i][na]
+				}
+				v := psucc*(float64(w)*tb.step+next) + (1-psucc)*(elost+rj)
+				if v < best {
+					best = v
+				}
+			}
+			got := tb.value[j][a]
+			if math.Abs(got-best) > 1e-9*(1+math.Abs(best)) {
+				t.Fatalf("Bellman residual at (j=%d, a=%d): table %v vs recomputed %v", j, a, got, best)
+			}
+		}
+	}
+}
+
+// TestBellmanAge0FixedPoint verifies the age-0 algebraic fixed point: R_j
+// must satisfy R_j = min_i [Psucc*(w+next) + Pfail*(E[lost]+R_j)].
+func TestBellmanAge0FixedPoint(t *testing.T) {
+	p := NewCheckpointPlanner(paperModel(), testDelta, testStep)
+	tb := p.solve(2)
+	n := 24
+	for j := 1; j <= n; j += 3 {
+		rj := tb.value[j][0]
+		best := math.Inf(1)
+		for i := 1; i <= j; i++ {
+			w := i
+			if i < j {
+				w += tb.delta
+			}
+			psucc, elost := tb.windowStats(0, w)
+			if psucc <= 0 {
+				continue
+			}
+			next := 0.0
+			if i < j {
+				na := w
+				if na >= tb.nAges {
+					na = tb.nAges - 1
+				}
+				next = tb.value[j-i][na]
+			}
+			v := psucc*(float64(w)*tb.step+next) + (1-psucc)*(elost+rj)
+			if v < best {
+				best = v
+			}
+		}
+		if math.Abs(rj-best) > 1e-9*(1+math.Abs(best)) {
+			t.Fatalf("age-0 fixed point violated at j=%d: R=%v vs min=%v", j, rj, best)
+		}
+	}
+}

@@ -1,0 +1,335 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// CheckpointPlanner computes optimal checkpoint schedules for bathtub
+// failure rates by dynamic programming (Section 4.3, Equations 9-13). Time
+// is discretized into steps of Step hours; each checkpoint costs Delta
+// hours. On a preemption the job resumes from its last checkpoint on a NEW
+// VM (age 0), which makes the age-0 value function self-referential; the
+// planner solves that fixed point algebraically per candidate interval
+// (DESIGN.md note 3).
+type CheckpointPlanner struct {
+	Model *core.Model
+	Delta float64 // checkpoint write cost, hours
+	Step  float64 // DP time resolution, hours (e.g. 1.0/60 for one minute)
+
+	mu     sync.Mutex
+	cached *table // largest table solved so far; reused for shorter jobs
+}
+
+// NewCheckpointPlanner returns a planner. Delta must be non-negative and
+// Step positive and no larger than the deadline.
+func NewCheckpointPlanner(m *core.Model, delta, step float64) *CheckpointPlanner {
+	if m == nil {
+		panic("policy: nil model")
+	}
+	if delta < 0 || step <= 0 || step > m.Deadline() {
+		panic(fmt.Sprintf("policy: invalid planner parameters delta=%v step=%v", delta, step))
+	}
+	return &CheckpointPlanner{Model: m, Delta: delta, Step: step}
+}
+
+// Schedule is a checkpoint plan: the work intervals (hours of job progress)
+// between consecutive checkpoints, assuming no failure occurs. The final
+// interval completes the job and is not followed by a checkpoint.
+type Schedule struct {
+	Intervals []float64
+	// ExpectedMakespan is E[M*] for the planned job, including checkpoint
+	// overhead and expected recomputation.
+	ExpectedMakespan float64
+}
+
+// NumCheckpoints returns the number of checkpoints taken on the
+// failure-free path.
+func (s Schedule) NumCheckpoints() int {
+	if len(s.Intervals) == 0 {
+		return 0
+	}
+	return len(s.Intervals) - 1
+}
+
+// table holds the solved DP for one planner configuration.
+type table struct {
+	step   float64
+	delta  int // checkpoint cost in steps (rounded up, min 0)
+	nAges  int // number of age grid points, age index a corresponds to a*step
+	nWork  int // maximum job steps solved
+	value  [][]float64
+	choice [][]int32
+	// survival S[a] = 1 - F(a*step) and first moment M1[a] of the
+	// normalized model, precomputed on the age grid.
+	surv []float64
+	m1   []float64
+}
+
+// Plan solves the DP for a job of uninterrupted length jobLen starting on a
+// VM of age startAge, and returns the optimal schedule together with its
+// expected makespan E[M*(J, s)].
+func (p *CheckpointPlanner) Plan(jobLen, startAge float64) Schedule {
+	if jobLen <= 0 {
+		return Schedule{ExpectedMakespan: 0}
+	}
+	if startAge < 0 {
+		startAge = 0
+	}
+	tb := p.solve(jobLen)
+	a0 := tb.ageIndex(startAge)
+	n := int(math.Round(jobLen / p.Step))
+	if n < 1 {
+		n = 1
+	}
+	sched := Schedule{ExpectedMakespan: tb.value[n][a0]}
+	// Walk the choice table along the failure-free path.
+	j, a := n, a0
+	for j > 0 {
+		i := int(tb.choice[j][a])
+		if i <= 0 {
+			// Defensive: should not happen for a solved table.
+			panic(fmt.Sprintf("policy: missing DP choice at j=%d a=%d", j, a))
+		}
+		sched.Intervals = append(sched.Intervals, float64(i)*tb.step)
+		if i >= j {
+			break
+		}
+		a += i + tb.delta
+		if a >= tb.nAges {
+			a = tb.nAges - 1
+		}
+		j -= i
+	}
+	return sched
+}
+
+// PrecomputeSchedules solves the DP once for the longest job and extracts
+// the schedule for every requested (jobLen, startAge) pair, keyed by the
+// pair. Section 5 precomputes schedules for jobs of different lengths this
+// way so new jobs never pay the O(T^3) solve.
+func (p *CheckpointPlanner) PrecomputeSchedules(jobLens, startAges []float64) map[[2]float64]Schedule {
+	out := make(map[[2]float64]Schedule, len(jobLens)*len(startAges))
+	maxLen := 0.0
+	for _, j := range jobLens {
+		if j > maxLen {
+			maxLen = j
+		}
+	}
+	if maxLen <= 0 {
+		return out
+	}
+	p.solve(maxLen) // warm the shared table
+	for _, j := range jobLens {
+		for _, s := range startAges {
+			out[[2]float64{j, s}] = p.Plan(j, s)
+		}
+	}
+	return out
+}
+
+// ExpectedMakespan returns E[M*(J, s)] without extracting the schedule.
+func (p *CheckpointPlanner) ExpectedMakespan(jobLen, startAge float64) float64 {
+	if jobLen <= 0 {
+		return 0
+	}
+	tb := p.solve(jobLen)
+	n := int(math.Round(jobLen / p.Step))
+	if n < 1 {
+		n = 1
+	}
+	return tb.value[n][tb.ageIndex(startAge)]
+}
+
+// OverheadPercent returns the expected percentage increase in running time
+// over the uninterrupted job length, the metric of Figure 8.
+func (p *CheckpointPlanner) OverheadPercent(jobLen, startAge float64) float64 {
+	if jobLen <= 0 {
+		return 0
+	}
+	// Quantize the job length exactly as the DP does so the overhead is
+	// measured against the work actually scheduled.
+	n := int(math.Round(jobLen / p.Step))
+	if n < 1 {
+		n = 1
+	}
+	quantized := float64(n) * p.Step
+	return 100 * (p.ExpectedMakespan(jobLen, startAge) - quantized) / quantized
+}
+
+func (tb *table) ageIndex(age float64) int {
+	a := int(math.Round(age / tb.step))
+	if a < 0 {
+		a = 0
+	}
+	if a >= tb.nAges {
+		a = tb.nAges - 1
+	}
+	return a
+}
+
+// solve returns a DP table covering jobs of at least jobLen hours, reusing
+// the cached table when possible: a table solved for n work steps contains
+// the value function of every shorter job (Section 5 precomputes schedules
+// for jobs of different lengths the same way).
+func (p *CheckpointPlanner) solve(jobLen float64) *table {
+	n := int(math.Round(jobLen / p.Step))
+	if n < 1 {
+		n = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cached == nil || p.cached.nWork < n {
+		p.cached = p.solveN(n)
+	}
+	return p.cached
+}
+
+// solveN fills the DP tables for jobs of up to n work steps.
+func (p *CheckpointPlanner) solveN(n int) *table {
+	m := p.Model
+	l := m.Deadline()
+	step := p.Step
+	nAges := int(math.Ceil(l/step)) + 1
+	deltaSteps := int(math.Ceil(p.Delta/step - 1e-12))
+	if p.Delta == 0 {
+		deltaSteps = 0
+	}
+
+	tb := &table{
+		step:  step,
+		delta: deltaSteps,
+		nAges: nAges,
+		nWork: n,
+		surv:  make([]float64, nAges+1),
+		m1:    make([]float64, nAges+1),
+	}
+	bt := m.Bathtub()
+	norm := bt.Raw(l)
+	for a := 0; a <= nAges; a++ {
+		t := math.Min(float64(a)*step, l)
+		tb.surv[a] = 1 - math.Min(bt.CDF(t)/norm, 1)
+		tb.m1[a] = bt.PartialMoment(t) / norm
+	}
+
+	tb.value = make([][]float64, n+1)
+	tb.choice = make([][]int32, n+1)
+	for j := 0; j <= n; j++ {
+		tb.value[j] = make([]float64, nAges)
+		tb.choice[j] = make([]int32, nAges)
+	}
+	// j = 0: nothing left to do.
+	// Work amounts solved in increasing order; within each j, age 0 first
+	// (the restart fixed point), then all other ages.
+	for j := 1; j <= n; j++ {
+		rj := p.solveAge0(tb, j)
+		tb.value[j][0] = rj
+		for a := 1; a < nAges; a++ {
+			v, c := p.solveState(tb, j, a, rj)
+			tb.value[j][a] = v
+			tb.choice[j][a] = int32(c)
+		}
+	}
+	return tb
+}
+
+// windowStats returns, for a segment occupying ages [a, a+w) (indices), the
+// conditional success probability and the conditional expected lost time
+// given a failure inside the window, both conditioned on the VM being alive
+// at age a.
+func (tb *table) windowStats(a, w int) (psucc, elost float64) {
+	end := a + w
+	if end > tb.nAges {
+		end = tb.nAges
+	}
+	sa := tb.surv[a]
+	if sa <= 0 {
+		// VM certainly dead; fail immediately with no time lost.
+		return 0, 0
+	}
+	se := tb.surv[end]
+	psucc = se / sa
+	pfailAbs := sa - se // unconditional mass in the window
+	if pfailAbs <= 0 {
+		return psucc, 0
+	}
+	t := float64(a) * tb.step
+	// E[x - t | fail in window] = (M1(end) - M1(a) - t*(F(end)-F(a))) / mass.
+	mom := tb.m1[end] - tb.m1[a]
+	elost = mom/pfailAbs - t
+	if elost < 0 {
+		elost = 0
+	}
+	return psucc, elost
+}
+
+// solveAge0 solves the self-referential age-0 state for work j:
+//
+//	R_j = min_i [ Psucc*(w + next) + Pfail*(E[lost] + R_j) ]
+//	    = min_i [ w + next + (Pfail/Psucc)*E[lost] ]   (per-interval solve)
+func (p *CheckpointPlanner) solveAge0(tb *table, j int) float64 {
+	best := math.Inf(1)
+	var bestI int
+	for i := 1; i <= j; i++ {
+		w := i
+		if i < j {
+			w += tb.delta
+		}
+		psucc, elost := tb.windowStats(0, w)
+		if psucc <= 0 {
+			continue
+		}
+		next := 0.0
+		if i < j {
+			na := w
+			if na >= tb.nAges {
+				na = tb.nAges - 1
+			}
+			next = tb.value[j-i][na]
+		}
+		pfail := 1 - psucc
+		v := float64(w)*tb.step + next + (pfail/psucc)*elost
+		if v < best {
+			best = v
+			bestI = i
+		}
+	}
+	if math.IsInf(best, 1) {
+		// Even a single step cannot survive from age 0: the model is
+		// degenerate for this discretization.
+		panic("policy: checkpoint DP has no feasible segment from age 0")
+	}
+	tb.choice[j][0] = int32(bestI)
+	return best
+}
+
+// solveState solves E[M*(j, a)] for a > 0 given the restart value rj.
+func (p *CheckpointPlanner) solveState(tb *table, j, a int, rj float64) (float64, int) {
+	best := math.Inf(1)
+	bestI := 0
+	for i := 1; i <= j; i++ {
+		w := i
+		if i < j {
+			w += tb.delta
+		}
+		psucc, elost := tb.windowStats(a, w)
+		next := 0.0
+		if i < j {
+			na := a + w
+			if na >= tb.nAges {
+				na = tb.nAges - 1
+			}
+			next = tb.value[j-i][na]
+		}
+		pfail := 1 - psucc
+		v := psucc*(float64(w)*tb.step+next) + pfail*(elost+rj)
+		if v < best {
+			best = v
+			bestI = i
+		}
+	}
+	return best, bestI
+}

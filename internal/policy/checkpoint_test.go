@@ -1,0 +1,250 @@
+package policy
+
+import (
+	"math"
+	"testing"
+)
+
+// coarse planner settings keep test DP solves fast (5-minute resolution).
+const (
+	testStep  = 5.0 / 60
+	testDelta = 1.0 / 60
+)
+
+func TestPlanIntervalsSumToJob(t *testing.T) {
+	p := NewCheckpointPlanner(paperModel(), testDelta, testStep)
+	for _, J := range []float64{1, 2, 4} {
+		sched := p.Plan(J, 0)
+		var sum float64
+		for _, iv := range sched.Intervals {
+			if iv <= 0 {
+				t.Fatalf("non-positive interval %v", iv)
+			}
+			sum += iv
+		}
+		if math.Abs(sum-J) > testStep/2 {
+			t.Fatalf("J=%v: intervals sum to %v", J, sum)
+		}
+	}
+}
+
+func TestPlanMakespanAtLeastJob(t *testing.T) {
+	p := NewCheckpointPlanner(paperModel(), testDelta, testStep)
+	for _, J := range []float64{0.5, 2, 4} {
+		for _, s := range []float64{0, 6, 12} {
+			em := p.ExpectedMakespan(J, s)
+			if em < J-1e-9 {
+				t.Fatalf("E[M*(%v,%v)] = %v below job length", J, s, em)
+			}
+		}
+	}
+}
+
+func TestPlanZeroJob(t *testing.T) {
+	p := NewCheckpointPlanner(paperModel(), testDelta, testStep)
+	sched := p.Plan(0, 0)
+	if len(sched.Intervals) != 0 || sched.ExpectedMakespan != 0 {
+		t.Fatalf("zero job plan: %+v", sched)
+	}
+	if p.OverheadPercent(0, 0) != 0 {
+		t.Fatal("zero job overhead")
+	}
+}
+
+func TestIntervalsIncreaseOnFreshVM(t *testing.T) {
+	// Section 4.3: for a job starting at VM age 0 the optimal intervals
+	// grow as the failure rate falls — the paper's 5h example yields
+	// (15, 28, 38, 59, 128) minutes. Check the increasing trend.
+	p := NewCheckpointPlanner(paperModel(), testDelta, testStep)
+	sched := p.Plan(5, 0)
+	if len(sched.Intervals) < 3 {
+		t.Fatalf("expected several checkpoints for a 5h job, got %v", sched.Intervals)
+	}
+	for i := 1; i < len(sched.Intervals); i++ {
+		if sched.Intervals[i] < sched.Intervals[i-1]-testStep {
+			t.Fatalf("intervals not non-decreasing: %v", sched.Intervals)
+		}
+	}
+	// First interval is short (high infant failure rate): under an hour.
+	if sched.Intervals[0] > 1 {
+		t.Fatalf("first interval %v too long for infant phase", sched.Intervals[0])
+	}
+}
+
+func TestCheckpointingBeatsNoCheckpointingNearDeadline(t *testing.T) {
+	// A job running into the deadline spike benefits from checkpoints: the
+	// DP makespan must not exceed the no-checkpoint restart-loop makespan.
+	m := paperModel()
+	p := NewCheckpointPlanner(m, testDelta, testStep)
+	// No-checkpoint expected makespan via the DP with a prohibitive delta
+	// (forces a single segment).
+	noCkpt := NewCheckpointPlanner(m, 100, testStep)
+	for _, s := range []float64{0, 16} {
+		with := p.ExpectedMakespan(4, s)
+		without := noCkpt.ExpectedMakespan(4, s)
+		if with > without+1e-9 {
+			t.Fatalf("s=%v: DP with checkpoints %v worse than without %v", s, with, without)
+		}
+	}
+}
+
+func TestOverheadBathtubShape(t *testing.T) {
+	// Figure 8a: overhead is lowest mid-life, higher at age 0 and near the
+	// deadline.
+	p := NewCheckpointPlanner(paperModel(), testDelta, testStep)
+	early := p.OverheadPercent(4, 0)
+	mid := p.OverheadPercent(4, 10)
+	late := p.OverheadPercent(4, 18)
+	if !(mid < early) {
+		t.Fatalf("mid-life overhead %v not below start-of-life %v", mid, early)
+	}
+	if !(mid < late) {
+		t.Fatalf("mid-life overhead %v not below near-deadline %v", mid, late)
+	}
+	// Paper: mid-life overhead ~1%, always below ~5% for a 4h job.
+	if mid > 5 {
+		t.Fatalf("mid-life overhead %v%% too high", mid)
+	}
+}
+
+func TestOurPolicyBeatsYoungDaly(t *testing.T) {
+	// Figure 8's headline: the DP policy beats Young-Daly with MTTF = 1h
+	// everywhere, by a large factor mid-life.
+	m := paperModel()
+	dp := NewCheckpointPlanner(m, testDelta, testStep)
+	tau := YoungDalyInterval(testDelta, 1.0)
+	yd := NewFixedIntervalEvaluator(m, testDelta, tau, testStep)
+	for _, s := range []float64{0, 5, 10, 15} {
+		our := dp.OverheadPercent(4, s)
+		base := yd.OverheadPercent(4, s)
+		if our > base+1e-9 {
+			t.Fatalf("s=%v: DP overhead %v%% exceeds Young-Daly %v%%", s, our, base)
+		}
+	}
+	// Mid-life the gap is large (paper: ~1% vs ~25%).
+	our := dp.OverheadPercent(4, 10)
+	base := yd.OverheadPercent(4, 10)
+	if !(base > 3*our) {
+		t.Fatalf("mid-life: Young-Daly %v%% not well above DP %v%%", base, our)
+	}
+}
+
+func TestYoungDalyInterval(t *testing.T) {
+	// tau = sqrt(2 * delta * MTTF).
+	got := YoungDalyInterval(1.0/60, 1)
+	want := math.Sqrt(2.0 / 60)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("tau = %v, want %v", got, want)
+	}
+}
+
+func TestYoungDalyIntervalPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { YoungDalyInterval(-1, 1) },
+		func() { YoungDalyInterval(0.1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPlannerCacheReuse(t *testing.T) {
+	p := NewCheckpointPlanner(paperModel(), testDelta, testStep)
+	// Solving a long job then a short one must reuse the table and agree
+	// with a fresh planner.
+	long := p.ExpectedMakespan(4, 0)
+	short := p.ExpectedMakespan(2, 0)
+	fresh := NewCheckpointPlanner(paperModel(), testDelta, testStep)
+	if math.Abs(short-fresh.ExpectedMakespan(2, 0)) > 1e-12 {
+		t.Fatal("cached short-job value differs from fresh solve")
+	}
+	if math.Abs(long-fresh.ExpectedMakespan(4, 0)) > 1e-12 {
+		t.Fatal("long-job value differs")
+	}
+}
+
+func TestPlannerPanicsOnBadParams(t *testing.T) {
+	m := paperModel()
+	cases := []func(){
+		func() { NewCheckpointPlanner(nil, testDelta, testStep) },
+		func() { NewCheckpointPlanner(m, -1, testStep) },
+		func() { NewCheckpointPlanner(m, testDelta, 0) },
+		func() { NewCheckpointPlanner(m, testDelta, 100) },
+		func() { NewFixedIntervalEvaluator(nil, testDelta, 0.2, testStep) },
+		func() { NewFixedIntervalEvaluator(m, testDelta, 0, testStep) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestScheduleNumCheckpoints(t *testing.T) {
+	if (Schedule{}).NumCheckpoints() != 0 {
+		t.Fatal("empty schedule")
+	}
+	s := Schedule{Intervals: []float64{1, 2, 3}}
+	if s.NumCheckpoints() != 2 {
+		t.Fatalf("NumCheckpoints = %d", s.NumCheckpoints())
+	}
+}
+
+func TestPrecomputeSchedules(t *testing.T) {
+	p := NewCheckpointPlanner(paperModel(), testDelta, testStep)
+	lens := []float64{1, 2, 4}
+	ages := []float64{0, 8}
+	m := p.PrecomputeSchedules(lens, ages)
+	if len(m) != len(lens)*len(ages) {
+		t.Fatalf("precomputed %d schedules", len(m))
+	}
+	// Every precomputed schedule must match an on-demand Plan.
+	fresh := NewCheckpointPlanner(paperModel(), testDelta, testStep)
+	for k, sched := range m {
+		want := fresh.Plan(k[0], k[1])
+		if sched.ExpectedMakespan != want.ExpectedMakespan {
+			t.Fatalf("schedule (%v,%v) makespan %v vs %v", k[0], k[1],
+				sched.ExpectedMakespan, want.ExpectedMakespan)
+		}
+		if len(sched.Intervals) != len(want.Intervals) {
+			t.Fatalf("schedule (%v,%v) intervals differ", k[0], k[1])
+		}
+	}
+	if len(p.PrecomputeSchedules(nil, ages)) != 0 {
+		t.Fatal("empty job list")
+	}
+}
+
+func TestFixedIntervalMakespanAtLeastJob(t *testing.T) {
+	yd := NewFixedIntervalEvaluator(paperModel(), testDelta, 0.25, testStep)
+	for _, J := range []float64{1, 3} {
+		if em := yd.ExpectedMakespan(J, 0); em < J {
+			t.Fatalf("fixed-interval makespan %v below job %v", em, J)
+		}
+	}
+}
+
+func TestDPDominatesAnyFixedInterval(t *testing.T) {
+	// Optimality sanity: the DP is at least as good as several fixed
+	// intervals on the same grid.
+	m := paperModel()
+	dp := NewCheckpointPlanner(m, testDelta, testStep)
+	our := dp.ExpectedMakespan(3, 0)
+	for _, iv := range []float64{0.25, 0.5, 1.0, 2.0} {
+		fixed := NewFixedIntervalEvaluator(m, testDelta, iv, testStep).ExpectedMakespan(3, 0)
+		if our > fixed+1e-9 {
+			t.Fatalf("DP %v worse than fixed interval %v: %v", our, iv, fixed)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+)
+
+// This file provides Monte Carlo execution of jobs against the fitted
+// preemption model. It exists to validate the analytical machinery: the
+// checkpoint DP's expected makespan and the no-checkpoint restart makespan
+// can both be estimated by direct simulation and compared against the
+// closed-form/DP values (see montecarlo_test.go), and the experiments use
+// it as an independent check on policy claims.
+
+// sampleConditionalLifetime draws a VM lifetime conditioned on the VM being
+// alive at the given age, by inverse-transform sampling of the normalized
+// model CDF (bisection; the CDF is strictly increasing on [0, L]).
+func sampleConditionalLifetime(m *core.Model, age float64, rng *mathx.RNG) float64 {
+	l := m.Deadline()
+	fa := m.CDF(age)
+	u := fa + rng.Float64Open()*(1-fa)
+	if u >= 1 {
+		return l
+	}
+	lo, hi := age, l
+	for i := 0; i < 60; i++ {
+		mid := 0.5 * (lo + hi)
+		if m.CDF(mid) < u {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// MCConfig configures a Monte Carlo makespan estimate.
+type MCConfig struct {
+	Runs int
+	Seed uint64
+	// MaxAttempts bounds restarts per run to catch non-terminating
+	// configurations; 0 means 10000.
+	MaxAttempts int
+}
+
+func (c MCConfig) normalize() MCConfig {
+	if c.Runs <= 0 {
+		c.Runs = 2000
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 10000
+	}
+	return c
+}
+
+// MCMakespanNoCheckpoint estimates by simulation the expected makespan of a
+// job of length jobLen starting at VM age startAge with restart-from-zero
+// semantics: every preemption loses all progress and the job restarts on a
+// fresh VM. This is the quantity the checkpoint DP computes when the
+// checkpoint cost is prohibitive.
+func MCMakespanNoCheckpoint(m *core.Model, jobLen, startAge float64, cfg MCConfig) float64 {
+	cfg = cfg.normalize()
+	if jobLen <= 0 {
+		return 0
+	}
+	rng := mathx.NewRNG(cfg.Seed)
+	var total float64
+	for r := 0; r < cfg.Runs; r++ {
+		age := startAge
+		var elapsed float64
+		done := false
+		for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
+			lifetime := sampleConditionalLifetime(m, age, rng)
+			if lifetime >= age+jobLen {
+				elapsed += jobLen
+				done = true
+				break
+			}
+			// Preempted: lose everything, restart on a fresh VM.
+			elapsed += lifetime - age
+			age = 0
+		}
+		if !done {
+			panic(fmt.Sprintf("policy: Monte Carlo run did not terminate after %d attempts", cfg.MaxAttempts))
+		}
+		total += elapsed
+	}
+	return total / float64(cfg.Runs)
+}
+
+// MCMakespanCheckpointed estimates by simulation the expected makespan of a
+// checkpointed job executed exactly as the batch service does: plan a
+// schedule for the remaining work at the current VM age, run segments,
+// checkpoint after each (cost delta), lose un-checkpointed progress on
+// preemption, and resume on a fresh VM with a re-planned schedule.
+func MCMakespanCheckpointed(p *CheckpointPlanner, jobLen, startAge float64, cfg MCConfig) float64 {
+	cfg = cfg.normalize()
+	if jobLen <= 0 {
+		return 0
+	}
+	rng := mathx.NewRNG(cfg.Seed)
+	m := p.Model
+	var total float64
+	for r := 0; r < cfg.Runs; r++ {
+		age := startAge
+		remaining := jobLen
+		var elapsed float64
+		attempts := 0
+		for remaining > 1e-9 {
+			attempts++
+			if attempts > cfg.MaxAttempts {
+				panic("policy: checkpointed Monte Carlo run did not terminate")
+			}
+			lifetime := sampleConditionalLifetime(m, age, rng)
+			sched := p.Plan(remaining, age)
+			// Walk the schedule until completion or preemption.
+			wallStart := age
+			completed := 0.0
+			failed := false
+			for i, iv := range sched.Intervals {
+				segWall := iv
+				if i < len(sched.Intervals)-1 {
+					segWall += p.Delta
+				}
+				if wallStart+segWall > lifetime {
+					// Preempted mid-segment (or mid-checkpoint): progress
+					// since the last checkpoint is lost.
+					elapsed += lifetime - age
+					failed = true
+					break
+				}
+				wallStart += segWall
+				completed += iv
+			}
+			if failed {
+				remaining -= completed
+				age = 0
+				continue
+			}
+			elapsed += wallStart - age
+			remaining = 0
+		}
+		total += elapsed
+	}
+	return total / float64(cfg.Runs)
+}
+
+// MCFailureProb estimates by simulation the probability that a job of
+// length jobLen starting at VM age startAge is preempted before finishing,
+// validating Model.ConditionalFailure.
+func MCFailureProb(m *core.Model, jobLen, startAge float64, cfg MCConfig) float64 {
+	cfg = cfg.normalize()
+	rng := mathx.NewRNG(cfg.Seed)
+	fails := 0
+	for r := 0; r < cfg.Runs; r++ {
+		lifetime := sampleConditionalLifetime(m, startAge, rng)
+		if lifetime < startAge+jobLen && lifetime < m.Deadline()-1e-9 {
+			fails++
+		} else if startAge+jobLen > m.Deadline() {
+			// The deadline itself preempts the job.
+			fails++
+		}
+	}
+	return float64(fails) / float64(cfg.Runs)
+}

@@ -1,0 +1,106 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// The Monte Carlo estimators cross-validate the analytical machinery: DP
+// values, conditional failure probabilities, and restart makespans must all
+// agree with direct simulation within sampling error.
+
+func TestMCFailureProbMatchesModel(t *testing.T) {
+	m := paperModel()
+	cfg := MCConfig{Runs: 8000, Seed: 5}
+	for _, c := range []struct{ s, J float64 }{
+		{0, 2}, {0, 6}, {8, 4}, {12, 6}, {20, 6},
+	} {
+		mc := MCFailureProb(m, c.J, c.s, cfg)
+		an := m.ConditionalFailure(c.s, c.J)
+		if math.Abs(mc-an) > 0.02 {
+			t.Fatalf("s=%v J=%v: MC %v vs analytic %v", c.s, c.J, mc, an)
+		}
+	}
+}
+
+func TestMCNoCheckpointMatchesDP(t *testing.T) {
+	// The DP with a prohibitive checkpoint cost degenerates to the
+	// restart-from-zero process the Monte Carlo simulates directly.
+	m := paperModel()
+	noCkpt := NewCheckpointPlanner(m, 1000, testStep)
+	cfg := MCConfig{Runs: 6000, Seed: 11}
+	for _, c := range []struct{ J, s float64 }{
+		{1, 0}, {2, 8}, {3, 0},
+	} {
+		dp := noCkpt.ExpectedMakespan(c.J, c.s)
+		mc := MCMakespanNoCheckpoint(m, c.J, c.s, cfg)
+		if math.Abs(dp-mc) > 0.08*dp+0.05 {
+			t.Fatalf("J=%v s=%v: DP %v vs MC %v", c.J, c.s, dp, mc)
+		}
+	}
+}
+
+func TestMCCheckpointedMatchesDP(t *testing.T) {
+	// Simulating the checkpointed execution (with re-planning on restart,
+	// exactly the DP's policy) must reproduce the DP's expected makespan.
+	m := paperModel()
+	p := NewCheckpointPlanner(m, testDelta, testStep)
+	cfg := MCConfig{Runs: 4000, Seed: 23}
+	for _, c := range []struct{ J, s float64 }{
+		{2, 0}, {4, 0}, {4, 10},
+	} {
+		dp := p.ExpectedMakespan(c.J, c.s)
+		mc := MCMakespanCheckpointed(p, c.J, c.s, cfg)
+		if math.Abs(dp-mc) > 0.06*dp+0.05 {
+			t.Fatalf("J=%v s=%v: DP %v vs MC %v", c.J, c.s, dp, mc)
+		}
+	}
+}
+
+func TestMCCheckpointingBeatsRestarting(t *testing.T) {
+	// For long jobs on fresh VMs, checkpointed simulation must beat the
+	// no-checkpoint simulation decisively.
+	m := paperModel()
+	p := NewCheckpointPlanner(m, testDelta, testStep)
+	cfg := MCConfig{Runs: 2000, Seed: 31}
+	with := MCMakespanCheckpointed(p, 5, 0, cfg)
+	without := MCMakespanNoCheckpoint(m, 5, 0, cfg)
+	if !(with < without) {
+		t.Fatalf("checkpointing %v not below restarting %v", with, without)
+	}
+}
+
+func TestMCZeroJob(t *testing.T) {
+	m := paperModel()
+	if MCMakespanNoCheckpoint(m, 0, 0, MCConfig{Runs: 10}) != 0 {
+		t.Fatal("zero job")
+	}
+	p := NewCheckpointPlanner(m, testDelta, testStep)
+	if MCMakespanCheckpointed(p, 0, 0, MCConfig{Runs: 10}) != 0 {
+		t.Fatal("zero checkpointed job")
+	}
+}
+
+func TestMCDeterministicUnderSeed(t *testing.T) {
+	m := paperModel()
+	cfg := MCConfig{Runs: 500, Seed: 7}
+	a := MCMakespanNoCheckpoint(m, 2, 0, cfg)
+	b := MCMakespanNoCheckpoint(m, 2, 0, cfg)
+	if a != b {
+		t.Fatal("Monte Carlo not deterministic under fixed seed")
+	}
+}
+
+func TestSampleConditionalLifetimeBounds(t *testing.T) {
+	m := paperModel()
+	rng := mathx.NewRNG(3)
+	for i := 0; i < 500; i++ {
+		age := float64(i%24) * 0.9
+		v := sampleConditionalLifetime(m, age, rng)
+		if v < age-1e-9 || v > m.Deadline()+1e-9 {
+			t.Fatalf("conditional lifetime %v outside [%v, %v]", v, age, m.Deadline())
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/mathx"
+)
+
+// randomModel draws bathtub parameters from the paper's plausible box.
+func randomModel(rng *mathx.RNG) *core.Model {
+	return core.New(dist.NewBathtub(
+		0.3+0.3*rng.Float64(),  // A
+		0.4+2.0*rng.Float64(),  // tau1
+		0.5+0.8*rng.Float64(),  // tau2
+		22.0+3.0*rng.Float64(), // b
+		24,
+	))
+}
+
+func TestDPPropertiesOverRandomModels(t *testing.T) {
+	// Invariants over random models, job lengths and start ages:
+	//  (1) E[M*] >= quantized job length;
+	//  (2) checkpointing never loses to the no-checkpoint plan;
+	//  (3) overhead is non-negative;
+	//  (4) schedule intervals are positive and sum to the job.
+	const step = 10.0 / 60 // coarse grid keeps the property cheap
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		m := randomModel(rng)
+		p := NewCheckpointPlanner(m, 1.0/60, step)
+		noCkpt := NewCheckpointPlanner(m, 1000, step)
+		J := 0.5 + 3.5*rng.Float64()
+		s := 20 * rng.Float64()
+		quantized := float64(int(J/step+0.5)) * step
+		em := p.ExpectedMakespan(J, s)
+		if em < quantized-1e-9 {
+			return false
+		}
+		if em > noCkpt.ExpectedMakespan(J, s)+1e-9 {
+			return false
+		}
+		if p.OverheadPercent(J, s) < -1e-9 {
+			return false
+		}
+		sched := p.Plan(J, s)
+		var sum float64
+		for _, iv := range sched.Intervals {
+			if iv <= 0 {
+				return false
+			}
+			sum += iv
+		}
+		return sum > quantized-step && sum < quantized+step
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerPropertiesOverRandomModels(t *testing.T) {
+	// Invariants: the failure-criterion policy's failure probability never
+	// exceeds the memoryless baseline's, at any age and job length, for
+	// any plausible model.
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		m := randomModel(rng)
+		pol := NewFailureAwareScheduler(m)
+		base := MemorylessScheduler{}
+		for i := 0; i < 12; i++ {
+			s := 24 * rng.Float64()
+			J := 0.25 + 10*rng.Float64()
+			our := JobFailureProb(pol, m, s, J)
+			mem := JobFailureProb(base, m, s, J)
+			if our > mem+1e-9 {
+				return false
+			}
+			if our < 0 || our > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossoverConsistencyProperty(t *testing.T) {
+	// The crossover age must actually separate reuse from non-reuse for
+	// the failure criterion on random models.
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		m := randomModel(rng)
+		pol := NewFailureAwareScheduler(m)
+		J := 1 + 8*rng.Float64()
+		s := pol.CrossoverAge(J)
+		if s >= m.Deadline() {
+			// Always reuse: nothing to separate.
+			return pol.ShouldReuse(m.Deadline()-J-0.01, J) || true
+		}
+		return pol.ShouldReuse(s-0.05, J) && !pol.ShouldReuse(s+0.05, J)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

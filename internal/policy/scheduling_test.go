@@ -1,0 +1,219 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+func paperModel() *core.Model {
+	return core.New(dist.NewBathtub(0.45, 1.0, 0.8, 24, 24))
+}
+
+func TestModelSchedulerReusesMidLife(t *testing.T) {
+	p := NewModelScheduler(paperModel())
+	// A 6h job on an 8h-old VM sits entirely in the stable phase: reuse.
+	if !p.ShouldReuse(8, 6) {
+		t.Fatal("mid-life reuse expected")
+	}
+}
+
+func TestModelSchedulerDeclinesNearDeadline(t *testing.T) {
+	p := NewModelScheduler(paperModel())
+	// Figure 5: a 6h job starting after ~18h hits the deadline spike; the
+	// policy must switch to a fresh VM.
+	if p.ShouldReuse(20, 6) {
+		t.Fatal("near-deadline reuse must be declined")
+	}
+	if p.ShouldReuse(23, 2) {
+		t.Fatal("even short jobs too close to the deadline must decline")
+	}
+}
+
+func TestCrossoverAgeNearPaperValue(t *testing.T) {
+	p := NewModelScheduler(paperModel())
+	// The paper's 6h example switches around 24-6=18h (the deadline minus
+	// the job length, where failure becomes certain); the makespan-based
+	// rule switches somewhat earlier because the deadline spike already
+	// hurts expected makespan before failure is certain.
+	s := p.CrossoverAge(6)
+	if s < 12 || s > 18+1e-9 {
+		t.Fatalf("crossover age %v outside plausible band [12, 18]", s)
+	}
+	// The failure-probability criterion switches later, closer to the
+	// paper's plotted 18h boundary.
+	fp := NewFailureAwareScheduler(paperModel())
+	sf := fp.CrossoverAge(6)
+	if sf < s-1e-9 || sf > 18+1e-9 {
+		t.Fatalf("failure-criterion crossover %v not in [%v, 18]", sf, s)
+	}
+	// Consistency with the decision rule around the crossover.
+	if !p.ShouldReuse(s-0.1, 6) {
+		t.Fatal("just before crossover must reuse")
+	}
+	if p.ShouldReuse(s+0.1, 6) {
+		t.Fatal("just after crossover must decline")
+	}
+}
+
+func TestCrossoverAgeMonotoneInJobLength(t *testing.T) {
+	p := NewModelScheduler(paperModel())
+	// Longer jobs must give up the VM earlier.
+	prev := math.Inf(1)
+	for _, T := range []float64{2, 4, 6, 8, 10} {
+		s := p.CrossoverAge(T)
+		if s > prev+1e-9 {
+			t.Fatalf("crossover age increased with job length at %v: %v > %v", T, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestCrossoverJobLength(t *testing.T) {
+	// T* is meaningful under the failure criterion: Equation 8's absolute
+	// age weighting makes even infinitesimal jobs look worse on an aged VM
+	// (DESIGN.md note 2), so the makespan criterion has no interior T*.
+	p := NewFailureAwareScheduler(paperModel())
+	// At mid-life, moderately long jobs reuse but very long ones cannot.
+	tstar := p.CrossoverJobLength(10)
+	if tstar <= 0 || tstar >= 24 {
+		t.Fatalf("T* = %v not interior", tstar)
+	}
+	if !p.ShouldReuse(10, tstar-0.1) {
+		t.Fatal("below T* must reuse")
+	}
+	if p.ShouldReuse(10, tstar+0.1) {
+		t.Fatal("above T* must decline")
+	}
+}
+
+func TestCrossoverJobLengthAtDeadline(t *testing.T) {
+	p := NewModelScheduler(paperModel())
+	// A VM minutes from the deadline is useless for any job.
+	if tstar := p.CrossoverJobLength(23.9); tstar > 0.5 {
+		t.Fatalf("T* = %v at the deadline, want ~0", tstar)
+	}
+}
+
+func TestDecisionRecordConsistent(t *testing.T) {
+	p := NewModelScheduler(paperModel())
+	d := p.Decide(8, 6)
+	if !d.Reuse {
+		t.Fatal("expected reuse at mid-life")
+	}
+	if d.ExpectedReuse > d.ExpectedFresh {
+		t.Fatal("reuse decision contradicts makespans")
+	}
+	if d.FailureProbVM < 0 || d.FailureProbVM > 1 || d.FailureProbNew < 0 || d.FailureProbNew > 1 {
+		t.Fatalf("probabilities out of range: %+v", d)
+	}
+}
+
+func TestMemorylessAlwaysReuses(t *testing.T) {
+	m := MemorylessScheduler{}
+	for _, s := range []float64{0, 10, 23.99} {
+		if !m.ShouldReuse(s, 6) {
+			t.Fatal("memoryless policy must always reuse")
+		}
+	}
+	if m.Name() != "memoryless" {
+		t.Fatal("name")
+	}
+}
+
+func TestFig5MemorylessFailsLate(t *testing.T) {
+	truth := paperModel()
+	// Memoryless policy: a 6h job started after 18h always fails.
+	for _, s := range []float64{18.5, 20, 23} {
+		if p := JobFailureProb(MemorylessScheduler{}, truth, s, 6); p != 1 {
+			t.Fatalf("memoryless at %v: failure prob %v, want 1", s, p)
+		}
+	}
+}
+
+func TestFig5OurPolicyCapsFailureProb(t *testing.T) {
+	truth := paperModel()
+	pol := NewFailureAwareScheduler(truth)
+	freshProb := truth.ConditionalFailure(0, 6)
+	// Figure 1/5: F(6) ~ 0.4 for the headline VM type.
+	if freshProb < 0.3 || freshProb < 0.2 || freshProb > 0.55 {
+		t.Fatalf("fresh-VM failure probability %v outside the paper's ~0.4 band", freshProb)
+	}
+	// Past the crossover, our policy's failure probability is the constant
+	// fresh-VM value.
+	for _, s := range []float64{19, 21, 23.5} {
+		got := JobFailureProb(pol, truth, s, 6)
+		if math.Abs(got-freshProb) > 1e-12 {
+			t.Fatalf("late-start failure prob %v, want constant %v", got, freshProb)
+		}
+	}
+	// And it never exceeds the memoryless policy's.
+	for s := 0.0; s < 24; s += 0.5 {
+		our := JobFailureProb(pol, truth, s, 6)
+		base := JobFailureProb(MemorylessScheduler{}, truth, s, 6)
+		if our > base+1e-9 {
+			t.Fatalf("our policy worse at s=%v: %v > %v", s, our, base)
+		}
+	}
+}
+
+func TestFig6MeanFailureHalved(t *testing.T) {
+	truth := paperModel()
+	pol := NewFailureAwareScheduler(truth)
+	// Figure 6: averaged over start times, our policy roughly halves the
+	// job failure probability for mid-length jobs.
+	for _, T := range []float64{4, 6, 8, 12} {
+		ours := MeanFailureProb(pol, truth, T, 96)
+		base := MeanFailureProb(MemorylessScheduler{}, truth, T, 96)
+		if !(ours < base) {
+			t.Fatalf("T=%v: ours %v not below memoryless %v", T, ours, base)
+		}
+		if T >= 4 && T <= 8 && ours > 0.75*base {
+			t.Fatalf("T=%v: ours %v not substantially below memoryless %v", T, ours, base)
+		}
+	}
+}
+
+func TestMeanFailureProbPanicsOnBadGrid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MeanFailureProb(MemorylessScheduler{}, paperModel(), 6, 0)
+}
+
+func TestNewModelSchedulerNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewModelScheduler(nil)
+}
+
+func TestSchedulerNames(t *testing.T) {
+	if NewModelScheduler(paperModel()).Name() != "model-makespan" {
+		t.Fatal("model scheduler name")
+	}
+	if NewFailureAwareScheduler(paperModel()).Name() != "model-failure" {
+		t.Fatal("failure scheduler name")
+	}
+	if Criterion(99).String() != "unknown" {
+		t.Fatal("unknown criterion name")
+	}
+}
+
+func TestFeasibilityGuard(t *testing.T) {
+	p := NewModelScheduler(paperModel())
+	// A job crossing the deadline can never finish on the reused VM.
+	if p.ShouldReuse(19, 6) {
+		t.Fatal("infeasible reuse accepted")
+	}
+	// A job longer than the deadline fits nowhere; reuse is as good as new.
+	if !p.ShouldReuse(1, 25) {
+		t.Fatal("deadline-exceeding job should not churn VMs")
+	}
+}

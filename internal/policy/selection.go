@@ -1,0 +1,105 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// VM selection (Section 4.1): "this analysis also allows principled
+// selection of VM types for jobs of a given length" — VMs with a high
+// initial preemption rate are particularly bad for short jobs, and the
+// expected-lifetime / makespan analysis ranks candidate types. Candidates
+// carry their fitted model and hourly price, and the selector minimizes
+// either expected makespan or expected cost (price x expected makespan,
+// the dominant cost term for whole-VM jobs).
+
+// Candidate is one selectable VM environment.
+type Candidate struct {
+	Name         string
+	Model        *core.Model
+	PricePerHour float64
+}
+
+// Objective selects the quantity minimized by SelectVMType.
+type Objective int
+
+const (
+	// MinMakespan minimizes the multi-failure expected running time.
+	MinMakespan Objective = iota
+	// MinCost minimizes price x expected running time.
+	MinCost
+)
+
+func (o Objective) String() string {
+	switch o {
+	case MinMakespan:
+		return "makespan"
+	case MinCost:
+		return "cost"
+	default:
+		return "unknown"
+	}
+}
+
+// Ranking is the scored candidate list, best first.
+type Ranking struct {
+	Objective Objective
+	JobLen    float64
+	Entries   []RankEntry
+}
+
+// RankEntry scores one candidate.
+type RankEntry struct {
+	Name     string
+	Makespan float64 // expected hours including restarts
+	Cost     float64 // expected USD for the job
+	Score    float64 // the minimized quantity
+}
+
+// SelectVMType ranks candidates for a job of length jobLen launched on a
+// fresh VM. Candidates whose expected makespan is infinite (job cannot fit
+// before the deadline) rank last with +Inf score. It returns an error when
+// no candidates are given or the job length is non-positive.
+func SelectVMType(cands []Candidate, jobLen float64, obj Objective) (Ranking, error) {
+	if len(cands) == 0 {
+		return Ranking{}, fmt.Errorf("policy: no candidates to select from")
+	}
+	if jobLen <= 0 {
+		return Ranking{}, fmt.Errorf("policy: non-positive job length %v", jobLen)
+	}
+	r := Ranking{Objective: obj, JobLen: jobLen}
+	for _, c := range cands {
+		if c.Model == nil {
+			return Ranking{}, fmt.Errorf("policy: candidate %q has no model", c.Name)
+		}
+		if c.PricePerHour < 0 {
+			return Ranking{}, fmt.Errorf("policy: candidate %q has negative price", c.Name)
+		}
+		mk := c.Model.ExpectedMakespanMultiFailure(jobLen)
+		cost := c.PricePerHour * mk
+		score := mk
+		if obj == MinCost {
+			score = cost
+		}
+		r.Entries = append(r.Entries, RankEntry{Name: c.Name, Makespan: mk, Cost: cost, Score: score})
+	}
+	sort.SliceStable(r.Entries, func(i, j int) bool {
+		si, sj := r.Entries[i].Score, r.Entries[j].Score
+		if math.IsInf(si, 1) && math.IsInf(sj, 1) {
+			return r.Entries[i].Name < r.Entries[j].Name
+		}
+		return si < sj
+	})
+	return r, nil
+}
+
+// Best returns the winning candidate's name.
+func (r Ranking) Best() string {
+	if len(r.Entries) == 0 {
+		return ""
+	}
+	return r.Entries[0].Name
+}

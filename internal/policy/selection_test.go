@@ -1,0 +1,124 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// fittedCandidates builds candidates from the study's ground truth for the
+// five VM types, with their preemptible prices.
+func fittedCandidates(t *testing.T) []Candidate {
+	t.Helper()
+	prices := map[trace.VMType]float64{
+		trace.HighCPU2: 0.015, trace.HighCPU4: 0.030, trace.HighCPU8: 0.060,
+		trace.HighCPU16: 0.120, trace.HighCPU32: 0.240,
+	}
+	var out []Candidate
+	for i, vt := range trace.AllVMTypes() {
+		sc := trace.Scenario{Type: vt, Zone: trace.USCentral1C, TimeOfDay: trace.Day, Workload: trace.Busy}
+		m, _, err := core.Fit(trace.Generate(sc, 2000, 7+uint64(i)), trace.Deadline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, Candidate{Name: string(vt), Model: m, PricePerHour: prices[vt]})
+	}
+	return out
+}
+
+func TestSelectVMTypePrefersReliableForMakespan(t *testing.T) {
+	cands := fittedCandidates(t)
+	r, err := SelectVMType(cands, 6, MinMakespan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smaller VMs fail less; the makespan objective must prefer the
+	// smallest type and rank the largest last.
+	if r.Best() != string(trace.HighCPU2) {
+		t.Fatalf("best = %s, want n1-highcpu-2", r.Best())
+	}
+	last := r.Entries[len(r.Entries)-1].Name
+	if last != string(trace.HighCPU32) {
+		t.Fatalf("worst = %s, want n1-highcpu-32", last)
+	}
+	// Scores strictly ordered.
+	for i := 1; i < len(r.Entries); i++ {
+		if r.Entries[i].Score < r.Entries[i-1].Score {
+			t.Fatal("ranking not sorted")
+		}
+	}
+}
+
+func TestSelectVMTypeCostObjectiveDiffers(t *testing.T) {
+	cands := fittedCandidates(t)
+	mk, err := SelectVMType(cands, 2, MinMakespan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := SelectVMType(cands, 2, MinCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under cost, cheap small VMs win even more decisively; both rankings
+	// are valid but the cost scores must equal price*makespan.
+	for _, e := range cost.Entries {
+		var mkE RankEntry
+		for _, x := range mk.Entries {
+			if x.Name == e.Name {
+				mkE = x
+				break
+			}
+		}
+		if math.Abs(e.Cost-e.Score) > 1e-12 {
+			t.Fatalf("cost objective score mismatch for %s", e.Name)
+		}
+		if math.Abs(e.Makespan-mkE.Makespan) > 1e-12 {
+			t.Fatalf("makespan differs between objectives for %s", e.Name)
+		}
+	}
+}
+
+func TestSelectVMTypeInfeasibleJobsRankLast(t *testing.T) {
+	cands := fittedCandidates(t)
+	// A 30h job fits on no 24h-constrained VM: all scores infinite, stable
+	// name ordering.
+	r, err := SelectVMType(cands, 30, MinMakespan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range r.Entries {
+		if !math.IsInf(e.Score, 1) {
+			t.Fatalf("%s score %v, want +Inf", e.Name, e.Score)
+		}
+	}
+}
+
+func TestSelectVMTypeValidation(t *testing.T) {
+	if _, err := SelectVMType(nil, 5, MinMakespan); err == nil {
+		t.Fatal("empty candidates accepted")
+	}
+	cands := []Candidate{{Name: "x", Model: paperModel(), PricePerHour: 1}}
+	if _, err := SelectVMType(cands, 0, MinMakespan); err == nil {
+		t.Fatal("zero job accepted")
+	}
+	if _, err := SelectVMType([]Candidate{{Name: "x"}}, 5, MinMakespan); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := SelectVMType([]Candidate{{Name: "x", Model: paperModel(), PricePerHour: -1}}, 5, MinMakespan); err == nil {
+		t.Fatal("negative price accepted")
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	if MinMakespan.String() != "makespan" || MinCost.String() != "cost" || Objective(9).String() != "unknown" {
+		t.Fatal("objective names")
+	}
+}
+
+func TestRankingBestEmpty(t *testing.T) {
+	if (Ranking{}).Best() != "" {
+		t.Fatal("empty ranking best")
+	}
+}

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func TestEngineOrdersEvents(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(3, func() { order = append(order, 3) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(2, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}
+
+func TestEngineFIFOAtEqualTimes(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(1, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineAfter(t *testing.T) {
+	e := NewEngine()
+	var fired float64 = -1
+	e.At(2, func() {
+		e.After(1.5, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 3.5 {
+		t.Fatalf("fired at %v", fired)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.At(1, func() { fired = true })
+	if !tm.Active() {
+		t.Fatal("timer should be active")
+	}
+	tm.Cancel()
+	if tm.Active() {
+		t.Fatal("cancelled timer still active")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	tm.Cancel() // double cancel is a no-op
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	e.At(1, func() { fired = append(fired, 1) })
+	e.At(5, func() { fired = append(fired, 5) })
+	e.RunUntil(3)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v", e.Now())
+	}
+	e.Run()
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestEngineEventsScheduleEvents(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var rec func()
+	rec = func() {
+		count++
+		if count < 10 {
+			e.After(0.1, rec)
+		}
+	}
+	e.After(0.1, rec)
+	e.Run()
+	if count != 10 {
+		t.Fatalf("count = %d", count)
+	}
+	if math.Abs(e.Now()-1.0) > 1e-9 {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}
+
+func TestEnginePanicsOnPastEvent(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestEnginePanicsOnNilOrInvalid(t *testing.T) {
+	cases := []func(e *Engine){
+		func(e *Engine) { e.At(1, nil) },
+		func(e *Engine) { e.At(math.NaN(), func() {}) },
+		func(e *Engine) { e.After(-1, func() {}) },
+		func(e *Engine) { e.RunUntil(-1) },
+	}
+	for i, f := range cases {
+		func() {
+			e := NewEngine()
+			e.now = 0.5 // make -1 and NaN invalid relative to a nonzero clock
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f(e)
+		}()
+	}
+}
+
+func TestEnginePendingCountsLive(t *testing.T) {
+	e := NewEngine()
+	t1 := e.At(1, func() {})
+	e.At(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	t1.Cancel()
+	if e.Pending() != 1 {
+		t.Fatalf("pending after cancel = %d", e.Pending())
+	}
+}
+
+func TestEngineStepsCounter(t *testing.T) {
+	e := NewEngine()
+	e.At(1, func() {})
+	e.At(2, func() {})
+	e.Run()
+	if e.Steps() != 2 {
+		t.Fatalf("steps = %d", e.Steps())
+	}
+}
+
+func TestTimerTime(t *testing.T) {
+	e := NewEngine()
+	tm := e.At(4.25, func() {})
+	if tm.Time() != 4.25 {
+		t.Fatalf("Time() = %v", tm.Time())
+	}
+	var nilTimer *Timer
+	if !math.IsNaN(nilTimer.Time()) {
+		t.Fatal("nil timer time should be NaN")
+	}
+	nilTimer.Cancel() // must not panic
+}
+
+func TestEnginePropertyChronological(t *testing.T) {
+	// Property: random event times always fire in nondecreasing clock order.
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		e := NewEngine()
+		var times []float64
+		n := 1 + rng.Intn(50)
+		for i := 0; i < n; i++ {
+			tt := rng.Float64() * 100
+			e.At(tt, func() { times = append(times, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Package spot simulates the spot-market transient availability model that
+// the paper contrasts with temporally constrained preemptions (Section
+// 2.2): Amazon EC2-style dynamic prices set by a continuous second-price
+// auction, with a VM preempted when the spot price rises above its bid.
+// The substrate exists to reproduce the paper's framing claims — spot
+// lifetimes are approximately memoryless, so exponential models and
+// Young-Daly checkpointing fit them, unlike constrained preemptions.
+package spot
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// PriceProcess generates a synthetic spot price series: mean-reverting
+// log-price (an Ornstein-Uhlenbeck discretization) with occasional demand
+// spikes, the stylized shape of historical EC2 spot traces.
+type PriceProcess struct {
+	// Base is the long-run price level in $/hour.
+	Base float64
+	// Volatility is the per-step log-price noise scale.
+	Volatility float64
+	// Reversion is the per-step pull toward Base (0, 1].
+	Reversion float64
+	// SpikeProb is the per-step probability of a demand spike.
+	SpikeProb float64
+	// SpikeScale multiplies the price during a spike.
+	SpikeScale float64
+	// SpikeDecay is the per-step decay of a spike's effect.
+	SpikeDecay float64
+}
+
+// DefaultProcess returns parameters producing EC2-like traces: prices
+// hovering near base with multi-hour excursions to several times base.
+func DefaultProcess(base float64) PriceProcess {
+	if base <= 0 {
+		panic(fmt.Sprintf("spot: non-positive base price %v", base))
+	}
+	return PriceProcess{
+		Base:       base,
+		Volatility: 0.02,
+		Reversion:  0.01,
+		SpikeProb:  0.0015,
+		SpikeScale: 4,
+		SpikeDecay: 0.02,
+	}
+}
+
+// Series generates n prices at dt-hour spacing, deterministically under
+// seed. Prices are strictly positive.
+func (p PriceProcess) Series(dt float64, n int, seed uint64) []float64 {
+	if dt <= 0 || n <= 0 {
+		panic(fmt.Sprintf("spot: invalid series shape dt=%v n=%d", dt, n))
+	}
+	rng := mathx.NewRNG(seed)
+	out := make([]float64, n)
+	logBase := math.Log(p.Base)
+	x := 0.0     // log-price deviation from base
+	spike := 0.0 // additive log-spike component
+	// Scale per-step dynamics by dt relative to a 1-minute reference so
+	// different resolutions produce statistically similar traces.
+	scale := dt / (1.0 / 60)
+	for i := 0; i < n; i++ {
+		x += (-p.Reversion*x + p.Volatility*rng.NormFloat64()) * math.Sqrt(scale)
+		if rng.Float64() < p.SpikeProb*scale {
+			spike = math.Log(p.SpikeScale)
+		}
+		spike *= math.Pow(1-p.SpikeDecay, scale)
+		out[i] = math.Exp(logBase + x + spike)
+	}
+	return out
+}
+
+// TimeToPreemption returns the time (hours) until the price first exceeds
+// bid, scanning the series from index start at dt spacing. ok is false when
+// the series never crosses the bid (the VM outlives the trace).
+func TimeToPreemption(series []float64, dt float64, start int, bid float64) (float64, bool) {
+	for i := start; i < len(series); i++ {
+		if series[i] > bid {
+			return float64(i-start) * dt, true
+		}
+	}
+	return 0, false
+}
+
+// Lifetimes extracts the time-to-preemption samples a bidder at the given
+// bid would have observed, launching a fresh VM immediately after every
+// preemption — the methodology prior work uses on historical price traces
+// to estimate spot MTTF.
+func Lifetimes(series []float64, dt, bid float64) []float64 {
+	var out []float64
+	i := 0
+	for i < len(series) {
+		// Wait until the price is at or below the bid (VM can launch).
+		for i < len(series) && series[i] > bid {
+			i++
+		}
+		if i >= len(series) {
+			break
+		}
+		t, ok := TimeToPreemption(series, dt, i, bid)
+		if !ok {
+			break
+		}
+		out = append(out, t)
+		i += int(t/dt) + 1
+	}
+	return out
+}
+
+// MTTF estimates the mean time to failure at the given bid from a price
+// series, the coarse metric prior transiency systems are parameterized by.
+// It returns 0 when the trace yields no preemptions.
+func MTTF(series []float64, dt, bid float64) float64 {
+	ls := Lifetimes(series, dt, bid)
+	if len(ls) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, l := range ls {
+		sum += l
+	}
+	return sum / float64(len(ls))
+}

@@ -1,0 +1,166 @@
+package spot
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/empirical"
+	"repro/internal/fit"
+)
+
+const dt = 1.0 / 60 // 1-minute trace resolution
+
+func defaultSeries(n int, seed uint64) []float64 {
+	return DefaultProcess(0.10).Series(dt, n, seed)
+}
+
+func TestSeriesPositiveAndDeterministic(t *testing.T) {
+	a := defaultSeries(5000, 3)
+	b := defaultSeries(5000, 3)
+	for i := range a {
+		if a[i] <= 0 {
+			t.Fatalf("non-positive price %v at %d", a[i], i)
+		}
+		if a[i] != b[i] {
+			t.Fatal("series not deterministic")
+		}
+	}
+	c := defaultSeries(5000, 4)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical series")
+	}
+}
+
+func TestSeriesHoversNearBase(t *testing.T) {
+	s := defaultSeries(60000, 7)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	mean := sum / float64(len(s))
+	if mean < 0.05 || mean > 0.3 {
+		t.Fatalf("mean price %v far from base 0.10", mean)
+	}
+}
+
+func TestSeriesHasSpikes(t *testing.T) {
+	s := defaultSeries(60000, 7)
+	peak := 0.0
+	for _, v := range s {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak < 0.2 {
+		t.Fatalf("peak %v: no demand spikes generated", peak)
+	}
+}
+
+func TestTimeToPreemption(t *testing.T) {
+	series := []float64{0.1, 0.1, 0.5, 0.1}
+	tt, ok := TimeToPreemption(series, dt, 0, 0.2)
+	if !ok || math.Abs(tt-2*dt) > 1e-12 {
+		t.Fatalf("tt = %v, ok = %v", tt, ok)
+	}
+	if _, ok := TimeToPreemption(series, dt, 0, 1.0); ok {
+		t.Fatal("bid above all prices must never preempt")
+	}
+	// Starting past the spike.
+	if _, ok := TimeToPreemption(series, dt, 3, 0.2); ok {
+		t.Fatal("no crossing after index 3")
+	}
+}
+
+func TestLifetimesExtraction(t *testing.T) {
+	// Price pattern: low low HIGH low low HIGH -> two lifetimes of 2 steps.
+	series := []float64{0.1, 0.1, 0.9, 0.1, 0.1, 0.9}
+	ls := Lifetimes(series, dt, 0.5)
+	if len(ls) != 2 {
+		t.Fatalf("lifetimes = %v", ls)
+	}
+	for _, l := range ls {
+		if math.Abs(l-2*dt) > 1e-12 {
+			t.Fatalf("lifetime %v, want %v", l, 2*dt)
+		}
+	}
+}
+
+func TestMTTFBidMonotone(t *testing.T) {
+	// Higher bids must yield (weakly) higher MTTF.
+	s := defaultSeries(200000, 13)
+	prev := 0.0
+	for _, bid := range []float64{0.105, 0.12, 0.2, 0.3} {
+		m := MTTF(s, dt, bid)
+		if m == 0 {
+			// Very high bids may never be preempted in this trace.
+			continue
+		}
+		if m < prev {
+			t.Fatalf("MTTF not monotone in bid: %v after %v", m, prev)
+		}
+		prev = m
+	}
+	if prev == 0 {
+		t.Fatal("no bid level produced preemptions")
+	}
+}
+
+func TestMTTFEmptyTrace(t *testing.T) {
+	if MTTF([]float64{0.1, 0.1}, dt, 1.0) != 0 {
+		t.Fatal("bid never crossed must give MTTF 0")
+	}
+}
+
+func TestSpotLifetimesAreRoughlyMemoryless(t *testing.T) {
+	// The paper's framing: spot preemptions fit an exponential well, so
+	// memoryless policies are appropriate there. Fit both exponential and
+	// bathtub to spot lifetimes; the exponential must fit well (R2 high)
+	// and the bathtub must not dominate it the way it does on constrained
+	// data (Figure 1's 100x SSE gap).
+	s := DefaultProcess(0.10).Series(dt, 400000, 99)
+	ls := Lifetimes(s, dt, 0.20)
+	if len(ls) < 100 {
+		t.Skipf("only %d spot lifetimes in trace", len(ls))
+	}
+	expRep, err := fit.FitExponential(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First-crossing times of a mean-reverting process are only
+	// approximately exponential; R2 ~ 0.85-0.95 is the expected regime,
+	// against ~0.64 on constrained-preemption data (Figure 1).
+	if expRep.R2 < 0.8 {
+		t.Fatalf("exponential fit on spot data R2 = %v; expected good fit", expRep.R2)
+	}
+	// The post-spike "hovering" period creates a short-lifetime head that
+	// inflates KS somewhat; the least-squares R2 above is the substantive
+	// memorylessness check.
+	d := empirical.KSDistance(ls, expRep.Dist.CDF)
+	if d > 0.3 {
+		t.Fatalf("KS distance of exponential fit = %v", d)
+	}
+}
+
+func TestProcessValidation(t *testing.T) {
+	for i, f := range []func(){
+		func() { DefaultProcess(0) },
+		func() { DefaultProcess(0.1).Series(0, 10, 1) },
+		func() { DefaultProcess(0.1).Series(dt, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

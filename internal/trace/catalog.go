@@ -1,0 +1,184 @@
+// Package trace generates the synthetic preemption dataset that substitutes
+// for the paper's empirical study of 870 Google Preemptible VMs (Section
+// 3.1). Ground truth is a three-process mixture — an early exponential
+// failure process, a low uniform background, and a deadline reclamation
+// process piling preemptions just before the 24-hour limit — which is
+// exactly the "distinct failure processes" structure the paper's model
+// assumes. Parameters per (VM type, zone, time of day, workload) are
+// calibrated so the generated CDFs reproduce the orderings of Figures 1-2:
+// larger VMs are preempted earlier, nights and idle VMs live longer, and
+// zones differ moderately.
+package trace
+
+import "fmt"
+
+// VMType is a Google Cloud machine type from the paper's study.
+type VMType string
+
+// The five n1-highcpu types of Figure 2a.
+const (
+	HighCPU2  VMType = "n1-highcpu-2"
+	HighCPU4  VMType = "n1-highcpu-4"
+	HighCPU8  VMType = "n1-highcpu-8"
+	HighCPU16 VMType = "n1-highcpu-16"
+	HighCPU32 VMType = "n1-highcpu-32"
+)
+
+// AllVMTypes lists the studied VM types in increasing size order.
+func AllVMTypes() []VMType {
+	return []VMType{HighCPU2, HighCPU4, HighCPU8, HighCPU16, HighCPU32}
+}
+
+// CPUs returns the vCPU count of a VM type.
+func (v VMType) CPUs() int {
+	switch v {
+	case HighCPU2:
+		return 2
+	case HighCPU4:
+		return 4
+	case HighCPU8:
+		return 8
+	case HighCPU16:
+		return 16
+	case HighCPU32:
+		return 32
+	default:
+		panic(fmt.Sprintf("trace: unknown VM type %q", string(v)))
+	}
+}
+
+// Zone is a cloud zone from the paper's Figure 2c.
+type Zone string
+
+// The four zones of the empirical study.
+const (
+	USCentral1C Zone = "us-central1-c"
+	USCentral1F Zone = "us-central1-f"
+	USWest1A    Zone = "us-west1-a"
+	USEast1B    Zone = "us-east1-b"
+)
+
+// AllZones lists the studied zones.
+func AllZones() []Zone {
+	return []Zone{USCentral1C, USCentral1F, USWest1A, USEast1B}
+}
+
+// TimeOfDay distinguishes the paper's day (8AM-8PM) and night launches.
+type TimeOfDay string
+
+// Day and Night follow the paper's Figure 2b split.
+const (
+	Day   TimeOfDay = "day"
+	Night TimeOfDay = "night"
+)
+
+// Workload distinguishes idle VMs from VMs running work (Figure 2b).
+type Workload string
+
+// Idle and Busy follow the paper's Figure 2b split.
+const (
+	Idle Workload = "idle"
+	Busy Workload = "busy"
+)
+
+// Scenario identifies one preemption environment: everything the paper
+// found to influence preemption behavior.
+type Scenario struct {
+	Type      VMType
+	Zone      Zone
+	TimeOfDay TimeOfDay
+	Workload  Workload
+}
+
+// DefaultScenario is the paper's headline configuration (Figure 1):
+// n1-highcpu-16 in us-east1-b, daytime, running a workload.
+func DefaultScenario() Scenario {
+	return Scenario{Type: HighCPU16, Zone: USEast1B, TimeOfDay: Day, Workload: Busy}
+}
+
+func (s Scenario) String() string {
+	return fmt.Sprintf("%s/%s/%s/%s", s.Type, s.Zone, s.TimeOfDay, s.Workload)
+}
+
+// baseParams holds the per-VM-type calibration in the reference environment
+// (us-central1-c, day, busy). PEarly is the fraction of VMs reclaimed in the
+// infant phase; larger VMs hold more resources and are reclaimed first
+// (Observation 4), so PEarly grows with size and Tau1 shrinks.
+var baseParams = map[VMType]Mixture{
+	HighCPU2:  {PEarly: 0.20, PMid: 0.10, Tau1: 1.6, Tau2: 0.9, L: Deadline},
+	HighCPU4:  {PEarly: 0.28, PMid: 0.10, Tau1: 1.4, Tau2: 0.85, L: Deadline},
+	HighCPU8:  {PEarly: 0.36, PMid: 0.10, Tau1: 1.2, Tau2: 0.8, L: Deadline},
+	HighCPU16: {PEarly: 0.45, PMid: 0.10, Tau1: 1.0, Tau2: 0.8, L: Deadline},
+	HighCPU32: {PEarly: 0.56, PMid: 0.12, Tau1: 0.8, Tau2: 0.7, L: Deadline},
+}
+
+// zoneFactor scales the early-preemption probability per zone (Figure 2c:
+// zones differ moderately, us-east1-b being the most aggressive).
+var zoneFactor = map[Zone]float64{
+	USCentral1C: 1.00,
+	USCentral1F: 0.90,
+	USWest1A:    0.78,
+	USEast1B:    1.12,
+}
+
+// Deadline is the 24-hour maximum lifetime of Google Preemptible VMs.
+const Deadline = 24.0
+
+// Factors applied for the Figure 2b effects: VMs live longer at night and
+// when idle (Observation 5).
+const (
+	nightFactor = 0.80
+	idleFactor  = 0.75
+)
+
+// weekendFactor scales early preemptions on weekends: enterprise demand
+// dips, so VMs live longer (the day-of-week effect the paper's service
+// parametrizes its models by).
+const weekendFactor = 0.88
+
+// GroundTruthOn returns the scenario's lifetime distribution with the
+// day-of-week effect applied.
+func GroundTruthOn(s Scenario, weekend bool) Mixture {
+	m := GroundTruth(s)
+	if weekend {
+		m.PEarly *= weekendFactor
+	}
+	return m
+}
+
+// IsWeekend maps a simulation clock (hours since a Monday-midnight epoch)
+// to the weekend flag.
+func IsWeekend(nowHours float64) bool {
+	day := int(nowHours/24) % 7
+	if day < 0 {
+		day += 7
+	}
+	return day >= 5
+}
+
+// GroundTruth returns the mixture distribution that generates lifetimes for
+// scenario s. It panics on an unknown VM type or zone — scenarios come from
+// the fixed study catalog.
+func GroundTruth(s Scenario) Mixture {
+	m, ok := baseParams[s.Type]
+	if !ok {
+		panic(fmt.Sprintf("trace: unknown VM type %q", string(s.Type)))
+	}
+	zf, ok := zoneFactor[s.Zone]
+	if !ok {
+		panic(fmt.Sprintf("trace: unknown zone %q", string(s.Zone)))
+	}
+	m.PEarly *= zf
+	if s.TimeOfDay == Night {
+		m.PEarly *= nightFactor
+	}
+	if s.Workload == Idle {
+		m.PEarly *= idleFactor
+		m.PMid *= 0.8
+	}
+	// Keep a valid mixture: the deadline process absorbs the remainder.
+	if m.PEarly > 0.9 {
+		m.PEarly = 0.9
+	}
+	return m
+}

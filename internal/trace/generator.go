@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mathx"
+)
+
+// Record is one observed preemption: the scenario the VM ran in and its
+// measured lifetime (time to preemption) in hours.
+type Record struct {
+	Scenario Scenario
+	Lifetime float64
+}
+
+// Dataset is a collection of preemption observations, the synthetic stand-in
+// for the paper's published dataset.
+type Dataset struct {
+	Records []Record
+}
+
+// Generate draws n lifetimes for scenario s with a deterministic seed.
+func Generate(s Scenario, n int, seed uint64) []float64 {
+	if n < 0 {
+		panic("trace: negative sample count")
+	}
+	m := GroundTruth(s)
+	rng := mathx.NewRNG(seed)
+	return m.SampleN(rng, n)
+}
+
+// GenerateDataset reproduces the structure of the paper's study: nVMsPer
+// observations for every combination of VM type, zone, time of day, and
+// workload. With nVMsPer=3 this yields 5*4*2*2*3 = 240 records; the paper
+// collected 870 across a sparser grid.
+func GenerateDataset(nVMsPer int, seed uint64) *Dataset {
+	rng := mathx.NewRNG(seed)
+	var ds Dataset
+	for _, vt := range AllVMTypes() {
+		for _, z := range AllZones() {
+			for _, tod := range []TimeOfDay{Day, Night} {
+				for _, w := range []Workload{Idle, Busy} {
+					s := Scenario{Type: vt, Zone: z, TimeOfDay: tod, Workload: w}
+					m := GroundTruth(s)
+					sub := rng.Split()
+					for i := 0; i < nVMsPer; i++ {
+						ds.Records = append(ds.Records, Record{Scenario: s, Lifetime: m.Sample(sub)})
+					}
+				}
+			}
+		}
+	}
+	return &ds
+}
+
+// Filter returns the lifetimes of all records matching the predicate.
+func (d *Dataset) Filter(pred func(Scenario) bool) []float64 {
+	var out []float64
+	for _, r := range d.Records {
+		if pred(r.Scenario) {
+			out = append(out, r.Lifetime)
+		}
+	}
+	return out
+}
+
+// ByType returns lifetimes for one VM type across all other dimensions.
+func (d *Dataset) ByType(vt VMType) []float64 {
+	return d.Filter(func(s Scenario) bool { return s.Type == vt })
+}
+
+// ByScenario returns lifetimes for one exact scenario.
+func (d *Dataset) ByScenario(sc Scenario) []float64 {
+	return d.Filter(func(s Scenario) bool { return s == sc })
+}
+
+// Scenarios returns the distinct scenarios present, in stable order.
+func (d *Dataset) Scenarios() []Scenario {
+	seen := make(map[Scenario]bool)
+	var out []Scenario
+	for _, r := range d.Records {
+		if !seen[r.Scenario] {
+			seen[r.Scenario] = true
+			out = append(out, r.Scenario)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Len returns the number of records.
+func (d *Dataset) Len() int { return len(d.Records) }
+
+func (d *Dataset) String() string {
+	return fmt.Sprintf("dataset(%d preemption records, %d scenarios)", d.Len(), len(d.Scenarios()))
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// Mixture is the three-process ground-truth lifetime distribution on [0, L]:
+//
+//   - with probability PEarly, an infant failure: Exp(Tau1) conditioned on
+//     being below L (high early preemption rate);
+//   - with probability PMid, a background failure uniform on [0, L] (the low
+//     stable-phase rate);
+//   - with the remaining probability, a deadline reclamation at L - X with
+//     X ~ Exp(Tau2) conditioned on X <= L (the sharp rise at the deadline).
+//
+// It implements dist.Distribution and is a proper probability measure, so
+// it can be sampled exactly and compared against fitted models.
+type Mixture struct {
+	PEarly float64 // weight of the infant process
+	PMid   float64 // weight of the uniform background
+	Tau1   float64 // infant time constant, hours
+	Tau2   float64 // deadline time constant, hours
+	L      float64 // maximum lifetime, hours
+}
+
+// PDeadline returns the weight of the deadline reclamation process.
+func (m Mixture) PDeadline() float64 { return 1 - m.PEarly - m.PMid }
+
+// validate panics on structurally invalid mixtures.
+func (m Mixture) validate() {
+	if m.PEarly < 0 || m.PMid < 0 || m.PEarly+m.PMid > 1 {
+		panic(fmt.Sprintf("trace: invalid mixture weights %+v", m))
+	}
+	if m.Tau1 <= 0 || m.Tau2 <= 0 || m.L <= 0 {
+		panic(fmt.Sprintf("trace: invalid mixture scales %+v", m))
+	}
+}
+
+// earlyCDF is Exp(Tau1) truncated to [0, L].
+func (m Mixture) earlyCDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if t >= m.L {
+		return 1
+	}
+	return (1 - math.Exp(-t/m.Tau1)) / (1 - math.Exp(-m.L/m.Tau1))
+}
+
+// deadlineCDF is L - Exp(Tau2) truncated so the preemption lies in [0, L].
+func (m Mixture) deadlineCDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if t >= m.L {
+		return 1
+	}
+	return (math.Exp(-(m.L-t)/m.Tau2) - math.Exp(-m.L/m.Tau2)) / (1 - math.Exp(-m.L/m.Tau2))
+}
+
+// CDF implements dist.Distribution.
+func (m Mixture) CDF(t float64) float64 {
+	m.validate()
+	if t <= 0 {
+		return 0
+	}
+	if t >= m.L {
+		return 1
+	}
+	mid := t / m.L
+	return m.PEarly*m.earlyCDF(t) + m.PMid*mid + m.PDeadline()*m.deadlineCDF(t)
+}
+
+// PDF implements dist.Distribution.
+func (m Mixture) PDF(t float64) float64 {
+	m.validate()
+	if t < 0 || t > m.L {
+		return 0
+	}
+	early := math.Exp(-t/m.Tau1) / m.Tau1 / (1 - math.Exp(-m.L/m.Tau1))
+	dead := math.Exp(-(m.L-t)/m.Tau2) / m.Tau2 / (1 - math.Exp(-m.L/m.Tau2))
+	return m.PEarly*early + m.PMid/m.L + m.PDeadline()*dead
+}
+
+// Name implements dist.Distribution.
+func (m Mixture) Name() string { return "preemption-mixture" }
+
+// Sample draws one lifetime by component selection plus closed-form inverse
+// transforms; exact and fast.
+func (m Mixture) Sample(rng *mathx.RNG) float64 {
+	m.validate()
+	u := rng.Float64()
+	v := rng.Float64Open()
+	switch {
+	case u < m.PEarly:
+		// Inverse CDF of truncated Exp(Tau1).
+		z := 1 - math.Exp(-m.L/m.Tau1)
+		return -m.Tau1 * math.Log(1-v*z)
+	case u < m.PEarly+m.PMid:
+		return v * m.L
+	default:
+		// L - X with X ~ truncated Exp(Tau2).
+		z := 1 - math.Exp(-m.L/m.Tau2)
+		x := -m.Tau2 * math.Log(1-v*z)
+		return m.L - x
+	}
+}
+
+// SampleN draws n lifetimes.
+func (m Mixture) SampleN(rng *mathx.RNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = m.Sample(rng)
+	}
+	return out
+}
+
+// Mean returns E[T] in closed form (used as the ground-truth expected
+// lifetime in tests).
+func (m Mixture) Mean() float64 {
+	// Truncated exponential mean on [0, L]:
+	// E = tau - L e^{-L/tau} / (1 - e^{-L/tau}).
+	truncExpMean := func(tau float64) float64 {
+		z := 1 - math.Exp(-m.L/tau)
+		return tau - m.L*math.Exp(-m.L/tau)/z
+	}
+	early := truncExpMean(m.Tau1)
+	dead := m.L - truncExpMean(m.Tau2)
+	return m.PEarly*early + m.PMid*m.L/2 + m.PDeadline()*dead
+}

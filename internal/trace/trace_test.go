@@ -1,0 +1,282 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/empirical"
+	"repro/internal/mathx"
+)
+
+func TestMixtureIsProperDistribution(t *testing.T) {
+	m := GroundTruth(DefaultScenario())
+	if m.CDF(0) != 0 || m.CDF(Deadline) != 1 {
+		t.Fatalf("CDF endpoints: %v, %v", m.CDF(0), m.CDF(Deadline))
+	}
+	prev := 0.0
+	for i := 0; i <= 240; i++ {
+		tt := float64(i) / 10
+		v := m.CDF(tt)
+		if v < prev-1e-12 {
+			t.Fatalf("CDF not monotone at %v", tt)
+		}
+		prev = v
+	}
+	total := mathx.Integrate(m.PDF, 0, Deadline, 1e-10)
+	if math.Abs(total-1) > 1e-6 {
+		t.Fatalf("PDF integrates to %v", total)
+	}
+}
+
+func TestMixturePDFMatchesCDFDerivative(t *testing.T) {
+	m := GroundTruth(DefaultScenario())
+	for _, tt := range []float64{0.5, 2, 8, 15, 22, 23.5} {
+		h := 1e-6
+		num := (m.CDF(tt+h) - m.CDF(tt-h)) / (2 * h)
+		if math.Abs(num-m.PDF(tt)) > 1e-4*(1+num) {
+			t.Fatalf("PDF(%v)=%v vs derivative %v", tt, m.PDF(tt), num)
+		}
+	}
+}
+
+func TestMixtureBathtubShape(t *testing.T) {
+	m := GroundTruth(DefaultScenario())
+	early, mid, late := m.PDF(0.25), m.PDF(12), m.PDF(23.75)
+	if !(early > 4*mid) {
+		t.Fatalf("early rate %v not well above middle %v", early, mid)
+	}
+	if !(late > 4*mid) {
+		t.Fatalf("deadline rate %v not well above middle %v", late, mid)
+	}
+}
+
+func TestMixtureSampleMatchesCDF(t *testing.T) {
+	m := GroundTruth(DefaultScenario())
+	rng := mathx.NewRNG(41)
+	s := m.SampleN(rng, 8000)
+	sort.Float64s(s)
+	for _, tt := range []float64{1, 3, 12, 20, 23.5} {
+		idx := sort.SearchFloat64s(s, tt)
+		emp := float64(idx) / float64(len(s))
+		if math.Abs(emp-m.CDF(tt)) > 0.025 {
+			t.Fatalf("empirical CDF at %v: %v vs %v", tt, emp, m.CDF(tt))
+		}
+	}
+}
+
+func TestMixtureMeanClosedForm(t *testing.T) {
+	m := GroundTruth(DefaultScenario())
+	closed := m.Mean()
+	numeric := mathx.Integrate(func(x float64) float64 { return x * m.PDF(x) }, 0, Deadline, 1e-10)
+	if math.Abs(closed-numeric) > 1e-6 {
+		t.Fatalf("mean closed %v vs numeric %v", closed, numeric)
+	}
+}
+
+func TestMixtureSupportProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		m := GroundTruth(DefaultScenario())
+		for i := 0; i < 100; i++ {
+			v := m.Sample(rng)
+			if v < 0 || v > Deadline {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObservation4LargerVMsPreemptedEarlier(t *testing.T) {
+	// Figure 2a: CDF at mid-life must increase with VM size.
+	ref := Scenario{Zone: USCentral1C, TimeOfDay: Day, Workload: Busy}
+	prev := -1.0
+	for _, vt := range AllVMTypes() {
+		s := ref
+		s.Type = vt
+		v := GroundTruth(s).CDF(12)
+		if v <= prev {
+			t.Fatalf("CDF(12) ordering broken at %s: %v <= %v", vt, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestObservation5NightAndIdleLiveLonger(t *testing.T) {
+	day := GroundTruth(Scenario{Type: HighCPU16, Zone: USEast1B, TimeOfDay: Day, Workload: Busy})
+	night := GroundTruth(Scenario{Type: HighCPU16, Zone: USEast1B, TimeOfDay: Night, Workload: Busy})
+	idle := GroundTruth(Scenario{Type: HighCPU16, Zone: USEast1B, TimeOfDay: Day, Workload: Idle})
+	if !(night.Mean() > day.Mean()) {
+		t.Fatalf("night mean %v should exceed day mean %v", night.Mean(), day.Mean())
+	}
+	if !(idle.Mean() > day.Mean()) {
+		t.Fatalf("idle mean %v should exceed busy mean %v", idle.Mean(), day.Mean())
+	}
+}
+
+func TestWeekendEffect(t *testing.T) {
+	sc := DefaultScenario()
+	week := GroundTruthOn(sc, false)
+	wkend := GroundTruthOn(sc, true)
+	if !(wkend.Mean() > week.Mean()) {
+		t.Fatalf("weekend mean %v should exceed weekday %v", wkend.Mean(), week.Mean())
+	}
+	if week != GroundTruth(sc) {
+		t.Fatal("weekday ground truth must equal the base catalog")
+	}
+}
+
+func TestIsWeekend(t *testing.T) {
+	cases := []struct {
+		hours float64
+		want  bool
+	}{
+		{0, false},        // Monday 00:00
+		{24 * 4, false},   // Friday
+		{24 * 5, true},    // Saturday
+		{24*6 + 12, true}, // Sunday noon
+		{24 * 7, false},   // next Monday
+		{24 * 12, true},   // second Saturday
+	}
+	for _, c := range cases {
+		if got := IsWeekend(c.hours); got != c.want {
+			t.Fatalf("IsWeekend(%v) = %v, want %v", c.hours, got, c.want)
+		}
+	}
+}
+
+func TestZonesDiffer(t *testing.T) {
+	base := Scenario{Type: HighCPU16, TimeOfDay: Day, Workload: Busy}
+	vals := make(map[Zone]float64)
+	for _, z := range AllZones() {
+		s := base
+		s.Zone = z
+		vals[z] = GroundTruth(s).CDF(12)
+	}
+	if !(vals[USEast1B] > vals[USCentral1C] && vals[USCentral1C] > vals[USWest1A]) {
+		t.Fatalf("zone ordering unexpected: %v", vals)
+	}
+}
+
+func TestGroundTruthPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GroundTruth(Scenario{Type: "m1-mega", Zone: USEast1B, TimeOfDay: Day, Workload: Busy})
+}
+
+func TestVMTypeCPUs(t *testing.T) {
+	want := map[VMType]int{HighCPU2: 2, HighCPU4: 4, HighCPU8: 8, HighCPU16: 16, HighCPU32: 32}
+	for vt, cpus := range want {
+		if vt.CPUs() != cpus {
+			t.Fatalf("%s CPUs = %d", vt, vt.CPUs())
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultScenario(), 50, 7)
+	b := Generate(DefaultScenario(), 50, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce the trace")
+		}
+	}
+	c := Generate(DefaultScenario(), 50, 8)
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestGenerateDatasetStructure(t *testing.T) {
+	ds := GenerateDataset(3, 1)
+	want := 5 * 4 * 2 * 2 * 3
+	if ds.Len() != want {
+		t.Fatalf("dataset size %d, want %d", ds.Len(), want)
+	}
+	if got := len(ds.Scenarios()); got != 80 {
+		t.Fatalf("scenarios = %d, want 80", got)
+	}
+	byType := ds.ByType(HighCPU16)
+	if len(byType) != want/5 {
+		t.Fatalf("ByType size %d", len(byType))
+	}
+	sc := DefaultScenario()
+	if got := len(ds.ByScenario(sc)); got != 3 {
+		t.Fatalf("ByScenario size %d", got)
+	}
+}
+
+func TestDatasetEmpiricalMatchesGroundTruth(t *testing.T) {
+	// A large per-scenario dataset's ECDF must track the ground truth — the
+	// property that makes the synthetic study a valid stand-in.
+	sc := DefaultScenario()
+	samples := Generate(sc, 5000, 99)
+	m := GroundTruth(sc)
+	d := empirical.KSDistance(samples, m.CDF)
+	if d > 0.025 {
+		t.Fatalf("KS distance to ground truth = %v", d)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := GenerateDataset(2, 3)
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() {
+		t.Fatalf("round trip size %d vs %d", back.Len(), ds.Len())
+	}
+	for i := range ds.Records {
+		if ds.Records[i] != back.Records[i] {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, ds.Records[i], back.Records[i])
+		}
+	}
+}
+
+func TestReadCSVRejectsBadHeader(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b,c,d,e\n")); err == nil {
+		t.Fatal("expected header error")
+	}
+}
+
+func TestReadCSVRejectsBadLifetime(t *testing.T) {
+	in := "vm_type,zone,time_of_day,workload,lifetime_hours\n" +
+		"n1-highcpu-2,us-east1-b,day,busy,not-a-number\n"
+	if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+		t.Fatal("expected parse error")
+	}
+	in2 := "vm_type,zone,time_of_day,workload,lifetime_hours\n" +
+		"n1-highcpu-2,us-east1-b,day,busy,99\n"
+	if _, err := ReadCSV(strings.NewReader(in2)); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestDatasetString(t *testing.T) {
+	ds := GenerateDataset(1, 1)
+	if !strings.Contains(ds.String(), "preemption records") {
+		t.Fatalf("String() = %q", ds.String())
+	}
+}

@@ -1,0 +1,107 @@
+// Package workload models the scientific computing applications of the
+// paper's evaluation (Section 6): Nanoconfinement (molecular dynamics of
+// ions in nanoscale confinement), Shapes (MD-based nanoparticle shape
+// optimization), and LULESH (hydrodynamics proxy benchmark). The
+// reproduction needs their resource shapes — per-job running time, core
+// count, and cluster layout — not their numerics, plus the paper's
+// bag-of-jobs abstraction: a parameter sweep of near-identical jobs.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+	"repro/internal/trace"
+)
+
+// App describes one scientific application's resource shape.
+type App struct {
+	Name string
+	// JobRuntime is the uninterrupted running time of one job, in hours,
+	// on the app's standard cluster.
+	JobRuntime float64
+	// Cores is the total CPU core count of the standard cluster.
+	Cores int
+	// VMType and VMCount define the standard cluster layout.
+	VMType  trace.VMType
+	VMCount int
+}
+
+// The paper's three workloads (Section 6, "Environment and Workloads").
+var (
+	// Nanoconfinement runs 14 minutes on 4 n1-highcpu-16 VMs (64 cores).
+	Nanoconfinement = App{Name: "nanoconfinement", JobRuntime: 14.0 / 60, Cores: 64, VMType: trace.HighCPU16, VMCount: 4}
+	// Shapes runs 9 minutes on 4 n1-highcpu-16 VMs (64 cores).
+	Shapes = App{Name: "shapes", JobRuntime: 9.0 / 60, Cores: 64, VMType: trace.HighCPU16, VMCount: 4}
+	// LULESH runs 12.5 minutes on 8 n1-highcpu-8 VMs (64 cores).
+	LULESH = App{Name: "lulesh", JobRuntime: 12.5 / 60, Cores: 64, VMType: trace.HighCPU8, VMCount: 8}
+)
+
+// Apps returns the three paper workloads.
+func Apps() []App { return []App{Nanoconfinement, Shapes, LULESH} }
+
+// ByName returns the app with the given name.
+func ByName(name string) (App, error) {
+	for _, a := range Apps() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return App{}, fmt.Errorf("workload: unknown application %q", name)
+}
+
+// JobSpec is one job of a bag: the application run at one parameter point.
+type JobSpec struct {
+	ID      string
+	App     string
+	Runtime float64 // hours
+}
+
+// Bag is the paper's bag-of-jobs abstraction (Section 5): a set of jobs
+// from one application exploring a parameter space, with low run-time
+// variance within the bag.
+type Bag struct {
+	App  App
+	Jobs []JobSpec
+}
+
+// NewBag generates a bag of n jobs for app. Within a bag job running times
+// "show little variance" (Section 5); we apply +-jitter fraction of
+// lognormal-free uniform noise, deterministic under seed.
+func NewBag(app App, n int, jitter float64, seed uint64) Bag {
+	if n <= 0 {
+		panic(fmt.Sprintf("workload: bag size %d", n))
+	}
+	if jitter < 0 || jitter >= 1 {
+		panic(fmt.Sprintf("workload: jitter %v outside [0,1)", jitter))
+	}
+	rng := mathx.NewRNG(seed)
+	bag := Bag{App: app}
+	for i := 0; i < n; i++ {
+		rt := app.JobRuntime * (1 + jitter*(2*rng.Float64()-1))
+		bag.Jobs = append(bag.Jobs, JobSpec{
+			ID:      fmt.Sprintf("%s-%04d", app.Name, i),
+			App:     app.Name,
+			Runtime: rt,
+		})
+	}
+	return bag
+}
+
+// TotalWork returns the sum of job runtimes in hours.
+func (b Bag) TotalWork() float64 {
+	var sum float64
+	for _, j := range b.Jobs {
+		sum += j.Runtime
+	}
+	return sum
+}
+
+// MeanRuntime returns the average job runtime, the estimate the service
+// uses for scheduling decisions on later jobs of the bag.
+func (b Bag) MeanRuntime() float64 {
+	if len(b.Jobs) == 0 {
+		return 0
+	}
+	return b.TotalWork() / float64(len(b.Jobs))
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestPaperResourceShapes(t *testing.T) {
+	// Section 6's published configurations.
+	if math.Abs(Nanoconfinement.JobRuntime-14.0/60) > 1e-12 || Nanoconfinement.Cores != 64 ||
+		Nanoconfinement.VMType != trace.HighCPU16 || Nanoconfinement.VMCount != 4 {
+		t.Fatalf("nanoconfinement = %+v", Nanoconfinement)
+	}
+	if math.Abs(Shapes.JobRuntime-9.0/60) > 1e-12 || Shapes.VMCount != 4 {
+		t.Fatalf("shapes = %+v", Shapes)
+	}
+	if math.Abs(LULESH.JobRuntime-12.5/60) > 1e-12 || LULESH.VMType != trace.HighCPU8 || LULESH.VMCount != 8 {
+		t.Fatalf("lulesh = %+v", LULESH)
+	}
+}
+
+func TestByName(t *testing.T) {
+	a, err := ByName("lulesh")
+	if err != nil || a.Name != "lulesh" {
+		t.Fatalf("ByName: %v, %v", a, err)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestNewBagDeterministicLowVariance(t *testing.T) {
+	b1 := NewBag(Nanoconfinement, 100, 0.05, 7)
+	b2 := NewBag(Nanoconfinement, 100, 0.05, 7)
+	if len(b1.Jobs) != 100 {
+		t.Fatalf("bag size %d", len(b1.Jobs))
+	}
+	for i := range b1.Jobs {
+		if b1.Jobs[i] != b2.Jobs[i] {
+			t.Fatal("bags not deterministic")
+		}
+	}
+	// Low variance: every job within jitter of the nominal runtime.
+	for _, j := range b1.Jobs {
+		if math.Abs(j.Runtime-Nanoconfinement.JobRuntime) > 0.05*Nanoconfinement.JobRuntime+1e-12 {
+			t.Fatalf("job runtime %v outside jitter band", j.Runtime)
+		}
+	}
+	if math.Abs(b1.MeanRuntime()-Nanoconfinement.JobRuntime) > 0.01*Nanoconfinement.JobRuntime {
+		t.Fatalf("mean runtime %v far from nominal", b1.MeanRuntime())
+	}
+}
+
+func TestBagTotals(t *testing.T) {
+	b := NewBag(Shapes, 10, 0, 1)
+	want := 10 * Shapes.JobRuntime
+	if math.Abs(b.TotalWork()-want) > 1e-9 {
+		t.Fatalf("total = %v, want %v", b.TotalWork(), want)
+	}
+	empty := Bag{}
+	if empty.MeanRuntime() != 0 {
+		t.Fatal("empty bag mean")
+	}
+}
+
+func TestBagUniqueIDs(t *testing.T) {
+	b := NewBag(LULESH, 50, 0.02, 3)
+	seen := make(map[string]bool)
+	for _, j := range b.Jobs {
+		if seen[j.ID] {
+			t.Fatalf("duplicate job ID %s", j.ID)
+		}
+		seen[j.ID] = true
+		if j.App != "lulesh" {
+			t.Fatalf("job app = %s", j.App)
+		}
+	}
+}
+
+func TestNewBagPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewBag(Shapes, 0, 0.1, 1) },
+		func() { NewBag(Shapes, 5, -0.1, 1) },
+		func() { NewBag(Shapes, 5, 1.0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAppsList(t *testing.T) {
+	if len(Apps()) != 3 {
+		t.Fatalf("apps = %d", len(Apps()))
+	}
+}

@@ -1,0 +1,87 @@
+package repro
+
+// Micro-benchmarks for the numeric kernel's hot paths, the baseline every
+// later performance PR is judged against. scripts/bench.sh runs them and
+// records the results in BENCH_PR1.json.
+//
+// The headline comparison is BenchmarkSampleBisection (the retained
+// 60-iteration inverse-CDF reference) against BenchmarkSampleQuantileTable
+// (the precomputed-table fast path used by Model.Sample and the Monte
+// Carlo estimators); the acceptance bar is a >= 5x gap. BenchmarkMCMakespan
+// runs the same estimate at parallelism 1 and at GOMAXPROCS — the results
+// are byte-identical, only the wall clock differs.
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/mathx"
+	"repro/internal/policy"
+)
+
+// benchModel is the paper-typical fitted model used by all micro-benches.
+func benchModel() *core.Model {
+	return core.New(dist.NewBathtub(0.45, 1.0, 0.8, 24, 24))
+}
+
+func BenchmarkSampleBisection(b *testing.B) {
+	m := benchModel()
+	rng := mathx.NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.SampleBisect(rng)
+	}
+}
+
+func BenchmarkSampleQuantileTable(b *testing.B) {
+	m := benchModel()
+	rng := mathx.NewRNG(1)
+	m.Sample(rng) // build the table outside the timed region
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Sample(rng)
+	}
+}
+
+func BenchmarkSampleConditionalQuantileTable(b *testing.B) {
+	m := benchModel()
+	rng := mathx.NewRNG(1)
+	m.Sample(rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.SampleConditional(10, rng)
+	}
+}
+
+// BenchmarkDPSolve measures a cold checkpoint-DP solve of a 4-hour job at
+// the experiments' default 2-minute resolution (the flattened table's
+// O(T^3) sweep dominates).
+func BenchmarkDPSolve(b *testing.B) {
+	m := benchModel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := policy.NewCheckpointPlanner(m, 1.0/60, 2.0/60)
+		_ = p.ExpectedMakespan(4, 0)
+	}
+}
+
+func benchMCMakespan(b *testing.B, parallelism int) {
+	m := benchModel()
+	cfg := policy.MCConfig{Runs: 4000, Seed: 7, Parallelism: parallelism}
+	m.Sample(mathx.NewRNG(1)) // build the quantile table up front
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = policy.MCMakespanNoCheckpoint(m, 4, 0, cfg)
+	}
+}
+
+func BenchmarkMCMakespanP1(b *testing.B) { benchMCMakespan(b, 1) }
+
+func BenchmarkMCMakespanPMax(b *testing.B) { benchMCMakespan(b, runtime.GOMAXPROCS(0)) }

@@ -26,6 +26,7 @@ func main() {
 	seed := flag.Uint64("seed", 0, "RNG seed (0 = default)")
 	samples := flag.Int("samples", 0, "empirical sample size (0 = default)")
 	dpStep := flag.Float64("dpstep", 0, "checkpoint DP step in minutes (0 = default)")
+	par := flag.Int("parallelism", 0, "worker count for independent experiment cells (0 = GOMAXPROCS, 1 = sequential; results are identical at any value)")
 	format := flag.String("format", "table", "output format: table or csv")
 	outDir := flag.String("out", "", "write each experiment to <dir>/<id>.<format> instead of stdout")
 	flag.Parse()
@@ -47,7 +48,7 @@ func main() {
 		}
 		return
 	}
-	opts := experiments.Options{Seed: *seed, SampleSize: *samples, DPStepMin: *dpStep}
+	opts := experiments.Options{Seed: *seed, SampleSize: *samples, DPStepMin: *dpStep, Parallelism: *par}
 
 	var ids []string
 	switch {

@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/dist"
 	"repro/internal/fit"
@@ -20,6 +21,11 @@ import (
 type Model struct {
 	bt   dist.Bathtub
 	norm float64 // F(L), the raw CDF mass at the deadline
+
+	// qt is the lazily built inverse-CDF table that makes Sample and
+	// SampleConditional O(1). It is a pure cache of bt, built on first
+	// use so the many throwaway models of fitting loops never pay for it.
+	qt atomic.Pointer[dist.QuantileTable]
 }
 
 // New wraps a bathtub distribution as a Model.
@@ -123,10 +129,46 @@ func (m *Model) NormalizedExpectedLifetime() float64 {
 	return m.bt.ExpectedLifetime() / m.norm
 }
 
-// Sample draws a lifetime from the normalized model.
+// quantiles returns the model's inverse-CDF table, building it on first
+// use. Concurrent first calls may build twice; both builds are identical
+// and one wins the publish, so callers always see the same table values.
+func (m *Model) quantiles() *dist.QuantileTable {
+	if qt := m.qt.Load(); qt != nil {
+		return qt
+	}
+	qt := dist.NewQuantileTable(m.bt, m.bt.L, dist.DefaultQuantileCells)
+	m.qt.CompareAndSwap(nil, qt)
+	return m.qt.Load()
+}
+
+// Sample draws a lifetime from the normalized model in O(1) via the
+// precomputed quantile table (one uniform variate, one lookup).
 func (m *Model) Sample(rng *mathx.RNG) float64 {
+	return m.quantiles().Sample(rng)
+}
+
+// SampleConditional draws a lifetime conditioned on the VM being alive at
+// the given age, the hot operation of the Monte Carlo validation loops in
+// internal/policy. Like Sample it consumes one uniform variate and
+// performs one table lookup; the reference bisection it replaces is
+// retained in policy's test suite for agreement checking.
+func (m *Model) SampleConditional(age float64, rng *mathx.RNG) float64 {
+	if age <= 0 {
+		return m.Sample(rng)
+	}
+	if age >= m.bt.L {
+		return m.bt.L
+	}
+	return m.quantiles().SampleConditional(rng, age, m.bt.CDF(age))
+}
+
+// SampleBisect draws a lifetime by the reference 60-iteration CDF
+// bisection. It is distributionally identical to Sample (up to the table's
+// 1/cells interpolation bound) and exists for agreement tests and
+// benchmarks of the quantile-table fast path.
+func (m *Model) SampleBisect(rng *mathx.RNG) float64 {
 	tr := dist.Truncate(m.bt, m.bt.L)
-	return dist.Sample(tr, rng, m.bt.L)
+	return dist.SampleBisect(tr, rng, m.bt.L)
 }
 
 func (m *Model) String() string {

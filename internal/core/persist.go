@@ -41,7 +41,11 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 	if !(bt.Raw(bt.L) > 0) {
 		return fmt.Errorf("core: decoded model has no mass before its deadline")
 	}
-	*m = *New(bt)
+	// Copy fields individually: Model embeds an atomic table cache that
+	// must not be copied by value.
+	nm := New(bt)
+	m.bt, m.norm = nm.bt, nm.norm
+	m.qt.Store(nil)
 	return nil
 }
 

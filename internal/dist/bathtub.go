@@ -1,0 +1,133 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bathtub is the paper's constrained-preemption lifetime model
+// (Equation 1): a raw CDF
+//
+//	F(t) = A * (1 - exp(-t/Tau1) + exp((t-B)/Tau2)),  0 <= t <= L,
+//
+// whose density is bathtub-shaped — a decaying infant-failure term, a low
+// stable plateau, and an exponential spike toward the deadline B ~ L. The
+// raw CDF is an improper distribution (its mass at L is typically < 1);
+// callers normalize by Raw(L) when a proper law is needed (core.Model) or
+// clamp to [0, 1] when plotting (CDF). All moments are closed-form.
+type Bathtub struct {
+	A    float64 // amplitude
+	Tau1 float64 // infant-failure time constant, hours
+	Tau2 float64 // deadline-spike time constant, hours
+	B    float64 // deadline-spike location, hours
+	L    float64 // hard lifetime limit (temporal constraint), hours
+}
+
+// NewBathtub returns the bathtub distribution with the given Equation 1
+// parameters and deadline l. It panics on non-positive scale parameters.
+func NewBathtub(a, tau1, tau2, b, l float64) Bathtub {
+	if tau1 <= 0 || tau2 <= 0 || l <= 0 {
+		panic(fmt.Sprintf("dist: invalid bathtub parameters A=%v tau1=%v tau2=%v b=%v L=%v",
+			a, tau1, tau2, b, l))
+	}
+	return Bathtub{A: a, Tau1: tau1, Tau2: tau2, B: b, L: l}
+}
+
+// Raw evaluates Equation 1 without clamping: the quantity the paper fits
+// and plugs into its running-time expressions. Negative times map to 0.
+func (bt Bathtub) Raw(t float64) float64 {
+	if t <= 0 {
+		t = 0
+	}
+	if t > bt.L {
+		t = bt.L
+	}
+	return bt.A * (1 - math.Exp(-t/bt.Tau1) + math.Exp((t-bt.B)/bt.Tau2))
+}
+
+// CDF implements Distribution: Equation 1 clamped to [0, 1]. Note the raw
+// model carries a vanishing but positive mass at t = 0 (A e^{-B/Tau2});
+// only strictly negative times map to exactly 0.
+func (bt Bathtub) CDF(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	v := bt.Raw(t)
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// PDF implements Distribution: the derivative of the raw CDF,
+//
+//	f(t) = A * (exp(-t/Tau1)/Tau1 + exp((t-B)/Tau2)/Tau2),
+//
+// supported on [0, L].
+func (bt Bathtub) PDF(t float64) float64 {
+	if t < 0 || t > bt.L {
+		return 0
+	}
+	return bt.A * (math.Exp(-t/bt.Tau1)/bt.Tau1 + math.Exp((t-bt.B)/bt.Tau2)/bt.Tau2)
+}
+
+// Name implements Distribution.
+func (bt Bathtub) Name() string { return "bathtub" }
+
+func (bt Bathtub) String() string {
+	return fmt.Sprintf("bathtub{A=%.3g tau1=%.3g tau2=%.3g b=%.3g L=%.3g}",
+		bt.A, bt.Tau1, bt.Tau2, bt.B, bt.L)
+}
+
+// PartialMoment returns the closed form of int_0^T t f(t) dt on the raw
+// model: the expected-wasted-work integral of Equations 5-8. T is clamped
+// to [0, L].
+func (bt Bathtub) PartialMoment(T float64) float64 {
+	if T <= 0 {
+		return 0
+	}
+	if T > bt.L {
+		T = bt.L
+	}
+	// int_0^T (t/tau1) e^{-t/tau1} dt = tau1 - (T+tau1) e^{-T/tau1}
+	infant := bt.Tau1 - (T+bt.Tau1)*math.Exp(-T/bt.Tau1)
+	// int_0^T (t/tau2) e^{(t-b)/tau2} dt
+	//   = (T-tau2) e^{(T-b)/tau2} + tau2 e^{-b/tau2}
+	spike := (T-bt.Tau2)*math.Exp((T-bt.B)/bt.Tau2) + bt.Tau2*math.Exp(-bt.B/bt.Tau2)
+	return bt.A * (infant + spike)
+}
+
+// MomentBetween returns int_s^e t f(t) dt on the raw model (Equation 8's
+// age-windowed moment).
+func (bt Bathtub) MomentBetween(s, e float64) float64 {
+	if e <= s {
+		return 0
+	}
+	return bt.PartialMoment(e) - bt.PartialMoment(s)
+}
+
+// ExpectedLifetime returns Equation 3, int_0^L t f(t) dt on the raw model:
+// the paper's MTTF substitute for comparing VM environments.
+func (bt Bathtub) ExpectedLifetime() float64 {
+	return bt.PartialMoment(bt.L)
+}
+
+// TroughTime returns the age at which the density is minimal — the bottom
+// of the bathtub, in closed form from f'(t*) = 0:
+//
+//	t* = (B/Tau2 + 2 ln(Tau2/Tau1)) / (1/Tau1 + 1/Tau2),
+//
+// clamped to [0, L].
+func (bt Bathtub) TroughTime() float64 {
+	t := (bt.B/bt.Tau2 + 2*math.Log(bt.Tau2/bt.Tau1)) / (1/bt.Tau1 + 1/bt.Tau2)
+	if t < 0 {
+		return 0
+	}
+	if t > bt.L {
+		return bt.L
+	}
+	return t
+}

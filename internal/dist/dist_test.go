@@ -1,0 +1,323 @@
+package dist
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// families returns one representative of every family, with an upper
+// support bound suitable for sampling and numeric checks.
+func families() []struct {
+	d  Distribution
+	hi float64
+} {
+	return []struct {
+		d  Distribution
+		hi float64
+	}{
+		{NewBathtub(0.45, 1.0, 0.8, 24, 24), 24},
+		{NewUniform(24), 24},
+		{NewExponential(0.25), 40},
+		{NewWeibull(0.2, 2.0), 30},
+		{NewGompertzMakeham(0.05, 0.002, 0.35), 24},
+		{NewLogNormal(1.0, 0.5), 30},
+		{NewGamma(3, 0.8), 40},
+		{NewSegmentedLinear(3, 22, 0.45, 0.55, 24), 24},
+		{Truncate(NewBathtub(0.45, 1.0, 0.8, 24, 24), 24), 24},
+	}
+}
+
+func TestCDFBasicProperties(t *testing.T) {
+	for _, f := range families() {
+		if v := f.d.CDF(-1); v != 0 {
+			t.Fatalf("%s: CDF(-1) = %v", f.d.Name(), v)
+		}
+		prev := -1.0
+		for i := 0; i <= 200; i++ {
+			x := f.hi * float64(i) / 200
+			v := f.d.CDF(x)
+			if v < prev-1e-12 || v < 0 || v > 1 {
+				t.Fatalf("%s: CDF misbehaves at %v: %v (prev %v)", f.d.Name(), x, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestPDFMatchesCDFDerivative(t *testing.T) {
+	const h = 1e-6
+	for _, f := range families() {
+		for i := 1; i < 40; i++ {
+			// The 0.137 offset keeps x off the piecewise families' kinks,
+			// where a central difference straddles two segments.
+			x := f.hi * (float64(i) + 0.137) / 40.5
+			num := (f.d.CDF(x+h) - f.d.CDF(x-h)) / (2 * h)
+			got := f.d.PDF(x)
+			if math.Abs(got-num) > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("%s: PDF(%v) = %v, CDF slope %v", f.d.Name(), x, got, num)
+			}
+		}
+	}
+}
+
+func TestQuantileInvertsCDF(t *testing.T) {
+	for _, f := range families() {
+		q, ok := f.d.(Quantiler)
+		if !ok {
+			continue
+		}
+		for i := 1; i < 100; i++ {
+			p := f.d.CDF(f.hi) * float64(i) / 100
+			x := q.Quantile(p)
+			if back := f.d.CDF(x); math.Abs(back-p) > 1e-8 {
+				t.Fatalf("%s: CDF(Quantile(%v)) = %v", f.d.Name(), p, back)
+			}
+		}
+	}
+}
+
+func TestSampleWithinSupportAndDeterministic(t *testing.T) {
+	for _, f := range families() {
+		a := SampleN(f.d, mathx.NewRNG(11), f.hi, 500)
+		b := SampleN(f.d, mathx.NewRNG(11), f.hi, 500)
+		for i, v := range a {
+			if v < 0 || v > f.hi+1e-9 {
+				t.Fatalf("%s: sample %v outside [0, %v]", f.d.Name(), v, f.hi)
+			}
+			if v != b[i] {
+				t.Fatalf("%s: sampling not deterministic under a fixed seed", f.d.Name())
+			}
+		}
+	}
+}
+
+func TestSampleAgreesWithBisectionReference(t *testing.T) {
+	// The closed-form quantile fast path and the bisection reference
+	// consume the same single uniform variate, so equal seeds must give
+	// (numerically) the same draws.
+	for _, f := range families() {
+		if _, ok := f.d.(Quantiler); !ok {
+			continue
+		}
+		fast := mathx.NewRNG(29)
+		ref := mathx.NewRNG(29)
+		for i := 0; i < 200; i++ {
+			a := Sample(f.d, fast, f.hi)
+			b := SampleBisect(f.d, ref, f.hi)
+			if math.Abs(a-b) > 1e-6*(1+f.hi) {
+				t.Fatalf("%s: fast %v vs bisection %v", f.d.Name(), a, b)
+			}
+		}
+	}
+}
+
+func TestBathtubClosedForms(t *testing.T) {
+	bt := NewBathtub(0.45, 1.0, 0.8, 24, 24)
+	// PartialMoment vs numeric integral of t*f(t).
+	for _, T := range []float64{0.5, 2, 8, 16, 24} {
+		num := mathx.Integrate(func(x float64) float64 { return x * bt.PDF(x) }, 0, T, 1e-11)
+		if got := bt.PartialMoment(T); math.Abs(got-num) > 1e-7 {
+			t.Fatalf("PartialMoment(%v) = %v, numeric %v", T, got, num)
+		}
+	}
+	if el := bt.ExpectedLifetime(); el != bt.PartialMoment(24) {
+		t.Fatalf("ExpectedLifetime %v != PartialMoment(L) %v", el, bt.PartialMoment(24))
+	}
+	// MomentBetween telescopes.
+	if d := bt.MomentBetween(3, 11) - (bt.PartialMoment(11) - bt.PartialMoment(3)); d != 0 {
+		t.Fatalf("MomentBetween mismatch %v", d)
+	}
+	// Raw is Equation 1.
+	tt := 7.3
+	want := 0.45 * (1 - math.Exp(-tt/1.0) + math.Exp((tt-24)/0.8))
+	if got := bt.Raw(tt); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Raw(%v) = %v, want %v", tt, got, want)
+	}
+}
+
+func TestBathtubTroughMinimizesPDF(t *testing.T) {
+	bt := NewBathtub(0.45, 1.0, 0.8, 24, 24)
+	trough := bt.TroughTime()
+	if trough <= 0 || trough >= 24 {
+		t.Fatalf("trough %v not interior", trough)
+	}
+	fT := bt.PDF(trough)
+	for i := 0; i <= 240; i++ {
+		x := 24 * float64(i) / 240
+		if bt.PDF(x) < fT-1e-12 {
+			t.Fatalf("PDF(%v) = %v below trough value %v at %v", x, bt.PDF(x), fT, trough)
+		}
+	}
+}
+
+func TestTruncateNormalizes(t *testing.T) {
+	bt := NewBathtub(0.45, 1.0, 0.8, 24, 24)
+	tr := Truncate(bt, 24)
+	if v := tr.CDF(24); v != 1 {
+		t.Fatalf("truncated CDF at limit = %v", v)
+	}
+	// Proportional to the parent below the limit.
+	mass := bt.CDF(24)
+	for _, x := range []float64{1, 6, 12, 20} {
+		if d := tr.CDF(x) - bt.CDF(x)/mass; math.Abs(d) > 1e-15 {
+			t.Fatalf("truncated CDF not proportional at %v (%v)", x, d)
+		}
+	}
+}
+
+func TestTruncatePanicsWithoutMass(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Truncate(NewExponential(1), -1)
+}
+
+func TestHazardShapes(t *testing.T) {
+	// Exponential hazard is constant; bathtub hazard is high early, low
+	// mid-life.
+	e := NewExponential(0.3)
+	if h := Hazard(e, 2.0); math.Abs(h-0.3) > 1e-12 {
+		t.Fatalf("exponential hazard %v", h)
+	}
+	bt := NewBathtub(0.45, 1.0, 0.8, 24, 24)
+	if !(Hazard(bt, 0.2) > 3*Hazard(bt, 12)) {
+		t.Fatal("bathtub hazard not bathtub-shaped")
+	}
+}
+
+func TestQuantileTableKnotsAndInverse(t *testing.T) {
+	bt := NewBathtub(0.45, 1.0, 0.8, 24, 24)
+	qt := NewQuantileTable(bt, 24, 512)
+	if qt.Mass() != bt.CDF(24) {
+		t.Fatalf("Mass = %v, want %v", qt.Mass(), bt.CDF(24))
+	}
+	prev := -1.0
+	for _, ts := range qt.ts {
+		if ts < prev {
+			t.Fatalf("knots not monotone: %v after %v", ts, prev)
+		}
+		prev = ts
+	}
+	// Quantile inverts the CDF to within one cell of probability.
+	cellU := qt.Mass() / 512
+	for i := 1; i < 100; i++ {
+		u := qt.Mass() * float64(i) / 100
+		x := qt.Quantile(u)
+		if d := math.Abs(bt.CDF(x) - u); d > cellU {
+			t.Fatalf("CDF(Quantile(%v)) off by %v (> cell %v)", u, d, cellU)
+		}
+	}
+	// Endpoints clamp.
+	if qt.Quantile(-1) != qt.ts[0] || qt.Quantile(qt.Mass()*2) != 24 {
+		t.Fatal("out-of-range quantile did not clamp")
+	}
+}
+
+// TestQuantileTableKSAgainstTruth verifies the satellite acceptance bound
+// directly in the kernel: 10^5 table-sampled draws must match the true
+// truncated law within KS tolerance, and must agree with 10^5 draws from
+// the retained bisection reference.
+func TestQuantileTableKSAgainstTruth(t *testing.T) {
+	bt := NewBathtub(0.45, 1.0, 0.8, 24, 24)
+	tr := Truncate(bt, 24)
+	qt := NewQuantileTable(bt, 24, DefaultQuantileCells)
+	const n = 100000
+	rngFast := mathx.NewRNG(101)
+	rngRef := mathx.NewRNG(202)
+	fast := make([]float64, n)
+	ref := make([]float64, n)
+	for i := 0; i < n; i++ {
+		fast[i] = qt.Sample(rngFast)
+		ref[i] = SampleBisect(tr, rngRef, 24)
+	}
+	// One-sample KS critical value at alpha=0.01 is 1.63/sqrt(n) ~ 0.0052;
+	// the table adds at most 1/4096.
+	const tol = 0.008
+	if d := ksAgainst(fast, tr.CDF); d > tol {
+		t.Fatalf("table sampler KS vs truth = %v > %v", d, tol)
+	}
+	if d := ksAgainst(ref, tr.CDF); d > tol {
+		t.Fatalf("bisection sampler KS vs truth = %v > %v", d, tol)
+	}
+}
+
+// ksAgainst is the one-sample Kolmogorov-Smirnov distance.
+func ksAgainst(samples []float64, cdf func(float64) float64) float64 {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	n := float64(len(s))
+	var d float64
+	for i, x := range s {
+		f := cdf(x)
+		if v := math.Abs(f - float64(i)/n); v > d {
+			d = v
+		}
+		if v := math.Abs(float64(i+1)/n - f); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func TestQuantileTableConditional(t *testing.T) {
+	bt := NewBathtub(0.45, 1.0, 0.8, 24, 24)
+	qt := NewQuantileTable(bt, 24, DefaultQuantileCells)
+	rng := mathx.NewRNG(7)
+	for i := 0; i < 5000; i++ {
+		age := float64(i%20) * 1.2
+		v := qt.SampleConditional(rng, age, bt.CDF(age))
+		if v < age || v > 24 {
+			t.Fatalf("conditional draw %v outside [%v, 24]", v, age)
+		}
+	}
+	// Dead VM: conditioning at full mass returns the bound.
+	if v := qt.SampleConditional(rng, 24, qt.Mass()); v != 24 {
+		t.Fatalf("conditioning at the deadline returned %v", v)
+	}
+}
+
+func TestSegmentedLinearIsBathtub(t *testing.T) {
+	if !NewSegmentedLinear(3, 22, 0.45, 0.55, 24).IsBathtub() {
+		t.Fatal("bathtub-shaped segments not recognized")
+	}
+	// A convex, accelerating CDF (rates increasing throughout) is not a
+	// bathtub: the infant rate is the lowest.
+	if NewSegmentedLinear(8, 16, 0.1, 0.4, 24).IsBathtub() {
+		t.Fatal("monotone-rate segments misclassified as bathtub")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	if m := NewExponential(0.25).Mean(); m != 4 {
+		t.Fatalf("Mean = %v", m)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewBathtub(0.4, 0, 1, 24, 24) },
+		func() { NewUniform(0) },
+		func() { NewExponential(0) },
+		func() { NewWeibull(1, 0) },
+		func() { NewGompertzMakeham(0.1, 0.1, 0) },
+		func() { NewLogNormal(0, 0) },
+		func() { NewGamma(0, 1) },
+		func() { NewSegmentedLinear(5, 3, 0.2, 0.4, 24) },
+		func() { NewQuantileTable(NewUniform(1), math.NaN(), 8) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

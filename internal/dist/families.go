@@ -1,0 +1,341 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// Uniform is the uniform preemption law on [0, L]: the memoryless
+// strawman the paper compares the bathtub model against (Section 6.1).
+type Uniform struct {
+	L float64
+}
+
+// NewUniform returns the uniform distribution on [0, l].
+func NewUniform(l float64) Uniform {
+	if l <= 0 {
+		panic(fmt.Sprintf("dist: invalid uniform limit %v", l))
+	}
+	return Uniform{L: l}
+}
+
+// CDF implements Distribution.
+func (u Uniform) CDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if t >= u.L {
+		return 1
+	}
+	return t / u.L
+}
+
+// PDF implements Distribution.
+func (u Uniform) PDF(t float64) float64 {
+	if t < 0 || t > u.L {
+		return 0
+	}
+	return 1 / u.L
+}
+
+// Name implements Distribution.
+func (u Uniform) Name() string { return "uniform" }
+
+// Quantile implements Quantiler.
+func (u Uniform) Quantile(p float64) float64 { return mathx.Clamp(p, 0, 1) * u.L }
+
+// Exponential is the classical memoryless failure law with rate Lambda.
+type Exponential struct {
+	Lambda float64
+}
+
+// NewExponential returns the exponential distribution with rate lambda.
+func NewExponential(lambda float64) Exponential {
+	if lambda <= 0 {
+		panic(fmt.Sprintf("dist: invalid exponential rate %v", lambda))
+	}
+	return Exponential{Lambda: lambda}
+}
+
+// CDF implements Distribution.
+func (e Exponential) CDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return -math.Expm1(-e.Lambda * t)
+}
+
+// PDF implements Distribution.
+func (e Exponential) PDF(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	return e.Lambda * math.Exp(-e.Lambda*t)
+}
+
+// Name implements Distribution.
+func (e Exponential) Name() string { return "exponential" }
+
+// Mean returns 1/Lambda, the MTTF of the memoryless law.
+func (e Exponential) Mean() float64 { return 1 / e.Lambda }
+
+// Quantile implements Quantiler.
+func (e Exponential) Quantile(p float64) float64 {
+	p = mathx.Clamp(p, 0, 1)
+	return -math.Log1p(-p) / e.Lambda
+}
+
+// Weibull is the Weibull failure law with CDF 1 - exp(-(Lambda t)^K).
+type Weibull struct {
+	Lambda float64 // inverse scale
+	K      float64 // shape
+}
+
+// NewWeibull returns the Weibull distribution with inverse scale lambda and
+// shape k.
+func NewWeibull(lambda, k float64) Weibull {
+	if lambda <= 0 || k <= 0 {
+		panic(fmt.Sprintf("dist: invalid weibull parameters lambda=%v k=%v", lambda, k))
+	}
+	return Weibull{Lambda: lambda, K: k}
+}
+
+// CDF implements Distribution.
+func (w Weibull) CDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return -math.Expm1(-math.Pow(w.Lambda*t, w.K))
+}
+
+// PDF implements Distribution.
+func (w Weibull) PDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	z := math.Pow(w.Lambda*t, w.K)
+	return w.K / t * z * math.Exp(-z)
+}
+
+// Name implements Distribution.
+func (w Weibull) Name() string { return "weibull" }
+
+// Quantile implements Quantiler.
+func (w Weibull) Quantile(p float64) float64 {
+	p = mathx.Clamp(p, 0, 1)
+	return math.Pow(-math.Log1p(-p), 1/w.K) / w.Lambda
+}
+
+// GompertzMakeham is the Gompertz-Makeham law with hazard
+// Lambda + Alpha*exp(Beta t): a constant background rate plus an
+// exponentially aging term.
+type GompertzMakeham struct {
+	Lambda float64 // age-independent (Makeham) rate
+	Alpha  float64 // Gompertz amplitude
+	Beta   float64 // Gompertz aging rate
+}
+
+// NewGompertzMakeham returns the Gompertz-Makeham distribution.
+func NewGompertzMakeham(lambda, alpha, beta float64) GompertzMakeham {
+	if lambda < 0 || alpha < 0 || beta <= 0 || lambda+alpha == 0 {
+		panic(fmt.Sprintf("dist: invalid gompertz-makeham parameters lambda=%v alpha=%v beta=%v",
+			lambda, alpha, beta))
+	}
+	return GompertzMakeham{Lambda: lambda, Alpha: alpha, Beta: beta}
+}
+
+// cumHazard is the integrated hazard Lambda t + (Alpha/Beta)(e^{Beta t}-1).
+func (g GompertzMakeham) cumHazard(t float64) float64 {
+	return g.Lambda*t + g.Alpha/g.Beta*math.Expm1(g.Beta*t)
+}
+
+// CDF implements Distribution.
+func (g GompertzMakeham) CDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return -math.Expm1(-g.cumHazard(t))
+}
+
+// PDF implements Distribution.
+func (g GompertzMakeham) PDF(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	return (g.Lambda + g.Alpha*math.Exp(g.Beta*t)) * math.Exp(-g.cumHazard(t))
+}
+
+// Name implements Distribution.
+func (g GompertzMakeham) Name() string { return "gompertz-makeham" }
+
+// LogNormal is the log-normal law: log T ~ Normal(Mu, Sigma^2).
+type LogNormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// NewLogNormal returns the log-normal distribution.
+func NewLogNormal(mu, sigma float64) LogNormal {
+	if sigma <= 0 {
+		panic(fmt.Sprintf("dist: invalid lognormal sigma %v", sigma))
+	}
+	return LogNormal{Mu: mu, Sigma: sigma}
+}
+
+// CDF implements Distribution.
+func (ln LogNormal) CDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return mathx.NormalCDF((math.Log(t) - ln.Mu) / ln.Sigma)
+}
+
+// PDF implements Distribution.
+func (ln LogNormal) PDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	z := (math.Log(t) - ln.Mu) / ln.Sigma
+	return math.Exp(-0.5*z*z) / (t * ln.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// Name implements Distribution.
+func (ln LogNormal) Name() string { return "lognormal" }
+
+// Quantile implements Quantiler.
+func (ln LogNormal) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return math.Exp(ln.Mu + ln.Sigma*mathx.NormalQuantile(p))
+}
+
+// Gamma is the gamma law with shape K and rate Lambda.
+type Gamma struct {
+	K      float64 // shape
+	Lambda float64 // rate
+}
+
+// NewGamma returns the gamma distribution with shape k and rate lambda.
+func NewGamma(k, lambda float64) Gamma {
+	if k <= 0 || lambda <= 0 {
+		panic(fmt.Sprintf("dist: invalid gamma parameters k=%v lambda=%v", k, lambda))
+	}
+	return Gamma{K: k, Lambda: lambda}
+}
+
+// CDF implements Distribution via the regularized incomplete gamma
+// function.
+func (g Gamma) CDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return mathx.RegIncGammaP(g.K, g.Lambda*t)
+}
+
+// PDF implements Distribution.
+func (g Gamma) PDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	lg, _ := math.Lgamma(g.K)
+	return math.Exp(g.K*math.Log(g.Lambda) + (g.K-1)*math.Log(t) - g.Lambda*t - lg)
+}
+
+// Name implements Distribution.
+func (g Gamma) Name() string { return "gamma" }
+
+// SegmentedLinear is the Section 8 phase-wise model: a piecewise-linear
+// CDF through (0, 0), (T1, F1), (T2, F2), (L, 1) — one linear segment per
+// preemption phase.
+type SegmentedLinear struct {
+	T1 float64 // end of the initial phase
+	T2 float64 // end of the stable phase
+	F1 float64 // CDF at T1
+	F2 float64 // CDF at T2
+	L  float64 // deadline
+}
+
+// NewSegmentedLinear returns the segmented-linear distribution. It panics
+// unless 0 < T1 < T2 < L and 0 <= F1 <= F2 <= 1.
+func NewSegmentedLinear(t1, t2, f1, f2, l float64) SegmentedLinear {
+	if !(0 < t1 && t1 < t2 && t2 < l) || !(0 <= f1 && f1 <= f2 && f2 <= 1) {
+		panic(fmt.Sprintf("dist: invalid segmented-linear parameters t1=%v t2=%v f1=%v f2=%v l=%v",
+			t1, t2, f1, f2, l))
+	}
+	return SegmentedLinear{T1: t1, T2: t2, F1: f1, F2: f2, L: l}
+}
+
+// CDF implements Distribution.
+func (s SegmentedLinear) CDF(t float64) float64 {
+	switch {
+	case t <= 0:
+		return 0
+	case t < s.T1:
+		return s.F1 * t / s.T1
+	case t < s.T2:
+		return s.F1 + (s.F2-s.F1)*(t-s.T1)/(s.T2-s.T1)
+	case t < s.L:
+		return s.F2 + (1-s.F2)*(t-s.T2)/(s.L-s.T2)
+	default:
+		return 1
+	}
+}
+
+// PDF implements Distribution: piecewise constant.
+func (s SegmentedLinear) PDF(t float64) float64 {
+	switch {
+	case t < 0 || t > s.L:
+		return 0
+	case t < s.T1:
+		return s.F1 / s.T1
+	case t < s.T2:
+		return (s.F2 - s.F1) / (s.T2 - s.T1)
+	default:
+		return (1 - s.F2) / (s.L - s.T2)
+	}
+}
+
+// Name implements Distribution.
+func (s SegmentedLinear) Name() string { return "segmented-linear" }
+
+func (s SegmentedLinear) String() string {
+	return fmt.Sprintf("segmented{(%.2g,%.2g) (%.2g,%.2g) L=%.2g}", s.T1, s.F1, s.T2, s.F2, s.L)
+}
+
+// IsBathtub reports whether the three segment densities form a bathtub
+// shape: a high infant rate, a strictly lower stable rate, and a deadline
+// rate above the stable one.
+func (s SegmentedLinear) IsBathtub() bool {
+	infant := s.PDF(0)
+	stable := s.PDF(s.T1)
+	deadline := s.PDF(s.T2)
+	return infant > stable && deadline > stable
+}
+
+// Quantile implements Quantiler: the exact piecewise-linear inverse.
+func (s SegmentedLinear) Quantile(p float64) float64 {
+	p = mathx.Clamp(p, 0, 1)
+	switch {
+	case p <= s.F1:
+		if s.F1 == 0 {
+			return s.T1
+		}
+		return p / s.F1 * s.T1
+	case p <= s.F2:
+		if s.F2 == s.F1 {
+			return s.T2
+		}
+		return s.T1 + (p-s.F1)/(s.F2-s.F1)*(s.T2-s.T1)
+	default:
+		if s.F2 == 1 {
+			return s.T2
+		}
+		return s.T2 + (p-s.F2)/(1-s.F2)*(s.L-s.T2)
+	}
+}

@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// DefaultQuantileCells is the table resolution used by callers that do not
+// have a reason to pick their own: with exact knots and monotone linear
+// interpolation the sampled law's KS distance from the true law is bounded
+// by 1/cells, so 4096 cells keep the table error an order of magnitude
+// below the sampling noise of even 10^6-draw experiments.
+const DefaultQuantileCells = 4096
+
+// QuantileTable is a precomputed monotone inverse CDF: knot i holds the
+// exact t-quantile of probability u_i = (i/cells) * CDF(hi). Quantile
+// evaluates in O(1) — one index computation plus a linear interpolation —
+// replacing the 60-iteration bisection of the reference sampling path.
+// Because consecutive knots are exact and the interpolant is monotone, the
+// distribution sampled through the table differs from the true one by at
+// most 1/cells in Kolmogorov-Smirnov distance. The table is immutable and
+// safe for concurrent use.
+type QuantileTable struct {
+	ts   []float64 // ts[i] = quantile of u = (i/cells)*mass
+	mass float64   // CDF(hi): total probability covered by the table
+	hi   float64   // upper support bound the table was built on
+}
+
+// NewQuantileTable precomputes a cells-knot inverse-CDF table for d on
+// [0, hi]. Build cost is O(cells * log(hi/eps)) CDF evaluations (one
+// warm-started bisection per knot); it is paid once per distribution and
+// amortized over every subsequent draw. cells <= 0 selects
+// DefaultQuantileCells.
+func NewQuantileTable(d Distribution, hi float64, cells int) *QuantileTable {
+	if !(hi > 0) || math.IsInf(hi, 0) || math.IsNaN(hi) {
+		panic(fmt.Sprintf("dist: invalid quantile table bound %v", hi))
+	}
+	if cells <= 0 {
+		cells = DefaultQuantileCells
+	}
+	mass := d.CDF(hi)
+	if !(mass > 0) {
+		panic("dist: quantile table over a distribution with no mass below the bound")
+	}
+	ts := make([]float64, cells+1)
+	ts[cells] = hi
+	// Each knot's bisection is warm-started at the previous knot: the
+	// quantile function is nondecreasing, so lo never needs to back up.
+	lo := 0.0
+	for i := 1; i < cells; i++ {
+		u := mass * float64(i) / float64(cells)
+		a, b := lo, hi
+		for it := 0; it < bisectionIters; it++ {
+			mid := 0.5 * (a + b)
+			if d.CDF(mid) < u {
+				a = mid
+			} else {
+				b = mid
+			}
+		}
+		t := 0.5 * (a + b)
+		if t < lo {
+			t = lo // enforce monotone knots against round-off
+		}
+		ts[i] = t
+		lo = t
+	}
+	return &QuantileTable{ts: ts, mass: mass, hi: hi}
+}
+
+// Mass returns CDF(hi) of the underlying distribution, the probability
+// covered by the table. Draws feed Quantile with u in [0, Mass].
+func (qt *QuantileTable) Mass() float64 { return qt.mass }
+
+// Quantile returns the t-quantile of raw probability u in [0, Mass] by
+// table lookup and linear interpolation. Out-of-range u clamps to the
+// table's support.
+func (qt *QuantileTable) Quantile(u float64) float64 {
+	cells := len(qt.ts) - 1
+	x := u / qt.mass * float64(cells)
+	if x <= 0 {
+		return qt.ts[0]
+	}
+	if x >= float64(cells) {
+		return qt.hi
+	}
+	i := int(x)
+	frac := x - float64(i)
+	lo := qt.ts[i]
+	return lo + frac*(qt.ts[i+1]-lo)
+}
+
+// Sample draws one value distributed (up to the 1/cells interpolation
+// bound) as the underlying law conditioned on [0, hi].
+func (qt *QuantileTable) Sample(rng *mathx.RNG) float64 {
+	return qt.Quantile(rng.Float64Open() * qt.mass)
+}
+
+// SampleConditional draws a value conditioned on exceeding lowT, where
+// lowU must be the underlying distribution's raw CDF at lowT. This is the
+// hot path of conditional-lifetime Monte Carlo: one uniform draw, one
+// lookup. The result is clamped to [lowT, hi].
+func (qt *QuantileTable) SampleConditional(rng *mathx.RNG, lowT, lowU float64) float64 {
+	if lowU >= qt.mass {
+		return qt.hi
+	}
+	u := lowU + rng.Float64Open()*(qt.mass-lowU)
+	v := qt.Quantile(u)
+	if v < lowT {
+		// Interpolation inside the cell containing lowU can undershoot
+		// the exact conditioning point by up to one cell width.
+		return lowT
+	}
+	return v
+}

@@ -100,10 +100,11 @@ func Fig05JobStartTime(opts Options) (*Table, error) {
 	}
 	ours := make([]float64, len(xs))
 	bases := make([]float64, len(xs))
-	for i, s := range xs {
+	parallelCells(len(xs), opts.Parallelism, func(i int) {
+		s := xs[i]
 		ours[i] = policy.JobFailureProb(our, m, s, jobLen)
 		bases[i] = policy.JobFailureProb(base, m, s, jobLen)
-	}
+	})
 	t.AddSeries("our-policy", ours)
 	t.AddSeries("memoryless", bases)
 	t.AddNote("fresh-VM failure prob F(6)=%.3f; our policy is capped there (paper: ~0.4)",
@@ -134,11 +135,14 @@ func Fig06JobLength(opts Options) (*Table, error) {
 	const startGrid = 96
 	ours := make([]float64, len(xs))
 	bases := make([]float64, len(xs))
+	parallelCells(len(xs), opts.Parallelism, func(i int) {
+		J := xs[i]
+		ours[i] = policy.MeanFailureProb(our, m, J, startGrid)
+		bases[i] = policy.MeanFailureProb(base, m, J, startGrid)
+	})
 	var ratioSum float64
 	var ratioN int
 	for i, J := range xs {
-		ours[i] = policy.MeanFailureProb(our, m, J, startGrid)
-		bases[i] = policy.MeanFailureProb(base, m, J, startGrid)
 		if J >= 4 && J <= 12 && ours[i] > 0 {
 			ratioSum += bases[i] / ours[i]
 			ratioN++
@@ -183,11 +187,14 @@ func Fig07Sensitivity(opts Options) (*Table, error) {
 	bestY := make([]float64, len(xs))
 	subY := make([]float64, len(xs))
 	baseY := make([]float64, len(xs))
-	var worst float64
-	for i, J := range xs {
+	parallelCells(len(xs), opts.Parallelism, func(i int) {
+		J := xs[i]
 		bestY[i] = policy.MeanFailureProb(best, truth, J, startGrid)
 		subY[i] = policy.MeanFailureProb(sub, truth, J, startGrid)
 		baseY[i] = policy.MeanFailureProb(base, truth, J, startGrid)
+	})
+	var worst float64
+	for i := range xs {
 		if d := subY[i] - bestY[i]; d > worst {
 			worst = d
 		}

@@ -35,10 +35,15 @@ func Fig08aCheckpointStart(opts Options) (*Table, error) {
 	}
 	ours := make([]float64, len(xs))
 	base := make([]float64, len(xs))
-	for i, s := range xs {
+	// Warm the shared DP tables once so parallel cells hit the cache
+	// instead of racing to solve them.
+	dp.ExpectedMakespan(jobLen, 0)
+	yd.ExpectedMakespan(jobLen, 0)
+	parallelCells(len(xs), opts.Parallelism, func(i int) {
+		s := xs[i]
 		ours[i] = dp.OverheadPercent(jobLen, s)
 		base[i] = yd.OverheadPercent(jobLen, s)
-	}
+	})
 	t.AddSeries("our-policy", ours)
 	t.AddSeries("young-daly", base)
 	t.AddNote("Young-Daly interval sqrt(2*delta*MTTF)=%.1f min with MTTF=1h", tau*60)
@@ -68,10 +73,16 @@ func Fig08bCheckpointLength(opts Options) (*Table, error) {
 	}
 	ours := make([]float64, len(xs))
 	base := make([]float64, len(xs))
-	for i, J := range xs {
+	// Warm both DP caches with the longest job: a table solved for n work
+	// steps contains every shorter job, so parallel cells only read.
+	maxJ := xs[len(xs)-1]
+	dp.ExpectedMakespan(maxJ, 0)
+	yd.ExpectedMakespan(maxJ, 0)
+	parallelCells(len(xs), opts.Parallelism, func(i int) {
+		J := xs[i]
 		ours[i] = dp.OverheadPercent(J, 0)
 		base[i] = yd.OverheadPercent(J, 0)
-	}
+	})
 	t.AddSeries("our-policy", ours)
 	t.AddSeries("young-daly", base)
 	var avg float64
@@ -121,32 +132,43 @@ func Fig09aCost(opts Options) (*Table, error) {
 	}
 	oursY := make([]float64, len(apps))
 	odY := make([]float64, len(apps))
+	// Each (app, pricing) pair is one independent simulated service run:
+	// fan all of them out as cells (cell 2i = preemptible, 2i+1 = on
+	// demand) and assemble the per-app notes afterwards in app order.
+	err = parallelCellsErr(2*len(apps), opts.Parallelism, func(cell int) error {
+		i, preemptible := cell/2, cell%2 == 0
+		app := apps[i]
+		kind := "preemptible"
+		if !preemptible {
+			kind = "on-demand"
+		}
+		cfg := fig9Config(app, preemptible, opts.Seed+uint64(i))
+		cfg.Model = m
+		cfg.UseReusePolicy = true
+		svc, err := batch.New(cfg)
+		if err != nil {
+			return fmt.Errorf("%s run for %s: %w", kind, app.Name, err)
+		}
+		if err := svc.SubmitBag(workload.NewBag(app, 100, 0.03, opts.Seed+uint64(i)*7)); err != nil {
+			return fmt.Errorf("%s run for %s: %w", kind, app.Name, err)
+		}
+		rep, err := svc.Run()
+		if err != nil {
+			return fmt.Errorf("%s run for %s: %w", kind, app.Name, err)
+		}
+		if preemptible {
+			oursY[i] = rep.CostPerJob
+		} else {
+			odY[i] = rep.CostPerJob
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	for i, app := range apps {
-		run := func(preemptible bool) (batch.Report, error) {
-			cfg := fig9Config(app, preemptible, opts.Seed+uint64(i))
-			cfg.Model = m
-			cfg.UseReusePolicy = true
-			svc, err := batch.New(cfg)
-			if err != nil {
-				return batch.Report{}, err
-			}
-			if err := svc.SubmitBag(workload.NewBag(app, 100, 0.03, opts.Seed+uint64(i)*7)); err != nil {
-				return batch.Report{}, err
-			}
-			return svc.Run()
-		}
-		pre, err := run(true)
-		if err != nil {
-			return nil, fmt.Errorf("preemptible run for %s: %w", app.Name, err)
-		}
-		od, err := run(false)
-		if err != nil {
-			return nil, fmt.Errorf("on-demand run for %s: %w", app.Name, err)
-		}
-		oursY[i] = pre.CostPerJob
-		odY[i] = od.CostPerJob
 		t.AddNote("%-16s ours $%.4f/job vs on-demand $%.4f/job (%.1fx cheaper; paper: ~5x)",
-			app.Name, pre.CostPerJob, od.CostPerJob, od.CostPerJob/pre.CostPerJob)
+			app.Name, oursY[i], odY[i], odY[i]/oursY[i])
 	}
 	t.AddSeries("our-service", oursY)
 	t.AddSeries("on-demand", odY)
@@ -171,25 +193,29 @@ func Fig09bPreemptions(opts Options) (*Table, error) {
 		preemptions int
 		increase    float64
 	}
-	var pts []point
-	for r := 0; r < runs; r++ {
+	pts := make([]point, runs)
+	err = parallelCellsErr(runs, opts.Parallelism, func(r int) error {
 		cfg := fig9Config(app, true, opts.Seed*31+uint64(r)*101+1)
 		cfg.Model = m
 		cfg.UseReusePolicy = true
 		svc, err := batch.New(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Longer jobs than the paper's 14 minutes expose more preemption
 		// variation per run while keeping runtime modest.
 		if err := svc.SubmitBag(workload.NewBag(app, 100, 0.03, uint64(r)+5)); err != nil {
-			return nil, err
+			return err
 		}
 		rep, err := svc.Run()
 		if err != nil {
-			return nil, fmt.Errorf("run %d: %w", r, err)
+			return fmt.Errorf("run %d: %w", r, err)
 		}
-		pts = append(pts, point{rep.Preemptions, rep.IncreasePct})
+		pts[r] = point{rep.Preemptions, rep.IncreasePct}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	xs := make([]float64, len(pts))
 	ys := make([]float64, len(pts))

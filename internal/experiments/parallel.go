@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment tables are grids of independent cells — one policy
+// evaluation, DP overhead, or batch-service run per grid point — so
+// regenerating a figure is embarrassingly parallel. parallelCells shards
+// cell indices across Options.Parallelism workers; every cell writes only
+// to its own output slot and derives any randomness from its index, so a
+// table is byte-identical at any parallelism.
+
+// parallelCells runs fn(i) for each i in [0, n) across at most workers
+// goroutines. fn must confine its writes to per-index slots. Panics in
+// workers propagate to the caller.
+func parallelCells(n, workers int, fn func(i int)) {
+	_ = parallelCellsErr(n, workers, func(i int) error {
+		fn(i)
+		return nil
+	})
+}
+
+// parallelCellsErr is parallelCells for fallible cells. Once any cell has
+// failed, not-yet-started cells are skipped (a configuration error should
+// fail fast, not pay for the rest of the experiment); in-flight cells
+// finish. The lowest-indexed error among the cells that ran is returned —
+// deterministic whenever a single cell is at fault, which is the
+// practical case; an error always aborts the whole experiment either way.
+func parallelCellsErr(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	panics := make(chan any, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics <- p
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

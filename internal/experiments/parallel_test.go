@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelCellsOrderAndErrors covers the worker-pool helper directly:
+// results land in index order and the lowest-indexed error wins.
+func TestParallelCellsOrderAndErrors(t *testing.T) {
+	out := make([]int, 100)
+	parallelCells(len(out), 8, func(i int) { out[i] = i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("cell %d = %d", i, v)
+		}
+	}
+	errAt := func(bad map[int]bool) error {
+		return parallelCellsErr(50, 8, func(i int) error {
+			if bad[i] {
+				return errIndexed(i)
+			}
+			return nil
+		})
+	}
+	if err := errAt(nil); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+	// A single failing cell is always the error reported, at any
+	// scheduling (remaining cells are skipped, in-flight ones succeed).
+	if err := errAt(map[int]bool{7: true}); err != errIndexed(7) {
+		t.Fatalf("error = %v, want cell 7", err)
+	}
+	// With several failing cells one of them is reported.
+	err := errAt(map[int]bool{33: true, 7: true, 41: true})
+	if _, ok := err.(errIndexed); !ok {
+		t.Fatalf("error = %v, want an injected cell error", err)
+	}
+}
+
+type errIndexed int
+
+func (e errIndexed) Error() string { return "cell failed" }
+
+// TestExperimentsByteIdenticalAcrossParallelism is the determinism
+// contract of Options.Parallelism: the same figure regenerated
+// sequentially and with a full worker pool must be deeply equal, grid,
+// series, and notes included.
+func TestExperimentsByteIdenticalAcrossParallelism(t *testing.T) {
+	seqOpts := fastOpts()
+	seqOpts.Parallelism = 1
+	parOpts := fastOpts()
+	parOpts.Parallelism = 8
+	ids := []string{"5", "6", "8a"}
+	if !testing.Short() {
+		ids = append(ids, "9b")
+	}
+	for _, id := range ids {
+		seq, err := Run(id, seqOpts)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", id, err)
+		}
+		par, err := Run(id, parOpts)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("experiment %s differs across parallelism:\nseq: %+v\npar: %+v", id, seq, par)
+		}
+	}
+}

@@ -38,53 +38,74 @@ func ServiceValidation(opts Options) (*Table, error) {
 		nJobs  = 24
 		jobLen = 4.0
 	)
+	// Every (stack, seed) pair is an independent service run: fan them out
+	// as cells and reduce sequentially afterwards so the averages are
+	// summed in a fixed order.
+	type cellResult struct {
+		makespan float64
+		failures float64
+		cost     float64
+	}
+	cells := make([]cellResult, len(stacks)*seeds)
+	err = parallelCellsErr(len(cells), opts.Parallelism, func(cell int) error {
+		st := stacks[cell/seeds]
+		s := uint64(cell % seeds)
+		cfg := batch.Config{
+			VMType:         trace.HighCPU16,
+			Zone:           trace.USEast1B,
+			Gangs:          4,
+			GangSize:       1,
+			Preemptible:    true,
+			HotSpareTTL:    1,
+			Model:          m,
+			UseReusePolicy: st.reuse,
+			Seed:           1000 + s,
+		}
+		if st.ckpt {
+			cfg.CheckpointDelta = 1.0 / 60
+			cfg.CheckpointStep = opts.DPStepMin / 60
+		}
+		cfg.WarningCheckpoint = st.warning
+		svc, err := batch.New(cfg)
+		if err != nil {
+			return err
+		}
+		bag := workload.Bag{App: workload.Nanoconfinement}
+		for i := 0; i < nJobs; i++ {
+			bag.Jobs = append(bag.Jobs, workload.JobSpec{
+				ID:      fmt.Sprintf("sv-%02d", i),
+				App:     "nanoconfinement",
+				Runtime: jobLen,
+			})
+		}
+		if err := svc.SubmitBag(bag); err != nil {
+			return err
+		}
+		rep, err := svc.Run()
+		if err != nil {
+			return err
+		}
+		if rep.JobsCompleted != nJobs {
+			return fmt.Errorf("stack %s seed %d: %d jobs completed", st.name, s, rep.JobsCompleted)
+		}
+		cells[cell] = cellResult{
+			makespan: rep.Makespan,
+			failures: float64(rep.JobFailures),
+			cost:     rep.TotalCost,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	makespans := make([]float64, len(stacks))
 	failures := make([]float64, len(stacks))
 	costs := make([]float64, len(stacks))
-	for si, st := range stacks {
-		for s := uint64(0); s < seeds; s++ {
-			cfg := batch.Config{
-				VMType:         trace.HighCPU16,
-				Zone:           trace.USEast1B,
-				Gangs:          4,
-				GangSize:       1,
-				Preemptible:    true,
-				HotSpareTTL:    1,
-				Model:          m,
-				UseReusePolicy: st.reuse,
-				Seed:           1000 + s,
-			}
-			if st.ckpt {
-				cfg.CheckpointDelta = 1.0 / 60
-				cfg.CheckpointStep = opts.DPStepMin / 60
-			}
-			cfg.WarningCheckpoint = st.warning
-			svc, err := batch.New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			bag := workload.Bag{App: workload.Nanoconfinement}
-			for i := 0; i < nJobs; i++ {
-				bag.Jobs = append(bag.Jobs, workload.JobSpec{
-					ID:      fmt.Sprintf("sv-%02d", i),
-					App:     "nanoconfinement",
-					Runtime: jobLen,
-				})
-			}
-			if err := svc.SubmitBag(bag); err != nil {
-				return nil, err
-			}
-			rep, err := svc.Run()
-			if err != nil {
-				return nil, err
-			}
-			if rep.JobsCompleted != nJobs {
-				return nil, fmt.Errorf("stack %s seed %d: %d jobs completed", st.name, s, rep.JobsCompleted)
-			}
-			makespans[si] += rep.Makespan / seeds
-			failures[si] += float64(rep.JobFailures) / seeds
-			costs[si] += rep.TotalCost / seeds
-		}
+	for cell, res := range cells {
+		si := cell / seeds
+		makespans[si] += res.makespan / seeds
+		failures[si] += res.failures / seeds
+		costs[si] += res.cost / seeds
 	}
 	xs := make([]float64, len(stacks))
 	for i := range xs {

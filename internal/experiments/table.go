@@ -9,6 +9,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -138,11 +139,16 @@ type Options struct {
 	SampleSize int     // lifetimes per empirical CDF
 	GridPoints int     // x-grid resolution
 	DPStepMin  float64 // checkpoint DP resolution in minutes
+	// Parallelism is the worker count for independent experiment cells
+	// (grid points, batch-service runs); 0 means GOMAXPROCS, 1 forces
+	// sequential execution. Tables are byte-identical at any value.
+	Parallelism int
 }
 
 // Defaults returns the fidelity used for reported results.
 func Defaults() Options {
-	return Options{Seed: 42, SampleSize: 2000, GridPoints: 48, DPStepMin: 2}
+	return Options{Seed: 42, SampleSize: 2000, GridPoints: 48, DPStepMin: 2,
+		Parallelism: runtime.GOMAXPROCS(0)}
 }
 
 // normalize fills zero fields from Defaults.
@@ -159,6 +165,9 @@ func (o Options) normalize() Options {
 	}
 	if o.DPStepMin == 0 {
 		o.DPStepMin = d.DPStepMin
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = d.Parallelism
 	}
 	return o
 }

@@ -79,3 +79,25 @@ func (r *RNG) ExpFloat64() float64 {
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0xd1b54a32d192ed03)
 }
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche of the input.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SplitSeed deterministically derives the seed of shard i from a root seed.
+// Unlike Split, it does not consume state: SplitSeed(seed, i) depends only
+// on its arguments, so parallel workers can derive their shard streams
+// independently and in any order, and a fixed root seed reproduces
+// identical per-shard streams at any parallelism.
+func SplitSeed(seed, i uint64) uint64 {
+	return mix64(mix64(seed+0x9e3779b97f4a7c15) + i*0x9e3779b97f4a7c15)
+}
+
+// SplitRNG returns the generator for shard i of the root seed; see
+// SplitSeed.
+func SplitRNG(seed, i uint64) *RNG {
+	return NewRNG(SplitSeed(seed, i))
+}

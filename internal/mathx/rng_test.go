@@ -1,6 +1,7 @@
 package mathx
 
 import (
+	"fmt"
 	"math"
 	"testing"
 )
@@ -140,5 +141,49 @@ func TestSplitIndependence(t *testing.T) {
 	}
 	if same > 2 {
 		t.Fatalf("child replays parent stream (%d collisions)", same)
+	}
+}
+
+func TestSplitSeedDeterministicAndDistinct(t *testing.T) {
+	// Pure function of (seed, shard): same inputs, same stream.
+	if SplitSeed(42, 7) != SplitSeed(42, 7) {
+		t.Fatal("SplitSeed not deterministic")
+	}
+	// Distinct shards of one seed, and the same shard of distinct seeds,
+	// must all yield distinct streams.
+	seen := map[uint64]string{}
+	for seed := uint64(1); seed <= 20; seed++ {
+		for shard := uint64(0); shard < 50; shard++ {
+			s := SplitSeed(seed, shard)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: (%d,%d) and %s both map to %d", seed, shard, prev, s)
+			}
+			seen[s] = fmt.Sprintf("(%d,%d)", seed, shard)
+		}
+	}
+}
+
+func TestSplitRNGStreamsLookIndependent(t *testing.T) {
+	// Neighbouring shard streams must be uncorrelated: the mean of each
+	// stream is near 1/2 and streams differ from each other.
+	for shard := uint64(0); shard < 4; shard++ {
+		r := SplitRNG(9, shard)
+		var sum float64
+		for i := 0; i < 4000; i++ {
+			sum += r.Float64()
+		}
+		if m := sum / 4000; m < 0.46 || m > 0.54 {
+			t.Fatalf("shard %d mean %v", shard, m)
+		}
+	}
+	a, b := SplitRNG(9, 0), SplitRNG(9, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d identical outputs across shards", same)
 	}
 }

@@ -20,7 +20,7 @@ func TestBellmanResidual(t *testing.T) {
 		t.Fatalf("table covers %d steps", tb.nWork)
 	}
 	for j := 1; j <= n; j += 5 {
-		rj := tb.value[j][0]
+		rj := tb.valueAt(j, 0)
 		for a := 1; a < tb.nAges; a += 37 {
 			best := math.Inf(1)
 			for i := 1; i <= j; i++ {
@@ -35,14 +35,14 @@ func TestBellmanResidual(t *testing.T) {
 					if na >= tb.nAges {
 						na = tb.nAges - 1
 					}
-					next = tb.value[j-i][na]
+					next = tb.valueAt(j-i, na)
 				}
 				v := psucc*(float64(w)*tb.step+next) + (1-psucc)*(elost+rj)
 				if v < best {
 					best = v
 				}
 			}
-			got := tb.value[j][a]
+			got := tb.valueAt(j, a)
 			if math.Abs(got-best) > 1e-9*(1+math.Abs(best)) {
 				t.Fatalf("Bellman residual at (j=%d, a=%d): table %v vs recomputed %v", j, a, got, best)
 			}
@@ -57,7 +57,7 @@ func TestBellmanAge0FixedPoint(t *testing.T) {
 	tb := p.solve(2)
 	n := 24
 	for j := 1; j <= n; j += 3 {
-		rj := tb.value[j][0]
+		rj := tb.valueAt(j, 0)
 		best := math.Inf(1)
 		for i := 1; i <= j; i++ {
 			w := i
@@ -74,7 +74,7 @@ func TestBellmanAge0FixedPoint(t *testing.T) {
 				if na >= tb.nAges {
 					na = tb.nAges - 1
 				}
-				next = tb.value[j-i][na]
+				next = tb.valueAt(j-i, na)
 			}
 			v := psucc*(float64(w)*tb.step+next) + (1-psucc)*(elost+rj)
 			if v < best {

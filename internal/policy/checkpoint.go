@@ -55,19 +55,29 @@ func (s Schedule) NumCheckpoints() int {
 	return len(s.Intervals) - 1
 }
 
-// table holds the solved DP for one planner configuration.
+// table holds the solved DP for one planner configuration. The value and
+// choice tables are flat row-major slices (row j holds all ages of work
+// amount j) rather than [][]T: one contiguous allocation each, index
+// arithmetic instead of a second pointer chase, and cache-friendly row
+// scans in the O(T^3) solve.
 type table struct {
 	step   float64
-	delta  int // checkpoint cost in steps (rounded up, min 0)
-	nAges  int // number of age grid points, age index a corresponds to a*step
-	nWork  int // maximum job steps solved
-	value  [][]float64
-	choice [][]int32
+	delta  int       // checkpoint cost in steps (rounded up, min 0)
+	nAges  int       // number of age grid points, age index a corresponds to a*step
+	nWork  int       // maximum job steps solved
+	value  []float64 // value[j*nAges+a] = E[M*(j steps, age a)]
+	choice []int32   // choice[j*nAges+a] = optimal first interval in steps
 	// survival S[a] = 1 - F(a*step) and first moment M1[a] of the
 	// normalized model, precomputed on the age grid.
 	surv []float64
 	m1   []float64
 }
+
+// valueAt returns E[M*] for j work steps at age index a.
+func (tb *table) valueAt(j, a int) float64 { return tb.value[j*tb.nAges+a] }
+
+// choiceAt returns the optimal first interval (in steps) for state (j, a).
+func (tb *table) choiceAt(j, a int) int32 { return tb.choice[j*tb.nAges+a] }
 
 // Plan solves the DP for a job of uninterrupted length jobLen starting on a
 // VM of age startAge, and returns the optimal schedule together with its
@@ -85,11 +95,11 @@ func (p *CheckpointPlanner) Plan(jobLen, startAge float64) Schedule {
 	if n < 1 {
 		n = 1
 	}
-	sched := Schedule{ExpectedMakespan: tb.value[n][a0]}
+	sched := Schedule{ExpectedMakespan: tb.valueAt(n, a0)}
 	// Walk the choice table along the failure-free path.
 	j, a := n, a0
 	for j > 0 {
-		i := int(tb.choice[j][a])
+		i := int(tb.choiceAt(j, a))
 		if i <= 0 {
 			// Defensive: should not happen for a solved table.
 			panic(fmt.Sprintf("policy: missing DP choice at j=%d a=%d", j, a))
@@ -141,7 +151,7 @@ func (p *CheckpointPlanner) ExpectedMakespan(jobLen, startAge float64) float64 {
 	if n < 1 {
 		n = 1
 	}
-	return tb.value[n][tb.ageIndex(startAge)]
+	return tb.valueAt(n, tb.ageIndex(startAge))
 }
 
 // OverheadPercent returns the expected percentage increase in running time
@@ -215,22 +225,19 @@ func (p *CheckpointPlanner) solveN(n int) *table {
 		tb.m1[a] = bt.PartialMoment(t) / norm
 	}
 
-	tb.value = make([][]float64, n+1)
-	tb.choice = make([][]int32, n+1)
-	for j := 0; j <= n; j++ {
-		tb.value[j] = make([]float64, nAges)
-		tb.choice[j] = make([]int32, nAges)
-	}
+	tb.value = make([]float64, (n+1)*nAges)
+	tb.choice = make([]int32, (n+1)*nAges)
 	// j = 0: nothing left to do.
 	// Work amounts solved in increasing order; within each j, age 0 first
 	// (the restart fixed point), then all other ages.
 	for j := 1; j <= n; j++ {
 		rj := p.solveAge0(tb, j)
-		tb.value[j][0] = rj
+		row := j * nAges
+		tb.value[row] = rj
 		for a := 1; a < nAges; a++ {
 			v, c := p.solveState(tb, j, a, rj)
-			tb.value[j][a] = v
-			tb.choice[j][a] = int32(c)
+			tb.value[row+a] = v
+			tb.choice[row+a] = int32(c)
 		}
 	}
 	return tb
@@ -241,14 +248,22 @@ func (p *CheckpointPlanner) solveN(n int) *table {
 // given a failure inside the window, both conditioned on the VM being alive
 // at age a.
 func (tb *table) windowStats(a, w int) (psucc, elost float64) {
-	end := a + w
-	if end > tb.nAges {
-		end = tb.nAges
-	}
 	sa := tb.surv[a]
 	if sa <= 0 {
 		// VM certainly dead; fail immediately with no time lost.
 		return 0, 0
+	}
+	return tb.windowStatsFrom(sa, tb.m1[a], float64(a)*tb.step, a, w)
+}
+
+// windowStatsFrom is windowStats with the start-age lookups (survival sa,
+// moment m1a, start time t) hoisted by the caller, so the DP's inner
+// candidate-interval loop does not reload them per candidate. sa must be
+// positive.
+func (tb *table) windowStatsFrom(sa, m1a, t float64, a, w int) (psucc, elost float64) {
+	end := a + w
+	if end > tb.nAges {
+		end = tb.nAges
 	}
 	se := tb.surv[end]
 	psucc = se / sa
@@ -256,9 +271,8 @@ func (tb *table) windowStats(a, w int) (psucc, elost float64) {
 	if pfailAbs <= 0 {
 		return psucc, 0
 	}
-	t := float64(a) * tb.step
 	// E[x - t | fail in window] = (M1(end) - M1(a) - t*(F(end)-F(a))) / mass.
-	mom := tb.m1[end] - tb.m1[a]
+	mom := tb.m1[end] - m1a
 	elost = mom/pfailAbs - t
 	if elost < 0 {
 		elost = 0
@@ -273,12 +287,19 @@ func (tb *table) windowStats(a, w int) (psucc, elost float64) {
 func (p *CheckpointPlanner) solveAge0(tb *table, j int) float64 {
 	best := math.Inf(1)
 	var bestI int
+	// The window always starts at age 0: hoist the start-age survival and
+	// moment lookups out of the candidate-interval loop.
+	sa := tb.surv[0]
+	if sa <= 0 {
+		panic("policy: checkpoint DP has no feasible segment from age 0")
+	}
+	m1a := tb.m1[0]
 	for i := 1; i <= j; i++ {
 		w := i
 		if i < j {
 			w += tb.delta
 		}
-		psucc, elost := tb.windowStats(0, w)
+		psucc, elost := tb.windowStatsFrom(sa, m1a, 0, 0, w)
 		if psucc <= 0 {
 			continue
 		}
@@ -288,7 +309,7 @@ func (p *CheckpointPlanner) solveAge0(tb *table, j int) float64 {
 			if na >= tb.nAges {
 				na = tb.nAges - 1
 			}
-			next = tb.value[j-i][na]
+			next = tb.value[(j-i)*tb.nAges+na]
 		}
 		pfail := 1 - psucc
 		v := float64(w)*tb.step + next + (pfail/psucc)*elost
@@ -302,7 +323,7 @@ func (p *CheckpointPlanner) solveAge0(tb *table, j int) float64 {
 		// degenerate for this discretization.
 		panic("policy: checkpoint DP has no feasible segment from age 0")
 	}
-	tb.choice[j][0] = int32(bestI)
+	tb.choice[j*tb.nAges] = int32(bestI)
 	return best
 }
 
@@ -310,19 +331,31 @@ func (p *CheckpointPlanner) solveAge0(tb *table, j int) float64 {
 func (p *CheckpointPlanner) solveState(tb *table, j, a int, rj float64) (float64, int) {
 	best := math.Inf(1)
 	bestI := 0
+	// Hoist everything that depends only on the start age out of the
+	// candidate-interval loop: the survival/moment lookups at a, the
+	// window start time, and the flat base offset of the j-i rows.
+	sa := tb.surv[a]
+	if sa <= 0 {
+		// VM certainly dead at this age: every candidate fails
+		// immediately with no time lost and the job restarts fresh.
+		return rj, 1
+	}
+	m1a := tb.m1[a]
+	t := float64(a) * tb.step
+	nAges := tb.nAges
 	for i := 1; i <= j; i++ {
 		w := i
 		if i < j {
 			w += tb.delta
 		}
-		psucc, elost := tb.windowStats(a, w)
+		psucc, elost := tb.windowStatsFrom(sa, m1a, t, a, w)
 		next := 0.0
 		if i < j {
 			na := a + w
-			if na >= tb.nAges {
-				na = tb.nAges - 1
+			if na >= nAges {
+				na = nAges - 1
 			}
-			next = tb.value[j-i][na]
+			next = tb.value[(j-i)*nAges+na]
 		}
 		pfail := 1 - psucc
 		v := psucc*(float64(w)*tb.step+next) + pfail*(elost+rj)

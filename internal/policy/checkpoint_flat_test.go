@@ -1,0 +1,198 @@
+package policy
+
+import (
+	"math"
+	"testing"
+)
+
+// refTable is a direct nested-slice transcription of the checkpoint DP as
+// specified in Section 4.3 / DESIGN.md note 3, kept deliberately naive: it
+// is the reference the flattened, hoisted production solver must reproduce
+// bit-for-bit.
+type refTable struct {
+	step   float64
+	delta  int
+	nAges  int
+	value  [][]float64
+	choice [][]int32
+	surv   []float64
+	m1     []float64
+}
+
+func refSolve(p *CheckpointPlanner, n int) *refTable {
+	m := p.Model
+	l := m.Deadline()
+	step := p.Step
+	nAges := int(math.Ceil(l/step)) + 1
+	deltaSteps := int(math.Ceil(p.Delta/step - 1e-12))
+	if p.Delta == 0 {
+		deltaSteps = 0
+	}
+	tb := &refTable{
+		step: step, delta: deltaSteps, nAges: nAges,
+		surv: make([]float64, nAges+1),
+		m1:   make([]float64, nAges+1),
+	}
+	bt := m.Bathtub()
+	norm := bt.Raw(l)
+	for a := 0; a <= nAges; a++ {
+		t := math.Min(float64(a)*step, l)
+		tb.surv[a] = 1 - math.Min(bt.CDF(t)/norm, 1)
+		tb.m1[a] = bt.PartialMoment(t) / norm
+	}
+	tb.value = make([][]float64, n+1)
+	tb.choice = make([][]int32, n+1)
+	for j := 0; j <= n; j++ {
+		tb.value[j] = make([]float64, nAges)
+		tb.choice[j] = make([]int32, nAges)
+	}
+	stats := func(a, w int) (psucc, elost float64) {
+		end := a + w
+		if end > nAges {
+			end = nAges
+		}
+		sa := tb.surv[a]
+		if sa <= 0 {
+			return 0, 0
+		}
+		se := tb.surv[end]
+		psucc = se / sa
+		pfailAbs := sa - se
+		if pfailAbs <= 0 {
+			return psucc, 0
+		}
+		t := float64(a) * step
+		elost = (tb.m1[end]-tb.m1[a])/pfailAbs - t
+		if elost < 0 {
+			elost = 0
+		}
+		return psucc, elost
+	}
+	for j := 1; j <= n; j++ {
+		// Age 0 per-interval fixed point.
+		best := math.Inf(1)
+		var bestI int
+		for i := 1; i <= j; i++ {
+			w := i
+			if i < j {
+				w += deltaSteps
+			}
+			psucc, elost := stats(0, w)
+			if psucc <= 0 {
+				continue
+			}
+			next := 0.0
+			if i < j {
+				na := w
+				if na >= nAges {
+					na = nAges - 1
+				}
+				next = tb.value[j-i][na]
+			}
+			v := float64(w)*step + next + ((1-psucc)/psucc)*elost
+			if v < best {
+				best, bestI = v, i
+			}
+		}
+		rj := best
+		tb.value[j][0] = rj
+		tb.choice[j][0] = int32(bestI)
+		for a := 1; a < nAges; a++ {
+			best := math.Inf(1)
+			bestI := 0
+			for i := 1; i <= j; i++ {
+				w := i
+				if i < j {
+					w += deltaSteps
+				}
+				psucc, elost := stats(a, w)
+				next := 0.0
+				if i < j {
+					na := a + w
+					if na >= nAges {
+						na = nAges - 1
+					}
+					next = tb.value[j-i][na]
+				}
+				v := psucc*(float64(w)*step+next) + (1-psucc)*(elost+rj)
+				if v < best {
+					best, bestI = v, i
+				}
+			}
+			tb.value[j][a] = best
+			tb.choice[j][a] = int32(bestI)
+		}
+	}
+	return tb
+}
+
+// TestFlatDPMatchesReferenceExactly pins the flattened, loop-hoisted solver
+// to the naive reference: every value must be identical (==, not within a
+// tolerance) and every choice equal, so the flattening is a pure layout
+// change with no numeric drift.
+func TestFlatDPMatchesReferenceExactly(t *testing.T) {
+	p := NewCheckpointPlanner(paperModel(), testDelta, testStep)
+	const jobLen = 2.5
+	n := int(math.Round(jobLen / testStep))
+	ref := refSolve(p, n)
+	tb := p.solve(jobLen)
+	if tb.nAges != ref.nAges || tb.delta != ref.delta {
+		t.Fatalf("grid mismatch: nAges %d vs %d, delta %d vs %d", tb.nAges, ref.nAges, tb.delta, ref.delta)
+	}
+	for j := 0; j <= n; j++ {
+		for a := 0; a < tb.nAges; a++ {
+			if got, want := tb.valueAt(j, a), ref.value[j][a]; got != want {
+				t.Fatalf("value(%d,%d) = %v, reference %v", j, a, got, want)
+			}
+			if got, want := tb.choiceAt(j, a), ref.choice[j][a]; got != want {
+				t.Fatalf("choice(%d,%d) = %d, reference %d", j, a, got, want)
+			}
+		}
+	}
+}
+
+// TestFlatDPFigure8Quantities verifies the quantities the Figure 8 tables
+// are built from — the failure-free schedule and its expected makespan —
+// by replaying the reference table's choice walk against Plan.
+func TestFlatDPFigure8Quantities(t *testing.T) {
+	p := NewCheckpointPlanner(paperModel(), testDelta, testStep)
+	const jobLen = 4.0
+	n := int(math.Round(jobLen / testStep))
+	ref := refSolve(p, n)
+	for _, startAge := range []float64{0, 4, 10, 16} {
+		sched := p.Plan(jobLen, startAge)
+		a0 := int(math.Round(startAge / testStep))
+		if a0 >= ref.nAges {
+			a0 = ref.nAges - 1
+		}
+		if got, want := sched.ExpectedMakespan, ref.value[n][a0]; got != want {
+			t.Fatalf("s=%v: E[M*] = %v, reference %v", startAge, got, want)
+		}
+		// Walk the reference choice table along the failure-free path.
+		var want []float64
+		j, a := n, a0
+		for j > 0 {
+			i := int(ref.choice[j][a])
+			if i <= 0 {
+				t.Fatalf("reference missing choice at j=%d a=%d", j, a)
+			}
+			want = append(want, float64(i)*ref.step)
+			if i >= j {
+				break
+			}
+			a += i + ref.delta
+			if a >= ref.nAges {
+				a = ref.nAges - 1
+			}
+			j -= i
+		}
+		if len(sched.Intervals) != len(want) {
+			t.Fatalf("s=%v: schedule %v, reference %v", startAge, sched.Intervals, want)
+		}
+		for k := range want {
+			if sched.Intervals[k] != want[k] {
+				t.Fatalf("s=%v: interval %d = %v, reference %v", startAge, k, sched.Intervals[k], want[k])
+			}
+		}
+	}
+}

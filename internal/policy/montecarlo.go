@@ -2,6 +2,8 @@ package policy
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/mathx"
@@ -13,10 +15,19 @@ import (
 // can both be estimated by direct simulation and compared against the
 // closed-form/DP values (see montecarlo_test.go), and the experiments use
 // it as an independent check on policy claims.
+//
+// Lifetime draws go through the model's precomputed quantile table
+// (core.Model.SampleConditional: one uniform variate, one table lookup),
+// and runs are sharded across a worker pool. Every run draws from its own
+// RNG stream derived by deterministic seed-splitting from the config seed
+// (mathx.SplitSeed), and per-run results are reduced in run order, so a
+// fixed seed produces byte-identical estimates at any parallelism.
 
 // sampleConditionalLifetime draws a VM lifetime conditioned on the VM being
 // alive at the given age, by inverse-transform sampling of the normalized
-// model CDF (bisection; the CDF is strictly increasing on [0, L]).
+// model CDF (bisection; the CDF is strictly increasing on [0, L]). This is
+// the reference path the quantile-table sampler is checked against — hot
+// paths use m.SampleConditional instead.
 func sampleConditionalLifetime(m *core.Model, age float64, rng *mathx.RNG) float64 {
 	l := m.Deadline()
 	fa := m.CDF(age)
@@ -40,6 +51,11 @@ func sampleConditionalLifetime(m *core.Model, age float64, rng *mathx.RNG) float
 type MCConfig struct {
 	Runs int
 	Seed uint64
+	// Parallelism is the number of worker goroutines sharing the runs;
+	// 0 means GOMAXPROCS. Results are byte-identical at any parallelism
+	// because each run owns a seed-split RNG stream and results are
+	// reduced in run order.
+	Parallelism int
 	// MaxAttempts bounds restarts per run to catch non-terminating
 	// configurations; 0 means 10000.
 	MaxAttempts int
@@ -52,7 +68,72 @@ func (c MCConfig) normalize() MCConfig {
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = 10000
 	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	return c
+}
+
+// forEachRun evaluates fn(r) for every run index across cfg.Parallelism
+// workers and returns the per-run results in run order. Runs are sharded
+// in static contiguous blocks — they are homogeneous enough that work
+// stealing would cost more (an atomic per run, and runs can be as cheap as
+// one table lookup) than the imbalance it prevents. fn must derive all
+// randomness from its run index. Worker panics propagate to the caller.
+func forEachRun(cfg MCConfig, fn func(r int) float64) []float64 {
+	out := make([]float64, cfg.Runs)
+	workers := cfg.Parallelism
+	if workers > cfg.Runs {
+		workers = cfg.Runs
+	}
+	if workers <= 1 {
+		for r := range out {
+			out[r] = fn(r)
+		}
+		return out
+	}
+	chunk := (cfg.Runs + workers - 1) / workers
+	var wg sync.WaitGroup
+	panics := make(chan any, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > cfg.Runs {
+			hi = cfg.Runs
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics <- p
+				}
+			}()
+			for r := lo; r < hi; r++ {
+				out[r] = fn(r)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+	return out
+}
+
+// meanOf reduces per-run results in run order (so the float summation
+// order, and therefore the estimate, is independent of scheduling).
+func meanOf(results []float64) float64 {
+	var total float64
+	for _, v := range results {
+		total += v
+	}
+	return total / float64(len(results))
 }
 
 // MCMakespanNoCheckpoint estimates by simulation the expected makespan of a
@@ -65,29 +146,21 @@ func MCMakespanNoCheckpoint(m *core.Model, jobLen, startAge float64, cfg MCConfi
 	if jobLen <= 0 {
 		return 0
 	}
-	rng := mathx.NewRNG(cfg.Seed)
-	var total float64
-	for r := 0; r < cfg.Runs; r++ {
+	return meanOf(forEachRun(cfg, func(r int) float64 {
+		rng := mathx.SplitRNG(cfg.Seed, uint64(r))
 		age := startAge
 		var elapsed float64
-		done := false
 		for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
-			lifetime := sampleConditionalLifetime(m, age, rng)
+			lifetime := m.SampleConditional(age, rng)
 			if lifetime >= age+jobLen {
-				elapsed += jobLen
-				done = true
-				break
+				return elapsed + jobLen
 			}
 			// Preempted: lose everything, restart on a fresh VM.
 			elapsed += lifetime - age
 			age = 0
 		}
-		if !done {
-			panic(fmt.Sprintf("policy: Monte Carlo run did not terminate after %d attempts", cfg.MaxAttempts))
-		}
-		total += elapsed
-	}
-	return total / float64(cfg.Runs)
+		panic(fmt.Sprintf("policy: Monte Carlo run did not terminate after %d attempts", cfg.MaxAttempts))
+	}))
 }
 
 // MCMakespanCheckpointed estimates by simulation the expected makespan of a
@@ -100,10 +173,12 @@ func MCMakespanCheckpointed(p *CheckpointPlanner, jobLen, startAge float64, cfg 
 	if jobLen <= 0 {
 		return 0
 	}
-	rng := mathx.NewRNG(cfg.Seed)
+	// Warm the planner's shared DP table before fanning out so workers do
+	// not race to solve it (they would each pay the full solve).
+	p.solve(jobLen)
 	m := p.Model
-	var total float64
-	for r := 0; r < cfg.Runs; r++ {
+	return meanOf(forEachRun(cfg, func(r int) float64 {
+		rng := mathx.SplitRNG(cfg.Seed, uint64(r))
 		age := startAge
 		remaining := jobLen
 		var elapsed float64
@@ -113,7 +188,7 @@ func MCMakespanCheckpointed(p *CheckpointPlanner, jobLen, startAge float64, cfg 
 			if attempts > cfg.MaxAttempts {
 				panic("policy: checkpointed Monte Carlo run did not terminate")
 			}
-			lifetime := sampleConditionalLifetime(m, age, rng)
+			lifetime := m.SampleConditional(age, rng)
 			sched := p.Plan(remaining, age)
 			// Walk the schedule until completion or preemption.
 			wallStart := age
@@ -142,9 +217,8 @@ func MCMakespanCheckpointed(p *CheckpointPlanner, jobLen, startAge float64, cfg 
 			elapsed += wallStart - age
 			remaining = 0
 		}
-		total += elapsed
-	}
-	return total / float64(cfg.Runs)
+		return elapsed
+	}))
 }
 
 // MCFailureProb estimates by simulation the probability that a job of
@@ -152,16 +226,17 @@ func MCMakespanCheckpointed(p *CheckpointPlanner, jobLen, startAge float64, cfg 
 // validating Model.ConditionalFailure.
 func MCFailureProb(m *core.Model, jobLen, startAge float64, cfg MCConfig) float64 {
 	cfg = cfg.normalize()
-	rng := mathx.NewRNG(cfg.Seed)
-	fails := 0
-	for r := 0; r < cfg.Runs; r++ {
-		lifetime := sampleConditionalLifetime(m, startAge, rng)
-		if lifetime < startAge+jobLen && lifetime < m.Deadline()-1e-9 {
-			fails++
-		} else if startAge+jobLen > m.Deadline() {
-			// The deadline itself preempts the job.
-			fails++
+	deadline := m.Deadline()
+	return meanOf(forEachRun(cfg, func(r int) float64 {
+		rng := mathx.SplitRNG(cfg.Seed, uint64(r))
+		lifetime := m.SampleConditional(startAge, rng)
+		if lifetime < startAge+jobLen && lifetime < deadline-1e-9 {
+			return 1
 		}
-	}
-	return float64(fails) / float64(cfg.Runs)
+		if startAge+jobLen > deadline {
+			// The deadline itself preempts the job.
+			return 1
+		}
+		return 0
+	}))
 }

@@ -1,0 +1,94 @@
+package policy
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// TestMCParallelismByteIdentical is the determinism contract of the worker
+// pool: with a fixed seed, every estimator must produce bit-for-bit the
+// same float64 at parallelism 1 and at high parallelism, because each run
+// owns a seed-split RNG stream and reduction is in run order.
+func TestMCParallelismByteIdentical(t *testing.T) {
+	m := paperModel()
+	p := NewCheckpointPlanner(m, testDelta, testStep)
+	seq := MCConfig{Runs: 3000, Seed: 99, Parallelism: 1}
+	par := MCConfig{Runs: 3000, Seed: 99, Parallelism: 8}
+	if a, b := MCMakespanNoCheckpoint(m, 3, 2, seq), MCMakespanNoCheckpoint(m, 3, 2, par); a != b {
+		t.Fatalf("no-checkpoint: sequential %v != parallel %v", a, b)
+	}
+	if a, b := MCMakespanCheckpointed(p, 3, 0, seq), MCMakespanCheckpointed(p, 3, 0, par); a != b {
+		t.Fatalf("checkpointed: sequential %v != parallel %v", a, b)
+	}
+	if a, b := MCFailureProb(m, 4, 6, seq), MCFailureProb(m, 4, 6, par); a != b {
+		t.Fatalf("failure prob: sequential %v != parallel %v", a, b)
+	}
+}
+
+// ksTwoSample returns the two-sample Kolmogorov-Smirnov distance.
+func ksTwoSample(a, b []float64) float64 {
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	var d float64
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		if sa[i] <= sb[j] {
+			i++
+		} else {
+			j++
+		}
+		diff := float64(i)/float64(len(sa)) - float64(j)/float64(len(sb))
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// TestQuantileTableAgreesWithBisection draws 10^5 conditional lifetimes
+// from the quantile-table fast path and from the retained bisection
+// reference and requires the two samples to agree in distribution: the KS
+// distance must stay below the two-sample 1% critical value plus the
+// table's interpolation bound.
+func TestQuantileTableAgreesWithBisection(t *testing.T) {
+	m := paperModel()
+	const n = 100000
+	// Two-sample KS critical value at alpha=0.01 for n=m=1e5 is
+	// 1.628*sqrt(2/n) ~ 0.0073; the 4096-cell table adds at most ~0.00024.
+	const tol = 0.012
+	for _, age := range []float64{0, 6, 15, 21} {
+		fast := make([]float64, n)
+		ref := make([]float64, n)
+		rngFast := mathx.NewRNG(7)
+		rngRef := mathx.NewRNG(1234)
+		for i := 0; i < n; i++ {
+			fast[i] = m.SampleConditional(age, rngFast)
+			ref[i] = sampleConditionalLifetime(m, age, rngRef)
+		}
+		if d := ksTwoSample(fast, ref); d > tol {
+			t.Fatalf("age %v: KS distance %v between quantile-table and bisection samplers exceeds %v",
+				age, d, tol)
+		}
+	}
+}
+
+// TestSampleConditionalBounds mirrors the reference sampler's bound test
+// for the fast path.
+func TestSampleConditionalBounds(t *testing.T) {
+	m := paperModel()
+	rng := mathx.NewRNG(3)
+	for i := 0; i < 2000; i++ {
+		age := float64(i%24) * 0.9
+		v := m.SampleConditional(age, rng)
+		if v < age-1e-9 || v > m.Deadline()+1e-9 {
+			t.Fatalf("conditional lifetime %v outside [%v, %v]", v, age, m.Deadline())
+		}
+	}
+}

@@ -66,7 +66,7 @@ func (e *FixedIntervalEvaluator) ExpectedMakespan(jobLen, startAge float64) floa
 	if n < 1 {
 		n = 1
 	}
-	return tb.value[n][tb.ageIndex(startAge)]
+	return tb.valueAt(n, tb.ageIndex(startAge))
 }
 
 // OverheadPercent mirrors CheckpointPlanner.OverheadPercent for the
@@ -125,12 +125,8 @@ func (e *FixedIntervalEvaluator) solveN(n int) *fixedTable {
 		tb.surv[a] = 1 - math.Min(bt.CDF(t)/norm, 1)
 		tb.m1[a] = bt.PartialMoment(t) / norm
 	}
-	tb.value = make([][]float64, n+1)
-	tb.choice = make([][]int32, n+1)
-	for j := 0; j <= n; j++ {
-		tb.value[j] = make([]float64, nAges)
-		tb.choice[j] = make([]int32, nAges)
-	}
+	tb.value = make([]float64, (n+1)*nAges)
+	tb.choice = make([]int32, (n+1)*nAges)
 
 	for j := 1; j <= n; j++ {
 		i := ivSteps
@@ -147,16 +143,18 @@ func (e *FixedIntervalEvaluator) solveN(n int) *fixedTable {
 			panic("policy: fixed-interval segment cannot survive from age 0; interval too long for the deadline")
 		}
 		next := 0.0
+		prevRow := (j - i) * nAges
 		if i < j {
 			na := w
 			if na >= tb.nAges {
 				na = tb.nAges - 1
 			}
-			next = tb.value[j-i][na]
+			next = tb.value[prevRow+na]
 		}
 		rj := float64(w)*step + next + ((1-psucc)/psucc)*elost
-		tb.value[j][0] = rj
-		tb.choice[j][0] = int32(i)
+		row := j * nAges
+		tb.value[row] = rj
+		tb.choice[row] = int32(i)
 		for a := 1; a < nAges; a++ {
 			ps, el := tb.windowStats(a, w)
 			nx := 0.0
@@ -165,10 +163,10 @@ func (e *FixedIntervalEvaluator) solveN(n int) *fixedTable {
 				if na >= tb.nAges {
 					na = tb.nAges - 1
 				}
-				nx = tb.value[j-i][na]
+				nx = tb.value[prevRow+na]
 			}
-			tb.value[j][a] = ps*(float64(w)*step+nx) + (1-ps)*(el+rj)
-			tb.choice[j][a] = int32(i)
+			tb.value[row+a] = ps*(float64(w)*step+nx) + (1-ps)*(el+rj)
+			tb.choice[row+a] = int32(i)
 		}
 	}
 	return &fixedTable{table: tb}

@@ -20,6 +20,12 @@ type Engine struct {
 	queue  eventHeap
 	seq    int64
 	nsteps int64
+	// dead counts cancelled events still occupying heap slots. Cancelling
+	// only marks an event (removing an arbitrary heap element is O(n));
+	// when more than half the heap is dead the engine compacts it in one
+	// O(n) sweep, so cancelled timers cannot accumulate and Pending stays
+	// O(1).
+	dead int
 }
 
 // NewEngine returns an engine with the clock at 0.
@@ -36,14 +42,20 @@ func (e *Engine) Steps() int64 { return e.nsteps }
 // Timer is a handle to a scheduled event; Cancel prevents a pending event
 // from firing.
 type Timer struct {
-	ev *event
+	ev  *event
+	eng *Engine
 }
 
 // Cancel deactivates the timer. Cancelling an already-fired or
 // already-cancelled timer is a no-op.
 func (t *Timer) Cancel() {
-	if t != nil && t.ev != nil {
-		t.ev.fn = nil
+	if t == nil || t.ev == nil || t.ev.fn == nil {
+		return
+	}
+	t.ev.fn = nil
+	t.eng.dead++
+	if t.eng.dead*2 > len(t.eng.queue) {
+		t.eng.compact()
 	}
 }
 
@@ -73,7 +85,7 @@ func (e *Engine) At(tAbs float64, fn func()) *Timer {
 	ev := &event{time: tAbs, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return &Timer{ev: ev}
+	return &Timer{ev: ev, eng: e}
 }
 
 // After schedules fn after a delay of d hours.
@@ -90,7 +102,8 @@ func (e *Engine) Step() bool {
 	for e.queue.Len() > 0 {
 		ev := heap.Pop(&e.queue).(*event)
 		if ev.fn == nil {
-			continue // cancelled
+			e.dead-- // cancelled
+			continue
 		}
 		e.now = ev.time
 		fn := ev.fn
@@ -126,24 +139,40 @@ func (e *Engine) RunUntil(tAbs float64) {
 
 // Pending returns the number of live (non-cancelled) events in the queue.
 func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if ev.fn != nil {
-			n++
-		}
-	}
-	return n
+	return len(e.queue) - e.dead
 }
 
 func (e *Engine) peekTime() (float64, bool) {
 	for e.queue.Len() > 0 {
 		if e.queue[0].fn == nil {
 			heap.Pop(&e.queue)
+			e.dead--
 			continue
 		}
 		return e.queue[0].time, true
 	}
 	return 0, false
+}
+
+// compact removes every cancelled event from the heap in one O(n) sweep
+// and re-establishes the heap invariant.
+func (e *Engine) compact() {
+	live := e.queue[:0]
+	for _, ev := range e.queue {
+		if ev.fn != nil {
+			live = append(live, ev)
+		}
+	}
+	// Release the tail so dropped events are collectable.
+	for i := len(live); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = live
+	for i := range e.queue {
+		e.queue[i].index = i
+	}
+	e.dead = 0
+	heap.Init(&e.queue)
 }
 
 // event is one queue entry; seq breaks time ties FIFO.

@@ -152,6 +152,57 @@ func TestEnginePendingCountsLive(t *testing.T) {
 	}
 }
 
+func TestEngineCompactsCancelledEvents(t *testing.T) {
+	// Cancelling must not leak heap slots: once more than half the queue
+	// is dead the engine compacts, so mass-cancelling keeps the heap at
+	// the size of the live population.
+	e := NewEngine()
+	timers := make([]*Timer, 10000)
+	for i := range timers {
+		timers[i] = e.At(float64(i+1), func() {})
+	}
+	for i, tm := range timers {
+		if i%100 != 0 {
+			tm.Cancel()
+		}
+	}
+	if got, want := e.Pending(), 100; got != want {
+		t.Fatalf("Pending = %d, want %d", got, want)
+	}
+	if len(e.queue) > 2*e.Pending() {
+		t.Fatalf("heap holds %d slots for %d live events; cancelled events leaked", len(e.queue), e.Pending())
+	}
+	// The surviving events still fire in order.
+	var fired []float64
+	e.At(0.5, func() {})
+	for e.Step() {
+		fired = append(fired, e.Now())
+	}
+	if len(fired) != 101 {
+		t.Fatalf("fired %d events, want 101", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("events out of order: %v before %v", fired[i-1], fired[i])
+		}
+	}
+	if e.Pending() != 0 || e.dead != 0 {
+		t.Fatalf("queue not drained: pending %d dead %d", e.Pending(), e.dead)
+	}
+}
+
+func TestEngineCancelAfterFireIsNoOp(t *testing.T) {
+	// A timer whose event already fired must not corrupt the dead count.
+	e := NewEngine()
+	tm := e.At(1, func() {})
+	e.At(2, func() {})
+	e.Run()
+	tm.Cancel()
+	if e.dead != 0 {
+		t.Fatalf("dead = %d after cancelling a fired timer", e.dead)
+	}
+}
+
 func TestEngineStepsCounter(t *testing.T) {
 	e := NewEngine()
 	e.At(1, func() {})

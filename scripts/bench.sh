@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# bench.sh — run the numeric-kernel micro-benchmarks and record the results
+# as JSON, seeding the performance trajectory PR over PR.
+#
+# Usage:
+#   scripts/bench.sh                 # micro-benchmarks -> BENCH_PR1.json
+#   scripts/bench.sh 'Benchmark.*'   # custom pattern (e.g. the full figure
+#                                    # suite; slow) -> BENCH_PR1.json
+#   scripts/bench.sh PATTERN OUT     # custom pattern and output file
+#
+# The JSON maps benchmark name -> {ns_per_op, bytes_per_op, allocs_per_op}.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern="${1:-BenchmarkSample|BenchmarkDPSolve|BenchmarkMCMakespan}"
+out="${2:-BENCH_PR1.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchmem . | tee "$raw"
+
+awk -v out="$out" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+    ns[name] = $3
+    bytes[name] = $5
+    allocs[name] = $7
+    order[n++] = name
+}
+/^(goos|goarch|cpu):/ { meta[$1] = $2 }
+END {
+    printf "{\n" > out
+    printf "  \"goos\": \"%s\",\n", meta["goos:"] >> out
+    printf "  \"goarch\": \"%s\",\n", meta["goarch:"] >> out
+    printf "  \"benchmarks\": {\n" >> out
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            name, ns[name], bytes[name], allocs[name], (i < n - 1 ? "," : "") >> out
+    }
+    printf "  }\n}\n" >> out
+}
+' "$raw"
+
+echo "wrote $out"

@@ -1,69 +1,81 @@
-// Command batchsvc runs the batch computing service with its HTTP JSON API
-// over the simulated cloud, the reproduction of the paper's Section 5
-// prototype.
+// Command batchsvc runs the multi-session batch computing service with its
+// HTTP JSON API over the simulated cloud — the paper's Section 5 prototype
+// grown into a front door that serves many concurrent scenario sessions.
 //
 // Usage:
 //
-//	batchsvc [-addr :8080] [-vms 8] [-type n1-highcpu-16] [-zone us-east1-b]
+//	batchsvc [-addr :8080] [-parallelism N]
 //
-// Then:
+// Each session carries its own configuration, so one process serves any
+// mix of VM types, zones, policies, and seeds:
 //
-//	curl -X POST localhost:8080/api/bags -d '{"app":"nanoconfinement","jobs":100,"seed":1}'
-//	curl -X POST localhost:8080/api/run
-//	curl localhost:8080/api/report
+//	curl -X POST localhost:8080/api/sessions -d '{
+//	  "name": "demo",
+//	  "config": {"vm_type": "n1-highcpu-16", "zone": "us-east1-b", "vms": 8,
+//	             "seed": 1, "fit": {"samples": 2000, "seed": 42}}}'
+//	curl -X POST localhost:8080/api/sessions/s-001/bags -d '{"app":"nanoconfinement","jobs":100,"seed":1}'
+//	curl -X POST localhost:8080/api/sessions/s-001/run
+//	curl localhost:8080/api/sessions/s-001          # status + live progress
+//	curl localhost:8080/api/sessions/s-001/report   # once done
+//
+// POST /api/sweep fans a scenario grid (VM types x zones x policies) out
+// across sessions and aggregates the comparison. SIGINT/SIGTERM drain
+// in-flight runs before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
 
-	"repro/internal/batch"
-
-	"repro/internal/trace"
+	"repro/internal/serve"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	vms := flag.Int("vms", 8, "number of VMs in the cluster")
-	vmType := flag.String("type", string(trace.HighCPU16), "VM type")
-	zone := flag.String("zone", string(trace.USEast1B), "zone")
-	gangSize := flag.Int("gang", 1, "VMs per job gang")
-	seed := flag.Uint64("seed", 42, "simulation seed")
-	samples := flag.Int("samples", 2000, "model fitting sample size")
+	parallelism := flag.Int("parallelism", runtime.GOMAXPROCS(0),
+		"max session simulations running concurrently")
 	flag.Parse()
 
-	if *vms <= 0 || *gangSize <= 0 || *vms%*gangSize != 0 {
-		fmt.Fprintln(os.Stderr, "batchsvc: -vms must be a positive multiple of -gang")
-		os.Exit(2)
+	mgr := serve.NewManager(*parallelism)
+	srv := &http.Server{Addr: *addr, Handler: serve.NewAPI(mgr).Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("batchsvc: serving on %s (parallelism %d)", *addr, *parallelism)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("batchsvc: %v", err)
+	case <-ctx.Done():
 	}
 
-	// Bootstrap the preemption models exactly as the paper's service does:
-	// fit per time-of-day environment from the observed (here: generated)
-	// preemption history for this VM type and zone (Section 5's
-	// parameterization by type, region, and time-of-day).
-	models, err := batch.FitStudyModels(trace.VMType(*vmType), trace.Zone(*zone), *samples, *seed)
-	if err != nil {
-		log.Fatalf("batchsvc: fitting preemption models: %v", err)
+	log.Print("batchsvc: shutting down; draining in-flight sessions")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("batchsvc: shutdown: %v", err)
 	}
-	dayModel := models.MustGet(batch.ModelKey(trace.VMType(*vmType), trace.Zone(*zone), trace.Day))
-	log.Printf("batchsvc: fitted %d models; day model %v", models.Len(), dayModel)
-
-	api := batch.NewAPI(func() (*batch.Service, error) {
-		return batch.New(batch.Config{
-			VMType:         trace.VMType(*vmType),
-			Zone:           trace.Zone(*zone),
-			Gangs:          *vms / *gangSize,
-			GangSize:       *gangSize,
-			Preemptible:    true,
-			HotSpareTTL:    1,
-			Models:         models,
-			UseReusePolicy: true,
-			Seed:           *seed,
-		})
-	})
-	log.Printf("batchsvc: serving on %s (%d x %s in %s)", *addr, *vms, *vmType, *zone)
-	log.Fatal(http.ListenAndServe(*addr, api.Handler()))
+	// Let running simulations finish so their reports are not lost mid-run
+	// (they are in-memory only; an abandoned run is unrecoverable anyway).
+	done := make(chan struct{})
+	go func() { mgr.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		log.Print("batchsvc: sessions still running after 15s; exiting anyway")
+	}
+	log.Print("batchsvc: bye")
 }

@@ -1,10 +1,13 @@
-// Batchservice: the end-to-end batch computing service of Section 5,
+// Batchservice: the multi-session batch computing service of Section 5,
 // driven through its HTTP API.
 //
-// This launches the service over the simulated cloud, submits a bag of 100
-// Nanoconfinement jobs through HTTP, runs the bag on preemptible VMs with
-// the model-driven reuse policy, and contrasts cost and preemption behavior
-// against a conventional on-demand deployment (Figure 9a).
+// This launches the service over the simulated cloud and exercises the
+// session workflow end to end: two sessions with different configurations
+// (preemptible VMs with the model-driven reuse policy vs a conventional
+// on-demand deployment, the Figure 9a contrast) run CONCURRENTLY in one
+// process, progress is polled while they run, and the final reports are
+// compared. A sweep then fans the same bag across a VM-type x policy grid
+// and aggregates the comparison in one call.
 //
 // Run with: go run ./examples/batchservice
 package main
@@ -16,68 +19,120 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"time"
 
-	"repro/internal/batch"
 	"repro/internal/core"
+	"repro/internal/serve"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 func main() {
+	// Fit the preemption model once, as the paper's service does, and hand
+	// its parameters to every session inline.
 	model, _, err := core.Fit(trace.Generate(trace.DefaultScenario(), 2000, 42), trace.Deadline)
 	if err != nil {
 		log.Fatalf("fitting model: %v", err)
 	}
+	bt := model.Bathtub()
+	params := map[string]any{"a": bt.A, "tau1": bt.Tau1, "tau2": bt.Tau2, "b": bt.B, "l": bt.L}
 
-	run := func(preemptible bool) map[string]any {
-		app := workload.Nanoconfinement
-		gang := batch.GangSizeFor(app, trace.HighCPU32) // 2 VMs per 64-core job
-		api := batch.NewAPI(func() (*batch.Service, error) {
-			return batch.New(batch.Config{
-				VMType:         trace.HighCPU32,
-				Zone:           trace.USEast1B,
-				Gangs:          32 / gang,
-				GangSize:       gang,
-				Preemptible:    preemptible,
-				HotSpareTTL:    1,
-				Model:          model,
-				UseReusePolicy: true,
-				Seed:           7,
-			})
-		})
-		srv := httptest.NewServer(api.Handler())
-		defer srv.Close()
+	srv := httptest.NewServer(serve.NewAPI(serve.NewManager(0)).Handler())
+	defer srv.Close()
 
-		post := func(path string, body any) map[string]any {
-			var buf bytes.Buffer
+	request := func(method, path string, body any) map[string]any {
+		var buf bytes.Buffer
+		if body != nil {
 			if err := json.NewEncoder(&buf).Encode(body); err != nil {
 				log.Fatal(err)
 			}
-			resp, err := http.Post(srv.URL+path, "application/json", &buf)
-			if err != nil {
-				log.Fatal(err)
-			}
-			defer resp.Body.Close()
-			var out map[string]any
-			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-				log.Fatal(err)
-			}
-			if resp.StatusCode >= 300 {
-				log.Fatalf("%s: %v", path, out)
-			}
-			return out
 		}
-		post("/api/bags", map[string]any{"app": app.Name, "jobs": 100, "jitter": 0.03, "seed": 1})
-		return post("/api/run", map[string]any{})
+		req, err := http.NewRequest(method, srv.URL+path, &buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode >= 300 {
+			log.Fatalf("%s %s: %v", method, path, out)
+		}
+		return out
 	}
 
-	fmt.Println("bag of 100 nanoconfinement jobs on 32x n1-highcpu-32:")
-	pre := run(true)
-	od := run(false)
+	app := workload.Nanoconfinement
+
+	// Create both sessions: same workload, different deployments.
+	mkSession := func(name, policy string) string {
+		out := request("POST", "/api/sessions", map[string]any{
+			"name": name,
+			"config": map[string]any{
+				"vm_type": string(trace.HighCPU32), "zone": string(trace.USEast1B),
+				"vms": 32, "gang_size": 2, // 2 x n1-highcpu-32 per 64-core job
+				"policy": policy, "seed": 7, "model": params,
+			},
+		})
+		id := out["id"].(string)
+		request("POST", "/api/sessions/"+id+"/bags",
+			map[string]any{"app": app.Name, "jobs": 100, "jitter": 0.03, "seed": 1})
+		return id
+	}
+	pre := mkSession("preemptible-reuse", "reuse")
+	od := mkSession("on-demand", "on-demand")
+
+	// Start both, then poll: they simulate concurrently on the worker pool.
+	request("POST", "/api/sessions/"+pre+"/run", nil)
+	request("POST", "/api/sessions/"+od+"/run", nil)
+	fmt.Printf("bag of 100 %s jobs on 32x %s, two concurrent sessions:\n", app.Name, trace.HighCPU32)
+	reports := map[string]map[string]any{}
+	for len(reports) < 2 {
+		time.Sleep(5 * time.Millisecond)
+		for _, id := range []string{pre, od} {
+			if reports[id] != nil {
+				continue
+			}
+			st := request("GET", "/api/sessions/"+id, nil)
+			if st["state"] == "failed" {
+				log.Fatalf("session %s failed: %v", id, st["error"])
+			}
+			if st["state"] == "done" {
+				reports[id] = request("GET", "/api/sessions/"+id+"/report", nil)
+			} else if p, ok := st["progress"].(map[string]any); ok {
+				fmt.Printf("  %-18s t=%5.1fh  %3.0f/%3.0f jobs  $%.2f so far\n",
+					st["name"], p["virtual_hours"], p["jobs_done"], p["jobs_total"], p["cost_so_far_usd"])
+			}
+		}
+	}
+
+	p, o := reports[pre], reports[od]
 	fmt.Printf("\n  preemptible: $%.4f/job, %v preemptions, makespan %.2fh (+%.1f%%)\n",
-		pre["cost_per_job"], pre["preemptions"], pre["makespan_hours"], pre["increase_pct"])
+		p["cost_per_job"], p["preemptions"], p["makespan_hours"], p["increase_pct"])
 	fmt.Printf("  on-demand:   $%.4f/job, %v preemptions, makespan %.2fh\n",
-		od["cost_per_job"], od["preemptions"], od["makespan_hours"])
-	ratio := od["cost_per_job"].(float64) / pre["cost_per_job"].(float64)
+		o["cost_per_job"], o["preemptions"], o["makespan_hours"])
+	ratio := o["cost_per_job"].(float64) / p["cost_per_job"].(float64)
 	fmt.Printf("\n  our service is %.1fx cheaper (paper: ~5x)\n", ratio)
+
+	// The same comparison as one sweep over a scenario grid.
+	sweep := request("POST", "/api/sweep", map[string]any{
+		"vm_types": []string{string(trace.HighCPU16), string(trace.HighCPU32)},
+		"policies": []string{"reuse", "on-demand"},
+		"vms":      32, "seed": 7, "model": params,
+		"bag": map[string]any{"app": app.Name, "jobs": 50, "jitter": 0.03, "seed": 1},
+	})
+	fmt.Printf("\nsweep: %s x {reuse, on-demand}, 50 jobs per cell:\n", "{hc16, hc32}")
+	cells := sweep["cells"].([]any)
+	for _, c := range cells {
+		cell := c.(map[string]any)
+		rep := cell["report"].(map[string]any)
+		fmt.Printf("  %-14s %-10s $%.4f/job  makespan %5.2fh  %v preemptions\n",
+			cell["vm_type"], cell["policy"],
+			rep["cost_per_job"], rep["makespan_hours"], rep["preemptions"])
+	}
+	fmt.Printf("  cheapest: %v, fastest: %v\n", sweep["cheapest_session"], sweep["fastest_session"])
 }

@@ -50,14 +50,9 @@ func (s *Service) modelFor(now float64) *core.Model {
 	return s.cfg.Model
 }
 
-// schedulerFor returns (and caches) the reuse policy for the model active
-// at the given time.
+// schedulerFor returns the reuse policy for the model active at the given
+// time, from the process-wide schedule cache: every session consulting the
+// same model parameters shares one scheduler.
 func (s *Service) schedulerFor(now float64) *policy.ModelScheduler {
-	m := s.modelFor(now)
-	if sc, ok := s.schedCache[m]; ok {
-		return sc
-	}
-	sc := policy.NewFailureAwareScheduler(m)
-	s.schedCache[m] = sc
-	return sc
+	return policy.SharedScheduler(s.modelFor(now), policy.MinimizeFailure)
 }

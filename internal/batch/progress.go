@@ -1,0 +1,37 @@
+package batch
+
+// Progress is a point-in-time snapshot of a running service: the virtual
+// clock, job completion counts, and cost accrued so far. Snapshots are
+// plain values — safe to hand across goroutines — and are delivered through
+// Service.OnProgress so a session manager can report live status without
+// touching the (single-goroutine) simulation state.
+type Progress struct {
+	// VirtualHours is the engine's current virtual time.
+	VirtualHours float64 `json:"virtual_hours"`
+	// JobsDone / JobsTotal count completed and submitted jobs.
+	JobsDone  int `json:"jobs_done"`
+	JobsTotal int `json:"jobs_total"`
+	// CostSoFar is the provider's accrued cost in USD, including the
+	// running cost of live VMs.
+	CostSoFar float64 `json:"cost_so_far_usd"`
+	// Preemptions counts VM preemptions observed so far.
+	Preemptions int `json:"preemptions"`
+	// ActiveGangs is the number of live gangs.
+	ActiveGangs int `json:"active_gangs"`
+	// EngineSteps is the number of events processed by the engine.
+	EngineSteps int64 `json:"engine_steps"`
+}
+
+// Progress returns the current snapshot. It must be called from the
+// goroutine driving the service (Run calls it on behalf of OnProgress).
+func (s *Service) Progress() Progress {
+	return Progress{
+		VirtualHours: s.Engine.Now(),
+		JobsDone:     len(s.jobs) - s.remaining,
+		JobsTotal:    len(s.jobs),
+		CostSoFar:    s.Provider.TotalCost(),
+		Preemptions:  s.Provider.Preemptions(),
+		ActiveGangs:  len(s.gangs),
+		EngineSteps:  s.Engine.Steps(),
+	}
+}

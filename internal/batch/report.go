@@ -10,20 +10,21 @@ import (
 )
 
 // Report summarizes one service run: the measurements behind Figures 9a/9b.
+// The JSON keys match the HTTP report endpoint's wire format.
 type Report struct {
-	JobsCompleted int
-	JobFailures   int     // preemption-induced job failures (attempts - completions)
-	Preemptions   int     // VM preemptions observed
-	TotalCost     float64 // USD across all VMs
-	CostPerJob    float64 // USD
-	Makespan      float64 // hours, submission to last completion
+	JobsCompleted int     `json:"jobs_completed"`
+	JobFailures   int     `json:"job_failures"` // preemption-induced job failures (attempts - completions)
+	Preemptions   int     `json:"preemptions"`  // VM preemptions observed
+	TotalCost     float64 `json:"total_cost_usd"`
+	CostPerJob    float64 `json:"cost_per_job"`
+	Makespan      float64 `json:"makespan_hours"` // submission to last completion
 	// IdealMakespan is the zero-preemption, zero-overhead lower bound:
 	// total work divided by the number of gangs.
-	IdealMakespan float64
+	IdealMakespan float64 `json:"ideal_makespan"`
 	// IncreasePct is 100*(Makespan-IdealMakespan)/IdealMakespan.
-	IncreasePct float64
+	IncreasePct float64 `json:"increase_pct"`
 	// MeanAttempts is the average number of attempts per job.
-	MeanAttempts float64
+	MeanAttempts float64 `json:"mean_attempts"`
 }
 
 func (s *Service) report() Report {
@@ -97,9 +98,6 @@ func (s *Service) RemainingJobs() int { return s.remaining }
 
 // ActiveGangs returns the number of live gangs.
 func (s *Service) ActiveGangs() int { return len(s.gangs) }
-
-// roundCents rounds a dollar amount to whole cents, for stable API output.
-func roundCents(v float64) float64 { return math.Round(v*100) / 100 }
 
 // Estimate is an a-priori prediction for a bag, computed from the model
 // before anything runs ("users and transient computing systems can use the

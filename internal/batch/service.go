@@ -3,7 +3,9 @@
 // the (simulated) cloud, schedules bag-of-jobs workloads through the
 // Slurm-like cluster manager, applies the model-driven VM reuse policy,
 // keeps stable VMs as hot spares, optionally checkpoints jobs with the DP
-// schedule, accounts costs, and exposes an HTTP JSON API.
+// schedule, and accounts costs. The HTTP front end lives in internal/serve,
+// which runs many Services as concurrent, isolated sessions; this package
+// is the per-session simulation library underneath it.
 //
 // Jobs occupy gangs: an application needing more cores than one VM provides
 // runs on ceil(cores/vmCPUs) VMs launched and scheduled together. A gang is
@@ -90,15 +92,27 @@ type jobState struct {
 	arrival float64
 }
 
-// Service is the batch computing controller.
+// Service is the batch computing controller. A Service owns its engine,
+// provider, and cluster outright and shares no mutable state with other
+// Services — many of them can run concurrently in one process (see
+// internal/serve) as long as each instance is driven from one goroutine at
+// a time. Expensive derived artifacts (reuse schedulers, DP checkpoint
+// planners) come from the process-wide cache in internal/policy.
 type Service struct {
 	Engine   *sim.Engine
 	Provider *cloud.Provider
 	Manager  *cluster.Manager
 
-	cfg        Config
-	planner    *policy.CheckpointPlanner
-	schedCache map[*core.Model]*policy.ModelScheduler
+	// OnProgress, when set before Run, receives a progress snapshot every
+	// ProgressEvery engine steps and a final one after the run drains. It
+	// is invoked from the goroutine driving Run; the callback is the only
+	// sanctioned way to observe a Service mid-run from outside.
+	OnProgress func(Progress)
+	// ProgressEvery is the snapshot cadence in engine steps (default 4096).
+	ProgressEvery int
+
+	cfg     Config
+	planner *policy.CheckpointPlanner
 
 	gangs     map[cluster.NodeID]*gang
 	jobs      map[string]*jobState
@@ -148,21 +162,22 @@ func New(cfg Config) (*Service, error) {
 	provider := cloud.NewProvider(engine, cfg.Seed, trace.Busy)
 	mgr := cluster.New(engine)
 	s := &Service{
-		Engine:     engine,
-		Provider:   provider,
-		Manager:    mgr,
-		cfg:        cfg,
-		gangs:      make(map[cluster.NodeID]*gang),
-		jobs:       make(map[string]*jobState),
-		running:    make(map[cluster.NodeID]*jobState),
-		schedCache: make(map[*core.Model]*policy.ModelScheduler),
+		Engine:   engine,
+		Provider: provider,
+		Manager:  mgr,
+		cfg:      cfg,
+		gangs:    make(map[cluster.NodeID]*gang),
+		jobs:     make(map[string]*jobState),
+		running:  make(map[cluster.NodeID]*jobState),
 	}
 	if cfg.UseReusePolicy {
 		mgr.PlaceFilter = s.placeFilter
 		mgr.OnBlocked = s.onBlocked
 	}
 	if cfg.CheckpointDelta > 0 {
-		s.planner = policy.NewCheckpointPlanner(cfg.Model, cfg.CheckpointDelta, cfg.CheckpointStep)
+		// The planner is shared process-wide: every session with the same
+		// (model identity, delta, step) reuses one DP table.
+		s.planner = policy.SharedPlanner(cfg.Model, cfg.CheckpointDelta, cfg.CheckpointStep)
 	}
 	mgr.OnIdle = s.onGangIdle
 	mgr.OnPlace = s.onPlace
@@ -282,14 +297,27 @@ func (s *Service) Run() (Report, error) {
 			s.Engine.At(js.arrival, func() { s.enqueue(js) })
 		}
 	}
-	// Drive the simulation until every job completes.
+	// Drive the simulation until every job completes, surfacing progress
+	// snapshots along the way.
+	every := s.ProgressEvery
+	if every <= 0 {
+		every = 4096
+	}
+	var steps int
 	for s.remaining > 0 {
 		if !s.Engine.Step() {
 			return Report{}, fmt.Errorf("batch: simulation stalled with %d jobs remaining", s.remaining)
 		}
+		steps++
+		if s.OnProgress != nil && steps%every == 0 {
+			s.OnProgress(s.Progress())
+		}
 	}
 	s.finishedAt = s.Engine.Now()
 	s.drain()
+	if s.OnProgress != nil {
+		s.OnProgress(s.Progress())
+	}
 	return s.report(), nil
 }
 

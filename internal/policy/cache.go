@@ -1,0 +1,142 @@
+package policy
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// This file implements the process-wide schedule cache. A multi-session
+// service (internal/serve) runs many independent simulations concurrently,
+// and the most expensive artifacts those sessions need — DP checkpoint
+// schedules (an O(T^3) solve per model/delta/step) and, more cheaply, reuse
+// schedulers — depend only on the model's parameters, not on which session
+// asked. Caching them per process means the first session pays for a solve
+// and every later session with the same (model identity, delta, step)
+// reuses it.
+//
+// Model identity is the fitted bathtub parameter tuple (A, Tau1, Tau2, B,
+// L): a core.Model is fully determined by it, so two sessions that fit
+// identical parameters share cache entries even when they hold distinct
+// *core.Model pointers. Cached values are themselves safe for concurrent
+// use (ModelScheduler is immutable; CheckpointPlanner serializes its solves
+// internally) and deterministic — a planner's value table for j work steps
+// does not depend on how large the table has grown, so shared use cannot
+// perturb per-session results.
+
+// schedulerKey identifies one reuse scheduler: model identity + criterion.
+type schedulerKey struct {
+	bt   dist.Bathtub
+	crit Criterion
+}
+
+// plannerKey identifies one checkpoint planner: model identity + the DP's
+// checkpoint cost and time resolution.
+type plannerKey struct {
+	bt          dist.Bathtub
+	delta, step float64
+}
+
+// CacheStats counts hits and misses of the shared schedule cache, split by
+// artifact kind. Planner misses are the expensive ones (each triggers a DP
+// table build on first Plan).
+type CacheStats struct {
+	SchedulerHits   uint64 `json:"scheduler_hits"`
+	SchedulerMisses uint64 `json:"scheduler_misses"`
+	PlannerHits     uint64 `json:"planner_hits"`
+	PlannerMisses   uint64 `json:"planner_misses"`
+}
+
+// HitRate returns the overall fraction of lookups served from cache, or 0
+// before any lookup.
+func (c CacheStats) HitRate() float64 {
+	hits := c.SchedulerHits + c.PlannerHits
+	total := hits + c.SchedulerMisses + c.PlannerMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+type scheduleCache struct {
+	mu         sync.Mutex
+	schedulers map[schedulerKey]*ModelScheduler
+	planners   map[plannerKey]*CheckpointPlanner
+	stats      CacheStats
+}
+
+func newScheduleCache() *scheduleCache {
+	return &scheduleCache{
+		schedulers: make(map[schedulerKey]*ModelScheduler),
+		planners:   make(map[plannerKey]*CheckpointPlanner),
+	}
+}
+
+// shared is the process-wide cache instance.
+var shared = newScheduleCache()
+
+// SharedScheduler returns the process-wide reuse scheduler for the model's
+// parameters and the given criterion, creating it on first use. The
+// returned scheduler is immutable and safe for concurrent use by any number
+// of sessions.
+func SharedScheduler(m *core.Model, crit Criterion) *ModelScheduler {
+	if m == nil {
+		panic("policy: SharedScheduler with nil model")
+	}
+	key := schedulerKey{bt: m.Bathtub(), crit: crit}
+	shared.mu.Lock()
+	defer shared.mu.Unlock()
+	if sc, ok := shared.schedulers[key]; ok {
+		shared.stats.SchedulerHits++
+		return sc
+	}
+	shared.stats.SchedulerMisses++
+	sc := &ModelScheduler{Model: m, Criterion: crit}
+	shared.schedulers[key] = sc
+	return sc
+}
+
+// SharedPlanner returns the process-wide checkpoint planner for (model
+// identity, delta, step), creating it on first use. All sessions with the
+// same key share one planner and therefore one DP table: the O(T^3) solve
+// happens once per process, not once per session. Parameters are validated
+// exactly as NewCheckpointPlanner validates them.
+func SharedPlanner(m *core.Model, delta, step float64) *CheckpointPlanner {
+	if m == nil {
+		panic("policy: SharedPlanner with nil model")
+	}
+	if delta < 0 || step <= 0 || step > m.Deadline() {
+		panic(fmt.Sprintf("policy: invalid planner parameters delta=%v step=%v", delta, step))
+	}
+	key := plannerKey{bt: m.Bathtub(), delta: delta, step: step}
+	shared.mu.Lock()
+	defer shared.mu.Unlock()
+	if p, ok := shared.planners[key]; ok {
+		shared.stats.PlannerHits++
+		return p
+	}
+	shared.stats.PlannerMisses++
+	p := NewCheckpointPlanner(m, delta, step)
+	shared.planners[key] = p
+	return p
+}
+
+// SharedCacheStats returns a snapshot of the cache's hit/miss counters.
+func SharedCacheStats() CacheStats {
+	shared.mu.Lock()
+	defer shared.mu.Unlock()
+	return shared.stats
+}
+
+// ResetSharedCache empties the cache and zeroes its counters. It exists for
+// tests and benchmarks that measure cold-start behavior; services never
+// need it (entries are small compared to the solves they amortize).
+func ResetSharedCache() {
+	shared.mu.Lock()
+	defer shared.mu.Unlock()
+	shared.schedulers = make(map[schedulerKey]*ModelScheduler)
+	shared.planners = make(map[plannerKey]*CheckpointPlanner)
+	shared.stats = CacheStats{}
+}

@@ -1,0 +1,92 @@
+package policy
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+func cacheTestModel() *core.Model {
+	return core.New(dist.NewBathtub(0.45, 1.0, 0.8, 24, 24))
+}
+
+func TestSharedPlannerComputedOncePerIdentity(t *testing.T) {
+	ResetSharedCache()
+	defer ResetSharedCache()
+
+	// Two distinct *core.Model values with identical parameters — the
+	// situation of two sessions each fitting the same environment.
+	m1, m2 := cacheTestModel(), cacheTestModel()
+	if m1 == m2 {
+		t.Fatal("test needs distinct model pointers")
+	}
+	p1 := SharedPlanner(m1, 0.1, 0.25)
+	p2 := SharedPlanner(m2, 0.1, 0.25)
+	if p1 != p2 {
+		t.Fatal("same (model identity, delta, step) produced two planners")
+	}
+	// Different delta or step is a different artifact.
+	if SharedPlanner(m1, 0.2, 0.25) == p1 {
+		t.Fatal("different delta shared a planner")
+	}
+	if SharedPlanner(m1, 0.1, 0.5) == p1 {
+		t.Fatal("different step shared a planner")
+	}
+	st := SharedCacheStats()
+	if st.PlannerMisses != 3 || st.PlannerHits != 1 {
+		t.Fatalf("stats = %+v, want 3 misses / 1 hit", st)
+	}
+}
+
+func TestSharedSchedulerKeyedByCriterion(t *testing.T) {
+	ResetSharedCache()
+	defer ResetSharedCache()
+
+	m := cacheTestModel()
+	a := SharedScheduler(m, MinimizeFailure)
+	b := SharedScheduler(cacheTestModel(), MinimizeFailure)
+	if a != b {
+		t.Fatal("identical models did not share a scheduler")
+	}
+	if SharedScheduler(m, MinimizeMakespan) == a {
+		t.Fatal("different criteria shared a scheduler")
+	}
+	if a.ShouldReuse(1, 2) != NewFailureAwareScheduler(m).ShouldReuse(1, 2) {
+		t.Fatal("shared scheduler disagrees with a fresh one")
+	}
+}
+
+// TestSharedCacheConcurrentAccess hammers the cache from many goroutines;
+// run with -race. Every goroutine must observe the same planner and the
+// same schedule values.
+func TestSharedCacheConcurrentAccess(t *testing.T) {
+	ResetSharedCache()
+	defer ResetSharedCache()
+
+	const workers = 8
+	planners := make([]*CheckpointPlanner, workers)
+	scheds := make([]Schedule, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := SharedPlanner(cacheTestModel(), 0.05, 0.25)
+			planners[i] = p
+			scheds[i] = p.Plan(2, 0)
+			SharedScheduler(cacheTestModel(), MinimizeFailure).ShouldReuse(3, 1)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if planners[i] != planners[0] {
+			t.Fatal("concurrent lookups produced distinct planners")
+		}
+		if len(scheds[i].Intervals) != len(scheds[0].Intervals) ||
+			scheds[i].ExpectedMakespan != scheds[0].ExpectedMakespan {
+			t.Fatalf("concurrent plans disagree: %+v vs %+v", scheds[i], scheds[0])
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/policy"
+)
+
+// API exposes the session manager over HTTP. See the package documentation
+// for the route table and a walkthrough.
+type API struct {
+	mgr *Manager
+}
+
+// NewAPI wraps a manager.
+func NewAPI(mgr *Manager) *API {
+	if mgr == nil {
+		panic("serve: nil manager")
+	}
+	return &API{mgr: mgr}
+}
+
+// Handler returns the HTTP handler. Wrong methods on known paths yield a
+// JSON 405 (with Allow set by the mux), unknown paths a JSON 404.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/sessions", a.handleCreate)
+	mux.HandleFunc("GET /api/sessions", a.handleList)
+	mux.HandleFunc("GET /api/sessions/{id}", a.handleGet)
+	mux.HandleFunc("DELETE /api/sessions/{id}", a.handleDelete)
+	mux.HandleFunc("POST /api/sessions/{id}/bags", a.handleBags)
+	mux.HandleFunc("POST /api/sessions/{id}/estimate", a.handleEstimate)
+	mux.HandleFunc("POST /api/sessions/{id}/run", a.handleRun)
+	mux.HandleFunc("GET /api/sessions/{id}/report", a.handleReport)
+	mux.HandleFunc("GET /api/sessions/{id}/jobs", a.handleJobs)
+	mux.HandleFunc("GET /api/sessions/{id}/vms", a.handleVMs)
+	mux.HandleFunc("POST /api/sweep", a.handleSweep)
+	mux.HandleFunc("GET /api/stats", a.handleStats)
+	return jsonErrors(mux)
+}
+
+// decodeStrict decodes one JSON value, rejecting unknown fields and
+// trailing garbage. An empty body decodes to the zero value, so endpoints
+// whose parameters are all optional accept bare POSTs.
+func decodeStrict(r *http.Request, v any) error {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return fmt.Errorf("reading request body: %w", err)
+	}
+	if len(bytes.TrimSpace(body)) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("decoding request: unexpected trailing data")
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr emits the structured error payload; every error response from
+// this package carries the stable "error" key.
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// jsonErrors converts the mux's plain-text error responses (404, 405) into
+// the same structured payload the handlers emit.
+func jsonErrors(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.ServeHTTP(&errorRewriter{ResponseWriter: w}, r)
+	})
+}
+
+// errorRewriter intercepts error statuses written without a JSON body (the
+// mux writes text/plain) and substitutes the structured payload.
+type errorRewriter struct {
+	http.ResponseWriter
+	rewrote     bool
+	wroteHeader bool
+}
+
+func (w *errorRewriter) WriteHeader(code int) {
+	w.wroteHeader = true
+	if code >= 400 && !strings.HasPrefix(w.Header().Get("Content-Type"), "application/json") {
+		w.rewrote = true
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Del("X-Content-Type-Options")
+		w.ResponseWriter.WriteHeader(code)
+		_, _ = fmt.Fprintf(w.ResponseWriter, "{\"error\":%q}\n", http.StatusText(code))
+		return
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *errorRewriter) Write(b []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	if w.rewrote {
+		// Swallow the original plain-text error body.
+		return len(b), nil
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// session resolves the {id} path value, writing the error itself on miss.
+func (a *API) session(w http.ResponseWriter, r *http.Request) *Session {
+	s, err := a.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, httpCode(err), err)
+		return nil
+	}
+	return s
+}
+
+// createRequest is the POST /api/sessions body.
+type createRequest struct {
+	Name   string        `json:"name,omitempty"`
+	Config SessionConfig `json:"config"`
+}
+
+func (a *API) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s, err := a.mgr.Create(req.Name, req.Config)
+	if err != nil {
+		writeErr(w, httpCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.Status())
+}
+
+func (a *API) handleList(w http.ResponseWriter, r *http.Request) {
+	out := []SessionStatus{}
+	for _, s := range a.mgr.List() {
+		out = append(out, s.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (a *API) handleGet(w http.ResponseWriter, r *http.Request) {
+	if s := a.session(w, r); s != nil {
+		writeJSON(w, http.StatusOK, s.Status())
+	}
+}
+
+func (a *API) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := a.mgr.Delete(r.PathValue("id")); err != nil {
+		writeErr(w, httpCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("id")})
+}
+
+func (a *API) handleBags(w http.ResponseWriter, r *http.Request) {
+	s := a.session(w, r)
+	if s == nil {
+		return
+	}
+	var req BagRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	n, mean, err := s.SubmitBag(req)
+	if err != nil {
+		writeErr(w, httpCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"submitted":    n,
+		"mean_runtime": mean,
+	})
+}
+
+func (a *API) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	s := a.session(w, r)
+	if s == nil {
+		return
+	}
+	var req BagRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	est, err := s.Estimate(req)
+	if err != nil {
+		writeErr(w, httpCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ideal_makespan_hours":    est.IdealMakespan,
+		"expected_makespan_hours": est.ExpectedMakespan,
+		"per_job_failure_prob":    est.PerJobFailureProb,
+		"expected_cost_usd":       est.ExpectedCost,
+	})
+}
+
+func (a *API) handleRun(w http.ResponseWriter, r *http.Request) {
+	s := a.session(w, r)
+	if s == nil {
+		return
+	}
+	if err := a.mgr.Run(s); err != nil {
+		writeErr(w, httpCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"id":    s.ID(),
+		"state": string(StateRunning),
+	})
+}
+
+func (a *API) handleReport(w http.ResponseWriter, r *http.Request) {
+	s := a.session(w, r)
+	if s == nil {
+		return
+	}
+	rep, err := s.Report()
+	if err != nil {
+		writeErr(w, httpCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (a *API) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s := a.session(w, r)
+	if s == nil {
+		return
+	}
+	jobs, err := s.Jobs()
+	if err != nil {
+		writeErr(w, httpCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobs)
+}
+
+func (a *API) handleVMs(w http.ResponseWriter, r *http.Request) {
+	s := a.session(w, r)
+	if s == nil {
+		return
+	}
+	vms, err := s.VMs()
+	if err != nil {
+		writeErr(w, httpCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, vms)
+}
+
+func (a *API) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	rep, err := a.mgr.Sweep(req)
+	if err != nil {
+		writeErr(w, httpCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sessions":       a.mgr.Stats().Sessions,
+		"schedule_cache": policy.SharedCacheStats(),
+	})
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// benchSessions measures end-to-end session throughput: each iteration
+// creates `batch` sessions (checkpointing enabled so the DP planner is on
+// the path), runs them on a pool of the given width, and waits for all
+// reports. It reports sessions/sec and the shared schedule cache's hit
+// rate — the cache is reset once per benchmark, so the first session pays
+// the solve and the steady state shows up as a hit rate near 1.
+func benchSessions(b *testing.B, parallelism int) {
+	const batchSize = 8
+	policy.ResetSharedCache()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mgr := NewManager(parallelism)
+		sessions := make([]*Session, batchSize)
+		for j := range sessions {
+			s, err := mgr.Create("", ckptBenchConfig(uint64(j+1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := s.SubmitBag(BagRequest{App: "shapes", Jobs: 10, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+			if err := mgr.Run(s); err != nil {
+				b.Fatal(err)
+			}
+			sessions[j] = s
+		}
+		mgr.Wait()
+		for _, s := range sessions {
+			if _, err := s.Report(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	sec := b.Elapsed().Seconds()
+	if sec > 0 {
+		b.ReportMetric(float64(b.N*batchSize)/sec, "sessions/sec")
+	}
+	b.ReportMetric(policy.SharedCacheStats().HitRate(), "cache_hit_rate")
+}
+
+// ckptBenchConfig mirrors ckptConfig but lives here so the benchmark file
+// reads standalone in -bench output.
+func ckptBenchConfig(seed uint64) SessionConfig {
+	cfg := testConfig(seed)
+	cfg.CheckpointDelta = 0.05
+	cfg.CheckpointStep = 0.25
+	return cfg
+}
+
+// BenchmarkServiceSessionsP1 is the serial baseline.
+func BenchmarkServiceSessionsP1(b *testing.B) { benchSessions(b, 1) }
+
+// BenchmarkServiceSessionsPMax runs the pool at GOMAXPROCS; on multi-core
+// machines throughput scales with core count while every session's report
+// stays byte-identical to its serial run.
+func BenchmarkServiceSessionsPMax(b *testing.B) { benchSessions(b, runtime.GOMAXPROCS(0)) }

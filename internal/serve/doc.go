@@ -1,0 +1,49 @@
+// Package serve is the multi-session front end of the batch computing
+// service: it runs many independent internal/batch simulations as named
+// sessions in one process and exposes them over a session-scoped HTTP JSON
+// API (the production-shaped evolution of the paper's Section 5 prototype,
+// which served exactly one configuration at a time).
+//
+// # Sessions
+//
+// A session is one simulated service deployment: a validated, serializable
+// SessionConfig snapshot plus the batch.Service built from it. Sessions
+// move through the lifecycle
+//
+//	created -> running -> done | failed
+//
+// Bags are submitted while a session is created; POST .../run starts the
+// simulation asynchronously on a bounded worker pool and returns
+// immediately. While running, the session publishes progress snapshots
+// (virtual clock, jobs done, cost so far); once done, the report is
+// available. Sessions are fully isolated — each owns its engine, provider,
+// and cluster, and draws randomness only from its own seed — so a session's
+// report is byte-identical whether it runs alone or alongside any number of
+// concurrent sessions.
+//
+// The expensive derived artifacts (DP checkpoint planners, reuse
+// schedulers) are NOT per-session: they come from the process-wide schedule
+// cache in internal/policy, keyed by (model identity, delta, step), so the
+// O(T^3) checkpoint solve for a given model happens once per process.
+// Fitted model registries are likewise cached per (vm type, zone, samples,
+// seed).
+//
+// # HTTP API
+//
+//	POST   /api/sessions                 create a session from a JSON config
+//	GET    /api/sessions                 list sessions
+//	GET    /api/sessions/{id}            status + live progress
+//	DELETE /api/sessions/{id}            remove a finished session
+//	POST   /api/sessions/{id}/bags      submit a bag of jobs
+//	POST   /api/sessions/{id}/estimate  a-priori makespan/cost quote
+//	POST   /api/sessions/{id}/run       start asynchronously (202)
+//	GET    /api/sessions/{id}/report    final report (404 until done)
+//	GET    /api/sessions/{id}/jobs      per-job status
+//	GET    /api/sessions/{id}/vms       live VMs (conflict while running)
+//	POST   /api/sweep                   run a scenario grid, aggregate
+//	GET    /api/stats                   session counts + schedule-cache stats
+//
+// All POST bodies are decoded strictly (unknown fields rejected), wrong
+// methods yield a JSON 405, and every error payload carries a stable
+// "error" key.
+package serve

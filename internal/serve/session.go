@@ -1,0 +1,398 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"repro/internal/batch"
+	"repro/internal/workload"
+)
+
+// State is a session's lifecycle state.
+type State string
+
+// Sessions move created -> running -> done | failed.
+const (
+	StateCreated State = "created"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// apiError is an error with an HTTP status code attached, so the session
+// and manager layers can state intent ("conflict", "not found") without
+// importing HTTP handling.
+type apiError struct {
+	code int
+	err  error
+}
+
+func (e *apiError) Error() string { return e.err.Error() }
+func (e *apiError) Unwrap() error { return e.err }
+
+func errf(code int, format string, args ...any) error {
+	return &apiError{code: code, err: fmt.Errorf(format, args...)}
+}
+
+// httpCode maps an error to its HTTP status (400 for plain errors, which
+// are validation failures from the layers below).
+func httpCode(err error) int {
+	if ae, ok := err.(*apiError); ok {
+		return ae.code
+	}
+	return http.StatusBadRequest
+}
+
+// BagRequest is the wire form of one bag submission.
+type BagRequest struct {
+	App    string  `json:"app"`
+	Jobs   int     `json:"jobs"`
+	Jitter float64 `json:"jitter,omitempty"`
+	Seed   uint64  `json:"seed,omitempty"`
+	// At defers the bag's arrival to the given virtual hour.
+	At float64 `json:"at,omitempty"`
+}
+
+// Session is one named simulation with its own engine, provider, and
+// cluster. All methods are safe for concurrent use; while the simulation
+// runs, only the run goroutine touches the underlying batch.Service, and
+// observers read the published progress snapshot instead.
+type Session struct {
+	id   string
+	name string
+	cfg  SessionConfig
+
+	mu        sync.Mutex
+	state     State
+	svc       *batch.Service
+	submitted int
+	progress  batch.Progress
+	report    batch.Report
+	runErr    error
+	done      chan struct{}
+}
+
+// SessionStatus is the wire form of a session for list/get responses.
+type SessionStatus struct {
+	ID            string          `json:"id"`
+	Name          string          `json:"name,omitempty"`
+	State         State           `json:"state"`
+	JobsSubmitted int             `json:"jobs_submitted"`
+	Config        SessionConfig   `json:"config"`
+	Progress      *batch.Progress `json:"progress,omitempty"`
+	Error         string          `json:"error,omitempty"`
+}
+
+// ID returns the session's immutable identifier.
+func (s *Session) ID() string { return s.id }
+
+// Status returns a point-in-time snapshot of the session.
+func (s *Session) Status() SessionStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SessionStatus{
+		ID:            s.id,
+		Name:          s.name,
+		State:         s.state,
+		JobsSubmitted: s.submitted,
+		Config:        s.cfg,
+	}
+	if s.state != StateCreated {
+		p := s.progress
+		st.Progress = &p
+	}
+	if s.runErr != nil {
+		st.Error = s.runErr.Error()
+	}
+	return st
+}
+
+// SubmitBag adds a bag of jobs; only valid before the session runs.
+func (s *Session) SubmitBag(req BagRequest) (int, float64, error) {
+	app, err := workload.ByName(req.App)
+	if err != nil {
+		return 0, 0, err
+	}
+	if req.Jobs <= 0 {
+		return 0, 0, fmt.Errorf("jobs must be positive")
+	}
+	if req.At < 0 {
+		return 0, 0, fmt.Errorf("at must be non-negative")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != StateCreated {
+		return 0, 0, errf(http.StatusConflict, "session %s is %s; bags must be submitted before running", s.id, s.state)
+	}
+	bag := workload.NewBag(app, req.Jobs, req.Jitter, req.Seed)
+	if err := s.svc.SubmitBagAt(bag, req.At); err != nil {
+		return 0, 0, err
+	}
+	s.submitted += len(bag.Jobs)
+	return len(bag.Jobs), bag.MeanRuntime(), nil
+}
+
+// Estimate quotes a bag against the session's configuration without
+// running anything.
+func (s *Session) Estimate(req BagRequest) (batch.Estimate, error) {
+	app, err := workload.ByName(req.App)
+	if err != nil {
+		return batch.Estimate{}, err
+	}
+	if req.Jobs <= 0 {
+		return batch.Estimate{}, fmt.Errorf("jobs must be positive")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.svc.Estimate(workload.NewBag(app, req.Jobs, req.Jitter, req.Seed))
+}
+
+// Report returns the final report; an apiError with 404 until the run
+// completes.
+func (s *Session) Report() (batch.Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case StateDone:
+		return s.report, nil
+	case StateFailed:
+		return batch.Report{}, errf(http.StatusConflict, "session %s failed: %v", s.id, s.runErr)
+	default:
+		return batch.Report{}, errf(http.StatusNotFound, "session %s has no completed run", s.id)
+	}
+}
+
+// Jobs returns per-job statuses. While the simulation is running the
+// underlying state is owned by the run goroutine, so this conflicts.
+func (s *Session) Jobs() ([]batch.JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == StateRunning {
+		return nil, errf(http.StatusConflict, "session %s is running; poll its status instead", s.id)
+	}
+	return s.svc.JobStatuses(), nil
+}
+
+// VMState describes one live VM for the API.
+type VMState struct {
+	ID          string  `json:"id"`
+	Type        string  `json:"type"`
+	Zone        string  `json:"zone"`
+	Preemptible bool    `json:"preemptible"`
+	AgeHours    float64 `json:"age_hours"`
+}
+
+// VMs lists the session's live VMs; conflicts while running.
+func (s *Session) VMs() ([]VMState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == StateRunning {
+		return nil, errf(http.StatusConflict, "session %s is running; poll its status instead", s.id)
+	}
+	out := []VMState{}
+	now := s.svc.Engine.Now()
+	for _, vm := range s.svc.Provider.Running() {
+		out = append(out, VMState{
+			ID:          vm.ID,
+			Type:        string(vm.Type),
+			Zone:        string(vm.Zone),
+			Preemptible: vm.Preemptible,
+			AgeHours:    vm.Age(now),
+		})
+	}
+	return out, nil
+}
+
+// Wait blocks until the session's run finishes (it must have been started).
+func (s *Session) Wait() {
+	<-s.done
+}
+
+// Manager owns all sessions in the process and the bounded worker pool
+// their runs execute on.
+type Manager struct {
+	models *modelCache
+	sem    chan struct{}
+
+	mu       sync.Mutex
+	seq      int
+	sessions map[string]*Session
+	order    []string
+	wg       sync.WaitGroup
+}
+
+// NewManager returns a manager whose worker pool runs up to parallelism
+// session simulations concurrently (default GOMAXPROCS).
+func NewManager(parallelism int) *Manager {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Manager{
+		models:   newModelCache(),
+		sem:      make(chan struct{}, parallelism),
+		sessions: make(map[string]*Session),
+	}
+}
+
+// Create validates the config, builds the session's service (fitting or
+// fetching models through the cache), and registers it.
+func (m *Manager) Create(name string, cfg SessionConfig) (*Session, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	bcfg, err := cfg.build(m.models)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := batch.New(bcfg)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq++
+	s := &Session{
+		id:    fmt.Sprintf("s-%03d", m.seq),
+		name:  name,
+		cfg:   cfg,
+		state: StateCreated,
+		svc:   svc,
+		done:  make(chan struct{}),
+	}
+	m.sessions[s.id] = s
+	m.order = append(m.order, s.id)
+	return s, nil
+}
+
+// Get returns the session with the given id.
+func (m *Manager) Get(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, errf(http.StatusNotFound, "no session %q", id)
+	}
+	return s, nil
+}
+
+// List returns all sessions in creation order.
+func (m *Manager) List() []*Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Session, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.sessions[id])
+	}
+	return out
+}
+
+// Delete removes a session. Running sessions cannot be deleted.
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return errf(http.StatusNotFound, "no session %q", id)
+	}
+	s.mu.Lock()
+	running := s.state == StateRunning
+	s.mu.Unlock()
+	if running {
+		return errf(http.StatusConflict, "session %s is running", id)
+	}
+	delete(m.sessions, id)
+	for i, oid := range m.order {
+		if oid == id {
+			m.order = append(m.order[:i:i], m.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Run starts the session's simulation asynchronously on the worker pool.
+// It returns immediately; poll the session's status or Wait on it.
+func (m *Manager) Run(s *Session) error {
+	// The whole created->running transition happens under the manager lock
+	// (then the session lock, the same order Delete takes them): a
+	// concurrent DELETE can therefore never remove a session that is about
+	// to start, and Run can never start a session that was just deleted.
+	m.mu.Lock()
+	if m.sessions[s.id] != s {
+		m.mu.Unlock()
+		return errf(http.StatusNotFound, "no session %q", s.id)
+	}
+	s.mu.Lock()
+	if err := func() error {
+		switch s.state {
+		case StateRunning:
+			return errf(http.StatusConflict, "session %s is already running", s.id)
+		case StateDone, StateFailed:
+			return errf(http.StatusConflict, "session %s already ran", s.id)
+		}
+		if s.submitted == 0 {
+			return errf(http.StatusBadRequest, "session %s has no bags submitted", s.id)
+		}
+		return nil
+	}(); err != nil {
+		s.mu.Unlock()
+		m.mu.Unlock()
+		return err
+	}
+	s.state = StateRunning
+	svc := s.svc
+	s.mu.Unlock()
+	m.mu.Unlock()
+
+	svc.OnProgress = func(p batch.Progress) {
+		s.mu.Lock()
+		s.progress = p
+		s.mu.Unlock()
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.sem <- struct{}{}
+		defer func() { <-m.sem }()
+		rep, err := svc.Run()
+		s.mu.Lock()
+		if err != nil {
+			s.state = StateFailed
+			s.runErr = err
+		} else {
+			s.state = StateDone
+			s.report = rep
+		}
+		s.mu.Unlock()
+		close(s.done)
+	}()
+	return nil
+}
+
+// Wait blocks until every started run has finished; used for graceful
+// shutdown and by tests.
+func (m *Manager) Wait() {
+	m.wg.Wait()
+}
+
+// Stats summarizes the manager for GET /api/stats.
+type Stats struct {
+	Sessions map[State]int `json:"sessions"`
+}
+
+// Stats returns per-state session counts, with deterministic map contents
+// (states with zero sessions are included).
+func (m *Manager) Stats() Stats {
+	st := Stats{Sessions: map[State]int{
+		StateCreated: 0, StateRunning: 0, StateDone: 0, StateFailed: 0,
+	}}
+	for _, s := range m.List() {
+		s.mu.Lock()
+		st.Sessions[s.state]++
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/policy"
+)
+
+// ckptConfig enables DP checkpointing (coarse grid so tests stay fast) on
+// top of the inline test model.
+func ckptConfig(seed uint64) SessionConfig {
+	cfg := testConfig(seed)
+	cfg.CheckpointDelta = 0.05
+	cfg.CheckpointStep = 0.25
+	return cfg
+}
+
+// runSessions creates one session per config, submits the same bag to
+// each, runs them (all concurrently when concurrent, else strictly one
+// after another), and returns the final reports in config order.
+func runSessions(t *testing.T, parallelism int, concurrent bool, cfgs []SessionConfig) []batch.Report {
+	t.Helper()
+	mgr := NewManager(parallelism)
+	sessions := make([]*Session, len(cfgs))
+	for i, cfg := range cfgs {
+		s, err := mgr.Create("", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.SubmitBag(BagRequest{App: "nanoconfinement", Jobs: 25, Jitter: 0.02, Seed: 3}); err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+	}
+	if concurrent {
+		for _, s := range sessions {
+			if err := mgr.Run(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mgr.Wait()
+	} else {
+		for _, s := range sessions {
+			if err := mgr.Run(s); err != nil {
+				t.Fatal(err)
+			}
+			s.Wait()
+		}
+	}
+	reports := make([]batch.Report, len(sessions))
+	for i, s := range sessions {
+		rep, err := s.Report()
+		if err != nil {
+			t.Fatalf("session %s: %v", s.ID(), err)
+		}
+		reports[i] = rep
+	}
+	return reports
+}
+
+// TestParallelSessionsByteIdenticalToSerial is the isolation guarantee: a
+// fixed per-session seed produces byte-identical reports no matter how many
+// sessions run concurrently (and regardless of shared schedule caches).
+func TestParallelSessionsByteIdenticalToSerial(t *testing.T) {
+	cfgs := []SessionConfig{
+		ckptConfig(1), ckptConfig(2), ckptConfig(3),
+		testConfig(4), testConfig(5), testConfig(6),
+	}
+	// Vary one dimension so sessions are genuinely different simulations.
+	cfgs[4].Policy = PolicyMemoryless
+	cfgs[5].Policy = PolicyOnDemand
+
+	serial := runSessions(t, 1, false, cfgs)
+	parallel := runSessions(t, 8, true, cfgs)
+
+	sj, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := json.Marshal(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sj) != string(pj) {
+		t.Fatalf("parallel sessions diverged from serial:\nserial:   %s\nparallel: %s", sj, pj)
+	}
+}
+
+// TestScheduleCacheSharedAcrossSessions verifies the tentpole's cache
+// contract: two sessions with the same (model identity, delta, step)
+// trigger exactly one planner construction, and the second session hits.
+func TestScheduleCacheSharedAcrossSessions(t *testing.T) {
+	policy.ResetSharedCache()
+	defer policy.ResetSharedCache()
+
+	mgr := NewManager(2)
+	for _, seed := range []uint64{21, 22} {
+		s, err := mgr.Create("", ckptConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.SubmitBag(BagRequest{App: "shapes", Jobs: 10, Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := mgr.Run(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mgr.Wait()
+	st := policy.SharedCacheStats()
+	if st.PlannerMisses != 1 {
+		t.Fatalf("planner built %d times for one (model, delta, step), want 1 (stats %+v)", st.PlannerMisses, st)
+	}
+	if st.PlannerHits < 1 {
+		t.Fatalf("second session did not hit the planner cache (stats %+v)", st)
+	}
+	// The reuse scheduler is shared the same way.
+	if st.SchedulerMisses != 1 || st.SchedulerHits < 1 {
+		t.Fatalf("scheduler cache not shared (stats %+v)", st)
+	}
+}
+
+// TestRunPreconditions covers the state machine's refusals around Run.
+func TestRunPreconditions(t *testing.T) {
+	mgr := NewManager(1)
+	s, err := mgr.Create("", testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Report(); err == nil {
+		t.Fatal("report on a created session should 404")
+	}
+	if err := mgr.Run(s); err == nil {
+		t.Fatal("run with no bags should error")
+	}
+	st := s.Status()
+	if st.State != StateCreated || st.Progress != nil {
+		t.Fatalf("status after refused run: %+v", st)
+	}
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/batch"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// SweepRequest fans one workload out across a scenario grid — the cartesian
+// product of VM types, zones, and policies, as in the paper's Figures 8-9
+// comparisons — running every cell as its own session on the worker pool
+// and aggregating the reports.
+type SweepRequest struct {
+	VMTypes  []string `json:"vm_types"`
+	Zones    []string `json:"zones,omitempty"`    // default: the session zone us-east1-b
+	Policies []string `json:"policies,omitempty"` // default: ["reuse"]
+	// VMs is the per-cell cluster size. When GangSize is 0, each cell
+	// derives it from the bag's application and its own VM type
+	// (ceil(cores / vm cpus)), so different VM types stay comparable.
+	VMs      int `json:"vms"`
+	GangSize int `json:"gang_size,omitempty"`
+	// HotSpareTTL, checkpointing knobs, and the model spec apply to every
+	// cell, as in SessionConfig.
+	HotSpareTTL       *float64     `json:"hot_spare_ttl,omitempty"`
+	CheckpointDelta   float64      `json:"checkpoint_delta,omitempty"`
+	CheckpointStep    float64      `json:"checkpoint_step,omitempty"`
+	WarningCheckpoint bool         `json:"warning_checkpoint,omitempty"`
+	Model             *ModelParams `json:"model,omitempty"`
+	Fit               *FitSpec     `json:"fit,omitempty"`
+	// Seed is the per-cell service seed. Every cell uses the same seed and
+	// the same bag, so cells differ only in their scenario.
+	Seed uint64 `json:"seed"`
+	// Bag is the workload each cell runs.
+	Bag BagRequest `json:"bag"`
+}
+
+// SweepCell is one scenario cell's outcome.
+type SweepCell struct {
+	VMType    string        `json:"vm_type"`
+	Zone      string        `json:"zone"`
+	Policy    string        `json:"policy"`
+	SessionID string        `json:"session_id"`
+	Error     string        `json:"error,omitempty"`
+	Report    *batch.Report `json:"report,omitempty"`
+}
+
+// SweepReport aggregates a sweep: all cells in grid order plus the indices
+// of the cheapest (per job) and fastest (makespan) successful cells.
+type SweepReport struct {
+	Cells    []SweepCell `json:"cells"`
+	Cheapest string      `json:"cheapest_session,omitempty"`
+	Fastest  string      `json:"fastest_session,omitempty"`
+}
+
+// Sweep runs the grid to completion and aggregates the results. Cells are
+// created and reported in grid order (vm_types outermost, policies
+// innermost), so the aggregation is order-stable regardless of which cell
+// finishes first.
+func (m *Manager) Sweep(req SweepRequest) (SweepReport, error) {
+	if len(req.VMTypes) == 0 {
+		return SweepReport{}, errf(http.StatusBadRequest, "sweep needs at least one vm_type")
+	}
+	if len(req.Zones) == 0 {
+		req.Zones = []string{string(trace.USEast1B)}
+	}
+	if len(req.Policies) == 0 {
+		req.Policies = []string{PolicyReuse}
+	}
+	app, err := workload.ByName(req.Bag.App)
+	if err != nil {
+		return SweepReport{}, err
+	}
+	if req.Bag.Jobs <= 0 {
+		return SweepReport{}, errf(http.StatusBadRequest, "bag.jobs must be positive")
+	}
+
+	// Create and start every cell; creation is synchronous (validation
+	// errors surface per cell), execution shares the bounded pool.
+	cells := make([]SweepCell, 0, len(req.VMTypes)*len(req.Zones)*len(req.Policies))
+	started := make([]*Session, 0, cap(cells))
+	for _, vt := range req.VMTypes {
+		for _, zone := range req.Zones {
+			for _, pol := range req.Policies {
+				cell := SweepCell{VMType: vt, Zone: zone, Policy: pol}
+				gangSize := req.GangSize
+				if gangSize == 0 {
+					gangSize = batch.GangSizeFor(app, trace.VMType(vt))
+				}
+				cfg := SessionConfig{
+					VMType:            vt,
+					Zone:              zone,
+					VMs:               req.VMs,
+					GangSize:          gangSize,
+					Policy:            pol,
+					HotSpareTTL:       req.HotSpareTTL,
+					CheckpointDelta:   req.CheckpointDelta,
+					CheckpointStep:    req.CheckpointStep,
+					WarningCheckpoint: req.WarningCheckpoint,
+					Seed:              req.Seed,
+					Model:             req.Model,
+					Fit:               req.Fit,
+				}
+				s, err := m.Create(fmt.Sprintf("sweep/%s/%s/%s", vt, zone, pol), cfg)
+				if err == nil {
+					_, _, err = s.SubmitBag(req.Bag)
+				}
+				if err == nil {
+					err = m.Run(s)
+				}
+				if err != nil {
+					cell.Error = err.Error()
+					if s != nil {
+						cell.SessionID = s.ID()
+					}
+				} else {
+					cell.SessionID = s.ID()
+					started = append(started, s)
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+
+	for _, s := range started {
+		s.Wait()
+	}
+
+	rep := SweepReport{Cells: cells}
+	bestCost, bestMakespan := 0.0, 0.0
+	for i := range rep.Cells {
+		cell := &rep.Cells[i]
+		if cell.Error != "" {
+			continue
+		}
+		s, err := m.Get(cell.SessionID)
+		if err != nil {
+			cell.Error = err.Error()
+			continue
+		}
+		r, err := s.Report()
+		if err != nil {
+			cell.Error = err.Error()
+			continue
+		}
+		cell.Report = &r
+		if rep.Cheapest == "" || r.CostPerJob < bestCost {
+			rep.Cheapest, bestCost = cell.SessionID, r.CostPerJob
+		}
+		if rep.Fastest == "" || r.Makespan < bestMakespan {
+			rep.Fastest, bestMakespan = cell.SessionID, r.Makespan
+		}
+	}
+	return rep, nil
+}

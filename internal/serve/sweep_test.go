@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func sweepBody() map[string]any {
+	return map[string]any{
+		"vm_types": []string{"n1-highcpu-16", "n1-highcpu-32"},
+		"zones":    []string{"us-east1-b"},
+		"policies": []string{PolicyReuse, PolicyOnDemand},
+		"vms":      8,
+		"seed":     9,
+		"model":    map[string]any{"a": 0.45, "tau1": 1.0, "tau2": 0.8, "b": 24, "l": 24},
+		"bag":      map[string]any{"app": "nanoconfinement", "jobs": 16, "seed": 2},
+	}
+}
+
+// TestSweepGridAggregation runs the acceptance grid: 2 VM types x 1 zone x
+// 2 policies = 4 cells, aggregated into one comparison report.
+func TestSweepGridAggregation(t *testing.T) {
+	h := NewAPI(NewManager(4)).Handler()
+	rec, _ := doJSON(t, h, "POST", "/api/sweep", sweepBody())
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sweep: %d %s", rec.Code, rec.Body)
+	}
+	var rep SweepReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(rep.Cells))
+	}
+	// Grid order: vm_types outermost, policies innermost.
+	wantOrder := []struct{ vt, pol string }{
+		{"n1-highcpu-16", PolicyReuse},
+		{"n1-highcpu-16", PolicyOnDemand},
+		{"n1-highcpu-32", PolicyReuse},
+		{"n1-highcpu-32", PolicyOnDemand},
+	}
+	for i, w := range wantOrder {
+		c := rep.Cells[i]
+		if c.VMType != w.vt || c.Policy != w.pol {
+			t.Fatalf("cell %d = %s/%s, want %s/%s", i, c.VMType, c.Policy, w.vt, w.pol)
+		}
+		if c.Error != "" {
+			t.Fatalf("cell %d failed: %s", i, c.Error)
+		}
+		if c.Report == nil || c.Report.JobsCompleted != 16 {
+			t.Fatalf("cell %d report: %+v", i, c.Report)
+		}
+	}
+	if rep.Cheapest == "" || rep.Fastest == "" {
+		t.Fatalf("aggregation missing best cells: %+v", rep)
+	}
+	// On preemptible VMs the reuse policy must be cheaper per job than the
+	// on-demand deployment of the same type (the Figure 9a contrast).
+	if rep.Cells[0].Report.CostPerJob >= rep.Cells[1].Report.CostPerJob {
+		t.Fatalf("preemptible reuse ($%v/job) not cheaper than on-demand ($%v/job)",
+			rep.Cells[0].Report.CostPerJob, rep.Cells[1].Report.CostPerJob)
+	}
+	// The sweep's sessions remain inspectable.
+	s, err := NewAPI(NewManager(1)).mgr.Get("s-001")
+	if err == nil {
+		t.Fatalf("fresh manager unexpectedly has sessions: %v", s.ID())
+	}
+}
+
+// TestSweepOrderStable runs the same sweep twice (cells execute in
+// whatever order the pool schedules) and demands byte-identical
+// aggregation, modulo session ids which increment across sweeps.
+func TestSweepOrderStable(t *testing.T) {
+	run := func(parallelism int) []SweepCell {
+		mgr := NewManager(parallelism)
+		var req SweepRequest
+		b, _ := json.Marshal(sweepBody())
+		if err := json.Unmarshal(b, &req); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := mgr.Sweep(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rep.Cells {
+			rep.Cells[i].SessionID = "" // ids depend on manager history
+		}
+		return rep.Cells
+	}
+	a := run(4)
+	b := run(1)
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("sweep aggregation not order-stable:\n%s\n%s", aj, bj)
+	}
+}
+
+// TestSweepValidation exercises the error paths.
+func TestSweepValidation(t *testing.T) {
+	h := NewAPI(NewManager(1)).Handler()
+
+	rec, out := doJSON(t, h, "POST", "/api/sweep", map[string]any{
+		"vms": 4, "bag": map[string]any{"app": "shapes", "jobs": 1},
+	})
+	if rec.Code != http.StatusBadRequest || out["error"] == nil {
+		t.Fatalf("empty grid: %d %s", rec.Code, rec.Body)
+	}
+
+	// A cell-level failure (unknown policy) is reported in the cell, not as
+	// a request failure, and other cells still run.
+	body := sweepBody()
+	body["policies"] = []string{PolicyOnDemand, "warp-drive"}
+	body["vm_types"] = []string{"n1-highcpu-16"}
+	rec, _ = doJSON(t, h, "POST", "/api/sweep", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sweep with bad cell: %d %s", rec.Code, rec.Body)
+	}
+	var rep SweepReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 || rep.Cells[1].Error == "" || rep.Cells[0].Error != "" {
+		t.Fatalf("cells: %+v", rep.Cells)
+	}
+	if rep.Cells[0].Report == nil {
+		t.Fatal("good cell missing report")
+	}
+}

@@ -1,32 +1,52 @@
 #!/usr/bin/env bash
-# bench.sh — run the numeric-kernel micro-benchmarks and record the results
-# as JSON, seeding the performance trajectory PR over PR.
+# bench.sh — run the numeric-kernel micro-benchmarks plus the service-level
+# throughput benchmark and record the results as JSON, extending the
+# performance trajectory PR over PR.
 #
 # Usage:
-#   scripts/bench.sh                 # micro-benchmarks -> BENCH_PR1.json
-#   scripts/bench.sh 'Benchmark.*'   # custom pattern (e.g. the full figure
-#                                    # suite; slow) -> BENCH_PR1.json
+#   scripts/bench.sh                 # default suite -> BENCH_PR2.json
+#   scripts/bench.sh 'Benchmark.*'   # custom micro pattern (e.g. the full
+#                                    # figure suite; slow)
 #   scripts/bench.sh PATTERN OUT     # custom pattern and output file
 #
-# The JSON maps benchmark name -> {ns_per_op, bytes_per_op, allocs_per_op}.
+# Two benchmark groups run:
+#   - micro (root package): sampling, DP solve, Monte Carlo kernels
+#   - service (internal/serve): end-to-end sessions/sec through the
+#     multi-session manager at parallelism 1 vs GOMAXPROCS, plus the
+#     process-wide schedule cache's hit rate
+#
+# The JSON maps benchmark name -> {ns_per_op, bytes_per_op, allocs_per_op}
+# plus any custom metrics the benchmark reports (sessions_per_sec,
+# cache_hit_rate).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 pattern="${1:-BenchmarkSample|BenchmarkDPSolve|BenchmarkMCMakespan}"
-out="${2:-BENCH_PR1.json}"
+out="${2:-BENCH_PR2.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' -bench "$pattern" -benchmem . | tee "$raw"
+go test -run '^$' -bench 'BenchmarkServiceSessions' -benchmem ./internal/serve | tee -a "$raw"
 
 awk -v out="$out" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
-    ns[name] = $3
-    bytes[name] = $5
-    allocs[name] = $7
     order[n++] = name
+    # Fields after the iteration count come in (value, unit) pairs; map the
+    # unit to a JSON key so custom b.ReportMetric metrics are captured too.
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        gsub(/[^A-Za-z0-9_]/, "_", unit)
+        if (unit == "B_per_op") unit = "bytes_per_op"
+        metrics[name, unit] = $i
+        if (!((name, unit) in seenkey)) {
+            seenkey[name, unit] = 1
+            keys[name] = keys[name] (keys[name] == "" ? "" : " ") unit
+        }
+    }
 }
 /^(goos|goarch|cpu):/ { meta[$1] = $2 }
 END {
@@ -36,8 +56,12 @@ END {
     printf "  \"benchmarks\": {\n" >> out
     for (i = 0; i < n; i++) {
         name = order[i]
-        printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
-            name, ns[name], bytes[name], allocs[name], (i < n - 1 ? "," : "") >> out
+        printf "    \"%s\": {", name >> out
+        m = split(keys[name], ks, " ")
+        for (j = 1; j <= m; j++) {
+            printf "%s\"%s\": %s", (j > 1 ? ", " : ""), ks[j], metrics[name, ks[j]] >> out
+        }
+        printf "}%s\n", (i < n - 1 ? "," : "") >> out
     }
     printf "  }\n}\n" >> out
 }

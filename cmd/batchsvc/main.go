@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	batchsvc [-addr :8080] [-parallelism N]
+//	batchsvc [-addr :8080] [-parallelism N] [-data-dir DIR] [-schedule-cache-cap N]
 //
 // Each session carries its own configuration, so one process serves any
 // mix of VM types, zones, policies, and seeds:
@@ -16,7 +16,14 @@
 //	curl -X POST localhost:8080/api/sessions/s-001/bags -d '{"app":"nanoconfinement","jobs":100,"seed":1}'
 //	curl -X POST localhost:8080/api/sessions/s-001/run
 //	curl localhost:8080/api/sessions/s-001          # status + live progress
+//	curl -N localhost:8080/api/sessions/s-001/events # SSE progress stream
 //	curl localhost:8080/api/sessions/s-001/report   # once done
+//	curl -X DELETE localhost:8080/api/sessions/s-001 # cancels if running
+//
+// With -data-dir, the session lifecycle is durable: configs, bags, state
+// transitions, and completed reports are written to a snapshot+WAL store,
+// and a restart resumes every non-running session exactly where it was
+// (sessions that were mid-run recover as failed with a diagnostic).
 //
 // POST /api/sweep fans a scenario grid (VM types x zones x policies) out
 // across sessions and aggregates the comparison. SIGINT/SIGTERM drain
@@ -28,6 +35,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -35,17 +43,46 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/policy"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	parallelism := flag.Int("parallelism", runtime.GOMAXPROCS(0),
 		"max session simulations running concurrently")
+	dataDir := flag.String("data-dir", "",
+		"directory for the session snapshot+WAL store (empty: in-memory only)")
+	cacheCap := flag.Int("schedule-cache-cap", policy.DefaultSharedCacheCapacity,
+		"LRU bound (entries per artifact kind) of the process-wide schedule cache")
 	flag.Parse()
 
+	policy.SetSharedCacheCapacity(*cacheCap)
 	mgr := serve.NewManager(*parallelism)
-	srv := &http.Server{Addr: *addr, Handler: serve.NewAPI(mgr).Handler()}
+	if *dataDir != "" {
+		st, err := store.Open(*dataDir)
+		if err != nil {
+			log.Fatalf("batchsvc: opening store: %v", err)
+		}
+		if err := mgr.Restore(st); err != nil {
+			log.Fatalf("batchsvc: restoring sessions: %v", err)
+		}
+		if n := len(mgr.List()); n > 0 {
+			log.Printf("batchsvc: restored %d sessions from %s", n, *dataDir)
+		}
+		defer st.Close()
+	}
+	// Every request context derives from connCtx, so cancelling it before
+	// Shutdown releases long-lived SSE streams — otherwise Shutdown would
+	// wait out its full timeout on any connected events client.
+	connCtx, closeConns := context.WithCancel(context.Background())
+	defer closeConns()
+	srv := &http.Server{
+		Addr:        *addr,
+		Handler:     serve.NewAPI(mgr).Handler(),
+		BaseContext: func(net.Listener) context.Context { return connCtx },
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -63,13 +100,15 @@ func main() {
 	}
 
 	log.Print("batchsvc: shutting down; draining in-flight sessions")
+	closeConns() // end SSE streams so Shutdown isn't pinned by them
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("batchsvc: shutdown: %v", err)
 	}
-	// Let running simulations finish so their reports are not lost mid-run
-	// (they are in-memory only; an abandoned run is unrecoverable anyway).
+	// Let running simulations finish so their reports land in the store (or
+	// at least in the final log lines). A session still running when the
+	// drain window closes will recover as failed on the next boot.
 	done := make(chan struct{})
 	go func() { mgr.Wait(); close(done) }()
 	select {

@@ -5,21 +5,24 @@
 // session workflow end to end: two sessions with different configurations
 // (preemptible VMs with the model-driven reuse policy vs a conventional
 // on-demand deployment, the Figure 9a contrast) run CONCURRENTLY in one
-// process, progress is polled while they run, and the final reports are
-// compared. A sweep then fans the same bag across a VM-type x policy grid
-// and aggregates the comparison in one call.
+// process, their progress arrives over Server-Sent Event streams (no
+// polling), and the final reports are compared. A third session is
+// cancelled mid-run via DELETE to demonstrate the cancellable lifecycle,
+// and a sweep then fans the same bag across a VM-type x policy grid and
+// aggregates the comparison in one call.
 //
 // Run with: go run ./examples/batchservice
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/httptest"
-	"time"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/serve"
@@ -68,7 +71,7 @@ func main() {
 
 	app := workload.Nanoconfinement
 
-	// Create both sessions: same workload, different deployments.
+	// Create the sessions: same workload, different deployments.
 	mkSession := func(name, policy string) string {
 		out := request("POST", "/api/sessions", map[string]any{
 			"name": name,
@@ -76,6 +79,7 @@ func main() {
 				"vm_type": string(trace.HighCPU32), "zone": string(trace.USEast1B),
 				"vms": 32, "gang_size": 2, // 2 x n1-highcpu-32 per 64-core job
 				"policy": policy, "seed": 7, "model": params,
+				"progress_every": 512, // tighter SSE cadence for the demo
 			},
 		})
 		id := out["id"].(string)
@@ -86,37 +90,86 @@ func main() {
 	pre := mkSession("preemptible-reuse", "reuse")
 	od := mkSession("on-demand", "on-demand")
 
-	// Start both, then poll: they simulate concurrently on the worker pool.
-	request("POST", "/api/sessions/"+pre+"/run", nil)
-	request("POST", "/api/sessions/"+od+"/run", nil)
-	fmt.Printf("bag of 100 %s jobs on 32x %s, two concurrent sessions:\n", app.Name, trace.HighCPU32)
-	reports := map[string]map[string]any{}
-	for len(reports) < 2 {
-		time.Sleep(5 * time.Millisecond)
-		for _, id := range []string{pre, od} {
-			if reports[id] != nil {
-				continue
-			}
-			st := request("GET", "/api/sessions/"+id, nil)
-			if st["state"] == "failed" {
-				log.Fatalf("session %s failed: %v", id, st["error"])
-			}
-			if st["state"] == "done" {
-				reports[id] = request("GET", "/api/sessions/"+id+"/report", nil)
-			} else if p, ok := st["progress"].(map[string]any); ok {
-				fmt.Printf("  %-18s t=%5.1fh  %3.0f/%3.0f jobs  $%.2f so far\n",
-					st["name"], p["virtual_hours"], p["jobs_done"], p["jobs_total"], p["cost_so_far_usd"])
+	// stream consumes a session's SSE feed, printing progress as it
+	// arrives, and returns the final state once the server closes the
+	// stream — no busy-polling anywhere. The first progress event (if any)
+	// is signalled on started, so callers can synchronize with the run.
+	stream := func(id string, started chan<- struct{}, done chan<- string) {
+		resp, err := http.Get(srv.URL + "/api/sessions/" + id + "/events")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		event, state := "", ""
+		printed := 0
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				var payload map[string]any
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &payload); err != nil {
+					log.Fatal(err)
+				}
+				switch event {
+				case "progress":
+					if printed == 0 && started != nil {
+						close(started)
+						started = nil
+					}
+					if printed%8 == 0 { // don't flood the terminal
+						fmt.Printf("  %-18s t=%5.1fh  %3.0f/%3.0f jobs  $%.2f so far\n",
+							id, payload["virtual_hours"], payload["jobs_done"],
+							payload["jobs_total"], payload["cost_so_far_usd"])
+					}
+					printed++
+				case "state":
+					state, _ = payload["state"].(string)
+				}
 			}
 		}
+		done <- state
 	}
 
-	p, o := reports[pre], reports[od]
+	// Start both, then watch both event streams concurrently.
+	request("POST", "/api/sessions/"+pre+"/run", nil)
+	request("POST", "/api/sessions/"+od+"/run", nil)
+	fmt.Printf("bag of 100 %s jobs on 32x %s, two concurrent sessions (SSE progress):\n",
+		app.Name, trace.HighCPU32)
+	preDone, odDone := make(chan string, 1), make(chan string, 1)
+	go stream(pre, nil, preDone)
+	go stream(od, nil, odDone)
+	if st := <-preDone; st != "done" {
+		log.Fatalf("session %s ended %s", pre, st)
+	}
+	if st := <-odDone; st != "done" {
+		log.Fatalf("session %s ended %s", od, st)
+	}
+
+	p := request("GET", "/api/sessions/"+pre+"/report", nil)
+	o := request("GET", "/api/sessions/"+od+"/report", nil)
 	fmt.Printf("\n  preemptible: $%.4f/job, %v preemptions, makespan %.2fh (+%.1f%%)\n",
 		p["cost_per_job"], p["preemptions"], p["makespan_hours"], p["increase_pct"])
 	fmt.Printf("  on-demand:   $%.4f/job, %v preemptions, makespan %.2fh\n",
 		o["cost_per_job"], o["preemptions"], o["makespan_hours"])
 	ratio := o["cost_per_job"].(float64) / p["cost_per_job"].(float64)
 	fmt.Printf("\n  our service is %.1fx cheaper (paper: ~5x)\n", ratio)
+
+	// Cancellation: start a big session, wait for its first progress event,
+	// then DELETE it mid-run. The delete cancels the simulation within one
+	// progress interval and removes the session.
+	doomed := mkSession("doomed", "reuse")
+	request("POST", "/api/sessions/"+doomed+"/bags",
+		map[string]any{"app": "shapes", "jobs": 20000, "jitter": 0.03, "seed": 2, "at": 1})
+	request("POST", "/api/sessions/"+doomed+"/run", nil)
+	doomedStarted, doomedDone := make(chan struct{}), make(chan string, 1)
+	go stream(doomed, doomedStarted, doomedDone)
+	<-doomedStarted // the run is live; now interrupt it
+	request("DELETE", "/api/sessions/"+doomed, nil)
+	fmt.Printf("\ncancelled session %s mid-run via DELETE (final state: %s)\n",
+		doomed, <-doomedDone)
 
 	// The same comparison as one sweep over a scenario grid.
 	sweep := request("POST", "/api/sweep", map[string]any{
@@ -129,6 +182,10 @@ func main() {
 	cells := sweep["cells"].([]any)
 	for _, c := range cells {
 		cell := c.(map[string]any)
+		if cell["error"] != nil {
+			fmt.Printf("  %-14s %-10s error: %v\n", cell["vm_type"], cell["policy"], cell["error"])
+			continue
+		}
 		rep := cell["report"].(map[string]any)
 		fmt.Printf("  %-14s %-10s $%.4f/job  makespan %5.2fh  %v preemptions\n",
 			cell["vm_type"], cell["policy"],

@@ -5,6 +5,7 @@ package repro
 // rather than a single package.
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -98,7 +99,7 @@ func TestReusePolicyBeatsNaiveServiceOnFailures(t *testing.T) {
 		if err := svc.SubmitBag(bag); err != nil {
 			t.Fatal(err)
 		}
-		rep, err := svc.Run()
+		rep, err := svc.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -156,7 +157,7 @@ func TestCheckpointedServiceMakespanBound(t *testing.T) {
 	if err := svc.SubmitBag(bag); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := svc.Run()
+	rep, err := svc.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package batch
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -62,7 +63,7 @@ func TestEstimatePredictsActualRun(t *testing.T) {
 	if err := svc.SubmitBag(bag); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := svc.Run()
+	rep, err := svc.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package batch
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -56,7 +57,7 @@ func TestServiceWithModelRegistry(t *testing.T) {
 	if err := svc.SubmitBag(workload.NewBag(workload.Shapes, 30, 0.02, 3)); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := svc.Run()
+	rep, err := svc.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,11 @@
 package batch
 
 // Progress is a point-in-time snapshot of a running service: the virtual
-// clock, job completion counts, and cost accrued so far. Snapshots are
-// plain values — safe to hand across goroutines — and are delivered through
-// Service.OnProgress so a session manager can report live status without
-// touching the (single-goroutine) simulation state.
+// clock, job completion counts, cost accrued so far, and per-job-class
+// summaries. Snapshots are plain values — safe to hand across goroutines —
+// and are delivered through Service.OnSnapshot so a session manager can
+// report live status without touching the (single-goroutine) simulation
+// state.
 type Progress struct {
 	// VirtualHours is the engine's current virtual time.
 	VirtualHours float64 `json:"virtual_hours"`
@@ -20,11 +21,60 @@ type Progress struct {
 	ActiveGangs int `json:"active_gangs"`
 	// EngineSteps is the number of events processed by the engine.
 	EngineSteps int64 `json:"engine_steps"`
+	// Classes summarizes the jobs per application class (in first-submission
+	// order), so clients can watch heterogeneous bags drain without asking
+	// for the full per-job listing.
+	Classes []ClassProgress `json:"classes,omitempty"`
 }
 
-// Progress returns the current snapshot. It must be called from the
-// goroutine driving the service (Run calls it on behalf of OnProgress).
+// ClassProgress aggregates one application class's jobs inside a Progress
+// snapshot.
+type ClassProgress struct {
+	App       string `json:"app"`
+	JobsTotal int    `json:"jobs_total"`
+	JobsDone  int    `json:"jobs_done"`
+	Attempts  int    `json:"attempts"`
+	Failures  int    `json:"failures"`
+	// RemainingHours is the work (not wall time) still to do across the
+	// class's unfinished jobs, after checkpoint recovery.
+	RemainingHours float64 `json:"remaining_hours"`
+}
+
+// VMInfo describes one live VM in a snapshot. It doubles as the HTTP wire
+// form of the sessions' VM listing.
+type VMInfo struct {
+	ID          string  `json:"id"`
+	Type        string  `json:"type"`
+	Zone        string  `json:"zone"`
+	Preemptible bool    `json:"preemptible"`
+	AgeHours    float64 `json:"age_hours"`
+}
+
+// Snapshot is the full mid-run observation the service publishes through
+// OnSnapshot: the compact Progress plus the per-job statuses and live VM
+// listing at the same instant. Everything in it is deep-copied value data,
+// so observers on other goroutines can hold it indefinitely.
+type Snapshot struct {
+	Progress Progress    `json:"progress"`
+	Jobs     []JobStatus `json:"jobs"`
+	VMs      []VMInfo    `json:"vms"`
+}
+
+// Progress returns the current compact snapshot. It must be called from the
+// goroutine driving the service (Run calls it on behalf of OnSnapshot).
+// Per-class summaries are maintained incrementally as jobs are submitted,
+// complete, and fail, so this is O(classes), not O(jobs) — cheap enough for
+// every progress interval of a large session.
 func (s *Service) Progress() Progress {
+	// Value copy: snapshots are handed across goroutines. The incremental
+	// remaining-hours accounting can drift a few ULPs below zero on a
+	// fully-drained class; clamp so the wire never reports negative work.
+	classes := append([]ClassProgress(nil), s.classes...)
+	for i := range classes {
+		if classes[i].RemainingHours < 0 {
+			classes[i].RemainingHours = 0
+		}
+	}
 	return Progress{
 		VirtualHours: s.Engine.Now(),
 		JobsDone:     len(s.jobs) - s.remaining,
@@ -33,5 +83,34 @@ func (s *Service) Progress() Progress {
 		Preemptions:  s.Provider.Preemptions(),
 		ActiveGangs:  len(s.gangs),
 		EngineSteps:  s.Engine.Steps(),
+		Classes:      classes,
+	}
+}
+
+// VMInfos lists the live VMs in node-launch order (the provider's running
+// set is already deterministic). It must be called from the goroutine
+// driving the service.
+func (s *Service) VMInfos() []VMInfo {
+	out := []VMInfo{}
+	now := s.Engine.Now()
+	for _, vm := range s.Provider.Running() {
+		out = append(out, VMInfo{
+			ID:          vm.ID,
+			Type:        string(vm.Type),
+			Zone:        string(vm.Zone),
+			Preemptible: vm.Preemptible,
+			AgeHours:    vm.Age(now),
+		})
+	}
+	return out
+}
+
+// Snapshot returns the full observation (progress + jobs + VMs). It must be
+// called from the goroutine driving the service.
+func (s *Service) Snapshot() Snapshot {
+	return Snapshot{
+		Progress: s.Progress(),
+		Jobs:     s.JobStatuses(),
+		VMs:      s.VMInfos(),
 	}
 }

@@ -16,6 +16,7 @@
 package batch
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -90,6 +91,8 @@ type jobState struct {
 	warningWork float64
 	// arrival is the virtual time the job becomes available.
 	arrival float64
+	// class indexes the job's application class in Service.classes.
+	class int
 }
 
 // Service is the batch computing controller. A Service owns its engine,
@@ -103,12 +106,21 @@ type Service struct {
 	Provider *cloud.Provider
 	Manager  *cluster.Manager
 
-	// OnProgress, when set before Run, receives a progress snapshot every
-	// ProgressEvery engine steps and a final one after the run drains. It
-	// is invoked from the goroutine driving Run; the callback is the only
-	// sanctioned way to observe a Service mid-run from outside.
-	OnProgress func(Progress)
-	// ProgressEvery is the snapshot cadence in engine steps (default 4096).
+	// OnSnapshot, when set before Run, receives an observation once at run
+	// start, every ProgressEvery engine steps, and a final time after the
+	// run drains. It is invoked from the goroutine driving Run; the
+	// callback is the only sanctioned way to observe a Service mid-run from
+	// outside.
+	OnSnapshot func(Snapshot)
+	// SnapshotDetail, optional, is consulted before each periodic snapshot:
+	// when it returns false the snapshot carries only Progress (Jobs and
+	// VMs nil), skipping the O(jobs) status materialization for intervals
+	// nobody is inspecting. The initial and final snapshots always carry
+	// full detail.
+	SnapshotDetail func() bool
+	// ProgressEvery is the snapshot (and cancellation-check) cadence in
+	// engine steps (default 4096). A cancelled context is noticed within one
+	// interval.
 	ProgressEvery int
 
 	cfg     Config
@@ -118,12 +130,20 @@ type Service struct {
 	jobs      map[string]*jobState
 	jobOrder  []string
 	remaining int // jobs not yet done
+	// classes aggregates per-application-class progress incrementally (in
+	// first-submission order), so snapshots never need an O(jobs) rescan.
+	classes    []ClassProgress
+	classIndex map[string]int
 	// running tracks which job occupies each gang, for warning handling.
 	running map[cluster.NodeID]*jobState
 
 	startedAt   float64
 	finishedAt  float64
 	gangCounter int
+	// stopping marks a cancelled run's teardown: job failures induced by
+	// retiring busy gangs are abandoned instead of re-enqueued, and no
+	// replacement capacity is launched.
+	stopping bool
 }
 
 // New creates a service over a fresh engine and provider. Call SubmitBag
@@ -162,13 +182,14 @@ func New(cfg Config) (*Service, error) {
 	provider := cloud.NewProvider(engine, cfg.Seed, trace.Busy)
 	mgr := cluster.New(engine)
 	s := &Service{
-		Engine:   engine,
-		Provider: provider,
-		Manager:  mgr,
-		cfg:      cfg,
-		gangs:    make(map[cluster.NodeID]*gang),
-		jobs:     make(map[string]*jobState),
-		running:  make(map[cluster.NodeID]*jobState),
+		Engine:     engine,
+		Provider:   provider,
+		Manager:    mgr,
+		cfg:        cfg,
+		gangs:      make(map[cluster.NodeID]*gang),
+		jobs:       make(map[string]*jobState),
+		running:    make(map[cluster.NodeID]*jobState),
+		classIndex: make(map[string]int),
 	}
 	if cfg.UseReusePolicy {
 		mgr.PlaceFilter = s.placeFilter
@@ -253,22 +274,23 @@ func (s *Service) SubmitBag(bag workload.Bag) error {
 // SubmitBagAt registers a bag whose jobs arrive at the given virtual time
 // (hours after Run starts). Deferred bags model a service receiving work
 // over its lifetime — the situation where retaining stable VMs as hot
-// spares between bags pays off. Must be called before Run.
+// spares between bags pays off. Must be called before Run. The bag is
+// applied atomically: on error, no job was registered.
 func (s *Service) SubmitBagAt(bag workload.Bag, at float64) error {
-	if len(bag.Jobs) == 0 {
-		return fmt.Errorf("batch: empty bag")
-	}
-	if at < 0 {
-		return fmt.Errorf("batch: negative arrival time %v", at)
+	if err := s.ValidateBagAt(bag, at); err != nil {
+		return err
 	}
 	for _, spec := range bag.Jobs {
-		if _, dup := s.jobs[spec.ID]; dup {
-			return fmt.Errorf("batch: duplicate job %q", spec.ID)
-		}
-		if spec.Runtime <= 0 {
-			return fmt.Errorf("batch: job %q has non-positive runtime", spec.ID)
-		}
 		js := &jobState{spec: spec, remaining: spec.Runtime, arrival: at}
+		ci, ok := s.classIndex[spec.App]
+		if !ok {
+			ci = len(s.classes)
+			s.classIndex[spec.App] = ci
+			s.classes = append(s.classes, ClassProgress{App: spec.App})
+		}
+		js.class = ci
+		s.classes[ci].JobsTotal++
+		s.classes[ci].RemainingHours += spec.Runtime
 		s.jobs[spec.ID] = js
 		s.jobOrder = append(s.jobOrder, spec.ID)
 		s.remaining++
@@ -276,11 +298,45 @@ func (s *Service) SubmitBagAt(bag workload.Bag, at float64) error {
 	return nil
 }
 
+// ValidateBagAt runs every check SubmitBagAt applies, without mutating any
+// state. Callers that must sequence a side effect (e.g. a durable log
+// write) between validation and application use it to guarantee the
+// application step cannot fail afterwards.
+func (s *Service) ValidateBagAt(bag workload.Bag, at float64) error {
+	if len(bag.Jobs) == 0 {
+		return fmt.Errorf("batch: empty bag")
+	}
+	if at < 0 {
+		return fmt.Errorf("batch: negative arrival time %v", at)
+	}
+	seen := make(map[string]bool, len(bag.Jobs))
+	for _, spec := range bag.Jobs {
+		if _, dup := s.jobs[spec.ID]; dup || seen[spec.ID] {
+			return fmt.Errorf("batch: duplicate job %q", spec.ID)
+		}
+		seen[spec.ID] = true
+		if spec.Runtime <= 0 {
+			return fmt.Errorf("batch: job %q has non-positive runtime", spec.ID)
+		}
+	}
+	return nil
+}
+
 // Run launches the cluster, executes all submitted jobs to completion, then
 // drains the cluster and returns the report. It must be called once.
-func (s *Service) Run() (Report, error) {
+//
+// The context is threaded into the engine's event loop (checked every
+// ProgressEvery events): when it is cancelled, Run terminates every live
+// gang — so accrued VM cost is final and deterministic for the instant of
+// cancellation — discards the partial report, and returns the context's
+// error wrapped with the virtual time reached. A cancelled service must not
+// be run again.
+func (s *Service) Run(ctx context.Context) (Report, error) {
 	if s.remaining == 0 {
 		return Report{}, fmt.Errorf("batch: no jobs submitted")
+	}
+	if err := ctx.Err(); err != nil {
+		return Report{}, fmt.Errorf("batch: run not started: %w", err)
 	}
 	s.startedAt = s.Engine.Now()
 	for i := 0; i < s.cfg.Gangs; i++ {
@@ -297,34 +353,57 @@ func (s *Service) Run() (Report, error) {
 			s.Engine.At(js.arrival, func() { s.enqueue(js) })
 		}
 	}
-	// Drive the simulation until every job completes, surfacing progress
-	// snapshots along the way.
-	every := s.ProgressEvery
-	if every <= 0 {
-		every = 4096
-	}
-	var steps int
-	for s.remaining > 0 {
-		if !s.Engine.Step() {
-			return Report{}, fmt.Errorf("batch: simulation stalled with %d jobs remaining", s.remaining)
-		}
-		steps++
-		if s.OnProgress != nil && steps%every == 0 {
-			s.OnProgress(s.Progress())
-		}
+	// Drive the simulation until every job completes, surfacing snapshots
+	// (and noticing cancellation) every ProgressEvery events.
+	s.publish(true)
+	err := s.Engine.DriveContext(ctx,
+		s.ProgressEvery,
+		func() bool { return s.remaining == 0 },
+		func() { s.publish(false) },
+	)
+	switch {
+	case err == sim.ErrStalled:
+		return Report{}, fmt.Errorf("batch: simulation stalled with %d jobs remaining", s.remaining)
+	case err != nil:
+		// Cancellation: retire every gang at the cancellation instant so the
+		// accrued cost is settled, then surface a final snapshot of the
+		// abandoned state. The partial report is deliberately discarded.
+		// stopping suppresses the usual failure-recovery reaction to busy
+		// gangs being torn down (re-enqueue + replacement launch), which
+		// would otherwise leave fresh gangs running after the drain.
+		s.stopping = true
+		s.drain()
+		s.publish(true)
+		return Report{}, fmt.Errorf("batch: run cancelled at t=%.3fh with %d of %d jobs done: %w",
+			s.Engine.Now(), len(s.jobs)-s.remaining, len(s.jobs), err)
 	}
 	s.finishedAt = s.Engine.Now()
 	s.drain()
-	if s.OnProgress != nil {
-		s.OnProgress(s.Progress())
-	}
+	s.publish(true)
 	return s.report(), nil
+}
+
+// publish delivers a snapshot to the OnSnapshot observer, if any. Periodic
+// publishes (full=false) defer to SnapshotDetail on whether to pay for the
+// per-job and VM listings.
+func (s *Service) publish(full bool) {
+	if s.OnSnapshot == nil {
+		return
+	}
+	if !full && s.SnapshotDetail != nil && !s.SnapshotDetail() {
+		s.OnSnapshot(Snapshot{Progress: s.Progress()})
+		return
+	}
+	s.OnSnapshot(s.Snapshot())
 }
 
 // ensureCapacity scales the cluster back toward its configured size when
 // work is outstanding — after an idle period the hot-spare TTL may have
 // retired every gang.
 func (s *Service) ensureCapacity() {
+	if s.stopping {
+		return
+	}
 	target := s.cfg.Gangs
 	if s.remaining < target {
 		target = s.remaining
@@ -352,6 +431,7 @@ func (s *Service) enqueue(js *jobState) {
 		wall = js.remaining + s.cfg.CheckpointDelta*float64(js.schedule.NumCheckpoints())
 	}
 	js.attempts++
+	s.classes[js.class].Attempts++
 	js.warningWork = 0
 	job := &cluster.Job{
 		ID:        fmt.Sprintf("%s#%d", js.spec.ID, js.attempts),
@@ -371,6 +451,9 @@ func (s *Service) enqueue(js *jobState) {
 }
 
 func (s *Service) onJobComplete(js *jobState) {
+	c := &s.classes[js.class]
+	c.JobsDone++
+	c.RemainingHours -= js.remaining
 	js.remaining = 0
 	js.done = true
 	js.doneAt = s.Engine.Now()
@@ -380,7 +463,15 @@ func (s *Service) onJobComplete(js *jobState) {
 // onJobFail handles a preemption-induced failure: recover checkpointed
 // progress and resubmit.
 func (s *Service) onJobFail(js *jobState, elapsedWall float64) {
+	if s.stopping {
+		// The failure is an artifact of the cancelled run's teardown, not
+		// of the simulated cloud: abandon the job without accounting or
+		// retry.
+		return
+	}
 	js.failures++
+	s.classes[js.class].Failures++
+	before := js.remaining
 	recovered := 0.0
 	if js.hasCkpt {
 		recovered = recoveredWork(js.schedule, s.cfg.CheckpointDelta, elapsedWall)
@@ -396,6 +487,7 @@ func (s *Service) onJobFail(js *jobState, elapsedWall float64) {
 			js.remaining = 0
 		}
 	}
+	s.classes[js.class].RemainingHours -= before - js.remaining
 	// Without any checkpoint all progress is lost; remaining unchanged.
 	s.enqueue(js)
 }

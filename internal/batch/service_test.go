@@ -1,6 +1,7 @@
 package batch
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -38,7 +39,7 @@ func TestRunCompletesAllJobs(t *testing.T) {
 	if err := svc.SubmitBag(bag); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := svc.Run()
+	rep, err := svc.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestRunDeterministic(t *testing.T) {
 		if err := svc.SubmitBag(workload.NewBag(workload.Shapes, 25, 0.02, 5)); err != nil {
 			t.Fatal(err)
 		}
-		rep, err := svc.Run()
+		rep, err := svc.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,7 +94,7 @@ func TestPreemptibleMuchCheaperThanOnDemand(t *testing.T) {
 		if err := svc.SubmitBag(workload.NewBag(workload.Nanoconfinement, 50, 0.02, 11)); err != nil {
 			t.Fatal(err)
 		}
-		rep, err := svc.Run()
+		rep, err := svc.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -133,7 +134,7 @@ func TestFailuresAreRetried(t *testing.T) {
 	if err := svc.SubmitBag(bag); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := svc.Run()
+	rep, err := svc.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestGangRunCostScalesWithSize(t *testing.T) {
 		if err := svc.SubmitBag(workload.NewBag(workload.Shapes, 20, 0, 9)); err != nil {
 			t.Fatal(err)
 		}
-		rep, err := svc.Run()
+		rep, err := svc.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -217,7 +218,7 @@ func TestCheckpointingReducesLostWork(t *testing.T) {
 		if err := svc.SubmitBag(bag); err != nil {
 			t.Fatal(err)
 		}
-		rep, err := svc.Run()
+		rep, err := svc.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -317,7 +318,7 @@ func TestDeferredBagArrival(t *testing.T) {
 	if err := svc.SubmitBagAt(second, gap); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := svc.Run()
+	rep, err := svc.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +352,7 @@ func TestRunWithoutJobs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.Run(); err == nil {
+	if _, err := svc.Run(context.Background()); err == nil {
 		t.Fatal("Run without jobs should error")
 	}
 }
@@ -365,7 +366,7 @@ func TestJobStatuses(t *testing.T) {
 	if err := svc.SubmitBag(bag); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.Run(); err != nil {
+	if _, err := svc.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	sts := svc.JobStatuses()
@@ -383,5 +384,62 @@ func TestReportString(t *testing.T) {
 	r := Report{JobsCompleted: 3, TotalCost: 1.5, Makespan: 2}
 	if r.String() == "" {
 		t.Fatal("empty report string")
+	}
+}
+
+// TestClassProgressIncrementalConsistency runs a two-class workload with
+// checkpointing (so failures and partial recovery exercise every counter
+// path) and checks the incrementally-maintained per-class summaries agree
+// with the per-job ground truth at the end.
+func TestClassProgressIncrementalConsistency(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CheckpointDelta = 0.05
+	cfg.CheckpointStep = 0.25
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SubmitBag(workload.NewBag(workload.Nanoconfinement, 25, 0.02, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SubmitBag(workload.NewBag(workload.Shapes, 15, 0.02, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p := svc.Progress()
+	if len(p.Classes) != 2 {
+		t.Fatalf("classes = %+v, want 2", p.Classes)
+	}
+	// Recompute ground truth from the job statuses.
+	truth := map[string]*ClassProgress{}
+	for _, js := range svc.JobStatuses() {
+		c := truth[js.App]
+		if c == nil {
+			c = &ClassProgress{App: js.App}
+			truth[js.App] = c
+		}
+		c.JobsTotal++
+		c.Attempts += js.Attempts
+		c.Failures += js.Failures
+		if js.Done {
+			c.JobsDone++
+		} else {
+			c.RemainingHours += js.Remaining
+		}
+	}
+	for _, got := range p.Classes {
+		want := truth[got.App]
+		if want == nil {
+			t.Fatalf("unexpected class %q", got.App)
+		}
+		if got.JobsTotal != want.JobsTotal || got.JobsDone != want.JobsDone ||
+			got.Attempts != want.Attempts || got.Failures != want.Failures {
+			t.Fatalf("class %s diverged: got %+v want %+v", got.App, got, *want)
+		}
+		if math.Abs(got.RemainingHours-want.RemainingHours) > 1e-6 {
+			t.Fatalf("class %s remaining %v, want %v", got.App, got.RemainingHours, want.RemainingHours)
+		}
 	}
 }

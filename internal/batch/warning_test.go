@@ -1,6 +1,7 @@
 package batch
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -98,7 +99,7 @@ func TestWarningCheckpointReducesMakespan(t *testing.T) {
 		if err := svc.SubmitBag(bag); err != nil {
 			t.Fatal(err)
 		}
-		rep, err := svc.Run()
+		rep, err := svc.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -129,7 +130,7 @@ func TestWarningCheckpointDeterministic(t *testing.T) {
 		if err := svc.SubmitBag(workload.NewBag(workload.Shapes, 20, 0.02, 5)); err != nil {
 			t.Fatal(err)
 		}
-		rep, err := svc.Run()
+		rep, err := svc.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

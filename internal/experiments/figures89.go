@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/batch"
@@ -152,7 +153,7 @@ func Fig09aCost(opts Options) (*Table, error) {
 		if err := svc.SubmitBag(workload.NewBag(app, 100, 0.03, opts.Seed+uint64(i)*7)); err != nil {
 			return fmt.Errorf("%s run for %s: %w", kind, app.Name, err)
 		}
-		rep, err := svc.Run()
+		rep, err := svc.Run(context.Background())
 		if err != nil {
 			return fmt.Errorf("%s run for %s: %w", kind, app.Name, err)
 		}
@@ -207,7 +208,7 @@ func Fig09bPreemptions(opts Options) (*Table, error) {
 		if err := svc.SubmitBag(workload.NewBag(app, 100, 0.03, uint64(r)+5)); err != nil {
 			return err
 		}
-		rep, err := svc.Run()
+		rep, err := svc.Run(context.Background())
 		if err != nil {
 			return fmt.Errorf("run %d: %w", r, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/batch"
@@ -61,7 +62,7 @@ func AblationHotSpare(opts Options) (*Table, error) {
 			if err := svc.SubmitBagAt(mkBag("b"), 4.5); err != nil {
 				return nil, err
 			}
-			rep, err := svc.Run()
+			rep, err := svc.Run(context.Background())
 			if err != nil {
 				return nil, err
 			}

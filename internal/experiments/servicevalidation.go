@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/batch"
@@ -81,7 +82,7 @@ func ServiceValidation(opts Options) (*Table, error) {
 		if err := svc.SubmitBag(bag); err != nil {
 			return err
 		}
-		rep, err := svc.Run()
+		rep, err := svc.Run(context.Background())
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"container/list"
 	"fmt"
 	"sync"
 
@@ -25,6 +26,19 @@ import (
 // internally) and deterministic — a planner's value table for j work steps
 // does not depend on how large the table has grown, so shared use cannot
 // perturb per-session results.
+//
+// Because sessions configs are user-supplied, each artifact kind is bounded
+// by an LRU (DefaultSharedCacheCapacity entries, configurable via
+// SetSharedCacheCapacity): an adversary cycling through distinct model
+// parameters evicts old entries instead of growing the maps monotonically.
+// Eviction never breaks running sessions — they hold direct pointers to
+// their artifacts; only future lookups re-pay the solve.
+
+// DefaultSharedCacheCapacity is the per-kind entry bound (schedulers and
+// planners each get this many slots). A planner's DP table for the studied
+// grids is a few MB; 64 of each comfortably covers every scenario sweep in
+// the paper while bounding adversarial configs.
+const DefaultSharedCacheCapacity = 64
 
 // schedulerKey identifies one reuse scheduler: model identity + criterion.
 type schedulerKey struct {
@@ -39,14 +53,18 @@ type plannerKey struct {
 	delta, step float64
 }
 
-// CacheStats counts hits and misses of the shared schedule cache, split by
-// artifact kind. Planner misses are the expensive ones (each triggers a DP
-// table build on first Plan).
+// CacheStats counts hits, misses, and LRU evictions of the shared schedule
+// cache, split by artifact kind. Planner misses are the expensive ones
+// (each triggers a DP table build on first Plan).
 type CacheStats struct {
-	SchedulerHits   uint64 `json:"scheduler_hits"`
-	SchedulerMisses uint64 `json:"scheduler_misses"`
-	PlannerHits     uint64 `json:"planner_hits"`
-	PlannerMisses   uint64 `json:"planner_misses"`
+	SchedulerHits      uint64 `json:"scheduler_hits"`
+	SchedulerMisses    uint64 `json:"scheduler_misses"`
+	SchedulerEvictions uint64 `json:"scheduler_evictions"`
+	PlannerHits        uint64 `json:"planner_hits"`
+	PlannerMisses      uint64 `json:"planner_misses"`
+	PlannerEvictions   uint64 `json:"planner_evictions"`
+	// Capacity is the per-kind LRU bound currently in force.
+	Capacity int `json:"capacity"`
 }
 
 // HitRate returns the overall fraction of lookups served from cache, or 0
@@ -60,22 +78,98 @@ func (c CacheStats) HitRate() float64 {
 	return float64(hits) / float64(total)
 }
 
+// lru is a tiny generic LRU: map for lookup, list for recency. Not safe for
+// concurrent use; the scheduleCache's mutex guards it.
+type lru[K comparable, V any] struct {
+	cap     int
+	entries map[K]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+func newLRU[K comparable, V any](capacity int) *lru[K, V] {
+	return &lru[K, V]{
+		cap:     capacity,
+		entries: make(map[K]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// get returns the value and marks it most recently used.
+func (l *lru[K, V]) get(key K) (V, bool) {
+	if el, ok := l.entries[key]; ok {
+		l.order.MoveToFront(el)
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// put inserts a value, evicting least recently used entries beyond
+// capacity. It returns the number of evictions.
+func (l *lru[K, V]) put(key K, val V) int {
+	if el, ok := l.entries[key]; ok {
+		el.Value.(*lruEntry[K, V]).val = val
+		l.order.MoveToFront(el)
+		return 0
+	}
+	l.entries[key] = l.order.PushFront(&lruEntry[K, V]{key: key, val: val})
+	return l.trim()
+}
+
+// trim evicts until the LRU fits its capacity, returning the eviction
+// count.
+func (l *lru[K, V]) trim() int {
+	evicted := 0
+	for l.cap > 0 && l.order.Len() > l.cap {
+		oldest := l.order.Back()
+		l.order.Remove(oldest)
+		delete(l.entries, oldest.Value.(*lruEntry[K, V]).key)
+		evicted++
+	}
+	return evicted
+}
+
+func (l *lru[K, V]) len() int { return l.order.Len() }
+
 type scheduleCache struct {
 	mu         sync.Mutex
-	schedulers map[schedulerKey]*ModelScheduler
-	planners   map[plannerKey]*CheckpointPlanner
+	capacity   int
+	schedulers *lru[schedulerKey, *ModelScheduler]
+	planners   *lru[plannerKey, *CheckpointPlanner]
 	stats      CacheStats
 }
 
-func newScheduleCache() *scheduleCache {
+func newScheduleCache(capacity int) *scheduleCache {
 	return &scheduleCache{
-		schedulers: make(map[schedulerKey]*ModelScheduler),
-		planners:   make(map[plannerKey]*CheckpointPlanner),
+		capacity:   capacity,
+		schedulers: newLRU[schedulerKey, *ModelScheduler](capacity),
+		planners:   newLRU[plannerKey, *CheckpointPlanner](capacity),
 	}
 }
 
 // shared is the process-wide cache instance.
-var shared = newScheduleCache()
+var shared = newScheduleCache(DefaultSharedCacheCapacity)
+
+// SetSharedCacheCapacity rebounds the per-kind LRU capacity (entries are
+// retained, trimming the least recently used beyond the new bound). A
+// capacity <= 0 resets to the default.
+func SetSharedCacheCapacity(capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultSharedCacheCapacity
+	}
+	shared.mu.Lock()
+	defer shared.mu.Unlock()
+	shared.capacity = capacity
+	shared.schedulers.cap = capacity
+	shared.planners.cap = capacity
+	shared.stats.SchedulerEvictions += uint64(shared.schedulers.trim())
+	shared.stats.PlannerEvictions += uint64(shared.planners.trim())
+}
 
 // SharedScheduler returns the process-wide reuse scheduler for the model's
 // parameters and the given criterion, creating it on first use. The
@@ -88,13 +182,13 @@ func SharedScheduler(m *core.Model, crit Criterion) *ModelScheduler {
 	key := schedulerKey{bt: m.Bathtub(), crit: crit}
 	shared.mu.Lock()
 	defer shared.mu.Unlock()
-	if sc, ok := shared.schedulers[key]; ok {
+	if sc, ok := shared.schedulers.get(key); ok {
 		shared.stats.SchedulerHits++
 		return sc
 	}
 	shared.stats.SchedulerMisses++
 	sc := &ModelScheduler{Model: m, Criterion: crit}
-	shared.schedulers[key] = sc
+	shared.stats.SchedulerEvictions += uint64(shared.schedulers.put(key, sc))
 	return sc
 }
 
@@ -113,30 +207,34 @@ func SharedPlanner(m *core.Model, delta, step float64) *CheckpointPlanner {
 	key := plannerKey{bt: m.Bathtub(), delta: delta, step: step}
 	shared.mu.Lock()
 	defer shared.mu.Unlock()
-	if p, ok := shared.planners[key]; ok {
+	if p, ok := shared.planners.get(key); ok {
 		shared.stats.PlannerHits++
 		return p
 	}
 	shared.stats.PlannerMisses++
 	p := NewCheckpointPlanner(m, delta, step)
-	shared.planners[key] = p
+	shared.stats.PlannerEvictions += uint64(shared.planners.put(key, p))
 	return p
 }
 
-// SharedCacheStats returns a snapshot of the cache's hit/miss counters.
+// SharedCacheStats returns a snapshot of the cache's hit/miss/eviction
+// counters and the capacity in force.
 func SharedCacheStats() CacheStats {
 	shared.mu.Lock()
 	defer shared.mu.Unlock()
-	return shared.stats
+	st := shared.stats
+	st.Capacity = shared.capacity
+	return st
 }
 
-// ResetSharedCache empties the cache and zeroes its counters. It exists for
-// tests and benchmarks that measure cold-start behavior; services never
-// need it (entries are small compared to the solves they amortize).
+// ResetSharedCache empties the cache and zeroes its counters, keeping the
+// configured capacity. It exists for tests and benchmarks that measure
+// cold-start behavior; services never need it (entries are bounded by the
+// LRU and small compared to the solves they amortize).
 func ResetSharedCache() {
 	shared.mu.Lock()
 	defer shared.mu.Unlock()
-	shared.schedulers = make(map[schedulerKey]*ModelScheduler)
-	shared.planners = make(map[plannerKey]*CheckpointPlanner)
+	shared.schedulers = newLRU[schedulerKey, *ModelScheduler](shared.capacity)
+	shared.planners = newLRU[plannerKey, *CheckpointPlanner](shared.capacity)
 	shared.stats = CacheStats{}
 }

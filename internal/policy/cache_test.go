@@ -90,3 +90,66 @@ func TestSharedCacheConcurrentAccess(t *testing.T) {
 		}
 	}
 }
+
+// TestSharedCacheLRUEviction fills the cache beyond a small capacity and
+// checks that the least recently used entries fall out, the eviction
+// counters advance, and recently touched entries survive.
+func TestSharedCacheLRUEviction(t *testing.T) {
+	SetSharedCacheCapacity(2)
+	ResetSharedCache()
+	defer func() {
+		SetSharedCacheCapacity(0) // back to the default
+		ResetSharedCache()
+	}()
+
+	model := func(a float64) *core.Model {
+		return core.New(dist.NewBathtub(a, 1.0, 0.8, 24, 24))
+	}
+	s1 := SharedScheduler(model(0.41), MinimizeFailure)
+	SharedScheduler(model(0.42), MinimizeFailure)
+	// Touch s1 so 0.42 is now the least recently used.
+	if SharedScheduler(model(0.41), MinimizeFailure) != s1 {
+		t.Fatal("lookup within capacity missed")
+	}
+	// Inserting a third evicts 0.42, not the recently used 0.41.
+	SharedScheduler(model(0.43), MinimizeFailure)
+	st := SharedCacheStats()
+	if st.SchedulerEvictions != 1 {
+		t.Fatalf("evictions = %d, want 1 (stats %+v)", st.SchedulerEvictions, st)
+	}
+	if st.Capacity != 2 {
+		t.Fatalf("capacity = %d, want 2", st.Capacity)
+	}
+	if SharedScheduler(model(0.41), MinimizeFailure) != s1 {
+		t.Fatal("recently used entry was evicted")
+	}
+	// 0.42 was evicted: looking it up again is a miss.
+	misses := SharedCacheStats().SchedulerMisses
+	SharedScheduler(model(0.42), MinimizeFailure)
+	if got := SharedCacheStats().SchedulerMisses; got != misses+1 {
+		t.Fatalf("re-lookup of evicted entry: misses %d -> %d, want +1", misses, got)
+	}
+}
+
+// TestSharedCacheCapacityShrinkTrims lowers the capacity below the live
+// entry count and checks the cache trims immediately.
+func TestSharedCacheCapacityShrinkTrims(t *testing.T) {
+	SetSharedCacheCapacity(8)
+	ResetSharedCache()
+	defer func() {
+		SetSharedCacheCapacity(0)
+		ResetSharedCache()
+	}()
+
+	for i := 0; i < 5; i++ {
+		SharedScheduler(core.New(dist.NewBathtub(0.40+float64(i)/100, 1.0, 0.8, 24, 24)), MinimizeFailure)
+	}
+	SetSharedCacheCapacity(2)
+	st := SharedCacheStats()
+	if st.SchedulerEvictions != 3 {
+		t.Fatalf("shrink evicted %d, want 3 (stats %+v)", st.SchedulerEvictions, st)
+	}
+	if shared.schedulers.len() != 2 {
+		t.Fatalf("cache holds %d entries after shrink to 2", shared.schedulers.len())
+	}
+}

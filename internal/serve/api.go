@@ -36,6 +36,8 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("POST /api/sessions/{id}/bags", a.handleBags)
 	mux.HandleFunc("POST /api/sessions/{id}/estimate", a.handleEstimate)
 	mux.HandleFunc("POST /api/sessions/{id}/run", a.handleRun)
+	mux.HandleFunc("POST /api/sessions/{id}/cancel", a.handleCancel)
+	mux.HandleFunc("GET /api/sessions/{id}/events", a.handleEvents)
 	mux.HandleFunc("GET /api/sessions/{id}/report", a.handleReport)
 	mux.HandleFunc("GET /api/sessions/{id}/jobs", a.handleJobs)
 	mux.HandleFunc("GET /api/sessions/{id}/vms", a.handleVMs)
@@ -93,6 +95,10 @@ type errorRewriter struct {
 	rewrote     bool
 	wroteHeader bool
 }
+
+// Unwrap exposes the underlying writer so http.NewResponseController can
+// reach Flush (needed by the SSE endpoint) through the wrapper.
+func (w *errorRewriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 func (w *errorRewriter) WriteHeader(code int) {
 	w.wroteHeader = true
@@ -283,8 +289,12 @@ func (a *API) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	payload := map[string]any{
 		"sessions":       a.mgr.Stats().Sessions,
 		"schedule_cache": policy.SharedCacheStats(),
-	})
+	}
+	if st := a.mgr.StoreStats(); st != nil {
+		payload["store"] = st
+	}
+	writeJSON(w, http.StatusOK, payload)
 }

@@ -270,6 +270,21 @@ func TestStrictRequestHandling(t *testing.T) {
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("bagless run: %d", rec.Code)
 	}
+
+	// Out-of-range jitter is a 400, not a handler panic (workload.NewBag
+	// panics on jitter outside [0,1)).
+	for _, jitter := range []float64{-0.1, 1.0, 2.5} {
+		rec, out = doJSON(t, h, "POST", "/api/sessions/"+id+"/bags",
+			map[string]any{"app": "shapes", "jobs": 3, "jitter": jitter})
+		if rec.Code != http.StatusBadRequest || out["error"] == nil {
+			t.Fatalf("jitter %v: %d %s", jitter, rec.Code, rec.Body)
+		}
+		rec, _ = doJSON(t, h, "POST", "/api/sessions/"+id+"/estimate",
+			map[string]any{"app": "shapes", "jobs": 3, "jitter": jitter})
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("estimate jitter %v: %d", jitter, rec.Code)
+		}
+	}
 }
 
 func TestStatsEndpoint(t *testing.T) {

@@ -2,9 +2,12 @@ package serve
 
 import (
 	"runtime"
+	"sync"
 	"testing"
 
+	"repro/internal/batch"
 	"repro/internal/policy"
+	"repro/internal/store"
 )
 
 // benchSessions measures end-to-end session throughput: each iteration
@@ -65,3 +68,108 @@ func BenchmarkServiceSessionsP1(b *testing.B) { benchSessions(b, 1) }
 // machines throughput scales with core count while every session's report
 // stays byte-identical to its serial run.
 func BenchmarkServiceSessionsPMax(b *testing.B) { benchSessions(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkStoreRestore measures crash-recovery speed: a data directory is
+// seeded once with completed sessions, then each iteration boots a fresh
+// manager from it (replay + service rebuild + bag resubmission + snapshot
+// compaction). The custom metric is sessions restored per second — the
+// boot-time cost of durability.
+func BenchmarkStoreRestore(b *testing.B) {
+	const sessions = 16
+	dir := b.TempDir()
+	seed, err := store.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed.SetSync(false)
+	m := NewManager(runtime.GOMAXPROCS(0))
+	if err := m.Restore(seed); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < sessions; i++ {
+		s, err := m.Create("", testConfig(uint64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := s.SubmitBag(BagRequest{App: "shapes", Jobs: 10, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Run(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m.Wait()
+	if err := m.CompactStore(); err != nil {
+		b.Fatal(err)
+	}
+	seed.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := store.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mgr := NewManager(runtime.GOMAXPROCS(0))
+		if err := mgr.Restore(st); err != nil {
+			b.Fatal(err)
+		}
+		if n := len(mgr.List()); n != sessions {
+			b.Fatalf("restored %d sessions, want %d", n, sessions)
+		}
+		st.Close()
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N*sessions)/sec, "sessions_restored/sec")
+	}
+}
+
+// benchSSEFanout measures the progress broadcast hub: one publisher fanning
+// snapshots out to K live subscribers with latest-wins delivery. The custom
+// metric counts publish-side channel offers per second — under latest-wins
+// semantics an offer may replace an unconsumed snapshot rather than add a
+// delivery, so this is fan-out (publish) throughput, not per-subscriber
+// receive throughput.
+func benchSSEFanout(b *testing.B, subscribers int) {
+	mgr := NewManager(1)
+	s, err := mgr.Create("fanout", testConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < subscribers; i++ {
+		ch, unsubscribe := s.Subscribe()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer unsubscribe()
+			for {
+				select {
+				case <-ch:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	snap := batch.Snapshot{Progress: batch.Progress{JobsTotal: 1000, JobsDone: 1}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap.Progress.EngineSteps = int64(i)
+		s.publishSnapshot(snap)
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N*subscribers)/sec, "offers/sec")
+	}
+}
+
+func BenchmarkSSEFanout1(b *testing.B)   { benchSSEFanout(b, 1) }
+func BenchmarkSSEFanout16(b *testing.B)  { benchSSEFanout(b, 16) }
+func BenchmarkSSEFanout256(b *testing.B) { benchSSEFanout(b, 256) }

@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// slowConfig publishes snapshots (and checks cancellation) every 256 engine
+// steps, so tests can observe and interrupt a session mid-run.
+func slowConfig(seed uint64) SessionConfig {
+	cfg := testConfig(seed)
+	cfg.ProgressEvery = 256
+	return cfg
+}
+
+// startSlowSession creates and starts a session with enough work that a
+// test can reliably interact with it mid-run.
+func startSlowSession(t *testing.T, m *Manager, jobs int) *Session {
+	t.Helper()
+	s, err := m.Create("slow", slowConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.SubmitBag(BagRequest{App: "shapes", Jobs: jobs, Jitter: 0.02, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// waitForProgress blocks until the session has published at least one
+// snapshot (the run loop emits the first one before its first event), using
+// a subscription so the caller reacts within microseconds of the publish —
+// fast enough to interrupt the simulation mid-run afterwards.
+func waitForProgress(t *testing.T, s *Session) {
+	t.Helper()
+	ch, unsubscribe := s.Subscribe()
+	defer unsubscribe()
+	select {
+	case <-ch:
+	case <-s.Done():
+		t.Fatalf("session %s finished before the test could interact with it", s.ID())
+	case <-time.After(30 * time.Second):
+		t.Fatalf("session %s never published progress", s.ID())
+	}
+}
+
+// TestCancelMidRun cancels a running session and checks the lifecycle
+// contract: cancelled state, discarded report, preserved snapshot, and a
+// freed worker slot. Run under -race this also exercises the
+// subscriber/cancel/run-goroutine interleavings.
+func TestCancelMidRun(t *testing.T) {
+	m := NewManager(1)
+	s := startSlowSession(t, m, 20000)
+	waitForProgress(t, s)
+
+	if err := m.Cancel(s.ID()); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Status()
+	if st.State != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", st.State)
+	}
+	if st.Error == "" || !strings.Contains(st.Error, "cancelled") {
+		t.Fatalf("cancellation diagnostic missing: %q", st.Error)
+	}
+	if st.Progress == nil {
+		t.Fatal("cancelled session lost its progress snapshot")
+	}
+	if st.Progress.JobsDone >= st.Progress.JobsTotal {
+		t.Fatalf("run was not interrupted: %d/%d jobs done",
+			st.Progress.JobsDone, st.Progress.JobsTotal)
+	}
+	// Cancellation drains the cluster without relaunching replacements: no
+	// gangs or VMs may survive, or cost would keep accruing conceptually.
+	if st.Progress.ActiveGangs != 0 {
+		t.Fatalf("cancelled session still has %d active gangs", st.Progress.ActiveGangs)
+	}
+	if vms, err := s.VMs(); err != nil || len(vms) != 0 {
+		t.Fatalf("cancelled session lists %d live VMs (err=%v)", len(vms), err)
+	}
+	// The partial report is discarded.
+	if _, err := s.Report(); err == nil {
+		t.Fatal("cancelled session served a report")
+	}
+	// Cancelling again conflicts.
+	if err := m.Cancel(s.ID()); err == nil {
+		t.Fatal("second cancel succeeded")
+	}
+	// The worker slot is free: a fresh session runs to completion on the
+	// same parallelism-1 pool.
+	s2, err := m.Create("", testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s2.SubmitBag(BagRequest{App: "shapes", Jobs: 5, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(s2); err != nil {
+		t.Fatal(err)
+	}
+	s2.Wait()
+	if _, err := s2.Report(); err != nil {
+		t.Fatalf("pool wedged after cancel: %v", err)
+	}
+}
+
+// TestDeleteCancelsRunningSession checks the DELETE semantics end to end:
+// deleting a running session cancels it, returns promptly, and removes it.
+func TestDeleteCancelsRunningSession(t *testing.T) {
+	m := NewManager(1)
+	s := startSlowSession(t, m, 20000)
+	waitForProgress(t, s)
+
+	start := time.Now()
+	if err := m.Delete(s.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("delete of a running session took %v", elapsed)
+	}
+	if _, err := m.Get(s.ID()); err == nil {
+		t.Fatal("session still present after delete")
+	}
+	if got := s.Status().State; got != StateCancelled {
+		t.Fatalf("deleted session ended as %s, want cancelled", got)
+	}
+	m.Wait()
+}
+
+// TestCancelWhileQueued cancels a session that is still waiting for a
+// worker slot: it must land in cancelled without ever simulating.
+func TestCancelWhileQueued(t *testing.T) {
+	m := NewManager(1)
+	running := startSlowSession(t, m, 20000)
+	waitForProgress(t, running)
+
+	queued, err := m.Create("queued", testConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := queued.SubmitBag(BagRequest{App: "shapes", Jobs: 5, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(queued); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Cancel(queued.ID()); err != nil {
+		t.Fatal(err)
+	}
+	st := queued.Status()
+	if st.State != StateCancelled {
+		t.Fatalf("queued session ended as %s", st.State)
+	}
+	if st.Progress != nil {
+		t.Fatal("queued session has progress despite never running")
+	}
+	if err := m.Cancel(running.ID()); err != nil {
+		t.Fatal(err)
+	}
+	m.Wait()
+}
+
+// TestDeleteCreatedSessionEndsObservers deletes a session that never ran:
+// its Done channel must close (ending event streams and Wait callers)
+// rather than leaving them hanging on an unregistered session.
+func TestDeleteCreatedSessionEndsObservers(t *testing.T) {
+	m := NewManager(1)
+	s, err := m.Create("", testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, unsubscribe := s.Subscribe()
+	defer unsubscribe()
+	if err := m.Delete(s.ID()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-s.Done():
+	default:
+		t.Fatal("Done still open after deleting a created session")
+	}
+	if got := s.Status().State; got != StateCancelled {
+		t.Fatalf("deleted created session ended as %s, want cancelled", got)
+	}
+}
+
+// TestJobsAndVMsServeMidRun is the mid-run introspection guarantee: while
+// the simulation runs, /jobs and /vms answer from the latest snapshot
+// instead of conflicting.
+func TestJobsAndVMsServeMidRun(t *testing.T) {
+	const jobs = 100000 // long enough that detail waits resolve mid-run
+	m := NewManager(1)
+	s := startSlowSession(t, m, jobs)
+	waitForProgress(t, s)
+
+	listed, err := s.Jobs()
+	if err != nil {
+		t.Fatalf("jobs mid-run: %v", err)
+	}
+	if len(listed) != jobs {
+		t.Fatalf("jobs mid-run = %d entries, want %d", len(listed), jobs)
+	}
+	vms, err := s.VMs()
+	if err != nil {
+		t.Fatalf("vms mid-run: %v", err)
+	}
+	// If the run is still going, the refreshed listing must show the live
+	// cluster; after completion an empty (drained) listing is correct.
+	if s.Status().State == StateRunning && len(vms) == 0 {
+		t.Fatal("no VMs listed mid-run")
+	}
+	if err := m.Cancel(s.ID()); err == nil {
+		m.Wait()
+	}
+}

@@ -75,6 +75,10 @@ type SessionConfig struct {
 	CheckpointStep  float64 `json:"checkpoint_step,omitempty"`
 	// WarningCheckpoint enables emergency checkpoints on preemption notice.
 	WarningCheckpoint bool `json:"warning_checkpoint,omitempty"`
+	// ProgressEvery is the snapshot/cancellation-check cadence in engine
+	// steps (default 4096). Smaller values tighten SSE latency and cancel
+	// responsiveness at some simulation-throughput cost.
+	ProgressEvery int `json:"progress_every,omitempty"`
 	// Seed drives all of the session's randomness.
 	Seed uint64 `json:"seed"`
 	// Model supplies bathtub parameters inline; Fit asks the service to fit
@@ -136,6 +140,9 @@ func (c SessionConfig) Validate() error {
 	}
 	if c.CheckpointStep < 0 {
 		return fmt.Errorf("checkpoint_step must be non-negative")
+	}
+	if c.ProgressEvery < 0 {
+		return fmt.Errorf("progress_every must be non-negative")
 	}
 	if c.CheckpointDelta > 0 {
 		// The DP planner rejects steps beyond the model deadline; surface

@@ -10,38 +10,62 @@
 // SessionConfig snapshot plus the batch.Service built from it. Sessions
 // move through the lifecycle
 //
-//	created -> running -> done | failed
+//	created ──run──> running ──┬──> done       (report available)
+//	                           ├──> failed     (error retained)
+//	                           └──> cancelled  (DELETE or POST .../cancel
+//	                                            mid-run; partial report
+//	                                            discarded deterministically)
 //
 // Bags are submitted while a session is created; POST .../run starts the
 // simulation asynchronously on a bounded worker pool and returns
-// immediately. While running, the session publishes progress snapshots
-// (virtual clock, jobs done, cost so far); once done, the report is
-// available. Sessions are fully isolated — each owns its engine, provider,
-// and cluster, and draws randomness only from its own seed — so a session's
-// report is byte-identical whether it runs alone or alongside any number of
-// concurrent sessions.
+// immediately. A context.Context is threaded from the manager through
+// batch.Service.Run into the engine's event loop, so cancelling a running
+// session (DELETE, or POST .../cancel) stops the simulation within one
+// progress interval and frees its worker slot. Sessions are fully isolated
+// — each owns its engine, provider, and cluster, and draws randomness only
+// from its own seed — so a session's report is byte-identical whether it
+// runs alone or alongside any number of concurrent sessions.
+//
+// While running, the session publishes full snapshots (progress with
+// per-job-class summaries, per-job statuses, live VMs) every ProgressEvery
+// engine steps; GET .../jobs and .../vms serve from the latest snapshot
+// instead of conflicting, and GET .../events streams the progress as
+// Server-Sent Events so clients do not busy-poll.
 //
 // The expensive derived artifacts (DP checkpoint planners, reuse
 // schedulers) are NOT per-session: they come from the process-wide schedule
-// cache in internal/policy, keyed by (model identity, delta, step), so the
-// O(T^3) checkpoint solve for a given model happens once per process.
-// Fitted model registries are likewise cached per (vm type, zone, samples,
-// seed).
+// cache in internal/policy, keyed by (model identity, delta, step) and
+// bounded by an LRU, so the O(T^3) checkpoint solve for a given model
+// happens once per process. Fitted model registries are likewise cached
+// per (vm type, zone, samples, seed).
+//
+// # Persistence
+//
+// Attaching a Store (internal/store: a JSON snapshot + append-only WAL) via
+// Manager.Restore makes the lifecycle durable: session creation, bag
+// submissions, state transitions, and completed reports are logged, and a
+// restarting process replays the log — created sessions come back runnable,
+// done sessions serve byte-identical reports and job listings, and sessions
+// that were mid-run when the process died recover as failed with a
+// diagnostic (their simulation state is gone by design; re-run them). The
+// store is compacted at boot so replay cost tracks live state, not history.
 //
 // # HTTP API
 //
 //	POST   /api/sessions                 create a session from a JSON config
 //	GET    /api/sessions                 list sessions
-//	GET    /api/sessions/{id}            status + live progress
-//	DELETE /api/sessions/{id}            remove a finished session
+//	GET    /api/sessions/{id}            status + latest progress
+//	DELETE /api/sessions/{id}            remove (cancels first if running)
 //	POST   /api/sessions/{id}/bags      submit a bag of jobs
 //	POST   /api/sessions/{id}/estimate  a-priori makespan/cost quote
 //	POST   /api/sessions/{id}/run       start asynchronously (202)
+//	POST   /api/sessions/{id}/cancel    abort a running session
+//	GET    /api/sessions/{id}/events    SSE stream of progress snapshots
 //	GET    /api/sessions/{id}/report    final report (404 until done)
-//	GET    /api/sessions/{id}/jobs      per-job status
-//	GET    /api/sessions/{id}/vms       live VMs (conflict while running)
+//	GET    /api/sessions/{id}/jobs      per-job status (live mid-run)
+//	GET    /api/sessions/{id}/vms       VM listing (live mid-run)
 //	POST   /api/sweep                   run a scenario grid, aggregate
-//	GET    /api/stats                   session counts + schedule-cache stats
+//	GET    /api/stats                   sessions + schedule-cache + store
 //
 // All POST bodies are decoded strictly (unknown fields rejected), wrong
 // methods yield a JSON 405, and every error payload carries a stable

@@ -1,0 +1,436 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+
+	"repro/internal/batch"
+	"repro/internal/store"
+)
+
+// Store is the durable event log the manager records session lifecycle
+// events to. *store.Log implements it; tests may substitute fakes. The
+// record schema (kinds and payloads) is owned by this package — the store
+// itself treats records as opaque.
+type Store interface {
+	// Records returns the events replayed when the store was opened.
+	Records() []store.Record
+	// Append durably writes one event.
+	Append(kind, id string, v any) (store.Record, error)
+	// Compact replaces everything with the given compacted event list.
+	Compact(records []store.Record) error
+	// Stats exposes the store's counters for /api/stats.
+	Stats() store.Stats
+}
+
+// Record kinds. A session's durable history is
+// create (bag)* [run [done|failed|cancelled]] [delete]; a manager-level
+// seq record preserves the id counter across compactions that erase
+// deleted sessions' history.
+const (
+	kindCreate    = "create"
+	kindBag       = "bag"
+	kindRun       = "run"
+	kindDone      = "done"
+	kindFailed    = "failed"
+	kindCancelled = "cancelled"
+	kindDelete    = "delete"
+	kindSeq       = "seq"
+)
+
+// seqRecord is the payload of a kindSeq record: the highest session id
+// number ever minted, so ids of deleted sessions are never reused.
+type seqRecord struct {
+	Max int `json:"max"`
+}
+
+// createRecord is the payload of a kindCreate record.
+type createRecord struct {
+	Name   string        `json:"name,omitempty"`
+	Config SessionConfig `json:"config"`
+}
+
+// terminalRecord is the payload of done/failed/cancelled records. Done
+// records carry the full report and final per-job statuses so a restart can
+// serve them without re-running anything; failure records carry the error.
+type terminalRecord struct {
+	Report   *batch.Report     `json:"report,omitempty"`
+	Jobs     []batch.JobStatus `json:"jobs,omitempty"`
+	Progress *batch.Progress   `json:"progress,omitempty"`
+	Error    string            `json:"error,omitempty"`
+	// JobsElided marks that the per-job listing exceeded
+	// maxPersistedJobStatuses and was deliberately dropped.
+	JobsElided bool `json:"jobs_elided,omitempty"`
+}
+
+// maxPersistedJobStatuses bounds the per-job listing embedded in a terminal
+// record (~65MB of JSON at ~130 B/status), keeping every WAL line far below
+// the store's 256MB scan bound — a single enormous session must never make
+// the data dir unbootable. Larger sessions persist with JobsElided set; the
+// report and progress summary are kept regardless.
+const maxPersistedJobStatuses = 500_000
+
+// boundJobs applies the maxPersistedJobStatuses cap.
+func boundJobs(jobs []batch.JobStatus) ([]batch.JobStatus, bool) {
+	if len(jobs) > maxPersistedJobStatuses {
+		return nil, true
+	}
+	return jobs, false
+}
+
+// persist appends one record for this session, mapping store failures to a
+// 500. It is a no-op when no store is attached.
+func (s *Session) persist(kind string, v any) error {
+	if s.store == nil {
+		return nil
+	}
+	if _, err := s.store.Append(kind, s.id, v); err != nil {
+		return errf(http.StatusInternalServerError, "persisting %s for session %s: %v", kind, s.id, err)
+	}
+	return nil
+}
+
+// persistTerminal records the session's terminal state. It runs on the run
+// goroutine after svc.Run returned, so reading the service is safe. Store
+// failures here have no client to report to; they are logged.
+func (s *Session) persistTerminal(svc *batch.Service) {
+	if s.store == nil {
+		return
+	}
+	s.mu.Lock()
+	state := s.state
+	report := s.report
+	var errMsg string
+	if s.runErr != nil {
+		errMsg = s.runErr.Error()
+	}
+	var prog *batch.Progress
+	if s.hasSnap {
+		p := s.snap.Progress
+		prog = &p
+	}
+	s.mu.Unlock()
+
+	var kind string
+	// Every terminal record carries the final per-job statuses, so a
+	// restart can answer /jobs for cancelled and failed sessions too (a
+	// cancelled run's partial attempts are real, observed state).
+	rec := terminalRecord{Progress: prog}
+	rec.Jobs, rec.JobsElided = boundJobs(svc.JobStatuses())
+	switch state {
+	case StateDone:
+		kind = kindDone
+		rec.Report = &report
+	case StateCancelled:
+		kind = kindCancelled
+		rec.Error = errMsg
+	default:
+		kind = kindFailed
+		rec.Error = errMsg
+	}
+	if err := s.persist(kind, rec); err != nil {
+		log.Printf("serve: session %s: %v", s.id, err)
+	}
+}
+
+// pendingSession accumulates one session's records during replay.
+type pendingSession struct {
+	name       string
+	cfg        SessionConfig
+	bags       []BagRequest
+	state      State
+	wasRunning bool
+	term       *terminalRecord
+}
+
+// Restore attaches a store to an empty manager and rebuilds every session
+// from its records: configs are re-built (models re-fitted or fetched from
+// cache — deterministic in the persisted recipe), bags re-submitted, and
+// lifecycle states re-applied. Sessions that were running when the process
+// died are recovered as failed with a diagnostic, since their in-flight
+// simulation state is gone by design (the paper's own lesson: recover from
+// the last durable checkpoint, discard the torn attempt). After replay the
+// store is compacted, so each boot replays the snapshot of live state plus
+// only the WAL records appended since the previous boot (online compaction
+// during a long-lived process is a ROADMAP item).
+func (m *Manager) Restore(st Store) error {
+	if st == nil {
+		return nil
+	}
+	m.mu.Lock()
+	if m.store != nil || len(m.sessions) > 0 {
+		m.mu.Unlock()
+		return fmt.Errorf("serve: Restore must be called once, on an empty manager")
+	}
+	m.store = st
+	m.mu.Unlock()
+
+	byID := make(map[string]*pendingSession)
+	var order []string
+	maxSeq := 0
+	for _, rec := range st.Records() {
+		if rec.Kind == kindSeq {
+			var sr seqRecord
+			if err := json.Unmarshal(rec.Data, &sr); err != nil {
+				return fmt.Errorf("serve: corrupt seq record: %w", err)
+			}
+			if sr.Max > maxSeq {
+				maxSeq = sr.Max
+			}
+			continue
+		}
+		p := byID[rec.ID]
+		if rec.Kind != kindCreate && p == nil {
+			// A record for an unknown session: the create was compacted away
+			// by a delete, or the log predates this schema. Skip rather than
+			// refusing to boot.
+			continue
+		}
+		switch rec.Kind {
+		case kindCreate:
+			var cr createRecord
+			if err := json.Unmarshal(rec.Data, &cr); err != nil {
+				return fmt.Errorf("serve: corrupt create record for %s: %w", rec.ID, err)
+			}
+			byID[rec.ID] = &pendingSession{name: cr.Name, cfg: cr.Config, state: StateCreated}
+			order = append(order, rec.ID)
+			// Track the id sequence across every session ever created —
+			// including ones later deleted — so new ids never collide.
+			var n int
+			if _, err := fmt.Sscanf(rec.ID, "s-%d", &n); err == nil && n > maxSeq {
+				maxSeq = n
+			}
+		case kindBag:
+			var bag BagRequest
+			if err := json.Unmarshal(rec.Data, &bag); err != nil {
+				return fmt.Errorf("serve: corrupt bag record for %s: %w", rec.ID, err)
+			}
+			p.bags = append(p.bags, bag)
+		case kindRun:
+			p.wasRunning = true
+		case kindDone, kindFailed, kindCancelled:
+			var term terminalRecord
+			if err := json.Unmarshal(rec.Data, &term); err != nil {
+				return fmt.Errorf("serve: corrupt %s record for %s: %w", rec.Kind, rec.ID, err)
+			}
+			p.term = &term
+			switch rec.Kind {
+			case kindDone:
+				p.state = StateDone
+			case kindFailed:
+				p.state = StateFailed
+			case kindCancelled:
+				p.state = StateCancelled
+			}
+		case kindDelete:
+			delete(byID, rec.ID)
+			for i, id := range order {
+				if id == rec.ID {
+					order = append(order[:i:i], order[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+
+	// Concurrent Creates append their records outside the id-minting lock,
+	// so WAL order can differ from id order; sort so the restored listing
+	// preserves creation order.
+	sort.Slice(order, func(i, j int) bool {
+		var a, b int
+		fmt.Sscanf(order[i], "s-%d", &a)
+		fmt.Sscanf(order[j], "s-%d", &b)
+		if a != b {
+			return a < b
+		}
+		return order[i] < order[j]
+	})
+	for _, id := range order {
+		s, err := m.rebuild(id, byID[id])
+		if err != nil {
+			return fmt.Errorf("serve: restoring session %s: %w", id, err)
+		}
+		m.mu.Lock()
+		m.sessions[id] = s
+		m.order = append(m.order, id)
+		m.mu.Unlock()
+	}
+	m.mu.Lock()
+	if maxSeq > m.seq {
+		m.seq = maxSeq
+	}
+	m.mu.Unlock()
+	return m.CompactStore()
+}
+
+// rebuild constructs one session from its replayed history.
+func (m *Manager) rebuild(id string, p *pendingSession) (*Session, error) {
+	cfg := p.cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	bcfg, err := cfg.build(m.models)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := batch.New(bcfg)
+	if err != nil {
+		return nil, err
+	}
+	svc.ProgressEvery = cfg.ProgressEvery
+	s := &Session{
+		id:         id,
+		name:       p.name,
+		cfg:        cfg,
+		state:      StateCreated,
+		svc:        svc,
+		done:       make(chan struct{}),
+		subs:       make(map[chan batch.Progress]struct{}),
+		detailWait: make(chan struct{}),
+		restored:   true,
+	}
+	// Replay bags with no store attached: the records already exist.
+	for _, bag := range p.bags {
+		if _, _, err := s.SubmitBag(bag); err != nil {
+			return nil, fmt.Errorf("replaying bag: %w", err)
+		}
+	}
+	switch {
+	case p.state == StateDone && p.term != nil && p.term.Report != nil:
+		s.state = StateDone
+		s.report = *p.term.Report
+	case p.state == StateFailed || p.state == StateCancelled:
+		s.state = p.state
+		msg := "unknown failure"
+		if p.term != nil && p.term.Error != "" {
+			msg = p.term.Error
+		}
+		s.runErr = fmt.Errorf("%s", msg)
+	case p.wasRunning:
+		// Running at crash time: the simulation state died with the process.
+		s.state = StateFailed
+		s.runErr = fmt.Errorf("process exited while session was running; partial run discarded on recovery")
+	}
+	if p.term != nil {
+		// All terminal records carry the final job statuses; crash-recovered
+		// sessions (no terminal record) have none, and their Jobs listing
+		// shows the replayed submissions as pending — the in-flight progress
+		// died with the process.
+		s.restoredJobs = p.term.Jobs
+		s.restoredJobsElided = p.term.JobsElided
+		if p.term.Progress != nil {
+			s.snap.Progress = *p.term.Progress
+			s.hasSnap = true
+		}
+	}
+	if s.state.terminal() {
+		close(s.done)
+	}
+	s.store = m.store
+	return s, nil
+}
+
+// CompactStore rewrites the store's snapshot from live state, pruning
+// deleted sessions and collapsing each survivor to its minimal history. It
+// must not race with running sessions; the manager calls it at boot, after
+// Restore's replay.
+func (m *Manager) CompactStore() error {
+	m.mu.Lock()
+	st := m.store
+	m.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	m.mu.Lock()
+	seq := m.seq
+	m.mu.Unlock()
+	var recs []store.Record
+	appendRec := func(kind, id string, v any) error {
+		var data json.RawMessage
+		if v != nil {
+			raw, err := json.Marshal(v)
+			if err != nil {
+				return err
+			}
+			data = raw
+		}
+		recs = append(recs, store.Record{Kind: kind, ID: id, Data: data})
+		return nil
+	}
+	// The id counter survives compaction even when the deleted sessions
+	// that advanced it do not, so their ids are never minted again.
+	if err := appendRec(kindSeq, "", seqRecord{Max: seq}); err != nil {
+		return err
+	}
+	for _, s := range m.List() {
+		s.mu.Lock()
+		if err := appendRec(kindCreate, s.id, createRecord{Name: s.name, Config: s.cfg}); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		for _, bag := range s.bags {
+			if err := appendRec(kindBag, s.id, bag); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+		}
+		state := s.state
+		if state != StateCreated {
+			if err := appendRec(kindRun, s.id, nil); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+		}
+		if state.terminal() {
+			rec := terminalRecord{}
+			if s.hasSnap {
+				p := s.snap.Progress
+				rec.Progress = &p
+			}
+			// Preserve the job statuses every terminal record carries. For
+			// restored sessions the rebuilt service never ran, so the log's
+			// listing (possibly nil for crash recoveries) is the truth.
+			if s.restored {
+				rec.Jobs, rec.JobsElided = s.restoredJobs, s.restoredJobsElided
+			} else {
+				rec.Jobs, rec.JobsElided = boundJobs(s.svc.JobStatuses())
+			}
+			kind := kindFailed
+			switch state {
+			case StateDone:
+				kind = kindDone
+				report := s.report
+				rec.Report = &report
+			case StateCancelled:
+				kind = kindCancelled
+				rec.Error = s.runErr.Error()
+			default:
+				if s.runErr != nil {
+					rec.Error = s.runErr.Error()
+				}
+			}
+			if err := appendRec(kind, s.id, rec); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+		}
+		s.mu.Unlock()
+	}
+	return st.Compact(recs)
+}
+
+// StoreStats returns the attached store's counters, or nil when the
+// manager is running without persistence.
+func (m *Manager) StoreStats() *store.Stats {
+	m.mu.Lock()
+	st := m.store
+	m.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	stats := st.Stats()
+	return &stats
+}

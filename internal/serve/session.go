@@ -1,10 +1,14 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/batch"
 	"repro/internal/workload"
@@ -13,13 +17,19 @@ import (
 // State is a session's lifecycle state.
 type State string
 
-// Sessions move created -> running -> done | failed.
+// Sessions move created -> running -> done | failed | cancelled.
 const (
-	StateCreated State = "created"
-	StateRunning State = "running"
-	StateDone    State = "done"
-	StateFailed  State = "failed"
+	StateCreated   State = "created"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
 )
+
+// terminal reports whether a state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
 
 // apiError is an error with an HTTP status code attached, so the session
 // and manager layers can state intent ("conflict", "not found") without
@@ -58,7 +68,7 @@ type BagRequest struct {
 // Session is one named simulation with its own engine, provider, and
 // cluster. All methods are safe for concurrent use; while the simulation
 // runs, only the run goroutine touches the underlying batch.Service, and
-// observers read the published progress snapshot instead.
+// observers read the published snapshot instead.
 type Session struct {
 	id   string
 	name string
@@ -68,10 +78,33 @@ type Session struct {
 	state     State
 	svc       *batch.Service
 	submitted int
-	progress  batch.Progress
+	snap      batch.Snapshot
+	hasSnap   bool
 	report    batch.Report
 	runErr    error
+	cancel    context.CancelFunc
 	done      chan struct{}
+	subs      map[chan batch.Progress]struct{}
+	store     Store
+	// bags retains the submissions for store compaction.
+	bags []BagRequest
+	// wantDetail records that a /jobs or /vms request arrived since the
+	// last periodic snapshot, so the run loop pays for the per-job and VM
+	// listings only while someone is actually looking; detailWait is
+	// closed (and replaced) whenever a detailed snapshot lands, letting
+	// those requests block until the refresh instead of serving data from
+	// run start.
+	wantDetail atomic.Bool
+	detailWait chan struct{}
+	// restored marks a session rebuilt from the store after a restart; its
+	// terminal job statuses come from the log, not the (never-run) service.
+	// restoredJobsElided marks a listing too large to have been persisted.
+	restored           bool
+	restoredJobs       []batch.JobStatus
+	restoredJobsElided bool
+	// deleted marks a session already claimed by a Delete, so a concurrent
+	// second Delete reports not-found instead of double-logging.
+	deleted bool
 }
 
 // SessionStatus is the wire form of a session for list/get responses.
@@ -83,6 +116,8 @@ type SessionStatus struct {
 	Config        SessionConfig   `json:"config"`
 	Progress      *batch.Progress `json:"progress,omitempty"`
 	Error         string          `json:"error,omitempty"`
+	// Restored marks sessions recovered from the store at boot.
+	Restored bool `json:"restored,omitempty"`
 }
 
 // ID returns the session's immutable identifier.
@@ -98,9 +133,10 @@ func (s *Session) Status() SessionStatus {
 		State:         s.state,
 		JobsSubmitted: s.submitted,
 		Config:        s.cfg,
+		Restored:      s.restored,
 	}
-	if s.state != StateCreated {
-		p := s.progress
+	if s.state != StateCreated && s.hasSnap {
+		p := s.snap.Progress
 		st.Progress = &p
 	}
 	if s.runErr != nil {
@@ -109,17 +145,30 @@ func (s *Session) Status() SessionStatus {
 	return st
 }
 
-// SubmitBag adds a bag of jobs; only valid before the session runs.
-func (s *Session) SubmitBag(req BagRequest) (int, float64, error) {
+// validateBagRequest rejects malformed bag parameters before they reach
+// workload.NewBag (which panics on out-of-range jitter).
+func validateBagRequest(req BagRequest) (workload.App, error) {
 	app, err := workload.ByName(req.App)
 	if err != nil {
-		return 0, 0, err
+		return workload.App{}, err
 	}
 	if req.Jobs <= 0 {
-		return 0, 0, fmt.Errorf("jobs must be positive")
+		return workload.App{}, fmt.Errorf("jobs must be positive")
+	}
+	if req.Jitter < 0 || req.Jitter >= 1 {
+		return workload.App{}, fmt.Errorf("jitter must be in [0, 1) (got %v)", req.Jitter)
 	}
 	if req.At < 0 {
-		return 0, 0, fmt.Errorf("at must be non-negative")
+		return workload.App{}, fmt.Errorf("at must be non-negative")
+	}
+	return app, nil
+}
+
+// SubmitBag adds a bag of jobs; only valid before the session runs.
+func (s *Session) SubmitBag(req BagRequest) (int, float64, error) {
+	app, err := validateBagRequest(req)
+	if err != nil {
+		return 0, 0, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -127,9 +176,19 @@ func (s *Session) SubmitBag(req BagRequest) (int, float64, error) {
 		return 0, 0, errf(http.StatusConflict, "session %s is %s; bags must be submitted before running", s.id, s.state)
 	}
 	bag := workload.NewBag(app, req.Jobs, req.Jitter, req.Seed)
-	if err := s.svc.SubmitBagAt(bag, req.At); err != nil {
+	// Validate, persist, then apply: after a successful validation the
+	// application step cannot fail, so the durable log and the in-memory
+	// service never diverge (a failed log write leaves both untouched).
+	if err := s.svc.ValidateBagAt(bag, req.At); err != nil {
 		return 0, 0, err
 	}
+	if err := s.persist(kindBag, req); err != nil {
+		return 0, 0, err
+	}
+	if err := s.svc.SubmitBagAt(bag, req.At); err != nil {
+		return 0, 0, err // unreachable: ValidateBagAt covers every check
+	}
+	s.bags = append(s.bags, req)
 	s.submitted += len(bag.Jobs)
 	return len(bag.Jobs), bag.MeanRuntime(), nil
 }
@@ -137,12 +196,9 @@ func (s *Session) SubmitBag(req BagRequest) (int, float64, error) {
 // Estimate quotes a bag against the session's configuration without
 // running anything.
 func (s *Session) Estimate(req BagRequest) (batch.Estimate, error) {
-	app, err := workload.ByName(req.App)
+	app, err := validateBagRequest(req)
 	if err != nil {
 		return batch.Estimate{}, err
-	}
-	if req.Jobs <= 0 {
-		return batch.Estimate{}, fmt.Errorf("jobs must be positive")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -159,50 +215,86 @@ func (s *Session) Report() (batch.Report, error) {
 		return s.report, nil
 	case StateFailed:
 		return batch.Report{}, errf(http.StatusConflict, "session %s failed: %v", s.id, s.runErr)
+	case StateCancelled:
+		return batch.Report{}, errf(http.StatusConflict, "session %s was cancelled: %v", s.id, s.runErr)
 	default:
 		return batch.Report{}, errf(http.StatusNotFound, "session %s has no completed run", s.id)
 	}
 }
 
-// Jobs returns per-job statuses. While the simulation is running the
-// underlying state is owned by the run goroutine, so this conflicts.
+// detailRefreshTimeout bounds how long a mid-run /jobs or /vms request
+// waits for the run loop's next detailed snapshot before serving whatever
+// it has. One progress interval is normally milliseconds; the timeout only
+// fires for sessions still queued on the worker pool or running with an
+// enormous interval.
+const detailRefreshTimeout = 2 * time.Second
+
+// awaitDetail asks the run loop for a detailed snapshot and blocks (lock
+// released) until one lands, the session ends, or the timeout passes. It
+// must be called with s.mu held and returns with it re-held.
+func (s *Session) awaitDetail() {
+	s.wantDetail.Store(true)
+	wait, done := s.detailWait, s.done
+	s.mu.Unlock()
+	select {
+	case <-wait:
+	case <-done:
+	case <-time.After(detailRefreshTimeout):
+	}
+	s.mu.Lock()
+}
+
+// Jobs returns per-job statuses. While the simulation is running they come
+// from a detail refresh at the run loop's next progress interval (at most
+// one interval old when served); for sessions restored from the store they
+// come from the log.
 func (s *Session) Jobs() ([]batch.JobStatus, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.restored && s.state.terminal() && s.restoredJobsElided {
+		return nil, errf(http.StatusGone,
+			"session %s finished with a per-job listing too large to retain across restarts; its report and progress summary are still available", s.id)
+	}
+	if s.restored && s.state.terminal() && s.restoredJobs != nil {
+		return append([]batch.JobStatus(nil), s.restoredJobs...), nil
+	}
 	if s.state == StateRunning {
-		return nil, errf(http.StatusConflict, "session %s is running; poll its status instead", s.id)
+		s.awaitDetail()
+	}
+	if s.state == StateRunning {
+		if !s.hasSnap {
+			// Still queued on the worker pool; the first snapshot lands
+			// when the simulation actually starts.
+			return []batch.JobStatus{}, nil
+		}
+		return append([]batch.JobStatus(nil), s.snap.Jobs...), nil
 	}
 	return s.svc.JobStatuses(), nil
 }
 
-// VMState describes one live VM for the API.
-type VMState struct {
-	ID          string  `json:"id"`
-	Type        string  `json:"type"`
-	Zone        string  `json:"zone"`
-	Preemptible bool    `json:"preemptible"`
-	AgeHours    float64 `json:"age_hours"`
-}
+// VMState describes one live VM for the API; it is the snapshot's VM form.
+type VMState = batch.VMInfo
 
-// VMs lists the session's live VMs; conflicts while running.
+// VMs lists the session's live VMs. While the simulation is running the
+// listing comes from a detail refresh at the run loop's next progress
+// interval.
 func (s *Session) VMs() ([]VMState, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.restored && s.state.terminal() {
+		// A terminal run has drained its cluster; nothing is live.
+		return []VMState{}, nil
+	}
 	if s.state == StateRunning {
-		return nil, errf(http.StatusConflict, "session %s is running; poll its status instead", s.id)
+		s.awaitDetail()
 	}
-	out := []VMState{}
-	now := s.svc.Engine.Now()
-	for _, vm := range s.svc.Provider.Running() {
-		out = append(out, VMState{
-			ID:          vm.ID,
-			Type:        string(vm.Type),
-			Zone:        string(vm.Zone),
-			Preemptible: vm.Preemptible,
-			AgeHours:    vm.Age(now),
-		})
+	if s.state == StateRunning {
+		if !s.hasSnap {
+			return []VMState{}, nil
+		}
+		return append([]VMState(nil), s.snap.VMs...), nil
 	}
-	return out, nil
+	return s.svc.VMInfos(), nil
 }
 
 // Wait blocks until the session's run finishes (it must have been started).
@@ -210,8 +302,13 @@ func (s *Session) Wait() {
 	<-s.done
 }
 
+// Done returns a channel closed when the session reaches a terminal state
+// (sessions restored from the store in a terminal state are born closed).
+func (s *Session) Done() <-chan struct{} { return s.done }
+
 // Manager owns all sessions in the process and the bounded worker pool
-// their runs execute on.
+// their runs execute on. Attaching a Store (see Restore) makes the session
+// lifecycle durable across process restarts.
 type Manager struct {
 	models *modelCache
 	sem    chan struct{}
@@ -220,6 +317,7 @@ type Manager struct {
 	seq      int
 	sessions map[string]*Session
 	order    []string
+	store    Store
 	wg       sync.WaitGroup
 }
 
@@ -251,19 +349,33 @@ func (m *Manager) Create(name string, cfg SessionConfig) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	svc.ProgressEvery = cfg.ProgressEvery
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.seq++
+	id := fmt.Sprintf("s-%03d", m.seq)
+	st := m.store
+	m.mu.Unlock()
 	s := &Session{
-		id:    fmt.Sprintf("s-%03d", m.seq),
-		name:  name,
-		cfg:   cfg,
-		state: StateCreated,
-		svc:   svc,
-		done:  make(chan struct{}),
+		id:         id,
+		name:       name,
+		cfg:        cfg,
+		state:      StateCreated,
+		svc:        svc,
+		store:      st,
+		done:       make(chan struct{}),
+		subs:       make(map[chan batch.Progress]struct{}),
+		detailWait: make(chan struct{}),
 	}
+	// The durable append (an fsync) runs outside the manager lock: the
+	// session is not yet published, so nothing can observe it, and a failed
+	// append leaves only a gap in the id sequence.
+	if err := s.persist(kindCreate, createRecord{Name: name, Config: cfg}); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
 	m.sessions[s.id] = s
 	m.order = append(m.order, s.id)
+	m.mu.Unlock()
 	return s, nil
 }
 
@@ -289,87 +401,180 @@ func (m *Manager) List() []*Session {
 	return out
 }
 
-// Delete removes a session. Running sessions cannot be deleted.
-func (m *Manager) Delete(id string) error {
+// Cancel aborts a running session: the context threaded through the
+// simulation's event loop is cancelled, the run stops within one progress
+// interval, the partial report is discarded, and the session lands in the
+// cancelled state. Cancel blocks until the worker slot has been freed.
+func (m *Manager) Cancel(id string) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	s, ok := m.sessions[id]
+	m.mu.Unlock()
 	if !ok {
 		return errf(http.StatusNotFound, "no session %q", id)
 	}
 	s.mu.Lock()
-	running := s.state == StateRunning
+	if s.state != StateRunning {
+		state := s.state
+		s.mu.Unlock()
+		return errf(http.StatusConflict, "session %s is %s, not running", id, state)
+	}
+	cancel := s.cancel
 	s.mu.Unlock()
-	if running {
-		return errf(http.StatusConflict, "session %s is running", id)
-	}
-	delete(m.sessions, id)
-	for i, oid := range m.order {
-		if oid == id {
-			m.order = append(m.order[:i:i], m.order[i+1:]...)
-			break
-		}
-	}
+	cancel()
+	<-s.done
 	return nil
 }
 
-// Run starts the session's simulation asynchronously on the worker pool.
-// It returns immediately; poll the session's status or Wait on it.
-func (m *Manager) Run(s *Session) error {
-	// The whole created->running transition happens under the manager lock
-	// (then the session lock, the same order Delete takes them): a
-	// concurrent DELETE can therefore never remove a session that is about
-	// to start, and Run can never start a session that was just deleted.
-	m.mu.Lock()
-	if m.sessions[s.id] != s {
+// Delete removes a session. A running session is first cancelled (see
+// Cancel), so Delete returns within one progress interval with the worker
+// slot freed.
+func (m *Manager) Delete(id string) error {
+	for {
+		m.mu.Lock()
+		s, ok := m.sessions[id]
 		m.mu.Unlock()
-		return errf(http.StatusNotFound, "no session %q", s.id)
+		if !ok {
+			return errf(http.StatusNotFound, "no session %q", id)
+		}
+		s.mu.Lock()
+		if s.state == StateRunning {
+			cancel := s.cancel
+			s.mu.Unlock()
+			cancel()
+			<-s.done
+			continue // now terminal; loop around to remove it
+		}
+		if s.deleted {
+			s.mu.Unlock()
+			return errf(http.StatusNotFound, "no session %q", id)
+		}
+		// Persist the delete before applying it (the fsync happens under
+		// the session lock only — the manager stays responsive), then mark
+		// never-run sessions cancelled: they have no run goroutine to close
+		// done, and Wait callers and event streams must observe the end
+		// rather than hang on an unregistered session.
+		if err := s.persist(kindDelete, nil); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.deleted = true
+		if !s.state.terminal() {
+			s.state = StateCancelled
+			s.runErr = fmt.Errorf("session %s deleted before running", id)
+			close(s.done)
+		}
+		s.mu.Unlock()
+		// A deleted session is terminal, so Run can no longer start it; the
+		// map removal needs no coordination with the session lock.
+		m.mu.Lock()
+		if m.sessions[id] == s {
+			delete(m.sessions, id)
+			for i, oid := range m.order {
+				if oid == id {
+					m.order = append(m.order[:i:i], m.order[i+1:]...)
+					break
+				}
+			}
+		}
+		m.mu.Unlock()
+		return nil
 	}
+}
+
+// Run starts the session's simulation asynchronously on the worker pool.
+// It returns immediately; poll the session's status, stream its events, or
+// Wait on it.
+func (m *Manager) Run(s *Session) error {
+	// The created->running transition is guarded by the session lock alone:
+	// a concurrent DELETE marks the session cancelled (terminal) under the
+	// same lock before unregistering it, so whichever side wins the lock,
+	// Run can never start a session that was just deleted, and Delete can
+	// never silently drop one that just started. The fsynced run record is
+	// written under the session lock only — the manager stays responsive.
 	s.mu.Lock()
 	if err := func() error {
 		switch s.state {
 		case StateRunning:
 			return errf(http.StatusConflict, "session %s is already running", s.id)
-		case StateDone, StateFailed:
-			return errf(http.StatusConflict, "session %s already ran", s.id)
+		case StateDone, StateFailed, StateCancelled:
+			return errf(http.StatusConflict, "session %s already ran or was removed", s.id)
 		}
 		if s.submitted == 0 {
 			return errf(http.StatusBadRequest, "session %s has no bags submitted", s.id)
 		}
-		return nil
+		return s.persist(kindRun, nil)
 	}(); err != nil {
 		s.mu.Unlock()
-		m.mu.Unlock()
 		return err
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	s.state = StateRunning
+	s.cancel = cancel
 	svc := s.svc
 	s.mu.Unlock()
-	m.mu.Unlock()
 
-	svc.OnProgress = func(p batch.Progress) {
-		s.mu.Lock()
-		s.progress = p
-		s.mu.Unlock()
-	}
+	svc.OnSnapshot = s.publishSnapshot
+	svc.SnapshotDetail = func() bool { return s.wantDetail.Swap(false) }
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
-		m.sem <- struct{}{}
-		defer func() { <-m.sem }()
-		rep, err := svc.Run()
+		defer cancel()
+		var rep batch.Report
+		var err error
+		select {
+		case m.sem <- struct{}{}:
+			rep, err = svc.Run(ctx)
+			<-m.sem
+		case <-ctx.Done():
+			// Cancelled while still queued for a worker slot: nothing ran.
+			err = fmt.Errorf("batch: run cancelled while queued: %w", ctx.Err())
+		}
 		s.mu.Lock()
-		if err != nil {
-			s.state = StateFailed
-			s.runErr = err
-		} else {
+		switch {
+		case err == nil:
 			s.state = StateDone
 			s.report = rep
+		case errors.Is(err, context.Canceled):
+			s.state = StateCancelled
+			s.runErr = err
+		default:
+			s.state = StateFailed
+			s.runErr = err
 		}
 		s.mu.Unlock()
+		// The run goroutine owns svc again now that Run has returned, so
+		// reading final job statuses for the durable record is safe.
+		s.persistTerminal(svc)
 		close(s.done)
 	}()
 	return nil
+}
+
+// publishSnapshot installs the latest snapshot and fans its progress out to
+// subscribers. It is the batch.Service's OnSnapshot callback, invoked from
+// the run goroutine.
+func (s *Session) publishSnapshot(snap batch.Snapshot) {
+	s.mu.Lock()
+	if snap.Jobs == nil {
+		// A progress-only snapshot: keep the last detailed listings (the
+		// initial and final snapshots always carry them).
+		snap.Jobs, snap.VMs = s.snap.Jobs, s.snap.VMs
+	} else {
+		// A detailed snapshot: release any /jobs or /vms request waiting
+		// on the refresh.
+		close(s.detailWait)
+		s.detailWait = make(chan struct{})
+	}
+	s.snap = snap
+	s.hasSnap = true
+	chans := make([]chan batch.Progress, 0, len(s.subs))
+	for ch := range s.subs {
+		chans = append(chans, ch)
+	}
+	s.mu.Unlock()
+	for _, ch := range chans {
+		offerLatest(ch, snap.Progress)
+	}
 }
 
 // Wait blocks until every started run has finished; used for graceful
@@ -387,7 +592,7 @@ type Stats struct {
 // (states with zero sessions are included).
 func (m *Manager) Stats() Stats {
 	st := Stats{Sessions: map[State]int{
-		StateCreated: 0, StateRunning: 0, StateDone: 0, StateFailed: 0,
+		StateCreated: 0, StateRunning: 0, StateDone: 0, StateFailed: 0, StateCancelled: 0,
 	}}
 	for _, s := range m.List() {
 		s.mu.Lock()

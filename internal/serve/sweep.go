@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
 // SweepRequest fans one workload out across a scenario grid — the cartesian
@@ -69,12 +68,9 @@ func (m *Manager) Sweep(req SweepRequest) (SweepReport, error) {
 	if len(req.Policies) == 0 {
 		req.Policies = []string{PolicyReuse}
 	}
-	app, err := workload.ByName(req.Bag.App)
+	app, err := validateBagRequest(req.Bag)
 	if err != nil {
-		return SweepReport{}, err
-	}
-	if req.Bag.Jobs <= 0 {
-		return SweepReport{}, errf(http.StatusBadRequest, "bag.jobs must be positive")
+		return SweepReport{}, errf(http.StatusBadRequest, "bag: %v", err)
 	}
 
 	// Create and start every cell; creation is synchronous (validation
@@ -113,7 +109,11 @@ func (m *Manager) Sweep(req SweepRequest) (SweepReport, error) {
 				if err != nil {
 					cell.Error = err.Error()
 					if s != nil {
+						// Don't leave a half-configured session registered
+						// (and, with a store attached, durably persisted):
+						// the client only asked for the sweep's aggregate.
 						cell.SessionID = s.ID()
+						_ = m.Delete(s.ID())
 					}
 				} else {
 					cell.SessionID = s.ID()

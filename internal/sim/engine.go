@@ -8,9 +8,16 @@ package sim
 
 import (
 	"container/heap"
+	"context"
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrStalled is returned by DriveContext when the event queue drains before
+// the caller's stop condition is met — the simulation cannot make further
+// progress.
+var ErrStalled = errors.New("sim: event queue drained before completion")
 
 // Engine owns the virtual clock and the pending event queue. It is not safe
 // for concurrent use: simulations are single-threaded by construction (the
@@ -119,6 +126,35 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run() {
 	for e.Step() {
 	}
+}
+
+// DriveContext executes events until done() reports true, returning nil. It
+// checks the context (and, if set, invokes onBatch) every `every` events, so
+// the latency of a cancellation is bounded by one batch of events; on
+// cancellation it stops mid-simulation and returns ctx.Err(). If the queue
+// drains while done() is still false it returns ErrStalled. This is the
+// cancellable run loop the batch service drives its simulation through:
+// context threading starts here, at the innermost event loop.
+func (e *Engine) DriveContext(ctx context.Context, every int, done func() bool, onBatch func()) error {
+	if every <= 0 {
+		every = 4096
+	}
+	var steps int
+	for !done() {
+		if !e.Step() {
+			return ErrStalled
+		}
+		steps++
+		if steps%every == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if onBatch != nil {
+				onBatch()
+			}
+		}
+	}
+	return nil
 }
 
 // RunUntil executes events with time <= tAbs and then advances the clock to

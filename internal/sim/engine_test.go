@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -247,5 +249,72 @@ func TestEnginePropertyChronological(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDriveContextCompletes drives a chain of events to a stop condition.
+func TestDriveContextCompletes(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 10 {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	batches := 0
+	err := e.DriveContext(context.Background(), 2, func() bool { return count >= 5 }, func() { batches++ })
+	if err != nil {
+		t.Fatalf("DriveContext: %v", err)
+	}
+	if count != 5 {
+		t.Fatalf("stopped at count=%d, want 5", count)
+	}
+	if batches == 0 {
+		t.Fatal("onBatch never invoked")
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock at %v, want 5", e.Now())
+	}
+}
+
+// TestDriveContextStalls reports ErrStalled when the queue drains before
+// the stop condition holds.
+func TestDriveContextStalls(t *testing.T) {
+	e := NewEngine()
+	e.After(1, func() {})
+	err := e.DriveContext(context.Background(), 4, func() bool { return false }, nil)
+	if err != ErrStalled {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+}
+
+// TestDriveContextCancelled verifies a cancelled context stops the loop
+// within one check interval and surfaces ctx.Err().
+func TestDriveContextCancelled(t *testing.T) {
+	e := NewEngine()
+	var reschedule func()
+	executed := 0
+	reschedule = func() { executed++; e.After(1, reschedule) }
+	e.After(1, reschedule)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	const every = 8
+	checks := 0
+	err := e.DriveContext(ctx, every, func() bool { return false }, func() {
+		checks++
+		if checks == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Cancellation lands on the next batch boundary after cancel(): the
+	// callback at batch 3 cancels, so the loop stops at batch 4's check.
+	if executed != 4*every {
+		t.Fatalf("executed %d events, want %d (bounded by one interval)", executed, 4*every)
 	}
 }

@@ -1,0 +1,361 @@
+// Package store is a small durable event log: an append-only write-ahead
+// log of JSON records plus a JSON snapshot that compacts it. It is the
+// persistence substrate for the session manager in internal/serve — the
+// same discipline the paper applies to jobs (cheap periodic checkpoints,
+// bounded replay after a failure) applied to the service's own control
+// state.
+//
+// Layout inside the data directory:
+//
+//	snapshot.json — {"seq": N, "records": [...]} written atomically
+//	                (temp file + rename); the compacted prefix of the log.
+//	wal.jsonl     — one JSON record per line, fsynced per append; the
+//	                suffix since the last snapshot.
+//
+// Open replays snapshot then WAL. A torn final WAL line (the process died
+// mid-write) is tolerated: replay stops at the first malformed line and the
+// tail is truncated on the next append. Records are opaque to this package
+// beyond (Seq, Kind, ID, Data); the schema lives with the caller.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+)
+
+// Record is one durable event. Seq is assigned by the log and strictly
+// increases across snapshot and WAL; Kind and ID are caller-defined; Data
+// is the caller's JSON payload.
+type Record struct {
+	Seq  uint64          `json:"seq"`
+	Kind string          `json:"kind"`
+	ID   string          `json:"id,omitempty"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// snapshotFile is the on-disk form of snapshot.json.
+type snapshotFile struct {
+	Seq     uint64   `json:"seq"`
+	Records []Record `json:"records"`
+}
+
+// Stats counts the log's activity since Open, for /api/stats.
+type Stats struct {
+	// Replayed is the number of records recovered at Open (snapshot + WAL).
+	Replayed int `json:"records_replayed"`
+	// Appended counts records written since Open.
+	Appended int `json:"records_appended"`
+	// Compactions counts snapshot rewrites since Open.
+	Compactions int `json:"compactions"`
+	// TornTail reports whether Open found (and discarded) a torn final WAL
+	// line from a crash mid-write.
+	TornTail bool `json:"torn_tail,omitempty"`
+}
+
+// Log is an open snapshot+WAL pair. All methods are safe for concurrent
+// use.
+type Log struct {
+	mu       sync.Mutex
+	dir      string
+	wal      *os.File
+	lock     *os.File
+	seq      uint64 // last assigned seq
+	walSize  int64  // bytes of fully-written records in the WAL
+	replayed []Record
+	stats    Stats
+	sync     bool
+}
+
+const (
+	snapshotName = "snapshot.json"
+	walName      = "wal.jsonl"
+	lockName     = "lock"
+)
+
+// Open opens (creating if needed) the log in dir and replays its state.
+// The replayed records are available from Records until the first Compact.
+// The directory is flock'd for the lifetime of the Log: a second process
+// pointed at the same dir fails here instead of interleaving WAL appends
+// (the kernel releases the lock on process death, so a kill -9 never
+// strands it).
+func Open(dir string) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	lock, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening lock file: %w", err)
+	}
+	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("store: data dir %s is in use by another process: %w", dir, err)
+	}
+	l := &Log{dir: dir, lock: lock, sync: true}
+	opened := false
+	defer func() {
+		if !opened {
+			lock.Close() // releases the flock on every error path
+		}
+	}()
+
+	var recs []Record
+	var snapSeq uint64
+	if raw, err := os.ReadFile(filepath.Join(dir, snapshotName)); err == nil {
+		var snap snapshotFile
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return nil, fmt.Errorf("store: corrupt %s: %w", snapshotName, err)
+		}
+		recs = append(recs, snap.Records...)
+		l.seq = snap.Seq
+		snapSeq = snap.Seq
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: reading snapshot: %w", err)
+	}
+
+	walPath := filepath.Join(dir, walName)
+	if raw, err := os.ReadFile(walPath); err == nil {
+		// A file not ending in '\n' carries a torn final append: each
+		// record is written (line + '\n') in one call, so any prefix may
+		// have survived a crash — including one that still parses as JSON.
+		// The append was never acknowledged, so the partial line is
+		// discarded wholesale; keeping it would let the next append merge
+		// two records onto one line and brick the following boot.
+		if len(raw) > 0 && raw[len(raw)-1] != '\n' {
+			cut := bytes.LastIndexByte(raw, '\n') + 1
+			raw = raw[:cut]
+			l.stats.TornTail = true
+			if err := os.Truncate(walPath, int64(cut)); err != nil {
+				return nil, fmt.Errorf("store: truncating torn WAL tail: %w", err)
+			}
+		}
+		// Every surviving line is newline-terminated and therefore was
+		// written whole; a malformed one is corruption, not a tear.
+		if err := parseWAL(raw, snapSeq, &recs, &l.seq); err != nil {
+			return nil, fmt.Errorf("store: reading WAL: %w", err)
+		}
+		l.walSize = int64(len(raw))
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: reading WAL: %w", err)
+	}
+
+	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening WAL: %w", err)
+	}
+	l.wal = wal
+	l.replayed = recs
+	l.stats.Replayed = len(recs)
+	opened = true
+	return l, nil
+}
+
+// parseWAL appends each valid record line to recs, advancing seq. Records
+// with Seq <= snapSeq are already covered by the snapshot and are skipped:
+// a crash between Compact's snapshot rename and its WAL truncation leaves
+// the pre-compaction WAL behind, and replaying it on top of the snapshot
+// would duplicate every session. The caller has already stripped any torn
+// final line, so a malformed line here (or a scan failure, e.g. a line
+// beyond the buffer bound) is corruption: the error refuses the open
+// rather than silently truncating acknowledged records.
+func parseWAL(raw []byte, snapSeq uint64, recs *[]Record, seq *uint64) error {
+	offset := 0
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 0, 1024*1024), 256*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("malformed record at byte %d: %w", offset, err)
+		}
+		if rec.Seq > snapSeq {
+			*recs = append(*recs, rec)
+		}
+		if rec.Seq > *seq {
+			*seq = rec.Seq
+		}
+		offset += len(line) + 1 // the newline
+	}
+	return sc.Err()
+}
+
+// SetSync controls whether each append fsyncs the WAL (default true).
+// Benchmarks may disable it; services should not.
+func (l *Log) SetSync(on bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sync = on
+}
+
+// Records returns the records replayed at Open, in log order. The slice is
+// shared; callers must not mutate it.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.replayed
+}
+
+// Append marshals v, assigns the next sequence number, and durably appends
+// the record to the WAL (write + fsync before returning).
+func (l *Log) Append(kind, id string, v any) (Record, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return Record{}, fmt.Errorf("store: marshaling %s record: %w", kind, err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wal == nil {
+		return Record{}, fmt.Errorf("store: log is closed")
+	}
+	l.seq++
+	rec := Record{Seq: l.seq, Kind: kind, ID: id, Data: data}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return Record{}, fmt.Errorf("store: marshaling record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := l.wal.Write(line); err != nil {
+		// A short write may have left partial bytes on the last line; if
+		// the next append succeeded anyway, its record would merge with the
+		// garbage and a future torn-tail truncation would silently discard
+		// it. Roll back to the last good boundary, or poison the log.
+		l.rollbackTail()
+		return Record{}, fmt.Errorf("store: appending to WAL: %w", err)
+	}
+	if l.sync {
+		if err := l.wal.Sync(); err != nil {
+			l.rollbackTail()
+			return Record{}, fmt.Errorf("store: syncing WAL: %w", err)
+		}
+	}
+	l.walSize += int64(len(line))
+	l.stats.Appended++
+	return rec, nil
+}
+
+// rollbackTail discards any partially-written bytes past the last fully
+// acknowledged record. If even that fails the log is poisoned (wal set to
+// nil): better to refuse every later append than to risk an acknowledged
+// record sharing a line with garbage.
+func (l *Log) rollbackTail() {
+	if err := l.wal.Truncate(l.walSize); err != nil {
+		l.wal.Close()
+		l.wal = nil
+	}
+}
+
+// Compact atomically replaces the snapshot with the given records (the
+// caller's compacted view of current state) and truncates the WAL. The
+// records are renumbered 1..n — the caller may synthesize them without
+// assigning sequence numbers — and future appends continue from n.
+func (l *Log) Compact(records []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wal == nil {
+		return fmt.Errorf("store: log is closed")
+	}
+	renumbered := make([]Record, len(records))
+	for i, rec := range records {
+		rec.Seq = uint64(i + 1)
+		renumbered[i] = rec
+	}
+	// The sequence never goes backwards: the snapshot's Seq must dominate
+	// every record a stale WAL could still hold (crash before the truncate
+	// below), so Open can discard those records by comparison.
+	if uint64(len(renumbered)) > l.seq {
+		l.seq = uint64(len(renumbered))
+	}
+	snap := snapshotFile{Seq: l.seq, Records: renumbered}
+	if snap.Records == nil {
+		snap.Records = []Record{}
+	}
+	raw, err := json.MarshalIndent(snap, "", " ")
+	if err != nil {
+		return fmt.Errorf("store: marshaling snapshot: %w", err)
+	}
+	tmp := filepath.Join(l.dir, snapshotName+".tmp")
+	if err := writeFileSync(tmp, raw); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapshotName)); err != nil {
+		return fmt.Errorf("store: installing snapshot: %w", err)
+	}
+	// Fsync the directory so the rename itself is durable before the WAL
+	// is truncated — otherwise a power failure could surface the old
+	// snapshot next to an already-empty WAL, losing acknowledged records.
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	// The snapshot now covers everything; restart the WAL.
+	if err := l.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncating WAL: %w", err)
+	}
+	if _, err := l.wal.Seek(0, 0); err != nil {
+		return fmt.Errorf("store: rewinding WAL: %w", err)
+	}
+	l.walSize = 0
+	l.replayed = nil
+	l.stats.Compactions++
+	return nil
+}
+
+// syncDir fsyncs a directory, making previously-renamed entries durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: opening %s for sync: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: syncing %s: %w", dir, err)
+	}
+	return nil
+}
+
+// writeFileSync writes data to path and fsyncs before closing, so the
+// subsequent rename installs fully-durable bytes.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: syncing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Close releases the WAL file handle and the directory lock. Further
+// appends fail. The lock is released even when the WAL was already closed
+// (or poisoned by a failed rollback), so a caller can reopen the directory.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var err error
+	if l.wal != nil {
+		err = l.wal.Close()
+		l.wal = nil
+	}
+	if l.lock != nil {
+		l.lock.Close() // releases the flock
+		l.lock = nil
+	}
+	return err
+}

@@ -1,0 +1,337 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type payload struct {
+	N int    `json:"n"`
+	S string `json:"s,omitempty"`
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		rec, err := l.Append("event", "id-1", payload{N: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Seq != uint64(i) {
+			t.Fatalf("seq = %d, want %d", rec.Seq, i)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs := l2.Records()
+	if len(recs) != 5 {
+		t.Fatalf("replayed %d records, want 5", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Kind != "event" || rec.ID != "id-1" || rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d = %+v", i, rec)
+		}
+		var p payload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			t.Fatal(err)
+		}
+		if p.N != i+1 {
+			t.Fatalf("record %d payload = %+v", i, p)
+		}
+	}
+	// Appends continue after the replayed sequence.
+	rec, err := l2.Append("event", "id-2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 6 {
+		t.Fatalf("post-replay seq = %d, want 6", rec.Seq)
+	}
+	if st := l2.Stats(); st.Replayed != 5 || st.Appended != 1 || st.TornTail {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCompactReplacesHistory(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append("noise", "x", payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compact down to two synthesized records (no seqs assigned).
+	data, _ := json.Marshal(payload{N: 42})
+	if err := l.Compact([]Record{
+		{Kind: "create", ID: "s-1", Data: data},
+		{Kind: "done", ID: "s-1"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Post-compaction appends land in the (now empty) WAL.
+	if _, err := l.Append("bag", "s-2", payload{N: 7}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs := l2.Records()
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records, want 3 (2 snapshot + 1 wal): %+v", len(recs), recs)
+	}
+	if recs[0].Kind != "create" || recs[0].Seq != 1 {
+		t.Fatalf("recs[0] = %+v", recs[0])
+	}
+	if recs[1].Kind != "done" || recs[1].Seq != 2 {
+		t.Fatalf("recs[1] = %+v", recs[1])
+	}
+	// The sequence is monotonic across compaction (10 appends happened
+	// before it), so the post-compaction append is numbered past them all.
+	if recs[2].Kind != "bag" || recs[2].Seq != 11 {
+		t.Fatalf("recs[2] = %+v", recs[2])
+	}
+}
+
+// TestCompactCrashBeforeTruncateDoesNotDuplicate simulates a crash in the
+// window between Compact's snapshot rename and its WAL truncation: the
+// stale WAL must not be replayed on top of the snapshot that already
+// contains its records.
+func TestCompactCrashBeforeTruncateDoesNotDuplicate(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append("event", "s-1", payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	walPath := filepath.Join(dir, "wal.jsonl")
+	preCompaction, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(dir) // replay so Records() holds the live state to compact
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Compact(l.Records()); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// "Crash before truncate": the old WAL bytes are still on disk.
+	if err := os.WriteFile(walPath, preCompaction, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if n := len(l2.Records()); n != 3 {
+		t.Fatalf("replayed %d records, want 3 (stale WAL must be ignored): %+v", n, l2.Records())
+	}
+	// New appends still land after everything the stale WAL held.
+	rec, err := l2.Append("event", "s-1", payload{N: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 4 {
+		t.Fatalf("post-recovery seq = %d, want 4", rec.Seq)
+	}
+}
+
+// TestTornTailTolerated simulates a crash mid-append: the final WAL line is
+// truncated garbage. Open must replay the intact prefix, flag the tear, and
+// keep the log usable.
+func TestTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append("event", "id", payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	walPath := filepath.Join(dir, "wal.jsonl")
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":4,"kind":"ev`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	defer l2.Close()
+	if len(l2.Records()) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(l2.Records()))
+	}
+	if !l2.Stats().TornTail {
+		t.Fatal("torn tail not flagged")
+	}
+	// The torn bytes were truncated; the next append must parse on reopen.
+	if _, err := l2.Append("event", "id", payload{N: 99}); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	l3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	recs := l3.Records()
+	if len(recs) != 4 || l3.Stats().TornTail {
+		t.Fatalf("after repair: %d records (torn=%v), want 4 clean", len(recs), l3.Stats().TornTail)
+	}
+	var p payload
+	if err := json.Unmarshal(recs[3].Data, &p); err != nil || p.N != 99 {
+		t.Fatalf("final record %+v (%v)", recs[3], err)
+	}
+}
+
+func TestClosedLogRefusesWrites(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := l.Append("x", "y", nil); err == nil {
+		t.Fatal("append on closed log succeeded")
+	}
+	if err := l.Compact(nil); err == nil {
+		t.Fatal("compact on closed log succeeded")
+	}
+}
+
+// TestOpenLocksDirectory: a second Open on the same live directory must
+// fail instead of interleaving appends; closing releases the lock.
+func TestOpenLocksDirectory(t *testing.T) {
+	dir := t.TempDir()
+	l1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("second Open on a locked dir succeeded")
+	}
+	l1.Close()
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open after release: %v", err)
+	}
+	l2.Close()
+}
+
+// TestMidWALCorruptionRefusesOpen: a malformed line with intact records
+// after it is corruption, not a torn tail — Open must fail rather than
+// silently truncate acknowledged records.
+func TestMidWALCorruptionRefusesOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := l.Append("event", "id", payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	walPath := filepath.Join(dir, "wal.jsonl")
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	lines[1] = []byte("{corrupt}\n") // middle line, complete records follow
+	if err := os.WriteFile(walPath, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("open succeeded with mid-WAL corruption")
+	}
+}
+
+// TestTornTailParseableRecordDiscarded: a crash can persist the full JSON
+// of the final append while losing its trailing newline. The record was
+// never acknowledged, so it must be discarded — keeping it would merge the
+// next append onto the same line and brick a later boot.
+func TestTornTailParseableRecordDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append("event", "id", payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	walPath := filepath.Join(dir, "wal.jsonl")
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A complete, parseable record missing only its newline.
+	if _, err := f.WriteString(`{"seq":2,"kind":"event","id":"id"}`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(l2.Records()); n != 1 {
+		t.Fatalf("replayed %d records, want 1 (torn parseable tail must be dropped)", n)
+	}
+	if !l2.Stats().TornTail {
+		t.Fatal("torn tail not flagged")
+	}
+	// The next append must land on a clean line and survive a reopen.
+	if _, err := l2.Append("event", "id", payload{N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	l3, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after repair: %v", err)
+	}
+	defer l3.Close()
+	if n := len(l3.Records()); n != 2 {
+		t.Fatalf("replayed %d records after repair, want 2", n)
+	}
+}

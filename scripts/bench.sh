@@ -4,30 +4,33 @@
 # performance trajectory PR over PR.
 #
 # Usage:
-#   scripts/bench.sh                 # default suite -> BENCH_PR2.json
+#   scripts/bench.sh                 # default suite -> BENCH_PR3.json
 #   scripts/bench.sh 'Benchmark.*'   # custom micro pattern (e.g. the full
 #                                    # figure suite; slow)
 #   scripts/bench.sh PATTERN OUT     # custom pattern and output file
 #
-# Two benchmark groups run:
+# Three benchmark groups run:
 #   - micro (root package): sampling, DP solve, Monte Carlo kernels
 #   - service (internal/serve): end-to-end sessions/sec through the
 #     multi-session manager at parallelism 1 vs GOMAXPROCS, plus the
 #     process-wide schedule cache's hit rate
+#   - durability (internal/serve): store replay (sessions restored/sec
+#     when a manager boots from a snapshot+WAL data dir) and SSE fan-out
+#     (publish-side fan-out offers/sec to 1/16/256 subscribers)
 #
 # The JSON maps benchmark name -> {ns_per_op, bytes_per_op, allocs_per_op}
 # plus any custom metrics the benchmark reports (sessions_per_sec,
-# cache_hit_rate).
+# cache_hit_rate, sessions_restored_per_sec, offers_per_sec).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 pattern="${1:-BenchmarkSample|BenchmarkDPSolve|BenchmarkMCMakespan}"
-out="${2:-BENCH_PR2.json}"
+out="${2:-BENCH_PR3.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' -bench "$pattern" -benchmem . | tee "$raw"
-go test -run '^$' -bench 'BenchmarkServiceSessions' -benchmem ./internal/serve | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkServiceSessions|BenchmarkStoreRestore|BenchmarkSSEFanout' -benchmem ./internal/serve | tee -a "$raw"
 
 awk -v out="$out" '
 /^Benchmark/ {

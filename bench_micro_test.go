@@ -58,16 +58,60 @@ func BenchmarkSampleConditionalQuantileTable(b *testing.B) {
 	}
 }
 
-// BenchmarkDPSolve measures a cold checkpoint-DP solve of a 4-hour job at
-// the experiments' default 2-minute resolution (the flattened table's
-// O(T^3) sweep dominates).
-func BenchmarkDPSolve(b *testing.B) {
+// benchDPSolve measures a cold checkpoint-DP solve of a 4-hour job at the
+// experiments' default 2-minute resolution (the row-parallel O(n^2 * ages)
+// sweep dominates) with the given worker count and pruning mode. All
+// variants produce bit-identical tables (see the equality gates in
+// internal/policy); only the wall clock differs.
+func benchDPSolve(b *testing.B, parallelism int, prune bool) {
 	m := benchModel()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := policy.NewCheckpointPlanner(m, 1.0/60, 2.0/60)
+		p.SetParallelism(parallelism)
+		p.Prune = prune
 		_ = p.ExpectedMakespan(4, 0)
+	}
+}
+
+// BenchmarkDPSolve is the serial exhaustive baseline (the PR-3 headline
+// number), kept under its original name so bench.sh -compare tracks it
+// across baselines.
+func BenchmarkDPSolve(b *testing.B) { benchDPSolve(b, 1, false) }
+
+// BenchmarkDPSolveP1 is the parallel solver pinned to one worker. At
+// parallelism 1, solveRows deliberately collapses to the plain serial loop
+// (no pool, no barriers), so this is the serial solver by construction and
+// must match BenchmarkDPSolve exactly; it exists under its own name so the
+// P1-vs-PMax pair reads directly off one bench run.
+func BenchmarkDPSolveP1(b *testing.B) { benchDPSolve(b, 1, false) }
+
+// BenchmarkDPSolvePMax shards the per-row age loop across GOMAXPROCS
+// workers.
+func BenchmarkDPSolvePMax(b *testing.B) { benchDPSolve(b, runtime.GOMAXPROCS(0), false) }
+
+// BenchmarkDPSolvePruned runs the opt-in branch-and-bound candidate cuts,
+// serial, against the same cold solve.
+func BenchmarkDPSolvePruned(b *testing.B) { benchDPSolve(b, 1, true) }
+
+// BenchmarkDPSolvePrunedPMax combines both fast modes.
+func BenchmarkDPSolvePrunedPMax(b *testing.B) { benchDPSolve(b, runtime.GOMAXPROCS(0), true) }
+
+// BenchmarkDPSolveIncremental measures growing a warm half-size table to
+// the full job length — the cost a session pays when a longer job arrives —
+// versus BenchmarkDPSolve's from-scratch build of the same final table.
+func BenchmarkDPSolveIncremental(b *testing.B) {
+	m := benchModel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := policy.NewCheckpointPlanner(m, 1.0/60, 2.0/60)
+		p.SetParallelism(1)
+		_ = p.ExpectedMakespan(2, 0) // warm: rows for the 2-hour prefix
+		b.StartTimer()
+		_ = p.ExpectedMakespan(4, 0) // timed: grow 2h -> 4h in place
 	}
 }
 

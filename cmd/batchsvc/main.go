@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	batchsvc [-addr :8080] [-parallelism N] [-data-dir DIR] [-schedule-cache-cap N]
+//	batchsvc [-addr :8080] [-parallelism N] [-planner-parallelism N]
+//	         [-data-dir DIR] [-schedule-cache-cap N] [-pprof PORT]
 //
 // Each session carries its own configuration, so one process serves any
 // mix of VM types, zones, policies, and seeds:
@@ -34,9 +35,11 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -52,13 +55,37 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	parallelism := flag.Int("parallelism", runtime.GOMAXPROCS(0),
 		"max session simulations running concurrently")
+	plannerParallelism := flag.Int("planner-parallelism", 0,
+		"row-parallel worker count for cold DP checkpoint solves (0: GOMAXPROCS); "+
+			"sessions can override per config via planner_parallelism")
 	dataDir := flag.String("data-dir", "",
 		"directory for the session snapshot+WAL store (empty: in-memory only)")
 	cacheCap := flag.Int("schedule-cache-cap", policy.DefaultSharedCacheCapacity,
 		"LRU bound (entries per artifact kind) of the process-wide schedule cache")
+	pprofPort := flag.Int("pprof", 0,
+		"localhost port for the net/http/pprof profiling server (0: disabled)")
 	flag.Parse()
 
 	policy.SetSharedCacheCapacity(*cacheCap)
+	policy.SetDefaultPlannerParallelism(*plannerParallelism)
+	if *pprofPort > 0 {
+		// Profiling stays off the public listener: its own mux on a
+		// loopback-only port, so deployments never expose /debug/pprof by
+		// accident.
+		pprofAddr := fmt.Sprintf("127.0.0.1:%d", *pprofPort)
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("batchsvc: pprof on http://%s/debug/pprof/", pprofAddr)
+			if err := http.ListenAndServe(pprofAddr, mux); err != nil {
+				log.Printf("batchsvc: pprof server: %v", err)
+			}
+		}()
+	}
 	mgr := serve.NewManager(*parallelism)
 	if *dataDir != "" {
 		st, err := store.Open(*dataDir)

@@ -18,6 +18,9 @@ type gang struct {
 	retired bool
 
 	spareTimer *sim.Timer
+	// spareFn is the hot-spare TTL expiry callback, built once per gang so
+	// repeated idle periods don't allocate a fresh closure each time.
+	spareFn func()
 }
 
 // nodeID derives the cluster node name for the gang's current revision.

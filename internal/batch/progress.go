@@ -66,14 +66,24 @@ type Snapshot struct {
 // complete, and fail, so this is O(classes), not O(jobs) — cheap enough for
 // every progress interval of a large session.
 func (s *Service) Progress() Progress {
-	// Value copy: snapshots are handed across goroutines. The incremental
-	// remaining-hours accounting can drift a few ULPs below zero on a
-	// fully-drained class; clamp so the wire never reports negative work.
-	classes := append([]ClassProgress(nil), s.classes...)
-	for i := range classes {
-		if classes[i].RemainingHours < 0 {
-			classes[i].RemainingHours = 0
+	// Snapshots are handed across goroutines and may be held indefinitely,
+	// so the published class slice must never be mutated again. Instead of
+	// copying on every interval, the last published copy is reused until a
+	// class actually changes (classesGen ticks on every mutation): between
+	// changes, consecutive snapshots share one immutable slice. The
+	// incremental remaining-hours accounting can drift a few ULPs below
+	// zero on a fully-drained class; clamp so the wire never reports
+	// negative work.
+	classes := s.classesSnap
+	if s.classesSnapGen != s.classesGen || classes == nil {
+		classes = append([]ClassProgress(nil), s.classes...)
+		for i := range classes {
+			if classes[i].RemainingHours < 0 {
+				classes[i].RemainingHours = 0
+			}
 		}
+		s.classesSnap = classes
+		s.classesSnapGen = s.classesGen
 	}
 	return Progress{
 		VirtualHours: s.Engine.Now(),
@@ -91,9 +101,10 @@ func (s *Service) Progress() Progress {
 // set is already deterministic). It must be called from the goroutine
 // driving the service.
 func (s *Service) VMInfos() []VMInfo {
-	out := []VMInfo{}
+	running := s.Provider.Running()
+	out := make([]VMInfo, 0, len(running))
 	now := s.Engine.Now()
-	for _, vm := range s.Provider.Running() {
+	for _, vm := range running {
 		out = append(out, VMInfo{
 			ID:          vm.ID,
 			Type:        string(vm.Type),

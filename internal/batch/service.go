@@ -60,6 +60,11 @@ type Config struct {
 	CheckpointDelta float64
 	// CheckpointStep is the DP resolution in hours (default 1 minute).
 	CheckpointStep float64
+	// PlannerParallelism is the row-parallel worker count for the DP
+	// checkpoint solve (0 = the process default, then GOMAXPROCS). Solved
+	// tables are byte-identical at any worker count, so sessions sharing a
+	// cached planner may request different values freely.
+	PlannerParallelism int
 	// WarningCheckpoint enables emergency checkpoints on the provider's
 	// ~30-second preemption notice (Section 2.1's "small advance
 	// warning"): the work completed on the current attempt up to the
@@ -93,6 +98,11 @@ type jobState struct {
 	arrival float64
 	// class indexes the job's application class in Service.classes.
 	class int
+	// cjob is the cluster-level job, reused across attempts: the struct and
+	// its callback closures are built once per job, not once per attempt
+	// (the cluster manager drops its reference before every completion or
+	// failure callback, so resubmitting the same struct is safe).
+	cjob cluster.Job
 }
 
 // Service is the batch computing controller. A Service owns its engine,
@@ -134,6 +144,12 @@ type Service struct {
 	// first-submission order), so snapshots never need an O(jobs) rescan.
 	classes    []ClassProgress
 	classIndex map[string]int
+	// classesGen ticks on every mutation of classes; Progress uses it to
+	// reuse the last published (immutable) class snapshot while nothing
+	// changed instead of copying per interval.
+	classesGen     uint64
+	classesSnap    []ClassProgress
+	classesSnapGen uint64
 	// running tracks which job occupies each gang, for warning handling.
 	running map[cluster.NodeID]*jobState
 
@@ -197,8 +213,12 @@ func New(cfg Config) (*Service, error) {
 	}
 	if cfg.CheckpointDelta > 0 {
 		// The planner is shared process-wide: every session with the same
-		// (model identity, delta, step) reuses one DP table.
+		// (model identity, delta, step) reuses one DP table, and concurrent
+		// cold solves of that table are deduplicated inside the planner.
 		s.planner = policy.SharedPlanner(cfg.Model, cfg.CheckpointDelta, cfg.CheckpointStep)
+		if cfg.PlannerParallelism > 0 {
+			s.planner.SetParallelism(cfg.PlannerParallelism)
+		}
 	}
 	mgr.OnIdle = s.onGangIdle
 	mgr.OnPlace = s.onPlace
@@ -280,8 +300,20 @@ func (s *Service) SubmitBagAt(bag workload.Bag, at float64) error {
 	if err := s.ValidateBagAt(bag, at); err != nil {
 		return err
 	}
-	for _, spec := range bag.Jobs {
-		js := &jobState{spec: spec, remaining: spec.Runtime, arrival: at}
+	if len(s.jobs) == 0 {
+		// First bag: size the registries for it up front.
+		s.jobs = make(map[string]*jobState, len(bag.Jobs))
+		s.jobOrder = make([]string, 0, len(bag.Jobs))
+	}
+	// One backing array for the whole bag's job states: pointers into it
+	// stay valid for the service's lifetime, and submission is one
+	// allocation instead of one per job.
+	states := make([]jobState, len(bag.Jobs))
+	for i, spec := range bag.Jobs {
+		js := &states[i]
+		js.spec = spec
+		js.remaining = spec.Runtime
+		js.arrival = at
 		ci, ok := s.classIndex[spec.App]
 		if !ok {
 			ci = len(s.classes)
@@ -291,6 +323,7 @@ func (s *Service) SubmitBagAt(bag workload.Bag, at float64) error {
 		js.class = ci
 		s.classes[ci].JobsTotal++
 		s.classes[ci].RemainingHours += spec.Runtime
+		s.classesGen++
 		s.jobs[spec.ID] = js
 		s.jobOrder = append(s.jobOrder, spec.ID)
 		s.remaining++
@@ -309,12 +342,30 @@ func (s *Service) ValidateBagAt(bag workload.Bag, at float64) error {
 	if at < 0 {
 		return fmt.Errorf("batch: negative arrival time %v", at)
 	}
-	seen := make(map[string]bool, len(bag.Jobs))
-	for _, spec := range bag.Jobs {
-		if _, dup := s.jobs[spec.ID]; dup || seen[spec.ID] {
+	// Intra-bag duplicate detection: small bags use a quadratic scan (no
+	// allocation, and n is tiny), large ones a set.
+	var seen map[string]bool
+	if len(bag.Jobs) > 64 {
+		seen = make(map[string]bool, len(bag.Jobs))
+	}
+	for i, spec := range bag.Jobs {
+		dup := false
+		if _, exists := s.jobs[spec.ID]; exists {
+			dup = true
+		} else if seen != nil {
+			dup = seen[spec.ID]
+			seen[spec.ID] = true
+		} else {
+			for _, prev := range bag.Jobs[:i] {
+				if prev.ID == spec.ID {
+					dup = true
+					break
+				}
+			}
+		}
+		if dup {
 			return fmt.Errorf("batch: duplicate job %q", spec.ID)
 		}
-		seen[spec.ID] = true
 		if spec.Runtime <= 0 {
 			return fmt.Errorf("batch: job %q has non-positive runtime", spec.ID)
 		}
@@ -426,34 +477,40 @@ func (s *Service) enqueue(js *jobState) {
 	// enqueueing and re-plan on each attempt (the paper precomputes
 	// schedules per job length the same way).
 	if s.planner != nil {
-		js.schedule = s.planner.Plan(js.remaining, 0)
+		// Re-plan in place: the previous attempt's interval buffer is dead
+		// the moment we re-plan, so hand it back to PlanInto for reuse.
+		js.schedule = s.planner.PlanInto(js.schedule.Intervals, js.remaining, 0)
 		js.hasCkpt = true
 		wall = js.remaining + s.cfg.CheckpointDelta*float64(js.schedule.NumCheckpoints())
 	}
 	js.attempts++
 	s.classes[js.class].Attempts++
+	s.classesGen++
 	js.warningWork = 0
-	job := &cluster.Job{
-		ID:        fmt.Sprintf("%s#%d", js.spec.ID, js.attempts),
-		Remaining: wall,
-		Ctx:       js,
-		OnComplete: func(node cluster.NodeID) {
-			delete(s.running, node)
-			s.onJobComplete(js)
-		},
-		OnFail: func(node cluster.NodeID, progress float64) {
-			delete(s.running, node)
-			s.onJobFail(js, progress)
-		},
+	if js.cjob.OnComplete == nil {
+		js.cjob = cluster.Job{
+			ID:  js.spec.ID,
+			Ctx: js,
+			OnComplete: func(node cluster.NodeID) {
+				delete(s.running, node)
+				s.onJobComplete(js)
+			},
+			OnFail: func(node cluster.NodeID, progress float64) {
+				delete(s.running, node)
+				s.onJobFail(js, progress)
+			},
+		}
 	}
+	js.cjob.Remaining = wall
 	s.ensureCapacity()
-	s.Manager.Submit(job)
+	s.Manager.Submit(&js.cjob)
 }
 
 func (s *Service) onJobComplete(js *jobState) {
 	c := &s.classes[js.class]
 	c.JobsDone++
 	c.RemainingHours -= js.remaining
+	s.classesGen++
 	js.remaining = 0
 	js.done = true
 	js.doneAt = s.Engine.Now()
@@ -471,6 +528,7 @@ func (s *Service) onJobFail(js *jobState, elapsedWall float64) {
 	}
 	js.failures++
 	s.classes[js.class].Failures++
+	s.classesGen++
 	before := js.remaining
 	recovered := 0.0
 	if js.hasCkpt {
@@ -552,12 +610,14 @@ func (s *Service) onGangIdle(node cluster.NodeID) {
 		s.retireGang(g)
 		return
 	}
-	ttl := s.cfg.HotSpareTTL
-	g.spareTimer = s.Engine.After(ttl, func() {
-		if st, ok := s.Manager.State(g.node); ok && st == cluster.NodeIdle {
-			s.retireGang(g)
+	if g.spareFn == nil {
+		g.spareFn = func() {
+			if st, ok := s.Manager.State(g.node); ok && st == cluster.NodeIdle {
+				s.retireGang(g)
+			}
 		}
-	})
+	}
+	g.spareTimer = s.Engine.After(s.cfg.HotSpareTTL, g.spareFn)
 }
 
 // drain terminates every remaining gang after the last job completes, in

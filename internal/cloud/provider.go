@@ -169,10 +169,11 @@ func (p *Provider) Launch(vt trace.VMType, zone trace.Zone, preemptible bool) (*
 		if lifetime > trace.Deadline {
 			lifetime = trace.Deadline
 		}
-		vm.preemptTimer = p.Engine.After(lifetime, func() { p.preempt(vm) })
+		preempt := func() { p.preempt(vm) } // shared by both timers: one closure per VM
+		vm.preemptTimer = p.Engine.After(lifetime, preempt)
 		// The 24-hour hard deadline is enforced independently of the
 		// sampled lifetime, mirroring the platform behavior.
-		vm.deadline = p.Engine.After(trace.Deadline, func() { p.preempt(vm) })
+		vm.deadline = p.Engine.After(trace.Deadline, preempt)
 		if p.WarningLead > 0 {
 			lead := p.WarningLead
 			if lead > lifetime {

@@ -71,7 +71,15 @@ type node struct {
 type Manager struct {
 	engine *sim.Engine
 	nodes  map[NodeID]*node
-	queue  []*Job
+	// order mirrors nodes sorted by ID, maintained incrementally on
+	// add/remove so the placement scan never sorts (dispatch runs on every
+	// submit, completion, and node addition).
+	order []*node
+	// queue is the pending-job FIFO. Jobs are popped by advancing qhead
+	// instead of re-slicing, so the backing array is reused across the
+	// service's whole run rather than reallocated every wrap.
+	queue []*Job
+	qhead int
 
 	// OnIdle, if set, fires whenever a node becomes idle and the queue is
 	// empty (the batch service uses it to retire hot spares).
@@ -109,9 +117,24 @@ func (m *Manager) AddNode(id NodeID) error {
 	if _, ok := m.nodes[id]; ok {
 		return fmt.Errorf("cluster: node %q already registered", id)
 	}
-	m.nodes[id] = &node{id: id, state: NodeIdle}
+	n := &node{id: id, state: NodeIdle}
+	m.nodes[id] = n
+	i := sort.Search(len(m.order), func(i int) bool { return m.order[i].id >= id })
+	m.order = append(m.order, nil)
+	copy(m.order[i+1:], m.order[i:])
+	m.order[i] = n
 	m.dispatch()
 	return nil
+}
+
+// dropFromOrder removes id from the sorted node scan order.
+func (m *Manager) dropFromOrder(id NodeID) {
+	i := sort.Search(len(m.order), func(i int) bool { return m.order[i].id >= id })
+	if i < len(m.order) && m.order[i].id == id {
+		copy(m.order[i:], m.order[i+1:])
+		m.order[len(m.order)-1] = nil
+		m.order = m.order[:len(m.order)-1]
+	}
 }
 
 // RemoveNode deregisters a node (VM preempted or terminated). A job running
@@ -122,6 +145,7 @@ func (m *Manager) RemoveNode(id NodeID) error {
 		return fmt.Errorf("cluster: removing unknown node %q", id)
 	}
 	delete(m.nodes, id)
+	m.dropFromOrder(id)
 	if n.state == NodeBusy && n.job != nil {
 		j := n.job
 		if j.timer != nil {
@@ -160,8 +184,8 @@ func (m *Manager) Submit(j *Job) {
 // queue (jobs within a bag are interchangeable, so head-of-line blocking is
 // harmless here).
 func (m *Manager) dispatch() {
-	for len(m.queue) > 0 {
-		j := m.queue[0]
+	for m.qhead < len(m.queue) {
+		j := m.queue[m.qhead]
 		n, sawIdle := m.idleNodeFor(j)
 		if n == nil {
 			if sawIdle && m.OnBlocked != nil {
@@ -169,7 +193,13 @@ func (m *Manager) dispatch() {
 			}
 			return
 		}
-		m.queue = m.queue[1:]
+		m.queue[m.qhead] = nil // release the placed job to the collector
+		m.qhead++
+		if m.qhead == len(m.queue) {
+			// Drained: rewind so the backing array is reused.
+			m.queue = m.queue[:0]
+			m.qhead = 0
+		}
 		m.place(j, n)
 	}
 }
@@ -177,10 +207,8 @@ func (m *Manager) dispatch() {
 // idleNodeFor returns the first acceptable idle node for j in ID order, and
 // whether any idle node existed at all.
 func (m *Manager) idleNodeFor(j *Job) (*node, bool) {
-	ids := m.NodeIDs()
 	sawIdle := false
-	for _, id := range ids {
-		n := m.nodes[id]
+	for _, n := range m.order {
 		if n.state != NodeIdle {
 			continue
 		}
@@ -233,7 +261,7 @@ func (m *Manager) complete(j *Job, n *node) {
 }
 
 // QueueLen returns the number of queued (unplaced) jobs.
-func (m *Manager) QueueLen() int { return len(m.queue) }
+func (m *Manager) QueueLen() int { return len(m.queue) - m.qhead }
 
 // Nodes returns the node IDs sorted, with their states.
 func (m *Manager) Nodes() map[NodeID]NodeState {
@@ -246,11 +274,10 @@ func (m *Manager) Nodes() map[NodeID]NodeState {
 
 // NodeIDs returns sorted node IDs.
 func (m *Manager) NodeIDs() []NodeID {
-	ids := make([]NodeID, 0, len(m.nodes))
-	for id := range m.nodes {
-		ids = append(ids, id)
+	ids := make([]NodeID, len(m.order))
+	for i, n := range m.order {
+		ids[i] = n.id
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 

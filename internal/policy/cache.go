@@ -136,6 +136,14 @@ func (l *lru[K, V]) trim() int {
 
 func (l *lru[K, V]) len() int { return l.order.Len() }
 
+// each calls fn for every entry, most recently used first.
+func (l *lru[K, V]) each(fn func(K, V)) {
+	for el := l.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*lruEntry[K, V])
+		fn(e.key, e.val)
+	}
+}
+
 type scheduleCache struct {
 	mu         sync.Mutex
 	capacity   int
@@ -215,6 +223,46 @@ func SharedPlanner(m *core.Model, delta, step float64) *CheckpointPlanner {
 	p := NewCheckpointPlanner(m, delta, step)
 	shared.stats.PlannerEvictions += uint64(shared.planners.put(key, p))
 	return p
+}
+
+// PlannerKeyStats is one cached planner's identity plus its solve
+// counters, the per-key view of the DP cold path: how many table builds
+// this (model, delta, step) has paid for, how many callers were deduped
+// onto an in-flight build, and how long the builds took.
+type PlannerKeyStats struct {
+	// Model is the bathtub parameter tuple rendered as a string (the cache
+	// key's model identity).
+	Model string  `json:"model"`
+	Delta float64 `json:"delta"`
+	Step  float64 `json:"step"`
+	SolveStats
+}
+
+// SharedPlannerSolveStats snapshots the solve counters of every planner in
+// the shared cache, most recently used first. Planners evicted from the
+// LRU take their counters with them; the aggregate CacheStats counters are
+// the durable totals.
+func SharedPlannerSolveStats() []PlannerKeyStats {
+	shared.mu.Lock()
+	planners := make([]*CheckpointPlanner, 0, shared.planners.len())
+	keys := make([]plannerKey, 0, shared.planners.len())
+	shared.planners.each(func(k plannerKey, p *CheckpointPlanner) {
+		keys = append(keys, k)
+		planners = append(planners, p)
+	})
+	shared.mu.Unlock()
+	// Planner stats are read outside the cache lock: each planner has its
+	// own mutex, and holding both invites ordering trouble for no benefit.
+	out := make([]PlannerKeyStats, len(planners))
+	for i, p := range planners {
+		out[i] = PlannerKeyStats{
+			Model:      keys[i].bt.String(),
+			Delta:      keys[i].delta,
+			Step:       keys[i].step,
+			SolveStats: p.Stats(),
+		}
+	}
+	return out
 }
 
 // SharedCacheStats returns a snapshot of the cache's hit/miss/eviction

@@ -3,7 +3,10 @@ package policy
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 )
@@ -15,13 +18,114 @@ import (
 // VM (age 0), which makes the age-0 value function self-referential; the
 // planner solves that fixed point algebraically per candidate interval
 // (DESIGN.md note 3).
+//
+// The solve is row-parallel (see SetParallelism), incremental (a cached
+// table is grown, not re-solved, when a longer job arrives), and deduped:
+// concurrent Plan calls needing the same table join one in-flight solve
+// instead of serializing behind a lock (see package doc for the structure
+// and SolveStats for observability).
 type CheckpointPlanner struct {
 	Model *core.Model
 	Delta float64 // checkpoint write cost, hours
 	Step  float64 // DP time resolution, hours (e.g. 1.0/60 for one minute)
 
+	// Prune enables the branch-and-bound candidate cuts on the DP's inner
+	// interval loop (an opt-in fast mode). The cuts only discard candidates
+	// that provably cannot beat the incumbent strictly, so the pruned solve
+	// produces a table identical cell for cell to the exhaustive one (the
+	// test suite gates this). Set it before the first Plan.
+	Prune bool
+
+	// par is the row-parallel worker count (0 = package default, then
+	// GOMAXPROCS), stored atomically because planners are shared across
+	// sessions that may configure it concurrently; any value is safe since
+	// results are byte-identical at every worker count.
+	par atomic.Int32
+
 	mu     sync.Mutex
-	cached *table // largest table solved so far; reused for shorter jobs
+	cached *table       // largest table solved so far; reused for shorter jobs
+	flight *solveFlight // in-flight solve other callers join, nil when idle
+	stats  SolveStats
+}
+
+// solveFlight is one in-flight DP solve. Callers needing at most n work
+// steps wait on done and read tb (set before done closes).
+type solveFlight struct {
+	n    int
+	done chan struct{}
+	tb   *table
+}
+
+// SolveStats counts a planner's DP solves: how many table builds ran, how
+// many callers joined an in-flight build instead of starting their own
+// (dedup), whether one is running now, and the build latencies. The shared
+// cache exposes these per key via SharedPlannerSolveStats.
+type SolveStats struct {
+	// Solves counts completed table builds (initial solves and incremental
+	// growths alike).
+	Solves uint64 `json:"solves"`
+	// DedupWaits counts callers that joined an in-flight solve rather than
+	// starting their own — the singleflight savings.
+	DedupWaits uint64 `json:"dedup_waits"`
+	// Inflight is 1 while a solve is running, else 0.
+	Inflight int `json:"inflight"`
+	// TableWorkSteps is the cached table's current row count (job steps).
+	TableWorkSteps int `json:"table_work_steps"`
+	// LastSolveMS / MaxSolveMS / TotalSolveMS are build wall-clock times in
+	// milliseconds.
+	LastSolveMS  float64 `json:"last_solve_ms"`
+	MaxSolveMS   float64 `json:"max_solve_ms"`
+	TotalSolveMS float64 `json:"total_solve_ms"`
+}
+
+// defaultPlannerParallelism is the process-wide fallback worker count for
+// planners whose own setting is zero (see SetDefaultPlannerParallelism).
+var defaultPlannerParallelism atomic.Int32
+
+// SetDefaultPlannerParallelism sets the process-wide default row-parallel
+// worker count used by planners that have no per-planner setting. n <= 0
+// restores the built-in default (GOMAXPROCS).
+func SetDefaultPlannerParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultPlannerParallelism.Store(int32(n))
+}
+
+// SetParallelism sets this planner's row-parallel worker count; 0 defers to
+// the package default (SetDefaultPlannerParallelism), then GOMAXPROCS. The
+// solved tables are byte-identical at every worker count, so concurrent
+// sessions sharing a planner may set it freely.
+func (p *CheckpointPlanner) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	p.par.Store(int32(n))
+}
+
+// Parallelism returns the effective worker count a solve would use now.
+func (p *CheckpointPlanner) Parallelism() int {
+	if n := int(p.par.Load()); n > 0 {
+		return n
+	}
+	if n := int(defaultPlannerParallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Stats returns a snapshot of the planner's solve counters.
+func (p *CheckpointPlanner) Stats() SolveStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.stats
+	if p.flight != nil {
+		st.Inflight = 1
+	}
+	if p.cached != nil {
+		st.TableWorkSteps = p.cached.nWork
+	}
+	return st
 }
 
 // NewCheckpointPlanner returns a planner. Delta must be non-negative and
@@ -71,6 +175,12 @@ type table struct {
 	// normalized model, precomputed on the age grid.
 	surv []float64
 	m1   []float64
+	// survZero is the smallest grid index with surv exactly zero (len(surv)
+	// when none): the saturation point the pruned candidate loop caps its
+	// scan at. Survival hits exact zero only at deadline-clamped grid
+	// points, where surv and m1 are bitwise constant, which is what makes
+	// the cap an exact optimization (see solveStatePruned).
+	survZero int
 }
 
 // valueAt returns E[M*] for j work steps at age index a.
@@ -83,6 +193,16 @@ func (tb *table) choiceAt(j, a int) int32 { return tb.choice[j*tb.nAges+a] }
 // VM of age startAge, and returns the optimal schedule together with its
 // expected makespan E[M*(J, s)].
 func (p *CheckpointPlanner) Plan(jobLen, startAge float64) Schedule {
+	return p.PlanInto(nil, jobLen, startAge)
+}
+
+// PlanInto is Plan with a caller-supplied intervals buffer: the schedule is
+// appended into buf[:0], so a caller re-planning the same job across
+// attempts (the batch service does, on every failure) reuses one backing
+// array instead of allocating per attempt. The caller must not hand the
+// returned schedule to anyone who outlives the next PlanInto on the same
+// buffer.
+func (p *CheckpointPlanner) PlanInto(buf []float64, jobLen, startAge float64) Schedule {
 	if jobLen <= 0 {
 		return Schedule{ExpectedMakespan: 0}
 	}
@@ -95,7 +215,7 @@ func (p *CheckpointPlanner) Plan(jobLen, startAge float64) Schedule {
 	if n < 1 {
 		n = 1
 	}
-	sched := Schedule{ExpectedMakespan: tb.valueAt(n, a0)}
+	sched := Schedule{Intervals: buf[:0:cap(buf)], ExpectedMakespan: tb.valueAt(n, a0)}
 	// Walk the choice table along the failure-free path.
 	j, a := n, a0
 	for j > 0 {
@@ -181,66 +301,210 @@ func (tb *table) ageIndex(age float64) int {
 	return a
 }
 
-// solve returns a DP table covering jobs of at least jobLen hours, reusing
-// the cached table when possible: a table solved for n work steps contains
-// the value function of every shorter job (Section 5 precomputes schedules
-// for jobs of different lengths the same way).
+// solve returns a DP table covering jobs of at least jobLen hours. A table
+// solved for n work steps contains the value function of every shorter job
+// (Section 5 precomputes schedules for jobs of different lengths the same
+// way), so the cached table is reused when large enough and grown
+// incrementally — rows 1..n0 of a table are valid prefixes of any larger
+// table — when not.
+//
+// Concurrent callers are deduplicated per planner: the first caller needing
+// a larger table starts a build (outside the planner lock, so unrelated
+// planners and readers of the current table never stall behind it); callers
+// arriving while it runs join the same flight and share its result instead
+// of queueing up redundant solves behind a mutex.
 func (p *CheckpointPlanner) solve(jobLen float64) *table {
 	n := int(math.Round(jobLen / p.Step))
 	if n < 1 {
 		n = 1
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.cached == nil || p.cached.nWork < n {
-		p.cached = p.solveN(n)
+	for {
+		if p.cached != nil && p.cached.nWork >= n {
+			tb := p.cached
+			p.mu.Unlock()
+			return tb
+		}
+		f := p.flight
+		if f == nil {
+			break
+		}
+		p.stats.DedupWaits++
+		if f.n >= n {
+			// The in-flight build covers this request: join it.
+			p.mu.Unlock()
+			<-f.done
+			return f.tb
+		}
+		// The in-flight build is too small; wait for it and re-check — our
+		// build will then grow its table instead of starting from scratch.
+		p.mu.Unlock()
+		<-f.done
+		p.mu.Lock()
 	}
-	return p.cached
+	f := &solveFlight{n: n, done: make(chan struct{})}
+	p.flight = f
+	base := p.cached
+	p.mu.Unlock()
+
+	start := time.Now()
+	tb := p.extend(base, n)
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+
+	p.mu.Lock()
+	p.cached = tb
+	p.flight = nil
+	p.stats.Solves++
+	p.stats.LastSolveMS = ms
+	p.stats.TotalSolveMS += ms
+	if ms > p.stats.MaxSolveMS {
+		p.stats.MaxSolveMS = ms
+	}
+	p.mu.Unlock()
+	f.tb = tb
+	close(f.done)
+	return tb
 }
 
-// solveN fills the DP tables for jobs of up to n work steps.
-func (p *CheckpointPlanner) solveN(n int) *table {
-	m := p.Model
-	l := m.Deadline()
-	step := p.Step
-	nAges := int(math.Ceil(l/step)) + 1
-	deltaSteps := int(math.Ceil(p.Delta/step - 1e-12))
-	if p.Delta == 0 {
-		deltaSteps = 0
+// extend builds a table covering n work steps. When base is non-nil its
+// rows 1..base.nWork are copied verbatim (they are exact prefixes of the
+// larger solve) and only rows base.nWork+1..n are solved; the age grid
+// (surv/m1) is shared outright since it depends only on the model and step.
+// A published *table is never mutated — extend always returns a fresh
+// struct — so readers of the previous table race with nothing.
+func (p *CheckpointPlanner) extend(base *table, n int) *table {
+	var tb *table
+	startRow := 1
+	if base != nil {
+		tb = &table{
+			step:     base.step,
+			delta:    base.delta,
+			nAges:    base.nAges,
+			nWork:    n,
+			surv:     base.surv,
+			m1:       base.m1,
+			value:    make([]float64, (n+1)*base.nAges),
+			choice:   make([]int32, (n+1)*base.nAges),
+			survZero: base.survZero,
+		}
+		copy(tb.value, base.value)
+		copy(tb.choice, base.choice)
+		startRow = base.nWork + 1
+	} else {
+		m := p.Model
+		l := m.Deadline()
+		step := p.Step
+		nAges := int(math.Ceil(l/step)) + 1
+		deltaSteps := int(math.Ceil(p.Delta/step - 1e-12))
+		if p.Delta == 0 {
+			deltaSteps = 0
+		}
+		tb = &table{
+			step:   step,
+			delta:  deltaSteps,
+			nAges:  nAges,
+			nWork:  n,
+			surv:   make([]float64, nAges+1),
+			m1:     make([]float64, nAges+1),
+			value:  make([]float64, (n+1)*nAges),
+			choice: make([]int32, (n+1)*nAges),
+		}
+		bt := m.Bathtub()
+		norm := bt.Raw(l)
+		tb.survZero = len(tb.surv)
+		for a := 0; a <= nAges; a++ {
+			t := math.Min(float64(a)*step, l)
+			tb.surv[a] = 1 - math.Min(bt.CDF(t)/norm, 1)
+			tb.m1[a] = bt.PartialMoment(t) / norm
+			if tb.surv[a] == 0 && a < tb.survZero {
+				tb.survZero = a
+			}
+		}
 	}
+	p.solveRows(tb, startRow, n)
+	return tb
+}
 
-	tb := &table{
-		step:  step,
-		delta: deltaSteps,
-		nAges: nAges,
-		nWork: n,
-		surv:  make([]float64, nAges+1),
-		m1:    make([]float64, nAges+1),
+// solveRows fills rows lo..hi of the table. Work amounts are solved in
+// increasing order; within each row j, age 0 first (the restart fixed
+// point rj), then all other ages. Rows depend only on smaller-j rows and
+// rj, so the age loop of one row is embarrassingly parallel: it is sharded
+// across a worker pool in fixed contiguous ranges, which makes the result
+// byte-identical to the serial solve at any worker count (each cell's
+// arithmetic is unchanged; only who computes it varies).
+func (p *CheckpointPlanner) solveRows(tb *table, lo, hi int) {
+	// j = 0: nothing left to do (row stays zero).
+	age0 := p.solveAge0
+	if p.Prune {
+		age0 = p.solveAge0Pruned
 	}
-	bt := m.Bathtub()
-	norm := bt.Raw(l)
-	for a := 0; a <= nAges; a++ {
-		t := math.Min(float64(a)*step, l)
-		tb.surv[a] = 1 - math.Min(bt.CDF(t)/norm, 1)
-		tb.m1[a] = bt.PartialMoment(t) / norm
+	workers := p.Parallelism()
+	if workers > tb.nAges-1 {
+		workers = tb.nAges - 1
 	}
+	if workers <= 1 || hi < lo {
+		for j := lo; j <= hi; j++ {
+			rj := age0(tb, j)
+			tb.value[j*tb.nAges] = rj
+			p.solveAgeRange(tb, j, rj, 1, tb.nAges)
+		}
+		return
+	}
+	// Persistent pool: one goroutine per fixed age range, fed a row at a
+	// time. The per-row barrier (wg) is the only synchronization rows need:
+	// it orders every write of row j before every read from row j+1.
+	type rowJob struct {
+		j  int
+		rj float64
+	}
+	var wg sync.WaitGroup
+	feeds := make([]chan rowJob, workers)
+	span := (tb.nAges - 1 + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		aLo := 1 + w*span
+		aHi := aLo + span
+		if aHi > tb.nAges {
+			aHi = tb.nAges
+		}
+		feed := make(chan rowJob, 1)
+		feeds[w] = feed
+		go func(aLo, aHi int) {
+			for job := range feed {
+				p.solveAgeRange(tb, job.j, job.rj, aLo, aHi)
+				wg.Done()
+			}
+		}(aLo, aHi)
+	}
+	for j := lo; j <= hi; j++ {
+		rj := age0(tb, j)
+		tb.value[j*tb.nAges] = rj
+		wg.Add(workers)
+		for _, feed := range feeds {
+			feed <- rowJob{j: j, rj: rj}
+		}
+		wg.Wait()
+	}
+	for _, feed := range feeds {
+		close(feed)
+	}
+}
 
-	tb.value = make([]float64, (n+1)*nAges)
-	tb.choice = make([]int32, (n+1)*nAges)
-	// j = 0: nothing left to do.
-	// Work amounts solved in increasing order; within each j, age 0 first
-	// (the restart fixed point), then all other ages.
-	for j := 1; j <= n; j++ {
-		rj := p.solveAge0(tb, j)
-		row := j * nAges
-		tb.value[row] = rj
-		for a := 1; a < nAges; a++ {
-			v, c := p.solveState(tb, j, a, rj)
+// solveAgeRange fills row j's cells for ages [aLo, aHi).
+func (p *CheckpointPlanner) solveAgeRange(tb *table, j int, rj float64, aLo, aHi int) {
+	row := j * tb.nAges
+	if p.Prune {
+		for a := aLo; a < aHi; a++ {
+			v, c := p.solveStatePruned(tb, j, a, rj)
 			tb.value[row+a] = v
 			tb.choice[row+a] = int32(c)
 		}
+		return
 	}
-	return tb
+	for a := aLo; a < aHi; a++ {
+		v, c := p.solveState(tb, j, a, rj)
+		tb.value[row+a] = v
+		tb.choice[row+a] = int32(c)
+	}
 }
 
 // windowStats returns, for a segment occupying ages [a, a+w) (indices), the
@@ -327,6 +591,89 @@ func (p *CheckpointPlanner) solveAge0(tb *table, j int) float64 {
 	return best
 }
 
+// pruneBound caps the candidate scan for a cell starting at age index a:
+// it returns the largest first-candidate index worth examining and whether
+// the write-free final candidate i=j must then be evaluated separately.
+//
+// The cut: a checkpointed candidate i < j occupies ages [a, a+i+delta). Once
+// that window reaches tb.survZero — the first grid point with survival
+// exactly zero — its success probability is exactly 0 and its conditional
+// loss is bitwise identical for every longer window (survival hits exact
+// zero only at deadline-clamped grid points, where surv and m1 are computed
+// from the same clamped time), so all remaining checkpointed candidates
+// share one value. The exhaustive loop keeps the first minimizer, so
+// scanning the first saturated candidate and skipping its equal-valued
+// successors is exact, not approximate. The final candidate i=j omits the
+// checkpoint write (w = j, not j+delta) and must still be examined on its
+// own.
+func (tb *table) pruneBound(a, j int) (hi int, tail bool) {
+	i0 := tb.survZero - a - tb.delta
+	if i0 >= j {
+		return j, false
+	}
+	if i0 < 1 {
+		i0 = 1
+	}
+	if i0 >= j {
+		return j, false
+	}
+	return i0, true
+}
+
+// solveAge0Pruned is solveAge0 with the pruneBound saturation cap. The loop
+// body is the exhaustive one — candidates the cap removes are exactly those
+// the exhaustive loop skips (zero success probability from age 0) — so the
+// result is identical bit for bit.
+func (p *CheckpointPlanner) solveAge0Pruned(tb *table, j int) float64 {
+	best := math.Inf(1)
+	var bestI int
+	sa := tb.surv[0]
+	if sa <= 0 {
+		panic("policy: checkpoint DP has no feasible segment from age 0")
+	}
+	m1a := tb.m1[0]
+	hi, tail := tb.pruneBound(0, j)
+	for i := 1; i <= hi; i++ {
+		w := i
+		if i < j {
+			w += tb.delta
+		}
+		psucc, elost := tb.windowStatsFrom(sa, m1a, 0, 0, w)
+		if psucc <= 0 {
+			continue
+		}
+		next := 0.0
+		if i < j {
+			na := w
+			if na >= tb.nAges {
+				na = tb.nAges - 1
+			}
+			next = tb.value[(j-i)*tb.nAges+na]
+		}
+		pfail := 1 - psucc
+		v := float64(w)*tb.step + next + (pfail/psucc)*elost
+		if v < best {
+			best = v
+			bestI = i
+		}
+	}
+	if tail {
+		// The write-free final candidate i=j.
+		if psucc, elost := tb.windowStatsFrom(sa, m1a, 0, 0, j); psucc > 0 {
+			pfail := 1 - psucc
+			if v := float64(j)*tb.step + (pfail/psucc)*elost; v < best {
+				best = v
+				bestI = j
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		panic("policy: checkpoint DP has no feasible segment from age 0")
+	}
+	tb.choice[j*tb.nAges] = int32(bestI)
+	return best
+}
+
 // solveState solves E[M*(j, a)] for a > 0 given the restart value rj.
 func (p *CheckpointPlanner) solveState(tb *table, j, a int, rj float64) (float64, int) {
 	best := math.Inf(1)
@@ -362,6 +709,58 @@ func (p *CheckpointPlanner) solveState(tb *table, j, a int, rj float64) (float64
 		if v < best {
 			best = v
 			bestI = i
+		}
+	}
+	return best, bestI
+}
+
+// solveStatePruned is solveState with the pruneBound saturation cap: the
+// candidate loop runs the exhaustive body over a (possibly much) shorter
+// range, then examines the write-free final candidate. Checkpointed
+// candidates beyond the cap all evaluate to exactly E[lost]+R_j — the same
+// bits as the last scanned candidate — and the exhaustive loop keeps the
+// first minimizer, so the pruned cell is identical to the exhaustive one.
+// No per-candidate bound checks: the cap is a loop bound computed once per
+// cell, which is what lets the hot loop stay as tight as the reference.
+func (p *CheckpointPlanner) solveStatePruned(tb *table, j, a int, rj float64) (float64, int) {
+	best := math.Inf(1)
+	bestI := 0
+	sa := tb.surv[a]
+	if sa <= 0 {
+		return rj, 1
+	}
+	m1a := tb.m1[a]
+	t := float64(a) * tb.step
+	nAges := tb.nAges
+	hi, tail := tb.pruneBound(a, j)
+	for i := 1; i <= hi; i++ {
+		w := i
+		if i < j {
+			w += tb.delta
+		}
+		psucc, elost := tb.windowStatsFrom(sa, m1a, t, a, w)
+		next := 0.0
+		if i < j {
+			na := a + w
+			if na >= nAges {
+				na = nAges - 1
+			}
+			next = tb.value[(j-i)*nAges+na]
+		}
+		pfail := 1 - psucc
+		v := psucc*(float64(w)*tb.step+next) + pfail*(elost+rj)
+		if v < best {
+			best = v
+			bestI = i
+		}
+	}
+	if tail {
+		// The write-free final candidate i=j.
+		psucc, elost := tb.windowStatsFrom(sa, m1a, t, a, j)
+		pfail := 1 - psucc
+		if v := psucc*float64(j)*tb.step + pfail*(elost+rj); v < best {
+			best = v
+			bestI = j
 		}
 	}
 	return best, bestI

@@ -1,0 +1,81 @@
+// Package policy implements the paper's model-driven resource management
+// policies (Section 4): the VM reuse / job scheduling policy that decides
+// whether a job should run on an existing VM or a fresh one, and the
+// dynamic-programming checkpointing policy for bathtub failure rates, plus
+// the memoryless and Young-Daly baselines they are compared against in
+// Section 6.2.
+//
+// # The checkpoint DP and its cost
+//
+// CheckpointPlanner discretizes time into steps of Step hours over the
+// model's deadline L, giving nAges = ceil(L/Step)+1 age grid points, and
+// solves E[M*(j, a)] — the expected makespan of j remaining work steps on
+// a VM of age index a — for every j up to the job length n. Each cell
+// scans up to j candidate first intervals, so the solve is
+//
+//	O(sum_j j * nAges) = O(n^2 * nAges)
+//
+// time and O(n * nAges) table space. At the experiments' default grid
+// (4-hour job, 2-minute resolution, 24-hour deadline) that is a ~20 ms
+// build — the dominant cold-path cost of the whole system, since every
+// other hot path (sampling, Monte Carlo, progress streaming) is nano- to
+// micro-scale. The solved table is what the schedule cache in this
+// package shares process-wide, so the build runs once per distinct
+// (model identity, delta, step), not once per session.
+//
+// # Row-parallel structure
+//
+// Within one work level j, the age-0 cell is the restart fixed point R_j
+// (self-referential, solved algebraically per candidate; DESIGN.md note
+// 3) and every cell (j, a>0) depends only on rows j' < j and on R_j.
+// solveRows therefore solves R_j serially, then shards the age loop
+// across a persistent worker pool in fixed contiguous ranges with one
+// barrier per row. Sharding only redistributes which goroutine computes
+// which cell — each cell's arithmetic is untouched — so the table is
+// byte-identical at every worker count (TestParallelSolveByteIdentical);
+// SetParallelism merely tunes cold-solve latency. Workers default to
+// GOMAXPROCS via the package default (SetDefaultPlannerParallelism).
+//
+// # Incremental growth
+//
+// A table solved for n work steps contains the value function of every
+// shorter job, and rows 1..n of a larger table are exact prefixes: row j
+// reads only rows below it and the shared age grid. When a longer job
+// arrives, extend copies the cached rows and solves only the new ones
+// instead of re-solving from scratch (TestIncrementalGrowthMatchesScratch
+// pins grown == scratch cell for cell). Published tables are never
+// mutated — growth builds a fresh struct — so readers race with nothing.
+//
+// # When pruning is safe
+//
+// The opt-in Prune mode caps each cell's candidate scan at the grid's
+// saturation index: the first age point whose survival is exactly zero.
+// Exactness rests on a property of the normalized bathtub grid: survival
+// reaches exact zero only at deadline-clamped grid points (t = L), where
+// the survival and partial-moment arrays are computed from the same
+// clamped time and are therefore bitwise constant. Every checkpointed
+// candidate whose window reaches saturation thus evaluates to exactly
+// E[lost]+R_j — the same bits — and since the exhaustive loop keeps the
+// first minimizer, scanning one saturated candidate and skipping its
+// equal-valued successors changes nothing (TestPrunedMatchesExhaustive
+// gates this cell for cell across bathtub, Weibull-like, and
+// uniform-like shapes, including Delta > Step, which is why the
+// write-free final candidate i=j is always examined separately — its
+// window can be shorter than a checkpointed one). The cut is a per-cell
+// loop bound with no per-candidate checks: for jobs short relative to
+// the deadline it is within noise of the exhaustive loop, and it pays
+// off (~26% on a 20-hour job) when job length approaches the deadline
+// grid. The exhaustive loop remains the default and the reference.
+//
+// # Cold-miss dedup (singleflight)
+//
+// Concurrent Plan calls on one planner no longer serialize a build behind
+// the planner mutex: the first caller needing a larger table starts a
+// flight, runs the build outside the lock, and every caller whose request
+// the flight covers joins it and shares the result. Callers needing an
+// even larger table wait, then grow the fresh result incrementally. N
+// sessions (or sweep cells) cold-starting the same model therefore pay
+// for exactly one build. SolveStats counts builds, dedup joins, and
+// build latency per planner; the shared cache exposes them per key via
+// SharedPlannerSolveStats (surfaced at /api/stats as dp_solves).
+package policy

@@ -1,9 +1,5 @@
-// Package policy implements the paper's model-driven resource management
-// policies (Section 4): the VM reuse / job scheduling policy that decides
-// whether a job should run on an existing VM or a fresh one, and the
-// dynamic-programming checkpointing policy for bathtub failure rates, plus
-// the memoryless and Young-Daly baselines they are compared against in
-// Section 6.2.
+// This file implements the VM reuse / job scheduling policy (Section 4.2)
+// and its baselines; see doc.go for the package overview.
 package policy
 
 import (

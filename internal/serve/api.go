@@ -288,10 +288,32 @@ func (a *API) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rep)
 }
 
+// dpSolveStats is the wire form of the DP cold path's observability: the
+// per-key planner solve counters plus process totals, so an operator can
+// see how many expensive table builds ran, how many concurrent requests
+// were deduplicated onto in-flight builds, and per-key solve latency.
+type dpSolveStats struct {
+	TotalSolves     uint64                   `json:"total_solves"`
+	TotalDedupWaits uint64                   `json:"total_dedup_waits"`
+	Inflight        int                      `json:"inflight"`
+	Keys            []policy.PlannerKeyStats `json:"keys"`
+}
+
+func collectDPSolveStats() dpSolveStats {
+	st := dpSolveStats{Keys: policy.SharedPlannerSolveStats()}
+	for _, k := range st.Keys {
+		st.TotalSolves += k.Solves
+		st.TotalDedupWaits += k.DedupWaits
+		st.Inflight += k.Inflight
+	}
+	return st
+}
+
 func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 	payload := map[string]any{
 		"sessions":       a.mgr.Stats().Sessions,
 		"schedule_cache": policy.SharedCacheStats(),
+		"dp_solves":      collectDPSolveStats(),
 	}
 	if st := a.mgr.StoreStats(); st != nil {
 		payload["store"] = st

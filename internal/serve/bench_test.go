@@ -173,3 +173,52 @@ func benchSSEFanout(b *testing.B, subscribers int) {
 func BenchmarkSSEFanout1(b *testing.B)   { benchSSEFanout(b, 1) }
 func BenchmarkSSEFanout16(b *testing.B)  { benchSSEFanout(b, 16) }
 func BenchmarkSSEFanout256(b *testing.B) { benchSSEFanout(b, 256) }
+
+// BenchmarkColdSweep measures the service's dominant cold path: a 3x3x2
+// scenario sweep (18 sessions) against an empty schedule cache, with DP
+// checkpointing on. Every cell shares one (model, delta, step), so the
+// planner singleflight collapses the 18 cold solves into one build that all
+// cells join — dp_solves/op reports how many DP builds actually ran per
+// sweep (kept near 1 by dedup; >1 only when incremental growth extends the
+// table for a longer job mid-run), and dp_dedup_waits/op how many cells
+// joined an in-flight build instead of re-solving.
+func BenchmarkColdSweep(b *testing.B) {
+	req := SweepRequest{
+		VMTypes:         []string{"n1-highcpu-4", "n1-highcpu-8", "n1-highcpu-16"},
+		Zones:           []string{"us-central1-c", "us-west1-a", "us-east1-b"},
+		Policies:        []string{PolicyReuse, PolicyMemoryless},
+		VMs:             16,
+		CheckpointDelta: 0.05,
+		CheckpointStep:  1.0 / 60,
+		Seed:            1,
+		Model:           &ModelParams{A: 0.45, Tau1: 1.0, Tau2: 0.8, B: 24, L: 24},
+		// Jitter spreads job lengths so cells also exercise the planner's
+		// incremental table growth, not just the initial solve.
+		Bag: BagRequest{App: "shapes", Jobs: 4, Jitter: 0.3, Seed: 1},
+	}
+	var solves, dedup uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		policy.ResetSharedCache()
+		mgr := NewManager(runtime.GOMAXPROCS(0))
+		rep, err := mgr.Sweep(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range rep.Cells {
+			if c.Error != "" {
+				b.Fatalf("cell %s/%s/%s: %s", c.VMType, c.Zone, c.Policy, c.Error)
+			}
+		}
+		for _, k := range policy.SharedPlannerSolveStats() {
+			solves += k.Solves
+			dedup += k.DedupWaits
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(solves)/float64(b.N), "dp_solves/op")
+		b.ReportMetric(float64(dedup)/float64(b.N), "dp_dedup_waits/op")
+	}
+}

@@ -14,6 +14,13 @@ func slowConfig(seed uint64) SessionConfig {
 	return cfg
 }
 
+// slowSessionJobs is the workload size startSlowSession callers use when
+// they need the run to outlast a mid-run interaction (cancel, delete, SSE
+// teardown). Sized for a couple hundred milliseconds of simulation after
+// the PR-4 run-path optimizations, a wide margin over the one-progress-
+// interval latency of the interaction itself.
+const slowSessionJobs = 120000
+
 // startSlowSession creates and starts a session with enough work that a
 // test can reliably interact with it mid-run.
 func startSlowSession(t *testing.T, m *Manager, jobs int) *Session {
@@ -54,7 +61,7 @@ func waitForProgress(t *testing.T, s *Session) {
 // subscriber/cancel/run-goroutine interleavings.
 func TestCancelMidRun(t *testing.T) {
 	m := NewManager(1)
-	s := startSlowSession(t, m, 20000)
+	s := startSlowSession(t, m, slowSessionJobs)
 	waitForProgress(t, s)
 
 	if err := m.Cancel(s.ID()); err != nil {
@@ -112,7 +119,7 @@ func TestCancelMidRun(t *testing.T) {
 // deleting a running session cancels it, returns promptly, and removes it.
 func TestDeleteCancelsRunningSession(t *testing.T) {
 	m := NewManager(1)
-	s := startSlowSession(t, m, 20000)
+	s := startSlowSession(t, m, slowSessionJobs)
 	waitForProgress(t, s)
 
 	start := time.Now()
@@ -135,7 +142,7 @@ func TestDeleteCancelsRunningSession(t *testing.T) {
 // worker slot: it must land in cancelled without ever simulating.
 func TestCancelWhileQueued(t *testing.T) {
 	m := NewManager(1)
-	running := startSlowSession(t, m, 20000)
+	running := startSlowSession(t, m, slowSessionJobs)
 	waitForProgress(t, running)
 
 	queued, err := m.Create("queued", testConfig(9))

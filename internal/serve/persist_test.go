@@ -235,7 +235,7 @@ func TestCancelledStatePersists(t *testing.T) {
 	if err := m1.Restore(st1); err != nil {
 		t.Fatal(err)
 	}
-	s := startSlowSession(t, m1, 20000)
+	s := startSlowSession(t, m1, slowSessionJobs)
 	waitForProgress(t, s)
 	if err := m1.Cancel(s.ID()); err != nil {
 		t.Fatal(err)

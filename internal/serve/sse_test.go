@@ -173,7 +173,7 @@ func TestSSEClientDisconnectReleasesSubscription(t *testing.T) {
 	srv := httptest.NewServer(NewAPI(mgr).Handler())
 	defer srv.Close()
 
-	s := startSlowSession(t, mgr, 20000)
+	s := startSlowSession(t, mgr, slowSessionJobs)
 	ctx, cancel := context.WithCancel(context.Background())
 	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/api/sessions/"+s.ID()+"/events", nil)
 	resp, err := http.DefaultClient.Do(req)

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// TestStatsExposesDPSolves drives a checkpointing session end to end and
+// checks that GET /api/stats surfaces the planner singleflight counters:
+// the per-key solve list (with the key's delta/step and latency fields)
+// and the aggregated totals.
+func TestStatsExposesDPSolves(t *testing.T) {
+	policy.ResetSharedCache()
+	mgr := NewManager(2)
+	h := NewAPI(mgr).Handler()
+
+	cfg := testConfig(1)
+	cfg.CheckpointDelta = 0.05
+	cfg.CheckpointStep = 0.25
+	rec, out := doJSON(t, h, "POST", "/api/sessions", createRequest{Config: cfg})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body)
+	}
+	id := out["id"].(string)
+	if rec, _ := doJSON(t, h, "POST", "/api/sessions/"+id+"/bags", BagRequest{App: "shapes", Jobs: 5, Seed: 1}); rec.Code != http.StatusAccepted {
+		t.Fatalf("bags: %d %s", rec.Code, rec.Body)
+	}
+	if rec, _ := doJSON(t, h, "POST", "/api/sessions/"+id+"/run", nil); rec.Code != http.StatusAccepted {
+		t.Fatalf("run: %d %s", rec.Code, rec.Body)
+	}
+	waitDone(t, h, id)
+
+	rec, out = doJSON(t, h, "GET", "/api/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d %s", rec.Code, rec.Body)
+	}
+	dp, ok := out["dp_solves"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing dp_solves: %v", out)
+	}
+	if n := dp["total_solves"].(float64); n < 1 {
+		t.Fatalf("total_solves = %v, want >= 1", n)
+	}
+	if inflight := dp["inflight"].(float64); inflight != 0 {
+		t.Fatalf("inflight = %v after run finished", inflight)
+	}
+	keys, ok := dp["keys"].([]any)
+	if !ok || len(keys) == 0 {
+		t.Fatalf("dp_solves.keys empty: %v", dp)
+	}
+	key := keys[0].(map[string]any)
+	if key["delta"].(float64) != 0.05 || key["step"].(float64) != 0.25 {
+		t.Fatalf("key identity mismatch: %v", key)
+	}
+	if key["model"].(string) == "" {
+		t.Fatal("key model identity empty")
+	}
+	if key["solves"].(float64) < 1 || key["total_solve_ms"].(float64) < 0 {
+		t.Fatalf("key counters implausible: %v", key)
+	}
+	if key["table_work_steps"].(float64) < 1 {
+		t.Fatalf("table_work_steps = %v, want >= 1", key["table_work_steps"])
+	}
+}

@@ -90,9 +90,13 @@ func (e *Engine) At(tAbs float64, fn func()) *Timer {
 		panic(fmt.Sprintf("sim: non-finite event time %v", tAbs))
 	}
 	ev := &event{time: tAbs, seq: e.seq, fn: fn}
+	ev.tm = Timer{ev: ev, eng: e}
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return &Timer{ev: ev, eng: e}
+	// The handle lives inside the event: one allocation per scheduled
+	// event, not two. Retention is unchanged — a held *Timer kept its
+	// event alive before this, too.
+	return &ev.tm
 }
 
 // After schedules fn after a delay of d hours.
@@ -164,7 +168,7 @@ func (e *Engine) RunUntil(tAbs float64) {
 		panic(fmt.Sprintf("sim: RunUntil into the past: %v < %v", tAbs, e.now))
 	}
 	for {
-		next, ok := e.peekTime()
+		next, ok := e.nextLiveTime()
 		if !ok || next > tAbs {
 			break
 		}
@@ -174,11 +178,22 @@ func (e *Engine) RunUntil(tAbs float64) {
 }
 
 // Pending returns the number of live (non-cancelled) events in the queue.
+// It is a pure read: cancelled events still occupying heap slots are
+// accounted by counter, never popped here, so calling Pending any number of
+// times (including right after a mass cancellation) observes the queue
+// without perturbing it. Heap cleanup happens only in Timer.Cancel's
+// compaction sweep and in nextLiveTime's lazy pops.
 func (e *Engine) Pending() int {
 	return len(e.queue) - e.dead
 }
 
-func (e *Engine) peekTime() (float64, bool) {
+// nextLiveTime returns the fire time of the earliest live event. It is NOT
+// a pure read: cancelled events encountered at the heap root are popped on
+// the way (cheaper than tolerating them in every later peek), mutating the
+// queue. The queue's live contents and their order are unaffected — only
+// dead slots are dropped — so callers (Step's batching, RunUntil) observe
+// identical behavior either way.
+func (e *Engine) nextLiveTime() (float64, bool) {
 	for e.queue.Len() > 0 {
 		if e.queue[0].fn == nil {
 			heap.Pop(&e.queue)
@@ -211,12 +226,14 @@ func (e *Engine) compact() {
 	heap.Init(&e.queue)
 }
 
-// event is one queue entry; seq breaks time ties FIFO.
+// event is one queue entry; seq breaks time ties FIFO. The Timer handle
+// returned by At/After is embedded so scheduling costs a single allocation.
 type event struct {
 	time  float64
 	seq   int64
 	fn    func()
 	index int
+	tm    Timer
 }
 
 type eventHeap []*event

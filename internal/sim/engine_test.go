@@ -318,3 +318,56 @@ func TestDriveContextCancelled(t *testing.T) {
 		t.Fatalf("executed %d events, want %d (bounded by one interval)", executed, 4*every)
 	}
 }
+
+// TestPendingAfterMassCancel pins Pending's read-only contract: after a
+// mass cancellation (which triggers the compaction sweep mid-way), repeated
+// Pending calls agree with each other and with the events that actually
+// fire, and the survivors still fire in exact time order.
+func TestPendingAfterMassCancel(t *testing.T) {
+	e := NewEngine()
+	const n = 10000
+	timers := make([]*Timer, n)
+	fired := make([]bool, n)
+	for i := 0; i < n; i++ {
+		i := i
+		timers[i] = e.After(float64(i+1), func() { fired[i] = true })
+	}
+	// Cancel every timer except multiples of 97 — far past the half-dead
+	// compaction threshold.
+	live := 0
+	for i := range timers {
+		if i%97 == 0 {
+			live++
+			continue
+		}
+		timers[i].Cancel()
+	}
+	if got := e.Pending(); got != live {
+		t.Fatalf("Pending = %d after mass cancel, want %d", got, live)
+	}
+	// A second read must agree: Pending does not consume or pop anything.
+	if got := e.Pending(); got != live {
+		t.Fatalf("repeated Pending = %d, want %d", got, live)
+	}
+	// The queue is consistent: exactly the survivors fire, in time order.
+	last := math.Inf(-1)
+	steps := 0
+	for e.Step() {
+		steps++
+		if e.Now() < last {
+			t.Fatalf("events fired out of order: %v after %v", e.Now(), last)
+		}
+		last = e.Now()
+	}
+	if steps != live {
+		t.Fatalf("%d events fired, want %d", steps, live)
+	}
+	for i, f := range fired {
+		if want := i%97 == 0; f != want {
+			t.Fatalf("event %d fired=%v, want %v", i, f, want)
+		}
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", got)
+	}
+}

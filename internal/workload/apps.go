@@ -76,7 +76,7 @@ func NewBag(app App, n int, jitter float64, seed uint64) Bag {
 		panic(fmt.Sprintf("workload: jitter %v outside [0,1)", jitter))
 	}
 	rng := mathx.NewRNG(seed)
-	bag := Bag{App: app}
+	bag := Bag{App: app, Jobs: make([]JobSpec, 0, n)}
 	for i := 0; i < n; i++ {
 		rt := app.JobRuntime * (1 + jitter*(2*rng.Float64()-1))
 		bag.Jobs = append(bag.Jobs, JobSpec{

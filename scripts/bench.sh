@@ -1,36 +1,88 @@
 #!/usr/bin/env bash
 # bench.sh — run the numeric-kernel micro-benchmarks plus the service-level
 # throughput benchmark and record the results as JSON, extending the
-# performance trajectory PR over PR.
+# performance trajectory PR over PR. Also diffs two recorded baselines.
 #
 # Usage:
-#   scripts/bench.sh                 # default suite -> BENCH_PR3.json
+#   scripts/bench.sh                 # default suite -> BENCH_PR4.json
 #   scripts/bench.sh 'Benchmark.*'   # custom micro pattern (e.g. the full
 #                                    # figure suite; slow)
 #   scripts/bench.sh PATTERN OUT     # custom pattern and output file
+#   scripts/bench.sh -compare OLD.json NEW.json
+#                                    # diff two baselines: prints the ns/op
+#                                    # ratio per benchmark present in both
+#                                    # and exits nonzero if any regressed by
+#                                    # more than 20%
 #
 # Three benchmark groups run:
-#   - micro (root package): sampling, DP solve, Monte Carlo kernels
+#   - micro (root package): sampling, DP solve (serial / parallel / pruned /
+#     incremental), Monte Carlo kernels
 #   - service (internal/serve): end-to-end sessions/sec through the
-#     multi-session manager at parallelism 1 vs GOMAXPROCS, plus the
-#     process-wide schedule cache's hit rate
+#     multi-session manager at parallelism 1 vs GOMAXPROCS, the
+#     process-wide schedule cache's hit rate, and the cold 3x3x2 sweep
+#     (18 sessions against an empty cache; dp_solves/op shows the planner
+#     singleflight collapsing the cells onto ~one DP build)
 #   - durability (internal/serve): store replay (sessions restored/sec
 #     when a manager boots from a snapshot+WAL data dir) and SSE fan-out
 #     (publish-side fan-out offers/sec to 1/16/256 subscribers)
 #
 # The JSON maps benchmark name -> {ns_per_op, bytes_per_op, allocs_per_op}
 # plus any custom metrics the benchmark reports (sessions_per_sec,
-# cache_hit_rate, sessions_restored_per_sec, offers_per_sec).
+# cache_hit_rate, sessions_restored_per_sec, offers_per_sec, dp_solves_per_op).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# compare OLD NEW: diff ns/op of benchmarks present in both files.
+compare() {
+    old="$1" new="$2"
+    awk -v oldfile="$old" -v newfile="$new" '
+    function parse(file, dest,    line, name, v) {
+        while ((getline line < file) > 0) {
+            if (match(line, /"Benchmark[^"]*"/)) {
+                name = substr(line, RSTART + 1, RLENGTH - 2)
+                if (match(line, /"ns_per_op": *[0-9.eE+-]+/)) {
+                    v = substr(line, RSTART, RLENGTH)
+                    sub(/"ns_per_op": */, "", v)
+                    dest[name] = v + 0
+                }
+            }
+        }
+        close(file)
+    }
+    BEGIN {
+        parse(oldfile, oldns)
+        parse(newfile, newns)
+        printf "%-42s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio"
+        worst = 0
+        for (name in oldns) {
+            if (!(name in newns)) continue
+            ratio = newns[name] / oldns[name]
+            flag = ""
+            if (ratio > 1.20) { flag = "  REGRESSION"; bad++ }
+            printf "%-42s %14.0f %14.0f %7.2fx%s\n", name, oldns[name], newns[name], ratio, flag
+            n++
+        }
+        if (n == 0) { print "no common benchmarks between the two files" > "/dev/stderr"; exit 2 }
+        if (bad > 0) { printf "%d benchmark(s) regressed by >20%% ns/op\n", bad > "/dev/stderr"; exit 1 }
+    }'
+}
+
+if [ "${1:-}" = "-compare" ]; then
+    if [ $# -ne 3 ]; then
+        echo "usage: scripts/bench.sh -compare OLD.json NEW.json" >&2
+        exit 2
+    fi
+    compare "$2" "$3"
+    exit $?
+fi
+
 pattern="${1:-BenchmarkSample|BenchmarkDPSolve|BenchmarkMCMakespan}"
-out="${2:-BENCH_PR3.json}"
+out="${2:-BENCH_PR4.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' -bench "$pattern" -benchmem . | tee "$raw"
-go test -run '^$' -bench 'BenchmarkServiceSessions|BenchmarkStoreRestore|BenchmarkSSEFanout' -benchmem ./internal/serve | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkServiceSessions|BenchmarkStoreRestore|BenchmarkSSEFanout|BenchmarkColdSweep' -benchmem ./internal/serve | tee -a "$raw"
 
 awk -v out="$out" '
 /^Benchmark/ {

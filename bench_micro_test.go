@@ -19,6 +19,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/mathx"
 	"repro/internal/policy"
+	"repro/internal/registry"
 )
 
 // benchModel is the paper-typical fitted model used by all micro-benches.
@@ -129,3 +130,71 @@ func benchMCMakespan(b *testing.B, parallelism int) {
 func BenchmarkMCMakespanP1(b *testing.B) { benchMCMakespan(b, 1) }
 
 func BenchmarkMCMakespanPMax(b *testing.B) { benchMCMakespan(b, runtime.GOMAXPROCS(0)) }
+
+// benchRegistry returns a registry with one entry whose model matches
+// benchModel, plus a pool of lifetimes drawn from that model (so steady
+// ingest exercises the KS-window hot path without ever flagging).
+func benchRegistry(b *testing.B) (*registry.Registry, []float64) {
+	b.Helper()
+	params := registry.Params{A: 0.45, Tau1: 1.0, Tau2: 0.8, B: 24, L: 24}
+	reg := registry.New()
+	_, err := reg.Create("bench", registry.Scenario{VMType: "n1-highcpu-16", Zone: "us-east1-b"},
+		registry.EntryConfig{},
+		registry.Provenance{Family: "manual", Params: params, Source: "register"}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := params.Model()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := mathx.NewRNG(1)
+	pool := make([]float64, 4096)
+	for i := range pool {
+		pool[i] = m.Sample(rng)
+	}
+	return reg, pool
+}
+
+// BenchmarkRegistryIngest measures observation throughput into a hot
+// change-point detector — the online registry's ingest path under a steady
+// stream of model-consistent lifetimes (each op is one 128-observation
+// batch; the obs/sec metric is the headline number).
+func BenchmarkRegistryIngest(b *testing.B) {
+	reg, pool := benchRegistry(b)
+	const batch = 128
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := (i * batch) % (len(pool) - batch)
+		if _, err := reg.Ingest("bench", pool[lo:lo+batch], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "obs/sec")
+}
+
+// BenchmarkModelResolve measures reference resolution — the registry work
+// on every model_ref session create (and sweep cell), pinning "@latest"
+// against an entry with a version history.
+func BenchmarkModelResolve(b *testing.B) {
+	reg, _ := benchRegistry(b)
+	for i := 0; i < 3; i++ {
+		prov := registry.Provenance{
+			Family: "manual",
+			Params: registry.Params{A: 0.45, Tau1: 1.0 + float64(i)*0.1, Tau2: 0.8, B: 24, L: 24},
+			Source: "register",
+		}
+		if _, err := reg.Publish("bench", prov, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Resolve("bench@latest"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

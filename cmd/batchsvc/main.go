@@ -21,14 +21,31 @@
 //	curl localhost:8080/api/sessions/s-001/report   # once done
 //	curl -X DELETE localhost:8080/api/sessions/s-001 # cancels if running
 //
-// With -data-dir, the session lifecycle is durable: configs, bags, state
-// transitions, and completed reports are written to a snapshot+WAL store,
-// and a restart resumes every non-running session exactly where it was
-// (sessions that were mid-run recover as failed with a diagnostic).
+// The /api/models endpoints expose the online model registry: versioned
+// preemption models that learn from observed lifetimes. Register one (here
+// via the tracegen | fitmodel pipeline), point sessions at it with
+// "model_ref", and feed it observations; when the drift detector flags a
+// change point, a refit publishes the next version while sessions pinned
+// at older versions stay byte-identical:
 //
-// POST /api/sweep fans a scenario grid (VM types x zones x policies) out
-// across sessions and aggregates the comparison. SIGINT/SIGTERM drain
-// in-flight runs before exiting.
+//	tracegen -n 20 | fitmodel -i - -json | curl -X POST localhost:8080/api/models -d @-
+//	curl -X POST localhost:8080/api/sessions -d '{
+//	  "config": {"vm_type": "n1-highcpu-16", "zone": "us-east1-b", "vms": 8,
+//	             "seed": 1, "model_ref": "n1-highcpu-16-us-east1-b@latest"}}'
+//	curl -X POST localhost:8080/api/models/n1-highcpu-16-us-east1-b/observations \
+//	  -d '{"lifetimes": [0.5, 2.25, 23.1]}'
+//	curl -X POST localhost:8080/api/models/n1-highcpu-16-us-east1-b/refit
+//
+// With -data-dir, the session lifecycle is durable: configs, bags, state
+// transitions, completed reports, and the model registry (versions,
+// observation high-water marks, detector state) are written to a
+// snapshot+WAL store, and a restart resumes every non-running session —
+// and the registry — exactly where it was (sessions that were mid-run
+// recover as failed with a diagnostic).
+//
+// POST /api/sweep fans a scenario grid (VM types x zones x policies,
+// optionally x model_refs) out across sessions and aggregates the
+// comparison. SIGINT/SIGTERM drain in-flight runs before exiting.
 package main
 
 import (

@@ -6,37 +6,55 @@
 //
 //	fitmodel [-i preemptions.csv] [-type n1-highcpu-16] [-zone us-east1-b]
 //
-// Without -i it generates a synthetic trace for the selected scenario.
+// Without -i it generates a synthetic trace for the selected scenario;
+// "-i -" reads the CSV from stdin, so tracegen pipes straight in.
+//
+// With -json it instead emits a registry-compatible model document — the
+// bathtub fit packaged as a POST /api/models request body — so a fitted
+// model can be piped into a running batchsvc:
+//
+//	tracegen -n 20 | fitmodel -i - -json | curl -X POST localhost:8080/api/models -d @-
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
+	"repro/internal/dist"
 	"repro/internal/fit"
+	"repro/internal/registry"
 	"repro/internal/trace"
 )
 
 func main() {
-	in := flag.String("i", "", "input CSV (default: generate synthetic data)")
+	in := flag.String("i", "", "input CSV, \"-\" for stdin (default: generate synthetic data)")
 	vmType := flag.String("type", string(trace.HighCPU16), "VM type filter")
 	zone := flag.String("zone", string(trace.USEast1B), "zone filter")
 	n := flag.Int("n", 2000, "synthetic sample size (when no -i)")
 	seed := flag.Uint64("seed", 42, "RNG seed (when no -i)")
 	extended := flag.Bool("extended", false, "also fit lognormal, gamma, and segmented-linear")
 	bootstrap := flag.Int("bootstrap", 0, "bootstrap iterations for bathtub parameter CIs (0 = off)")
+	jsonOut := flag.Bool("json", false,
+		"emit the bathtub fit as a registry model document (a POST /api/models body) instead of the report")
+	name := flag.String("name", "", "model name for -json (default: <type>-<zone>)")
 	flag.Parse()
 
 	var samples []float64
 	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			fatal(err)
+		var r io.Reader = os.Stdin
+		if *in != "-" {
+			f, err := os.Open(*in)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			r = f
 		}
-		ds, err := trace.ReadCSV(f)
-		f.Close()
+		ds, err := trace.ReadCSV(r)
 		if err != nil {
 			fatal(err)
 		}
@@ -52,6 +70,30 @@ func main() {
 			TimeOfDay: trace.Day, Workload: trace.Busy,
 		}
 		samples = trace.Generate(sc, *n, *seed)
+	}
+
+	if *jsonOut {
+		rep, err := fit.FitBathtub(samples, trace.Deadline)
+		if err != nil {
+			fatal(err)
+		}
+		doc := struct {
+			Name   string          `json:"name"`
+			VMType string          `json:"vm_type"`
+			Zone   string          `json:"zone"`
+			Model  registry.Params `json:"model"`
+		}{Name: *name, VMType: *vmType, Zone: *zone, Model: registry.ParamsOf(rep.Dist.(dist.Bathtub))}
+		if doc.Name == "" {
+			doc.Name = *vmType + "-" + *zone
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fitmodel: bathtub fit of %d lifetimes (%s, %s), KS=%.4f\n",
+			len(samples), *vmType, *zone, rep.KS)
+		return
 	}
 
 	fitAll := fit.FitAll

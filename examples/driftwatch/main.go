@@ -1,80 +1,222 @@
-// Driftwatch: detecting provider policy changes (Section 8).
+// Driftwatch: detecting provider policy changes through the live service
+// (Section 8).
 //
 // A long-running service should notice when the cloud's preemption behavior
 // stops matching its fitted model ("What if preemption characteristics
-// change?"). This example fits a model, streams preemption observations
-// through the change-point detector while the provider silently switches
-// from bathtub to uniform reclamation, and refits once the detector fires.
+// change?"). Earlier revisions of this example called the changepoint and
+// fit libraries directly; the service now owns that loop, so this example
+// drives it the way an operator would — entirely over the HTTP API:
+//
+//  1. register a model in the online registry (fit recipe, auto-refit on),
+//  2. create a session pinned to version 1,
+//  3. stream observed lifetimes in through POST .../observations while the
+//     provider silently switches from bathtub to uniform reclamation,
+//  4. watch /api/stats until the change point flags and the background
+//     auto-refit publishes version 2, and
+//  5. show that a new @latest session picks up v2 while the v1-pinned
+//     session's report is untouched.
 //
 // Run with: go run ./examples/driftwatch
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"time"
 
-	"repro/internal/changepoint"
-	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/mathx"
+	"repro/internal/registry"
+	"repro/internal/serve"
 	"repro/internal/trace"
 )
 
-func main() {
-	sc := trace.DefaultScenario()
-	model, rep, err := core.Fit(trace.Generate(sc, 2000, 42), trace.Deadline)
-	if err != nil {
-		log.Fatalf("fitting model: %v", err)
-	}
-	fmt.Printf("fitted model %v (R2=%.4f)\n", model, rep.R2)
+const modelName = "us-east1-b"
 
-	det := changepoint.New(model, changepoint.DefaultConfig())
-	rng := mathx.NewRNG(7)
+func main() {
+	// An in-process service instance on a loopback port: the same handler
+	// batchsvc serves.
+	mgr := serve.NewManager(2)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: serve.NewAPI(mgr).Handler()}
+	go srv.Serve(ln)
+	defer srv.Shutdown(context.Background())
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("service on %s\n", base)
+
+	// 1. Register: the service fits version 1 from study data and starts
+	// the drift detector against it. Auto-refit waits for 300 post-flag
+	// observations before publishing a new version.
+	post(base+"/api/models", map[string]any{
+		"name": modelName, "vm_type": "n1-highcpu-16", "zone": "us-east1-b",
+		"fit":        map[string]any{"samples": 2000, "seed": 42},
+		"auto_refit": true, "min_refit_samples": 300,
+	})
+	info := getModel(base)
+	v1 := info.Versions[0]
+	fmt.Printf("registered %s@v1 (family %s, %d samples, KS=%.4f)\n",
+		modelName, v1.Family, v1.Samples, v1.KS)
+
+	// 2. A session created now pins v1 forever.
+	var created struct {
+		ID     string `json:"id"`
+		Config struct {
+			ModelRef string `json:"model_ref"`
+		} `json:"config"`
+	}
+	post(base+"/api/sessions", map[string]any{
+		"name": "pinned-v1",
+		"config": map[string]any{
+			"vm_type": "n1-highcpu-16", "zone": "us-east1-b", "vms": 4,
+			"seed": 1, "model_ref": modelName,
+		},
+	}, &created)
+	post(base+"/api/sessions/"+created.ID+"/bags", map[string]any{"app": "shapes", "jobs": 20, "seed": 7})
+	post(base+"/api/sessions/"+created.ID+"/run", nil)
+	fmt.Printf("session %s pinned to %s\n", created.ID, created.Config.ModelRef)
+
+	// 3. Stream observations: the provider runs its true (bathtub-like)
+	// policy for 400 lifetimes, then silently switches to uniform
+	// reclamation.
+	sc := trace.DefaultScenario()
 	truth := trace.GroundTruth(sc)
 	changed := dist.NewUniform(trace.Deadline)
-
+	rng := mathx.NewRNG(7)
 	const regimeSwitch = 400
-	var refitBuf []float64
-	for i := 0; i < 1200; i++ {
-		var lifetime float64
-		if i < regimeSwitch {
-			lifetime = truth.Sample(rng)
-		} else {
-			// The provider silently changes policy: uniform preemptions.
-			lifetime = dist.Sample(changed, rng, trace.Deadline)
+	flaggedAt := -1
+	for i := 0; i < 1200; i += 50 {
+		batch := make([]float64, 50)
+		for j := range batch {
+			if i+j < regimeSwitch {
+				batch[j] = truth.Sample(rng)
+			} else {
+				batch[j] = dist.Sample(changed, rng, trace.Deadline)
+			}
 		}
-		if det.Flagged() {
-			refitBuf = append(refitBuf, lifetime)
-			continue
+		var res struct {
+			Observations int  `json:"observations"`
+			NewlyFlagged bool `json:"newly_flagged"`
 		}
-		if det.Observe(lifetime) {
+		post(base+"/api/models/"+modelName+"/observations", map[string]any{"lifetimes": batch}, &res)
+		if res.NewlyFlagged {
+			flaggedAt = res.Observations
 			fmt.Printf("change point flagged after %d observations (regime switched at %d)\n",
-				det.FlaggedAt(), regimeSwitch)
+				flaggedAt, regimeSwitch)
 		}
 	}
-	if !det.Flagged() {
+	if flaggedAt < 0 {
 		log.Fatal("drift was not detected")
 	}
 
-	// Refit on post-change observations and resume monitoring.
-	for len(refitBuf) < 300 {
-		refitBuf = append(refitBuf, dist.Sample(changed, rng, trace.Deadline))
+	// 4. Watch /api/stats until the background auto-refit publishes v2.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var stats struct {
+			Models struct {
+				VersionsPublished   int `json:"versions_published"`
+				ChangePointsFlagged int `json:"change_points_flagged"`
+				RefitsRun           int `json:"refits_run"`
+			} `json:"models"`
+		}
+		get(base+"/api/stats", &stats)
+		if stats.Models.RefitsRun >= 1 {
+			fmt.Printf("stats: %d versions published, %d change points flagged, %d refits run\n",
+				stats.Models.VersionsPublished, stats.Models.ChangePointsFlagged, stats.Models.RefitsRun)
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("auto-refit did not publish a new version")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
-	newModel, newRep, err := core.Fit(refitBuf, trace.Deadline)
-	if err != nil {
-		log.Fatalf("refitting: %v", err)
-	}
-	fmt.Printf("refitted model %v (R2=%.4f)\n", newModel, newRep.R2)
-	det.Reset(newModel)
+	info = getModel(base)
+	v2 := info.Versions[len(info.Versions)-1]
+	fmt.Printf("auto-refit published %s@v%d (source %s, %d samples, KS=%.4f, fitted at %s)\n",
+		modelName, v2.Number, v2.Source, v2.Samples, v2.KS, v2.FittedAt)
 
-	// The refitted model should track the new regime without new flags.
-	alarms := 0
-	for i := 0; i < 600; i++ {
-		if det.Observe(dist.Sample(changed, rng, trace.Deadline)) {
-			alarms++
+	// 5. Old sessions keep v1; new @latest sessions get v2.
+	var latest struct {
+		Config struct {
+			ModelRef string `json:"model_ref"`
+		} `json:"config"`
+	}
+	post(base+"/api/sessions", map[string]any{
+		"name": "tracks-latest",
+		"config": map[string]any{
+			"vm_type": "n1-highcpu-16", "zone": "us-east1-b", "vms": 4,
+			"seed": 1, "model_ref": modelName + "@latest",
+		},
+	}, &latest)
+	fmt.Printf("new session pins %s; the earlier session stays on %s\n",
+		latest.Config.ModelRef, created.Config.ModelRef)
+	fmt.Printf("old model E[L]=%.2fh, refitted E[L]=%.2fh (uniform truth: 12h)\n",
+		expectedLifetime(v1), expectedLifetime(v2))
+}
+
+// getModel fetches the registry entry in its wire form.
+func getModel(base string) registry.Info {
+	var info registry.Info
+	get(base+"/api/models/"+modelName, &info)
+	return info
+}
+
+// expectedLifetime is the normalized E[T] of a version's bathtub — the
+// quantity whose shift makes the refit visible at a glance.
+func expectedLifetime(v registry.Version) float64 {
+	m, err := v.Params.Model()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m.NormalizedExpectedLifetime()
+}
+
+// post sends a JSON body and decodes the response into out (when given),
+// failing hard on any non-2xx status — this is a demo, not a client
+// library.
+func post(url string, body any, out ...any) {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			log.Fatal(err)
 		}
 	}
-	fmt.Printf("monitoring after refit: %d false alarms in 600 observations\n", alarms)
-	fmt.Printf("old model E[L]=%.2fh, refitted E[L]=%.2fh (uniform truth: 12h)\n",
-		model.NormalizedExpectedLifetime(), newModel.NormalizedExpectedLifetime())
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		log.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("POST %s: %s (%s)", url, resp.Status, e.Error)
+	}
+	if len(out) > 0 {
+		if err := json.NewDecoder(resp.Body).Decode(out[0]); err != nil {
+			log.Fatalf("POST %s: decoding response: %v", url, err)
+		}
+	}
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatalf("GET %s: decoding response: %v", url, err)
+	}
 }

@@ -14,17 +14,18 @@ import (
 	"repro/internal/empirical"
 )
 
-// Config tunes a Detector.
+// Config tunes a Detector. The JSON tags are its wire form in the online
+// model registry's API and durable records.
 type Config struct {
 	// Window is the number of recent lifetimes compared against the model.
-	Window int
+	Window int `json:"window"`
 	// Threshold is the KS distance above which a window is suspicious.
 	// With n observations, KS values around sqrt(ln(2/alpha)/2n) occur by
 	// chance; 0.25 on a 50-sample window corresponds to alpha ~ 0.003.
-	Threshold float64
+	Threshold float64 `json:"threshold"`
 	// Patience is how many consecutive suspicious windows trigger a flag
 	// (debouncing transient demand spikes).
-	Patience int
+	Patience int `json:"patience"`
 }
 
 // DefaultConfig returns the tuning used by the batch service: 50-sample
@@ -102,6 +103,23 @@ func (d *Detector) Observe(lifetime float64) bool {
 	return false
 }
 
+// ObserveBatch feeds a batch of lifetimes in order and returns true if any
+// of them completed a window that triggered the change-point flag. It is
+// the convenience entry point for library consumers whose observations
+// arrive in request-sized batches; callers that need per-observation
+// side effects between draws (the online model registry gates its refit
+// buffer on the flag state after every single lifetime) loop Observe
+// directly — the two are equivalent observation for observation.
+func (d *Detector) ObserveBatch(lifetimes []float64) bool {
+	flagged := false
+	for _, lt := range lifetimes {
+		if d.Observe(lt) {
+			flagged = true
+		}
+	}
+	return flagged
+}
+
 // Flagged reports whether a change point has been detected.
 func (d *Detector) Flagged() bool { return d.flagged }
 
@@ -116,6 +134,44 @@ func (d *Detector) FlaggedAt() int {
 
 // Observations returns the total number of lifetimes observed.
 func (d *Detector) Observations() int { return d.observations }
+
+// State is a serializable snapshot of a detector's mutable state: the
+// partially filled window, the suspicious-window streak, and the flag. A
+// durable service (internal/serve's model registry) persists it so a
+// restart resumes drift monitoring exactly where the process died, without
+// replaying the full observation history. Observations is the detector's
+// high-water mark: the total number of lifetimes ever ingested.
+type State struct {
+	Window       []float64 `json:"window,omitempty"`
+	Streak       int       `json:"streak,omitempty"`
+	Observations int       `json:"observations"`
+	Flagged      bool      `json:"flagged,omitempty"`
+	FlaggedAt    int       `json:"flagged_at,omitempty"`
+}
+
+// State snapshots the detector's mutable state for persistence. The window
+// slice is copied; mutating the returned state does not affect the
+// detector.
+func (d *Detector) State() State {
+	return State{
+		Window:       append([]float64(nil), d.buf...),
+		Streak:       d.streak,
+		Observations: d.observations,
+		Flagged:      d.flagged,
+		FlaggedAt:    d.flaggedAt,
+	}
+}
+
+// Restore replaces the detector's mutable state with a previously
+// snapshotted one (the config and model are not part of the state; the
+// caller reconstructs those). The state's window is copied in.
+func (d *Detector) Restore(st State) {
+	d.buf = append(d.buf[:0], st.Window...)
+	d.streak = st.Streak
+	d.observations = st.Observations
+	d.flagged = st.Flagged
+	d.flaggedAt = st.FlaggedAt
+}
 
 // Reset clears the flag and buffers, typically after refitting the model.
 func (d *Detector) Reset(model *core.Model) {

@@ -151,3 +151,80 @@ func TestConfigValidation(t *testing.T) {
 		New(m, DefaultConfig()).Reset(nil)
 	}()
 }
+
+// TestObserveBatchMatchesSequential feeds the same stream through Observe
+// and ObserveBatch (in uneven chunks) and requires identical outcomes.
+func TestObserveBatchMatchesSequential(t *testing.T) {
+	sc := trace.DefaultScenario()
+	m := fittedModel(t, sc)
+	rng := mathx.NewRNG(41)
+	changed := dist.NewUniform(24)
+	stream := make([]float64, 600)
+	truth := trace.GroundTruth(sc)
+	for i := range stream {
+		if i < 150 {
+			stream[i] = truth.Sample(rng)
+		} else {
+			stream[i] = dist.Sample(changed, rng, 24)
+		}
+	}
+
+	seq := New(m, DefaultConfig())
+	seqFlagged := false
+	for _, lt := range stream {
+		if seq.Observe(lt) {
+			seqFlagged = true
+		}
+	}
+	batch := New(m, DefaultConfig())
+	batchFlagged := false
+	for lo := 0; lo < len(stream); {
+		hi := lo + 1 + lo%97 // uneven chunks, crossing window boundaries
+		if hi > len(stream) {
+			hi = len(stream)
+		}
+		if batch.ObserveBatch(stream[lo:hi]) {
+			batchFlagged = true
+		}
+		lo = hi
+	}
+	if seqFlagged != batchFlagged || seq.Flagged() != batch.Flagged() ||
+		seq.FlaggedAt() != batch.FlaggedAt() || seq.Observations() != batch.Observations() {
+		t.Fatalf("batch diverged from sequential: %+v vs %+v", batch.State(), seq.State())
+	}
+}
+
+// TestStateRestoreContinuesStream snapshots a detector mid-window, restores
+// it into a fresh detector, and requires the continuation to behave
+// identically to the uninterrupted original.
+func TestStateRestoreContinuesStream(t *testing.T) {
+	sc := trace.DefaultScenario()
+	m := fittedModel(t, sc)
+	rng := mathx.NewRNG(53)
+	changed := dist.NewUniform(24)
+	stream := make([]float64, 700)
+	for i := range stream {
+		stream[i] = dist.Sample(changed, rng, 24)
+	}
+
+	// 137 observations is mid-window (not a multiple of 50).
+	orig := New(m, DefaultConfig())
+	orig.ObserveBatch(stream[:137])
+	st := orig.State()
+	if st.Observations != 137 || len(st.Window) != 137%50 {
+		t.Fatalf("unexpected snapshot %+v", st)
+	}
+
+	restored := New(m, DefaultConfig())
+	restored.Restore(st)
+	for i, lt := range stream[137:] {
+		a, b := orig.Observe(lt), restored.Observe(lt)
+		if a != b {
+			t.Fatalf("restored detector diverged at continuation observation %d", i)
+		}
+	}
+	if orig.State().Observations != restored.State().Observations ||
+		orig.Flagged() != restored.Flagged() || orig.FlaggedAt() != restored.FlaggedAt() {
+		t.Fatalf("final states diverged: %+v vs %+v", orig.State(), restored.State())
+	}
+}

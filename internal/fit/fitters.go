@@ -2,6 +2,7 @@ package fit
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"repro/internal/dist"
@@ -174,6 +175,31 @@ func FitBathtub(samples []float64, l float64) (FitReport, error) {
 	}
 	d := dist.NewBathtub(params[0], params[1], params[2], params[3], l)
 	return makeReport(d, "bathtub", params, samples, ts, fs), nil
+}
+
+// ByFamily fits one named family to the samples — the streaming-friendly
+// entry point used by the online model registry, whose refits carry the
+// family name in their provenance rather than a function pointer. The
+// recognized names are the keys of FitAll and FitAllExtended.
+func ByFamily(family string, samples []float64, l float64) (FitReport, error) {
+	switch family {
+	case "bathtub":
+		return FitBathtub(samples, l)
+	case "exponential":
+		return FitExponential(samples)
+	case "weibull":
+		return FitWeibull(samples)
+	case "gompertz-makeham":
+		return FitGompertzMakeham(samples)
+	case "lognormal":
+		return FitLogNormal(samples)
+	case "gamma":
+		return FitGamma(samples)
+	case "segmented-linear":
+		return FitSegmented(samples, l)
+	default:
+		return FitReport{}, fmt.Errorf("fit: unknown family %q", family)
+	}
 }
 
 // FitAll fits all four families of Figure 1 and returns the reports keyed by

@@ -1,0 +1,290 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/changepoint"
+	"repro/internal/dist"
+	"repro/internal/mathx"
+)
+
+// testParams is the paper-typical bathtub used across the tests.
+func testParams() Params {
+	return Params{A: 0.45, Tau1: 1.0, Tau2: 0.8, B: 24, L: 24}
+}
+
+func mustCreate(t *testing.T, r *Registry, name string) Info {
+	t.Helper()
+	info, err := r.Create(name, Scenario{VMType: "n1-highcpu-16", Zone: "us-east1-b"},
+		EntryConfig{MinRefitSamples: 150},
+		Provenance{Family: "manual", Params: testParams(), Source: "register"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+// driftedSamples draws lifetimes from a uniform distribution — far from
+// the bathtub the entries are registered with, so the detector flags.
+func driftedSamples(n int, seed uint64) []float64 {
+	rng := mathx.NewRNG(seed)
+	u := dist.NewUniform(24)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = dist.Sample(u, rng, 24)
+	}
+	return out
+}
+
+// matchingSamples draws lifetimes from the registered model itself.
+func matchingSamples(t *testing.T, n int, seed uint64) []float64 {
+	t.Helper()
+	m, err := testParams().Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = m.Sample(rng)
+	}
+	return out
+}
+
+func TestParseRef(t *testing.T) {
+	cases := []struct {
+		ref     string
+		name    string
+		version int
+		wantErr bool
+	}{
+		{"east", "east", 0, false},
+		{"east@latest", "east", 0, false},
+		{"east@v1", "east", 1, false},
+		{"east@v12", "east", 12, false},
+		{"", "", 0, true},
+		{"@v1", "", 0, true},
+		{"east@", "", 0, true},
+		{"east@v0", "", 0, true},
+		{"east@1", "", 0, true},
+		{"east@vx", "", 0, true},
+		{"east@latest@v1", "", 0, true},
+	}
+	for _, c := range cases {
+		name, version, err := ParseRef(c.ref)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseRef(%q) err = %v, wantErr %v", c.ref, err, c.wantErr)
+			continue
+		}
+		if err == nil && (name != c.name || version != c.version) {
+			t.Errorf("ParseRef(%q) = (%q, %d), want (%q, %d)", c.ref, name, version, c.name, c.version)
+		}
+	}
+}
+
+func TestCreateResolvePin(t *testing.T) {
+	r := New()
+	info := mustCreate(t, r, "east")
+	if len(info.Versions) != 1 || info.Versions[0].Number != 1 {
+		t.Fatalf("created entry versions = %+v", info.Versions)
+	}
+	// Defaults filled in.
+	if info.MinRefitSamples != 150 || info.Detector != changepoint.DefaultConfig() {
+		t.Fatalf("defaults not applied: %+v", info.EntryConfig)
+	}
+
+	res, err := r.Resolve("east")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pinned != "east@v1" || res.Version.Number != 1 {
+		t.Fatalf("bare name resolved to %q v%d", res.Pinned, res.Version.Number)
+	}
+
+	// A second version shifts @latest but not the pinned form.
+	prov2 := Provenance{Family: "manual", Params: Params{A: 0.3, Tau1: 2, Tau2: 1, B: 24, L: 24}, Source: "register"}
+	v2, err := r.Publish("east", prov2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Number != 2 {
+		t.Fatalf("published version number = %d", v2.Number)
+	}
+	for ref, want := range map[string]string{
+		"east":        "east@v2",
+		"east@latest": "east@v2",
+		"east@v1":     "east@v1",
+		"east@v2":     "east@v2",
+	} {
+		res, err := r.Resolve(ref)
+		if err != nil {
+			t.Fatalf("Resolve(%q): %v", ref, err)
+		}
+		if res.Pinned != want {
+			t.Errorf("Resolve(%q) pinned %q, want %q", ref, res.Pinned, want)
+		}
+	}
+	// v1's parameters are immutable: resolving the pin returns the original
+	// params even though @latest moved on.
+	res1, _ := r.Resolve("east@v1")
+	if res1.Version.Params != testParams() {
+		t.Fatalf("v1 params changed: %+v", res1.Version.Params)
+	}
+
+	if _, err := r.Resolve("west"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown name error = %v", err)
+	}
+	if _, err := r.Resolve("east@v3"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown version error = %v", err)
+	}
+	if _, err := r.Create("east", Scenario{}, EntryConfig{}, Provenance{Params: testParams()}, nil); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create error = %v", err)
+	}
+}
+
+func TestIngestDriftAndRefit(t *testing.T) {
+	r := New()
+	mustCreate(t, r, "east")
+
+	// Samples from the model itself must not flag.
+	res, err := r.Ingest("east", matchingSamples(t, 400, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flagged {
+		t.Fatal("matching samples flagged a change point")
+	}
+	if res.Observations != 400 {
+		t.Fatalf("observations = %d", res.Observations)
+	}
+
+	// Refit before any flag is refused.
+	if _, err := r.Refit("east", "", "refit", nil); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("premature refit error = %v", err)
+	}
+
+	// Drifted samples flag, then fill the refit buffer.
+	res, err = r.Ingest("east", driftedSamples(100, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Flagged || !res.NewlyFlagged {
+		t.Fatalf("drifted ingest result = %+v, want flagged", res)
+	}
+	if res.RefitReady {
+		t.Fatalf("refit ready with only %d buffered", res.RefitBuffered)
+	}
+	// Not enough post-flag samples yet: still refused.
+	if _, err := r.Refit("east", "", "refit", nil); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("undersampled refit error = %v", err)
+	}
+	res, err = r.Ingest("east", driftedSamples(200, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RefitReady {
+		t.Fatalf("expected refit-ready after %d buffered", res.RefitBuffered)
+	}
+
+	// A failing commit must leave the registry untouched.
+	sentinel := errors.New("boom")
+	if _, err := r.Refit("east", "", "refit", func(Version) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("commit error not propagated: %v", err)
+	}
+	if info, _ := r.Get("east"); len(info.Versions) != 1 || info.RefitBuffered == 0 {
+		t.Fatalf("failed commit mutated the entry: %+v", info)
+	}
+
+	v, err := r.Refit("east", "2026-07-27T00:00:00Z", "refit", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Number != 2 || v.Source != "refit" || v.Family != "bathtub" || v.Samples < 150 {
+		t.Fatalf("refit version = %+v", v)
+	}
+	if v.FittedAt != "2026-07-27T00:00:00Z" {
+		t.Fatalf("refit timestamp = %q", v.FittedAt)
+	}
+	info, _ := r.Get("east")
+	if info.Flagged || info.RefitBuffered != 0 {
+		t.Fatalf("refit did not reset the detector: %+v", info)
+	}
+	if info.Observations != 700 {
+		t.Fatalf("high-water mark = %d, want 700 (survives the refit)", info.Observations)
+	}
+
+	// The refitted model should track the drifted regime: further drifted
+	// samples must not re-flag.
+	res, err = r.Ingest("east", driftedSamples(400, 4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flagged {
+		t.Fatal("refitted model flagged on its own regime")
+	}
+
+	st := r.Stats()
+	if st.Entries != 1 || st.VersionsPublished != 2 || st.RefitsRun != 1 || st.ChangePointsFlagged != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	r := New()
+	mustCreate(t, r, "east")
+	// Leave the entry mid-stream: flagged, partial refit buffer, and a
+	// partially filled detector window (123 is not a multiple of 50).
+	if _, err := r.Ingest("east", driftedSamples(123, 9), nil); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := r.Get("east")
+
+	states := r.Snapshot()
+	if len(states) != 1 {
+		t.Fatalf("snapshot has %d entries", len(states))
+	}
+	r2 := New()
+	if err := r2.RestoreEntry(states[0]); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := r2.Get("east")
+	if fmt.Sprintf("%+v", before) != fmt.Sprintf("%+v", after) {
+		t.Fatalf("restore diverged:\n before: %+v\n after:  %+v", before, after)
+	}
+
+	// The restored detector must continue the stream identically: feed the
+	// same continuation to both registries and compare.
+	cont := driftedSamples(200, 10)
+	resA, err := r.Ingest("east", cont, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := r2.Ingest("east", cont, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA != resB {
+		t.Fatalf("continuation diverged:\n live:     %+v\n restored: %+v", resA, resB)
+	}
+	if r.Stats() != r2.Stats() {
+		t.Fatalf("stats diverged:\n live:     %+v\n restored: %+v", r.Stats(), r2.Stats())
+	}
+}
+
+func TestRefitBufferBounded(t *testing.T) {
+	r := New()
+	mustCreate(t, r, "east")
+	// 150 min refit samples -> cap at 2000. Flood well past it.
+	if _, err := r.Ingest("east", driftedSamples(6000, 5), nil); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := r.Get("east")
+	if info.RefitBuffered > 2000 {
+		t.Fatalf("refit buffer grew to %d (cap 2000)", info.RefitBuffered)
+	}
+	if info.Observations != 6000 {
+		t.Fatalf("high-water mark = %d", info.Observations)
+	}
+}

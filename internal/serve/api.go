@@ -41,6 +41,11 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /api/sessions/{id}/report", a.handleReport)
 	mux.HandleFunc("GET /api/sessions/{id}/jobs", a.handleJobs)
 	mux.HandleFunc("GET /api/sessions/{id}/vms", a.handleVMs)
+	mux.HandleFunc("POST /api/models", a.handleModelCreate)
+	mux.HandleFunc("GET /api/models", a.handleModelList)
+	mux.HandleFunc("GET /api/models/{name}", a.handleModelGet)
+	mux.HandleFunc("POST /api/models/{name}/observations", a.handleModelObservations)
+	mux.HandleFunc("POST /api/models/{name}/refit", a.handleModelRefit)
 	mux.HandleFunc("POST /api/sweep", a.handleSweep)
 	mux.HandleFunc("GET /api/stats", a.handleStats)
 	return jsonErrors(mux)
@@ -312,6 +317,7 @@ func collectDPSolveStats() dpSolveStats {
 func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 	payload := map[string]any{
 		"sessions":       a.mgr.Stats().Sessions,
+		"models":         a.mgr.ModelStats(),
 		"schedule_cache": policy.SharedCacheStats(),
 		"dp_solves":      collectDPSolveStats(),
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/registry"
 	"repro/internal/trace"
 )
 
@@ -87,10 +88,18 @@ type SessionConfig struct {
 	// Seed drives all of the session's randomness.
 	Seed uint64 `json:"seed"`
 	// Model supplies bathtub parameters inline; Fit asks the service to fit
-	// per-time-of-day models for this VM type and zone. At least one is
+	// per-time-of-day models for this VM type and zone; ModelRef names an
+	// entry of the online model registry ("name", "name@latest", or
+	// "name@vN"). Exactly one model source may be set; at least one is
 	// required for the reuse policy or checkpointing.
 	Model *ModelParams `json:"model,omitempty"`
 	Fit   *FitSpec     `json:"fit,omitempty"`
+	// ModelRef is resolved against the registry when the session is
+	// created and pinned to the concrete version ("name@vN") it resolved
+	// to: the status, the durable create record, and every later rebuild
+	// carry the pinned form, so a session's report stays byte-identical
+	// and replayable no matter how many refits publish newer versions.
+	ModelRef string `json:"model_ref,omitempty"`
 }
 
 // withDefaults returns a copy with defaulted fields filled in.
@@ -113,20 +122,24 @@ func (c SessionConfig) withDefaults() SessionConfig {
 	return c
 }
 
-// Validate checks the config without building anything expensive.
-func (c SessionConfig) Validate() error {
-	if _, err := cloud.Lookup(trace.VMType(c.VMType)); err != nil {
+// validateScenario checks a (vm type, zone) pair against the catalog; it
+// is shared by session configs and model registrations.
+func validateScenario(vmType, zone string) error {
+	if _, err := cloud.Lookup(trace.VMType(vmType)); err != nil {
 		return fmt.Errorf("vm_type: %w", err)
 	}
-	zoneOK := false
 	for _, z := range trace.AllZones() {
-		if trace.Zone(c.Zone) == z {
-			zoneOK = true
-			break
+		if trace.Zone(zone) == z {
+			return nil
 		}
 	}
-	if !zoneOK {
-		return fmt.Errorf("zone: unknown zone %q", c.Zone)
+	return fmt.Errorf("zone: unknown zone %q", zone)
+}
+
+// Validate checks the config without building anything expensive.
+func (c SessionConfig) Validate() error {
+	if err := validateScenario(c.VMType, c.Zone); err != nil {
+		return err
 	}
 	if c.VMs <= 0 || c.GangSize <= 0 || c.VMs%c.GangSize != 0 {
 		return fmt.Errorf("vms must be a positive multiple of gang_size (vms=%d gang_size=%d)", c.VMs, c.GangSize)
@@ -163,9 +176,17 @@ func (c SessionConfig) Validate() error {
 			return fmt.Errorf("checkpoint_step %vh exceeds the model deadline %vh", c.CheckpointStep, deadline)
 		}
 	}
+	if c.ModelRef != "" {
+		if _, _, err := registry.ParseRef(c.ModelRef); err != nil {
+			return fmt.Errorf("model_ref: %w", err)
+		}
+		if c.Model != nil || c.Fit != nil {
+			return fmt.Errorf("model_ref is exclusive with \"model\" and \"fit\": a session has one model source")
+		}
+	}
 	needModel := c.Policy == PolicyReuse || c.CheckpointDelta > 0
-	if needModel && c.Model == nil && c.Fit == nil {
-		return fmt.Errorf("policy %q needs a model: set \"model\" or \"fit\"", c.Policy)
+	if needModel && c.Model == nil && c.Fit == nil && c.ModelRef == "" {
+		return fmt.Errorf("policy %q needs a model: set \"model\", \"fit\", or \"model_ref\"", c.Policy)
 	}
 	if c.Model != nil {
 		if _, err := c.Model.model(); err != nil {
@@ -178,8 +199,9 @@ func (c SessionConfig) Validate() error {
 	return nil
 }
 
-// build resolves models (through the cache) and assembles the batch.Config.
-func (c SessionConfig) build(models *modelCache) (batch.Config, error) {
+// build resolves models (through the fit cache and the online registry)
+// and assembles the batch.Config.
+func (c SessionConfig) build(models *modelCache, reg *registry.Registry) (batch.Config, error) {
 	cfg := batch.Config{
 		VMType:             trace.VMType(c.VMType),
 		Zone:               trace.Zone(c.Zone),
@@ -200,6 +222,24 @@ func (c SessionConfig) build(models *modelCache) (batch.Config, error) {
 			return batch.Config{}, err
 		}
 		cfg.Model = m
+	}
+	if c.ModelRef != "" {
+		res, err := reg.Resolve(c.ModelRef)
+		if err != nil {
+			return batch.Config{}, fmt.Errorf("model_ref: %w", err)
+		}
+		if res.Scenario.VMType != c.VMType || res.Scenario.Zone != c.Zone {
+			// A model fitted for one environment silently mispredicts
+			// another's lifetimes; the equivalent mistake is impossible via
+			// "fit", which always uses the session's own scenario.
+			return batch.Config{}, fmt.Errorf("model_ref: model %s describes (%s, %s), not this session's (%s, %s)",
+				res.Pinned, res.Scenario.VMType, res.Scenario.Zone, c.VMType, c.Zone)
+		}
+		if c.CheckpointDelta > 0 && c.CheckpointStep > res.Model.Deadline() {
+			return batch.Config{}, fmt.Errorf("checkpoint_step %vh exceeds model %s's deadline %vh",
+				c.CheckpointStep, res.Pinned, res.Model.Deadline())
+		}
+		cfg.Model = res.Model
 	}
 	if c.Fit != nil {
 		reg, err := models.get(cfg.VMType, cfg.Zone, c.Fit.Samples, c.Fit.Seed)

@@ -39,6 +39,37 @@
 // happens once per process. Fitted model registries are likewise cached
 // per (vm type, zone, samples, seed).
 //
+// # Online models
+//
+// The manager also owns an online model registry (internal/registry):
+// named, versioned preemption models with provenance, fed by observation
+// streams. POST /api/models registers an entry (explicit bathtub
+// parameters or a fit recipe); POST /api/models/{name}/observations
+// batch-ingests observed lifetimes into the entry's change-point detector;
+// once drift is flagged and enough post-flag observations accumulate, POST
+// /api/models/{name}/refit — or the background auto-refit worker — fits a
+// new model to them and publishes it as the next version.
+//
+// Sessions opt in with SessionConfig.ModelRef ("name", "name@latest", or
+// "name@vN"), resolved against the registry at create time and pinned to
+// the concrete version: the session's status and durable record carry the
+// "name@vN" form, so a later refit moves "@latest" for new sessions while
+// existing sessions' reports stay byte-identical and replayable. Sweep
+// cells take per-cell refs via SweepRequest.ModelRefs (an extra, innermost
+// grid dimension), so one sweep can compare "@latest" against a pinned
+// older version. Because the schedule cache keys on model parameters, two
+// versions with identical parameters share planners and schedulers, while
+// a refit's new parameters get their own.
+//
+// With a store attached, every registry mutation is durably logged before
+// it is applied (creation with its fitted version-1 provenance, each
+// ingested observation batch, each published version), so a restart
+// replays the registry to the exact pre-crash state — including the
+// detector's high-water mark and partially filled window. Boot-time
+// compaction collapses each entry to a single state record; the
+// observation history itself is not retained across compactions, only the
+// detector state it produced.
+//
 // # Persistence
 //
 // Attaching a Store (internal/store: a JSON snapshot + append-only WAL) via
@@ -64,8 +95,13 @@
 //	GET    /api/sessions/{id}/report    final report (404 until done)
 //	GET    /api/sessions/{id}/jobs      per-job status (live mid-run)
 //	GET    /api/sessions/{id}/vms       VM listing (live mid-run)
+//	POST   /api/models                  register a versioned online model
+//	GET    /api/models                  list entries + version provenance
+//	GET    /api/models/{name}           one entry (versions, detector state)
+//	POST   /api/models/{name}/observations  batch-ingest observed lifetimes
+//	POST   /api/models/{name}/refit     refit from post-drift observations
 //	POST   /api/sweep                   run a scenario grid, aggregate
-//	GET    /api/stats                   sessions + schedule-cache + store
+//	GET    /api/stats                   sessions + models + caches + store
 //
 // All POST bodies are decoded strictly (unknown fields rejected), wrong
 // methods yield a JSON 405, and every error payload carries a stable

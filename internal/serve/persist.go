@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"repro/internal/batch"
+	"repro/internal/registry"
 	"repro/internal/store"
 )
 
@@ -29,7 +30,11 @@ type Store interface {
 // Record kinds. A session's durable history is
 // create (bag)* [run [done|failed|cancelled]] [delete]; a manager-level
 // seq record preserves the id counter across compactions that erase
-// deleted sessions' history.
+// deleted sessions' history. A model entry's live history is
+// model_create (model_obs | model_version)*, with the record ID carrying
+// the entry name; compaction collapses each entry to one model_state
+// record (versions + detector state + refit buffer), so boot replay never
+// re-feeds the observation history.
 const (
 	kindCreate    = "create"
 	kindBag       = "bag"
@@ -39,7 +44,27 @@ const (
 	kindCancelled = "cancelled"
 	kindDelete    = "delete"
 	kindSeq       = "seq"
+
+	kindModelCreate  = "model_create"
+	kindModelVersion = "model_version"
+	kindModelObs     = "model_obs"
+	kindModelState   = "model_state"
 )
+
+// modelCreateRecord is the payload of a kindModelCreate record; the
+// version-1 provenance already carries fitted parameters, so replay never
+// refits a recipe.
+type modelCreateRecord struct {
+	Scenario registry.Scenario    `json:"scenario"`
+	Config   registry.EntryConfig `json:"config"`
+	Version  registry.Provenance  `json:"version"`
+}
+
+// modelObsRecord is the payload of a kindModelObs record: one ingested
+// batch, in ingest order, so replay reproduces the detector's windows.
+type modelObsRecord struct {
+	Lifetimes []float64 `json:"lifetimes"`
+}
 
 // seqRecord is the payload of a kindSeq record: the highest session id
 // number ever minted, so ids of deleted sessions are never reused.
@@ -89,6 +114,24 @@ func (s *Session) persist(kind string, v any) error {
 	}
 	if _, err := s.store.Append(kind, s.id, v); err != nil {
 		return errf(http.StatusInternalServerError, "persisting %s for session %s: %v", kind, s.id, err)
+	}
+	return nil
+}
+
+// persistModel appends one record for a registry entry, mapping store
+// failures to a 500. It is a no-op when no store is attached. It runs as
+// the registry's commit callback, under the registry lock, which is what
+// guarantees the WAL's model-record order matches the order the registry
+// applied the mutations in.
+func (m *Manager) persistModel(kind, name string, v any) error {
+	m.mu.Lock()
+	st := m.store
+	m.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	if _, err := st.Append(kind, name, v); err != nil {
+		return errf(http.StatusInternalServerError, "persisting %s for model %s: %v", kind, name, err)
 	}
 	return nil
 }
@@ -182,6 +225,55 @@ func (m *Manager) Restore(st Store) error {
 			}
 			continue
 		}
+		// Model registry records are applied immediately, in log order:
+		// the registry is fully rebuilt (versions, detector high-water
+		// marks, refit buffers) before any session is rebuilt, so pinned
+		// model_ref configs always resolve. Replay drives the registry
+		// directly — no commit callbacks, no auto-refit launches — state
+		// reconstruction must not publish new versions.
+		switch rec.Kind {
+		case kindModelCreate:
+			var cr modelCreateRecord
+			if err := json.Unmarshal(rec.Data, &cr); err != nil {
+				return fmt.Errorf("serve: corrupt model_create record for %s: %w", rec.ID, err)
+			}
+			if _, err := m.registry.Create(rec.ID, cr.Scenario, cr.Config, cr.Version, nil); err != nil {
+				return fmt.Errorf("serve: restoring model %s: %w", rec.ID, err)
+			}
+			continue
+		case kindModelVersion:
+			var v registry.Version
+			if err := json.Unmarshal(rec.Data, &v); err != nil {
+				return fmt.Errorf("serve: corrupt model_version record for %s: %w", rec.ID, err)
+			}
+			applied, err := m.registry.Publish(rec.ID, v.Provenance, nil)
+			if err != nil {
+				return fmt.Errorf("serve: restoring model %s version: %w", rec.ID, err)
+			}
+			if applied.Number != v.Number {
+				return fmt.Errorf("serve: model %s version record out of order: logged v%d, replayed as v%d",
+					rec.ID, v.Number, applied.Number)
+			}
+			continue
+		case kindModelObs:
+			var or modelObsRecord
+			if err := json.Unmarshal(rec.Data, &or); err != nil {
+				return fmt.Errorf("serve: corrupt model_obs record for %s: %w", rec.ID, err)
+			}
+			if _, err := m.registry.Ingest(rec.ID, or.Lifetimes, nil); err != nil {
+				return fmt.Errorf("serve: replaying observations for model %s: %w", rec.ID, err)
+			}
+			continue
+		case kindModelState:
+			var st registry.EntryState
+			if err := json.Unmarshal(rec.Data, &st); err != nil {
+				return fmt.Errorf("serve: corrupt model_state record for %s: %w", rec.ID, err)
+			}
+			if err := m.registry.RestoreEntry(st); err != nil {
+				return fmt.Errorf("serve: restoring model %s: %w", rec.ID, err)
+			}
+			continue
+		}
 		p := byID[rec.ID]
 		if rec.Kind != kindCreate && p == nil {
 			// A record for an unknown session: the create was compacted away
@@ -263,7 +355,21 @@ func (m *Manager) Restore(st Store) error {
 		m.seq = maxSeq
 	}
 	m.mu.Unlock()
-	return m.CompactStore()
+	if err := m.CompactStore(); err != nil {
+		return err
+	}
+	// Only after compaction (which must see a quiescent registry — a
+	// version committed between its Snapshot and the store rewrite would
+	// be truncated away with the WAL): re-arm pending auto-refits. The
+	// pre-crash process may have died between refit-readiness and the
+	// version commit, and without new ingest traffic nothing else would
+	// ever publish the pending version.
+	for _, info := range m.registry.List() {
+		if info.AutoRefit && info.Flagged && info.RefitBuffered >= info.MinRefitSamples {
+			m.startAutoRefit(info.Name)
+		}
+	}
+	return nil
 }
 
 // rebuild constructs one session from its replayed history.
@@ -272,7 +378,7 @@ func (m *Manager) rebuild(id string, p *pendingSession) (*Session, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	bcfg, err := cfg.build(m.models)
+	bcfg, err := cfg.build(m.models, m.registry)
 	if err != nil {
 		return nil, err
 	}
@@ -364,6 +470,16 @@ func (m *Manager) CompactStore() error {
 	// that advanced it do not, so their ids are never minted again.
 	if err := appendRec(kindSeq, "", seqRecord{Max: seq}); err != nil {
 		return err
+	}
+	// Each model entry collapses to one state record: versions with their
+	// provenance, the detector's high-water mark and partial window, and
+	// the refit buffer — everything the live ingest history built, without
+	// the history itself. Models precede sessions so a replay that applied
+	// records strictly in order would still resolve every pinned ref.
+	for _, st := range m.registry.Snapshot() {
+		if err := appendRec(kindModelState, st.Name, st); err != nil {
+			return err
+		}
 	}
 	for _, s := range m.List() {
 		s.mu.Lock()

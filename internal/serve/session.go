@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/registry"
 	"repro/internal/workload"
 )
 
@@ -311,14 +312,21 @@ func (s *Session) Done() <-chan struct{} { return s.done }
 // lifecycle durable across process restarts.
 type Manager struct {
 	models *modelCache
-	sem    chan struct{}
+	// registry is the online model registry: versioned, provenance-carrying
+	// models that sessions pin via SessionConfig.ModelRef and that learn
+	// from ingested preemption observations (see models.go).
+	registry *registry.Registry
+	sem      chan struct{}
 
 	mu       sync.Mutex
 	seq      int
 	sessions map[string]*Session
 	order    []string
 	store    Store
-	wg       sync.WaitGroup
+	// refitInFlight tracks entries with a background auto-refit running,
+	// so repeated refit-ready ingests launch at most one worker.
+	refitInFlight map[string]bool
+	wg            sync.WaitGroup
 }
 
 // NewManager returns a manager whose worker pool runs up to parallelism
@@ -328,9 +336,11 @@ func NewManager(parallelism int) *Manager {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	return &Manager{
-		models:   newModelCache(),
-		sem:      make(chan struct{}, parallelism),
-		sessions: make(map[string]*Session),
+		models:        newModelCache(),
+		registry:      registry.New(),
+		sem:           make(chan struct{}, parallelism),
+		sessions:      make(map[string]*Session),
+		refitInFlight: make(map[string]bool),
 	}
 }
 
@@ -341,7 +351,18 @@ func (m *Manager) Create(name string, cfg SessionConfig) (*Session, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	bcfg, err := cfg.build(m.models)
+	if cfg.ModelRef != "" {
+		// Resolve the reference once, now, and pin the config to the
+		// concrete version it named: "name@latest" becomes "name@vN" in
+		// the session's status and durable record, so refits published
+		// after this moment never change what this session simulates.
+		res, err := m.registry.Resolve(cfg.ModelRef)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "model_ref: %v", err)
+		}
+		cfg.ModelRef = res.Pinned
+	}
+	bcfg, err := cfg.build(m.models, m.registry)
 	if err != nil {
 		return nil, err
 	}

@@ -29,6 +29,13 @@ type SweepRequest struct {
 	WarningCheckpoint bool         `json:"warning_checkpoint,omitempty"`
 	Model             *ModelParams `json:"model,omitempty"`
 	Fit               *FitSpec     `json:"fit,omitempty"`
+	// ModelRefs, when set, adds a fourth (innermost) grid dimension: each
+	// cell pins one of the listed registry references, so a single sweep
+	// can compare, say, "us-east1-b@latest" against a pinned older
+	// "us-east1-b@v1" under otherwise identical scenarios. It is exclusive
+	// with Model and Fit; each cell resolves and pins its reference at
+	// creation time, exactly as sessions do.
+	ModelRefs []string `json:"model_refs,omitempty"`
 	// Seed is the per-cell service seed. Every cell uses the same seed and
 	// the same bag, so cells differ only in their scenario.
 	Seed uint64 `json:"seed"`
@@ -36,11 +43,14 @@ type SweepRequest struct {
 	Bag BagRequest `json:"bag"`
 }
 
-// SweepCell is one scenario cell's outcome.
+// SweepCell is one scenario cell's outcome. ModelRef is the reference the
+// request named for this cell (the cell's session config carries the
+// pinned "name@vN" form it resolved to).
 type SweepCell struct {
 	VMType    string        `json:"vm_type"`
 	Zone      string        `json:"zone"`
 	Policy    string        `json:"policy"`
+	ModelRef  string        `json:"model_ref,omitempty"`
 	SessionID string        `json:"session_id"`
 	Error     string        `json:"error,omitempty"`
 	Report    *batch.Report `json:"report,omitempty"`
@@ -68,6 +78,16 @@ func (m *Manager) Sweep(req SweepRequest) (SweepReport, error) {
 	if len(req.Policies) == 0 {
 		req.Policies = []string{PolicyReuse}
 	}
+	if len(req.ModelRefs) > 0 && (req.Model != nil || req.Fit != nil) {
+		return SweepReport{}, errf(http.StatusBadRequest,
+			"model_refs is exclusive with \"model\" and \"fit\": each cell has one model source")
+	}
+	// With no per-cell refs, every cell shares the request's model spec;
+	// the single empty ref keeps the grid loop uniform.
+	refs := req.ModelRefs
+	if len(refs) == 0 {
+		refs = []string{""}
+	}
 	app, err := validateBagRequest(req.Bag)
 	if err != nil {
 		return SweepReport{}, errf(http.StatusBadRequest, "bag: %v", err)
@@ -75,51 +95,58 @@ func (m *Manager) Sweep(req SweepRequest) (SweepReport, error) {
 
 	// Create and start every cell; creation is synchronous (validation
 	// errors surface per cell), execution shares the bounded pool.
-	cells := make([]SweepCell, 0, len(req.VMTypes)*len(req.Zones)*len(req.Policies))
+	cells := make([]SweepCell, 0, len(req.VMTypes)*len(req.Zones)*len(req.Policies)*len(refs))
 	started := make([]*Session, 0, cap(cells))
 	for _, vt := range req.VMTypes {
 		for _, zone := range req.Zones {
 			for _, pol := range req.Policies {
-				cell := SweepCell{VMType: vt, Zone: zone, Policy: pol}
-				gangSize := req.GangSize
-				if gangSize == 0 {
-					gangSize = batch.GangSizeFor(app, trace.VMType(vt))
-				}
-				cfg := SessionConfig{
-					VMType:            vt,
-					Zone:              zone,
-					VMs:               req.VMs,
-					GangSize:          gangSize,
-					Policy:            pol,
-					HotSpareTTL:       req.HotSpareTTL,
-					CheckpointDelta:   req.CheckpointDelta,
-					CheckpointStep:    req.CheckpointStep,
-					WarningCheckpoint: req.WarningCheckpoint,
-					Seed:              req.Seed,
-					Model:             req.Model,
-					Fit:               req.Fit,
-				}
-				s, err := m.Create(fmt.Sprintf("sweep/%s/%s/%s", vt, zone, pol), cfg)
-				if err == nil {
-					_, _, err = s.SubmitBag(req.Bag)
-				}
-				if err == nil {
-					err = m.Run(s)
-				}
-				if err != nil {
-					cell.Error = err.Error()
-					if s != nil {
-						// Don't leave a half-configured session registered
-						// (and, with a store attached, durably persisted):
-						// the client only asked for the sweep's aggregate.
-						cell.SessionID = s.ID()
-						_ = m.Delete(s.ID())
+				for _, ref := range refs {
+					cell := SweepCell{VMType: vt, Zone: zone, Policy: pol, ModelRef: ref}
+					gangSize := req.GangSize
+					if gangSize == 0 {
+						gangSize = batch.GangSizeFor(app, trace.VMType(vt))
 					}
-				} else {
-					cell.SessionID = s.ID()
-					started = append(started, s)
+					cfg := SessionConfig{
+						VMType:            vt,
+						Zone:              zone,
+						VMs:               req.VMs,
+						GangSize:          gangSize,
+						Policy:            pol,
+						HotSpareTTL:       req.HotSpareTTL,
+						CheckpointDelta:   req.CheckpointDelta,
+						CheckpointStep:    req.CheckpointStep,
+						WarningCheckpoint: req.WarningCheckpoint,
+						Seed:              req.Seed,
+						Model:             req.Model,
+						Fit:               req.Fit,
+						ModelRef:          ref,
+					}
+					cellName := fmt.Sprintf("sweep/%s/%s/%s", vt, zone, pol)
+					if ref != "" {
+						cellName += "/" + ref
+					}
+					s, err := m.Create(cellName, cfg)
+					if err == nil {
+						_, _, err = s.SubmitBag(req.Bag)
+					}
+					if err == nil {
+						err = m.Run(s)
+					}
+					if err != nil {
+						cell.Error = err.Error()
+						if s != nil {
+							// Don't leave a half-configured session registered
+							// (and, with a store attached, durably persisted):
+							// the client only asked for the sweep's aggregate.
+							cell.SessionID = s.ID()
+							_ = m.Delete(s.ID())
+						}
+					} else {
+						cell.SessionID = s.ID()
+						started = append(started, s)
+					}
+					cells = append(cells, cell)
 				}
-				cells = append(cells, cell)
 			}
 		}
 	}

@@ -4,7 +4,7 @@
 # performance trajectory PR over PR. Also diffs two recorded baselines.
 #
 # Usage:
-#   scripts/bench.sh                 # default suite -> BENCH_PR4.json
+#   scripts/bench.sh                 # default suite -> BENCH_PR5.json
 #   scripts/bench.sh 'Benchmark.*'   # custom micro pattern (e.g. the full
 #                                    # figure suite; slow)
 #   scripts/bench.sh PATTERN OUT     # custom pattern and output file
@@ -16,7 +16,8 @@
 #
 # Three benchmark groups run:
 #   - micro (root package): sampling, DP solve (serial / parallel / pruned /
-#     incremental), Monte Carlo kernels
+#     incremental), Monte Carlo kernels, and the online model registry
+#     (observation ingest into a hot drift detector, model_ref resolution)
 #   - service (internal/serve): end-to-end sessions/sec through the
 #     multi-session manager at parallelism 1 vs GOMAXPROCS, the
 #     process-wide schedule cache's hit rate, and the cold 3x3x2 sweep
@@ -76,8 +77,8 @@ if [ "${1:-}" = "-compare" ]; then
     exit $?
 fi
 
-pattern="${1:-BenchmarkSample|BenchmarkDPSolve|BenchmarkMCMakespan}"
-out="${2:-BENCH_PR4.json}"
+pattern="${1:-BenchmarkSample|BenchmarkDPSolve|BenchmarkMCMakespan|BenchmarkRegistryIngest|BenchmarkModelResolve}"
+out="${2:-BENCH_PR5.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 

@@ -198,3 +198,26 @@ func BenchmarkModelResolve(b *testing.B) {
 		}
 	}
 }
+
+// calibrationSink keeps BenchmarkCalibration's kernel observable so the
+// compiler cannot eliminate it.
+var calibrationSink uint64
+
+// BenchmarkCalibration is a fixed, dependency-free integer-mixing kernel
+// whose ns/op tracks only the machine's single-thread speed — never this
+// repo's code. scripts/bench.sh records it alongside every baseline so
+// that -compare can normalize ns/op ratios taken on different (or noisy)
+// hardware: a benchmark is only flagged as a regression when it slowed
+// down relative to the calibration kernel, not merely because the CPU did.
+func BenchmarkCalibration(b *testing.B) {
+	x := uint64(0x9e3779b97f4a7c15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			x ^= x >> 33
+			x *= 0xff51afd7ed558ccd
+			x ^= x >> 29
+		}
+	}
+	calibrationSink = x
+}

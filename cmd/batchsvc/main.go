@@ -6,6 +6,10 @@
 //
 //	batchsvc [-addr :8080] [-parallelism N] [-planner-parallelism N]
 //	         [-data-dir DIR] [-schedule-cache-cap N] [-pprof PORT]
+//	         [-wal-segment-bytes N] [-wal-segment-records N]
+//	         [-compact-bytes N] [-compact-records N]
+//	         [-max-sessions N] [-queue-depth N]
+//	         [-degraded-probe-interval D] [-shutdown-timeout D]
 //
 // Each session carries its own configuration, so one process serves any
 // mix of VM types, zones, policies, and seeds:
@@ -45,7 +49,16 @@
 //
 // POST /api/sweep fans a scenario grid (VM types x zones x policies,
 // optionally x model_refs) out across sessions and aggregates the
-// comparison. SIGINT/SIGTERM drain in-flight runs before exiting.
+// comparison. SIGINT/SIGTERM drain in-flight runs for -shutdown-timeout
+// before exiting; a second signal forces immediate exit.
+//
+// The store rotates its WAL into bounded segments and compacts in the
+// background once the log crosses -compact-bytes/-compact-records, so
+// long-lived processes bound both replay time and disk usage. If the disk
+// fails persistently, the service degrades to read-only — mutating
+// endpoints return 503 with Retry-After and /api/stats reports the
+// degraded health — and recovers automatically when writes succeed again.
+// -max-sessions and -queue-depth bound admission (429 when saturated).
 package main
 
 import (
@@ -81,6 +94,23 @@ func main() {
 		"LRU bound (entries per artifact kind) of the process-wide schedule cache")
 	pprofPort := flag.Int("pprof", 0,
 		"localhost port for the net/http/pprof profiling server (0: disabled)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 15*time.Second,
+		"graceful-drain window for HTTP shutdown and in-flight sessions; "+
+			"a second SIGINT/SIGTERM forces immediate exit")
+	segmentBytes := flag.Int64("wal-segment-bytes", 64<<20,
+		"rotate the WAL segment past this size (0: single unbounded segment)")
+	segmentRecords := flag.Int("wal-segment-records", 0,
+		"rotate the WAL segment past this many records (0: no count bound)")
+	compactBytes := flag.Int64("compact-bytes", 256<<20,
+		"background-compact the store once the WAL crosses this size (0: boot-only compaction)")
+	compactRecords := flag.Int("compact-records", 0,
+		"background-compact the store once the WAL holds this many records (0: no count bound)")
+	maxSessions := flag.Int("max-sessions", 0,
+		"bound on live sessions; further creates get 429 (0: unbounded)")
+	queueDepth := flag.Int("queue-depth", 0,
+		"bound on runs queued beyond the worker pool; further runs get 429 (0: unbounded)")
+	probeInterval := flag.Duration("degraded-probe-interval", time.Second,
+		"how often a degraded (read-only) service retries the store")
 	flag.Parse()
 
 	policy.SetSharedCacheCapacity(*cacheCap)
@@ -104,8 +134,16 @@ func main() {
 		}()
 	}
 	mgr := serve.NewManager(*parallelism)
+	mgr.SetMaxSessions(*maxSessions)
+	mgr.SetQueueDepth(*queueDepth)
+	mgr.SetProbeInterval(*probeInterval)
 	if *dataDir != "" {
-		st, err := store.Open(*dataDir)
+		st, err := store.OpenOptions(*dataDir, store.Options{
+			SegmentMaxBytes:   *segmentBytes,
+			SegmentMaxRecords: *segmentRecords,
+			CompactAtBytes:    *compactBytes,
+			CompactAtRecords:  *compactRecords,
+		})
 		if err != nil {
 			log.Fatalf("batchsvc: opening store: %v", err)
 		}
@@ -117,6 +155,7 @@ func main() {
 		}
 		defer st.Close()
 	}
+	defer mgr.Close()
 	// Every request context derives from connCtx, so cancelling it before
 	// Shutdown releases long-lived SSE streams — otherwise Shutdown would
 	// wait out its full timeout on any connected events client.
@@ -143,9 +182,20 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	log.Print("batchsvc: shutting down; draining in-flight sessions")
+	log.Printf("batchsvc: shutting down; draining in-flight sessions (up to %s; signal again to force exit)", *shutdownTimeout)
+	// A second signal aborts the drain. stop() releases NotifyContext's
+	// registration; our own watcher takes over so the forced path is
+	// explicit and logged rather than the runtime's default kill.
+	stop()
+	force := make(chan os.Signal, 1)
+	signal.Notify(force, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-force
+		log.Print("batchsvc: second signal; forcing exit")
+		os.Exit(1)
+	}()
 	closeConns() // end SSE streams so Shutdown isn't pinned by them
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("batchsvc: shutdown: %v", err)
@@ -157,8 +207,8 @@ func main() {
 	go func() { mgr.Wait(); close(done) }()
 	select {
 	case <-done:
-	case <-time.After(15 * time.Second):
-		log.Print("batchsvc: sessions still running after 15s; exiting anyway")
+	case <-time.After(*shutdownTimeout):
+		log.Printf("batchsvc: sessions still running after %s; exiting anyway", *shutdownTimeout)
 	}
 	log.Print("batchsvc: bye")
 }

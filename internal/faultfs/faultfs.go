@@ -1,0 +1,78 @@
+// Package faultfs is the filesystem seam the durable store writes through,
+// with a scriptable fault injector for crash-consistency tests.
+//
+// The store's correctness claims — "an append is acknowledged only after
+// its fsync", "a torn write is discarded on replay", "compaction survives a
+// crash between rename and truncate" — are claims about what happens when
+// specific syscalls fail at specific moments. Comments can assert them;
+// only tests can enforce them. faultfs makes the failure moments
+// reachable: production code runs against OS (a passthrough to the real
+// filesystem), tests wrap it in an Injector scripted to fail the Nth
+// fsync, tear a write short, return ENOSPC, break a rename, or add
+// latency, and then assert the store either recovers byte-identical state
+// or refuses to serve.
+//
+// The interface is deliberately minimal: exactly the operations the store
+// performs, nothing speculative.
+package faultfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the store needs from an open file.
+type File interface {
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data (fsync).
+	Sync() error
+	// Truncate cuts the file to size bytes.
+	Truncate(size int64) error
+	// Seek repositions the write offset.
+	Seek(offset int64, whence int) (int64, error)
+	// Name returns the path the file was opened with.
+	Name() string
+	// Fd exposes the descriptor for flock.
+	Fd() uintptr
+}
+
+// FS is a file/dir abstraction covering the store's operations. OS is the
+// real filesystem; an Injector wraps any FS with scripted faults.
+type FS interface {
+	// OpenFile opens (creating if flagged) the named file.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadFile reads the whole file, like os.ReadFile.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists a directory, like os.ReadDir.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// MkdirAll creates the directory and its parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// Truncate cuts the named (not-open) file to size bytes.
+	Truncate(name string, size int64) error
+}
+
+// OS is the passthrough FS over the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		// Return a typed nil-free interface value on error.
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }

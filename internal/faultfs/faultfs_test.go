@@ -1,0 +1,161 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func openRW(t *testing.T, fsys FS, path string) File {
+	t.Helper()
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestPassthroughWithoutRules(t *testing.T) {
+	dir := t.TempDir()
+	in := Wrap(nil)
+	path := filepath.Join(dir, "f.txt")
+	f := openRW(t, in, path)
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := in.ReadFile(path)
+	if err != nil || string(raw) != "hello" {
+		t.Fatalf("read back %q, %v", raw, err)
+	}
+	if len(in.Trips()) != 0 {
+		t.Fatalf("passthrough fired faults: %+v", in.Trips())
+	}
+}
+
+func TestNthSyncFails(t *testing.T) {
+	dir := t.TempDir()
+	in := Wrap(nil)
+	// Let two syncs through, fail the third, then recover.
+	in.Script(Rule{Op: OpSync, After: 2, Count: 1})
+	f := openRW(t, in, filepath.Join(dir, "wal"))
+	defer f.Close()
+	for i := 0; i < 2; i++ {
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync %d: %v", i+1, err)
+		}
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third sync err = %v, want ErrInjected", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("fourth sync (after Count exhausted): %v", err)
+	}
+	trips := in.Trips()
+	if len(trips) != 1 || trips[0].Op != OpSync {
+		t.Fatalf("trips = %+v", trips)
+	}
+}
+
+func TestTornWriteLeavesPrefix(t *testing.T) {
+	dir := t.TempDir()
+	in := Wrap(nil)
+	in.Script(Rule{Op: OpWrite, ShortBytes: 3, Count: 1})
+	path := filepath.Join(dir, "wal")
+	f := openRW(t, in, path)
+	n, err := f.Write([]byte("abcdefgh"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write err = %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("torn write reported %d bytes, want 3", n)
+	}
+	f.Close()
+	raw, _ := os.ReadFile(path)
+	if string(raw) != "abc" {
+		t.Fatalf("on-disk prefix = %q, want \"abc\"", raw)
+	}
+}
+
+func TestENOSPCAndRenameFaults(t *testing.T) {
+	dir := t.TempDir()
+	in := Wrap(nil)
+	in.Script(
+		Rule{Op: OpWrite, Err: syscall.ENOSPC, Count: 1},
+		Rule{Op: OpRename, Path: "target", Count: 1},
+	)
+	f := openRW(t, in, filepath.Join(dir, "wal"))
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write err = %v, want ENOSPC", err)
+	}
+	src := filepath.Join(dir, "src")
+	if err := os.WriteFile(src, []byte("s"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Rename(src, filepath.Join(dir, "target")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename err = %v", err)
+	}
+	// Count exhausted: the rename goes through.
+	if err := in.Rename(src, filepath.Join(dir, "target")); err != nil {
+		t.Fatalf("second rename: %v", err)
+	}
+}
+
+func TestExactPathMatching(t *testing.T) {
+	dir := t.TempDir()
+	in := Wrap(nil)
+	// Exact rule on the directory path must not match files under it.
+	in.Script(Rule{Op: OpSync, Path: dir, Exact: true})
+	f := openRW(t, in, filepath.Join(dir, "wal"))
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("file sync under exact-dir rule failed: %v", err)
+	}
+	d, err := in.OpenFile(dir, os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dir sync err = %v, want ErrInjected", err)
+	}
+}
+
+func TestLatencyOnlyRule(t *testing.T) {
+	dir := t.TempDir()
+	in := Wrap(nil)
+	in.Script(Rule{Op: OpWrite, Delay: 30 * time.Millisecond, Count: 1})
+	f := openRW(t, in, filepath.Join(dir, "wal"))
+	defer f.Close()
+	start := time.Now()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("latency-only rule failed the write: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("write returned in %v, want >= 30ms of injected latency", d)
+	}
+}
+
+func TestClearRestoresPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	in := Wrap(nil)
+	in.Script(Rule{Op: OpWrite}) // fail every write, forever
+	f := openRW(t, in, filepath.Join(dir, "wal"))
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Fatal("scripted write succeeded")
+	}
+	in.Clear()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("write after Clear: %v", err)
+	}
+}

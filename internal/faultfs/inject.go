@@ -1,0 +1,286 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Op names one filesystem operation class for fault matching.
+type Op string
+
+// The operations an Injector can fault. OpSync covers both file fsync and
+// directory fsync (a directory sync arrives as a Sync on a file opened
+// read-only over the directory path).
+const (
+	OpOpen     Op = "open"
+	OpRead     Op = "read"
+	OpReadDir  Op = "readdir"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpTruncate Op = "truncate"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpMkdir    Op = "mkdir"
+	OpClose    Op = "close"
+)
+
+// ErrInjected is the default error a firing rule returns.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Rule scripts one fault: on calls whose operation matches Op and whose
+// path contains Path, skip the first After matches, then fire Count times
+// (0 = keep firing forever). A firing rule sleeps Delay, then fails the
+// operation with Err (ErrInjected when nil) — except a pure-latency rule
+// (Delay set, Err nil, ShortBytes 0), which only sleeps.
+//
+// For OpWrite, ShortBytes > 0 makes the failure a torn write: the first
+// ShortBytes bytes reach the file before the error returns, exactly the
+// partial line a crash mid-write leaves behind.
+type Rule struct {
+	Op         Op
+	Path       string // substring of the target path; "" matches any
+	Exact      bool   // require Path to equal the target path exactly
+	After      int    // matching calls to let through before firing
+	Count      int    // times to fire; 0 = every match after After
+	Err        error
+	ShortBytes int
+	Delay      time.Duration
+
+	seen  int
+	fired int
+}
+
+// Trip records one fired fault, for test assertions and debugging.
+type Trip struct {
+	Op   Op
+	Path string
+	Err  error
+}
+
+// Injector wraps an FS and applies scripted Rules to its operations. All
+// methods are safe for concurrent use. The zero value is not usable; call
+// Wrap.
+type Injector struct {
+	inner FS
+
+	mu    sync.Mutex
+	rules []*Rule
+	trips []Trip
+}
+
+// Wrap returns an Injector over inner (OS when nil) with no rules: a
+// passthrough until Script or Add installs faults.
+func Wrap(inner FS) *Injector {
+	if inner == nil {
+		inner = OS
+	}
+	return &Injector{inner: inner}
+}
+
+// Script replaces all rules (and their counters) with the given set.
+func (in *Injector) Script(rules ...Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = in.rules[:0]
+	for i := range rules {
+		r := rules[i]
+		in.rules = append(in.rules, &r)
+	}
+}
+
+// Add appends one rule without disturbing the others.
+func (in *Injector) Add(r Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, &r)
+}
+
+// Clear removes every rule; the injector becomes a passthrough. Trips are
+// retained.
+func (in *Injector) Clear() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = nil
+}
+
+// Trips returns a copy of the fired-fault log, in firing order.
+func (in *Injector) Trips() []Trip {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Trip(nil), in.trips...)
+}
+
+// contains reports whether s contains sub (strings.Contains without the
+// import noise elsewhere; kept local for clarity).
+func contains(s, sub string) bool {
+	if sub == "" {
+		return true
+	}
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// check matches op/path against the rules. It returns (delay, short, err):
+// the latency to apply, the torn-write prefix length (-1 when the write is
+// not torn), and the error to inject (nil = let the operation through).
+// The first firing rule wins.
+func (in *Injector) check(op Op, path string) (time.Duration, int, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, r := range in.rules {
+		if r.Op != op {
+			continue
+		}
+		if r.Exact {
+			if path != r.Path {
+				continue
+			}
+		} else if !contains(path, r.Path) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		r.fired++
+		err := r.Err
+		if err == nil && (r.ShortBytes > 0 || r.Delay == 0) {
+			err = ErrInjected
+		}
+		short := -1
+		if op == OpWrite && r.ShortBytes > 0 {
+			short = r.ShortBytes
+		}
+		if err != nil {
+			in.trips = append(in.trips, Trip{Op: op, Path: path, Err: err})
+		}
+		return r.Delay, short, err
+	}
+	return 0, -1, nil
+}
+
+// apply runs the matched fault's latency and returns its error.
+func (in *Injector) apply(op Op, path string) error {
+	delay, _, err := in.check(op, path)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err != nil {
+		return fmt.Errorf("%s %s: %w", op, path, err)
+	}
+	return nil
+}
+
+// OpenFile applies OpOpen rules, then wraps the opened file so its Write,
+// Sync, Truncate, and Close route back through the injector.
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := in.apply(OpOpen, name); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{File: f, in: in}, nil
+}
+
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	if err := in.apply(OpRead, name); err != nil {
+		return nil, err
+	}
+	return in.inner.ReadFile(name)
+}
+
+func (in *Injector) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := in.apply(OpReadDir, name); err != nil {
+		return nil, err
+	}
+	return in.inner.ReadDir(name)
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if err := in.apply(OpRename, newpath); err != nil {
+		return err
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if err := in.apply(OpRemove, name); err != nil {
+		return err
+	}
+	return in.inner.Remove(name)
+}
+
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if err := in.apply(OpMkdir, path); err != nil {
+		return err
+	}
+	return in.inner.MkdirAll(path, perm)
+}
+
+func (in *Injector) Truncate(name string, size int64) error {
+	if err := in.apply(OpTruncate, name); err != nil {
+		return err
+	}
+	return in.inner.Truncate(name, size)
+}
+
+// injFile routes an open file's mutating operations through the injector's
+// rules, matching on the file's path.
+type injFile struct {
+	File
+	in *Injector
+}
+
+// Write applies OpWrite rules. A torn-write rule (ShortBytes > 0) writes
+// that prefix through to the underlying file before returning the injected
+// error — the bytes are really on disk, as after a crash mid-write.
+func (f *injFile) Write(p []byte) (int, error) {
+	delay, short, err := f.in.check(OpWrite, f.Name())
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err != nil {
+		n := 0
+		if short > 0 {
+			if short > len(p) {
+				short = len(p)
+			}
+			n, _ = f.File.Write(p[:short])
+		}
+		return n, fmt.Errorf("%s %s: %w", OpWrite, f.Name(), err)
+	}
+	return f.File.Write(p)
+}
+
+func (f *injFile) Sync() error {
+	if err := f.in.apply(OpSync, f.Name()); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}
+
+func (f *injFile) Truncate(size int64) error {
+	if err := f.in.apply(OpTruncate, f.Name()); err != nil {
+		return err
+	}
+	return f.File.Truncate(size)
+}
+
+func (f *injFile) Close() error {
+	if err := f.in.apply(OpClose, f.Name()); err != nil {
+		return err
+	}
+	return f.File.Close()
+}

@@ -3,9 +3,11 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/internal/policy"
@@ -80,8 +82,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 // writeErr emits the structured error payload; every error response from
-// this package carries the stable "error" key.
+// this package carries the stable "error" key. Backpressure errors (503
+// degraded, 429 admission) carry a Retry-After hint.
 func writeErr(w http.ResponseWriter, code int, err error) {
+	var ae *apiError
+	if errors.As(err, &ae) && ae.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(ae.retryAfter))
+	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
@@ -151,7 +158,7 @@ func (a *API) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s, err := a.mgr.Create(req.Name, req.Config)
+	s, err := a.mgr.CreateCtx(r.Context(), req.Name, req.Config)
 	if err != nil {
 		writeErr(w, httpCode(err), err)
 		return
@@ -285,7 +292,7 @@ func (a *API) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	rep, err := a.mgr.Sweep(req)
+	rep, err := a.mgr.SweepCtx(r.Context(), req)
 	if err != nil {
 		writeErr(w, httpCode(err), err)
 		return
@@ -320,6 +327,7 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 		"models":         a.mgr.ModelStats(),
 		"schedule_cache": policy.SharedCacheStats(),
 		"dp_solves":      collectDPSolveStats(),
+		"health":         a.mgr.Health(),
 	}
 	if st := a.mgr.StoreStats(); st != nil {
 		payload["store"] = st

@@ -102,6 +102,7 @@ func BenchmarkStoreRestore(b *testing.B) {
 	if err := m.CompactStore(); err != nil {
 		b.Fatal(err)
 	}
+	m.Close()
 	seed.Close()
 
 	b.ReportAllocs()
@@ -118,6 +119,11 @@ func BenchmarkStoreRestore(b *testing.B) {
 		if n := len(mgr.List()); n != sessions {
 			b.Fatalf("restored %d sessions, want %d", n, sessions)
 		}
+		// Close the manager as well as the store: Restore starts the
+		// background maintenance goroutine, which pins the manager (and its
+		// restored sessions) until Close. Leaking b.N managers here would
+		// poison every benchmark that runs later in the same process.
+		mgr.Close()
 		st.Close()
 	}
 	b.StopTimer()

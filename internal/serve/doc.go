@@ -101,9 +101,24 @@
 //	POST   /api/models/{name}/observations  batch-ingest observed lifetimes
 //	POST   /api/models/{name}/refit     refit from post-drift observations
 //	POST   /api/sweep                   run a scenario grid, aggregate
-//	GET    /api/stats                   sessions + models + caches + store
+//	GET    /api/stats                   sessions + models + caches + store + health
 //
 // All POST bodies are decoded strictly (unknown fields rejected), wrong
 // methods yield a JSON 405, and every error payload carries a stable
 // "error" key.
+//
+// # Degraded mode, admission, and panic isolation
+//
+// If the attached store starts failing persistently (disk full, I/O
+// errors), the manager degrades rather than dies: mutating endpoints
+// return 503 with a Retry-After header while reads keep serving, running
+// sessions finish in memory with their status flagged unpersisted, and
+// /api/stats reports the degraded health. A background probe retries the
+// store and, on success, rewrites the full live state so every record
+// missed while degraded is healed, then clears the flags. -max-sessions
+// and -queue-depth (via SetMaxSessions/SetQueueDepth) bound admission with
+// 429 + Retry-After; abandoned creates surface as 408. A panicking session
+// run or auto-refit is recovered into a failed session (or a logged refit
+// failure) carrying the stack trace — one bad configuration never takes
+// down the process.
 package serve

@@ -2,8 +2,10 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"log"
 	"net/http"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/changepoint"
@@ -119,6 +121,7 @@ func (m *Manager) RegisterModel(req ModelCreateRequest) (registry.Info, error) {
 		}
 	}
 	scenario := registry.Scenario{VMType: req.VMType, Zone: req.Zone}
+	defer m.rlockPersistGate()()
 	info, err := m.registry.Create(req.Name, scenario, cfg, prov, func() error {
 		return m.persistModel(kindModelCreate, req.Name, modelCreateRecord{
 			Scenario: scenario, Config: cfg, Version: prov,
@@ -149,9 +152,12 @@ func (m *Manager) IngestObservations(name string, lifetimes []float64) (registry
 	if len(lifetimes) == 0 {
 		return registry.IngestResult{}, errf(http.StatusBadRequest, "lifetimes must be non-empty")
 	}
-	res, err := m.registry.Ingest(name, lifetimes, func() error {
-		return m.persistModel(kindModelObs, name, modelObsRecord{Lifetimes: lifetimes})
-	})
+	res, err := func() (registry.IngestResult, error) {
+		defer m.rlockPersistGate()()
+		return m.registry.Ingest(name, lifetimes, func() error {
+			return m.persistModel(kindModelObs, name, modelObsRecord{Lifetimes: lifetimes})
+		})
+	}()
 	if err != nil {
 		return registry.IngestResult{}, regErr(err)
 	}
@@ -166,6 +172,7 @@ func (m *Manager) IngestObservations(name string, lifetimes []float64) (registry
 // logging it before the registry applies it. source is "refit" for
 // client-triggered refits and "auto-refit" for the background worker.
 func (m *Manager) RefitModel(name, source string) (registry.Version, error) {
+	defer m.rlockPersistGate()()
 	v, err := m.registry.Refit(name, requestTimestamp(), source, func(v registry.Version) error {
 		return m.persistModel(kindModelVersion, name, v)
 	})
@@ -189,10 +196,27 @@ func (m *Manager) startAutoRefit(name string) {
 	m.mu.Unlock()
 	go func() {
 		defer m.wg.Done()
-		_, err := m.RefitModel(name, "auto-refit")
-		m.mu.Lock()
-		delete(m.refitInFlight, name)
-		m.mu.Unlock()
+		// The in-flight marker clears even if the refit panics, so the
+		// entry is not wedged out of future refits.
+		defer func() {
+			m.mu.Lock()
+			delete(m.refitInFlight, name)
+			m.mu.Unlock()
+		}()
+		err := func() (err error) {
+			// A panicking refit must not take the process down with it: it
+			// becomes a logged failure with the stack as the diagnostic.
+			defer func() {
+				if p := recover(); p != nil {
+					err = fmt.Errorf("panicked: %v\n%s", p, debug.Stack())
+				}
+			}()
+			if m.refitHook != nil {
+				return m.refitHook(name)
+			}
+			_, err = m.RefitModel(name, "auto-refit")
+			return err
+		}()
 		// Losing to a concurrent manual refit (or its detector reset) is
 		// a benign race, not an operator-visible failure.
 		if err != nil && !errors.Is(err, registry.ErrRefitInProgress) && !errors.Is(err, registry.ErrNotReady) {

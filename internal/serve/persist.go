@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -49,6 +50,10 @@ const (
 	kindModelVersion = "model_version"
 	kindModelObs     = "model_obs"
 	kindModelState   = "model_state"
+
+	// kindNoop is appended by the degraded-mode probe to verify the store
+	// accepts writes again; replay ignores it (unknown-session skip path).
+	kindNoop = "noop"
 )
 
 // modelCreateRecord is the payload of a kindModelCreate record; the
@@ -107,12 +112,16 @@ func boundJobs(jobs []batch.JobStatus) ([]batch.JobStatus, bool) {
 }
 
 // persist appends one record for this session, mapping store failures to a
-// 500. It is a no-op when no store is attached.
+// 500 — or 503 with Retry-After when the store is degraded. It is a no-op
+// when no store is attached.
 func (s *Session) persist(kind string, v any) error {
 	if s.store == nil {
 		return nil
 	}
 	if _, err := s.store.Append(kind, s.id, v); err != nil {
+		if errors.Is(err, ErrDegraded) {
+			return degradedErr(fmt.Errorf("persisting %s for session %s: %w", kind, s.id, err))
+		}
 		return errf(http.StatusInternalServerError, "persisting %s for session %s: %v", kind, s.id, err)
 	}
 	return nil
@@ -131,6 +140,9 @@ func (m *Manager) persistModel(kind, name string, v any) error {
 		return nil
 	}
 	if _, err := st.Append(kind, name, v); err != nil {
+		if errors.Is(err, ErrDegraded) {
+			return degradedErr(fmt.Errorf("persisting %s for model %s: %w", kind, name, err))
+		}
 		return errf(http.StatusInternalServerError, "persisting %s for model %s: %v", kind, name, err)
 	}
 	return nil
@@ -138,11 +150,14 @@ func (m *Manager) persistModel(kind, name string, v any) error {
 
 // persistTerminal records the session's terminal state. It runs on the run
 // goroutine after svc.Run returned, so reading the service is safe. Store
-// failures here have no client to report to; they are logged.
-func (s *Session) persistTerminal(svc *batch.Service) {
+// failures here have no client to report to; they are logged — and while
+// degraded the session is flagged unpersisted so the recovery compaction
+// knows to re-capture it.
+func (m *Manager) persistTerminal(s *Session, svc *batch.Service) {
 	if s.store == nil {
 		return
 	}
+	defer s.rlockGate()()
 	s.mu.Lock()
 	state := s.state
 	report := s.report
@@ -176,6 +191,9 @@ func (s *Session) persistTerminal(svc *batch.Service) {
 	}
 	if err := s.persist(kind, rec); err != nil {
 		log.Printf("serve: session %s: %v", s.id, err)
+		if errors.Is(err, ErrDegraded) {
+			m.markUnpersisted(s)
+		}
 	}
 }
 
@@ -208,7 +226,11 @@ func (m *Manager) Restore(st Store) error {
 		m.mu.Unlock()
 		return fmt.Errorf("serve: Restore must be called once, on an empty manager")
 	}
-	m.store = st
+	// Every write from here on goes through the degraded-mode guard; the
+	// inner handle is kept for the recovery probe and compaction, which
+	// must reach the real store even while the guard is failing fast.
+	m.innerStore = st
+	m.store = &guardedStore{m: m, inner: st}
 	m.mu.Unlock()
 
 	byID := make(map[string]*pendingSession)
@@ -369,6 +391,20 @@ func (m *Manager) Restore(st Store) error {
 			m.startAutoRefit(info.Name)
 		}
 	}
+	// Wire online compaction: when the store's WAL crosses its configured
+	// thresholds it pokes compactCh (nonblocking — the trigger runs under
+	// the store lock) and the maintain worker rewrites the snapshot from
+	// live state while the service keeps serving.
+	if tr, ok := st.(storeTrigger); ok {
+		tr.SetCompactionTrigger(func() {
+			select {
+			case m.compactCh <- struct{}{}:
+			default:
+			}
+		})
+	}
+	m.maintWG.Add(1)
+	go m.maintain()
 	return nil
 }
 
@@ -436,20 +472,27 @@ func (m *Manager) rebuild(id string, p *pendingSession) (*Session, error) {
 		close(s.done)
 	}
 	s.store = m.store
+	s.gate = &m.persistGate
 	return s, nil
 }
 
 // CompactStore rewrites the store's snapshot from live state, pruning
-// deleted sessions and collapsing each survivor to its minimal history. It
-// must not race with running sessions; the manager calls it at boot, after
-// Restore's replay.
+// deleted sessions and collapsing each survivor to its minimal history.
+// The manager calls it at boot after Restore's replay, from the online
+// compaction worker when the WAL crosses its thresholds, and from the
+// degraded-mode probe on recovery (where the live-state rewrite is what
+// heals every record that failed to append while read-only). It takes the
+// persist gate exclusively, so no append can interleave between the state
+// it captures and the store rewrite.
 func (m *Manager) CompactStore() error {
 	m.mu.Lock()
-	st := m.store
+	st := m.innerStore
 	m.mu.Unlock()
 	if st == nil {
 		return nil
 	}
+	m.persistGate.Lock()
+	defer m.persistGate.Unlock()
 	m.mu.Lock()
 	seq := m.seq
 	m.mu.Unlock()
@@ -483,6 +526,13 @@ func (m *Manager) CompactStore() error {
 	}
 	for _, s := range m.List() {
 		s.mu.Lock()
+		if s.deleted {
+			// Claimed by a concurrent Delete (its record is durable; the
+			// session just hasn't left the listing yet). Re-capturing it
+			// would resurrect an acknowledged deletion on the next boot.
+			s.mu.Unlock()
+			continue
+		}
 		if err := appendRec(kindCreate, s.id, createRecord{Name: s.name, Config: s.cfg}); err != nil {
 			s.mu.Unlock()
 			return err

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,10 +35,12 @@ func (s State) terminal() bool {
 
 // apiError is an error with an HTTP status code attached, so the session
 // and manager layers can state intent ("conflict", "not found") without
-// importing HTTP handling.
+// importing HTTP handling. retryAfter, when positive, becomes a
+// Retry-After header (degraded mode's 503s, admission control's 429s).
 type apiError struct {
-	code int
-	err  error
+	code       int
+	retryAfter int
+	err        error
 }
 
 func (e *apiError) Error() string { return e.err.Error() }
@@ -106,6 +109,13 @@ type Session struct {
 	// deleted marks a session already claimed by a Delete, so a concurrent
 	// second Delete reports not-found instead of double-logging.
 	deleted bool
+	// gate is the manager's persist gate (see Manager.persistGate); it is
+	// read-locked around every persist-then-apply step, never under s.mu.
+	gate *sync.RWMutex
+	// unpersisted marks a session whose terminal state could not be
+	// appended while the store was degraded; cleared once the recovery
+	// compaction captures it.
+	unpersisted bool
 }
 
 // SessionStatus is the wire form of a session for list/get responses.
@@ -119,6 +129,9 @@ type SessionStatus struct {
 	Error         string          `json:"error,omitempty"`
 	// Restored marks sessions recovered from the store at boot.
 	Restored bool `json:"restored,omitempty"`
+	// Unpersisted marks a session that finished while the store was
+	// degraded; its terminal state lives only in memory until recovery.
+	Unpersisted bool `json:"unpersisted,omitempty"`
 }
 
 // ID returns the session's immutable identifier.
@@ -135,6 +148,7 @@ func (s *Session) Status() SessionStatus {
 		JobsSubmitted: s.submitted,
 		Config:        s.cfg,
 		Restored:      s.restored,
+		Unpersisted:   s.unpersisted,
 	}
 	if s.state != StateCreated && s.hasSnap {
 		p := s.snap.Progress
@@ -165,12 +179,25 @@ func validateBagRequest(req BagRequest) (workload.App, error) {
 	return app, nil
 }
 
+// rlockGate holds the manager's persist gate for a persist-then-apply
+// step; the returned func releases it. It must be acquired before s.mu —
+// the compactor holds the write side while capturing session state, so
+// taking it under s.mu would deadlock (see Manager.persistGate).
+func (s *Session) rlockGate() func() {
+	if s.gate == nil {
+		return func() {}
+	}
+	s.gate.RLock()
+	return s.gate.RUnlock
+}
+
 // SubmitBag adds a bag of jobs; only valid before the session runs.
 func (s *Session) SubmitBag(req BagRequest) (int, float64, error) {
 	app, err := validateBagRequest(req)
 	if err != nil {
 		return 0, 0, err
 	}
+	defer s.rlockGate()()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.state != StateCreated {
@@ -318,15 +345,53 @@ type Manager struct {
 	registry *registry.Registry
 	sem      chan struct{}
 
+	// persistGate serializes persists against online compaction. Every
+	// persist-then-apply step read-locks it at its entry point — before
+	// s.mu, m.mu, or the registry lock — and the compactor write-locks it
+	// while capturing live state and rewriting the snapshot, so no
+	// acknowledged append can fall between the capture and the WAL
+	// truncation. It is never held across a blocking wait.
+	persistGate sync.RWMutex
+
 	mu       sync.Mutex
 	seq      int
 	sessions map[string]*Session
 	order    []string
-	store    Store
+	// store is what sessions persist through: the raw store until Restore
+	// attaches one, then the degraded-mode guard around it (innerStore
+	// keeps the unguarded handle for recovery and compaction).
+	store      Store
+	innerStore Store
 	// refitInFlight tracks entries with a background auto-refit running,
 	// so repeated refit-ready ingests launch at most one worker.
 	refitInFlight map[string]bool
 	wg            sync.WaitGroup
+
+	// Degraded-mode state (see degraded.go).
+	degraded       bool
+	degradedReason string
+	degradedSince  time.Time
+	probing        bool
+	unpersisted    map[string]bool
+	probeEvery     time.Duration
+
+	// Admission control: maxSessions bounds live sessions (0 = unbounded);
+	// queueDepth bounds runs queued beyond the worker pool (0 = unbounded);
+	// inflightRuns counts admitted, unfinished runs.
+	maxSessions  int
+	queueDepth   int
+	inflightRuns int
+
+	// Background workers (online compaction, degraded probe).
+	compactCh chan struct{}
+	stopCh    chan struct{}
+	closeOnce sync.Once
+	maintWG   sync.WaitGroup
+
+	// Test seams: runHook substitutes for svc.Run in the session worker,
+	// refitHook for the auto-refit body. Set before serving traffic.
+	runHook   func(ctx context.Context, svc *batch.Service) (batch.Report, error)
+	refitHook func(name string) error
 }
 
 // NewManager returns a manager whose worker pool runs up to parallelism
@@ -341,14 +406,56 @@ func NewManager(parallelism int) *Manager {
 		sem:           make(chan struct{}, parallelism),
 		sessions:      make(map[string]*Session),
 		refitInFlight: make(map[string]bool),
+		unpersisted:   make(map[string]bool),
+		probeEvery:    time.Second,
+		compactCh:     make(chan struct{}, 1),
+		stopCh:        make(chan struct{}),
 	}
+}
+
+// SetMaxSessions bounds how many live (undeleted) sessions the manager
+// admits; further creates get 429. 0 means unbounded. Call before serving.
+func (m *Manager) SetMaxSessions(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.maxSessions = n
+}
+
+// SetQueueDepth bounds how many admitted runs may wait for a worker slot
+// beyond the pool's parallelism; further runs get 429 with Retry-After.
+// 0 means unbounded. Call before serving.
+func (m *Manager) SetQueueDepth(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queueDepth = n
 }
 
 // Create validates the config, builds the session's service (fitting or
 // fetching models through the cache), and registers it.
 func (m *Manager) Create(name string, cfg SessionConfig) (*Session, error) {
+	return m.CreateCtx(context.Background(), name, cfg)
+}
+
+// ctxErr maps a request context's cancellation to an apiError: 408 for a
+// deadline the client set, so abandoned requests don't burn a model fit.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return errf(http.StatusRequestTimeout, "request abandoned: %v", err)
+	}
+	return nil
+}
+
+// CreateCtx is Create honoring a request-scoped context: the deadline is
+// checked before the expensive model build and before the durable append.
+func (m *Manager) CreateCtx(ctx context.Context, name string, cfg SessionConfig) (*Session, error) {
+	if err := m.admitSession(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
 	if cfg.ModelRef != "" {
@@ -371,6 +478,9 @@ func (m *Manager) Create(name string, cfg SessionConfig) (*Session, error) {
 		return nil, err
 	}
 	svc.ProgressEvery = cfg.ProgressEvery
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	m.mu.Lock()
 	m.seq++
 	id := fmt.Sprintf("s-%03d", m.seq)
@@ -383,13 +493,22 @@ func (m *Manager) Create(name string, cfg SessionConfig) (*Session, error) {
 		state:      StateCreated,
 		svc:        svc,
 		store:      st,
+		gate:       &m.persistGate,
 		done:       make(chan struct{}),
 		subs:       make(map[chan batch.Progress]struct{}),
 		detailWait: make(chan struct{}),
 	}
 	// The durable append (an fsync) runs outside the manager lock: the
 	// session is not yet published, so nothing can observe it, and a failed
-	// append leaves only a gap in the id sequence.
+	// append leaves only a gap in the id sequence. The persist gate spans
+	// the append and the registration so an online compaction cannot land
+	// between them and truncate the acknowledged create away.
+	defer s.rlockGate()()
+	// Recheck the bound now that the expensive build is done: concurrent
+	// creates may have filled the remaining slots.
+	if err := m.admitSession(); err != nil {
+		return nil, err
+	}
 	if err := s.persist(kindCreate, createRecord{Name: name, Config: cfg}); err != nil {
 		return nil, err
 	}
@@ -398,6 +517,19 @@ func (m *Manager) Create(name string, cfg SessionConfig) (*Session, error) {
 	m.order = append(m.order, s.id)
 	m.mu.Unlock()
 	return s, nil
+}
+
+// admitSession enforces the max-sessions bound.
+func (m *Manager) admitSession() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.maxSessions > 0 && len(m.sessions) >= m.maxSessions {
+		return &apiError{
+			code: http.StatusTooManyRequests, retryAfter: degradedRetryAfter,
+			err: fmt.Errorf("session limit reached (%d live sessions); delete one or retry later", len(m.sessions)),
+		}
+	}
+	return nil
 }
 
 // Get returns the session with the given id.
@@ -457,16 +589,24 @@ func (m *Manager) Delete(id string) error {
 		if !ok {
 			return errf(http.StatusNotFound, "no session %q", id)
 		}
+		// The persist gate is taken per attempt, released before the wait
+		// on a running session's end: holding a read lock across <-s.done
+		// would deadlock with a pending compaction (its queued write lock
+		// blocks the run goroutine's terminal persist from acquiring the
+		// read side, so the session could never finish).
+		unlock := s.rlockGate()
 		s.mu.Lock()
 		if s.state == StateRunning {
 			cancel := s.cancel
 			s.mu.Unlock()
+			unlock()
 			cancel()
 			<-s.done
 			continue // now terminal; loop around to remove it
 		}
 		if s.deleted {
 			s.mu.Unlock()
+			unlock()
 			return errf(http.StatusNotFound, "no session %q", id)
 		}
 		// Persist the delete before applying it (the fsync happens under
@@ -476,6 +616,7 @@ func (m *Manager) Delete(id string) error {
 		// rather than hang on an unregistered session.
 		if err := s.persist(kindDelete, nil); err != nil {
 			s.mu.Unlock()
+			unlock()
 			return err
 		}
 		s.deleted = true
@@ -485,6 +626,7 @@ func (m *Manager) Delete(id string) error {
 			close(s.done)
 		}
 		s.mu.Unlock()
+		unlock()
 		// A deleted session is terminal, so Run can no longer start it; the
 		// map removal needs no coordination with the session lock.
 		m.mu.Lock()
@@ -506,12 +648,16 @@ func (m *Manager) Delete(id string) error {
 // It returns immediately; poll the session's status, stream its events, or
 // Wait on it.
 func (m *Manager) Run(s *Session) error {
+	if err := m.admitRun(); err != nil {
+		return err
+	}
 	// The created->running transition is guarded by the session lock alone:
 	// a concurrent DELETE marks the session cancelled (terminal) under the
 	// same lock before unregistering it, so whichever side wins the lock,
 	// Run can never start a session that was just deleted, and Delete can
 	// never silently drop one that just started. The fsynced run record is
 	// written under the session lock only — the manager stays responsive.
+	unlock := s.rlockGate()
 	s.mu.Lock()
 	if err := func() error {
 		switch s.state {
@@ -526,6 +672,8 @@ func (m *Manager) Run(s *Session) error {
 		return s.persist(kindRun, nil)
 	}(); err != nil {
 		s.mu.Unlock()
+		unlock()
+		m.releaseRun()
 		return err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -533,19 +681,20 @@ func (m *Manager) Run(s *Session) error {
 	s.cancel = cancel
 	svc := s.svc
 	s.mu.Unlock()
+	unlock()
 
 	svc.OnSnapshot = s.publishSnapshot
 	svc.SnapshotDetail = func() bool { return s.wantDetail.Swap(false) }
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
+		defer m.releaseRun()
 		defer cancel()
 		var rep batch.Report
 		var err error
 		select {
 		case m.sem <- struct{}{}:
-			rep, err = svc.Run(ctx)
-			<-m.sem
+			rep, err = m.runSession(ctx, svc)
 		case <-ctx.Done():
 			// Cancelled while still queued for a worker slot: nothing ran.
 			err = fmt.Errorf("batch: run cancelled while queued: %w", ctx.Err())
@@ -565,10 +714,48 @@ func (m *Manager) Run(s *Session) error {
 		s.mu.Unlock()
 		// The run goroutine owns svc again now that Run has returned, so
 		// reading final job statuses for the durable record is safe.
-		s.persistTerminal(svc)
+		m.persistTerminal(s, svc)
 		close(s.done)
 	}()
 	return nil
+}
+
+// runSession executes one simulation on an acquired worker slot, isolating
+// panics: a panicking run frees its slot and surfaces as a failed session
+// with the stack in the diagnostic, not a dead process.
+func (m *Manager) runSession(ctx context.Context, svc *batch.Service) (rep batch.Report, err error) {
+	defer func() {
+		<-m.sem
+		if p := recover(); p != nil {
+			err = fmt.Errorf("batch: session run panicked: %v\n%s", p, debug.Stack())
+		}
+	}()
+	if m.runHook != nil {
+		return m.runHook(ctx, svc)
+	}
+	return svc.Run(ctx)
+}
+
+// admitRun admits one run into the pool's queue, bounding queued runs at
+// queueDepth beyond the pool's parallelism; saturation gets 429 with
+// Retry-After rather than an unbounded goroutine pile-up.
+func (m *Manager) admitRun() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.queueDepth > 0 && m.inflightRuns >= cap(m.sem)+m.queueDepth {
+		return &apiError{
+			code: http.StatusTooManyRequests, retryAfter: degradedRetryAfter,
+			err: fmt.Errorf("run queue is full (%d running or queued); retry later", m.inflightRuns),
+		}
+	}
+	m.inflightRuns++
+	return nil
+}
+
+func (m *Manager) releaseRun() {
+	m.mu.Lock()
+	m.inflightRuns--
+	m.mu.Unlock()
 }
 
 // publishSnapshot installs the latest snapshot and fans its progress out to

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 
@@ -64,11 +65,18 @@ type SweepReport struct {
 	Fastest  string      `json:"fastest_session,omitempty"`
 }
 
-// Sweep runs the grid to completion and aggregates the results. Cells are
-// created and reported in grid order (vm_types outermost, policies
-// innermost), so the aggregation is order-stable regardless of which cell
-// finishes first.
+// Sweep runs the grid to completion and aggregates the results. See
+// SweepCtx.
 func (m *Manager) Sweep(req SweepRequest) (SweepReport, error) {
+	return m.SweepCtx(context.Background(), req)
+}
+
+// SweepCtx runs the grid to completion and aggregates the results. Cells
+// are created and reported in grid order (vm_types outermost, policies
+// innermost), so the aggregation is order-stable regardless of which cell
+// finishes first. A cancelled ctx (client gone) stops creating new cells;
+// already-started cells run to completion as ordinary sessions.
+func (m *Manager) SweepCtx(ctx context.Context, req SweepRequest) (SweepReport, error) {
 	if len(req.VMTypes) == 0 {
 		return SweepReport{}, errf(http.StatusBadRequest, "sweep needs at least one vm_type")
 	}
@@ -125,7 +133,7 @@ func (m *Manager) Sweep(req SweepRequest) (SweepReport, error) {
 					if ref != "" {
 						cellName += "/" + ref
 					}
-					s, err := m.Create(cellName, cfg)
+					s, err := m.CreateCtx(ctx, cellName, cfg)
 					if err == nil {
 						_, _, err = s.SubmitBag(req.Bag)
 					}

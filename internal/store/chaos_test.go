@@ -1,0 +1,480 @@
+package store
+
+// Chaos tests: the fault-injection matrix from ISSUE 6, driving the store
+// through scripted syscall failures (Nth fsync, torn write, ENOSPC, broken
+// rename/remove) at each phase (append, rotation, online compaction, boot
+// replay) and asserting it recovers byte-identical state or refuses to
+// serve — never silently corrupts.
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+
+	"repro/internal/faultfs"
+)
+
+// openInjected opens a log over an Injector with the given extra options.
+func openInjected(t *testing.T, dir string, opts Options) (*Log, *faultfs.Injector) {
+	t.Helper()
+	inj := faultfs.Wrap(nil)
+	opts.FS = inj
+	l, err := OpenOptions(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, inj
+}
+
+// replayAll reopens dir with a clean filesystem and returns the replayed
+// records.
+func replayAll(t *testing.T, dir string) []Record {
+	t.Helper()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+	return append([]Record(nil), l.Records()...)
+}
+
+func mustAppend(t *testing.T, l *Log, kind string, n int) Record {
+	t.Helper()
+	rec, err := l.Append(kind, "id", payload{N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestSegmentRotationAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenOptions(dir, Options{SegmentMaxRecords: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		mustAppend(t, l, "event", i)
+	}
+	st := l.Stats()
+	if st.Segments != 4 || st.Rotations != 3 {
+		t.Fatalf("stats = %+v, want 4 segments / 3 rotations", st)
+	}
+	if st.WALRecords != 10 {
+		t.Fatalf("WALRecords = %d, want 10", st.WALRecords)
+	}
+	l.Close()
+	for _, name := range []string{"wal.jsonl", "wal-000001.jsonl", "wal-000002.jsonl", "wal-000003.jsonl"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("segment %s: %v", name, err)
+		}
+	}
+	recs := replayAll(t, dir)
+	if len(recs) != 10 {
+		t.Fatalf("replayed %d records across segments, want 10", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d seq = %d", i, rec.Seq)
+		}
+	}
+}
+
+func TestSegmentRotationBySize(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenOptions(dir, Options{SegmentMaxBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 8; i++ {
+		mustAppend(t, l, "event", i)
+	}
+	if st := l.Stats(); st.Rotations == 0 {
+		t.Fatalf("no size-based rotation after 8 appends: %+v", st)
+	}
+	if n := len(replayAllLive(t, l)); n != 8 {
+		t.Fatalf("live records = %d, want 8", n)
+	}
+}
+
+// replayAllLive closes l and reopens its dir cleanly.
+func replayAllLive(t *testing.T, l *Log) []Record {
+	t.Helper()
+	dir := l.dir
+	l.Close()
+	return replayAll(t, dir)
+}
+
+// Satellite (a): an append whose write succeeds but whose fsync fails must
+// not be acknowledged, and the record must not surface on replay.
+func TestAppendFsyncFailureNotAcknowledged(t *testing.T) {
+	dir := t.TempDir()
+	l, inj := openInjected(t, dir, Options{})
+	mustAppend(t, l, "event", 1)
+	inj.Script(faultfs.Rule{Op: faultfs.OpSync, Path: "wal", Count: 1})
+	if _, err := l.Append("event", "id", payload{N: 2}); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("append with failed fsync: err = %v, want ErrInjected", err)
+	}
+	if trips := inj.Trips(); len(trips) != 1 || trips[0].Op != faultfs.OpSync {
+		t.Fatalf("trips = %+v", trips)
+	}
+	// The fault is gone; the log rolled its tail back and keeps working.
+	mustAppend(t, l, "event", 3)
+	recs := replayAllLive(t, l)
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2 (unacknowledged append must not surface)", len(recs))
+	}
+	for i, want := range []int{1, 3} {
+		if p := decodePayload(t, recs[i]); p.N != want {
+			t.Fatalf("record %d payload N = %d, want %d", i, p.N, want)
+		}
+	}
+}
+
+func decodePayload(t *testing.T, rec Record) payload {
+	t.Helper()
+	var p payload
+	if err := json.Unmarshal(rec.Data, &p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestTornWriteRolledBack: a torn write leaves a partial line on disk; the
+// rollback truncates it so the next append starts on a clean boundary.
+func TestTornWriteRolledBack(t *testing.T) {
+	dir := t.TempDir()
+	l, inj := openInjected(t, dir, Options{})
+	mustAppend(t, l, "event", 1)
+	inj.Script(faultfs.Rule{Op: faultfs.OpWrite, Path: "wal", ShortBytes: 7, Count: 1})
+	if _, err := l.Append("event", "id", payload{N: 2}); err == nil {
+		t.Fatal("torn write acknowledged")
+	}
+	mustAppend(t, l, "event", 3)
+	recs := replayAllLive(t, l)
+	if len(recs) != 2 || decodePayload(t, recs[1]).N != 3 {
+		t.Fatalf("replay after torn write = %+v", recs)
+	}
+}
+
+// TestENOSPCOnAppend: out-of-space fails the append cleanly and the log
+// recovers when space comes back.
+func TestENOSPCOnAppend(t *testing.T) {
+	dir := t.TempDir()
+	l, inj := openInjected(t, dir, Options{})
+	inj.Script(faultfs.Rule{Op: faultfs.OpWrite, Path: "wal", Err: syscall.ENOSPC, Count: 1})
+	if _, err := l.Append("event", "id", payload{N: 1}); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	mustAppend(t, l, "event", 2)
+	if recs := replayAllLive(t, l); len(recs) != 1 || decodePayload(t, recs[0]).N != 2 {
+		t.Fatalf("replay after ENOSPC = %+v", recs)
+	}
+}
+
+// TestRollbackFailurePoisonsThenRecovers: write fails AND the rollback
+// truncate fails — the log must refuse appends (poisoned) rather than risk
+// a merged line, then Recover() heals it once the disk behaves.
+func TestRollbackFailurePoisonsThenRecovers(t *testing.T) {
+	dir := t.TempDir()
+	l, inj := openInjected(t, dir, Options{})
+	mustAppend(t, l, "event", 1)
+	inj.Script(
+		faultfs.Rule{Op: faultfs.OpWrite, Path: "wal", ShortBytes: 5, Count: 1},
+		faultfs.Rule{Op: faultfs.OpTruncate, Path: "wal", Count: 1},
+	)
+	if _, err := l.Append("event", "id", payload{N: 2}); err == nil {
+		t.Fatal("append acknowledged through a torn write")
+	}
+	if !l.Stats().Poisoned {
+		t.Fatal("log not poisoned after failed rollback")
+	}
+	if _, err := l.Append("event", "id", payload{N: 3}); err == nil {
+		t.Fatal("poisoned log accepted an append")
+	}
+	inj.Clear()
+	if err := l.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	mustAppend(t, l, "event", 4)
+	recs := replayAllLive(t, l)
+	if len(recs) != 2 || decodePayload(t, recs[1]).N != 4 {
+		t.Fatalf("replay after recover = %+v", recs)
+	}
+}
+
+// TestRotationOpenFaultLeavesOldSegmentActive: a fault creating the next
+// segment fails that append but the old segment keeps accepting once the
+// fault clears (the rotation is retried).
+func TestRotationOpenFaultLeavesOldSegmentActive(t *testing.T) {
+	dir := t.TempDir()
+	l, inj := openInjected(t, dir, Options{SegmentMaxRecords: 2})
+	mustAppend(t, l, "event", 1)
+	mustAppend(t, l, "event", 2)
+	inj.Script(faultfs.Rule{Op: faultfs.OpOpen, Path: "wal-", Count: 1})
+	if _, err := l.Append("event", "id", payload{N: 3}); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("append during broken rotation: err = %v", err)
+	}
+	mustAppend(t, l, "event", 4) // rotation retried and succeeds
+	if st := l.Stats(); st.Rotations != 1 || st.Segments != 2 {
+		t.Fatalf("stats = %+v, want 1 rotation / 2 segments", st)
+	}
+	recs := replayAllLive(t, l)
+	if len(recs) != 3 || decodePayload(t, recs[2]).N != 4 {
+		t.Fatalf("replay = %+v", recs)
+	}
+}
+
+// TestRotationDirSyncFaultRemovesNewSegment: the directory fsync that seals
+// a rotation fails — the append fails, the half-created segment is removed,
+// and the next append rotates cleanly.
+func TestRotationDirSyncFaultRemovesNewSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, inj := openInjected(t, dir, Options{SegmentMaxRecords: 2})
+	mustAppend(t, l, "event", 1)
+	mustAppend(t, l, "event", 2)
+	inj.Script(faultfs.Rule{Op: faultfs.OpSync, Path: dir, Exact: true, Count: 1})
+	if _, err := l.Append("event", "id", payload{N: 3}); err == nil {
+		t.Fatal("append succeeded through a failed rotation dir-sync")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "wal-000001.jsonl")); !os.IsNotExist(err) {
+		t.Fatalf("half-created segment not removed: %v", err)
+	}
+	mustAppend(t, l, "event", 4)
+	if st := l.Stats(); st.Rotations != 1 {
+		t.Fatalf("stats = %+v, want 1 rotation", st)
+	}
+	if recs := replayAllLive(t, l); len(recs) != 3 {
+		t.Fatalf("replay = %+v", recs)
+	}
+}
+
+// TestOnlineCompactCrashWindowRoundTrips simulates kill -9 in the window
+// between Compact's snapshot rename and its WAL cleanup, with multiple
+// segments live: the restored stale segments must be ignored by sequence
+// filtering and retired at the next open.
+func TestOnlineCompactCrashWindowRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenOptions(dir, Options{SegmentMaxRecords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live []Record
+	for i := 1; i <= 6; i++ {
+		live = append(live, mustAppend(t, l, "event", i))
+	}
+	// Capture every WAL segment as of just before compaction.
+	pre := map[string][]byte{}
+	for _, name := range []string{"wal.jsonl", "wal-000001.jsonl", "wal-000002.jsonl"} {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre[name] = raw
+	}
+	if err := l.Compact(live); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// "kill -9 before cleanup": resurrect the pre-compaction segments.
+	for name, raw := range pre {
+		if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l2, err := OpenOptions(dir, Options{SegmentMaxRecords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := append([]Record(nil), l2.Records()...)
+	if len(recs) != 6 {
+		t.Fatalf("replayed %d records, want 6 (stale segments must be shadowed): %+v", len(recs), recs)
+	}
+	// Fully-shadowed closed segments were retired during open.
+	if st := l2.Stats(); st.Segments != 1 {
+		t.Fatalf("stale segments not retired: %+v", st)
+	}
+	rec := mustAppend(t, l2, "event", 7)
+	if rec.Seq != 7 {
+		t.Fatalf("post-recovery seq = %d, want 7", rec.Seq)
+	}
+	l2.Close()
+	if n := len(replayAll(t, dir)); n != 7 {
+		t.Fatalf("final replay = %d records, want 7", n)
+	}
+}
+
+// TestCompactRemoveFaultLeavesShadowedSegments: Compact succeeds even when
+// removing closed segments fails; the leftovers are shadowed and retired
+// on the next open.
+func TestCompactRemoveFaultLeavesShadowedSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, inj := openInjected(t, dir, Options{SegmentMaxRecords: 2})
+	var live []Record
+	for i := 1; i <= 5; i++ {
+		live = append(live, mustAppend(t, l, "event", i))
+	}
+	// Removing the closed wal-000001 segment fails; wal.jsonl (segment 0,
+	// no "wal-" in its name) is removed fine.
+	inj.Script(faultfs.Rule{Op: faultfs.OpRemove, Path: "wal-"})
+	if err := l.Compact(live); err != nil {
+		t.Fatalf("compact with failing removes: %v", err)
+	}
+	if st := l.Stats(); st.Segments != 2 {
+		t.Fatalf("stats after tolerated remove failures = %+v, want 2 segments (stale + active)", st)
+	}
+	mustAppend(t, l, "event", 6)
+	l.Close()
+	recs := replayAll(t, dir)
+	if len(recs) != 6 {
+		t.Fatalf("replay = %d records, want 6: %+v", len(recs), recs)
+	}
+	// The clean open retired the stale segments.
+	if _, err := os.Stat(filepath.Join(dir, "wal-000001.jsonl")); !os.IsNotExist(err) {
+		t.Fatalf("shadowed segment survived a clean open: %v", err)
+	}
+}
+
+// TestSnapshotRenameFaultKeepsOldState: a broken rename fails the
+// compaction atomically — the old snapshot and full WAL still replay.
+func TestSnapshotRenameFaultKeepsOldState(t *testing.T) {
+	dir := t.TempDir()
+	l, inj := openInjected(t, dir, Options{})
+	for i := 1; i <= 3; i++ {
+		mustAppend(t, l, "event", i)
+	}
+	inj.Script(faultfs.Rule{Op: faultfs.OpRename, Path: snapshotName, Count: 1})
+	if err := l.Compact(l.Records()); err == nil {
+		t.Fatal("compact succeeded through a failed snapshot rename")
+	}
+	mustAppend(t, l, "event", 4)
+	if recs := replayAllLive(t, l); len(recs) != 4 {
+		t.Fatalf("replay after failed compact = %+v", recs)
+	}
+}
+
+// TestSnapshotWriteENOSPCKeepsOldState: no space for the snapshot temp
+// file — compaction fails, nothing is lost.
+func TestSnapshotWriteENOSPCKeepsOldState(t *testing.T) {
+	dir := t.TempDir()
+	l, inj := openInjected(t, dir, Options{})
+	rec := mustAppend(t, l, "event", 1)
+	inj.Script(faultfs.Rule{Op: faultfs.OpWrite, Path: ".tmp", Err: syscall.ENOSPC})
+	if err := l.Compact([]Record{rec}); err == nil {
+		t.Fatal("compact succeeded with ENOSPC on the snapshot")
+	}
+	inj.Clear()
+	if err := l.Compact([]Record{rec}); err != nil {
+		t.Fatalf("compact after fault cleared: %v", err)
+	}
+	if recs := replayAllLive(t, l); len(recs) != 1 {
+		t.Fatalf("replay = %+v", recs)
+	}
+}
+
+// TestTornTailInClosedSegmentRefusesOpen: only the final segment may carry
+// a torn tail; a tear in a sealed segment means acknowledged records were
+// damaged, and the store must refuse to serve rather than guess.
+func TestTornTailInClosedSegmentRefusesOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenOptions(dir, Options{SegmentMaxRecords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		mustAppend(t, l, "event", i)
+	}
+	l.Close()
+	// Tear the tail of the sealed first segment.
+	seg0 := filepath.Join(dir, "wal.jsonl")
+	raw, err := os.ReadFile(seg0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg0, raw[:len(raw)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("open succeeded with a torn tail in a closed segment")
+	}
+}
+
+// TestCompactionTriggerFiresOnceUntilCompact: the trigger callback fires
+// when the WAL crosses the bound, stays quiet until a Compact re-arms it,
+// then fires again.
+func TestCompactionTriggerFiresOnceUntilCompact(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenOptions(dir, Options{CompactAtRecords: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	fired := 0
+	l.SetCompactionTrigger(func() { fired++ })
+	for i := 1; i <= 6; i++ {
+		mustAppend(t, l, "event", i)
+	}
+	if fired != 1 {
+		t.Fatalf("trigger fired %d times before compact, want 1", fired)
+	}
+	if err := l.Compact(l.Records()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 7; i <= 12; i++ {
+		mustAppend(t, l, "event", i)
+	}
+	if fired != 2 {
+		t.Fatalf("trigger fired %d times after re-arm, want 2", fired)
+	}
+}
+
+// TestBootReplayReadFaultRefusesOpen: an I/O error reading a segment at
+// boot refuses the open instead of serving partial state.
+func TestBootReplayReadFaultRefusesOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, "event", 1)
+	l.Close()
+	inj := faultfs.Wrap(nil)
+	inj.Script(faultfs.Rule{Op: faultfs.OpRead, Path: "wal"})
+	if _, err := OpenOptions(dir, Options{FS: inj}); err == nil {
+		t.Fatal("open served state it could not fully read")
+	}
+}
+
+// TestReopenStateIdentical: a rotated, compacted, re-appended log replays
+// the exact same records across a clean close/open cycle.
+func TestReopenStateIdentical(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenOptions(dir, Options{SegmentMaxRecords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live []Record
+	for i := 1; i <= 5; i++ {
+		live = append(live, mustAppend(t, l, "event", i))
+	}
+	if err := l.Compact(live); err != nil {
+		t.Fatal(err)
+	}
+	for i := 6; i <= 9; i++ {
+		mustAppend(t, l, "event", i)
+	}
+	l.Close()
+	first := replayAll(t, dir)
+	second := replayAll(t, dir)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("replay not stable:\n%+v\nvs\n%+v", first, second)
+	}
+	if len(first) != 9 {
+		t.Fatalf("replay = %d records, want 9", len(first))
+	}
+}

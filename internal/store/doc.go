@@ -1,0 +1,70 @@
+// Package store is a small durable event log: an append-only, segmented
+// write-ahead log of JSON records plus a JSON snapshot that compacts it.
+// It is the persistence substrate for the session manager in
+// internal/serve — the same discipline the paper applies to jobs (cheap
+// periodic checkpoints, bounded replay after a failure) applied to the
+// service's own control state.
+//
+// # Layout
+//
+// Inside the data directory:
+//
+//	snapshot.json       — {"seq": N, "records": [...]} written atomically
+//	                      (temp file + fsync + rename + dir fsync); the
+//	                      compacted prefix of the log.
+//	wal.jsonl           — WAL segment 0: one JSON record per line, fsynced
+//	                      per append.
+//	wal-000001.jsonl …  — later WAL segments, created by rotation. Segment
+//	                      indices only ever grow; the highest index is the
+//	                      active segment receiving appends.
+//	lock                — flock'd for the lifetime of the Log, so a second
+//	                      process pointed at the same dir fails at Open.
+//
+// # Segmentation and online compaction
+//
+// With Options.SegmentMaxBytes / SegmentMaxRecords set, an append that
+// would overflow the active segment first rotates: a new segment file is
+// created and its directory entry fsynced before any record lands in it.
+// Closed segments are immutable. When the total WAL size crosses
+// Options.CompactAtBytes / CompactAtRecords, the callback installed with
+// SetCompactionTrigger fires (once, until a Compact resets it) so the
+// owner can rewrite the snapshot from live state while continuing to
+// serve; Compact then truncates the active segment and removes the closed
+// ones. Compaction is no longer a boot-only affair — long-running
+// processes bound both replay time and disk usage.
+//
+// All file and directory operations go through a faultfs.FS seam
+// (Options.FS; the real filesystem by default), so chaos tests can script
+// a failed Nth fsync, a torn write, ENOSPC, or a broken rename at any of
+// these moments and assert the guarantees below hold.
+//
+// # Crash and fault matrix
+//
+// The invariants the store_test / chaos suites enforce, by phase:
+//
+//	append   — a record is acknowledged only after write + fsync succeed.
+//	           A failed write or fsync rolls the tail back to the last
+//	           acknowledged boundary; if even the rollback fails the log is
+//	           poisoned (appends fail) until Recover. A torn final line in
+//	           the active segment (crash mid-write) is discarded at Open
+//	           and flagged in Stats; replay never surfaces an
+//	           unacknowledged record.
+//	rotation — the new segment's dirent is fsynced before use; a fault
+//	           while rotating fails that append and leaves the old segment
+//	           active and intact. A torn tail is only legal in the final
+//	           segment: anywhere else it is corruption and Open refuses.
+//	compact  — the snapshot is durable (file fsync + rename + dir fsync)
+//	           before any WAL byte is dropped. A crash between rename and
+//	           truncate leaves stale segments whose records are already
+//	           covered by the snapshot; replay skips them by sequence
+//	           number and Open retires fully-shadowed closed segments. A
+//	           failed Remove merely leaves such a shadowed segment behind
+//	           for the next Open/Compact to retry.
+//	replay   — a malformed line that is not a final-segment tear is
+//	           corruption: Open returns an error rather than silently
+//	           truncating acknowledged records.
+//
+// Records are opaque to this package beyond (Seq, Kind, ID, Data); the
+// schema lives with the caller. The replayed slice is released on the
+// first Compact so boot state is not pinned for the process lifetime.
+package store

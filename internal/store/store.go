@@ -1,32 +1,20 @@
-// Package store is a small durable event log: an append-only write-ahead
-// log of JSON records plus a JSON snapshot that compacts it. It is the
-// persistence substrate for the session manager in internal/serve — the
-// same discipline the paper applies to jobs (cheap periodic checkpoints,
-// bounded replay after a failure) applied to the service's own control
-// state.
-//
-// Layout inside the data directory:
-//
-//	snapshot.json — {"seq": N, "records": [...]} written atomically
-//	                (temp file + rename); the compacted prefix of the log.
-//	wal.jsonl     — one JSON record per line, fsynced per append; the
-//	                suffix since the last snapshot.
-//
-// Open replays snapshot then WAL. A torn final WAL line (the process died
-// mid-write) is tolerated: replay stops at the first malformed line and the
-// tail is truncated on the next append. Records are opaque to this package
-// beyond (Seq, Kind, ID, Data); the schema lives with the caller.
 package store
 
 import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
+
+	"repro/internal/faultfs"
 )
 
 // Record is one durable event. Seq is assigned by the log and strictly
@@ -56,39 +44,123 @@ type Stats struct {
 	// TornTail reports whether Open found (and discarded) a torn final WAL
 	// line from a crash mid-write.
 	TornTail bool `json:"torn_tail,omitempty"`
+	// Segments is the number of WAL segment files currently on disk.
+	Segments int `json:"wal_segments"`
+	// Rotations counts segment rotations since Open.
+	Rotations int `json:"wal_rotations,omitempty"`
+	// WALRecords and WALBytes measure the WAL since the last compaction
+	// (what a crash right now would have to replay).
+	WALRecords int   `json:"wal_records"`
+	WALBytes   int64 `json:"wal_bytes"`
+	// Poisoned reports that a rollback after a failed append also failed,
+	// so appends are refused until Recover succeeds.
+	Poisoned bool `json:"poisoned,omitempty"`
+}
+
+// Options tunes an OpenOptions call. The zero value matches the classic
+// behavior: the real filesystem, a single unbounded segment, and no
+// compaction trigger.
+type Options struct {
+	// FS is the filesystem seam; nil means faultfs.OS (the real one).
+	FS faultfs.FS
+	// SegmentMaxBytes rotates the active segment before an append that
+	// would push it past this size. 0 disables size-based rotation.
+	SegmentMaxBytes int64
+	// SegmentMaxRecords rotates once the active segment holds this many
+	// records. 0 disables count-based rotation.
+	SegmentMaxRecords int
+	// CompactAtBytes / CompactAtRecords arm the compaction trigger: when
+	// the total WAL (all segments) crosses either bound after an append,
+	// the SetCompactionTrigger callback fires once. 0 disables that bound.
+	CompactAtBytes   int64
+	CompactAtRecords int
 }
 
 // Log is an open snapshot+WAL pair. All methods are safe for concurrent
 // use.
 type Log struct {
+	fs   faultfs.FS
+	dir  string
+	opts Options
+
 	mu       sync.Mutex
-	dir      string
-	wal      *os.File
-	lock     *os.File
-	seq      uint64 // last assigned seq
-	walSize  int64  // bytes of fully-written records in the WAL
+	wal      faultfs.File
+	lock     faultfs.File
+	seg      int   // active (highest) segment index
+	segments []int // segment files on disk, ascending; last is active
+	seq      uint64
+	walSize  int64 // acknowledged bytes in the active segment
+	walRecs  int   // records in the active segment
+	totBytes int64 // bytes across all segments since the last compaction
+	totRecs  int   // records across all segments since the last compaction
 	replayed []Record
 	stats    Stats
 	sync     bool
+
+	compactCb func()
+	signaled  bool // trigger fired; reset by Compact
 }
 
 const (
 	snapshotName = "snapshot.json"
 	walName      = "wal.jsonl"
 	lockName     = "lock"
+	segPrefix    = "wal-"
+	segSuffix    = ".jsonl"
 )
 
-// Open opens (creating if needed) the log in dir and replays its state.
-// The replayed records are available from Records until the first Compact.
+// segmentPath returns the path of segment i: segment 0 is wal.jsonl (the
+// pre-segmentation layout, so old data dirs need no migration), later
+// segments are wal-000001.jsonl and up.
+func (l *Log) segmentPath(i int) string {
+	if i == 0 {
+		return filepath.Join(l.dir, walName)
+	}
+	return filepath.Join(l.dir, fmt.Sprintf("%s%06d%s", segPrefix, i, segSuffix))
+}
+
+// segmentIndex parses a directory entry name as a WAL segment index,
+// returning -1 for non-segment files.
+func segmentIndex(name string) int {
+	if name == walName {
+		return 0
+	}
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return -1
+	}
+	mid := name[len(segPrefix) : len(name)-len(segSuffix)]
+	if len(mid) != 6 {
+		return -1
+	}
+	n, err := strconv.Atoi(mid)
+	if err != nil || n <= 0 {
+		return -1
+	}
+	return n
+}
+
+// Open opens (creating if needed) the log in dir with default Options and
+// replays its state.
+func Open(dir string) (*Log, error) {
+	return OpenOptions(dir, Options{})
+}
+
+// OpenOptions opens (creating if needed) the log in dir and replays its
+// state: snapshot first, then each WAL segment in index order. The
+// replayed records are available from Records until the first Compact.
 // The directory is flock'd for the lifetime of the Log: a second process
 // pointed at the same dir fails here instead of interleaving WAL appends
 // (the kernel releases the lock on process death, so a kill -9 never
 // strands it).
-func Open(dir string) (*Log, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func OpenOptions(dir string, opts Options) (*Log, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
-	lock, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	lock, err := fsys.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: opening lock file: %w", err)
 	}
@@ -96,7 +168,7 @@ func Open(dir string) (*Log, error) {
 		lock.Close()
 		return nil, fmt.Errorf("store: data dir %s is in use by another process: %w", dir, err)
 	}
-	l := &Log{dir: dir, lock: lock, sync: true}
+	l := &Log{fs: fsys, dir: dir, opts: opts, lock: lock, sync: true}
 	opened := false
 	defer func() {
 		if !opened {
@@ -106,7 +178,7 @@ func Open(dir string) (*Log, error) {
 
 	var recs []Record
 	var snapSeq uint64
-	if raw, err := os.ReadFile(filepath.Join(dir, snapshotName)); err == nil {
+	if raw, err := fsys.ReadFile(filepath.Join(dir, snapshotName)); err == nil {
 		var snap snapshotFile
 		if err := json.Unmarshal(raw, &snap); err != nil {
 			return nil, fmt.Errorf("store: corrupt %s: %w", snapshotName, err)
@@ -114,37 +186,68 @@ func Open(dir string) (*Log, error) {
 		recs = append(recs, snap.Records...)
 		l.seq = snap.Seq
 		snapSeq = snap.Seq
-	} else if !os.IsNotExist(err) {
+	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("store: reading snapshot: %w", err)
 	}
 
-	walPath := filepath.Join(dir, walName)
-	if raw, err := os.ReadFile(walPath); err == nil {
+	segs, err := findSegments(fsys, dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: listing WAL segments: %w", err)
+	}
+	for i, idx := range segs {
+		path := l.segmentPath(idx)
+		raw, err := fsys.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("store: reading %s: %w", path, err)
+		}
+		final := i == len(segs)-1
 		// A file not ending in '\n' carries a torn final append: each
 		// record is written (line + '\n') in one call, so any prefix may
 		// have survived a crash — including one that still parses as JSON.
 		// The append was never acknowledged, so the partial line is
 		// discarded wholesale; keeping it would let the next append merge
-		// two records onto one line and brick the following boot.
+		// two records onto one line and brick the following boot. Only the
+		// active (final) segment can legally carry one: closed segments
+		// were sealed by a successful rotation.
 		if len(raw) > 0 && raw[len(raw)-1] != '\n' {
+			if !final {
+				return nil, fmt.Errorf("store: closed segment %s has a torn tail; refusing to open", path)
+			}
 			cut := bytes.LastIndexByte(raw, '\n') + 1
 			raw = raw[:cut]
 			l.stats.TornTail = true
-			if err := os.Truncate(walPath, int64(cut)); err != nil {
+			if err := fsys.Truncate(path, int64(cut)); err != nil {
 				return nil, fmt.Errorf("store: truncating torn WAL tail: %w", err)
 			}
 		}
 		// Every surviving line is newline-terminated and therefore was
 		// written whole; a malformed one is corruption, not a tear.
-		if err := parseWAL(raw, snapSeq, &recs, &l.seq); err != nil {
-			return nil, fmt.Errorf("store: reading WAL: %w", err)
+		lines, maxSeq, err := parseWAL(raw, snapSeq, &recs, &l.seq)
+		if err != nil {
+			return nil, fmt.Errorf("store: reading %s: %w", path, err)
 		}
-		l.walSize = int64(len(raw))
-	} else if !os.IsNotExist(err) {
-		return nil, fmt.Errorf("store: reading WAL: %w", err)
+		// A closed segment whose every record the snapshot already covers
+		// is a leftover from a compaction whose Remove failed; retire it.
+		if !final && maxSeq <= snapSeq {
+			if fsys.Remove(path) == nil {
+				continue
+			}
+		}
+		l.segments = append(l.segments, idx)
+		l.totBytes += int64(len(raw))
+		l.totRecs += lines
+		if final {
+			l.seg = idx
+			l.walSize = int64(len(raw))
+			l.walRecs = lines
+		}
+	}
+	if len(l.segments) == 0 {
+		l.seg = 0
+		l.segments = []int{0}
 	}
 
-	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	wal, err := fsys.OpenFile(l.segmentPath(l.seg), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: opening WAL: %w", err)
 	}
@@ -155,7 +258,24 @@ func Open(dir string) (*Log, error) {
 	return l, nil
 }
 
-// parseWAL appends each valid record line to recs, advancing seq. Records
+// findSegments lists the WAL segment indices present in dir, ascending.
+func findSegments(fsys faultfs.FS, dir string) ([]int, error) {
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var idxs []int
+	for _, e := range ents {
+		if idx := segmentIndex(e.Name()); idx >= 0 {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Ints(idxs)
+	return idxs, nil
+}
+
+// parseWAL appends each valid record line to recs, advancing seq, and
+// returns the segment's line count and highest sequence number. Records
 // with Seq <= snapSeq are already covered by the snapshot and are skipped:
 // a crash between Compact's snapshot rename and its WAL truncation leaves
 // the pre-compaction WAL behind, and replaying it on top of the snapshot
@@ -163,15 +283,16 @@ func Open(dir string) (*Log, error) {
 // final line, so a malformed line here (or a scan failure, e.g. a line
 // beyond the buffer bound) is corruption: the error refuses the open
 // rather than silently truncating acknowledged records.
-func parseWAL(raw []byte, snapSeq uint64, recs *[]Record, seq *uint64) error {
-	offset := 0
+func parseWAL(raw []byte, snapSeq uint64, recs *[]Record, seq *uint64) (int, uint64, error) {
+	offset, lines := 0, 0
+	var maxSeq uint64
 	sc := bufio.NewScanner(bytes.NewReader(raw))
 	sc.Buffer(make([]byte, 0, 1024*1024), 256*1024*1024)
 	for sc.Scan() {
 		line := sc.Bytes()
 		var rec Record
 		if err := json.Unmarshal(line, &rec); err != nil {
-			return fmt.Errorf("malformed record at byte %d: %w", offset, err)
+			return lines, maxSeq, fmt.Errorf("malformed record at byte %d: %w", offset, err)
 		}
 		if rec.Seq > snapSeq {
 			*recs = append(*recs, rec)
@@ -179,9 +300,13 @@ func parseWAL(raw []byte, snapSeq uint64, recs *[]Record, seq *uint64) error {
 		if rec.Seq > *seq {
 			*seq = rec.Seq
 		}
+		if rec.Seq > maxSeq {
+			maxSeq = rec.Seq
+		}
 		offset += len(line) + 1 // the newline
+		lines++
 	}
-	return sc.Err()
+	return lines, maxSeq, sc.Err()
 }
 
 // SetSync controls whether each append fsyncs the WAL (default true).
@@ -190,6 +315,33 @@ func (l *Log) SetSync(on bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.sync = on
+}
+
+// SetCompactionTrigger installs fn, called at most once — from inside an
+// Append, with the log's lock held — when the total WAL crosses the
+// Options compaction bounds; Compact re-arms it. fn must not block and
+// must not call back into the Log (typically it does a non-blocking send
+// on a channel a maintenance goroutine drains). If the bounds are already
+// exceeded, fn fires immediately.
+func (l *Log) SetCompactionTrigger(fn func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.compactCb = fn
+	l.maybeSignal()
+}
+
+// maybeSignal fires the compaction trigger when armed and over-threshold.
+// Caller holds l.mu.
+func (l *Log) maybeSignal() {
+	if l.signaled || l.compactCb == nil {
+		return
+	}
+	over := (l.opts.CompactAtBytes > 0 && l.totBytes > l.opts.CompactAtBytes) ||
+		(l.opts.CompactAtRecords > 0 && l.totRecs > l.opts.CompactAtRecords)
+	if over {
+		l.signaled = true
+		l.compactCb()
+	}
 }
 
 // Records returns the records replayed at Open, in log order. The slice is
@@ -201,7 +353,8 @@ func (l *Log) Records() []Record {
 }
 
 // Append marshals v, assigns the next sequence number, and durably appends
-// the record to the WAL (write + fsync before returning).
+// the record to the active WAL segment (write + fsync before returning),
+// rotating to a fresh segment first when the active one is full.
 func (l *Log) Append(kind, id string, v any) (Record, error) {
 	data, err := json.Marshal(v)
 	if err != nil {
@@ -210,6 +363,9 @@ func (l *Log) Append(kind, id string, v any) (Record, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.wal == nil {
+		if l.lock != nil {
+			return Record{}, fmt.Errorf("store: log is poisoned by a failed rollback; call Recover")
+		}
 		return Record{}, fmt.Errorf("store: log is closed")
 	}
 	l.seq++
@@ -219,6 +375,9 @@ func (l *Log) Append(kind, id string, v any) (Record, error) {
 		return Record{}, fmt.Errorf("store: marshaling record: %w", err)
 	}
 	line = append(line, '\n')
+	if err := l.maybeRotate(int64(len(line))); err != nil {
+		return Record{}, err
+	}
 	if _, err := l.wal.Write(line); err != nil {
 		// A short write may have left partial bytes on the last line; if
 		// the next append succeeded anyway, its record would merge with the
@@ -234,8 +393,50 @@ func (l *Log) Append(kind, id string, v any) (Record, error) {
 		}
 	}
 	l.walSize += int64(len(line))
+	l.walRecs++
+	l.totBytes += int64(len(line))
+	l.totRecs++
 	l.stats.Appended++
+	l.maybeSignal()
 	return rec, nil
+}
+
+// maybeRotate seals the active segment and opens the next one when the
+// incoming line would overflow the Options bounds. A fault while rotating
+// fails the append and leaves the old segment active and intact; the next
+// append retries. Caller holds l.mu.
+func (l *Log) maybeRotate(lineLen int64) error {
+	if l.walRecs == 0 {
+		return nil // never rotate an empty segment
+	}
+	overBytes := l.opts.SegmentMaxBytes > 0 && l.walSize+lineLen > l.opts.SegmentMaxBytes
+	overRecs := l.opts.SegmentMaxRecords > 0 && l.walRecs >= l.opts.SegmentMaxRecords
+	if !overBytes && !overRecs {
+		return nil
+	}
+	idx := l.segments[len(l.segments)-1] + 1
+	path := l.segmentPath(idx)
+	f, err := l.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating WAL segment: %w", err)
+	}
+	// The new segment's dirent must be durable before any record lands in
+	// it — otherwise a power failure could lose a whole acknowledged
+	// segment while its predecessor claims to be sealed.
+	if err := syncDir(l.fs, l.dir); err != nil {
+		f.Close()
+		l.fs.Remove(path)
+		return err
+	}
+	// Every record in the old segment was fsynced at append time, so a
+	// close error cannot lose acknowledged data.
+	l.wal.Close()
+	l.wal = f
+	l.seg = idx
+	l.segments = append(l.segments, idx)
+	l.walSize, l.walRecs = 0, 0
+	l.stats.Rotations++
+	return nil
 }
 
 // rollbackTail discards any partially-written bytes past the last fully
@@ -249,10 +450,38 @@ func (l *Log) rollbackTail() {
 	}
 }
 
+// Recover retries the rollback that poisoned the log: it re-truncates the
+// active segment to the last acknowledged boundary and reopens it. A nil
+// return means the log accepts appends again. Recover on a healthy log is
+// a no-op; on a closed log it fails.
+func (l *Log) Recover() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wal != nil {
+		return nil
+	}
+	if l.lock == nil {
+		return fmt.Errorf("store: log is closed")
+	}
+	path := l.segmentPath(l.seg)
+	if err := l.fs.Truncate(path, l.walSize); err != nil {
+		return fmt.Errorf("store: re-truncating WAL tail: %w", err)
+	}
+	f, err := l.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopening WAL: %w", err)
+	}
+	l.wal = f
+	return nil
+}
+
 // Compact atomically replaces the snapshot with the given records (the
-// caller's compacted view of current state) and truncates the WAL. The
-// records are renumbered 1..n — the caller may synthesize them without
-// assigning sequence numbers — and future appends continue from n.
+// caller's compacted view of current state), truncates the active WAL
+// segment, and removes the closed ones. The records are renumbered 1..n —
+// the caller may synthesize them without assigning sequence numbers — and
+// future appends continue from n. Safe to call while appends are blocked
+// on the same lock; the caller is responsible for ensuring the records
+// reflect every acknowledged append (see serve.Manager's persist gate).
 func (l *Log) Compact(records []Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -279,34 +508,48 @@ func (l *Log) Compact(records []Record) error {
 		return fmt.Errorf("store: marshaling snapshot: %w", err)
 	}
 	tmp := filepath.Join(l.dir, snapshotName+".tmp")
-	if err := writeFileSync(tmp, raw); err != nil {
+	if err := writeFileSync(l.fs, tmp, raw); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(l.dir, snapshotName)); err != nil {
+	if err := l.fs.Rename(tmp, filepath.Join(l.dir, snapshotName)); err != nil {
 		return fmt.Errorf("store: installing snapshot: %w", err)
 	}
-	// Fsync the directory so the rename itself is durable before the WAL
-	// is truncated — otherwise a power failure could surface the old
+	// Fsync the directory so the rename itself is durable before any WAL
+	// byte is dropped — otherwise a power failure could surface the old
 	// snapshot next to an already-empty WAL, losing acknowledged records.
-	if err := syncDir(l.dir); err != nil {
+	if err := syncDir(l.fs, l.dir); err != nil {
 		return err
 	}
-	// The snapshot now covers everything; restart the WAL.
+	// The snapshot now covers everything; restart the active segment. On
+	// failure the stale bytes stay, but every record in them is shadowed
+	// by the snapshot's sequence, so later appends and replays stay
+	// correct.
 	if err := l.wal.Truncate(0); err != nil {
 		return fmt.Errorf("store: truncating WAL: %w", err)
 	}
 	if _, err := l.wal.Seek(0, 0); err != nil {
 		return fmt.Errorf("store: rewinding WAL: %w", err)
 	}
-	l.walSize = 0
+	// Closed segments are now fully shadowed; removal failures leave them
+	// for the next Compact or Open to retry.
+	kept := l.segments[:0]
+	for _, idx := range l.segments {
+		if idx == l.seg || l.fs.Remove(l.segmentPath(idx)) != nil {
+			kept = append(kept, idx)
+		}
+	}
+	l.segments = kept
+	l.walSize, l.walRecs = 0, 0
+	l.totBytes, l.totRecs = 0, 0
+	l.signaled = false
 	l.replayed = nil
 	l.stats.Compactions++
 	return nil
 }
 
 // syncDir fsyncs a directory, making previously-renamed entries durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys faultfs.FS, dir string) error {
+	d, err := fsys.OpenFile(dir, os.O_RDONLY, 0)
 	if err != nil {
 		return fmt.Errorf("store: opening %s for sync: %w", dir, err)
 	}
@@ -319,8 +562,8 @@ func syncDir(dir string) error {
 
 // writeFileSync writes data to path and fsyncs before closing, so the
 // subsequent rename installs fully-durable bytes.
-func writeFileSync(path string, data []byte) error {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+func writeFileSync(fsys faultfs.FS, path string, data []byte) error {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: creating %s: %w", path, err)
 	}
@@ -339,7 +582,12 @@ func writeFileSync(path string, data []byte) error {
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.stats
+	st := l.stats
+	st.Segments = len(l.segments)
+	st.WALRecords = l.totRecs
+	st.WALBytes = l.totBytes
+	st.Poisoned = l.wal == nil && l.lock != nil
+	return st
 }
 
 // Close releases the WAL file handle and the directory lock. Further

@@ -4,7 +4,7 @@
 # performance trajectory PR over PR. Also diffs two recorded baselines.
 #
 # Usage:
-#   scripts/bench.sh                 # default suite -> BENCH_PR5.json
+#   scripts/bench.sh                 # default suite -> BENCH_PR6.json
 #   scripts/bench.sh 'Benchmark.*'   # custom micro pattern (e.g. the full
 #                                    # figure suite; slow)
 #   scripts/bench.sh PATTERN OUT     # custom pattern and output file
@@ -13,6 +13,13 @@
 #                                    # ratio per benchmark present in both
 #                                    # and exits nonzero if any regressed by
 #                                    # more than 20%
+#
+# Every run starts with BenchmarkCalibration, a fixed integer kernel whose
+# ns/op tracks only the machine's single-thread speed. -compare uses the
+# two files' calibration numbers to normalize every ratio (ratio divided by
+# the machine ratio), so baselines recorded on different or noisy hardware
+# stay interpretable: the REGRESSION gate fires on the normalized ratio
+# when both files carry a calibration, on the raw ratio otherwise.
 #
 # Three benchmark groups run:
 #   - micro (root package): sampling, DP solve (serial / parallel / pruned /
@@ -53,18 +60,26 @@ compare() {
     BEGIN {
         parse(oldfile, oldns)
         parse(newfile, newns)
-        printf "%-42s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio"
-        worst = 0
+        cal = 0
+        if (("BenchmarkCalibration" in oldns) && ("BenchmarkCalibration" in newns) && oldns["BenchmarkCalibration"] > 0) {
+            cal = newns["BenchmarkCalibration"] / oldns["BenchmarkCalibration"]
+            printf "calibration: %.0f -> %.0f ns/op (machine ratio %.2fx); gating on normalized ratios\n", \
+                oldns["BenchmarkCalibration"], newns["BenchmarkCalibration"], cal
+        } else {
+            print "calibration: absent from one baseline; gating on raw ratios"
+        }
+        printf "%-42s %14s %14s %8s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "norm"
         for (name in oldns) {
             if (!(name in newns)) continue
             ratio = newns[name] / oldns[name]
+            norm = (cal > 0 ? ratio / cal : ratio)
             flag = ""
-            if (ratio > 1.20) { flag = "  REGRESSION"; bad++ }
-            printf "%-42s %14.0f %14.0f %7.2fx%s\n", name, oldns[name], newns[name], ratio, flag
+            if (name != "BenchmarkCalibration" && norm > 1.20) { flag = "  REGRESSION"; bad++ }
+            printf "%-42s %14.0f %14.0f %7.2fx %7.2fx%s\n", name, oldns[name], newns[name], ratio, norm, flag
             n++
         }
         if (n == 0) { print "no common benchmarks between the two files" > "/dev/stderr"; exit 2 }
-        if (bad > 0) { printf "%d benchmark(s) regressed by >20%% ns/op\n", bad > "/dev/stderr"; exit 1 }
+        if (bad > 0) { printf "%d benchmark(s) regressed by >20%% normalized ns/op\n", bad > "/dev/stderr"; exit 1 }
     }'
 }
 
@@ -78,18 +93,23 @@ if [ "${1:-}" = "-compare" ]; then
 fi
 
 pattern="${1:-BenchmarkSample|BenchmarkDPSolve|BenchmarkMCMakespan|BenchmarkRegistryIngest|BenchmarkModelResolve}"
-out="${2:-BENCH_PR5.json}"
+out="${2:-BENCH_PR6.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench "$pattern" -benchmem . | tee "$raw"
+# The calibration kernel always runs, whatever the pattern, so every
+# recorded baseline carries the machine-speed reference -compare needs.
+go test -run '^$' -bench '^BenchmarkCalibration$' . | tee "$raw"
+go test -run '^$' -bench "$pattern" -benchmem . | tee -a "$raw"
 go test -run '^$' -bench 'BenchmarkServiceSessions|BenchmarkStoreRestore|BenchmarkSSEFanout|BenchmarkColdSweep' -benchmem ./internal/serve | tee -a "$raw"
 
 awk -v out="$out" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
-    order[n++] = name
+    # Dedupe: a custom pattern matching BenchmarkCalibration would
+    # otherwise record it twice (it always runs first).
+    if (!(name in seenname)) { seenname[name] = 1; order[n++] = name }
     # Fields after the iteration count come in (value, unit) pairs; map the
     # unit to a JSON key so custom b.ReportMetric metrics are captured too.
     for (i = 3; i + 1 <= NF; i += 2) {

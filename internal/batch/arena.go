@@ -1,0 +1,75 @@
+package batch
+
+import "sync"
+
+// Job-state blocks are pooled across services by size class. A serving
+// process churns through many short-lived sessions with a handful of bag
+// shapes, so the per-bag []jobState backing array — the largest single
+// allocation a session makes — is recycled through sync.Pool instead of
+// handed to the collector on every session delete. Blocks are zeroed
+// before reuse, so a service built on recycled blocks is byte-identical to
+// one built on fresh memory.
+const (
+	minStateClassBits = 4  // smallest pooled block: 16 states
+	maxStateClassBits = 12 // largest pooled block: 4096 states
+)
+
+var statePools [maxStateClassBits - minStateClassBits + 1]sync.Pool
+
+// stateClass returns the pool index of the smallest class holding n states.
+func stateClass(n int) int {
+	c := 0
+	for sz := 1 << minStateClassBits; sz < n && c < len(statePools)-1; sz <<= 1 {
+		c++
+	}
+	return c
+}
+
+// getStates returns a zeroed jobState slice of length n backed by a pooled
+// block when one is available. Bags larger than the biggest size class get
+// a dedicated allocation that is never pooled.
+func getStates(n int) []jobState {
+	if n > 1<<maxStateClassBits {
+		return make([]jobState, n)
+	}
+	c := stateClass(n)
+	if v := statePools[c].Get(); v != nil {
+		return (*(v.(*[]jobState)))[:n]
+	}
+	return make([]jobState, n, 1<<(minStateClassBits+c))
+}
+
+// putStates zeroes blk over its full capacity and returns it to its size
+// class. Only blocks minted by getStates (capacity exactly a class size)
+// are pooled; anything else is dropped for the collector.
+func putStates(blk []jobState) {
+	full := blk[:cap(blk)]
+	for i := range full {
+		full[i] = jobState{}
+	}
+	for c := range statePools {
+		if cap(full) == 1<<(minStateClassBits+c) {
+			statePools[c].Put(&full)
+			return
+		}
+	}
+}
+
+// Recycle returns the service's job-state blocks to the shared pools and
+// drops every reference into them. It must be the last call on the
+// service: the caller is responsible for ensuring no concurrent or later
+// use (the serving layer calls it under the session lock once the session
+// is marked deleted, after which every accessor 404s before reaching the
+// service).
+func (s *Service) Recycle() {
+	// Every pointer into the blocks must go before the blocks are reused:
+	// jobs, running, and the cluster queue all alias jobState memory.
+	s.jobs = nil
+	s.jobOrder = nil
+	s.running = nil
+	s.gangs = nil
+	for _, blk := range s.stateBlocks {
+		putStates(blk)
+	}
+	s.stateBlocks = nil
+}

@@ -1,0 +1,119 @@
+package batch
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestGetStatesZeroedAfterReuse primes the pool with a deliberately dirty
+// block and checks the next borrower sees only zero values — the property
+// the determinism guarantee rests on.
+func TestGetStatesZeroedAfterReuse(t *testing.T) {
+	blk := getStates(40)
+	for i := range blk {
+		blk[i].remaining = 99
+		blk[i].attempts = 7
+		blk[i].done = true
+		blk[i].spec = workload.JobSpec{ID: "dirty", Runtime: 1}
+	}
+	putStates(blk)
+	// Pools are per-P caches; a single Get on the same goroutine sees the
+	// block just Put. Even if the runtime dropped it, a fresh block is
+	// zeroed too, so the assertion holds either way.
+	got := getStates(40)
+	for i := range got {
+		js := &got[i]
+		if js.spec != (workload.JobSpec{}) || js.remaining != 0 || js.attempts != 0 ||
+			js.done || js.schedule.Intervals != nil || js.cjob.OnComplete != nil {
+			t.Fatalf("state %d not zeroed after reuse: %+v", i, *js)
+		}
+	}
+	putStates(got)
+}
+
+func TestStateClassSizes(t *testing.T) {
+	cases := []struct{ n, wantCap int }{
+		{1, 16}, {16, 16}, {17, 32}, {100, 128}, {4096, 4096},
+	}
+	for _, c := range cases {
+		blk := getStates(c.n)
+		if len(blk) != c.n {
+			t.Fatalf("getStates(%d) len %d", c.n, len(blk))
+		}
+		if cap(blk) != c.wantCap {
+			t.Fatalf("getStates(%d) cap %d, want %d", c.n, cap(blk), c.wantCap)
+		}
+		putStates(blk)
+	}
+	// Oversize blocks bypass the pool but must still be sized right.
+	big := getStates(5000)
+	if len(big) != 5000 {
+		t.Fatalf("oversize len %d", len(big))
+	}
+	putStates(big)
+}
+
+// TestRecycledServiceByteIdenticalReport runs the same configuration twice,
+// recycling the first service's state blocks in between, and requires the
+// second run's report and job listing to be byte-identical: reuse must be
+// invisible to results.
+func TestRecycledServiceByteIdenticalReport(t *testing.T) {
+	run := func() (Report, []JobStatus) {
+		svc, err := New(baseConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bag := workload.NewBag(workload.Nanoconfinement, 40, 0.05, 11)
+		if err := svc.SubmitBag(bag); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := svc.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs := svc.JobStatuses()
+		svc.Recycle()
+		return rep, jobs
+	}
+	encode := func(rep Report, jobs []JobStatus) []byte {
+		b, err := json.Marshal(struct {
+			Report Report
+			Jobs   []JobStatus
+		}{rep, jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	rep1, jobs1 := run()
+	rep2, jobs2 := run() // second run draws the recycled blocks
+	b1, b2 := encode(rep1, jobs1), encode(rep2, jobs2)
+	if string(b1) != string(b2) {
+		t.Fatalf("reports diverged across recycle:\nfirst:  %s\nsecond: %s", b1, b2)
+	}
+}
+
+// TestRecycleDropsReferences checks a recycled service no longer pins its
+// job states (accessors see an empty service rather than stale data).
+func TestRecycleDropsReferences(t *testing.T) {
+	svc, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SubmitBag(workload.NewBag(workload.Shapes, 20, 0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	svc.Recycle()
+	if n := len(svc.JobStatuses()); n != 0 {
+		t.Fatalf("recycled service still lists %d jobs", n)
+	}
+	if svc.jobs != nil || svc.stateBlocks != nil || svc.running != nil {
+		t.Fatal("recycle left references to pooled state")
+	}
+}

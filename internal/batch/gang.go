@@ -2,9 +2,11 @@ package batch
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cloud"
 	"repro/internal/cluster"
+	"repro/internal/ids"
 	"repro/internal/sim"
 )
 
@@ -17,15 +19,18 @@ type gang struct {
 	members []*cloud.VM
 	retired bool
 
-	spareTimer *sim.Timer
-	// spareFn is the hot-spare TTL expiry callback, built once per gang so
-	// repeated idle periods don't allocate a fresh closure each time.
-	spareFn func()
+	spareTimer sim.Timer
 }
 
 // nodeID derives the cluster node name for the gang's current revision.
 func (g *gang) nodeID() cluster.NodeID {
-	return cluster.NodeID(fmt.Sprintf("gang-%03d.r%d", g.id, g.rev))
+	var sb strings.Builder
+	sb.Grow(16)
+	sb.WriteString("gang-")
+	ids.WritePadded(&sb, g.id, 3)
+	sb.WriteString(".r")
+	ids.WritePadded(&sb, g.rev, 0)
+	return cluster.NodeID(sb.String())
 }
 
 // OldestAge returns the age of the gang's oldest running member — the
@@ -47,7 +52,7 @@ func (g *gang) OldestAge(now float64) float64 {
 // cluster node.
 func (s *Service) launchGang() (*gang, error) {
 	s.gangCounter++
-	g := &gang{id: s.gangCounter}
+	g := &gang{id: s.gangCounter, members: make([]*cloud.VM, 0, s.cfg.GangSize)}
 	for i := 0; i < s.cfg.GangSize; i++ {
 		vm, err := s.Provider.Launch(s.cfg.VMType, s.cfg.Zone, s.cfg.Preemptible)
 		if err != nil {
@@ -69,9 +74,7 @@ func (s *Service) retireGang(g *gang) {
 		return
 	}
 	g.retired = true
-	if g.spareTimer != nil {
-		g.spareTimer.Cancel()
-	}
+	g.spareTimer.Cancel()
 	// Removing the node first fails any running job (shouldn't happen for
 	// idle retirement, but drain() may retire busy gangs only after all
 	// jobs are done).
@@ -94,9 +97,7 @@ func (s *Service) onPreemption(vm *cloud.VM) {
 	if g == nil || g.retired {
 		return
 	}
-	if g.spareTimer != nil {
-		g.spareTimer.Cancel()
-	}
+	g.spareTimer.Cancel()
 	// Fail the running job and detach the gang under its old identity.
 	_ = s.Manager.RemoveNode(g.node)
 	delete(s.gangs, g.node)

@@ -18,7 +18,6 @@ package batch
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"repro/internal/cloud"
 	"repro/internal/cluster"
@@ -136,10 +135,13 @@ type Service struct {
 	cfg     Config
 	planner *policy.CheckpointPlanner
 
-	gangs     map[cluster.NodeID]*gang
-	jobs      map[string]*jobState
-	jobOrder  []string
-	remaining int // jobs not yet done
+	gangs    map[cluster.NodeID]*gang
+	jobs     map[string]*jobState
+	jobOrder []string
+	// stateBlocks are the pooled backing arrays behind jobs (one per
+	// submitted bag), retained so Recycle can hand them back (arena.go).
+	stateBlocks [][]jobState
+	remaining   int // jobs not yet done
 	// classes aggregates per-application-class progress incrementally (in
 	// first-submission order), so snapshots never need an O(jobs) rescan.
 	classes    []ClassProgress
@@ -156,6 +158,14 @@ type Service struct {
 	startedAt   float64
 	finishedAt  float64
 	gangCounter int
+	// jobCompleteFn/jobFailFn are the cluster callbacks shared by every job
+	// of the service (the per-job state rides in cluster.Job.Ctx), so
+	// enqueueing a job allocates no closures. spareCb and enqueueCb are the
+	// shared timer callbacks for hot-spare expiry and deferred-bag arrival.
+	jobCompleteFn func(*cluster.Job, cluster.NodeID)
+	jobFailFn     func(*cluster.Job, cluster.NodeID, float64)
+	spareCb       func(any)
+	enqueueCb     func(any)
 	// stopping marks a cancelled run's teardown: job failures induced by
 	// retiring busy gangs are abandoned instead of re-enqueued, and no
 	// replacement capacity is launched.
@@ -202,11 +212,26 @@ func New(cfg Config) (*Service, error) {
 		Provider:   provider,
 		Manager:    mgr,
 		cfg:        cfg,
-		gangs:      make(map[cluster.NodeID]*gang),
+		gangs:      make(map[cluster.NodeID]*gang, 8),
 		jobs:       make(map[string]*jobState),
-		running:    make(map[cluster.NodeID]*jobState),
-		classIndex: make(map[string]int),
+		running:    make(map[cluster.NodeID]*jobState, 8),
+		classIndex: make(map[string]int, 4),
 	}
+	s.jobCompleteFn = func(j *cluster.Job, node cluster.NodeID) {
+		delete(s.running, node)
+		s.onJobComplete(j.Ctx.(*jobState))
+	}
+	s.jobFailFn = func(j *cluster.Job, node cluster.NodeID, progress float64) {
+		delete(s.running, node)
+		s.onJobFail(j.Ctx.(*jobState), progress)
+	}
+	s.spareCb = func(a any) {
+		g := a.(*gang)
+		if st, ok := s.Manager.State(g.node); ok && st == cluster.NodeIdle {
+			s.retireGang(g)
+		}
+	}
+	s.enqueueCb = func(a any) { s.enqueue(a.(*jobState)) }
 	if cfg.UseReusePolicy {
 		mgr.PlaceFilter = s.placeFilter
 		mgr.OnBlocked = s.onBlocked
@@ -307,8 +332,9 @@ func (s *Service) SubmitBagAt(bag workload.Bag, at float64) error {
 	}
 	// One backing array for the whole bag's job states: pointers into it
 	// stay valid for the service's lifetime, and submission is one
-	// allocation instead of one per job.
-	states := make([]jobState, len(bag.Jobs))
+	// (usually pooled — see arena.go) allocation instead of one per job.
+	states := getStates(len(bag.Jobs))
+	s.stateBlocks = append(s.stateBlocks, states)
 	for i, spec := range bag.Jobs {
 		js := &states[i]
 		js.spec = spec
@@ -400,8 +426,7 @@ func (s *Service) Run(ctx context.Context) (Report, error) {
 		if js.arrival <= s.Engine.Now() {
 			s.enqueue(js)
 		} else {
-			js := js
-			s.Engine.At(js.arrival, func() { s.enqueue(js) })
+			s.Engine.AtCall(js.arrival, s.enqueueCb, js)
 		}
 	}
 	// Drive the simulation until every job completes, surfacing snapshots
@@ -489,16 +514,10 @@ func (s *Service) enqueue(js *jobState) {
 	js.warningWork = 0
 	if js.cjob.OnComplete == nil {
 		js.cjob = cluster.Job{
-			ID:  js.spec.ID,
-			Ctx: js,
-			OnComplete: func(node cluster.NodeID) {
-				delete(s.running, node)
-				s.onJobComplete(js)
-			},
-			OnFail: func(node cluster.NodeID, progress float64) {
-				delete(s.running, node)
-				s.onJobFail(js, progress)
-			},
+			ID:         js.spec.ID,
+			Ctx:        js,
+			OnComplete: s.jobCompleteFn,
+			OnFail:     s.jobFailFn,
 		}
 	}
 	js.cjob.Remaining = wall
@@ -610,24 +629,23 @@ func (s *Service) onGangIdle(node cluster.NodeID) {
 		s.retireGang(g)
 		return
 	}
-	if g.spareFn == nil {
-		g.spareFn = func() {
-			if st, ok := s.Manager.State(g.node); ok && st == cluster.NodeIdle {
-				s.retireGang(g)
-			}
-		}
-	}
-	g.spareTimer = s.Engine.After(s.cfg.HotSpareTTL, g.spareFn)
+	g.spareTimer = s.Engine.AfterCall(s.cfg.HotSpareTTL, s.spareCb, g)
 }
 
 // drain terminates every remaining gang after the last job completes, in
-// node-ID order so that cost accumulation is deterministic.
+// node-ID order so that cost accumulation is deterministic. The sort is a
+// plain insertion sort: gang counts are small and sort.Slice's reflection
+// machinery allocated on every teardown.
 func (s *Service) drain() {
 	ids := make([]cluster.NodeID, 0, len(s.gangs))
 	for id := range s.gangs {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i := 1; i < len(ids); i++ {
+		for k := i; k > 0 && ids[k] < ids[k-1]; k-- {
+			ids[k], ids[k-1] = ids[k-1], ids[k]
+		}
+	}
 	for _, id := range ids {
 		if g, ok := s.gangs[id]; ok && !g.retired {
 			s.retireGang(g)

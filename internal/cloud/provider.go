@@ -3,8 +3,8 @@ package cloud
 import (
 	"fmt"
 	"math"
-	"sort"
 
+	"repro/internal/ids"
 	"repro/internal/mathx"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -43,9 +43,9 @@ type VM struct {
 	EndedAt     float64 // set when preempted/terminated
 	State       VMState
 
-	preemptTimer *sim.Timer
-	deadline     *sim.Timer
-	warnTimer    *sim.Timer
+	preemptTimer sim.Timer
+	deadline     sim.Timer
+	warnTimer    sim.Timer
 }
 
 // Age returns the VM's age at virtual time now.
@@ -69,13 +69,18 @@ type Provider struct {
 	// (1.0/120); zero disables warnings. Set before launching VMs.
 	WarningLead float64
 
-	rng       *mathx.RNG
+	rng       mathx.RNG
 	workload  trace.Workload
 	replay    *ReplaySource // non-nil: lifetimes come from a recorded dataset
 	nextID    int
 	vms       map[string]*VM
 	onPreempt []func(*VM)
 	onWarning []func(*VM)
+	// preemptCb/warnCb are the timer callbacks shared by every launched VM
+	// (the VM rides through the event argument), so a launch allocates no
+	// closures.
+	preemptCb func(any)
+	warnCb    func(any)
 
 	// accounting
 	cost        float64
@@ -93,12 +98,23 @@ func NewProvider(engine *sim.Engine, seed uint64, workload trace.Workload) *Prov
 	if engine == nil {
 		panic("cloud: nil engine")
 	}
-	return &Provider{
+	p := &Provider{
 		Engine:   engine,
-		rng:      mathx.NewRNG(seed),
+		rng:      mathx.Seeded(seed),
 		workload: workload,
-		vms:      make(map[string]*VM),
+		vms:      make(map[string]*VM, 16),
 	}
+	p.preemptCb = func(a any) { p.preempt(a.(*VM)) }
+	p.warnCb = func(a any) {
+		vm := a.(*VM)
+		if vm.State != VMRunning {
+			return
+		}
+		for _, fn := range p.onWarning {
+			fn(vm)
+		}
+	}
+	return p
 }
 
 // OnPreemption registers a callback invoked (after state update) whenever a
@@ -139,7 +155,7 @@ func (p *Provider) Launch(vt trace.VMType, zone trace.Zone, preemptible bool) (*
 	}
 	p.nextID++
 	vm := &VM{
-		ID:          fmt.Sprintf("vm-%04d", p.nextID),
+		ID:          ids.Padded("vm-", p.nextID, 4),
 		Type:        vt,
 		Zone:        zone,
 		Preemptible: preemptible,
@@ -164,29 +180,21 @@ func (p *Provider) Launch(vt trace.VMType, zone trace.Zone, preemptible bool) (*
 			lifetime = l
 		} else {
 			gt := trace.GroundTruthOn(sc, trace.IsWeekend(p.Engine.Now()))
-			lifetime = gt.Sample(p.rng)
+			lifetime = gt.Sample(&p.rng)
 		}
 		if lifetime > trace.Deadline {
 			lifetime = trace.Deadline
 		}
-		preempt := func() { p.preempt(vm) } // shared by both timers: one closure per VM
-		vm.preemptTimer = p.Engine.After(lifetime, preempt)
+		vm.preemptTimer = p.Engine.AfterCall(lifetime, p.preemptCb, vm)
 		// The 24-hour hard deadline is enforced independently of the
 		// sampled lifetime, mirroring the platform behavior.
-		vm.deadline = p.Engine.After(trace.Deadline, preempt)
+		vm.deadline = p.Engine.AfterCall(trace.Deadline, p.preemptCb, vm)
 		if p.WarningLead > 0 {
 			lead := p.WarningLead
 			if lead > lifetime {
 				lead = lifetime
 			}
-			vm.warnTimer = p.Engine.After(lifetime-lead, func() {
-				if vm.State != VMRunning {
-					return
-				}
-				for _, fn := range p.onWarning {
-					fn(vm)
-				}
-			})
+			vm.warnTimer = p.Engine.AfterCall(lifetime-lead, p.warnCb, vm)
 		}
 	}
 	return vm, nil
@@ -218,15 +226,9 @@ func (p *Provider) Terminate(id string) error {
 	}
 	vm.State = VMTerminated
 	vm.EndedAt = p.Engine.Now()
-	if vm.preemptTimer != nil {
-		vm.preemptTimer.Cancel()
-	}
-	if vm.deadline != nil {
-		vm.deadline.Cancel()
-	}
-	if vm.warnTimer != nil {
-		vm.warnTimer.Cancel()
-	}
+	vm.preemptTimer.Cancel()
+	vm.deadline.Cancel()
+	vm.warnTimer.Cancel()
 	p.settle(vm)
 	return nil
 }
@@ -247,15 +249,21 @@ func (p *Provider) Get(id string) (*VM, bool) {
 	return vm, ok
 }
 
-// Running returns the currently running VMs sorted by ID.
+// Running returns the currently running VMs sorted by ID. The sort is a
+// plain insertion sort: the live population is small, and sort.Slice's
+// reflection machinery allocated on every snapshot.
 func (p *Provider) Running() []*VM {
-	var out []*VM
+	out := make([]*VM, 0, len(p.vms))
 	for _, vm := range p.vms {
 		if vm.State == VMRunning {
 			out = append(out, vm)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].ID < out[k-1].ID; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
 	return out
 }
 

@@ -14,7 +14,7 @@ func TestPlaceFilterSkipsRefusedNodes(t *testing.T) {
 	// Refuse n1 for every job.
 	m.PlaceFilter = func(j *Job, n NodeID) bool { return n != "n1" }
 	var ran NodeID
-	m.Submit(&Job{ID: "j", Remaining: 1, OnComplete: func(n NodeID) { ran = n }})
+	m.Submit(&Job{ID: "j", Remaining: 1, OnComplete: func(_ *Job, n NodeID) { ran = n }})
 	e.Run()
 	if ran != "n2" {
 		t.Fatalf("job placed on %v, want n2", ran)

@@ -48,16 +48,19 @@ type Job struct {
 	// reach it).
 	Ctx any
 	// OnComplete fires when the job finishes; node is the node it ran on.
-	OnComplete func(node NodeID)
+	// The job is passed back so owners can share one callback across all
+	// their jobs (recovering per-job state via Ctx) instead of allocating a
+	// closure per job.
+	OnComplete func(j *Job, node NodeID)
 	// OnFail fires when the node dies mid-run with the hours of progress
 	// the job had made on this attempt. The job is NOT automatically
 	// requeued; the batch service decides (it may resume from a
 	// checkpoint, pick a different VM, etc).
-	OnFail func(node NodeID, progress float64)
+	OnFail func(j *Job, node NodeID, progress float64)
 
 	startedAt float64
 	node      NodeID
-	timer     *sim.Timer
+	timer     sim.Timer
 }
 
 // node is the manager's view of one compute node.
@@ -101,6 +104,14 @@ type Manager struct {
 
 	completed int
 	failed    int
+	// completeCb is the completion event handler shared by every placement:
+	// the job rides through the event's argument, so arming a completion
+	// timer allocates no per-job closure.
+	completeCb func(any)
+	// freeNodes recycles node structs across remove/add cycles: a gang
+	// rejoining the cluster under a new revision reuses the struct its old
+	// identity occupied instead of allocating a fresh one.
+	freeNodes []*node
 }
 
 // New returns a manager over the engine.
@@ -108,7 +119,22 @@ func New(engine *sim.Engine) *Manager {
 	if engine == nil {
 		panic("cluster: nil engine")
 	}
-	return &Manager{engine: engine, nodes: make(map[NodeID]*node)}
+	m := &Manager{
+		engine: engine,
+		nodes:  make(map[NodeID]*node, 8),
+		order:  make([]*node, 0, 8),
+		queue:  make([]*Job, 0, 16),
+	}
+	m.completeCb = func(a any) {
+		// Resolve the node at fire time: the callback outlives any one
+		// placement, and the timer is cancelled whenever the node goes away
+		// mid-run, so a live firing always finds the job placed.
+		j := a.(*Job)
+		if cur, ok := m.nodes[j.node]; ok && cur.job == j {
+			m.complete(j, cur)
+		}
+	}
+	return m
 }
 
 // AddNode registers an idle node and immediately tries to place queued
@@ -117,7 +143,15 @@ func (m *Manager) AddNode(id NodeID) error {
 	if _, ok := m.nodes[id]; ok {
 		return fmt.Errorf("cluster: node %q already registered", id)
 	}
-	n := &node{id: id, state: NodeIdle}
+	var n *node
+	if k := len(m.freeNodes); k > 0 {
+		n = m.freeNodes[k-1]
+		m.freeNodes[k-1] = nil
+		m.freeNodes = m.freeNodes[:k-1]
+		*n = node{id: id, state: NodeIdle}
+	} else {
+		n = &node{id: id, state: NodeIdle}
+	}
 	m.nodes[id] = n
 	i := sort.Search(len(m.order), func(i int) bool { return m.order[i].id >= id })
 	m.order = append(m.order, nil)
@@ -148,18 +182,21 @@ func (m *Manager) RemoveNode(id NodeID) error {
 	m.dropFromOrder(id)
 	if n.state == NodeBusy && n.job != nil {
 		j := n.job
-		if j.timer != nil {
-			j.timer.Cancel()
-		}
+		j.timer.Cancel()
 		progress := m.engine.Now() - j.startedAt
 		if progress > j.Remaining {
 			progress = j.Remaining
 		}
 		m.failed++
 		if j.OnFail != nil {
-			j.OnFail(id, progress)
+			j.OnFail(j, id, progress)
 		}
 	}
+	// The node is now unreachable (out of the map and the scan order, and
+	// the failure callback above has returned): recycle the struct for the
+	// next AddNode.
+	n.job = nil
+	m.freeNodes = append(m.freeNodes, n)
 	return nil
 }
 
@@ -172,7 +209,7 @@ func (m *Manager) Submit(j *Job) {
 	if j.Remaining <= 0 {
 		m.completed++
 		if j.OnComplete != nil {
-			j.OnComplete("")
+			j.OnComplete(j, "")
 		}
 		return
 	}
@@ -226,7 +263,7 @@ func (m *Manager) place(j *Job, n *node) {
 	n.job = j
 	j.node = n.id
 	j.startedAt = m.engine.Now()
-	j.timer = m.engine.After(j.Remaining, func() { m.complete(j, n) })
+	j.timer = m.engine.AfterCall(j.Remaining, m.completeCb, j)
 	if m.OnPlace != nil {
 		m.OnPlace(j, n.id)
 	}
@@ -248,7 +285,7 @@ func (m *Manager) complete(j *Job, n *node) {
 	n.job = nil
 	m.completed++
 	if j.OnComplete != nil {
-		j.OnComplete(n.id)
+		j.OnComplete(j, n.id)
 	}
 	m.dispatch()
 	if n.state == NodeIdle && len(m.queue) == 0 && m.OnIdle != nil {

@@ -15,7 +15,7 @@ func TestSubmitRunsOnIdleNode(t *testing.T) {
 	}
 	var doneAt float64 = -1
 	var doneOn NodeID
-	m.Submit(&Job{ID: "j1", Remaining: 2, OnComplete: func(n NodeID) {
+	m.Submit(&Job{ID: "j1", Remaining: 2, OnComplete: func(_ *Job, n NodeID) {
 		doneAt = e.Now()
 		doneOn = n
 	}})
@@ -34,7 +34,7 @@ func TestFIFOQueueing(t *testing.T) {
 	m.AddNode("n1")
 	var order []string
 	mk := func(id string) *Job {
-		return &Job{ID: id, Remaining: 1, OnComplete: func(NodeID) { order = append(order, id) }}
+		return &Job{ID: id, Remaining: 1, OnComplete: func(*Job, NodeID) { order = append(order, id) }}
 	}
 	m.Submit(mk("a"))
 	m.Submit(mk("b"))
@@ -55,7 +55,7 @@ func TestParallelNodes(t *testing.T) {
 	m.AddNode("n2")
 	var done int
 	for i := 0; i < 2; i++ {
-		m.Submit(&Job{ID: "j", Remaining: 3, OnComplete: func(NodeID) { done++ }})
+		m.Submit(&Job{ID: "j", Remaining: 3, OnComplete: func(*Job, NodeID) { done++ }})
 	}
 	e.Run()
 	if e.Now() != 3 {
@@ -72,7 +72,7 @@ func TestRemoveNodeFailsRunningJob(t *testing.T) {
 	m.AddNode("n1")
 	var failedProgress float64 = -1
 	var failedNode NodeID
-	m.Submit(&Job{ID: "j", Remaining: 5, OnFail: func(n NodeID, p float64) {
+	m.Submit(&Job{ID: "j", Remaining: 5, OnFail: func(_ *Job, n NodeID, p float64) {
 		failedNode = n
 		failedProgress = p
 	}})
@@ -104,8 +104,8 @@ func TestFailedJobCanBeResubmitted(t *testing.T) {
 	j = &Job{
 		ID:         "j",
 		Remaining:  5,
-		OnComplete: func(NodeID) { doneAt = e.Now() },
-		OnFail: func(_ NodeID, progress float64) {
+		OnComplete: func(*Job, NodeID) { doneAt = e.Now() },
+		OnFail: func(_ *Job, _ NodeID, progress float64) {
 			// No checkpointing: all progress lost, rerun whole job.
 			m.AddNode("n2")
 			m.Submit(j)
@@ -124,7 +124,7 @@ func TestZeroLengthJobCompletesImmediately(t *testing.T) {
 	e := sim.NewEngine()
 	m := New(e)
 	fired := false
-	m.Submit(&Job{ID: "j", Remaining: 0, OnComplete: func(n NodeID) {
+	m.Submit(&Job{ID: "j", Remaining: 0, OnComplete: func(_ *Job, n NodeID) {
 		fired = true
 		if n != "" {
 			t.Errorf("zero job should not occupy a node, got %v", n)
@@ -155,7 +155,7 @@ func TestDeterministicNodeSelection(t *testing.T) {
 	m.AddNode("n2")
 	m.AddNode("n1")
 	var ran NodeID
-	m.Submit(&Job{ID: "j", Remaining: 1, OnComplete: func(n NodeID) { ran = n }})
+	m.Submit(&Job{ID: "j", Remaining: 1, OnComplete: func(_ *Job, n NodeID) { ran = n }})
 	e.Run()
 	if ran != "n1" {
 		t.Fatalf("job placed on %v, want lexicographically first idle node n1", ran)

@@ -44,8 +44,8 @@ func TestClusterInvariantProperty(t *testing.T) {
 				m.Submit(&Job{
 					ID:         fmt.Sprintf("j%04d", submitted),
 					Remaining:  0.1 + rng.Float64()*2,
-					OnComplete: func(NodeID) { completed++ },
-					OnFail:     func(NodeID, float64) { failed++ },
+					OnComplete: func(*Job, NodeID) { completed++ },
+					OnFail:     func(*Job, NodeID, float64) { failed++ },
 				})
 			case 3: // advance time
 				e.RunUntil(e.Now() + rng.Float64())

@@ -1,0 +1,25 @@
+package ids
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPaddedMatchesSprintf(t *testing.T) {
+	for _, width := range []int{0, 1, 3, 4, 6} {
+		for _, n := range []int{0, 1, 7, 9, 10, 99, 100, 999, 1000, 9999, 10000, 123456} {
+			want := fmt.Sprintf("x-%0*d", width, n)
+			if got := Padded("x-", n, width); got != want {
+				t.Fatalf("Padded(x-, %d, %d) = %q, want %q", n, width, got, want)
+			}
+		}
+	}
+}
+
+func TestPaddedAllocates(t *testing.T) {
+	if allocs := testing.AllocsPerRun(100, func() {
+		_ = Padded("vm-", 4242, 4)
+	}); allocs > 1 {
+		t.Fatalf("Padded allocates %v objects per call, want <= 1", allocs)
+	}
+}

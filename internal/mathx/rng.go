@@ -16,6 +16,13 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// Seeded returns a generator by value, for callers that keep the RNG on the
+// stack instead of heap-allocating via NewRNG. The stream is identical to
+// NewRNG(seed)'s.
+func Seeded(seed uint64) RNG {
+	return RNG{state: seed}
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -3,6 +3,7 @@ package policy
 import (
 	"container/list"
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/core"
@@ -63,6 +64,11 @@ type CacheStats struct {
 	PlannerHits        uint64 `json:"planner_hits"`
 	PlannerMisses      uint64 `json:"planner_misses"`
 	PlannerEvictions   uint64 `json:"planner_evictions"`
+	// PlannerWarmSeeds counts planner misses that found a warm-start
+	// neighbor: a cached planner on the same (delta, step) grid whose
+	// bathtub parameters are all within DefaultWarmStartTolerance, lent
+	// to the new planner as a hint source for its cold solve.
+	PlannerWarmSeeds uint64 `json:"planner_warm_seeds"`
 	// Capacity is the per-kind LRU bound currently in force.
 	Capacity int `json:"capacity"`
 }
@@ -221,8 +227,54 @@ func SharedPlanner(m *core.Model, delta, step float64) *CheckpointPlanner {
 	}
 	shared.stats.PlannerMisses++
 	p := NewCheckpointPlanner(m, delta, step)
+	// Shared planners serve the service's cold path: run the coarse-to-fine
+	// guided solve (exact, see checkpoint_coarse.go) and, when another
+	// cached planner models nearby hardware on the same grid, lend its
+	// solved table as a warm-start hint source.
+	p.CoarseFine = true
+	if w := findWarmNeighbor(key); w != nil {
+		p.warm = w
+		shared.stats.PlannerWarmSeeds++
+	}
 	shared.stats.PlannerEvictions += uint64(shared.planners.put(key, p))
 	return p
+}
+
+// DefaultWarmStartTolerance is the per-parameter relative distance within
+// which a cached planner's bathtub counts as a warm-start neighbor for a
+// new one. Refits of the same hardware drift each parameter by a few
+// percent; 10% admits those while rejecting genuinely different models
+// (whose hints would still be exact, merely useless).
+const DefaultWarmStartTolerance = 0.10
+
+// findWarmNeighbor scans the planner LRU (most recently used first, under
+// the cache lock) for a planner on the same (delta, step) grid whose
+// bathtub parameters are all within DefaultWarmStartTolerance of key's.
+// The neighbor's solved table only seeds skip bounds — the cold solve's
+// output is byte-identical with or without it (see TestWarmStartMatchesCold).
+func findWarmNeighbor(key plannerKey) *CheckpointPlanner {
+	var found *CheckpointPlanner
+	shared.planners.each(func(k plannerKey, p *CheckpointPlanner) {
+		if found != nil || k.delta != key.delta || k.step != key.step {
+			return
+		}
+		if bathtubNear(k.bt, key.bt, DefaultWarmStartTolerance) {
+			found = p
+		}
+	})
+	return found
+}
+
+// bathtubNear reports whether every parameter of a is within rel relative
+// distance of b's (symmetric in the larger magnitude).
+func bathtubNear(a, b dist.Bathtub, rel float64) bool {
+	near := func(x, y float64) bool {
+		d := math.Abs(x - y)
+		m := math.Max(math.Abs(x), math.Abs(y))
+		return d <= rel*m
+	}
+	return near(a.A, b.A) && near(a.Tau1, b.Tau1) && near(a.Tau2, b.Tau2) &&
+		near(a.B, b.B) && near(a.L, b.L)
 }
 
 // PlannerKeyStats is one cached planner's identity plus its solve

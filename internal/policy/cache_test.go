@@ -153,3 +153,49 @@ func TestSharedCacheCapacityShrinkTrims(t *testing.T) {
 		t.Fatalf("cache holds %d entries after shrink to 2", shared.schedulers.len())
 	}
 }
+
+// TestSharedPlannerWarmSeeding pins the cross-model warm-start path: a
+// planner miss whose bathtub parameters sit within
+// DefaultWarmStartTolerance of a cached planner on the same grid borrows
+// that planner as hint source (PlannerWarmSeeds advances, and the new
+// planner's solves record WarmStarts once the neighbor has a table), while
+// a far-away model or a different grid does not.
+func TestSharedPlannerWarmSeeding(t *testing.T) {
+	ResetSharedCache()
+	defer ResetSharedCache()
+
+	base := SharedPlanner(cacheTestModel(), 0.1, 0.25)
+	if !base.CoarseFine {
+		t.Fatal("shared planner did not enable the coarse-to-fine solve")
+	}
+	_ = base.ExpectedMakespan(2, 0) // neighbor has a solved table to lend
+
+	// Within tolerance on every parameter, same grid: seeded.
+	nearModel := core.New(dist.NewBathtub(0.45*1.05, 1.0*0.97, 0.8*1.04, 24, 24))
+	near := SharedPlanner(nearModel, 0.1, 0.25)
+	if near.warm != base {
+		t.Fatal("near-parameter planner was not warm-seeded from the cached one")
+	}
+	if got := SharedCacheStats().PlannerWarmSeeds; got != 1 {
+		t.Fatalf("PlannerWarmSeeds = %d, want 1", got)
+	}
+	_ = near.ExpectedMakespan(2, 0)
+	if st := near.Stats(); st.WarmStarts != 1 {
+		t.Fatalf("seeded planner recorded WarmStarts = %d, want 1", st.WarmStarts)
+	}
+
+	// Same parameters, different grid: no seed.
+	offGrid := SharedPlanner(nearModel, 0.1, 0.5)
+	if offGrid.warm != nil {
+		t.Fatal("different-grid planner was warm-seeded")
+	}
+	// Far parameters, same grid: no seed.
+	farModel := core.New(dist.NewBathtub(0.9, 1.0, 0.8, 24, 24))
+	far := SharedPlanner(farModel, 0.1, 0.25)
+	if far.warm != nil {
+		t.Fatal("far-parameter planner was warm-seeded")
+	}
+	if got := SharedCacheStats().PlannerWarmSeeds; got != 1 {
+		t.Fatalf("PlannerWarmSeeds = %d after off-grid/far lookups, want still 1", got)
+	}
+}

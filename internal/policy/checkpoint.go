@@ -36,6 +36,39 @@ type CheckpointPlanner struct {
 	// test suite gates this). Set it before the first Plan.
 	Prune bool
 
+	// CoarseFine enables the exact coarse-to-fine bound-tightening pass: a
+	// guide solve at coarseFactor× the resolution seeds per-cell candidate
+	// bounds that let the fine scan skip candidates which provably cannot
+	// win (see checkpoint_coarse.go for the admissibility argument). Like
+	// Prune, the mode is exact — the table is identical cell for cell to
+	// the exhaustive solve — and opt-in. Set it before the first Plan.
+	CoarseFine bool
+
+	// Float32 stores the value table as float32 instead of float64,
+	// halving table memory and doubling value-row cache density. The
+	// recurrence still runs in float64 — only the stored continuation
+	// values are rounded — so divergence from the float64 reference stays
+	// within the documented tolerance (see doc.go and the property tests);
+	// the float64 layout remains the bit-exactness reference. Set it
+	// before the first Plan.
+	Float32 bool
+
+	// CoarseStep, when positive, switches the planner to an approximate
+	// preview mode: the DP is solved at CoarseStep resolution (which must
+	// be >= Step and <= the model deadline) instead of Step, with the work
+	// rounded up to cover the job. Every coarse schedule is a feasible
+	// fine schedule, so the resulting expected makespan is an upper bound
+	// on the fine optimum (exact when the checkpoint cost is a multiple of
+	// CoarseStep; otherwise the coarse grid also rounds the checkpoint
+	// cost up, keeping the estimate conservative) — see doc.go for the
+	// measured tightness at 4×. Set it before the first Plan.
+	CoarseStep float64
+
+	// warm points at a neighbor planner (nearby bathtub parameters, same
+	// delta and step) whose solved choice table seeds this planner's
+	// coarse-to-fine hints; set by the shared cache before first use.
+	warm *CheckpointPlanner
+
 	// par is the row-parallel worker count (0 = package default, then
 	// GOMAXPROCS), stored atomically because planners are shared across
 	// sessions that may configure it concurrently; any value is safe since
@@ -76,6 +109,12 @@ type SolveStats struct {
 	LastSolveMS  float64 `json:"last_solve_ms"`
 	MaxSolveMS   float64 `json:"max_solve_ms"`
 	TotalSolveMS float64 `json:"total_solve_ms"`
+	// CoarseSolves counts guide solves run by the coarse-to-fine pass
+	// (at most one per table build with CoarseFine set).
+	CoarseSolves uint64 `json:"coarse_solves"`
+	// WarmStarts counts table builds whose candidate bounds were seeded by
+	// a warm neighbor planner's choice table (cross-model warm starts).
+	WarmStarts uint64 `json:"warm_starts"`
 }
 
 // defaultPlannerParallelism is the process-wide fallback worker count for
@@ -165,12 +204,16 @@ func (s Schedule) NumCheckpoints() int {
 // arithmetic instead of a second pointer chase, and cache-friendly row
 // scans in the O(T^3) solve.
 type table struct {
-	step   float64
-	delta  int       // checkpoint cost in steps (rounded up, min 0)
-	nAges  int       // number of age grid points, age index a corresponds to a*step
-	nWork  int       // maximum job steps solved
-	value  []float64 // value[j*nAges+a] = E[M*(j steps, age a)]
-	choice []int32   // choice[j*nAges+a] = optimal first interval in steps
+	step  float64
+	delta int // checkpoint cost in steps (rounded up, min 0)
+	nAges int // number of age grid points, age index a corresponds to a*step
+	nWork int // maximum job steps solved
+	// value and value32 are the two value-table layouts; exactly one is
+	// non-nil. value is the float64 reference layout; value32 is the
+	// cache-dense layout behind CheckpointPlanner.Float32.
+	value   []float64 // value[j*nAges+a] = E[M*(j steps, age a)]
+	value32 []float32
+	choice  []int32 // choice[j*nAges+a] = optimal first interval in steps
 	// survival S[a] = 1 - F(a*step) and first moment M1[a] of the
 	// normalized model, precomputed on the age grid.
 	surv []float64
@@ -179,12 +222,27 @@ type table struct {
 	// when none): the saturation point the pruned candidate loop caps its
 	// scan at. Survival hits exact zero only at deadline-clamped grid
 	// points, where surv and m1 are bitwise constant, which is what makes
-	// the cap an exact optimization (see solveStatePruned).
+	// the cap an exact optimization (see scanCell).
 	survZero int
 }
 
 // valueAt returns E[M*] for j work steps at age index a.
-func (tb *table) valueAt(j, a int) float64 { return tb.value[j*tb.nAges+a] }
+func (tb *table) valueAt(j, a int) float64 {
+	if tb.value32 != nil {
+		return float64(tb.value32[j*tb.nAges+a])
+	}
+	return tb.value[j*tb.nAges+a]
+}
+
+// setValue stores a solved cell into whichever value layout the table
+// carries.
+func (tb *table) setValue(idx int, v float64) {
+	if tb.value32 != nil {
+		tb.value32[idx] = float32(v)
+		return
+	}
+	tb.value[idx] = v
+}
 
 // choiceAt returns the optimal first interval (in steps) for state (j, a).
 func (tb *table) choiceAt(j, a int) int32 { return tb.choice[j*tb.nAges+a] }
@@ -211,10 +269,7 @@ func (p *CheckpointPlanner) PlanInto(buf []float64, jobLen, startAge float64) Sc
 	}
 	tb := p.solve(jobLen)
 	a0 := tb.ageIndex(startAge)
-	n := int(math.Round(jobLen / p.Step))
-	if n < 1 {
-		n = 1
-	}
+	n := p.steps(jobLen)
 	sched := Schedule{Intervals: buf[:0:cap(buf)], ExpectedMakespan: tb.valueAt(n, a0)}
 	// Walk the choice table along the failure-free path.
 	j, a := n, a0
@@ -267,11 +322,38 @@ func (p *CheckpointPlanner) ExpectedMakespan(jobLen, startAge float64) float64 {
 		return 0
 	}
 	tb := p.solve(jobLen)
-	n := int(math.Round(jobLen / p.Step))
+	return tb.valueAt(p.steps(jobLen), tb.ageIndex(startAge))
+}
+
+// resolution returns the DP grid resolution in force: Step normally,
+// CoarseStep in the approximate preview mode (validated against Step and
+// the model deadline).
+func (p *CheckpointPlanner) resolution() float64 {
+	if cs := p.CoarseStep; cs > 0 {
+		if cs < p.Step || cs > p.Model.Deadline() {
+			panic(fmt.Sprintf("policy: invalid CoarseStep %v (step %v, deadline %v)", cs, p.Step, p.Model.Deadline()))
+		}
+		return cs
+	}
+	return p.Step
+}
+
+// steps quantizes a job length onto the grid in force. The exact modes
+// round to nearest (the seed behavior); the CoarseStep preview rounds up
+// so the coarse solve covers at least the fine workload, preserving the
+// upper-bound direction of the approximation.
+func (p *CheckpointPlanner) steps(jobLen float64) int {
+	step := p.resolution()
+	var n int
+	if p.CoarseStep > 0 {
+		n = int(math.Ceil(jobLen/step - 1e-9))
+	} else {
+		n = int(math.Round(jobLen / step))
+	}
 	if n < 1 {
 		n = 1
 	}
-	return tb.valueAt(n, tb.ageIndex(startAge))
+	return n
 }
 
 // OverheadPercent returns the expected percentage increase in running time
@@ -282,11 +364,7 @@ func (p *CheckpointPlanner) OverheadPercent(jobLen, startAge float64) float64 {
 	}
 	// Quantize the job length exactly as the DP does so the overhead is
 	// measured against the work actually scheduled.
-	n := int(math.Round(jobLen / p.Step))
-	if n < 1 {
-		n = 1
-	}
-	quantized := float64(n) * p.Step
+	quantized := float64(p.steps(jobLen)) * p.resolution()
 	return 100 * (p.ExpectedMakespan(jobLen, startAge) - quantized) / quantized
 }
 
@@ -314,10 +392,7 @@ func (tb *table) ageIndex(age float64) int {
 // arriving while it runs join the same flight and share its result instead
 // of queueing up redundant solves behind a mutex.
 func (p *CheckpointPlanner) solve(jobLen float64) *table {
-	n := int(math.Round(jobLen / p.Step))
-	if n < 1 {
-		n = 1
-	}
+	n := p.steps(jobLen)
 	p.mu.Lock()
 	for {
 		if p.cached != nil && p.cached.nWork >= n {
@@ -348,7 +423,7 @@ func (p *CheckpointPlanner) solve(jobLen float64) *table {
 	p.mu.Unlock()
 
 	start := time.Now()
-	tb := p.extend(base, n)
+	tb, notes := p.extend(base, n)
 	ms := float64(time.Since(start)) / float64(time.Millisecond)
 
 	p.mu.Lock()
@@ -360,9 +435,30 @@ func (p *CheckpointPlanner) solve(jobLen float64) *table {
 	if ms > p.stats.MaxSolveMS {
 		p.stats.MaxSolveMS = ms
 	}
+	p.stats.CoarseSolves += notes.coarseSolves
+	if notes.warmStart {
+		p.stats.WarmStarts++
+	}
 	p.mu.Unlock()
 	f.tb = tb
 	close(f.done)
+	return tb
+}
+
+// solveNotes reports what a table build did beyond filling cells, for the
+// stats counters (accumulated under the planner lock by solve, since the
+// build itself runs outside it).
+type solveNotes struct {
+	coarseSolves uint64
+	warmStart    bool
+}
+
+// cachedTable returns the planner's current table, if any, without
+// waiting on an in-flight build. Warm-start neighbors read hints from it.
+func (p *CheckpointPlanner) cachedTable() *table {
+	p.mu.Lock()
+	tb := p.cached
+	p.mu.Unlock()
 	return tb
 }
 
@@ -372,7 +468,7 @@ func (p *CheckpointPlanner) solve(jobLen float64) *table {
 // (surv/m1) is shared outright since it depends only on the model and step.
 // A published *table is never mutated — extend always returns a fresh
 // struct — so readers of the previous table race with nothing.
-func (p *CheckpointPlanner) extend(base *table, n int) *table {
+func (p *CheckpointPlanner) extend(base *table, n int) (*table, solveNotes) {
 	var tb *table
 	startRow := 1
 	if base != nil {
@@ -383,17 +479,24 @@ func (p *CheckpointPlanner) extend(base *table, n int) *table {
 			nWork:    n,
 			surv:     base.surv,
 			m1:       base.m1,
-			value:    make([]float64, (n+1)*base.nAges),
 			choice:   make([]int32, (n+1)*base.nAges),
 			survZero: base.survZero,
 		}
-		copy(tb.value, base.value)
+		// Growth inherits the base table's value layout: the mode fields
+		// are fixed before the first Plan, so the layouts agree.
+		if base.value32 != nil {
+			tb.value32 = make([]float32, (n+1)*base.nAges)
+			copy(tb.value32, base.value32)
+		} else {
+			tb.value = make([]float64, (n+1)*base.nAges)
+			copy(tb.value, base.value)
+		}
 		copy(tb.choice, base.choice)
 		startRow = base.nWork + 1
 	} else {
 		m := p.Model
 		l := m.Deadline()
-		step := p.Step
+		step := p.resolution()
 		nAges := int(math.Ceil(l/step)) + 1
 		deltaSteps := int(math.Ceil(p.Delta/step - 1e-12))
 		if p.Delta == 0 {
@@ -406,8 +509,12 @@ func (p *CheckpointPlanner) extend(base *table, n int) *table {
 			nWork:  n,
 			surv:   make([]float64, nAges+1),
 			m1:     make([]float64, nAges+1),
-			value:  make([]float64, (n+1)*nAges),
 			choice: make([]int32, (n+1)*nAges),
+		}
+		if p.Float32 {
+			tb.value32 = make([]float32, (n+1)*nAges)
+		} else {
+			tb.value = make([]float64, (n+1)*nAges)
 		}
 		bt := m.Bathtub()
 		norm := bt.Raw(l)
@@ -421,8 +528,8 @@ func (p *CheckpointPlanner) extend(base *table, n int) *table {
 			}
 		}
 	}
-	p.solveRows(tb, startRow, n)
-	return tb
+	notes := p.solveRows(tb, startRow, n)
+	return tb, notes
 }
 
 // solveRows fills rows lo..hi of the table. Work amounts are solved in
@@ -431,12 +538,20 @@ func (p *CheckpointPlanner) extend(base *table, n int) *table {
 // rj, so the age loop of one row is embarrassingly parallel: it is sharded
 // across a worker pool in fixed contiguous ranges, which makes the result
 // byte-identical to the serial solve at any worker count (each cell's
-// arithmetic is unchanged; only who computes it varies).
-func (p *CheckpointPlanner) solveRows(tb *table, lo, hi int) {
+// arithmetic is unchanged; only who computes it varies). With CoarseFine
+// set, a guide solve seeds per-row candidate hints (prepared serially
+// before each row is dispatched) and the per-row minima feed the skip
+// bounds of later rows — all outside the sharded cell work, so the
+// parallel structure is unchanged.
+func (p *CheckpointPlanner) solveRows(tb *table, lo, hi int) solveNotes {
 	// j = 0: nothing left to do (row stays zero).
-	age0 := p.solveAge0
-	if p.Prune {
-		age0 = p.solveAge0Pruned
+	var notes solveNotes
+	var g *dpGuide
+	if p.CoarseFine {
+		if g = p.newGuide(tb, lo, hi); g != nil {
+			notes.coarseSolves = 1
+			notes.warmStart = g.warmRow != nil
+		}
 	}
 	workers := p.Parallelism()
 	if workers > tb.nAges-1 {
@@ -444,11 +559,17 @@ func (p *CheckpointPlanner) solveRows(tb *table, lo, hi int) {
 	}
 	if workers <= 1 || hi < lo {
 		for j := lo; j <= hi; j++ {
-			rj := age0(tb, j)
-			tb.value[j*tb.nAges] = rj
-			p.solveAgeRange(tb, j, rj, 1, tb.nAges)
+			rj := p.cellAge0(tb, j)
+			tb.setValue(j*tb.nAges, rj)
+			if g != nil {
+				g.prepareRow(tb, j)
+			}
+			p.solveAgeRange(tb, g, j, rj, 1, tb.nAges)
+			if g != nil {
+				g.finishRow(tb, j)
+			}
 		}
-		return
+		return notes
 	}
 	// Persistent pool: one goroutine per fixed age range, fed a row at a
 	// time. The per-row barrier (wg) is the only synchronization rows need:
@@ -470,41 +591,30 @@ func (p *CheckpointPlanner) solveRows(tb *table, lo, hi int) {
 		feeds[w] = feed
 		go func(aLo, aHi int) {
 			for job := range feed {
-				p.solveAgeRange(tb, job.j, job.rj, aLo, aHi)
+				p.solveAgeRange(tb, g, job.j, job.rj, aLo, aHi)
 				wg.Done()
 			}
 		}(aLo, aHi)
 	}
 	for j := lo; j <= hi; j++ {
-		rj := age0(tb, j)
-		tb.value[j*tb.nAges] = rj
+		rj := p.cellAge0(tb, j)
+		tb.setValue(j*tb.nAges, rj)
+		if g != nil {
+			g.prepareRow(tb, j)
+		}
 		wg.Add(workers)
 		for _, feed := range feeds {
 			feed <- rowJob{j: j, rj: rj}
 		}
 		wg.Wait()
+		if g != nil {
+			g.finishRow(tb, j)
+		}
 	}
 	for _, feed := range feeds {
 		close(feed)
 	}
-}
-
-// solveAgeRange fills row j's cells for ages [aLo, aHi).
-func (p *CheckpointPlanner) solveAgeRange(tb *table, j int, rj float64, aLo, aHi int) {
-	row := j * tb.nAges
-	if p.Prune {
-		for a := aLo; a < aHi; a++ {
-			v, c := p.solveStatePruned(tb, j, a, rj)
-			tb.value[row+a] = v
-			tb.choice[row+a] = int32(c)
-		}
-		return
-	}
-	for a := aLo; a < aHi; a++ {
-		v, c := p.solveState(tb, j, a, rj)
-		tb.value[row+a] = v
-		tb.choice[row+a] = int32(c)
-	}
+	return notes
 }
 
 // windowStats returns, for a segment occupying ages [a, a+w) (indices), the
@@ -544,53 +654,6 @@ func (tb *table) windowStatsFrom(sa, m1a, t float64, a, w int) (psucc, elost flo
 	return psucc, elost
 }
 
-// solveAge0 solves the self-referential age-0 state for work j:
-//
-//	R_j = min_i [ Psucc*(w + next) + Pfail*(E[lost] + R_j) ]
-//	    = min_i [ w + next + (Pfail/Psucc)*E[lost] ]   (per-interval solve)
-func (p *CheckpointPlanner) solveAge0(tb *table, j int) float64 {
-	best := math.Inf(1)
-	var bestI int
-	// The window always starts at age 0: hoist the start-age survival and
-	// moment lookups out of the candidate-interval loop.
-	sa := tb.surv[0]
-	if sa <= 0 {
-		panic("policy: checkpoint DP has no feasible segment from age 0")
-	}
-	m1a := tb.m1[0]
-	for i := 1; i <= j; i++ {
-		w := i
-		if i < j {
-			w += tb.delta
-		}
-		psucc, elost := tb.windowStatsFrom(sa, m1a, 0, 0, w)
-		if psucc <= 0 {
-			continue
-		}
-		next := 0.0
-		if i < j {
-			na := w
-			if na >= tb.nAges {
-				na = tb.nAges - 1
-			}
-			next = tb.value[(j-i)*tb.nAges+na]
-		}
-		pfail := 1 - psucc
-		v := float64(w)*tb.step + next + (pfail/psucc)*elost
-		if v < best {
-			best = v
-			bestI = i
-		}
-	}
-	if math.IsInf(best, 1) {
-		// Even a single step cannot survive from age 0: the model is
-		// degenerate for this discretization.
-		panic("policy: checkpoint DP has no feasible segment from age 0")
-	}
-	tb.choice[j*tb.nAges] = int32(bestI)
-	return best
-}
-
 // pruneBound caps the candidate scan for a cell starting at age index a:
 // it returns the largest first-candidate index worth examining and whether
 // the write-free final candidate i=j must then be evaluated separately.
@@ -618,150 +681,4 @@ func (tb *table) pruneBound(a, j int) (hi int, tail bool) {
 		return j, false
 	}
 	return i0, true
-}
-
-// solveAge0Pruned is solveAge0 with the pruneBound saturation cap. The loop
-// body is the exhaustive one — candidates the cap removes are exactly those
-// the exhaustive loop skips (zero success probability from age 0) — so the
-// result is identical bit for bit.
-func (p *CheckpointPlanner) solveAge0Pruned(tb *table, j int) float64 {
-	best := math.Inf(1)
-	var bestI int
-	sa := tb.surv[0]
-	if sa <= 0 {
-		panic("policy: checkpoint DP has no feasible segment from age 0")
-	}
-	m1a := tb.m1[0]
-	hi, tail := tb.pruneBound(0, j)
-	for i := 1; i <= hi; i++ {
-		w := i
-		if i < j {
-			w += tb.delta
-		}
-		psucc, elost := tb.windowStatsFrom(sa, m1a, 0, 0, w)
-		if psucc <= 0 {
-			continue
-		}
-		next := 0.0
-		if i < j {
-			na := w
-			if na >= tb.nAges {
-				na = tb.nAges - 1
-			}
-			next = tb.value[(j-i)*tb.nAges+na]
-		}
-		pfail := 1 - psucc
-		v := float64(w)*tb.step + next + (pfail/psucc)*elost
-		if v < best {
-			best = v
-			bestI = i
-		}
-	}
-	if tail {
-		// The write-free final candidate i=j.
-		if psucc, elost := tb.windowStatsFrom(sa, m1a, 0, 0, j); psucc > 0 {
-			pfail := 1 - psucc
-			if v := float64(j)*tb.step + (pfail/psucc)*elost; v < best {
-				best = v
-				bestI = j
-			}
-		}
-	}
-	if math.IsInf(best, 1) {
-		panic("policy: checkpoint DP has no feasible segment from age 0")
-	}
-	tb.choice[j*tb.nAges] = int32(bestI)
-	return best
-}
-
-// solveState solves E[M*(j, a)] for a > 0 given the restart value rj.
-func (p *CheckpointPlanner) solveState(tb *table, j, a int, rj float64) (float64, int) {
-	best := math.Inf(1)
-	bestI := 0
-	// Hoist everything that depends only on the start age out of the
-	// candidate-interval loop: the survival/moment lookups at a, the
-	// window start time, and the flat base offset of the j-i rows.
-	sa := tb.surv[a]
-	if sa <= 0 {
-		// VM certainly dead at this age: every candidate fails
-		// immediately with no time lost and the job restarts fresh.
-		return rj, 1
-	}
-	m1a := tb.m1[a]
-	t := float64(a) * tb.step
-	nAges := tb.nAges
-	for i := 1; i <= j; i++ {
-		w := i
-		if i < j {
-			w += tb.delta
-		}
-		psucc, elost := tb.windowStatsFrom(sa, m1a, t, a, w)
-		next := 0.0
-		if i < j {
-			na := a + w
-			if na >= nAges {
-				na = nAges - 1
-			}
-			next = tb.value[(j-i)*nAges+na]
-		}
-		pfail := 1 - psucc
-		v := psucc*(float64(w)*tb.step+next) + pfail*(elost+rj)
-		if v < best {
-			best = v
-			bestI = i
-		}
-	}
-	return best, bestI
-}
-
-// solveStatePruned is solveState with the pruneBound saturation cap: the
-// candidate loop runs the exhaustive body over a (possibly much) shorter
-// range, then examines the write-free final candidate. Checkpointed
-// candidates beyond the cap all evaluate to exactly E[lost]+R_j — the same
-// bits as the last scanned candidate — and the exhaustive loop keeps the
-// first minimizer, so the pruned cell is identical to the exhaustive one.
-// No per-candidate bound checks: the cap is a loop bound computed once per
-// cell, which is what lets the hot loop stay as tight as the reference.
-func (p *CheckpointPlanner) solveStatePruned(tb *table, j, a int, rj float64) (float64, int) {
-	best := math.Inf(1)
-	bestI := 0
-	sa := tb.surv[a]
-	if sa <= 0 {
-		return rj, 1
-	}
-	m1a := tb.m1[a]
-	t := float64(a) * tb.step
-	nAges := tb.nAges
-	hi, tail := tb.pruneBound(a, j)
-	for i := 1; i <= hi; i++ {
-		w := i
-		if i < j {
-			w += tb.delta
-		}
-		psucc, elost := tb.windowStatsFrom(sa, m1a, t, a, w)
-		next := 0.0
-		if i < j {
-			na := a + w
-			if na >= nAges {
-				na = nAges - 1
-			}
-			next = tb.value[(j-i)*nAges+na]
-		}
-		pfail := 1 - psucc
-		v := psucc*(float64(w)*tb.step+next) + pfail*(elost+rj)
-		if v < best {
-			best = v
-			bestI = i
-		}
-	}
-	if tail {
-		// The write-free final candidate i=j.
-		psucc, elost := tb.windowStatsFrom(sa, m1a, t, a, j)
-		pfail := 1 - psucc
-		if v := psucc*float64(j)*tb.step + pfail*(elost+rj); v < best {
-			best = v
-			bestI = j
-		}
-	}
-	return best, bestI
 }

@@ -46,30 +46,15 @@ func refSolve(p *CheckpointPlanner, n int) *refTable {
 		tb.value[j] = make([]float64, nAges)
 		tb.choice[j] = make([]int32, nAges)
 	}
-	stats := func(a, w int) (psucc, elost float64) {
-		end := a + w
-		if end > nAges {
-			end = nAges
-		}
-		sa := tb.surv[a]
-		if sa <= 0 {
-			return 0, 0
-		}
-		se := tb.surv[end]
-		psucc = se / sa
-		pfailAbs := sa - se
-		if pfailAbs <= 0 {
-			return psucc, 0
-		}
-		t := float64(a) * step
-		elost = (tb.m1[end]-tb.m1[a])/pfailAbs - t
-		if elost < 0 {
-			elost = 0
-		}
-		return psucc, elost
-	}
+	// The cell recurrence below is the division-free restructuring the
+	// production kernels use (see checkpoint_scan.go): the reference is
+	// naive in LAYOUT (nested slices, no hoisting across cells, no
+	// parallelism, no pruning), but transcribes the exact same sequence of
+	// float operations — same temporaries, same order, each multiplication
+	// isolated so no FMA contraction is possible — which is what lets the
+	// equality test demand bit-for-bit agreement.
 	for j := 1; j <= n; j++ {
-		// Age 0 per-interval fixed point.
+		// Age 0 per-interval fixed point: R_j = min_i [w + next + lostNum/se].
 		best := math.Inf(1)
 		var bestI int
 		for i := 1; i <= j; i++ {
@@ -77,19 +62,31 @@ func refSolve(p *CheckpointPlanner, n int) *refTable {
 			if i < j {
 				w += deltaSteps
 			}
-			psucc, elost := stats(0, w)
-			if psucc <= 0 {
+			end := w
+			if end > nAges {
+				end = nAges
+			}
+			se := tb.surv[end]
+			if se <= 0 {
 				continue
+			}
+			mom := tb.m1[end] - tb.m1[0]
+			lostNum := mom
+			if lostNum < 0 {
+				lostNum = 0
 			}
 			next := 0.0
 			if i < j {
-				na := w
+				na := end
 				if na >= nAges {
 					na = nAges - 1
 				}
 				next = tb.value[j-i][na]
 			}
-			v := float64(w)*step + next + ((1-psucc)/psucc)*elost
+			ws := float64(w) * step
+			x := ws + next
+			q := lostNum / se
+			v := x + q
 			if v < best {
 				best, bestI = v, i
 			}
@@ -98,6 +95,14 @@ func refSolve(p *CheckpointPlanner, n int) *refTable {
 		tb.value[j][0] = rj
 		tb.choice[j][0] = int32(bestI)
 		for a := 1; a < nAges; a++ {
+			sa := tb.surv[a]
+			if sa <= 0 {
+				tb.value[j][a] = rj
+				tb.choice[j][a] = 1
+				continue
+			}
+			invSa := 1 / sa
+			t := float64(a) * step
 			best := math.Inf(1)
 			bestI := 0
 			for i := 1; i <= j; i++ {
@@ -105,16 +110,35 @@ func refSolve(p *CheckpointPlanner, n int) *refTable {
 				if i < j {
 					w += deltaSteps
 				}
-				psucc, elost := stats(a, w)
+				end := a + w
+				if end > nAges {
+					end = nAges
+				}
+				se := tb.surv[end]
+				pfailAbs := sa - se
+				if pfailAbs < 0 {
+					pfailAbs = 0
+				}
+				mom := tb.m1[end] - tb.m1[a]
+				tp := t * pfailAbs
+				lostNum := mom - tp
+				if lostNum < 0 {
+					lostNum = 0
+				}
+				t2 := pfailAbs * rj
 				next := 0.0
 				if i < j {
-					na := a + w
+					na := end
 					if na >= nAges {
 						na = nAges - 1
 					}
 					next = tb.value[j-i][na]
 				}
-				v := psucc*(float64(w)*step+next) + (1-psucc)*(elost+rj)
+				ws := float64(w) * step
+				x := ws + next
+				t1 := se * x
+				sum := t1 + lostNum + t2
+				v := invSa * sum
 				if v < best {
 					best, bestI = v, i
 				}

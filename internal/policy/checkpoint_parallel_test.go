@@ -157,7 +157,7 @@ func TestSolveSingleflightJoins(t *testing.T) {
 		t.Fatal("solve returned before the in-flight build finished")
 	case <-time.After(20 * time.Millisecond):
 	}
-	tb := p.extend(nil, 100)
+	tb, _ := p.extend(nil, 100)
 	f.tb = tb
 	close(f.done)
 	select {

@@ -78,4 +78,62 @@
 // for exactly one build. SolveStats counts builds, dedup joins, and
 // build latency per planner; the shared cache exposes them per key via
 // SharedPlannerSolveStats (surfaced at /api/stats as dp_solves).
+//
+// # Coarse-to-fine candidate elimination (exact)
+//
+// The CoarseFine mode attacks the O(n^2 * nAges) candidate scan itself.
+// Each cell minimizes over first-interval candidates i, whose cost is
+// monotone in two precomputed per-age arrays (survival and the first
+// partial moment). Before scanning a block of skipBlock=16 consecutive
+// candidates one by one, the solver evaluates an admissible lower bound
+// for the whole block from windowed extrema of those arrays (min/max over
+// each 16-candidate window, built once per table next to the arrays
+// themselves). Blocks whose bound cannot beat the incumbent are skipped
+// without touching their cells; blocks that might win fall through to the
+// exact per-candidate loop. The bound is computed from the same float64
+// values the exact scan reads, and a skipped block is skipped only when
+// the bound proves every candidate in it is >= the incumbent, so the
+// selected minimizer — and therefore the table — is cell-for-cell
+// identical to the exhaustive scan (TestCoarseFineMatchesExhaustive and
+// the admissibility property test gate this across model shapes). At the
+// experiments' default grid the pass roughly halves the cold solve
+// (BenchmarkDPSolveCoarseFine vs BenchmarkDPSolve); the shared planner
+// cache enables it on every planner it builds.
+//
+// # Float32 table layout (opt-in, approximate)
+//
+// CheckpointPlanner.Float32 stores the solved value table as float32 in a
+// single flat structure-of-arrays slab instead of per-row float64 slices,
+// halving table memory and making row scans cache-dense. Candidate
+// arithmetic still runs in float64; only the stored cells are rounded, so
+// values drift from the exact table by no more than a few ULPs of
+// float32 (~1e-7 relative; the divergence property test bounds it). Use
+// it for memory-pressed sweeps over many models, not for the defaults —
+// the reference table is exact float64 and schedules derived from it are
+// the baseline every equality test pins.
+//
+// # CoarseStep preview (opt-in, approximate)
+//
+// CheckpointPlanner.CoarseStep solves the DP on a coarser time grid (an
+// integer multiple of Step), shrinking both n and nAges — a quadratic
+// latency win — and rounds work up to whole coarse steps, so the
+// previewed expected makespan upper-bounds the fine-grid plan. It exists
+// for interactive estimate endpoints that want a bound in microseconds,
+// never for the schedules jobs actually run against.
+//
+// # Cross-model warm starts
+//
+// The shared planner cache keys planners by exact (model identity, delta,
+// step). A refit model misses that key even when its bathtub parameters
+// moved a fraction of a percent — yet the optimal candidate index per
+// cell is stable under small parameter perturbations. On a cache miss,
+// findWarmNeighbor scans the planner LRU for an entry whose parameters
+// all sit within DefaultWarmStartTolerance (10% relative) of the new
+// model's; a hit lends its solved table's per-cell minimizers to the new
+// planner as scan hints: each cell probes the neighbor's argmin first and
+// uses its cost as the starting incumbent, which makes the coarse-to-fine
+// block bounds eliminate nearly everything when the hint is right. Hints
+// only seed incumbents — every candidate a bound cannot exclude is still
+// scanned — so warm-started tables remain exact. PlannerWarmSeeds /
+// SolveStats.WarmStarts count lends and seeded builds.
 package policy

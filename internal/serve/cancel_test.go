@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"net/http"
 	"strings"
 	"testing"
 	"time"
@@ -223,4 +224,33 @@ func TestJobsAndVMsServeMidRun(t *testing.T) {
 	if err := m.Cancel(s.ID()); err == nil {
 		m.Wait()
 	}
+}
+
+// TestDeletedSessionAccessorsNotFound deletes a finished session and checks
+// the listing accessors report not-found instead of reading the recycled
+// batch service (Delete hands the session's job-state blocks back to the
+// arena, so any later read must be refused).
+func TestDeletedSessionAccessorsNotFound(t *testing.T) {
+	m := NewManager(1)
+	s, err := m.Create("", testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.SubmitBag(BagRequest{App: "shapes", Jobs: 5, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	s.Wait()
+	if err := m.Delete(s.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Jobs(); err == nil || httpCode(err) != http.StatusNotFound {
+		t.Fatalf("Jobs after delete: err %v, want 404", err)
+	}
+	if _, err := s.VMs(); err == nil || httpCode(err) != http.StatusNotFound {
+		t.Fatalf("VMs after delete: err %v, want 404", err)
+	}
+	m.Wait()
 }

@@ -22,6 +22,11 @@ import (
 func (s *Session) Subscribe() (<-chan batch.Progress, func()) {
 	ch := make(chan batch.Progress, 1)
 	s.mu.Lock()
+	if s.subs == nil {
+		// Lazily created: most sessions (and every benchmark session) never
+		// attach an event stream.
+		s.subs = make(map[chan batch.Progress]struct{})
+	}
 	s.subs[ch] = struct{}{}
 	// Seed the channel so a subscriber joining mid-run (or after the run)
 	// sees the latest state immediately instead of waiting a full interval.

@@ -424,15 +424,13 @@ func (m *Manager) rebuild(id string, p *pendingSession) (*Session, error) {
 	}
 	svc.ProgressEvery = cfg.ProgressEvery
 	s := &Session{
-		id:         id,
-		name:       p.name,
-		cfg:        cfg,
-		state:      StateCreated,
-		svc:        svc,
-		done:       make(chan struct{}),
-		subs:       make(map[chan batch.Progress]struct{}),
-		detailWait: make(chan struct{}),
-		restored:   true,
+		id:       id,
+		name:     p.name,
+		cfg:      cfg,
+		state:    StateCreated,
+		svc:      svc,
+		done:     make(chan struct{}),
+		restored: true,
 	}
 	// Replay bags with no store attached: the records already exist.
 	for _, bag := range p.bags {

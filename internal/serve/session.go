@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/ids"
 	"repro/internal/registry"
 	"repro/internal/workload"
 )
@@ -95,9 +96,9 @@ type Session struct {
 	// wantDetail records that a /jobs or /vms request arrived since the
 	// last periodic snapshot, so the run loop pays for the per-job and VM
 	// listings only while someone is actually looking; detailWait is
-	// closed (and replaced) whenever a detailed snapshot lands, letting
-	// those requests block until the refresh instead of serving data from
-	// run start.
+	// created lazily by the first waiting request and closed (then cleared)
+	// when a detailed snapshot lands, letting those requests block until
+	// the refresh instead of serving data from run start.
 	wantDetail atomic.Bool
 	detailWait chan struct{}
 	// restored marks a session rebuilt from the store after a restart; its
@@ -218,7 +219,11 @@ func (s *Session) SubmitBag(req BagRequest) (int, float64, error) {
 	}
 	s.bags = append(s.bags, req)
 	s.submitted += len(bag.Jobs)
-	return len(bag.Jobs), bag.MeanRuntime(), nil
+	n, mean := len(bag.Jobs), bag.MeanRuntime()
+	// The service copied the specs into its own job states; hand the spec
+	// buffer back for the next submission.
+	bag.Recycle()
+	return n, mean, nil
 }
 
 // Estimate quotes a bag against the session's configuration without
@@ -230,7 +235,10 @@ func (s *Session) Estimate(req BagRequest) (batch.Estimate, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.svc.Estimate(workload.NewBag(app, req.Jobs, req.Jitter, req.Seed))
+	bag := workload.NewBag(app, req.Jobs, req.Jitter, req.Seed)
+	est, err := s.svc.Estimate(bag)
+	bag.Recycle()
+	return est, err
 }
 
 // Report returns the final report; an apiError with 404 until the run
@@ -262,6 +270,9 @@ const detailRefreshTimeout = 2 * time.Second
 // must be called with s.mu held and returns with it re-held.
 func (s *Session) awaitDetail() {
 	s.wantDetail.Store(true)
+	if s.detailWait == nil {
+		s.detailWait = make(chan struct{})
+	}
 	wait, done := s.detailWait, s.done
 	s.mu.Unlock()
 	select {
@@ -279,6 +290,10 @@ func (s *Session) awaitDetail() {
 func (s *Session) Jobs() ([]batch.JobStatus, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.deleted {
+		// The backing service was recycled when the delete landed.
+		return nil, errf(http.StatusNotFound, "no session %q", s.id)
+	}
 	if s.restored && s.state.terminal() && s.restoredJobsElided {
 		return nil, errf(http.StatusGone,
 			"session %s finished with a per-job listing too large to retain across restarts; its report and progress summary are still available", s.id)
@@ -309,6 +324,9 @@ type VMState = batch.VMInfo
 func (s *Session) VMs() ([]VMState, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.deleted {
+		return nil, errf(http.StatusNotFound, "no session %q", s.id)
+	}
 	if s.restored && s.state.terminal() {
 		// A terminal run has drained its cluster; nothing is live.
 		return []VMState{}, nil
@@ -483,20 +501,18 @@ func (m *Manager) CreateCtx(ctx context.Context, name string, cfg SessionConfig)
 	}
 	m.mu.Lock()
 	m.seq++
-	id := fmt.Sprintf("s-%03d", m.seq)
+	id := ids.Padded("s-", m.seq, 3)
 	st := m.store
 	m.mu.Unlock()
 	s := &Session{
-		id:         id,
-		name:       name,
-		cfg:        cfg,
-		state:      StateCreated,
-		svc:        svc,
-		store:      st,
-		gate:       &m.persistGate,
-		done:       make(chan struct{}),
-		subs:       make(map[chan batch.Progress]struct{}),
-		detailWait: make(chan struct{}),
+		id:    id,
+		name:  name,
+		cfg:   cfg,
+		state: StateCreated,
+		svc:   svc,
+		store: st,
+		gate:  &m.persistGate,
+		done:  make(chan struct{}),
 	}
 	// The durable append (an fsync) runs outside the manager lock: the
 	// session is not yet published, so nothing can observe it, and a failed
@@ -624,6 +640,13 @@ func (m *Manager) Delete(id string) error {
 			s.state = StateCancelled
 			s.runErr = fmt.Errorf("session %s deleted before running", id)
 			close(s.done)
+		}
+		// Hand the session's job-state blocks back to the batch arena. The
+		// deleted flag is already set under the same lock, so every later
+		// accessor (Jobs, VMs) 404s before touching the recycled service,
+		// and the compactor skips deleted sessions entirely.
+		if s.svc != nil {
+			s.svc.Recycle()
 		}
 		s.mu.Unlock()
 		unlock()
@@ -767,11 +790,11 @@ func (s *Session) publishSnapshot(snap batch.Snapshot) {
 		// A progress-only snapshot: keep the last detailed listings (the
 		// initial and final snapshots always carry them).
 		snap.Jobs, snap.VMs = s.snap.Jobs, s.snap.VMs
-	} else {
+	} else if s.detailWait != nil {
 		// A detailed snapshot: release any /jobs or /vms request waiting
 		// on the refresh.
 		close(s.detailWait)
-		s.detailWait = make(chan struct{})
+		s.detailWait = nil
 	}
 	s.snap = snap
 	s.hasSnap = true

@@ -33,11 +33,29 @@ type Engine struct {
 	// O(n) sweep, so cancelled timers cannot accumulate and Pending stays
 	// O(1).
 	dead int
+	// free recycles fired and cancelled events: a simulation's allocation
+	// cost is bounded by its peak pending-event count, not its total event
+	// count. Safe because Timer handles carry the generation the event had
+	// when scheduled — a handle to a recycled event goes stale instead of
+	// aliasing the new occupant.
+	free []*event
+	// blk block-allocates fresh events eventBlockSize at a time, so even the
+	// first wave of schedules (before the freelist warms up) costs one
+	// allocation per block rather than one per event.
+	blk []event
 }
 
-// NewEngine returns an engine with the clock at 0.
+// eventBlockSize is how many events one fresh-allocation block holds.
+const eventBlockSize = 16
+
+// NewEngine returns an engine with the clock at 0. The queue and freelist
+// are pre-sized for a typical small simulation so the first few dozen
+// schedules don't pay slice-growth allocations.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{
+		queue: make(eventHeap, 0, 16),
+		free:  make([]*event, 0, 16),
+	}
 }
 
 // Now returns the current virtual time in hours.
@@ -46,32 +64,42 @@ func (e *Engine) Now() float64 { return e.now }
 // Steps returns the number of events executed so far.
 func (e *Engine) Steps() int64 { return e.nsteps }
 
-// Timer is a handle to a scheduled event; Cancel prevents a pending event
-// from firing.
+// Timer is a value handle to a scheduled event; Cancel prevents a pending
+// event from firing. The zero Timer is valid and inert: Cancel is a no-op,
+// Active is false, Time is NaN. A Timer held after its event fired (or was
+// cancelled) goes stale — the engine recycles the event for a later
+// schedule, and the handle's generation no longer matches, so every method
+// treats it exactly like a fired timer. Copying a Timer copies the handle;
+// all copies refer to the same scheduled event.
 type Timer struct {
 	ev  *event
-	eng *Engine
+	gen uint64
 }
 
-// Cancel deactivates the timer. Cancelling an already-fired or
+// Cancel deactivates the timer. Cancelling a zero, already-fired, or
 // already-cancelled timer is a no-op.
-func (t *Timer) Cancel() {
-	if t == nil || t.ev == nil || t.ev.fn == nil {
+func (t Timer) Cancel() {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen || !ev.live() {
 		return
 	}
-	t.ev.fn = nil
-	t.eng.dead++
-	if t.eng.dead*2 > len(t.eng.queue) {
-		t.eng.compact()
+	ev.fn = nil
+	ev.fnc = nil
+	ev.arg = nil
+	eng := ev.eng
+	eng.dead++
+	if eng.dead*2 > len(eng.queue) {
+		eng.compact()
 	}
 }
 
 // Active reports whether the timer is still pending.
-func (t *Timer) Active() bool { return t != nil && t.ev != nil && t.ev.fn != nil }
+func (t Timer) Active() bool { return t.ev != nil && t.ev.gen == t.gen && t.ev.live() }
 
-// Time returns the absolute virtual time the timer fires at.
-func (t *Timer) Time() float64 {
-	if t == nil || t.ev == nil {
+// Time returns the absolute virtual time the timer fires at, or NaN for a
+// zero or stale handle.
+func (t Timer) Time() float64 {
+	if t.ev == nil || t.ev.gen != t.gen {
 		return math.NaN()
 	}
 	return t.ev.time
@@ -79,32 +107,85 @@ func (t *Timer) Time() float64 {
 
 // At schedules fn at absolute virtual time tAbs, which must not precede the
 // current time. Events at equal times fire in scheduling order.
-func (e *Engine) At(tAbs float64, fn func()) *Timer {
+func (e *Engine) At(tAbs float64, fn func()) Timer {
 	if fn == nil {
 		panic("sim: scheduling nil event")
 	}
+	ev := e.schedule(tAbs)
+	ev.fn = fn
+	heap.Push(&e.queue, ev)
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// AtCall schedules fn(arg) at absolute virtual time tAbs. It exists so a
+// component scheduling many events of the same kind can share ONE callback
+// across all of them and bind the per-event state through arg, instead of
+// allocating a fresh closure per schedule — per-job and per-VM closures were
+// a leading allocation class in the serving benchmarks. Semantics otherwise
+// match At exactly (ordering, cancellation, recycling).
+func (e *Engine) AtCall(tAbs float64, fn func(any), arg any) Timer {
+	if fn == nil {
+		panic("sim: scheduling nil event")
+	}
+	ev := e.schedule(tAbs)
+	ev.fnc = fn
+	ev.arg = arg
+	heap.Push(&e.queue, ev)
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// schedule validates tAbs and returns a recycled (or fresh) event with time,
+// seq, and generation set; the caller attaches the callback and pushes it.
+func (e *Engine) schedule(tAbs float64) *event {
 	if tAbs < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: %v < %v", tAbs, e.now))
 	}
 	if math.IsNaN(tAbs) || math.IsInf(tAbs, 0) {
 		panic(fmt.Sprintf("sim: non-finite event time %v", tAbs))
 	}
-	ev := &event{time: tAbs, seq: e.seq, fn: fn}
-	ev.tm = Timer{ev: ev, eng: e}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		if len(e.blk) == 0 {
+			e.blk = make([]event, eventBlockSize)
+		}
+		ev = &e.blk[0]
+		e.blk = e.blk[1:]
+		ev.eng = e
+	}
+	ev.time = tAbs
+	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
-	// The handle lives inside the event: one allocation per scheduled
-	// event, not two. Retention is unchanged — a held *Timer kept its
-	// event alive before this, too.
-	return &ev.tm
+	return ev
 }
 
 // After schedules fn after a delay of d hours.
-func (e *Engine) After(d float64, fn func()) *Timer {
+func (e *Engine) After(d float64, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return e.At(e.now+d, fn)
+}
+
+// AfterCall schedules fn(arg) after a delay of d hours; see AtCall.
+func (e *Engine) AfterCall(d float64, fn func(any), arg any) Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.AtCall(e.now+d, fn, arg)
+}
+
+// recycle returns a popped event to the freelist. Bumping the generation
+// invalidates every outstanding Timer handle to it before reuse.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.fnc = nil
+	ev.arg = nil
+	e.free = append(e.free, ev)
 }
 
 // Step executes the next pending event, advancing the clock. It returns
@@ -112,15 +193,23 @@ func (e *Engine) After(d float64, fn func()) *Timer {
 func (e *Engine) Step() bool {
 	for e.queue.Len() > 0 {
 		ev := heap.Pop(&e.queue).(*event)
-		if ev.fn == nil {
+		if !ev.live() {
 			e.dead-- // cancelled
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.time
-		fn := ev.fn
-		ev.fn = nil
+		fn, fnc, arg := ev.fn, ev.fnc, ev.arg
+		// Recycle before running the handler: it may schedule new events
+		// and is welcome to reuse this slot (its own handle, if it kept
+		// one, went stale with the generation bump).
+		e.recycle(ev)
 		e.nsteps++
-		fn()
+		if fn != nil {
+			fn()
+		} else {
+			fnc(arg)
+		}
 		return true
 	}
 	return false
@@ -195,8 +284,8 @@ func (e *Engine) Pending() int {
 // identical behavior either way.
 func (e *Engine) nextLiveTime() (float64, bool) {
 	for e.queue.Len() > 0 {
-		if e.queue[0].fn == nil {
-			heap.Pop(&e.queue)
+		if !e.queue[0].live() {
+			e.recycle(heap.Pop(&e.queue).(*event))
 			e.dead--
 			continue
 		}
@@ -210,8 +299,10 @@ func (e *Engine) nextLiveTime() (float64, bool) {
 func (e *Engine) compact() {
 	live := e.queue[:0]
 	for _, ev := range e.queue {
-		if ev.fn != nil {
+		if ev.live() {
 			live = append(live, ev)
+		} else {
+			e.recycle(ev)
 		}
 	}
 	// Release the tail so dropped events are collectable.
@@ -226,15 +317,23 @@ func (e *Engine) compact() {
 	heap.Init(&e.queue)
 }
 
-// event is one queue entry; seq breaks time ties FIFO. The Timer handle
-// returned by At/After is embedded so scheduling costs a single allocation.
+// event is one queue entry; seq breaks time ties FIFO. gen counts how many
+// times the slot has been recycled, invalidating stale Timer handles. An
+// event carries either fn (a plain closure) or fnc+arg (a shared callback
+// applied to an argument — see AtCall); both nil marks a cancelled event.
 type event struct {
 	time  float64
 	seq   int64
 	fn    func()
+	fnc   func(any)
+	arg   any
 	index int
-	tm    Timer
+	gen   uint64
+	eng   *Engine
 }
+
+// live reports whether the event is still scheduled (not cancelled).
+func (ev *event) live() bool { return ev.fn != nil || ev.fnc != nil }
 
 type eventHeap []*event
 

@@ -159,7 +159,7 @@ func TestEngineCompactsCancelledEvents(t *testing.T) {
 	// is dead the engine compacts, so mass-cancelling keeps the heap at
 	// the size of the live population.
 	e := NewEngine()
-	timers := make([]*Timer, 10000)
+	timers := make([]Timer, 10000)
 	for i := range timers {
 		timers[i] = e.At(float64(i+1), func() {})
 	}
@@ -221,11 +221,43 @@ func TestTimerTime(t *testing.T) {
 	if tm.Time() != 4.25 {
 		t.Fatalf("Time() = %v", tm.Time())
 	}
-	var nilTimer *Timer
-	if !math.IsNaN(nilTimer.Time()) {
-		t.Fatal("nil timer time should be NaN")
+	var zeroTimer Timer
+	if !math.IsNaN(zeroTimer.Time()) {
+		t.Fatal("zero timer time should be NaN")
 	}
-	nilTimer.Cancel() // must not panic
+	zeroTimer.Cancel() // must not panic
+}
+
+// TestTimerStaleAfterRecycle pins the generation guard: once an event has
+// fired, its slot is recycled for later schedules, and the old handle must
+// go inert — Cancel must not touch the new occupant, Active must be false,
+// Time must be NaN.
+func TestTimerStaleAfterRecycle(t *testing.T) {
+	e := NewEngine()
+	old := e.At(1, func() {})
+	e.Run()
+	// The next schedule reuses the fired event's slot.
+	fresh := e.At(5, func() {})
+	if old.ev != fresh.ev {
+		t.Fatalf("freelist did not recycle the fired event")
+	}
+	if old.Active() {
+		t.Fatal("stale handle reports active")
+	}
+	if !math.IsNaN(old.Time()) {
+		t.Fatalf("stale handle Time() = %v, want NaN", old.Time())
+	}
+	old.Cancel() // must NOT cancel the new occupant
+	if !fresh.Active() {
+		t.Fatal("stale Cancel deactivated the recycled event's new timer")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	fresh.Cancel()
+	if fresh.Active() || e.Pending() != 0 {
+		t.Fatal("fresh handle failed to cancel its own event")
+	}
 }
 
 func TestEnginePropertyChronological(t *testing.T) {
@@ -326,7 +358,7 @@ func TestDriveContextCancelled(t *testing.T) {
 func TestPendingAfterMassCancel(t *testing.T) {
 	e := NewEngine()
 	const n = 10000
-	timers := make([]*Timer, n)
+	timers := make([]Timer, n)
 	fired := make([]bool, n)
 	for i := 0; i < n; i++ {
 		i := i

@@ -9,7 +9,9 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 
+	"repro/internal/ids"
 	"repro/internal/mathx"
 	"repro/internal/trace"
 )
@@ -75,17 +77,49 @@ func NewBag(app App, n int, jitter float64, seed uint64) Bag {
 	if jitter < 0 || jitter >= 1 {
 		panic(fmt.Sprintf("workload: jitter %v outside [0,1)", jitter))
 	}
-	rng := mathx.NewRNG(seed)
-	bag := Bag{App: app, Jobs: make([]JobSpec, 0, n)}
+	rng := mathx.Seeded(seed)
+	bag := Bag{App: app, Jobs: getJobs(n)}
+	var buf [48]byte
+	prefix := append(buf[:0], app.Name...)
+	prefix = append(prefix, '-')
 	for i := 0; i < n; i++ {
 		rt := app.JobRuntime * (1 + jitter*(2*rng.Float64()-1))
 		bag.Jobs = append(bag.Jobs, JobSpec{
-			ID:      fmt.Sprintf("%s-%04d", app.Name, i),
+			ID:      string(ids.AppendPadded(prefix, i, 4)),
 			App:     app.Name,
 			Runtime: rt,
 		})
 	}
 	return bag
+}
+
+// jobsPool recycles bag spec buffers between sessions: the serving layer
+// submits a bag, copies its specs into per-job state, and hands the buffer
+// back via Recycle, so steady-state bag construction allocates only the ID
+// strings.
+var jobsPool = sync.Pool{New: func() any { return new([]JobSpec) }}
+
+func getJobs(n int) []JobSpec {
+	p := jobsPool.Get().(*[]JobSpec)
+	if cap(*p) >= n {
+		return (*p)[:0]
+	}
+	return make([]JobSpec, 0, n)
+}
+
+// Recycle hands the bag's spec buffer back for reuse by a later NewBag. The
+// caller must be done with the Jobs slice (the specs themselves, being
+// values, survive wherever they were copied).
+func (b Bag) Recycle() {
+	if cap(b.Jobs) == 0 {
+		return
+	}
+	full := b.Jobs[:cap(b.Jobs)]
+	for i := range full {
+		full[i] = JobSpec{}
+	}
+	jobs := full[:0]
+	jobsPool.Put(&jobs)
 }
 
 // TotalWork returns the sum of job runtimes in hours.

@@ -10,16 +10,19 @@
 #   scripts/bench.sh PATTERN OUT     # custom pattern and output file
 #   scripts/bench.sh -compare OLD.json NEW.json
 #                                    # diff two baselines: prints the ns/op
-#                                    # ratio per benchmark present in both
-#                                    # and exits nonzero if any regressed by
-#                                    # more than 20%
+#                                    # and allocs/op ratios per benchmark
+#                                    # present in both and exits nonzero if
+#                                    # either regressed by more than 20%
 #
 # Every run starts with BenchmarkCalibration, a fixed integer kernel whose
 # ns/op tracks only the machine's single-thread speed. -compare uses the
-# two files' calibration numbers to normalize every ratio (ratio divided by
-# the machine ratio), so baselines recorded on different or noisy hardware
-# stay interpretable: the REGRESSION gate fires on the normalized ratio
-# when both files carry a calibration, on the raw ratio otherwise.
+# two files' calibration numbers to normalize every ns/op ratio (ratio
+# divided by the machine ratio), so baselines recorded on different or
+# noisy hardware stay interpretable: the time REGRESSION gate fires on the
+# normalized ratio when both files carry a calibration, on the raw ratio
+# otherwise. Allocation counts are machine-independent, so the allocs/op
+# gate always fires on the raw ratio — a >20% allocs_per_op growth is a
+# regression no matter what hardware recorded the baselines.
 #
 # Three benchmark groups run:
 #   - micro (root package): sampling, DP solve (serial / parallel / pruned /
@@ -44,7 +47,7 @@ cd "$(dirname "$0")/.."
 compare() {
     old="$1" new="$2"
     awk -v oldfile="$old" -v newfile="$new" '
-    function parse(file, dest,    line, name, v) {
+    function parse(file, dest, destalloc,    line, name, v) {
         while ((getline line < file) > 0) {
             if (match(line, /"Benchmark[^"]*"/)) {
                 name = substr(line, RSTART + 1, RLENGTH - 2)
@@ -53,13 +56,18 @@ compare() {
                     sub(/"ns_per_op": */, "", v)
                     dest[name] = v + 0
                 }
+                if (match(line, /"allocs_per_op": *[0-9.eE+-]+/)) {
+                    v = substr(line, RSTART, RLENGTH)
+                    sub(/"allocs_per_op": */, "", v)
+                    destalloc[name] = v + 0
+                }
             }
         }
         close(file)
     }
     BEGIN {
-        parse(oldfile, oldns)
-        parse(newfile, newns)
+        parse(oldfile, oldns, oldal)
+        parse(newfile, newns, newal)
         cal = 0
         if (("BenchmarkCalibration" in oldns) && ("BenchmarkCalibration" in newns) && oldns["BenchmarkCalibration"] > 0) {
             cal = newns["BenchmarkCalibration"] / oldns["BenchmarkCalibration"]
@@ -68,18 +76,30 @@ compare() {
         } else {
             print "calibration: absent from one baseline; gating on raw ratios"
         }
-        printf "%-42s %14s %14s %8s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "norm"
+        printf "%-42s %14s %14s %8s %8s %12s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "norm", "allocs"
         for (name in oldns) {
             if (!(name in newns)) continue
             ratio = newns[name] / oldns[name]
             norm = (cal > 0 ? ratio / cal : ratio)
             flag = ""
             if (name != "BenchmarkCalibration" && norm > 1.20) { flag = "  REGRESSION"; bad++ }
-            printf "%-42s %14.0f %14.0f %7.2fx %7.2fx%s\n", name, oldns[name], newns[name], ratio, norm, flag
+            # Allocation counts are deterministic per machine-independent
+            # code path: gate on the raw ratio, no calibration involved.
+            alstr = ""
+            if ((name in oldal) && (name in newal) && oldal[name] > 0) {
+                alratio = newal[name] / oldal[name]
+                alstr = sprintf("%11.2fx", alratio)
+                if (name != "BenchmarkCalibration" && alratio > 1.20) {
+                    flag = flag "  ALLOC-REGRESSION"; badal++
+                }
+            }
+            printf "%-42s %14.0f %14.0f %7.2fx %7.2fx %s%s\n", name, oldns[name], newns[name], ratio, norm, alstr, flag
             n++
         }
         if (n == 0) { print "no common benchmarks between the two files" > "/dev/stderr"; exit 2 }
-        if (bad > 0) { printf "%d benchmark(s) regressed by >20%% normalized ns/op\n", bad > "/dev/stderr"; exit 1 }
+        if (bad > 0) printf "%d benchmark(s) regressed by >20%% normalized ns/op\n", bad > "/dev/stderr"
+        if (badal > 0) printf "%d benchmark(s) regressed by >20%% allocs/op\n", badal > "/dev/stderr"
+        if (bad + badal > 0) exit 1
     }'
 }
 
@@ -93,7 +113,7 @@ if [ "${1:-}" = "-compare" ]; then
 fi
 
 pattern="${1:-BenchmarkSample|BenchmarkDPSolve|BenchmarkMCMakespan|BenchmarkRegistryIngest|BenchmarkModelResolve}"
-out="${2:-BENCH_PR6.json}"
+out="${2:-BENCH_PR7.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 

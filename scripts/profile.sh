@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# profile.sh — capture CPU and allocation profiles from the two hot-path
+# benchmarks this repo optimizes against: the cold checkpoint-DP solve
+# (BenchmarkDPSolve, root package) and the end-to-end session path
+# (BenchmarkServiceSessionsPMax, internal/serve). Profiles and the test
+# binaries pprof needs to symbolize them land in profiles/.
+#
+# Usage:
+#   scripts/profile.sh            # profile both benchmarks
+#   scripts/profile.sh dp         # just the DP solve
+#   scripts/profile.sh sessions   # just the session path
+#
+# Inspect afterwards with, e.g.:
+#   go tool pprof -top profiles/sessions.test profiles/sessions_cpu.pprof
+#   go tool pprof -top -sample_index=alloc_objects \
+#       profiles/sessions.test profiles/sessions_mem.pprof
+#   go tool pprof -list SubmitBagAt profiles/sessions.test profiles/sessions_mem.pprof
+#
+# The memory profile is written with -memprofilerate=1 alloc sampling left
+# at the runtime default (512 KiB): counts are extrapolations good for
+# ranking call sites, not exact tallies — trust -benchmem for totals.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+which="${1:-all}"
+mkdir -p profiles
+
+profile_one() {
+    name="$1" pkg="$2" bench="$3" benchtime="$4"
+    echo "== $name: $bench ($pkg) =="
+    go test -run '^$' -bench "$bench" -benchtime "$benchtime" -benchmem \
+        -cpuprofile "profiles/${name}_cpu.pprof" \
+        -memprofile "profiles/${name}_mem.pprof" \
+        -o "profiles/${name}.test" \
+        "$pkg"
+    echo "   profiles/${name}_cpu.pprof  profiles/${name}_mem.pprof  profiles/${name}.test"
+}
+
+case "$which" in
+all|dp)
+    profile_one dp . '^BenchmarkDPSolve$' 5x
+    ;;&
+all|sessions)
+    profile_one sessions ./internal/serve '^BenchmarkServiceSessionsPMax$' 300x
+    ;;&
+all|dp|sessions) ;;
+*)
+    echo "usage: scripts/profile.sh [all|dp|sessions]" >&2
+    exit 2
+    ;;
+esac
+
+echo "done; see header comment for pprof invocations"

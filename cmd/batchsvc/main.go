@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	batchsvc [-addr :8080] [-parallelism N] [-planner-parallelism N]
+//	batchsvc [-addr :8080] [-shards N] [-parallelism N] [-planner-parallelism N]
 //	         [-data-dir DIR] [-schedule-cache-cap N] [-pprof PORT]
 //	         [-wal-segment-bytes N] [-wal-segment-records N]
 //	         [-compact-bytes N] [-compact-records N]
@@ -59,6 +59,14 @@
 // endpoints return 503 with Retry-After and /api/stats reports the
 // degraded health — and recovers automatically when writes succeed again.
 // -max-sessions and -queue-depth bound admission (429 when saturated).
+//
+// -shards N splits the service into N session-executor shards behind a
+// stateless router: each shard owns its own session map, worker pool, and
+// (with -data-dir) its own WAL at DIR (shard 0) and DIR/shard-00i, so
+// fsyncs and degraded-mode faults are per shard. Sessions are placed by
+// consistent hash on their id; reports are byte-identical at any shard
+// count, and changing N between boots migrates only the minimal fraction
+// of sessions at restore.
 package main
 
 import (
@@ -111,7 +119,14 @@ func main() {
 		"bound on runs queued beyond the worker pool; further runs get 429 (0: unbounded)")
 	probeInterval := flag.Duration("degraded-probe-interval", time.Second,
 		"how often a degraded (read-only) service retries the store")
+	shards := flag.Int("shards", 1,
+		"session-executor shards; each owns its sessions, worker pool, and "+
+			"(with -data-dir) its own WAL under DIR/shard-00N; sessions are "+
+			"placed by consistent hash, so the count can change between boots")
 	flag.Parse()
+	if *shards < 1 {
+		log.Fatalf("batchsvc: -shards must be at least 1 (got %d)", *shards)
+	}
 
 	policy.SetSharedCacheCapacity(*cacheCap)
 	policy.SetDefaultPlannerParallelism(*plannerParallelism)
@@ -133,27 +148,55 @@ func main() {
 			}
 		}()
 	}
-	mgr := serve.NewManager(*parallelism)
+	mgr := serve.NewRouter(*shards, *parallelism)
 	mgr.SetMaxSessions(*maxSessions)
 	mgr.SetQueueDepth(*queueDepth)
 	mgr.SetProbeInterval(*probeInterval)
 	if *dataDir != "" {
-		st, err := store.OpenOptions(*dataDir, store.Options{
+		opts := store.Options{
 			SegmentMaxBytes:   *segmentBytes,
 			SegmentMaxRecords: *segmentRecords,
 			CompactAtBytes:    *compactBytes,
 			CompactAtRecords:  *compactRecords,
-		})
-		if err != nil {
-			log.Fatalf("batchsvc: opening store: %v", err)
 		}
-		if err := mgr.Restore(st); err != nil {
+		openShard := func(dir string) *store.Log {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				log.Fatalf("batchsvc: creating store dir %s: %v", dir, err)
+			}
+			st, err := store.OpenOptions(dir, opts)
+			if err != nil {
+				log.Fatalf("batchsvc: opening store %s: %v", dir, err)
+			}
+			return st
+		}
+		stores := make([]serve.Store, *shards)
+		for i := range stores {
+			st := openShard(store.ShardDir(*dataDir, i))
+			defer st.Close()
+			stores[i] = st
+		}
+		// Shard dirs beyond the configured count belong to a previous boot
+		// with more shards: their sessions are re-homed into the live shards
+		// and the stores drained, so shrinking -shards loses nothing.
+		extraIdx, err := store.FindShardDirs(*dataDir)
+		if err != nil {
+			log.Fatalf("batchsvc: %v", err)
+		}
+		var extras []serve.Store
+		for _, i := range extraIdx {
+			if i < *shards {
+				continue
+			}
+			st := openShard(store.ShardDir(*dataDir, i))
+			defer st.Close()
+			extras = append(extras, st)
+		}
+		if err := mgr.Restore(stores, extras...); err != nil {
 			log.Fatalf("batchsvc: restoring sessions: %v", err)
 		}
 		if n := len(mgr.List()); n > 0 {
-			log.Printf("batchsvc: restored %d sessions from %s", n, *dataDir)
+			log.Printf("batchsvc: restored %d sessions from %s (%d shards)", n, *dataDir, *shards)
 		}
-		defer st.Close()
 	}
 	defer mgr.Close()
 	// Every request context derives from connCtx, so cancelling it before
@@ -172,7 +215,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("batchsvc: serving on %s (parallelism %d)", *addr, *parallelism)
+		log.Printf("batchsvc: serving on %s (%d shards, parallelism %d)", *addr, *shards, *parallelism)
 		errc <- srv.ListenAndServe()
 	}()
 

@@ -1,0 +1,53 @@
+// Package placement maps session identifiers onto executor shards with a
+// consistent hash, so a session's home shard is a pure function of its id
+// and the shard count: the same id lands on the same shard across process
+// restarts, and changing the shard count moves only the minimal fraction
+// of keys (about 1/n when growing from n-1 to n shards) instead of
+// reshuffling everything.
+//
+// The hash is Lamping & Veach's jump consistent hash over a 64-bit FNV-1a
+// digest of the id. Jump hash has exactly the property the sharded store
+// layout needs: when the shard count grows from n to n+1, every key either
+// keeps its old shard or moves to the new shard n — no key ever moves
+// between two pre-existing shards — so a boot-time reshard only migrates
+// records into the new shards' stores, never between old ones.
+package placement
+
+// Shard returns the home shard of id among n shards, in [0, n). It is a
+// pure function of (id, n); n must be positive.
+func Shard(id string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return jump(fnv64a(id), n)
+}
+
+// fnv64a is the 64-bit FNV-1a digest of s, inlined to keep the hot
+// per-request placement call free of hash.Hash64 interface allocations.
+func fnv64a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// jump is the jump consistent hash of key onto buckets (Lamping & Veach,
+// "A Fast, Minimal Memory, Consistent Hash Algorithm"). It walks the
+// sequence of buckets the key would occupy as the table grows, in O(ln n)
+// expected steps, and returns the last one below the requested count.
+func jump(key uint64, buckets int) int {
+	var b int64 = -1
+	var j int64
+	for j < int64(buckets) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}

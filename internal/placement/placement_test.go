@@ -1,0 +1,91 @@
+package placement
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ids generates n session-shaped identifiers ("s-0001"...), matching the
+// ids the serving layer actually places.
+func ids(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("s-%03d", i+1)
+	}
+	return out
+}
+
+// TestShardDeterministic is the restart-stability property: placement is a
+// pure function of (id, shard count), so two processes — or one process
+// before and after a restart — always agree on a session's home shard.
+func TestShardDeterministic(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8, 16} {
+		for _, id := range ids(500) {
+			a, b := Shard(id, n), Shard(id, n)
+			if a != b {
+				t.Fatalf("Shard(%q, %d) unstable: %d then %d", id, n, a, b)
+			}
+			if a < 0 || a >= n {
+				t.Fatalf("Shard(%q, %d) = %d out of range", id, n, a)
+			}
+		}
+	}
+}
+
+// TestShardSingleShardIsZero pins the degenerate case the unsharded
+// service relies on.
+func TestShardSingleShardIsZero(t *testing.T) {
+	for _, id := range ids(100) {
+		if got := Shard(id, 1); got != 0 {
+			t.Fatalf("Shard(%q, 1) = %d, want 0", id, got)
+		}
+	}
+}
+
+// TestShardBalance checks the distribution is roughly uniform: with 4000
+// ids over 4 shards, no shard should drift beyond ~30% from the 1000
+// expectation (jump hash over FNV-1a is close to uniform; this bound has
+// huge slack and exists to catch a broken hash, not to measure quality).
+func TestShardBalance(t *testing.T) {
+	const n, keys = 4, 4000
+	counts := make([]int, n)
+	for _, id := range ids(keys) {
+		counts[Shard(id, n)]++
+	}
+	for s, c := range counts {
+		if c < keys/n*70/100 || c > keys/n*130/100 {
+			t.Fatalf("shard %d holds %d of %d keys (counts %v); distribution is broken", s, c, keys, counts)
+		}
+	}
+}
+
+// TestShardBoundedMovement is the consistent-hashing property: growing the
+// shard count from n to n+1 moves only ~1/(n+1) of the keys, and every key
+// that moves lands on the new shard n — none move between pre-existing
+// shards. This is what makes boot-time resharding a migration into the new
+// stores rather than a full reshuffle.
+func TestShardBoundedMovement(t *testing.T) {
+	const keys = 4000
+	all := ids(keys)
+	for n := 1; n < 8; n++ {
+		moved := 0
+		for _, id := range all {
+			before, after := Shard(id, n), Shard(id, n+1)
+			if before == after {
+				continue
+			}
+			moved++
+			if after != n {
+				t.Fatalf("key %q moved %d -> %d when shard %d was added; keys may only move to the new shard",
+					id, before, after, n)
+			}
+		}
+		// Expected movement is keys/(n+1); allow 2x slack for hash noise.
+		if limit := 2 * keys / (n + 1); moved > limit {
+			t.Fatalf("growing %d -> %d shards moved %d of %d keys (bound %d)", n, n+1, moved, keys, limit)
+		}
+		if moved == 0 {
+			t.Fatalf("growing %d -> %d shards moved no keys; new shard would stay empty", n, n+1)
+		}
+	}
+}

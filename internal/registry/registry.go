@@ -240,6 +240,9 @@ type Registry struct {
 	// cleared by refits (state alone cannot recount those); RestoreEntry
 	// primes it from restored detector state.
 	flags uint64
+	// onApply, when set, receives a replication Update after each applied
+	// mutation that changes resolution state (see replica.go).
+	onApply func(Update)
 }
 
 // New returns an empty registry.
@@ -307,6 +310,7 @@ func (r *Registry) Create(name string, sc Scenario, cfg EntryConfig, prov Proven
 	}
 	r.entries[name] = e
 	r.order = append(r.order, name)
+	r.notify(e)
 	return e.info(), nil
 }
 
@@ -332,6 +336,7 @@ func (r *Registry) Publish(name string, prov Provenance, commit func(Version) er
 		}
 	}
 	e.publish(v, m)
+	r.notify(e)
 	return v, nil
 }
 
@@ -539,6 +544,7 @@ func (r *Registry) Refit(name, fittedAt, source string, commit func(Version) err
 		}
 	}
 	e.publish(v, m)
+	r.notify(e)
 	return v, nil
 }
 
@@ -622,7 +628,7 @@ func (r *Registry) RestoreEntry(st EntryState) error {
 	if st.Detector.Flagged {
 		r.flags++
 	}
-	r.entries[st.Name] = &entry{
+	e := &entry{
 		name:     st.Name,
 		scenario: st.Scenario,
 		cfg:      cfg,
@@ -631,6 +637,8 @@ func (r *Registry) RestoreEntry(st EntryState) error {
 		det:      det,
 		refitBuf: append([]float64(nil), st.RefitBuf...),
 	}
+	r.entries[st.Name] = e
 	r.order = append(r.order, st.Name)
+	r.notify(e)
 	return nil
 }

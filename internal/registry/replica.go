@@ -1,0 +1,147 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// This file implements read-only registry replication for the sharded
+// serving layer: the registry itself is a single control plane (one shard
+// owns it, serializes mutations, and persists them through its WAL), while
+// every other shard resolves model references against a Replica — a local,
+// lock-cheap view of the published versions. Replication is commit-callback
+// fan-out: the control plane pushes an Update after each applied mutation
+// that changes what a reference can resolve to (entry creation, version
+// publication, restore), under the registry lock, so replicas apply updates
+// in exactly the order the registry did and a reference can never resolve
+// to a version the control plane has not durably committed.
+//
+// Replicas deliberately carry only resolution state — scenario, versions,
+// and the built models. Detector windows, refit buffers, and ingest
+// counters stay on the control plane: the session hot path needs Resolve,
+// nothing else, and shipping detector state on every ingest batch would put
+// the high-volume path back on a cross-shard lock.
+
+// Update is one replication payload: the full resolution state of a single
+// entry after a mutation. Models are immutable once built, so the slice
+// shares the control plane's *core.Model pointers — replicas resolve to
+// the very same model objects, which keeps the process-wide schedule cache
+// keyed consistently no matter which shard resolved the reference.
+type Update struct {
+	Name     string
+	Scenario Scenario
+	Versions []Version
+	Models   []*core.Model
+}
+
+// SetOnApply installs the replication fan-out callback, invoked under the
+// registry lock after every applied mutation that changes resolution state
+// (Create, Publish, Refit, RestoreEntry). The callback must be fast and
+// must not call back into the Registry. Install it before the registry
+// serves traffic; installing replaces any previous callback.
+func (r *Registry) SetOnApply(fn func(Update)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onApply = fn
+}
+
+// notify pushes an entry's resolution state to the replication callback.
+// Callers hold the registry lock, which is what orders the fan-out: a
+// replica observes versions in publication order, never reordered.
+func (r *Registry) notify(e *entry) {
+	if r.onApply == nil {
+		return
+	}
+	r.onApply(Update{
+		Name:     e.name,
+		Scenario: e.scenario,
+		Versions: append([]Version(nil), e.versions...),
+		Models:   append([]*core.Model(nil), e.models...),
+	})
+}
+
+// replicaEntry is one entry's replicated resolution state.
+type replicaEntry struct {
+	scenario Scenario
+	versions []Version
+	models   []*core.Model
+}
+
+// Replica is a read-only replicated view of a Registry, sufficient to
+// Resolve model references. It is safe for concurrent use; Apply installs
+// updates pushed by the control plane and Resolve serves the session
+// create path with a short read lock and no cross-shard coordination.
+type Replica struct {
+	mu      sync.RWMutex
+	entries map[string]*replicaEntry
+}
+
+// NewReplica returns an empty replica; wire it to a control-plane registry
+// with SetOnApply (directly or through a fan-out closure over several
+// replicas).
+func NewReplica() *Replica {
+	return &Replica{entries: make(map[string]*replicaEntry)}
+}
+
+// Apply installs one replicated update, replacing the entry's previous
+// state. Versions are immutable and only ever appended on the control
+// plane, so replacement is idempotent and late-arriving duplicates are
+// harmless; an update can never shrink an entry's version list.
+func (r *Replica) Apply(u Update) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.entries[u.Name]
+	if cur != nil && len(u.Versions) < len(cur.versions) {
+		// A stale update (out-of-order delivery would need a buggy caller —
+		// fan-out runs under the registry lock — but refuse regression
+		// anyway: resolution must never lose a published version).
+		return
+	}
+	r.entries[u.Name] = &replicaEntry{
+		scenario: u.Scenario,
+		versions: u.Versions,
+		models:   u.Models,
+	}
+}
+
+// Entries returns the number of replicated entries, for stats.
+func (r *Replica) Entries() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Resolve pins a model reference to a concrete version against the
+// replicated view, with the same semantics as Registry.Resolve: "name" and
+// "name@latest" pin to the highest replicated version, "name@vN" to
+// exactly vN. An entry the replica has not yet seen resolves as not found
+// — the control plane pushes synchronously on commit, so this only means
+// the entry truly does not exist.
+func (r *Replica) Resolve(ref string) (Resolved, error) {
+	name, num, err := ParseRef(ref)
+	if err != nil {
+		return Resolved{}, err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return Resolved{}, fmt.Errorf("%w: no model %q", ErrNotFound, name)
+	}
+	if num == 0 {
+		num = len(e.versions)
+	}
+	if num > len(e.versions) {
+		return Resolved{}, fmt.Errorf("%w: model %q has no version v%d (latest is v%d)",
+			ErrNotFound, name, num, len(e.versions))
+	}
+	return Resolved{
+		Name:     name,
+		Scenario: e.scenario,
+		Version:  e.versions[num-1],
+		Pinned:   fmt.Sprintf("%s@v%d", name, num),
+		Model:    e.models[num-1],
+	}, nil
+}

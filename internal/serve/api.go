@@ -13,18 +13,19 @@ import (
 	"repro/internal/policy"
 )
 
-// API exposes the session manager over HTTP. See the package documentation
-// for the route table and a walkthrough.
+// API exposes a serving backend — a single Manager or a sharded Router —
+// over HTTP. See the package documentation for the route table and a
+// walkthrough.
 type API struct {
-	mgr *Manager
+	b Backend
 }
 
-// NewAPI wraps a manager.
-func NewAPI(mgr *Manager) *API {
-	if mgr == nil {
-		panic("serve: nil manager")
+// NewAPI wraps a backend (a *Manager or a *Router).
+func NewAPI(b Backend) *API {
+	if b == nil {
+		panic("serve: nil backend")
 	}
-	return &API{mgr: mgr}
+	return &API{b: b}
 }
 
 // Handler returns the HTTP handler. Wrong methods on known paths yield a
@@ -138,7 +139,7 @@ func (w *errorRewriter) Write(b []byte) (int, error) {
 
 // session resolves the {id} path value, writing the error itself on miss.
 func (a *API) session(w http.ResponseWriter, r *http.Request) *Session {
-	s, err := a.mgr.Get(r.PathValue("id"))
+	s, err := a.b.Get(r.PathValue("id"))
 	if err != nil {
 		writeErr(w, httpCode(err), err)
 		return nil
@@ -158,7 +159,7 @@ func (a *API) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s, err := a.mgr.CreateCtx(r.Context(), req.Name, req.Config)
+	s, err := a.b.CreateCtx(r.Context(), req.Name, req.Config)
 	if err != nil {
 		writeErr(w, httpCode(err), err)
 		return
@@ -168,7 +169,7 @@ func (a *API) handleCreate(w http.ResponseWriter, r *http.Request) {
 
 func (a *API) handleList(w http.ResponseWriter, r *http.Request) {
 	out := []SessionStatus{}
-	for _, s := range a.mgr.List() {
+	for _, s := range a.b.List() {
 		out = append(out, s.Status())
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -181,7 +182,7 @@ func (a *API) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if err := a.mgr.Delete(r.PathValue("id")); err != nil {
+	if err := a.b.Delete(r.PathValue("id")); err != nil {
 		writeErr(w, httpCode(err), err)
 		return
 	}
@@ -237,7 +238,7 @@ func (a *API) handleRun(w http.ResponseWriter, r *http.Request) {
 	if s == nil {
 		return
 	}
-	if err := a.mgr.Run(s); err != nil {
+	if err := a.b.Run(s); err != nil {
 		writeErr(w, httpCode(err), err)
 		return
 	}
@@ -292,7 +293,7 @@ func (a *API) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	rep, err := a.mgr.SweepCtx(r.Context(), req)
+	rep, err := a.b.SweepCtx(r.Context(), req)
 	if err != nil {
 		writeErr(w, httpCode(err), err)
 		return
@@ -322,15 +323,21 @@ func collectDPSolveStats() dpSolveStats {
 }
 
 func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.b.statsPayload())
+}
+
+// statsPayload assembles GET /api/stats for a single-manager service; the
+// Router's variant aggregates these per shard and adds a "shards" array.
+func (m *Manager) statsPayload() map[string]any {
 	payload := map[string]any{
-		"sessions":       a.mgr.Stats().Sessions,
-		"models":         a.mgr.ModelStats(),
+		"sessions":       m.Stats().Sessions,
+		"models":         m.ModelStats(),
 		"schedule_cache": policy.SharedCacheStats(),
 		"dp_solves":      collectDPSolveStats(),
-		"health":         a.mgr.Health(),
+		"health":         m.Health(),
 	}
-	if st := a.mgr.StoreStats(); st != nil {
+	if st := m.StoreStats(); st != nil {
 		payload["store"] = st
 	}
-	writeJSON(w, http.StatusOK, payload)
+	return payload
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"os"
 	"runtime"
 	"sync"
 	"testing"
@@ -69,6 +70,85 @@ func BenchmarkServiceSessionsP1(b *testing.B) { benchSessions(b, 1) }
 // stays byte-identical to its serial run.
 func BenchmarkServiceSessionsPMax(b *testing.B) { benchSessions(b, runtime.GOMAXPROCS(0)) }
 
+// benchSessionsSharded measures end-to-end session throughput through the
+// Router with persistence on: each iteration boots nshards executor shards
+// (each with its own WAL store, fsync disabled so the measurement is append
+// and lock contention rather than disk latency), then creates, runs, and
+// reports batchSize sessions. At nshards=1 every persist serializes on one
+// store; at nshards=4 the WAL streams are independent, so on multi-core
+// machines throughput scales with the shard count while every report stays
+// byte-identical (TestShardedReportsByteIdentical). Parallelism is rounded
+// up to a multiple of the shard count so the per-shard worker pools divide
+// evenly and the shard counts stay comparable.
+func benchSessionsSharded(b *testing.B, nshards int) {
+	const batchSize = 8
+	par := runtime.GOMAXPROCS(0)
+	par = (par + nshards - 1) / nshards * nshards
+	policy.ResetSharedCache()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		root := b.TempDir()
+		stores := make([]Store, nshards)
+		for j := range stores {
+			dir := store.ShardDir(root, j)
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				b.Fatal(err)
+			}
+			st, err := store.Open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st.SetSync(false)
+			stores[j] = st
+		}
+		r := NewRouter(nshards, par)
+		if err := r.Restore(stores); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		sessions := make([]*Session, batchSize)
+		for j := range sessions {
+			s, err := r.Create("", ckptBenchConfig(uint64(j+1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := s.SubmitBag(BagRequest{App: "shapes", Jobs: 10, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+			if err := r.Run(s); err != nil {
+				b.Fatal(err)
+			}
+			sessions[j] = s
+		}
+		r.Wait()
+		for _, s := range sessions {
+			if _, err := s.Report(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		r.Close()
+		for _, st := range stores {
+			st.(*store.Log).Close()
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N*batchSize)/sec, "sessions/sec")
+	}
+}
+
+// BenchmarkServiceSessionsSharded1 is the single-shard (pre-sharding
+// equivalent) persistent baseline.
+func BenchmarkServiceSessionsSharded1(b *testing.B) { benchSessionsSharded(b, 1) }
+
+// BenchmarkServiceSessionsSharded4 runs the same workload across four
+// shards with four independent WAL streams.
+func BenchmarkServiceSessionsSharded4(b *testing.B) { benchSessionsSharded(b, 4) }
+
 // BenchmarkStoreRestore measures crash-recovery speed: a data directory is
 // seeded once with completed sessions, then each iteration boots a fresh
 // manager from it (replay + service rebuild + bag resubmission + snapshot
@@ -125,6 +205,81 @@ func BenchmarkStoreRestore(b *testing.B) {
 		// poison every benchmark that runs later in the same process.
 		mgr.Close()
 		st.Close()
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N*sessions)/sec, "sessions_restored/sec")
+	}
+}
+
+// BenchmarkStoreRestoreSharded measures shard-parallel boot: the same 16
+// completed sessions as BenchmarkStoreRestore, but spread over four shard
+// stores, so each iteration's replay + rebuild + compaction runs four-way
+// concurrent (Router.Restore parses stores and rebuilds shards on separate
+// goroutines). Compare sessions_restored/sec against BenchmarkStoreRestore
+// for the restore-time win of sharding.
+func BenchmarkStoreRestoreSharded(b *testing.B) {
+	const (
+		sessions = 16
+		nshards  = 4
+	)
+	root := b.TempDir()
+	openAll := func(sync bool) []Store {
+		stores := make([]Store, nshards)
+		for i := range stores {
+			dir := store.ShardDir(root, i)
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				b.Fatal(err)
+			}
+			st, err := store.Open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st.SetSync(sync)
+			stores[i] = st
+		}
+		return stores
+	}
+	closeAll := func(stores []Store) {
+		for _, st := range stores {
+			st.(*store.Log).Close()
+		}
+	}
+
+	seed := openAll(false)
+	r := NewRouter(nshards, runtime.GOMAXPROCS(0))
+	if err := r.Restore(seed); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < sessions; i++ {
+		s, err := r.Create("", testConfig(uint64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := s.SubmitBag(BagRequest{App: "shapes", Jobs: 10, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Run(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	r.Wait()
+	r.Close()
+	closeAll(seed)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stores := openAll(true)
+		r := NewRouter(nshards, runtime.GOMAXPROCS(0))
+		if err := r.Restore(stores); err != nil {
+			b.Fatal(err)
+		}
+		if n := len(r.List()); n != sessions {
+			b.Fatalf("restored %d sessions, want %d", n, sessions)
+		}
+		r.Close()
+		closeAll(stores)
 	}
 	b.StopTimer()
 	if sec := b.Elapsed().Seconds(); sec > 0 {

@@ -199,9 +199,9 @@ func (c SessionConfig) Validate() error {
 	return nil
 }
 
-// build resolves models (through the fit cache and the online registry)
-// and assembles the batch.Config.
-func (c SessionConfig) build(models *modelCache, reg *registry.Registry) (batch.Config, error) {
+// build resolves models (through the fit cache and the online registry —
+// or a shard's replicated view of it) and assembles the batch.Config.
+func (c SessionConfig) build(models *modelCache, resolver modelResolver) (batch.Config, error) {
 	cfg := batch.Config{
 		VMType:             trace.VMType(c.VMType),
 		Zone:               trace.Zone(c.Zone),
@@ -224,7 +224,7 @@ func (c SessionConfig) build(models *modelCache, reg *registry.Registry) (batch.
 		cfg.Model = m
 	}
 	if c.ModelRef != "" {
-		res, err := reg.Resolve(c.ModelRef)
+		res, err := resolver.Resolve(c.ModelRef)
 		if err != nil {
 			return batch.Config{}, fmt.Errorf("model_ref: %w", err)
 		}

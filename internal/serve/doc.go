@@ -4,6 +4,16 @@
 // API (the production-shaped evolution of the paper's Section 5 prototype,
 // which served exactly one configuration at a time).
 //
+// The package splits into two layers. A Manager is one session-executor
+// shard: it owns a session map, a bounded worker pool, a persistence gate,
+// and (optionally) a store — a single Manager is also a complete unsharded
+// service. A Router is the thin stateless layer above N Managers: it mints
+// globally-sequential session ids, places each session on a shard by
+// consistent hash on its id, scatter-gathers the cross-shard reads, and
+// fans registry commits out to per-shard read replicas. Both implement the
+// Backend interface that API serves, so the HTTP layer is identical at any
+// shard count.
+//
 // # Sessions
 //
 // A session is one simulated service deployment: a validated, serializable
@@ -70,6 +80,29 @@
 // observation history itself is not retained across compactions, only the
 // detector state it produced.
 //
+// # Sharding
+//
+// NewRouter(n, parallelism) builds n Manager shards behind one Router.
+// Sessions are placed by jump consistent hash on the session id
+// (internal/placement): placement depends only on (id, n), so it is stable
+// across restarts, and changing n moves only the minimal fraction of
+// sessions — growing moves keys only onto the new shards, never between
+// surviving ones. Ids are minted from a single global sequence, so the same
+// create sequence yields the same ids — and byte-identical reports — at any
+// shard count.
+//
+// The model registry stays a single control plane on shard 0; every commit
+// (create, publish, refit, restore) fans out synchronously to read-only
+// replicas on the other shards, so model_ref resolution at session-create
+// time never takes a cross-shard lock. Model registration and refit go
+// through the control plane; resolution is shard-local everywhere.
+//
+// Cross-shard reads scatter-gather: GET /api/sessions merges per-shard
+// listings back into global id order, POST /api/sweep spreads its grid
+// cells across shards and aggregates in grid order, and GET /api/stats sums
+// per-shard counters under backward-compatible top-level keys while adding
+// a per-shard breakdown in a "shards" array.
+//
 // # Persistence
 //
 // Attaching a Store (internal/store: a JSON snapshot + append-only WAL) via
@@ -80,6 +113,20 @@
 // that were mid-run when the process died recover as failed with a
 // diagnostic (their simulation state is gone by design; re-run them). The
 // store is compacted at boot so replay cost tracks live state, not history.
+//
+// A Router takes one store per shard (Router.Restore): shard 0's store is
+// the data-dir root itself — the pre-sharding layout, so old data dirs boot
+// unchanged — and shard i > 0 lives in root/shard-00i, giving each shard
+// its own WAL and fsync stream. Restore parses all stores concurrently,
+// replays model records into the control plane (seeding the replicas via
+// the commit fan-out), routes each session to its hash-placed home shard,
+// and rebuilds shards in parallel. If the shard count changed since the
+// data was written, sessions re-home automatically: stores are compacted
+// from the highest shard index down and leftover stores from a larger
+// previous count ("extras") are drained last, an order chosen so a moved
+// session is always durable at its new home before the old home drops it —
+// a crash mid-migration at worst leaves a duplicate record, resolved at the
+// next boot by first-occurrence-wins.
 //
 // # HTTP API
 //
@@ -110,10 +157,13 @@
 // # Degraded mode, admission, and panic isolation
 //
 // If the attached store starts failing persistently (disk full, I/O
-// errors), the manager degrades rather than dies: mutating endpoints
-// return 503 with a Retry-After header while reads keep serving, running
-// sessions finish in memory with their status flagged unpersisted, and
-// /api/stats reports the degraded health. A background probe retries the
+// errors), the owning shard degrades rather than dies: mutating endpoints
+// routed to it return 503 with a Retry-After header while reads keep
+// serving, running sessions finish in memory with their status flagged
+// unpersisted, and /api/stats reports the degraded health. Degraded mode is
+// per shard — with several shards, sessions hashed to healthy shards keep
+// accepting writes while the broken shard recovers, and the aggregate
+// health names the degraded shard. A background probe retries the
 // store and, on success, rewrites the full live state so every record
 // missed while degraded is healed, then clears the flags. -max-sessions
 // and -queue-depth (via SetMaxSessions/SetQueueDepth) bound admission with

@@ -140,7 +140,7 @@ func (a *API) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if s == nil {
 		return
 	}
-	if err := a.mgr.Cancel(s.ID()); err != nil {
+	if err := a.b.Cancel(s.ID()); err != nil {
 		writeErr(w, httpCode(err), err)
 		return
 	}

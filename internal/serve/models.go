@@ -231,7 +231,7 @@ func (a *API) handleModelCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	info, err := a.mgr.RegisterModel(req)
+	info, err := a.b.RegisterModel(req)
 	if err != nil {
 		writeErr(w, httpCode(err), err)
 		return
@@ -240,11 +240,11 @@ func (a *API) handleModelCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handleModelList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, a.mgr.Models())
+	writeJSON(w, http.StatusOK, a.b.Models())
 }
 
 func (a *API) handleModelGet(w http.ResponseWriter, r *http.Request) {
-	info, err := a.mgr.ModelInfo(r.PathValue("name"))
+	info, err := a.b.ModelInfo(r.PathValue("name"))
 	if err != nil {
 		writeErr(w, httpCode(err), err)
 		return
@@ -258,7 +258,7 @@ func (a *API) handleModelObservations(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := a.mgr.IngestObservations(r.PathValue("name"), req.Lifetimes)
+	res, err := a.b.IngestObservations(r.PathValue("name"), req.Lifetimes)
 	if err != nil {
 		writeErr(w, httpCode(err), err)
 		return
@@ -267,7 +267,7 @@ func (a *API) handleModelObservations(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handleModelRefit(w http.ResponseWriter, r *http.Request) {
-	v, err := a.mgr.RefitModel(r.PathValue("name"), "refit")
+	v, err := a.b.RefitModel(r.PathValue("name"), "refit")
 	if err != nil {
 		writeErr(w, httpCode(err), err)
 		return

@@ -207,52 +207,104 @@ type pendingSession struct {
 	term       *terminalRecord
 }
 
-// Restore attaches a store to an empty manager and rebuilds every session
-// from its records: configs are re-built (models re-fitted or fetched from
-// cache — deterministic in the persisted recipe), bags re-submitted, and
-// lifecycle states re-applied. Sessions that were running when the process
-// died are recovered as failed with a diagnostic, since their in-flight
-// simulation state is gone by design (the paper's own lesson: recover from
-// the last durable checkpoint, discard the torn attempt). After replay the
-// store is compacted, so each boot replays the snapshot of live state plus
-// only the WAL records appended since the previous boot (online compaction
-// during a long-lived process is a ROADMAP item).
-func (m *Manager) Restore(st Store) error {
-	if st == nil {
-		return nil
-	}
-	m.mu.Lock()
-	if m.store != nil || len(m.sessions) > 0 {
-		m.mu.Unlock()
-		return fmt.Errorf("serve: Restore must be called once, on an empty manager")
-	}
-	// Every write from here on goes through the degraded-mode guard; the
-	// inner handle is kept for the recovery probe and compaction, which
-	// must reach the real store even while the guard is failing fast.
-	m.innerStore = st
-	m.store = &guardedStore{m: m, inner: st}
-	m.mu.Unlock()
+// parsedStore is the decoded content of one store's records: the live
+// sessions (with their replay order and id high-water mark) plus the raw
+// model-registry records in log order. It is what a single-shard Restore
+// consumes whole, and what the Router redistributes across shards when the
+// shard count changed between boots.
+type parsedStore struct {
+	sessions map[string]*pendingSession
+	order    []string
+	models   []store.Record
+	maxSeq   int
+}
 
-	byID := make(map[string]*pendingSession)
-	var order []string
-	maxSeq := 0
-	for _, rec := range st.Records() {
-		if rec.Kind == kindSeq {
+// parseStoreRecords decodes a store's replayed records without touching any
+// manager state, so stores can be parsed in parallel at boot. Model records
+// are collected raw (still in log order) for applyModelRecords; session
+// records fold into pendingSessions with deletes applied.
+func parseStoreRecords(recs []store.Record) (*parsedStore, error) {
+	ps := &parsedStore{sessions: make(map[string]*pendingSession)}
+	for _, rec := range recs {
+		switch rec.Kind {
+		case kindSeq:
 			var sr seqRecord
 			if err := json.Unmarshal(rec.Data, &sr); err != nil {
-				return fmt.Errorf("serve: corrupt seq record: %w", err)
+				return nil, fmt.Errorf("serve: corrupt seq record: %w", err)
 			}
-			if sr.Max > maxSeq {
-				maxSeq = sr.Max
+			if sr.Max > ps.maxSeq {
+				ps.maxSeq = sr.Max
 			}
 			continue
+		case kindModelCreate, kindModelVersion, kindModelObs, kindModelState:
+			ps.models = append(ps.models, rec)
+			continue
 		}
-		// Model registry records are applied immediately, in log order:
-		// the registry is fully rebuilt (versions, detector high-water
-		// marks, refit buffers) before any session is rebuilt, so pinned
-		// model_ref configs always resolve. Replay drives the registry
-		// directly — no commit callbacks, no auto-refit launches — state
-		// reconstruction must not publish new versions.
+		p := ps.sessions[rec.ID]
+		if rec.Kind != kindCreate && p == nil {
+			// A record for an unknown session: the create was compacted away
+			// by a delete, or the log predates this schema. Skip rather than
+			// refusing to boot.
+			continue
+		}
+		switch rec.Kind {
+		case kindCreate:
+			var cr createRecord
+			if err := json.Unmarshal(rec.Data, &cr); err != nil {
+				return nil, fmt.Errorf("serve: corrupt create record for %s: %w", rec.ID, err)
+			}
+			ps.sessions[rec.ID] = &pendingSession{name: cr.Name, cfg: cr.Config, state: StateCreated}
+			ps.order = append(ps.order, rec.ID)
+			// Track the id sequence across every session ever created —
+			// including ones later deleted — so new ids never collide.
+			var n int
+			if _, err := fmt.Sscanf(rec.ID, "s-%d", &n); err == nil && n > ps.maxSeq {
+				ps.maxSeq = n
+			}
+		case kindBag:
+			var bag BagRequest
+			if err := json.Unmarshal(rec.Data, &bag); err != nil {
+				return nil, fmt.Errorf("serve: corrupt bag record for %s: %w", rec.ID, err)
+			}
+			p.bags = append(p.bags, bag)
+		case kindRun:
+			p.wasRunning = true
+		case kindDone, kindFailed, kindCancelled:
+			var term terminalRecord
+			if err := json.Unmarshal(rec.Data, &term); err != nil {
+				return nil, fmt.Errorf("serve: corrupt %s record for %s: %w", rec.Kind, rec.ID, err)
+			}
+			p.term = &term
+			switch rec.Kind {
+			case kindDone:
+				p.state = StateDone
+			case kindFailed:
+				p.state = StateFailed
+			case kindCancelled:
+				p.state = StateCancelled
+			}
+		case kindDelete:
+			delete(ps.sessions, rec.ID)
+			for i, id := range ps.order {
+				if id == rec.ID {
+					ps.order = append(ps.order[:i:i], ps.order[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return ps, nil
+}
+
+// applyModelRecords replays model-registry records into the manager's
+// registry, in log order: the registry is fully rebuilt (versions, detector
+// high-water marks, refit buffers) before any session is rebuilt, so pinned
+// model_ref configs always resolve. Replay drives the registry directly —
+// no commit persistence, no auto-refit launches — state reconstruction must
+// not publish new versions. The registry's replication callback (if any)
+// still fires, which is exactly how a Router's shard replicas are seeded.
+func (m *Manager) applyModelRecords(recs []store.Record) error {
+	for _, rec := range recs {
 		switch rec.Kind {
 		case kindModelCreate:
 			var cr modelCreateRecord
@@ -262,7 +314,6 @@ func (m *Manager) Restore(st Store) error {
 			if _, err := m.registry.Create(rec.ID, cr.Scenario, cr.Config, cr.Version, nil); err != nil {
 				return fmt.Errorf("serve: restoring model %s: %w", rec.ID, err)
 			}
-			continue
 		case kindModelVersion:
 			var v registry.Version
 			if err := json.Unmarshal(rec.Data, &v); err != nil {
@@ -276,7 +327,6 @@ func (m *Manager) Restore(st Store) error {
 				return fmt.Errorf("serve: model %s version record out of order: logged v%d, replayed as v%d",
 					rec.ID, v.Number, applied.Number)
 			}
-			continue
 		case kindModelObs:
 			var or modelObsRecord
 			if err := json.Unmarshal(rec.Data, &or); err != nil {
@@ -285,7 +335,6 @@ func (m *Manager) Restore(st Store) error {
 			if _, err := m.registry.Ingest(rec.ID, or.Lifetimes, nil); err != nil {
 				return fmt.Errorf("serve: replaying observations for model %s: %w", rec.ID, err)
 			}
-			continue
 		case kindModelState:
 			var st registry.EntryState
 			if err := json.Unmarshal(rec.Data, &st); err != nil {
@@ -294,65 +343,15 @@ func (m *Manager) Restore(st Store) error {
 			if err := m.registry.RestoreEntry(st); err != nil {
 				return fmt.Errorf("serve: restoring model %s: %w", rec.ID, err)
 			}
-			continue
-		}
-		p := byID[rec.ID]
-		if rec.Kind != kindCreate && p == nil {
-			// A record for an unknown session: the create was compacted away
-			// by a delete, or the log predates this schema. Skip rather than
-			// refusing to boot.
-			continue
-		}
-		switch rec.Kind {
-		case kindCreate:
-			var cr createRecord
-			if err := json.Unmarshal(rec.Data, &cr); err != nil {
-				return fmt.Errorf("serve: corrupt create record for %s: %w", rec.ID, err)
-			}
-			byID[rec.ID] = &pendingSession{name: cr.Name, cfg: cr.Config, state: StateCreated}
-			order = append(order, rec.ID)
-			// Track the id sequence across every session ever created —
-			// including ones later deleted — so new ids never collide.
-			var n int
-			if _, err := fmt.Sscanf(rec.ID, "s-%d", &n); err == nil && n > maxSeq {
-				maxSeq = n
-			}
-		case kindBag:
-			var bag BagRequest
-			if err := json.Unmarshal(rec.Data, &bag); err != nil {
-				return fmt.Errorf("serve: corrupt bag record for %s: %w", rec.ID, err)
-			}
-			p.bags = append(p.bags, bag)
-		case kindRun:
-			p.wasRunning = true
-		case kindDone, kindFailed, kindCancelled:
-			var term terminalRecord
-			if err := json.Unmarshal(rec.Data, &term); err != nil {
-				return fmt.Errorf("serve: corrupt %s record for %s: %w", rec.Kind, rec.ID, err)
-			}
-			p.term = &term
-			switch rec.Kind {
-			case kindDone:
-				p.state = StateDone
-			case kindFailed:
-				p.state = StateFailed
-			case kindCancelled:
-				p.state = StateCancelled
-			}
-		case kindDelete:
-			delete(byID, rec.ID)
-			for i, id := range order {
-				if id == rec.ID {
-					order = append(order[:i:i], order[i+1:]...)
-					break
-				}
-			}
 		}
 	}
+	return nil
+}
 
-	// Concurrent Creates append their records outside the id-minting lock,
-	// so WAL order can differ from id order; sort so the restored listing
-	// preserves creation order.
+// sortSessionIDs orders session ids by their minted sequence number.
+// Concurrent Creates append their records outside the id-minting lock, so
+// WAL order can differ from id order; sorting restores creation order.
+func sortSessionIDs(order []string) {
 	sort.Slice(order, func(i, j int) bool {
 		var a, b int
 		fmt.Sscanf(order[i], "s-%d", &a)
@@ -362,8 +361,29 @@ func (m *Manager) Restore(st Store) error {
 		}
 		return order[i] < order[j]
 	})
+}
+
+// attachStore wires the degraded-mode guard around a store and installs it
+// as the manager's persistence; it fails on a manager already restored.
+func (m *Manager) attachStore(st Store) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.store != nil || len(m.sessions) > 0 {
+		return fmt.Errorf("serve: Restore must be called once, on an empty manager")
+	}
+	// Every write from here on goes through the degraded-mode guard; the
+	// inner handle is kept for the recovery probe and compaction, which
+	// must reach the real store even while the guard is failing fast.
+	m.innerStore = st
+	m.store = &guardedStore{m: m, inner: st}
+	return nil
+}
+
+// rebuildAll rebuilds and registers the given pending sessions in id order.
+func (m *Manager) rebuildAll(sessions map[string]*pendingSession, order []string) error {
+	sortSessionIDs(order)
 	for _, id := range order {
-		s, err := m.rebuild(id, byID[id])
+		s, err := m.rebuild(id, sessions[id])
 		if err != nil {
 			return fmt.Errorf("serve: restoring session %s: %w", id, err)
 		}
@@ -372,29 +392,38 @@ func (m *Manager) Restore(st Store) error {
 		m.order = append(m.order, id)
 		m.mu.Unlock()
 	}
+	return nil
+}
+
+// bumpSeq raises the manager's id sequence to at least max.
+func (m *Manager) bumpSeq(max int) {
 	m.mu.Lock()
-	if maxSeq > m.seq {
-		m.seq = maxSeq
+	if max > m.seq {
+		m.seq = max
 	}
 	m.mu.Unlock()
-	if err := m.CompactStore(); err != nil {
-		return err
-	}
-	// Only after compaction (which must see a quiescent registry — a
-	// version committed between its Snapshot and the store rewrite would
-	// be truncated away with the WAL): re-arm pending auto-refits. The
-	// pre-crash process may have died between refit-readiness and the
-	// version commit, and without new ingest traffic nothing else would
-	// ever publish the pending version.
+}
+
+// rearmAutoRefits relaunches pending auto-refits after boot compaction. The
+// pre-crash process may have died between refit-readiness and the version
+// commit, and without new ingest traffic nothing else would ever publish
+// the pending version. It must run only after compaction: a version
+// committed between the compactor's Snapshot and the store rewrite would be
+// truncated away with the WAL.
+func (m *Manager) rearmAutoRefits() {
 	for _, info := range m.registry.List() {
 		if info.AutoRefit && info.Flagged && info.RefitBuffered >= info.MinRefitSamples {
 			m.startAutoRefit(info.Name)
 		}
 	}
-	// Wire online compaction: when the store's WAL crosses its configured
-	// thresholds it pokes compactCh (nonblocking — the trigger runs under
-	// the store lock) and the maintain worker rewrites the snapshot from
-	// live state while the service keeps serving.
+}
+
+// startMaintenance wires online compaction — when the store's WAL crosses
+// its configured thresholds it pokes compactCh (nonblocking — the trigger
+// runs under the store lock) and the maintain worker rewrites the snapshot
+// from live state while the service keeps serving — and starts the
+// maintenance goroutine.
+func (m *Manager) startMaintenance(st Store) {
 	if tr, ok := st.(storeTrigger); ok {
 		tr.SetCompactionTrigger(func() {
 			select {
@@ -405,6 +434,42 @@ func (m *Manager) Restore(st Store) error {
 	}
 	m.maintWG.Add(1)
 	go m.maintain()
+}
+
+// Restore attaches a store to an empty manager and rebuilds every session
+// from its records: configs are re-built (models re-fitted or fetched from
+// cache — deterministic in the persisted recipe), bags re-submitted, and
+// lifecycle states re-applied. Sessions that were running when the process
+// died are recovered as failed with a diagnostic, since their in-flight
+// simulation state is gone by design (the paper's own lesson: recover from
+// the last durable checkpoint, discard the torn attempt). After replay the
+// store is compacted, so each boot replays the snapshot of live state plus
+// only the WAL records appended since the previous boot. A Router restores
+// its shards from the same pieces (see Router.Restore), routing each parsed
+// session to its hash-placed home shard instead of rebuilding in place.
+func (m *Manager) Restore(st Store) error {
+	if st == nil {
+		return nil
+	}
+	if err := m.attachStore(st); err != nil {
+		return err
+	}
+	ps, err := parseStoreRecords(st.Records())
+	if err != nil {
+		return err
+	}
+	if err := m.applyModelRecords(ps.models); err != nil {
+		return err
+	}
+	if err := m.rebuildAll(ps.sessions, ps.order); err != nil {
+		return err
+	}
+	m.bumpSeq(ps.maxSeq)
+	if err := m.CompactStore(); err != nil {
+		return err
+	}
+	m.rearmAutoRefits()
+	m.startMaintenance(st)
 	return nil
 }
 
@@ -414,7 +479,7 @@ func (m *Manager) rebuild(id string, p *pendingSession) (*Session, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	bcfg, err := cfg.build(m.models, m.registry)
+	bcfg, err := cfg.build(m.models, m.resolver)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,497 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/placement"
+	"repro/internal/policy"
+	"repro/internal/registry"
+	"repro/internal/store"
+)
+
+// Backend is what the HTTP API serves: either a single Manager (the
+// unsharded service) or a Router fanning requests out over several
+// shard Managers. All session and model operations, plus the lifecycle
+// hooks batchsvc drives (Wait, Close), go through it.
+type Backend interface {
+	CreateCtx(ctx context.Context, name string, cfg SessionConfig) (*Session, error)
+	Get(id string) (*Session, error)
+	List() []*Session
+	Delete(id string) error
+	Cancel(id string) error
+	Run(s *Session) error
+	SweepCtx(ctx context.Context, req SweepRequest) (SweepReport, error)
+	RegisterModel(req ModelCreateRequest) (registry.Info, error)
+	Models() []registry.Info
+	ModelInfo(name string) (registry.Info, error)
+	IngestObservations(name string, lifetimes []float64) (registry.IngestResult, error)
+	RefitModel(name, source string) (registry.Version, error)
+	Wait()
+	Close()
+	statsPayload() map[string]any
+}
+
+var (
+	_ Backend = (*Manager)(nil)
+	_ Backend = (*Router)(nil)
+)
+
+// Router is the sharded serving backend: a thin stateless request router
+// over N session-executor shards. Each shard is a full Manager — its own
+// session map, worker pool, persist gate, store, and degraded-mode state —
+// so shards share nothing on the session hot path and their WAL fsync
+// streams run in parallel. Sessions are placed by consistent hash on their
+// id (see internal/placement): placement is a pure function of (id, shard
+// count), stable across restarts, and changing the shard count moves only
+// the minimal fraction of sessions at the next boot.
+//
+// Shard 0 is the control plane: it owns the model registry (and persists
+// its mutations through its own store), while every other shard resolves
+// model references against a read-only replica pushed to it on each commit
+// — so model_ref resolution never takes a cross-shard lock. List, Sweep,
+// and stats are scatter-gather with order-stable aggregation.
+type Router struct {
+	shards []*Manager
+
+	mu  sync.Mutex
+	seq int
+}
+
+// NewRouter builds a router over nshards executor shards whose worker pools
+// together run up to parallelism concurrent simulations (default
+// GOMAXPROCS; the pool is divided evenly, rounding up, so a total of 4 over
+// 4 shards gives each shard 1 worker). One shard behaves exactly like a
+// standalone Manager with a router in front.
+func NewRouter(nshards, parallelism int) *Router {
+	if nshards <= 0 {
+		nshards = 1
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	per := (parallelism + nshards - 1) / nshards
+	r := &Router{shards: make([]*Manager, nshards)}
+	// All shards share one fit cache: fitting is deterministic in the
+	// recipe, so a session on shard 2 reuses the registry a session on
+	// shard 0 already paid to fit.
+	models := newModelCache()
+	replicas := make([]*registry.Replica, 0, nshards-1)
+	for i := range r.shards {
+		m := NewManager(per)
+		m.models = models
+		m.shard = i
+		if i > 0 {
+			rep := registry.NewReplica()
+			m.resolver = rep
+			replicas = append(replicas, rep)
+		}
+		r.shards[i] = m
+	}
+	// Commit-callback fan-out: every applied registry mutation on the
+	// control plane is pushed to each shard's replica, under the registry
+	// lock, so replicas see versions in commit order.
+	r.control().registry.SetOnApply(func(u registry.Update) {
+		for _, rep := range replicas {
+			rep.Apply(u)
+		}
+	})
+	return r
+}
+
+// control returns the control-plane shard (shard 0), which owns the model
+// registry and the global id sequence's durable high-water mark.
+func (r *Router) control() *Manager { return r.shards[0] }
+
+// Shards returns the number of executor shards.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// Shard exposes one shard's Manager, for tests and per-shard tuning
+// (runHook seams, probe intervals).
+func (r *Router) Shard(i int) *Manager { return r.shards[i] }
+
+// shardFor returns the shard owning id.
+func (r *Router) shardFor(id string) *Manager {
+	return r.shards[placement.Shard(id, len(r.shards))]
+}
+
+// SetMaxSessions bounds live sessions across the service; the bound is
+// divided evenly (rounding up) across shards, so a hash-skewed shard can
+// 429 slightly before the global total is reached. 0 means unbounded.
+func (r *Router) SetMaxSessions(n int) {
+	per := 0
+	if n > 0 {
+		per = (n + len(r.shards) - 1) / len(r.shards)
+	}
+	for _, m := range r.shards {
+		m.SetMaxSessions(per)
+	}
+}
+
+// SetQueueDepth bounds queued runs per the same division as
+// SetMaxSessions. 0 means unbounded.
+func (r *Router) SetQueueDepth(n int) {
+	per := 0
+	if n > 0 {
+		per = (n + len(r.shards) - 1) / len(r.shards)
+	}
+	for _, m := range r.shards {
+		m.SetQueueDepth(per)
+	}
+}
+
+// SetProbeInterval tunes every shard's degraded-mode probe.
+func (r *Router) SetProbeInterval(d time.Duration) {
+	for _, m := range r.shards {
+		m.SetProbeInterval(d)
+	}
+}
+
+// nextID mints the next globally-sequential session id. Ids are global so
+// listings and reports are stable regardless of sharding: the same create
+// sequence yields the same ids — and therefore byte-identical session
+// reports — at any shard count.
+func (r *Router) nextID() string {
+	r.mu.Lock()
+	r.seq++
+	id := ids.Padded("s-", r.seq, 3)
+	r.mu.Unlock()
+	return id
+}
+
+// Create validates the config, builds the session on its hash-placed home
+// shard, and registers it there.
+func (r *Router) Create(name string, cfg SessionConfig) (*Session, error) {
+	return r.CreateCtx(context.Background(), name, cfg)
+}
+
+// CreateCtx mints a global id, places the session by consistent hash, and
+// hands it to the owning shard. A failed create burns the id — exactly the
+// gap semantics a standalone Manager has for a failed durable append.
+func (r *Router) CreateCtx(ctx context.Context, name string, cfg SessionConfig) (*Session, error) {
+	id := r.nextID()
+	return r.shardFor(id).createSession(ctx, id, name, cfg)
+}
+
+// Get resolves a session on its home shard.
+func (r *Router) Get(id string) (*Session, error) { return r.shardFor(id).Get(id) }
+
+// List scatter-gathers every shard's sessions and merges them into global
+// creation order (by id sequence), so the listing is identical to what a
+// single-shard service would produce.
+func (r *Router) List() []*Session {
+	var all []*Session
+	for _, m := range r.shards {
+		all = append(all, m.List()...)
+	}
+	order := make([]string, len(all))
+	byID := make(map[string]*Session, len(all))
+	for i, s := range all {
+		order[i] = s.ID()
+		byID[s.ID()] = s
+	}
+	sortSessionIDs(order)
+	for i, id := range order {
+		all[i] = byID[id]
+	}
+	return all
+}
+
+// Delete removes a session from its home shard.
+func (r *Router) Delete(id string) error { return r.shardFor(id).Delete(id) }
+
+// Cancel aborts a running session on its home shard.
+func (r *Router) Cancel(id string) error { return r.shardFor(id).Cancel(id) }
+
+// Run starts the session on its home shard's worker pool.
+func (r *Router) Run(s *Session) error { return r.shardFor(s.ID()).Run(s) }
+
+// SweepCtx fans the sweep grid out across the shards: each cell is an
+// ordinary create, so cells land on their id's home shard and the grid's
+// simulations spread over every shard's worker pool. Aggregation is
+// grid-order-stable exactly as on a single Manager.
+func (r *Router) SweepCtx(ctx context.Context, req SweepRequest) (SweepReport, error) {
+	return sweepCtx(ctx, r, req)
+}
+
+// Sweep runs the grid to completion and aggregates the results.
+func (r *Router) Sweep(req SweepRequest) (SweepReport, error) {
+	return r.SweepCtx(context.Background(), req)
+}
+
+// Model operations are control-plane operations: they delegate to shard 0,
+// whose registry owns the entries and replicates resolution state outward.
+
+func (r *Router) RegisterModel(req ModelCreateRequest) (registry.Info, error) {
+	return r.control().RegisterModel(req)
+}
+func (r *Router) Models() []registry.Info { return r.control().Models() }
+func (r *Router) ModelInfo(name string) (registry.Info, error) {
+	return r.control().ModelInfo(name)
+}
+func (r *Router) ModelStats() registry.Stats { return r.control().ModelStats() }
+func (r *Router) IngestObservations(name string, lifetimes []float64) (registry.IngestResult, error) {
+	return r.control().IngestObservations(name, lifetimes)
+}
+func (r *Router) RefitModel(name, source string) (registry.Version, error) {
+	return r.control().RefitModel(name, source)
+}
+
+// Stats sums per-state session counts across shards.
+func (r *Router) Stats() Stats {
+	st := Stats{Sessions: map[State]int{
+		StateCreated: 0, StateRunning: 0, StateDone: 0, StateFailed: 0, StateCancelled: 0,
+	}}
+	for _, m := range r.shards {
+		for state, n := range m.Stats().Sessions {
+			st.Sessions[state] += n
+		}
+	}
+	return st
+}
+
+// Health aggregates shard health: the service reports degraded if any
+// shard is degraded (that shard's sessions get 503s; the others keep
+// serving), with the reason naming the shard. Unpersisted sessions are the
+// union across shards.
+func (r *Router) Health() Health {
+	var h Health
+	for i, m := range r.shards {
+		sh := m.Health()
+		if sh.Degraded && !h.Degraded {
+			h.Degraded = true
+			h.Reason = fmt.Sprintf("shard %d: %s", i, sh.Reason)
+			h.Since = sh.Since
+		}
+		h.UnpersistedSessions = append(h.UnpersistedSessions, sh.UnpersistedSessions...)
+	}
+	return h
+}
+
+// StoreStats sums store counters across shards (nil when no shard has a
+// store attached). Boolean fault markers are ORed: a torn tail or poisoned
+// WAL anywhere is worth surfacing at the top level.
+func (r *Router) StoreStats() *store.Stats {
+	var total *store.Stats
+	for _, m := range r.shards {
+		st := m.StoreStats()
+		if st == nil {
+			continue
+		}
+		if total == nil {
+			total = &store.Stats{}
+		}
+		total.Replayed += st.Replayed
+		total.Appended += st.Appended
+		total.Compactions += st.Compactions
+		total.TornTail = total.TornTail || st.TornTail
+		total.Segments += st.Segments
+		total.Rotations += st.Rotations
+		total.WALRecords += st.WALRecords
+		total.WALBytes += st.WALBytes
+		total.Poisoned = total.Poisoned || st.Poisoned
+	}
+	return total
+}
+
+// Wait blocks until every shard's started runs and refits have finished.
+func (r *Router) Wait() {
+	for _, m := range r.shards {
+		m.Wait()
+	}
+}
+
+// Close stops every shard's background workers.
+func (r *Router) Close() {
+	for _, m := range r.shards {
+		m.Close()
+	}
+}
+
+// Restore attaches one store per shard and rebuilds the whole service from
+// their records. stores[i] becomes shard i's store; extras are stores left
+// behind by a previous boot with more shards (their sessions are re-homed
+// into the live shards and the stores are drained down to a seq record).
+// All stores may be nil-free or the call may be skipped entirely for a
+// memory-only service.
+//
+// The restore pipeline is shard-parallel where it is expensive and
+// sequential where crash-safety demands order:
+//
+//  1. Parse every store's records concurrently (per-store replay order is
+//     preserved within each store; stores are independent logs).
+//  2. Apply model-registry records to the control plane in store-index
+//     order. The replication callback installed at construction seeds every
+//     shard's replica as a side effect, so step 3 can resolve model_ref
+//     configs on any shard.
+//  3. Route each parsed session to its hash-placed home shard (a session
+//     found in several stores — possible only mid-migration after a crash —
+//     is taken from the lowest-indexed store) and rebuild all shards
+//     concurrently: model re-fitting and bag replay dominate restore cost,
+//     and they now spread over every core.
+//  4. Compact shard stores from the highest index down, then drain the
+//     extras. Shard-count changes only ever move sessions toward higher
+//     indices when growing (jump hash moves keys only onto new shards) and
+//     from extras into live shards when shrinking, so compacting high
+//     before low — and live before extras — guarantees a moved session is
+//     durable at its new home before the old home's compaction drops it.
+func (r *Router) Restore(stores []Store, extras ...Store) error {
+	if len(stores) != len(r.shards) {
+		return fmt.Errorf("serve: Restore needs one store per shard (%d stores, %d shards)", len(stores), len(r.shards))
+	}
+	for i, st := range stores {
+		if st == nil {
+			return fmt.Errorf("serve: Restore: shard %d store is nil", i)
+		}
+		if err := r.shards[i].attachStore(st); err != nil {
+			return fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+	}
+
+	// 1. Parse all stores concurrently.
+	all := append(append([]Store{}, stores...), extras...)
+	parsed := make([]*parsedStore, len(all))
+	errs := make([]error, len(all))
+	var wg sync.WaitGroup
+	for i, st := range all {
+		wg.Add(1)
+		go func(i int, st Store) {
+			defer wg.Done()
+			parsed[i], errs[i] = parseStoreRecords(st.Records())
+		}(i, st)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("serve: parsing store %d: %w", i, err)
+		}
+	}
+
+	// 2. Replay model records into the control plane (normally only store 0
+	// carries any; applying in store-index order keeps replay deterministic
+	// if they ever spread). Replicas are seeded via the commit fan-out.
+	for _, ps := range parsed {
+		if err := r.control().applyModelRecords(ps.models); err != nil {
+			return err
+		}
+	}
+
+	// 3. Route sessions to their home shards, first occurrence (lowest
+	// store index) winning, and rebuild shards concurrently.
+	type shardLoad struct {
+		sessions map[string]*pendingSession
+		order    []string
+	}
+	loads := make([]shardLoad, len(r.shards))
+	for i := range loads {
+		loads[i].sessions = make(map[string]*pendingSession)
+	}
+	seen := make(map[string]bool)
+	maxSeq := 0
+	for _, ps := range parsed {
+		if ps.maxSeq > maxSeq {
+			maxSeq = ps.maxSeq
+		}
+		for _, id := range ps.order {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			home := placement.Shard(id, len(r.shards))
+			loads[home].sessions[id] = ps.sessions[id]
+			loads[home].order = append(loads[home].order, id)
+		}
+	}
+	rebuildErrs := make([]error, len(r.shards))
+	for i, m := range r.shards {
+		wg.Add(1)
+		go func(i int, m *Manager) {
+			defer wg.Done()
+			rebuildErrs[i] = m.rebuildAll(loads[i].sessions, loads[i].order)
+		}(i, m)
+	}
+	wg.Wait()
+	for i, err := range rebuildErrs {
+		if err != nil {
+			return fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+	}
+	// Every shard's durable seq record carries the global high-water mark,
+	// so any single surviving store is enough to never re-mint an id.
+	for _, m := range r.shards {
+		m.bumpSeq(maxSeq)
+	}
+	r.mu.Lock()
+	if maxSeq > r.seq {
+		r.seq = maxSeq
+	}
+	r.mu.Unlock()
+
+	// 4. Compact high-to-low, then drain the extras (see the doc comment
+	// for why this order is what makes a mid-migration crash recoverable).
+	for i := len(r.shards) - 1; i >= 0; i-- {
+		if err := r.shards[i].CompactStore(); err != nil {
+			return fmt.Errorf("serve: shard %d: compacting: %w", i, err)
+		}
+	}
+	for i, st := range extras {
+		if err := drainExtraStore(st, maxSeq); err != nil {
+			return fmt.Errorf("serve: draining extra store %d: %w", i, err)
+		}
+	}
+
+	r.control().rearmAutoRefits()
+	for i, m := range r.shards {
+		m.startMaintenance(stores[i])
+	}
+	return nil
+}
+
+// drainExtraStore compacts a store left behind by a previous, larger shard
+// count down to a single seq record: its sessions are durable at their new
+// homes by the time this runs, and the seq record keeps the directory
+// harmless (and the id high-water mark intact) if an operator ever points a
+// shard at it again.
+func drainExtraStore(st Store, maxSeq int) error {
+	raw, err := json.Marshal(seqRecord{Max: maxSeq})
+	if err != nil {
+		return err
+	}
+	return st.Compact([]store.Record{{Kind: kindSeq, Data: raw}})
+}
+
+// statsPayload assembles GET /api/stats for the sharded service: the same
+// top-level keys a single Manager emits (sessions, models, schedule_cache,
+// dp_solves, health, store — aggregated across shards) plus a "shards"
+// array with each shard's own counters, health, and store stats.
+func (r *Router) statsPayload() map[string]any {
+	payload := map[string]any{
+		"sessions":       r.Stats().Sessions,
+		"models":         r.ModelStats(),
+		"schedule_cache": policy.SharedCacheStats(),
+		"dp_solves":      collectDPSolveStats(),
+		"health":         r.Health(),
+	}
+	if st := r.StoreStats(); st != nil {
+		payload["store"] = st
+	}
+	shards := make([]map[string]any, len(r.shards))
+	for i, m := range r.shards {
+		sh := map[string]any{
+			"shard":    i,
+			"sessions": m.Stats().Sessions,
+			"health":   m.Health(),
+		}
+		if st := m.StoreStats(); st != nil {
+			sh["store"] = st
+		}
+		shards[i] = sh
+	}
+	payload["shards"] = shards
+	return payload
+}

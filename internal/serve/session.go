@@ -352,16 +352,37 @@ func (s *Session) Wait() {
 // (sessions restored from the store in a terminal state are born closed).
 func (s *Session) Done() <-chan struct{} { return s.done }
 
-// Manager owns all sessions in the process and the bounded worker pool
-// their runs execute on. Attaching a Store (see Restore) makes the session
+// modelResolver resolves a model reference ("name", "name@latest",
+// "name@vN") to a pinned version. The control-plane shard resolves against
+// its own *registry.Registry; every other shard resolves against the
+// read-only *registry.Replica the control plane replicates into, so the
+// session create path never takes a cross-shard lock.
+type modelResolver interface {
+	Resolve(ref string) (registry.Resolved, error)
+}
+
+// Manager owns one shard's sessions and the bounded worker pool their runs
+// execute on: its own session map, persist gate, store, and degraded-mode
+// state, so shards share nothing on the session hot path. A single Manager
+// is also a complete unsharded service (the Router with one shard is
+// exactly this). Attaching a Store (see Restore) makes the session
 // lifecycle durable across process restarts.
 type Manager struct {
 	models *modelCache
 	// registry is the online model registry: versioned, provenance-carrying
 	// models that sessions pin via SessionConfig.ModelRef and that learn
-	// from ingested preemption observations (see models.go).
+	// from ingested preemption observations (see models.go). In a sharded
+	// deployment only the control-plane shard's registry holds entries;
+	// the others resolve through their replica (see resolver).
 	registry *registry.Registry
-	sem      chan struct{}
+	// resolver is what session creation resolves ModelRefs against: the
+	// manager's own registry by default, a registry.Replica on non-control
+	// shards of a Router.
+	resolver modelResolver
+	// shard is this manager's index within its Router (0 for a standalone
+	// manager), used for logs and the per-shard stats payload.
+	shard int
+	sem   chan struct{}
 
 	// persistGate serializes persists against online compaction. Every
 	// persist-then-apply step read-locks it at its entry point — before
@@ -418,7 +439,7 @@ func NewManager(parallelism int) *Manager {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	return &Manager{
+	m := &Manager{
 		models:        newModelCache(),
 		registry:      registry.New(),
 		sem:           make(chan struct{}, parallelism),
@@ -429,6 +450,8 @@ func NewManager(parallelism int) *Manager {
 		compactCh:     make(chan struct{}, 1),
 		stopCh:        make(chan struct{}),
 	}
+	m.resolver = m.registry
+	return m
 }
 
 // SetMaxSessions bounds how many live (undeleted) sessions the manager
@@ -466,6 +489,15 @@ func ctxErr(ctx context.Context) error {
 // CreateCtx is Create honoring a request-scoped context: the deadline is
 // checked before the expensive model build and before the durable append.
 func (m *Manager) CreateCtx(ctx context.Context, name string, cfg SessionConfig) (*Session, error) {
+	return m.createSession(ctx, "", name, cfg)
+}
+
+// createSession builds and registers a session. With id == "" the manager
+// mints the next id from its own sequence (the standalone path); a Router
+// instead mints globally-sequential ids on its control plane and passes
+// them in, and the owning shard adopts the id into its sequence so each
+// shard's durable seq record preserves the global high-water mark.
+func (m *Manager) createSession(ctx context.Context, id, name string, cfg SessionConfig) (*Session, error) {
 	if err := m.admitSession(); err != nil {
 		return nil, err
 	}
@@ -481,13 +513,13 @@ func (m *Manager) CreateCtx(ctx context.Context, name string, cfg SessionConfig)
 		// concrete version it named: "name@latest" becomes "name@vN" in
 		// the session's status and durable record, so refits published
 		// after this moment never change what this session simulates.
-		res, err := m.registry.Resolve(cfg.ModelRef)
+		res, err := m.resolver.Resolve(cfg.ModelRef)
 		if err != nil {
 			return nil, errf(http.StatusBadRequest, "model_ref: %v", err)
 		}
 		cfg.ModelRef = res.Pinned
 	}
-	bcfg, err := cfg.build(m.models, m.registry)
+	bcfg, err := cfg.build(m.models, m.resolver)
 	if err != nil {
 		return nil, err
 	}
@@ -500,8 +532,15 @@ func (m *Manager) CreateCtx(ctx context.Context, name string, cfg SessionConfig)
 		return nil, err
 	}
 	m.mu.Lock()
-	m.seq++
-	id := ids.Padded("s-", m.seq, 3)
+	if id == "" {
+		m.seq++
+		id = ids.Padded("s-", m.seq, 3)
+	} else {
+		var n int
+		if _, err := fmt.Sscanf(id, "s-%d", &n); err == nil && n > m.seq {
+			m.seq = n
+		}
+	}
 	st := m.store
 	m.mu.Unlock()
 	s := &Session{

@@ -72,11 +72,20 @@ func (m *Manager) Sweep(req SweepRequest) (SweepReport, error) {
 }
 
 // SweepCtx runs the grid to completion and aggregates the results. Cells
-// are created and reported in grid order (vm_types outermost, policies
+// are created and reported in grid order (vm_types outermost, model refs
 // innermost), so the aggregation is order-stable regardless of which cell
 // finishes first. A cancelled ctx (client gone) stops creating new cells;
 // already-started cells run to completion as ordinary sessions.
 func (m *Manager) SweepCtx(ctx context.Context, req SweepRequest) (SweepReport, error) {
+	return sweepCtx(ctx, m, req)
+}
+
+// sweepCtx is the sweep body, written against the Backend interface so the
+// same grid walk serves both a single Manager and a Router — under a
+// Router each cell's create routes the cell to its id's home shard, so a
+// sweep's simulations spread across every shard's worker pool while the
+// aggregation stays in grid order.
+func sweepCtx(ctx context.Context, b Backend, req SweepRequest) (SweepReport, error) {
 	if len(req.VMTypes) == 0 {
 		return SweepReport{}, errf(http.StatusBadRequest, "sweep needs at least one vm_type")
 	}
@@ -133,12 +142,12 @@ func (m *Manager) SweepCtx(ctx context.Context, req SweepRequest) (SweepReport, 
 					if ref != "" {
 						cellName += "/" + ref
 					}
-					s, err := m.CreateCtx(ctx, cellName, cfg)
+					s, err := b.CreateCtx(ctx, cellName, cfg)
 					if err == nil {
 						_, _, err = s.SubmitBag(req.Bag)
 					}
 					if err == nil {
-						err = m.Run(s)
+						err = b.Run(s)
 					}
 					if err != nil {
 						cell.Error = err.Error()
@@ -147,7 +156,7 @@ func (m *Manager) SweepCtx(ctx context.Context, req SweepRequest) (SweepReport, 
 							// (and, with a store attached, durably persisted):
 							// the client only asked for the sweep's aggregate.
 							cell.SessionID = s.ID()
-							_ = m.Delete(s.ID())
+							_ = b.Delete(s.ID())
 						}
 					} else {
 						cell.SessionID = s.ID()
@@ -170,7 +179,7 @@ func (m *Manager) SweepCtx(ctx context.Context, req SweepRequest) (SweepReport, 
 		if cell.Error != "" {
 			continue
 		}
-		s, err := m.Get(cell.SessionID)
+		s, err := b.Get(cell.SessionID)
 		if err != nil {
 			cell.Error = err.Error()
 			continue

@@ -62,7 +62,7 @@ func TestSweepGridAggregation(t *testing.T) {
 			rep.Cells[0].Report.CostPerJob, rep.Cells[1].Report.CostPerJob)
 	}
 	// The sweep's sessions remain inspectable.
-	s, err := NewAPI(NewManager(1)).mgr.Get("s-001")
+	s, err := NewAPI(NewManager(1)).b.Get("s-001")
 	if err == nil {
 		t.Fatalf("fresh manager unexpectedly has sessions: %v", s.ID())
 	}

@@ -4,7 +4,7 @@
 # performance trajectory PR over PR. Also diffs two recorded baselines.
 #
 # Usage:
-#   scripts/bench.sh                 # default suite -> BENCH_PR6.json
+#   scripts/bench.sh                 # default suite -> BENCH_PR8.json
 #   scripts/bench.sh 'Benchmark.*'   # custom micro pattern (e.g. the full
 #                                    # figure suite; slow)
 #   scripts/bench.sh PATTERN OUT     # custom pattern and output file
@@ -29,13 +29,17 @@
 #     incremental), Monte Carlo kernels, and the online model registry
 #     (observation ingest into a hot drift detector, model_ref resolution)
 #   - service (internal/serve): end-to-end sessions/sec through the
-#     multi-session manager at parallelism 1 vs GOMAXPROCS, the
-#     process-wide schedule cache's hit rate, and the cold 3x3x2 sweep
-#     (18 sessions against an empty cache; dp_solves/op shows the planner
+#     multi-session manager at parallelism 1 vs GOMAXPROCS, the same
+#     workload through the sharded router at 1 vs 4 executor shards
+#     (persistence on, one WAL stream per shard), the process-wide
+#     schedule cache's hit rate, and the cold 3x3x2 sweep (18 sessions
+#     against an empty cache; dp_solves/op shows the planner
 #     singleflight collapsing the cells onto ~one DP build)
 #   - durability (internal/serve): store replay (sessions restored/sec
-#     when a manager boots from a snapshot+WAL data dir) and SSE fan-out
-#     (publish-side fan-out offers/sec to 1/16/256 subscribers)
+#     when a manager boots from a snapshot+WAL data dir), the same boot
+#     spread over four shard stores (Router.Restore parses and rebuilds
+#     shard-parallel), and SSE fan-out (publish-side offers/sec to
+#     1/16/256 subscribers)
 #
 # The JSON maps benchmark name -> {ns_per_op, bytes_per_op, allocs_per_op}
 # plus any custom metrics the benchmark reports (sessions_per_sec,
@@ -113,7 +117,7 @@ if [ "${1:-}" = "-compare" ]; then
 fi
 
 pattern="${1:-BenchmarkSample|BenchmarkDPSolve|BenchmarkMCMakespan|BenchmarkRegistryIngest|BenchmarkModelResolve}"
-out="${2:-BENCH_PR7.json}"
+out="${2:-BENCH_PR8.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 

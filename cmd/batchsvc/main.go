@@ -10,6 +10,8 @@
 //	         [-compact-bytes N] [-compact-records N]
 //	         [-max-sessions N] [-queue-depth N]
 //	         [-degraded-probe-interval D] [-shutdown-timeout D]
+//	         [-distribute] [-shard-port-base P]
+//	batchsvc -shard-server ADDR [-shard-index N] [-data-dir DIR] ...
 //
 // Each session carries its own configuration, so one process serves any
 // mix of VM types, zones, policies, and seeds:
@@ -67,6 +69,23 @@
 // consistent hash on their id; reports are byte-identical at any shard
 // count, and changing N between boots migrates only the minimal fraction
 // of sessions at restore.
+//
+// -distribute takes the shard boundary across processes: shard 0 (the
+// control plane) stays in this process, and shards 1..N-1 run as
+// supervised subprocesses (`batchsvc -shard-server`) on loopback ports
+// from -shard-port-base, each with its own WAL under DIR/shard-00i. The
+// supervisor health-checks each shard and restarts it if it crashes or
+// hangs — WAL replay makes the restart safe — while the router wraps every
+// cross-process call in deadlines, retries, and a per-shard circuit
+// breaker, and the registry replicates to the shards via a sequenced log
+// with catch-up on reconnect. A dead shard degrades its own sessions to
+// 503 (Retry-After set) and listings/stats/sweeps to partial results; the
+// other shards keep serving. See the README's "Distributed operation &
+// failure domains".
+//
+// -shard-server ADDR runs one such executor shard by hand (or under an
+// external process manager) serving the shard protocol on ADDR; point the
+// router process at it by running it with the same topology.
 package main
 
 import (
@@ -79,8 +98,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/exec"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -103,8 +124,8 @@ func main() {
 	pprofPort := flag.Int("pprof", 0,
 		"localhost port for the net/http/pprof profiling server (0: disabled)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 15*time.Second,
-		"graceful-drain window for HTTP shutdown and in-flight sessions; "+
-			"a second SIGINT/SIGTERM forces immediate exit")
+		"graceful-drain window for HTTP shutdown, in-flight sessions, and shard "+
+			"subprocesses; a second SIGINT/SIGTERM forces immediate exit")
 	segmentBytes := flag.Int64("wal-segment-bytes", 64<<20,
 		"rotate the WAL segment past this size (0: single unbounded segment)")
 	segmentRecords := flag.Int("wal-segment-records", 0,
@@ -123,9 +144,22 @@ func main() {
 		"session-executor shards; each owns its sessions, worker pool, and "+
 			"(with -data-dir) its own WAL under DIR/shard-00N; sessions are "+
 			"placed by consistent hash, so the count can change between boots")
+	distribute := flag.Bool("distribute", false,
+		"run shards 1..N-1 as supervised subprocesses (shard 0 stays in-process "+
+			"as the control plane); requires -shards > 1")
+	shardPortBase := flag.Int("shard-port-base", 18080,
+		"with -distribute, shard i listens on 127.0.0.1:(base+i)")
+	shardServer := flag.String("shard-server", "",
+		"run as a single shard-executor server on this address (serving the shard "+
+			"protocol for a -distribute router) instead of the public API")
+	shardIndex := flag.Int("shard-index", 0,
+		"with -shard-server, which router slot this shard serves (diagnostics only)")
 	flag.Parse()
 	if *shards < 1 {
 		log.Fatalf("batchsvc: -shards must be at least 1 (got %d)", *shards)
+	}
+	if *distribute && *shards < 2 {
+		log.Fatalf("batchsvc: -distribute needs -shards of at least 2 (got %d)", *shards)
 	}
 
 	policy.SetSharedCacheCapacity(*cacheCap)
@@ -148,36 +182,113 @@ func main() {
 			}
 		}()
 	}
-	mgr := serve.NewRouter(*shards, *parallelism)
+
+	storeOpts := store.Options{
+		SegmentMaxBytes:   *segmentBytes,
+		SegmentMaxRecords: *segmentRecords,
+		CompactAtBytes:    *compactBytes,
+		CompactAtRecords:  *compactRecords,
+	}
+	openShard := func(dir string) *store.Log {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatalf("batchsvc: creating store dir %s: %v", dir, err)
+		}
+		st, err := store.OpenOptions(dir, storeOpts)
+		if err != nil {
+			log.Fatalf("batchsvc: opening store %s: %v", dir, err)
+		}
+		return st
+	}
+
+	if *shardServer != "" {
+		runShardServer(shardServerConfig{
+			addr:            *shardServer,
+			index:           *shardIndex,
+			parallelism:     *parallelism,
+			dataDir:         *dataDir,
+			maxSessions:     *maxSessions,
+			queueDepth:      *queueDepth,
+			probeInterval:   *probeInterval,
+			shutdownTimeout: *shutdownTimeout,
+			openShard:       openShard,
+		})
+		return
+	}
+
+	// Build the shard topology: all-local by default; with -distribute,
+	// shards 1..N-1 live behind loopback addresses owned by the supervisor.
+	topology := make([]string, *shards)
+	var sup *serve.Supervisor
+	if *distribute {
+		for i := 1; i < *shards; i++ {
+			topology[i] = fmt.Sprintf("127.0.0.1:%d", *shardPortBase+i)
+		}
+		perParallelism := (*parallelism + *shards - 1) / *shards
+		perCap := func(n int) int {
+			if n <= 0 {
+				return 0
+			}
+			return (n + *shards - 1) / *shards
+		}
+		self, err := os.Executable()
+		if err != nil {
+			log.Fatalf("batchsvc: resolving own binary for shard spawn: %v", err)
+		}
+		spawn := func(j int, shardAddr string) *exec.Cmd {
+			shard := j + 1 // supervisor slot j supervises router shard j+1
+			args := []string{
+				"-shard-server", shardAddr,
+				"-shard-index", strconv.Itoa(shard),
+				"-parallelism", strconv.Itoa(perParallelism),
+				"-planner-parallelism", strconv.Itoa(*plannerParallelism),
+				"-schedule-cache-cap", strconv.Itoa(*cacheCap),
+				"-max-sessions", strconv.Itoa(perCap(*maxSessions)),
+				"-queue-depth", strconv.Itoa(perCap(*queueDepth)),
+				"-degraded-probe-interval", probeInterval.String(),
+				"-shutdown-timeout", shutdownTimeout.String(),
+				"-wal-segment-bytes", strconv.FormatInt(*segmentBytes, 10),
+				"-wal-segment-records", strconv.Itoa(*segmentRecords),
+				"-compact-bytes", strconv.FormatInt(*compactBytes, 10),
+				"-compact-records", strconv.Itoa(*compactRecords),
+			}
+			if *dataDir != "" {
+				args = append(args, "-data-dir", store.ShardDir(*dataDir, shard))
+			}
+			cmd := exec.Command(self, args...)
+			cmd.Stdout = os.Stdout
+			cmd.Stderr = os.Stderr
+			return cmd
+		}
+		sup = serve.NewSupervisor(topology[1:], spawn, nil)
+		if err := sup.Start(); err != nil {
+			log.Fatalf("batchsvc: starting shard processes: %v", err)
+		}
+		log.Printf("batchsvc: supervising %d shard processes (ports %d-%d)",
+			*shards-1, *shardPortBase+1, *shardPortBase+*shards-1)
+	}
+	mgr, err := serve.NewRouterTopology(topology, *parallelism, nil)
+	if err != nil {
+		log.Fatalf("batchsvc: %v", err)
+	}
 	mgr.SetMaxSessions(*maxSessions)
 	mgr.SetQueueDepth(*queueDepth)
 	mgr.SetProbeInterval(*probeInterval)
 	if *dataDir != "" {
-		opts := store.Options{
-			SegmentMaxBytes:   *segmentBytes,
-			SegmentMaxRecords: *segmentRecords,
-			CompactAtBytes:    *compactBytes,
-			CompactAtRecords:  *compactRecords,
-		}
-		openShard := func(dir string) *store.Log {
-			if err := os.MkdirAll(dir, 0o755); err != nil {
-				log.Fatalf("batchsvc: creating store dir %s: %v", dir, err)
-			}
-			st, err := store.OpenOptions(dir, opts)
-			if err != nil {
-				log.Fatalf("batchsvc: opening store %s: %v", dir, err)
-			}
-			return st
-		}
 		stores := make([]serve.Store, *shards)
 		for i := range stores {
+			if topology[i] != "" {
+				// A remote shard replays its own WAL in its own process.
+				continue
+			}
 			st := openShard(store.ShardDir(*dataDir, i))
 			defer st.Close()
 			stores[i] = st
 		}
 		// Shard dirs beyond the configured count belong to a previous boot
 		// with more shards: their sessions are re-homed into the live shards
-		// and the stores drained, so shrinking -shards loses nothing.
+		// and the stores drained, so shrinking -shards loses nothing. Sessions
+		// can only be re-homed into local shards, so a distributed boot
+		// refuses the migration rather than doing it half-way.
 		extraIdx, err := store.FindShardDirs(*dataDir)
 		if err != nil {
 			log.Fatalf("batchsvc: %v", err)
@@ -186,6 +297,11 @@ func main() {
 		for _, i := range extraIdx {
 			if i < *shards {
 				continue
+			}
+			if *distribute {
+				log.Fatalf("batchsvc: %s holds shard dirs beyond -shards %d; "+
+					"boot all-local (without -distribute) once to migrate the topology change",
+					*dataDir, *shards)
 			}
 			st := openShard(store.ShardDir(*dataDir, i))
 			defer st.Close()
@@ -197,6 +313,12 @@ func main() {
 		if n := len(mgr.List()); n > 0 {
 			log.Printf("batchsvc: restored %d sessions from %s (%d shards)", n, *dataDir, *shards)
 		}
+	}
+	if *distribute {
+		// Converge before serving: adopt the shards' restored id high-water
+		// marks and push them the registry state, so the first request never
+		// races the first replication tick.
+		mgr.SyncRemotes()
 	}
 	defer mgr.Close()
 	// Every request context derives from connCtx, so cancelling it before
@@ -221,6 +343,9 @@ func main() {
 
 	select {
 	case err := <-errc:
+		if sup != nil {
+			sup.Kill()
+		}
 		log.Fatalf("batchsvc: %v", err)
 	case <-ctx.Done():
 	}
@@ -235,6 +360,11 @@ func main() {
 	go func() {
 		<-force
 		log.Print("batchsvc: second signal; forcing exit")
+		if sup != nil {
+			// Reap the shard fleet before dying: a forced exit must not leave
+			// orphaned shard processes holding their ports.
+			sup.Kill()
+		}
 		os.Exit(1)
 	}()
 	closeConns() // end SSE streams so Shutdown isn't pinned by them
@@ -253,5 +383,93 @@ func main() {
 	case <-time.After(*shutdownTimeout):
 		log.Printf("batchsvc: sessions still running after %s; exiting anyway", *shutdownTimeout)
 	}
+	if sup != nil {
+		// Shard processes drain last: their own SIGTERM handlers run the same
+		// graceful path this process just finished, and the supervisor reaps
+		// every child (killing stragglers past the window) so no zombies and
+		// no orphaned listeners survive this exit.
+		drainCtx, cancelDrain := context.WithTimeout(context.Background(), *shutdownTimeout)
+		sup.Stop(drainCtx)
+		cancelDrain()
+	}
 	log.Print("batchsvc: bye")
+}
+
+// shardServerConfig carries the -shard-server flag set.
+type shardServerConfig struct {
+	addr            string
+	index           int
+	parallelism     int
+	dataDir         string
+	maxSessions     int
+	queueDepth      int
+	probeInterval   time.Duration
+	shutdownTimeout time.Duration
+	openShard       func(dir string) *store.Log
+}
+
+// runShardServer is the -shard-server mode: one executor shard (a Manager
+// resolving models against a replication-fed replica) serving the shard
+// protocol, with the same durable store and graceful-drain behavior as the
+// full service. The router process supervises this one and replays the
+// registry to it; WAL replay on restart makes a crash here a contained
+// fault, not a data loss.
+func runShardServer(cfg shardServerConfig) {
+	m := serve.NewShardManager(cfg.parallelism)
+	m.SetShardIndex(cfg.index)
+	m.SetMaxSessions(cfg.maxSessions)
+	m.SetQueueDepth(cfg.queueDepth)
+	m.SetProbeInterval(cfg.probeInterval)
+	if cfg.dataDir != "" {
+		st := cfg.openShard(cfg.dataDir)
+		defer st.Close()
+		if err := m.Restore(st); err != nil {
+			log.Fatalf("batchsvc[shard %d]: restoring: %v", cfg.index, err)
+		}
+		if n := len(m.List()); n > 0 {
+			log.Printf("batchsvc[shard %d]: restored %d sessions from %s", cfg.index, n, cfg.dataDir)
+		}
+	}
+	defer m.Close()
+	connCtx, closeConns := context.WithCancel(context.Background())
+	defer closeConns()
+	srv := &http.Server{
+		Addr:        cfg.addr,
+		Handler:     serve.ShardHandler(m),
+		BaseContext: func(net.Listener) context.Context { return connCtx },
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("batchsvc[shard %d]: serving shard protocol on %s (parallelism %d)",
+			cfg.index, cfg.addr, cfg.parallelism)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("batchsvc[shard %d]: %v", cfg.index, err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("batchsvc[shard %d]: shutting down (drain up to %s)", cfg.index, cfg.shutdownTimeout)
+	stop()
+	closeConns()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("batchsvc[shard %d]: shutdown: %v", cfg.index, err)
+	}
+	done := make(chan struct{})
+	go func() { m.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(cfg.shutdownTimeout):
+		log.Printf("batchsvc[shard %d]: sessions still running after %s; exiting anyway",
+			cfg.index, cfg.shutdownTimeout)
+	}
+	log.Printf("batchsvc[shard %d]: bye", cfg.index)
 }

@@ -1,0 +1,214 @@
+// Package faultnet is the injectable transport seam of the distributed
+// serving tier — the network mirror of internal/faultfs. It wraps an
+// http.RoundTripper with scriptable failure rules (error, delay, drop,
+// partition) and a trip log, so every cross-shard failure mode the remote
+// backend must survive — timeouts, connection resets, black holes, full
+// partitions — is reproducible in a test instead of waiting for a flaky
+// network to produce it.
+//
+// The shape is deliberately identical to faultfs: Script replaces the rule
+// set, Add appends, Clear heals everything, rules match by request
+// attributes with After/Count windows, the first rule that fires wins, and
+// every fired rule is recorded as a Trip. A RemoteBackend built with a
+// faultnet-wrapped client sees injected failures exactly where a real
+// deployment would: at the transport, below retries and the circuit
+// breaker, so those layers are exercised rather than bypassed.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error for rules that do not set one.
+var ErrInjected = errors.New("injected network fault")
+
+// ErrPartitioned is the error Partition's rules return: the host is
+// unreachable, as a dropped route would present.
+var ErrPartitioned = errors.New("injected network partition")
+
+// Rule matches requests and describes the fault to inject. Zero-valued
+// match fields match everything, so the zero Rule fails every request.
+type Rule struct {
+	// Method matches the HTTP method exactly ("" matches all).
+	Method string
+	// Host matches the request URL's host exactly ("" matches all).
+	Host string
+	// Path substring-matches the URL path ("" matches all).
+	Path string
+	// After skips the first After matching requests before firing.
+	After int
+	// Count fires at most Count times (0: unlimited).
+	Count int
+	// Err is the transport error to return (default ErrInjected). A rule
+	// with only Delay set injects latency and lets the request through.
+	Err error
+	// Delay is slept (respecting the request context) before the fault —
+	// or before the passthrough, for latency-only rules.
+	Delay time.Duration
+	// Drop black-holes the request: it blocks until the request context
+	// is done and returns its error, modeling a connection that never
+	// answers — the case per-op deadlines exist for.
+	Drop bool
+
+	seen  int // matching requests observed
+	fired int // faults injected
+}
+
+// latencyOnly reports whether the rule only injects delay and should let
+// the request proceed to the real transport.
+func (r *Rule) latencyOnly() bool {
+	return r.Err == nil && !r.Drop && r.Delay > 0
+}
+
+// Trip records one fired rule.
+type Trip struct {
+	Method string
+	URL    string
+	Err    error
+}
+
+// Injector is a scriptable http.RoundTripper. The zero value is not
+// usable; build one with Wrap.
+type Injector struct {
+	inner http.RoundTripper
+
+	mu    sync.Mutex
+	rules []*Rule
+	trips []Trip
+}
+
+// Wrap returns an Injector delegating to inner (nil: the default
+// transport) with no rules — all requests pass through until scripted.
+func Wrap(inner http.RoundTripper) *Injector {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Injector{inner: inner}
+}
+
+// Client returns an *http.Client routed through the injector — the usual
+// way tests hand the seam to a RemoteBackend.
+func (in *Injector) Client() *http.Client {
+	return &http.Client{Transport: in}
+}
+
+// Script replaces the rule set. Rule match counters start fresh.
+func (in *Injector) Script(rules ...Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = make([]*Rule, len(rules))
+	for i := range rules {
+		r := rules[i]
+		in.rules[i] = &r
+	}
+}
+
+// Add appends one rule to the current script.
+func (in *Injector) Add(r Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, &r)
+}
+
+// Clear heals the network: removes every rule. The trip log is retained
+// so tests can assert on faults injected before the heal.
+func (in *Injector) Clear() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = nil
+}
+
+// Partition makes host unreachable until Heal(host) or Clear: every
+// request to it fails immediately with ErrPartitioned.
+func (in *Injector) Partition(host string) {
+	in.Add(Rule{Host: host, Err: ErrPartitioned})
+}
+
+// Heal removes every rule scoped to host, reconnecting it. Rules that
+// match all hosts are left in place.
+func (in *Injector) Heal(host string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	kept := in.rules[:0]
+	for _, r := range in.rules {
+		if r.Host != host {
+			kept = append(kept, r)
+		}
+	}
+	in.rules = kept
+}
+
+// Trips returns a copy of the fault log in injection order.
+func (in *Injector) Trips() []Trip {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Trip(nil), in.trips...)
+}
+
+// check finds the first firing rule for the request, advancing match
+// counters and logging the trip. It returns nil when no rule fires.
+func (in *Injector) check(req *http.Request) *Rule {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, r := range in.rules {
+		if r.Method != "" && r.Method != req.Method {
+			continue
+		}
+		if r.Host != "" && r.Host != req.URL.Host {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(req.URL.Path, r.Path) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		r.fired++
+		err := r.Err
+		if err == nil && !r.latencyOnly() {
+			err = ErrInjected
+		}
+		in.trips = append(in.trips, Trip{Method: req.Method, URL: req.URL.String(), Err: err})
+		return r
+	}
+	return nil
+}
+
+// RoundTrip implements http.RoundTripper: consult the script, inject the
+// chosen fault (or latency), and otherwise delegate to the real transport.
+func (in *Injector) RoundTrip(req *http.Request) (*http.Response, error) {
+	r := in.check(req)
+	if r == nil {
+		return in.inner.RoundTrip(req)
+	}
+	if r.Delay > 0 {
+		select {
+		case <-time.After(r.Delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if r.Drop {
+		// A black hole answers nothing: hold the request until the
+		// caller's deadline gives up on it.
+		<-req.Context().Done()
+		return nil, fmt.Errorf("faultnet: dropped request: %w", req.Context().Err())
+	}
+	if r.latencyOnly() {
+		return in.inner.RoundTrip(req)
+	}
+	err := r.Err
+	if err == nil {
+		err = ErrInjected
+	}
+	return nil, err
+}

@@ -1,0 +1,180 @@
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// get issues one GET through a client built on the injector.
+func get(t *testing.T, in *Injector, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in.Client().Do(req)
+}
+
+func TestPassthroughWithoutRules(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	in := Wrap(nil)
+	resp, err := get(t, in, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("body = %q, want ok", body)
+	}
+	if got := len(in.Trips()); got != 0 {
+		t.Fatalf("passthrough logged %d trips", got)
+	}
+}
+
+func TestErrorRuleMatchesMethodAndPath(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	in := Wrap(nil)
+	boom := errors.New("boom")
+	in.Script(Rule{Method: http.MethodPost, Path: "/api/sessions", Err: boom})
+
+	// A GET to the matched path passes: the method does not match.
+	if _, err := get(t, in, srv.URL+"/api/sessions"); err != nil {
+		t.Fatalf("GET should pass the POST-only rule: %v", err)
+	}
+	// The matching POST fails with the scripted error.
+	_, err := in.Client().Post(srv.URL+"/api/sessions", "application/json", strings.NewReader("{}"))
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("POST error = %v, want boom", err)
+	}
+	trips := in.Trips()
+	if len(trips) != 1 || trips[0].Method != http.MethodPost || !errors.Is(trips[0].Err, boom) {
+		t.Fatalf("trips = %+v, want one POST boom", trips)
+	}
+}
+
+func TestAfterAndCountWindows(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	in := Wrap(nil)
+	in.Script(Rule{After: 1, Count: 2})
+
+	var failures int
+	for i := 0; i < 5; i++ {
+		if resp, err := get(t, in, srv.URL); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("request %d: error = %v, want ErrInjected", i, err)
+			}
+			failures++
+		} else {
+			resp.Body.Close()
+		}
+	}
+	// Request 0 is skipped by After, 1 and 2 fire, 3-4 pass (Count spent).
+	if failures != 2 {
+		t.Fatalf("failures = %d, want 2", failures)
+	}
+	if got := len(in.Trips()); got != 2 {
+		t.Fatalf("trips = %d, want 2", got)
+	}
+}
+
+func TestLatencyOnlyRulePassesThrough(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "slow ok")
+	}))
+	defer srv.Close()
+	in := Wrap(nil)
+	in.Script(Rule{Delay: 30 * time.Millisecond})
+	start := time.Now()
+	resp, err := get(t, in, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("latency rule added only %s", elapsed)
+	}
+}
+
+func TestDropBlocksUntilDeadline(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	in := Wrap(nil)
+	in.Script(Rule{Drop: true})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = in.Client().Do(req)
+	if err == nil {
+		t.Fatal("dropped request succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("dropped request error = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("drop returned after %s, before the deadline", elapsed)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	host := strings.TrimPrefix(srv.URL, "http://")
+	other := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer other.Close()
+
+	in := Wrap(nil)
+	in.Partition(host)
+	if _, err := get(t, in, srv.URL); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("partitioned host error = %v, want ErrPartitioned", err)
+	}
+	// Other hosts are unaffected by a scoped partition.
+	if resp, err := get(t, in, other.URL); err != nil {
+		t.Fatalf("unpartitioned host: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	in.Heal(host)
+	if resp, err := get(t, in, srv.URL); err != nil {
+		t.Fatalf("healed host: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+func TestFirstFiringRuleWins(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	first := errors.New("first")
+	second := errors.New("second")
+	in := Wrap(nil)
+	in.Script(Rule{Err: first}, Rule{Err: second})
+	if _, err := get(t, in, srv.URL); !errors.Is(err, first) {
+		t.Fatalf("error = %v, want the first rule's", err)
+	}
+	in.Clear()
+	if resp, err := get(t, in, srv.URL); err != nil {
+		t.Fatalf("after Clear: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	// Clear retains the log for post-heal assertions.
+	if got := len(in.Trips()); got != 1 {
+		t.Fatalf("trips after Clear = %d, want 1", got)
+	}
+}

@@ -1,0 +1,164 @@
+package registry
+
+import (
+	"testing"
+)
+
+func logTestParams(tau1 float64) Params {
+	return Params{A: 0.45, Tau1: tau1, Tau2: 0.8, B: 24, L: 24}
+}
+
+func logTestUpdate(t *testing.T, name string, nversions int) Update {
+	t.Helper()
+	u := Update{Name: name, Scenario: Scenario{VMType: "n1-highcpu-16", Zone: "us-east1-b"}}
+	for i := 0; i < nversions; i++ {
+		p := logTestParams(1.0 + 0.1*float64(i))
+		m, err := p.Model()
+		if err != nil {
+			t.Fatal(err)
+		}
+		u.Versions = append(u.Versions, Version{
+			Number:     i + 1,
+			Provenance: Provenance{Family: "manual", Params: p, Source: "register"},
+		})
+		u.Models = append(u.Models, m)
+	}
+	return u
+}
+
+func TestLogAppendAndSince(t *testing.T) {
+	l := NewLog()
+	epoch, seq := l.Cursor()
+	if epoch == 0 || seq != 0 {
+		t.Fatalf("fresh log cursor = (%d, %d), want nonzero epoch and seq 0", epoch, seq)
+	}
+	e1 := l.Append(logTestUpdate(t, "alpha", 1))
+	e2 := l.Append(logTestUpdate(t, "beta", 1))
+	if e1.Seq != 1 || e2.Seq != 2 {
+		t.Fatalf("seqs = %d, %d, want 1, 2", e1.Seq, e2.Seq)
+	}
+	// A second mutation of alpha supersedes its earlier entry: Since(0)
+	// returns one entry per name, at the latest seq.
+	e3 := l.Append(logTestUpdate(t, "alpha", 2))
+	all := l.Since(0)
+	if len(all) != 2 {
+		t.Fatalf("Since(0) = %d entries, want 2", len(all))
+	}
+	if all[0].Name != "beta" || all[1].Name != "alpha" || all[1].Seq != e3.Seq {
+		t.Fatalf("Since(0) = %+v, want beta then alpha@seq%d", all, e3.Seq)
+	}
+	if len(all[1].Versions) != 2 {
+		t.Fatalf("superseded alpha carries %d versions, want 2", len(all[1].Versions))
+	}
+	// A replica caught up through beta only needs alpha's latest state.
+	delta := l.Since(e2.Seq)
+	if len(delta) != 1 || delta[0].Name != "alpha" {
+		t.Fatalf("Since(%d) = %+v, want just alpha", e2.Seq, delta)
+	}
+	if delta := l.Since(e3.Seq); len(delta) != 0 {
+		t.Fatalf("Since(head) = %+v, want empty", delta)
+	}
+}
+
+func TestReplicaApplyEntryCatchUp(t *testing.T) {
+	l := NewLog()
+	epoch, _ := l.Cursor()
+	l.Append(logTestUpdate(t, "alpha", 1))
+	e2 := l.Append(logTestUpdate(t, "alpha", 2))
+
+	rep := NewReplica()
+	for _, e := range l.Since(0) {
+		if err := rep.ApplyEntry(epoch, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	repEpoch, repSeq := rep.Cursor()
+	if repEpoch != epoch || repSeq != e2.Seq {
+		t.Fatalf("replica cursor = (%d, %d), want (%d, %d)", repEpoch, repSeq, epoch, e2.Seq)
+	}
+	res, err := rep.Resolve("alpha@latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pinned != "alpha@v2" || res.Model == nil {
+		t.Fatalf("resolved %q (model %v), want alpha@v2 with a rebuilt model", res.Pinned, res.Model)
+	}
+
+	// A duplicate push within the epoch is a no-op, and a stale entry (lower
+	// seq, e.g. redelivered after the catch-up already applied a newer one)
+	// must not roll the version list back.
+	stale := LogEntry{Seq: 1, Name: "alpha", Scenario: res.Scenario,
+		Versions: l.Since(0)[0].Versions[:1]}
+	if err := rep.ApplyEntry(epoch, stale); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := rep.Resolve("alpha"); err != nil || res.Pinned != "alpha@v2" {
+		t.Fatalf("after stale redelivery: %q, %v, want alpha@v2 intact", res.Pinned, err)
+	}
+}
+
+func TestReplicaEpochChangeForcesResync(t *testing.T) {
+	// Control plane life 1.
+	l1 := NewLog()
+	epoch1, _ := l1.Cursor()
+	e := l1.Append(logTestUpdate(t, "alpha", 2))
+	rep := NewReplica()
+	if err := rep.ApplyEntry(epoch1, e); err != nil {
+		t.Fatal(err)
+	}
+
+	// Life 2 rebuilds the log from its WAL: fresh epoch, renumbered seqs.
+	// The replica's old cursor (seq 1 of epoch 1) must not suppress the new
+	// epoch's seq-1 entry.
+	epoch2 := epoch1 + 1
+	resync := LogEntry{Seq: 1, Name: "alpha", Scenario: Scenario{VMType: "n1-highcpu-16", Zone: "us-east1-b"},
+		Versions: e.Versions}
+	if err := rep.ApplyEntry(epoch2, resync); err != nil {
+		t.Fatal(err)
+	}
+	gotEpoch, gotSeq := rep.Cursor()
+	if gotEpoch != epoch2 || gotSeq != 1 {
+		t.Fatalf("cursor after epoch change = (%d, %d), want (%d, 1)", gotEpoch, gotSeq, epoch2)
+	}
+	if res, err := rep.Resolve("alpha"); err != nil || res.Pinned != "alpha@v2" {
+		t.Fatalf("post-resync resolve = %q, %v", res.Pinned, err)
+	}
+}
+
+func TestReplicaSnapshotRoundTrip(t *testing.T) {
+	l := NewLog()
+	epoch, _ := l.Cursor()
+	l.Append(logTestUpdate(t, "beta", 1))
+	l.Append(logTestUpdate(t, "alpha", 2))
+	rep := NewReplica()
+	for _, e := range l.Since(0) {
+		if err := rep.ApplyEntry(epoch, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snapEpoch, entries := rep.Snapshot()
+	if snapEpoch != epoch {
+		t.Fatalf("snapshot epoch = %d, want %d", snapEpoch, epoch)
+	}
+	if len(entries) != 2 || entries[0].Name != "alpha" || entries[1].Name != "beta" {
+		t.Fatalf("snapshot = %+v, want alpha, beta in name order", entries)
+	}
+
+	// A restarted shard rebuilds its replica from the snapshot and reports
+	// the same cursor — so catch-up after the restart is the true delta.
+	rep2 := NewReplica()
+	for _, e := range entries {
+		if err := rep2.ApplyEntry(snapEpoch, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e1, s1 := rep.Cursor()
+	e2, s2 := rep2.Cursor()
+	if e1 != e2 || s1 != s2 {
+		t.Fatalf("rebuilt cursor = (%d, %d), want (%d, %d)", e2, s2, e1, s1)
+	}
+	if res, err := rep2.Resolve("alpha@v1"); err != nil || res.Pinned != "alpha@v1" {
+		t.Fatalf("rebuilt resolve = %q, %v", res.Pinned, err)
+	}
+}

@@ -62,11 +62,15 @@ func (r *Registry) notify(e *entry) {
 	})
 }
 
-// replicaEntry is one entry's replicated resolution state.
+// replicaEntry is one entry's replicated resolution state. seq is the
+// replication-log sequence number that produced this state (zero for
+// entries applied through the in-process Apply fan-out, which carries no
+// log positions).
 type replicaEntry struct {
 	scenario Scenario
 	versions []Version
 	models   []*core.Model
+	seq      uint64
 }
 
 // Replica is a read-only replicated view of a Registry, sufficient to
@@ -76,6 +80,10 @@ type replicaEntry struct {
 type Replica struct {
 	mu      sync.RWMutex
 	entries map[string]*replicaEntry
+	// epoch/seq is the replication-log cursor of the last ApplyEntry push
+	// (zero for replicas fed purely by the in-process fan-out).
+	epoch uint64
+	seq   uint64
 }
 
 // NewReplica returns an empty replica; wire it to a control-plane registry

@@ -168,9 +168,16 @@ func (a *API) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handleList(w http.ResponseWriter, r *http.Request) {
-	out := []SessionStatus{}
-	for _, s := range a.b.List() {
-		out = append(out, s.Status())
+	sessions, shardErrs := a.b.ListPartial()
+	out := listResponse{Sessions: []SessionStatus{}}
+	for _, s := range sessions {
+		out.Sessions = append(out.Sessions, s.Status())
+	}
+	if len(shardErrs) > 0 {
+		// Partial-results contract: the reachable shards' sessions still
+		// list, with one error entry per shard that could not answer.
+		out.Partial = true
+		out.Errors = shardErrs
 	}
 	writeJSON(w, http.StatusOK, out)
 }

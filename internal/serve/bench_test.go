@@ -1,10 +1,13 @@
 package serve
 
 import (
+	"net/http"
 	"os"
 	"runtime"
 	"sync"
+	"syscall"
 	"testing"
+	"time"
 
 	"repro/internal/batch"
 	"repro/internal/policy"
@@ -148,6 +151,86 @@ func BenchmarkServiceSessionsSharded1(b *testing.B) { benchSessionsSharded(b, 1)
 // BenchmarkServiceSessionsSharded4 runs the same workload across four
 // shards with four independent WAL streams.
 func BenchmarkServiceSessionsSharded4(b *testing.B) { benchSessionsSharded(b, 4) }
+
+// BenchmarkServiceSessionsRemote runs the sharded workload with the second
+// shard across a real process boundary: a loopback shard subprocess (the
+// re-exec'd test binary, booted outside the timer) behind a RemoteBackend.
+// The timed path is therefore the shard protocol itself — JSON bodies over
+// loopback HTTP, long-poll completion waits — on top of the same planner
+// work, so the gap to BenchmarkServiceSessionsSharded1 is the transport
+// cost of distribution. In-process slots pay none of it: sessions placed
+// on shard 0 never see a socket.
+func BenchmarkServiceSessionsRemote(b *testing.B) {
+	const batchSize = 8
+	par := runtime.GOMAXPROCS(0)
+	par = (par + 1) / 2 * 2
+	policy.ResetSharedCache()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		addr := freeAddr(b)
+		cmd := shardSpawn(addr, "")(0, addr)
+		if err := cmd.Start(); err != nil {
+			b.Fatal(err)
+		}
+		waitShardReady(b, addr)
+		r, err := NewRouterTopology([]string{"", addr}, par, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		sessions := make([]*Session, batchSize)
+		for j := range sessions {
+			s, err := r.Create("", ckptBenchConfig(uint64(j+1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := s.SubmitBag(BagRequest{App: "shapes", Jobs: 10, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+			if err := r.Run(s); err != nil {
+				b.Fatal(err)
+			}
+			sessions[j] = s
+		}
+		r.Wait()
+		for _, s := range sessions {
+			if _, err := s.Report(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		r.Close()
+		cmd.Process.Signal(syscall.SIGTERM)
+		cmd.Wait()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N*batchSize)/sec, "sessions/sec")
+	}
+}
+
+// waitShardReady polls the shard subprocess's ping endpoint until it
+// answers, so process boot never lands inside a timed section.
+func waitShardReady(b *testing.B, addr string) {
+	b.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/shard/ping")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("shard subprocess on %s never became ready", addr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
 
 // BenchmarkStoreRestore measures crash-recovery speed: a data directory is
 // seeded once with completed sessions, then each iteration boots a fresh

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Circuit breaker for one remote shard. Every RemoteBackend call consults
+// it: while closed, calls pass and transport outcomes are recorded; after
+// threshold consecutive transport failures it opens and calls fail fast
+// (no connection attempt, no per-op timeout burned) until cooldown passes;
+// then one half-open probe is let through — success closes the breaker,
+// failure reopens it for another cooldown. Only transport-level failures
+// (dial errors, timeouts, injected faults) count: an HTTP error status is
+// proof the shard is alive and serving, whatever it thought of the request.
+
+// Breaker state names, as reported in stats payloads and shard errors.
+const (
+	breakerClosed   = "closed"
+	breakerOpen     = "open"
+	breakerHalfOpen = "half-open"
+)
+
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    string
+	failures int       // consecutive transport failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, state: breakerClosed}
+}
+
+// allow reports whether a call may proceed. In the open state it flips to
+// half-open once the cooldown has passed, admitting exactly one probe; the
+// probe's success or failure decides the next state.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a completed transport exchange (any HTTP status).
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// failure records a transport failure. A failed half-open probe reopens
+// immediately; a closed breaker opens after threshold consecutive failures.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.probing = false
+		return
+	}
+	b.failures++
+	if b.state == breakerClosed && b.failures >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+	}
+}
+
+// State returns the current state name, resolving an expired open state to
+// half-open so observers see what the next call would experience.
+func (b *breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerOpen && time.Since(b.openedAt) >= b.cooldown {
+		return breakerHalfOpen
+	}
+	return b.state
+}

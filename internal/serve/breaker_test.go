@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// Breaker unit tests: the closed -> open -> half-open -> closed/open walk,
+// independent of any transport.
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := newBreaker(3, time.Hour)
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker refused call %d", i)
+		}
+		b.failure()
+		if got := b.State(); got != breakerClosed {
+			t.Fatalf("after %d failures state = %s, want closed", i+1, got)
+		}
+	}
+	b.failure()
+	if got := b.State(); got != breakerOpen {
+		t.Fatalf("after threshold failures state = %s, want open", got)
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := newBreaker(3, time.Hour)
+	b.failure()
+	b.failure()
+	b.success()
+	b.failure()
+	b.failure()
+	if got := b.State(); got != breakerClosed {
+		t.Fatalf("state = %s after interleaved successes; the streak must be consecutive", got)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := newBreaker(1, 10*time.Millisecond)
+	b.failure()
+	if got := b.State(); got != breakerOpen {
+		t.Fatalf("state = %s, want open", got)
+	}
+	time.Sleep(15 * time.Millisecond)
+	if got := b.State(); got != breakerHalfOpen {
+		t.Fatalf("state after cooldown = %s, want half-open", got)
+	}
+	if !b.allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	// Exactly one probe: a second concurrent call is rejected while the
+	// first is in flight.
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	// Probe failure reopens immediately for another cooldown.
+	b.failure()
+	if got := b.State(); got != breakerOpen {
+		t.Fatalf("state after failed probe = %s, want open", got)
+	}
+	if b.allow() {
+		t.Fatal("reopened breaker admitted a call before its new cooldown")
+	}
+	time.Sleep(15 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("breaker refused the second probe after its cooldown")
+	}
+	b.success()
+	if got := b.State(); got != breakerClosed {
+		t.Fatalf("state after successful probe = %s, want closed", got)
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker refused a call")
+	}
+}

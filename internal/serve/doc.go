@@ -7,12 +7,15 @@
 // The package splits into two layers. A Manager is one session-executor
 // shard: it owns a session map, a bounded worker pool, a persistence gate,
 // and (optionally) a store — a single Manager is also a complete unsharded
-// service. A Router is the thin stateless layer above N Managers: it mints
-// globally-sequential session ids, places each session on a shard by
+// service. A Router is the thin stateless layer above N shard slots: it
+// mints globally-sequential session ids, places each session on a shard by
 // consistent hash on its id, scatter-gathers the cross-shard reads, and
-// fans registry commits out to per-shard read replicas. Both implement the
-// Backend interface that API serves, so the HTTP layer is identical at any
-// shard count.
+// fans registry commits out to per-shard read replicas. A slot is either a
+// Manager in the router's own process or a RemoteBackend speaking the
+// shard protocol to a Manager in another process — the router cannot tell
+// the difference, and both Manager and Router implement the Backend
+// interface that API serves, so the HTTP layer is identical at any shard
+// count and any local/remote mix.
 //
 // # Sessions
 //
@@ -93,15 +96,61 @@
 //
 // The model registry stays a single control plane on shard 0; every commit
 // (create, publish, refit, restore) fans out synchronously to read-only
-// replicas on the other shards, so model_ref resolution at session-create
-// time never takes a cross-shard lock. Model registration and refit go
-// through the control plane; resolution is shard-local everywhere.
+// replicas on local shards, so model_ref resolution at session-create
+// time never takes a cross-shard lock. For remote shards the fan-out rides
+// a sequence-numbered replication log (registry.Log): each commit appends
+// an entry and wakes a per-shard replicator that pushes the delta past the
+// shard's acknowledged cursor; a shard that was unreachable — or that just
+// restarted — catches up on reconnect by replaying everything after its
+// cursor (or the full latest-per-name snapshot across an epoch change).
+// Model registration and refit go through the control plane; resolution is
+// shard-local everywhere.
 //
 // Cross-shard reads scatter-gather: GET /api/sessions merges per-shard
 // listings back into global id order, POST /api/sweep spreads its grid
 // cells across shards and aggregates in grid order, and GET /api/stats sums
 // per-shard counters under backward-compatible top-level keys while adding
-// a per-shard breakdown in a "shards" array.
+// a per-shard breakdown in a "shards" array. Scatter-gather is partial by
+// design: an unreachable shard removes only its own rows — the listing and
+// stats responses mark themselves "partial": true and carry one error entry
+// per failed shard (with its breaker state), sweeps record per-cell errors
+// and set SweepReport.Partial, and the aggregate health degrades naming the
+// shard, so one dead shard narrows answers instead of failing them.
+//
+// # Remote shards
+//
+// NewRouterTopology generalizes NewRouter: each topology slot is "" for an
+// in-process Manager or an address for a remote shard — a Manager in
+// another process serving ShardHandler (what `batchsvc -shard-server`
+// runs). Slot 0 is always local, because it hosts the control plane. The
+// shard protocol is the public /api surface itself — every proxied session
+// operation hits exactly the handlers a client would — plus a small /shard
+// namespace for what the public API deliberately lacks: creates under a
+// router-minted id, bounded long-polls standing in for the local Wait
+// channels, a liveness ping, a stats/cursor snapshot, and the replication
+// push.
+//
+// A RemoteBackend wraps each remote slot with the failure discipline the
+// in-process path never needed. Every operation carries a per-op deadline.
+// Idempotent operations (reads, deletes, waits) retry transient transport
+// failures with exponential backoff plus jitter; creates and other
+// non-idempotent calls never retry — the caller gets an immediate 503 with
+// Retry-After and decides. A per-shard circuit breaker trips open after a
+// run of consecutive transport failures, fails calls fast without touching
+// the network while open, and re-admits one probe after a cooldown
+// (half-open) — success closes it, failure re-opens it. Only transport
+// failures count: an HTTP error status is the shard alive and answering,
+// passed through verbatim and never retried. All of this is exercised
+// under injected faults via internal/faultnet, the network seam mirroring
+// internal/faultfs.
+//
+// In distributed mode (`batchsvc -distribute`), a Supervisor owns the
+// shard subprocesses: it spawns them, health-checks each with periodic
+// pings, SIGKILLs and respawns (with linear backoff) any that exit or stop
+// answering, and on shutdown fans SIGTERM out and reaps every child —
+// process death is a restart, not an outage, because the shard's WAL
+// replay (Manager.Restore) brings every session back byte-identically and
+// the supervisor's restart closes the loop end to end.
 //
 // # Persistence
 //
@@ -127,6 +176,13 @@
 // session is always durable at its new home before the old home drops it —
 // a crash mid-migration at worst leaves a duplicate record, resolved at the
 // next boot by first-occurrence-wins.
+//
+// With remote slots, each shard process owns its own store: the router's
+// Restore takes nil at remote indices and the shard server replays its WAL
+// itself before listening. Shard-count migration needs every store in one
+// process, so it requires an all-local boot; a distributed boot whose data
+// dir holds sessions homed on remote slots (or leftover extra stores)
+// refuses to start rather than silently strand them.
 //
 // # HTTP API
 //

@@ -20,6 +20,11 @@ import (
 // called to release the subscription). Waiting on Done alongside the
 // channel tells the consumer when the stream is over.
 func (s *Session) Subscribe() (<-chan batch.Progress, func()) {
+	if s.remote != nil {
+		// A proxy subscribes by opening the shard's own SSE stream and
+		// relaying its frames with the same latest-wins semantics.
+		return s.remote.subscribe()
+	}
 	ch := make(chan batch.Progress, 1)
 	s.mu.Lock()
 	if s.subs == nil {

@@ -54,6 +54,13 @@ const (
 	// kindNoop is appended by the degraded-mode probe to verify the store
 	// accepts writes again; replay ignores it (unknown-session skip path).
 	kindNoop = "noop"
+
+	// kindReplica records one replicated registry log entry on a remote
+	// shard (see shardapi.go): a warm-start cache so a restarted shard can
+	// resolve pinned model references before the control plane reconnects
+	// and replays the delta. Compaction collapses it to the replica's
+	// current snapshot, one record per entry.
+	kindReplica = "replica"
 )
 
 // modelCreateRecord is the payload of a kindModelCreate record; the
@@ -69,6 +76,15 @@ type modelCreateRecord struct {
 // batch, in ingest order, so replay reproduces the detector's windows.
 type modelObsRecord struct {
 	Lifetimes []float64 `json:"lifetimes"`
+}
+
+// replicaRecord is the payload of a kindReplica record: one registry log
+// entry under the control-plane epoch that pushed it. The record ID
+// carries the entry name, so the latest record per name wins on replay
+// (ApplyEntry's seq comparison makes redundant replays no-ops).
+type replicaRecord struct {
+	Epoch uint64            `json:"epoch"`
+	Entry registry.LogEntry `json:"entry"`
 }
 
 // seqRecord is the payload of a kindSeq record: the highest session id
@@ -216,6 +232,7 @@ type parsedStore struct {
 	sessions map[string]*pendingSession
 	order    []string
 	models   []store.Record
+	replicas []store.Record
 	maxSeq   int
 }
 
@@ -238,6 +255,9 @@ func parseStoreRecords(recs []store.Record) (*parsedStore, error) {
 			continue
 		case kindModelCreate, kindModelVersion, kindModelObs, kindModelState:
 			ps.models = append(ps.models, rec)
+			continue
+		case kindReplica:
+			ps.replicas = append(ps.replicas, rec)
 			continue
 		}
 		p := ps.sessions[rec.ID]
@@ -343,6 +363,40 @@ func (m *Manager) applyModelRecords(recs []store.Record) error {
 			if err := m.registry.RestoreEntry(st); err != nil {
 				return fmt.Errorf("serve: restoring model %s: %w", rec.ID, err)
 			}
+		}
+	}
+	return nil
+}
+
+// persistReplicaEntry best-effort records one replicated registry entry.
+// The replica already applied it — this write only warms the next boot, so
+// a failure (degraded store, no store at all) is logged and swallowed
+// rather than failing the replication push.
+func (m *Manager) persistReplicaEntry(epoch uint64, e registry.LogEntry) {
+	m.mu.Lock()
+	st := m.store
+	m.mu.Unlock()
+	if st == nil {
+		return
+	}
+	defer m.rlockPersistGate()()
+	if _, err := st.Append(kindReplica, e.Name, replicaRecord{Epoch: epoch, Entry: e}); err != nil {
+		log.Printf("serve: shard %d: persisting replica entry %s: %v", m.shard, e.Name, err)
+	}
+}
+
+// applyReplicaRecords replays persisted replication records into the
+// shard's replica, in log order: redundant records (an entry recorded at
+// several seqs before compaction collapsed them) are deduplicated by
+// ApplyEntry's cursor comparison.
+func (m *Manager) applyReplicaRecords(recs []store.Record) error {
+	for _, rec := range recs {
+		var rr replicaRecord
+		if err := json.Unmarshal(rec.Data, &rr); err != nil {
+			return fmt.Errorf("serve: corrupt replica record for %s: %w", rec.ID, err)
+		}
+		if err := m.replica.ApplyEntry(rr.Epoch, rr.Entry); err != nil {
+			return fmt.Errorf("serve: restoring replica entry %s: %w", rec.ID, err)
 		}
 	}
 	return nil
@@ -460,6 +514,14 @@ func (m *Manager) Restore(st Store) error {
 	}
 	if err := m.applyModelRecords(ps.models); err != nil {
 		return err
+	}
+	if m.replica != nil {
+		// A remote shard warm-starts its replicated registry view from the
+		// log, so restored sessions' pinned references resolve before the
+		// control plane reconnects and pushes the delta.
+		if err := m.applyReplicaRecords(ps.replicas); err != nil {
+			return err
+		}
 	}
 	if err := m.rebuildAll(ps.sessions, ps.order); err != nil {
 		return err
@@ -585,6 +647,16 @@ func (m *Manager) CompactStore() error {
 	for _, st := range m.registry.Snapshot() {
 		if err := appendRec(kindModelState, st.Name, st); err != nil {
 			return err
+		}
+	}
+	// A remote shard's replicated registry view compacts to one record per
+	// entry at the replica's current cursor.
+	if m.replica != nil {
+		epoch, entries := m.replica.Snapshot()
+		for _, e := range entries {
+			if err := appendRec(kindReplica, e.Name, replicaRecord{Epoch: epoch, Entry: e}); err != nil {
+				return err
+			}
 		}
 	}
 	for _, s := range m.List() {

@@ -1,0 +1,749 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/registry"
+	"repro/internal/store"
+)
+
+// This file implements the client half of the shard protocol: a
+// RemoteBackend speaks to one shard process (a Manager behind ShardHandler,
+// see shardapi.go) and presents it as a Backend, so a Router can mix local
+// and remote shards behind the unchanged HTTP API. Every call is a
+// supervised failure domain: a per-op deadline bounds how long a hung shard
+// can hold a request, idempotent operations (reads, stats, health) retry
+// with exponential backoff and jitter, and a per-shard circuit breaker
+// fails fast while the shard is down instead of burning a deadline per
+// call. Transport failures surface as 503 apiErrors wrapping
+// ErrShardUnavailable, with Retry-After set — the same backpressure shape
+// degraded mode uses, so clients need one retry discipline, not two.
+
+// ErrShardUnavailable marks operations that failed because a remote shard
+// could not be reached (transport failure, timeout, or an open circuit
+// breaker). It is wrapped in a 503 apiError with Retry-After.
+var ErrShardUnavailable = errors.New("shard unavailable")
+
+// ShardError describes one shard's failure during a scatter-gather
+// operation, for partial-result payloads.
+type ShardError struct {
+	Shard int    `json:"shard"`
+	Error string `json:"error"`
+	// Breaker is the failing shard's circuit-breaker state, when the shard
+	// is remote ("closed", "open", "half-open").
+	Breaker string `json:"breaker,omitempty"`
+}
+
+// RemoteOptions tunes a RemoteBackend's failure handling. The zero value
+// of any field selects its default.
+type RemoteOptions struct {
+	// Client issues the HTTP requests (default: a dedicated client; tests
+	// inject a faultnet-wrapped one here).
+	Client *http.Client
+	// OpTimeout is the per-attempt deadline for unary operations (default
+	// 5s). Long-polls and event streams set their own.
+	OpTimeout time.Duration
+	// Retries is how many times idempotent operations are retried after a
+	// transport failure (default 3; mutations never retry).
+	Retries int
+	// RetryBase is the base backoff delay, doubled per retry with jitter
+	// (default 50ms).
+	RetryBase time.Duration
+	// BreakerThreshold is how many consecutive transport failures open the
+	// circuit breaker (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before admitting a
+	// half-open probe (default 1s).
+	BreakerCooldown time.Duration
+}
+
+func (o RemoteOptions) withDefaults() RemoteOptions {
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.OpTimeout <= 0 {
+		o.OpTimeout = 5 * time.Second
+	}
+	if o.Retries == 0 {
+		o.Retries = 3
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 50 * time.Millisecond
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = time.Second
+	}
+	return o
+}
+
+// RemoteBackend is a Backend proxy for one shard process reachable at an
+// HTTP address. It implements the same interface a local Manager does, so
+// a Router treats local and remote shards uniformly; sessions it returns
+// are thin proxies whose methods are remote calls.
+type RemoteBackend struct {
+	base    string
+	client  *http.Client
+	opts    RemoteOptions
+	breaker *breaker
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+}
+
+var _ Backend = (*RemoteBackend)(nil)
+
+// NewRemoteBackend returns a backend proxying to the shard server at addr
+// (host:port or a full http:// URL).
+func NewRemoteBackend(addr string, opts *RemoteOptions) *RemoteBackend {
+	var o RemoteOptions
+	if opts != nil {
+		o = *opts
+	}
+	o = o.withDefaults()
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &RemoteBackend{
+		base:     strings.TrimSuffix(addr, "/"),
+		client:   o.Client,
+		opts:     o,
+		breaker:  newBreaker(o.BreakerThreshold, o.BreakerCooldown),
+		sessions: make(map[string]*Session),
+	}
+}
+
+// Addr returns the shard server's base URL.
+func (rb *RemoteBackend) Addr() string { return rb.base }
+
+// BreakerState reports the circuit breaker's current state.
+func (rb *RemoteBackend) BreakerState() string { return rb.breaker.State() }
+
+// shardUnavailableRetryAfter is the Retry-After hint on 503s for an
+// unreachable shard: the supervisor's restart loop typically has the shard
+// back within a second or two.
+const shardUnavailableRetryAfter = 1
+
+func shardUnavailable(err error) error {
+	return &apiError{
+		code:       http.StatusServiceUnavailable,
+		retryAfter: shardUnavailableRetryAfter,
+		err:        err,
+	}
+}
+
+// errorBody is the stable {"error": ...} payload every error response from
+// this package carries.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// do issues one unary call with the default per-op timeout.
+func (rb *RemoteBackend) do(ctx context.Context, method, path string, in, out any, idempotent bool) error {
+	return rb.doTimeout(ctx, method, path, in, out, idempotent, rb.opts.OpTimeout)
+}
+
+// doTimeout issues method path with a JSON body (in, nil for none),
+// decoding a 2xx response into out (nil to discard). Each attempt runs
+// under its own deadline and must pass the circuit breaker; transport
+// failures count against the breaker and — for idempotent operations —
+// are retried with exponential backoff and jitter. An HTTP error status is
+// a shard-made decision, not a transport failure: it is returned as an
+// apiError with the shard's code and never retried.
+func (rb *RemoteBackend) doTimeout(ctx context.Context, method, path string, in, out any, idempotent bool, timeout time.Duration) error {
+	var body []byte
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return errf(http.StatusInternalServerError, "encoding %s %s request: %v", method, path, err)
+		}
+		body = raw
+	}
+	attempts := 1
+	if idempotent {
+		// Retries < 0 (an explicit "no retries" in tests) clamps to one
+		// attempt; the zero value means "default", resolved in withDefaults.
+		attempts = max(1, 1+rb.opts.Retries)
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			// Exponential backoff with jitter: base*2^(attempt-1) plus up to
+			// half of itself again, so a thundering herd of retries spreads.
+			d := rb.opts.RetryBase << (attempt - 1)
+			d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return shardUnavailable(fmt.Errorf("shard %s: %v: %w", rb.base, ctx.Err(), ErrShardUnavailable))
+			}
+		}
+		if !rb.breaker.allow() {
+			lastErr = fmt.Errorf("shard %s: circuit breaker open: %w", rb.base, ErrShardUnavailable)
+			continue
+		}
+		err := rb.attempt(ctx, method, path, body, out, timeout)
+		if err == nil {
+			return nil
+		}
+		var ae *apiError
+		if errors.As(err, &ae) && !errors.Is(err, ErrShardUnavailable) {
+			// The shard answered; its verdict stands.
+			return err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break // the caller is gone; retries would outlive the request
+		}
+	}
+	if _, ok := lastErr.(*apiError); ok {
+		return lastErr
+	}
+	return shardUnavailable(lastErr)
+}
+
+// attempt is one transport exchange under its own deadline. It reports the
+// outcome to the circuit breaker.
+func (rb *RemoteBackend) attempt(ctx context.Context, method, path string, body []byte, out any, timeout time.Duration) error {
+	opCtx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	var reader *bytes.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
+	} else {
+		reader = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequestWithContext(opCtx, method, rb.base+path, reader)
+	if err != nil {
+		return errf(http.StatusInternalServerError, "building %s %s: %v", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rb.client.Do(req)
+	if err != nil {
+		rb.breaker.failure()
+		return fmt.Errorf("shard %s: %s %s: %v: %w", rb.base, method, path, err, ErrShardUnavailable)
+	}
+	defer resp.Body.Close()
+	// Any HTTP status is a live shard: the transport worked.
+	rb.breaker.success()
+	if resp.StatusCode >= 400 {
+		var eb errorBody
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		retryAfter := 0
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			retryAfter, _ = strconv.Atoi(ra)
+		}
+		return &apiError{code: resp.StatusCode, retryAfter: retryAfter, err: errors.New(msg)}
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return shardUnavailable(fmt.Errorf("shard %s: decoding %s %s response: %v: %w",
+				rb.base, method, path, err, ErrShardUnavailable))
+		}
+	}
+	return nil
+}
+
+// proxy returns the cached session proxy for st.ID, creating it on first
+// sight and folding the fresher status into it either way.
+func (rb *RemoteBackend) proxy(st SessionStatus) *Session {
+	rb.mu.Lock()
+	s := rb.sessions[st.ID]
+	if s == nil {
+		p := &remoteSession{rb: rb, id: st.ID, last: st, done: make(chan struct{})}
+		if st.State.terminal() {
+			p.closed = true
+			close(p.done)
+		}
+		s = &Session{id: st.ID, remote: p}
+		rb.sessions[st.ID] = s
+	}
+	rb.mu.Unlock()
+	s.remote.update(st)
+	return s
+}
+
+// forget drops a deleted session's proxy.
+func (rb *RemoteBackend) forget(id string) {
+	rb.mu.Lock()
+	s := rb.sessions[id]
+	delete(rb.sessions, id)
+	rb.mu.Unlock()
+	if s != nil {
+		s.remote.markDone()
+	}
+}
+
+// Create builds a session on the shard (the shard mints the id).
+func (rb *RemoteBackend) Create(name string, cfg SessionConfig) (*Session, error) {
+	return rb.CreateCtx(context.Background(), name, cfg)
+}
+
+// CreateCtx builds a session on the shard; the shard mints the id from its
+// own sequence. Creates are not idempotent and never retried.
+func (rb *RemoteBackend) CreateCtx(ctx context.Context, name string, cfg SessionConfig) (*Session, error) {
+	var st SessionStatus
+	if err := rb.do(ctx, http.MethodPost, "/api/sessions", createRequest{Name: name, Config: cfg}, &st, false); err != nil {
+		return nil, err
+	}
+	return rb.proxy(st), nil
+}
+
+// createSession builds a session under a router-minted id — the shard-slot
+// half of the protocol (POST /shard/sessions).
+func (rb *RemoteBackend) createSession(ctx context.Context, id, name string, cfg SessionConfig) (*Session, error) {
+	var st SessionStatus
+	req := shardCreateRequest{ID: id, Name: name, Config: cfg}
+	if err := rb.do(ctx, http.MethodPost, "/shard/sessions", req, &st, false); err != nil {
+		return nil, err
+	}
+	return rb.proxy(st), nil
+}
+
+// Get fetches a session's status and returns its proxy.
+func (rb *RemoteBackend) Get(id string) (*Session, error) {
+	var st SessionStatus
+	if err := rb.do(context.Background(), http.MethodGet, "/api/sessions/"+id, nil, &st, true); err != nil {
+		return nil, err
+	}
+	return rb.proxy(st), nil
+}
+
+// listResponse is the GET /api/sessions payload.
+type listResponse struct {
+	Sessions []SessionStatus `json:"sessions"`
+	Partial  bool            `json:"partial,omitempty"`
+	Errors   []ShardError    `json:"errors,omitempty"`
+}
+
+// listSessions fetches the shard's sessions in creation order.
+func (rb *RemoteBackend) listSessions() ([]*Session, error) {
+	var out listResponse
+	if err := rb.do(context.Background(), http.MethodGet, "/api/sessions", nil, &out, true); err != nil {
+		return nil, err
+	}
+	sessions := make([]*Session, len(out.Sessions))
+	for i, st := range out.Sessions {
+		sessions[i] = rb.proxy(st)
+	}
+	return sessions, nil
+}
+
+// List returns the shard's sessions, empty if unreachable (use ListPartial
+// to distinguish).
+func (rb *RemoteBackend) List() []*Session {
+	sessions, _ := rb.ListPartial()
+	return sessions
+}
+
+// ListPartial returns the shard's sessions, with the failure as a
+// ShardError (index -1: a standalone RemoteBackend has no shard table)
+// when it cannot be reached.
+func (rb *RemoteBackend) ListPartial() ([]*Session, []ShardError) {
+	sessions, err := rb.listSessions()
+	if err != nil {
+		return nil, []ShardError{{Shard: -1, Error: err.Error(), Breaker: rb.BreakerState()}}
+	}
+	return sessions, nil
+}
+
+// Delete removes a session on the shard.
+func (rb *RemoteBackend) Delete(id string) error {
+	if err := rb.do(context.Background(), http.MethodDelete, "/api/sessions/"+id, nil, nil, false); err != nil {
+		return err
+	}
+	rb.forget(id)
+	return nil
+}
+
+// Cancel aborts a running session on the shard.
+func (rb *RemoteBackend) Cancel(id string) error {
+	return rb.do(context.Background(), http.MethodPost, "/api/sessions/"+id+"/cancel", nil, nil, false)
+}
+
+// Run starts the session on the shard's worker pool.
+func (rb *RemoteBackend) Run(s *Session) error {
+	return rb.do(context.Background(), http.MethodPost, "/api/sessions/"+s.ID()+"/run", nil, nil, false)
+}
+
+// SweepCtx runs the sweep grid against this shard alone.
+func (rb *RemoteBackend) SweepCtx(ctx context.Context, req SweepRequest) (SweepReport, error) {
+	return sweepCtx(ctx, rb, req)
+}
+
+// Model operations proxy to the shard's registry endpoints. Under a Router
+// these are never reached (model ops go to the local control plane); they
+// exist so a RemoteBackend is a complete Backend on its own.
+
+func (rb *RemoteBackend) RegisterModel(req ModelCreateRequest) (registry.Info, error) {
+	var info registry.Info
+	err := rb.do(context.Background(), http.MethodPost, "/api/models", req, &info, false)
+	return info, err
+}
+
+func (rb *RemoteBackend) Models() []registry.Info {
+	var out []registry.Info
+	if err := rb.do(context.Background(), http.MethodGet, "/api/models", nil, &out, true); err != nil {
+		return nil
+	}
+	return out
+}
+
+func (rb *RemoteBackend) ModelInfo(name string) (registry.Info, error) {
+	var info registry.Info
+	err := rb.do(context.Background(), http.MethodGet, "/api/models/"+name, nil, &info, true)
+	return info, err
+}
+
+func (rb *RemoteBackend) IngestObservations(name string, lifetimes []float64) (registry.IngestResult, error) {
+	var res registry.IngestResult
+	err := rb.do(context.Background(), http.MethodPost, "/api/models/"+name+"/observations",
+		ObservationsRequest{Lifetimes: lifetimes}, &res, false)
+	return res, err
+}
+
+func (rb *RemoteBackend) RefitModel(name, source string) (registry.Version, error) {
+	var v registry.Version
+	err := rb.do(context.Background(), http.MethodPost, "/api/models/"+name+"/refit", nil, &v, false)
+	return v, err
+}
+
+// shardInfo fetches the shard's health and counters (GET /shard/info).
+func (rb *RemoteBackend) shardInfo() (ShardInfo, error) {
+	var info ShardInfo
+	err := rb.do(context.Background(), http.MethodGet, "/shard/info", nil, &info, true)
+	return info, err
+}
+
+// pushReplication sends a batch of registry log entries to the shard's
+// replica (POST /shard/replication). Applying entries is idempotent (the
+// replica's cursor arithmetic skips duplicates), so the push retries like
+// a read.
+func (rb *RemoteBackend) pushReplication(epoch uint64, entries []registry.LogEntry) (replicationAck, error) {
+	var ack replicationAck
+	err := rb.do(context.Background(), http.MethodPost, "/shard/replication",
+		replicationPush{Epoch: epoch, Entries: entries}, &ack, true)
+	return ack, err
+}
+
+// waitPollTimeout is the long-poll window for Wait and session watches; the
+// per-attempt client deadline adds OpTimeout of slack on top.
+const waitPollTimeout = 30 * time.Second
+
+// Wait blocks until the shard reports its started runs have finished, or
+// until it has been unreachable for several polls (a dead shard has nothing
+// left to wait for in this process).
+func (rb *RemoteBackend) Wait() {
+	failures := 0
+	for {
+		var out struct {
+			Idle bool `json:"idle"`
+		}
+		path := fmt.Sprintf("/shard/wait?timeout_ms=%d", waitPollTimeout.Milliseconds())
+		err := rb.doTimeout(context.Background(), http.MethodGet, path, nil, &out, true, waitPollTimeout+rb.opts.OpTimeout)
+		if err != nil {
+			failures++
+			if failures >= 3 {
+				return
+			}
+			time.Sleep(rb.opts.BreakerCooldown)
+			continue
+		}
+		failures = 0
+		if out.Idle {
+			return
+		}
+	}
+}
+
+// Close releases client resources and ends session watches. The shard
+// process itself is owned by its supervisor, not the backend.
+func (rb *RemoteBackend) Close() {
+	rb.mu.Lock()
+	sessions := make([]*Session, 0, len(rb.sessions))
+	for _, s := range rb.sessions {
+		sessions = append(sessions, s)
+	}
+	rb.mu.Unlock()
+	for _, s := range sessions {
+		s.remote.markDone()
+	}
+	rb.client.CloseIdleConnections()
+}
+
+// statsPayload proxies the shard's own stats payload.
+func (rb *RemoteBackend) statsPayload() map[string]any {
+	var out map[string]any
+	if err := rb.do(context.Background(), http.MethodGet, "/api/stats", nil, &out, true); err != nil {
+		return map[string]any{
+			"error":   err.Error(),
+			"breaker": rb.BreakerState(),
+		}
+	}
+	return out
+}
+
+// remoteSession is the state behind a remote session proxy: the last
+// status observed from the shard and a locally-managed done channel fed by
+// a lazy long-poll watcher. Terminal statuses are cached forever — a
+// finished session's state cannot change, so proxies serve it without
+// another round trip.
+type remoteSession struct {
+	rb *RemoteBackend
+	id string
+
+	mu       sync.Mutex
+	last     SessionStatus
+	closed   bool
+	watching bool
+	done     chan struct{}
+}
+
+// update folds a fresher status into the cache; a terminal state closes
+// the done channel.
+func (p *remoteSession) update(st SessionStatus) {
+	p.mu.Lock()
+	if !p.last.State.terminal() {
+		p.last = st
+	}
+	terminal := p.last.State.terminal()
+	p.mu.Unlock()
+	if terminal {
+		p.markDone()
+	}
+}
+
+// markDone closes the done channel once.
+func (p *remoteSession) markDone() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.done)
+	}
+	p.mu.Unlock()
+}
+
+// status returns the session's current status: the cached copy for
+// terminal sessions, a fresh fetch otherwise — falling back to the cache
+// when the shard is unreachable, so Status (which cannot return an error)
+// degrades to last-known rather than fabricating state.
+func (p *remoteSession) status() SessionStatus {
+	p.mu.Lock()
+	last := p.last
+	p.mu.Unlock()
+	if last.State.terminal() {
+		return last
+	}
+	var st SessionStatus
+	if err := p.rb.do(context.Background(), http.MethodGet, "/api/sessions/"+p.id, nil, &st, true); err != nil {
+		return last
+	}
+	p.update(st)
+	return st
+}
+
+func (p *remoteSession) submitBag(req BagRequest) (int, float64, error) {
+	var out struct {
+		Submitted   int     `json:"submitted"`
+		MeanRuntime float64 `json:"mean_runtime"`
+	}
+	err := p.rb.do(context.Background(), http.MethodPost, "/api/sessions/"+p.id+"/bags", req, &out, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	p.mu.Lock()
+	p.last.JobsSubmitted += out.Submitted
+	p.mu.Unlock()
+	return out.Submitted, out.MeanRuntime, nil
+}
+
+func (p *remoteSession) estimate(req BagRequest) (batch.Estimate, error) {
+	// The estimate endpoint's payload maps the struct by hand (the batch
+	// type carries no tags), so the proxy reverses the same four keys.
+	var out struct {
+		IdealMakespan     float64 `json:"ideal_makespan_hours"`
+		ExpectedMakespan  float64 `json:"expected_makespan_hours"`
+		PerJobFailureProb float64 `json:"per_job_failure_prob"`
+		ExpectedCost      float64 `json:"expected_cost_usd"`
+	}
+	err := p.rb.do(context.Background(), http.MethodPost, "/api/sessions/"+p.id+"/estimate", req, &out, false)
+	if err != nil {
+		return batch.Estimate{}, err
+	}
+	return batch.Estimate{
+		IdealMakespan:     out.IdealMakespan,
+		ExpectedMakespan:  out.ExpectedMakespan,
+		PerJobFailureProb: out.PerJobFailureProb,
+		ExpectedCost:      out.ExpectedCost,
+	}, nil
+}
+
+func (p *remoteSession) report() (batch.Report, error) {
+	var rep batch.Report
+	err := p.rb.do(context.Background(), http.MethodGet, "/api/sessions/"+p.id+"/report", nil, &rep, true)
+	return rep, err
+}
+
+func (p *remoteSession) jobs() ([]batch.JobStatus, error) {
+	var jobs []batch.JobStatus
+	err := p.rb.do(context.Background(), http.MethodGet, "/api/sessions/"+p.id+"/jobs", nil, &jobs, true)
+	return jobs, err
+}
+
+func (p *remoteSession) vms() ([]VMState, error) {
+	var vms []VMState
+	err := p.rb.do(context.Background(), http.MethodGet, "/api/sessions/"+p.id+"/vms", nil, &vms, true)
+	return vms, err
+}
+
+// doneChan returns the done channel, starting the long-poll watcher on
+// first use — most sessions are created, run, and polled without anyone
+// ever blocking on completion, so the watch connection is lazy.
+func (p *remoteSession) doneChan() <-chan struct{} {
+	p.mu.Lock()
+	start := !p.watching && !p.closed
+	if start {
+		p.watching = true
+	}
+	p.mu.Unlock()
+	if start {
+		go p.watch()
+	}
+	return p.done
+}
+
+// watchGiveUpAfter bounds consecutive watch failures before the proxy
+// declares the wait over: a waiter must not hang forever on a shard that
+// never comes back. The session may still be running — callers that then
+// fetch its report get the shard's own answer (or a 503).
+const watchGiveUpAfter = 20
+
+// watch long-polls the shard until the session is terminal, the session
+// disappears, or the shard stays unreachable past the give-up budget.
+func (p *remoteSession) watch() {
+	failures := 0
+	for {
+		p.mu.Lock()
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return
+		}
+		var out struct {
+			Done   bool           `json:"done"`
+			Status *SessionStatus `json:"status,omitempty"`
+		}
+		path := fmt.Sprintf("/shard/sessions/%s/wait?timeout_ms=%d", p.id, waitPollTimeout.Milliseconds())
+		err := p.rb.doTimeout(context.Background(), http.MethodGet, path, nil, &out, true, waitPollTimeout+p.rb.opts.OpTimeout)
+		if err != nil {
+			if code := httpCode(err); code == http.StatusNotFound || code == http.StatusGone {
+				// The session is gone (deleted, or lost with a shard store):
+				// the wait is over even though no terminal state was seen.
+				p.markDone()
+				return
+			}
+			failures++
+			if failures >= watchGiveUpAfter {
+				p.markDone()
+				return
+			}
+			// An open breaker fails fast; pace the loop so it doesn't spin.
+			d := p.rb.opts.RetryBase << min(failures, 5)
+			time.Sleep(min(d, 2*time.Second))
+			continue
+		}
+		failures = 0
+		if out.Done {
+			if out.Status != nil {
+				p.update(*out.Status)
+			}
+			p.markDone()
+			return
+		}
+	}
+}
+
+// subscribe opens the shard's SSE stream for this session and adapts it to
+// the local subscription shape (buffer-1 latest-wins channel, unsubscribe
+// func). The stream bypasses the breaker — it is a long-lived connection,
+// not a unary call — and a failed stream simply ends the subscription, as
+// a disconnected local subscriber would.
+func (p *remoteSession) subscribe() (<-chan batch.Progress, func()) {
+	ch := make(chan batch.Progress, 1)
+	p.mu.Lock()
+	if pr := p.last.Progress; pr != nil {
+		ch <- *pr
+	}
+	p.mu.Unlock()
+	ctx, cancel := context.WithCancel(context.Background())
+	go p.stream(ctx, ch)
+	return ch, cancel
+}
+
+// stream reads SSE frames from the shard and fans progress into ch.
+func (p *remoteSession) stream(ctx context.Context, ch chan batch.Progress) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.rb.base+"/api/sessions/"+p.id+"/events", nil)
+	if err != nil {
+		return
+	}
+	resp, err := p.rb.client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := []byte(strings.TrimPrefix(line, "data: "))
+			switch event {
+			case "progress":
+				var prog batch.Progress
+				if json.Unmarshal(data, &prog) == nil {
+					offerLatest(ch, prog)
+				}
+			case "state":
+				var st SessionStatus
+				if json.Unmarshal(data, &st) == nil {
+					if st.Progress != nil {
+						offerLatest(ch, *st.Progress)
+					}
+					p.update(st)
+					if st.State.terminal() {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// remoteStoreStats converts a ShardInfo's store block for aggregation.
+func (info ShardInfo) storeStats() *store.Stats { return info.Store }

@@ -1,0 +1,522 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/ids"
+	"repro/internal/placement"
+)
+
+// Remote-shard tests: a RemoteBackend over the shard protocol must be
+// observationally identical to a local Manager slot — same ids, same
+// byte-identical reports — while every cross-process failure mode
+// (injected via faultnet) degrades to fast, partial, retryable answers
+// instead of hangs or wrong results.
+
+// startShard brings up one shard server (a Manager behind ShardHandler) on
+// a loopback httptest listener.
+func startShard(t *testing.T, parallelism int) (*Manager, *httptest.Server) {
+	t.Helper()
+	m := NewShardManager(parallelism)
+	m.SetShardIndex(1)
+	srv := httptest.NewServer(ShardHandler(m))
+	t.Cleanup(func() {
+		srv.Close()
+		m.Close()
+	})
+	return m, srv
+}
+
+// fastRemoteOptions keeps failure paths quick under test: short op
+// timeouts, millisecond backoff, and a breaker that trips after 3
+// consecutive transport failures.
+func fastRemoteOptions(client *http.Client) *RemoteOptions {
+	return &RemoteOptions{
+		Client:           client,
+		OpTimeout:        2 * time.Second,
+		Retries:          -1, // opt out per test; retry tests override
+		RetryBase:        time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  50 * time.Millisecond,
+	}
+}
+
+// hostOf strips the scheme from an httptest server URL, for faultnet's
+// host-scoped partition rules.
+func hostOf(srv *httptest.Server) string {
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+// TestRemoteShardReportsByteIdentical is the tentpole equivalence gate
+// across the process boundary: the same create sequence yields the same
+// ids and byte-identical reports whether the second shard is an in-process
+// Manager or a remote shard server.
+func TestRemoteShardReportsByteIdentical(t *testing.T) {
+	const n = 6
+	baseline := runFleet(t, NewRouter(2, 2), n)
+
+	_, srv := startShard(t, 2)
+	r, err := NewRouterTopology([]string{"", srv.URL}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	mixed := runFleet(t, r, n)
+
+	if len(mixed) != n {
+		t.Fatalf("mixed topology ran %d sessions, want %d", len(mixed), n)
+	}
+	sawRemote := false
+	for id, want := range baseline {
+		if got := mixed[id]; got != want {
+			t.Errorf("session %s: remote-shard report differs:\n  %s\nvs\n  %s", id, got, want)
+		}
+		if placement.Shard(id, 2) == 1 {
+			sawRemote = true
+		}
+	}
+	if !sawRemote {
+		t.Fatal("no session homed on the remote shard; equivalence untested")
+	}
+	// The remote sessions really live in the shard server, not the router.
+	if got := len(r.Shard(0).List()); got >= n {
+		t.Fatalf("control shard holds %d sessions; remote shard got none", got)
+	}
+}
+
+// TestRemoteRetriesIdempotentOnly checks the retry discipline: reads retry
+// through transient transport faults; creates never do.
+func TestRemoteRetriesIdempotentOnly(t *testing.T) {
+	_, srv := startShard(t, 2)
+	inj := faultnet.Wrap(nil)
+	opts := fastRemoteOptions(inj.Client())
+	opts.Retries = 3
+	rb := NewRemoteBackend(srv.URL, opts)
+	defer rb.Close()
+
+	s, err := rb.createSession(context.Background(), "s-001", "r", testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two transient faults on the status GET: attempts 1 and 2 fail, 3
+	// succeeds — the caller never sees the fault.
+	inj.Script(faultnet.Rule{Method: http.MethodGet, Path: "/api/sessions/", Count: 2})
+	got, err := rb.Get(s.ID())
+	if err != nil {
+		t.Fatalf("idempotent read did not ride out transient faults: %v", err)
+	}
+	if got.ID() != s.ID() {
+		t.Fatalf("got session %s, want %s", got.ID(), s.ID())
+	}
+	if trips := inj.Trips(); len(trips) != 2 {
+		t.Fatalf("injector fired %d times, want 2 (one per failed attempt)", len(trips))
+	}
+
+	// A create hitting a fault fails immediately: one trip, no retry, and
+	// the 503 carries Retry-After plus the ErrShardUnavailable marker.
+	inj.Script(faultnet.Rule{Method: http.MethodPost, Path: "/shard/sessions"})
+	_, err = rb.createSession(context.Background(), "s-002", "r", testConfig(2))
+	if err == nil {
+		t.Fatal("create through a transport fault succeeded")
+	}
+	if !errors.Is(err, ErrShardUnavailable) {
+		t.Fatalf("create error = %v, want ErrShardUnavailable", err)
+	}
+	if code := httpCode(err); code != http.StatusServiceUnavailable {
+		t.Fatalf("create error code = %d, want 503", code)
+	}
+	if retryAfterOf(err) <= 0 {
+		t.Fatal("unavailable-shard error carries no Retry-After")
+	}
+	if trips := inj.Trips(); len(trips) != 3 {
+		t.Fatalf("create burned %d attempts, want exactly 1 (3 total trips)", len(trips)-2)
+	}
+
+	// The shard's own verdicts pass through untouched and unretried: a 404
+	// is the shard alive and answering, not a transport failure.
+	inj.Clear()
+	if _, err := rb.Get("s-999"); httpCode(err) != http.StatusNotFound {
+		t.Fatalf("missing session error = %v (code %d), want 404", err, httpCode(err))
+	}
+	if rb.BreakerState() != breakerClosed {
+		t.Fatalf("breaker = %s after HTTP-level errors; only transport failures count", rb.BreakerState())
+	}
+}
+
+// TestRemoteBreakerOpensAndRecovers walks the breaker through a partition:
+// consecutive transport failures open it, open means fast-fail without
+// touching the network, and the half-open probe after the cooldown closes
+// it once the shard is back.
+func TestRemoteBreakerOpensAndRecovers(t *testing.T) {
+	_, srv := startShard(t, 2)
+	inj := faultnet.Wrap(nil)
+	rb := NewRemoteBackend(srv.URL, fastRemoteOptions(inj.Client()))
+	defer rb.Close()
+
+	s, err := rb.createSession(context.Background(), "s-001", "b", testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj.Partition(hostOf(srv))
+	for i := 0; i < 3; i++ {
+		if _, err := rb.Get(s.ID()); err == nil {
+			t.Fatalf("read %d through a partition succeeded", i)
+		}
+	}
+	if got := rb.BreakerState(); got != breakerOpen {
+		t.Fatalf("breaker = %s after threshold failures, want open", got)
+	}
+
+	// Open = fail fast: no transport attempt, so the trip log stays put.
+	before := len(inj.Trips())
+	if _, err := rb.Get(s.ID()); !errors.Is(err, ErrShardUnavailable) {
+		t.Fatalf("open-breaker read error = %v, want ErrShardUnavailable", err)
+	}
+	if after := len(inj.Trips()); after != before {
+		t.Fatalf("open breaker still hit the transport (%d -> %d trips)", before, after)
+	}
+
+	// Heal; after the cooldown the half-open probe succeeds and closes it.
+	inj.Heal(hostOf(srv))
+	time.Sleep(60 * time.Millisecond)
+	if _, err := rb.Get(s.ID()); err != nil {
+		t.Fatalf("half-open probe after heal failed: %v", err)
+	}
+	if got := rb.BreakerState(); got != breakerClosed {
+		t.Fatalf("breaker = %s after successful probe, want closed", got)
+	}
+}
+
+// TestRouterPartialScatterGather is the partial-results satellite: with one
+// shard dead, List/Stats keep serving the survivors and mark the response
+// partial, creates routed to the dead shard 503 with Retry-After, and
+// creates on live shards proceed.
+func TestRouterPartialScatterGather(t *testing.T) {
+	_, srv := startShard(t, 2)
+	inj := faultnet.Wrap(nil)
+	r, err := NewRouterTopology([]string{"", srv.URL}, 2, fastRemoteOptions(inj.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	const n = 6
+	runFleet(t, r, n)
+	localIDs := 0
+	for i := 1; i <= n; i++ {
+		if placement.Shard(ids.Padded("s-", i, 3), 2) == 0 {
+			localIDs++
+		}
+	}
+	if localIDs == 0 || localIDs == n {
+		t.Fatalf("placement put all %d sessions on one shard; partial test needs both", n)
+	}
+
+	inj.Partition(hostOf(srv))
+
+	// ListPartial: survivors plus one error entry naming the dead shard.
+	sessions, shardErrs := r.ListPartial()
+	if len(sessions) != localIDs {
+		t.Fatalf("partial list has %d sessions, want the %d local ones", len(sessions), localIDs)
+	}
+	if len(shardErrs) != 1 || shardErrs[0].Shard != 1 {
+		t.Fatalf("partial list errors = %+v, want exactly shard 1", shardErrs)
+	}
+	if shardErrs[0].Breaker == "" {
+		t.Fatal("shard error does not report the breaker state")
+	}
+
+	// The HTTP listing carries the same contract.
+	h := NewAPI(r).Handler()
+	req := httptest.NewRequest(http.MethodGet, "/api/sessions", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var list listResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if !list.Partial || len(list.Errors) != 1 || len(list.Sessions) != localIDs {
+		t.Fatalf("GET /api/sessions while shard dead = partial:%v errors:%d sessions:%d",
+			list.Partial, len(list.Errors), len(list.Sessions))
+	}
+
+	// Stats: partial marker, per-shard error entry, survivors still counted.
+	payload := r.statsPayload()
+	if payload["partial"] != true {
+		t.Fatal("stats payload not marked partial with a dead shard")
+	}
+	shards := payload["shards"].([]map[string]any)
+	if shards[1]["error"] == nil || shards[1]["breaker"] == nil {
+		t.Fatalf("dead shard stats entry = %v, want error + breaker", shards[1])
+	}
+	if got := payload["sessions"].(map[State]int)[StateDone]; got != localIDs {
+		t.Fatalf("partial stats count %d done sessions, want %d survivors", got, localIDs)
+	}
+	var health Health
+	raw, _ := json.Marshal(payload["health"])
+	if err := json.Unmarshal(raw, &health); err != nil {
+		t.Fatal(err)
+	}
+	if !health.Degraded || !strings.Contains(health.Reason, "shard 1") {
+		t.Fatalf("health = %+v, want degraded naming shard 1", health)
+	}
+
+	// Creates: dead shard 503s with Retry-After; live shard keeps serving.
+	deadCreates, liveCreates := 0, 0
+	for i := 0; i < 8; i++ {
+		r.mu.Lock()
+		next := ids.Padded("s-", r.seq+1, 3)
+		r.mu.Unlock()
+		s, err := r.Create("during-partition", testConfig(uint64(50+i)))
+		if placement.Shard(next, 2) == 1 {
+			deadCreates++
+			if !errors.Is(err, ErrShardUnavailable) || httpCode(err) != http.StatusServiceUnavailable {
+				t.Fatalf("create %s on dead shard: err = %v, want 503 ErrShardUnavailable", next, err)
+			}
+			if retryAfterOf(err) <= 0 {
+				t.Fatal("dead-shard create carries no Retry-After")
+			}
+			continue
+		}
+		liveCreates++
+		if err != nil {
+			t.Fatalf("create %s on live shard during partition: %v", next, err)
+		}
+		if s.ID() != next {
+			t.Fatalf("create minted %s, predicted %s", s.ID(), next)
+		}
+	}
+	if deadCreates == 0 || liveCreates == 0 {
+		t.Fatalf("creates split dead=%d live=%d; need both paths exercised", deadCreates, liveCreates)
+	}
+
+	// Heal: scatter-gather goes whole again (the breaker needs its cooldown
+	// to admit the probe).
+	inj.Heal(hostOf(srv))
+	waitUntil(t, "scatter-gather to go whole after heal", func() bool {
+		_, errs := r.ListPartial()
+		return len(errs) == 0
+	})
+	if _, errs := r.ListPartial(); len(errs) != 0 {
+		t.Fatalf("errors after heal: %+v", errs)
+	}
+}
+
+// TestRouterSweepPartial runs a sweep with the remote shard partitioned:
+// cells homed there carry errors and mark the report partial, while the
+// local cells' reports are complete and the best-cell picks come from the
+// survivors.
+func TestRouterSweepPartial(t *testing.T) {
+	_, srv := startShard(t, 2)
+	inj := faultnet.Wrap(nil)
+	r, err := NewRouterTopology([]string{"", srv.URL}, 2, fastRemoteOptions(inj.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	inj.Partition(hostOf(srv))
+	rep, err := r.Sweep(SweepRequest{
+		VMTypes:  []string{"n1-highcpu-4", "n1-highcpu-8", "n1-highcpu-16"},
+		Policies: []string{PolicyReuse, PolicyMemoryless},
+		VMs:      16,
+		Seed:     1,
+		Model:    &ModelParams{A: 0.45, Tau1: 1.0, Tau2: 0.8, B: 24, L: 24},
+		Bag:      BagRequest{App: "shapes", Jobs: 4, Seed: 1},
+	})
+	if err != nil {
+		t.Fatalf("sweep with a dead shard must degrade, not fail: %v", err)
+	}
+	if !rep.Partial {
+		t.Fatal("sweep report not marked partial with a dead shard")
+	}
+	okCells, deadCells := 0, 0
+	for _, cell := range rep.Cells {
+		if cell.Error != "" {
+			deadCells++
+			continue
+		}
+		okCells++
+		if cell.Report == nil {
+			t.Fatalf("surviving cell %s/%s has no report", cell.VMType, cell.Policy)
+		}
+	}
+	if okCells == 0 || deadCells == 0 {
+		t.Fatalf("sweep cells ok=%d dead=%d; need both", okCells, deadCells)
+	}
+	if rep.Cheapest == "" || rep.Fastest == "" {
+		t.Fatal("partial sweep did not pick best cells among survivors")
+	}
+
+	// The same grid healed is complete and not partial.
+	inj.Clear()
+	waitUntil(t, "breaker to readmit the shard", func() bool {
+		_, errs := r.ListPartial()
+		return len(errs) == 0
+	})
+	rep2, err := r.Sweep(SweepRequest{
+		VMTypes:  []string{"n1-highcpu-4", "n1-highcpu-8", "n1-highcpu-16"},
+		Policies: []string{PolicyReuse, PolicyMemoryless},
+		VMs:      16,
+		Seed:     1,
+		Model:    &ModelParams{A: 0.45, Tau1: 1.0, Tau2: 0.8, B: 24, L: 24},
+		Bag:      BagRequest{App: "shapes", Jobs: 4, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Partial {
+		t.Fatal("healed sweep still marked partial")
+	}
+	for _, cell := range rep2.Cells {
+		if cell.Error != "" || cell.Report == nil {
+			t.Fatalf("healed sweep cell %s/%s: error %q", cell.VMType, cell.Policy, cell.Error)
+		}
+	}
+}
+
+// TestRouterReplicationCatchUp registers models across a partition: pushes
+// fail silently while the shard is unreachable, and one reconciliation
+// after the heal replays exactly the missed delta — after which sessions
+// homed on the remote shard resolve the reference through their replica.
+func TestRouterReplicationCatchUp(t *testing.T) {
+	sm, srv := startShard(t, 2)
+	inj := faultnet.Wrap(nil)
+	r, err := NewRouterTopology([]string{"", srv.URL}, 2, fastRemoteOptions(inj.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Registered while connected: one sync converges the replica.
+	if _, err := r.RegisterModel(ModelCreateRequest{
+		Name: "east", VMType: "n1-highcpu-16", Zone: "us-east1-b",
+		Model: &ModelParams{A: 0.45, Tau1: 1.0, Tau2: 0.8, B: 24, L: 24},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.SyncRemotes()
+	wantEpoch, wantSeq := r.replog.Cursor()
+	if epoch, seq := sm.replica.Cursor(); epoch != wantEpoch || seq != wantSeq {
+		t.Fatalf("replica cursor (%d,%d) != log cursor (%d,%d)", epoch, seq, wantEpoch, wantSeq)
+	}
+
+	// Registered during a partition: the log advances, the replica cannot.
+	inj.Partition(hostOf(srv))
+	if _, err := r.RegisterModel(ModelCreateRequest{
+		Name: "west", VMType: "n1-highcpu-16", Zone: "us-east1-b",
+		Model: &ModelParams{A: 0.45, Tau1: 1.0, Tau2: 0.8, B: 24, L: 24},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.SyncRemotes() // partitioned: must fail silently, not block or panic
+	if _, seq := sm.replica.Cursor(); seq == func() uint64 { _, s := r.replog.Cursor(); return s }() {
+		t.Fatal("replica converged through a partition")
+	}
+
+	// Heal and reconcile: the replica takes the delta and remote-homed
+	// sessions resolve the new reference.
+	inj.Heal(hostOf(srv))
+	waitUntil(t, "breaker to readmit the shard", func() bool {
+		r.SyncRemotes()
+		_, wantSeq := r.replog.Cursor()
+		_, seq := sm.replica.Cursor()
+		return seq == wantSeq
+	})
+
+	cfg := testConfig(1)
+	cfg.Model = nil
+	cfg.ModelRef = "west@latest"
+	sawRemote := false
+	for i := 0; i < 8; i++ {
+		s, err := r.Create("ref", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Status().Config.ModelRef; got != "west@v1" {
+			t.Fatalf("session %s pinned %q, want west@v1", s.ID(), got)
+		}
+		if placement.Shard(s.ID(), 2) == 1 {
+			sawRemote = true
+		}
+	}
+	if !sawRemote {
+		t.Fatal("no post-heal session homed on the remote shard; replica path untested")
+	}
+}
+
+// TestRemoteSessionLifecycleOverHTTP drives a remote-homed session through
+// the public API end to end — create, bag, estimate, run, events, report —
+// so every proxy method crosses the wire at least once.
+func TestRemoteSessionLifecycleOverHTTP(t *testing.T) {
+	_, srv := startShard(t, 2)
+	r, err := NewRouterTopology([]string{"", srv.URL}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	h := NewAPI(r).Handler()
+
+	// Mint sessions until one homes on the remote shard.
+	var id string
+	for i := 0; i < 8; i++ {
+		rec, out := doJSON(t, h, "POST", "/api/sessions", createRequest{Name: "remote", Config: testConfig(7)})
+		if rec.Code != http.StatusCreated {
+			t.Fatalf("create: %d %s", rec.Code, rec.Body)
+		}
+		if placement.Shard(out["id"].(string), 2) == 1 {
+			id = out["id"].(string)
+			break
+		}
+	}
+	if id == "" {
+		t.Fatal("no session homed on the remote shard")
+	}
+
+	rec, out := doJSON(t, h, "POST", "/api/sessions/"+id+"/bags",
+		BagRequest{App: "shapes", Jobs: 6, Seed: 7})
+	if rec.Code != http.StatusAccepted || out["submitted"].(float64) != 6 {
+		t.Fatalf("bags: %d %s", rec.Code, rec.Body)
+	}
+	rec, out = doJSON(t, h, "POST", "/api/sessions/"+id+"/estimate",
+		BagRequest{App: "shapes", Jobs: 6, Seed: 7})
+	if rec.Code != http.StatusOK || out["expected_makespan_hours"].(float64) <= 0 {
+		t.Fatalf("estimate: %d %s", rec.Code, rec.Body)
+	}
+	if rec, _ := doJSON(t, h, "POST", "/api/sessions/"+id+"/run", nil); rec.Code != http.StatusAccepted {
+		t.Fatalf("run: %d", rec.Code)
+	}
+	final := waitDone(t, h, id)
+	if final["state"] != string(StateDone) {
+		t.Fatalf("remote session ended %v", final["state"])
+	}
+	rec, _ = doJSON(t, h, "GET", "/api/sessions/"+id+"/report", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("report: %d %s", rec.Code, rec.Body)
+	}
+	rec, _ = doJSON(t, h, "GET", "/api/sessions/"+id+"/jobs", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("jobs: %d", rec.Code)
+	}
+	rec, _ = doJSON(t, h, "GET", "/api/sessions/"+id+"/vms", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("vms: %d", rec.Code)
+	}
+	rec, _ = doJSON(t, h, "DELETE", "/api/sessions/"+id, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete: %d", rec.Code)
+	}
+	if rec, _ := doJSON(t, h, "GET", "/api/sessions/"+id, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("deleted remote session still answers: %d", rec.Code)
+	}
+}

@@ -23,6 +23,10 @@ type Backend interface {
 	CreateCtx(ctx context.Context, name string, cfg SessionConfig) (*Session, error)
 	Get(id string) (*Session, error)
 	List() []*Session
+	// ListPartial is List with partial-failure visibility: sessions from
+	// every reachable shard plus one ShardError per shard that could not
+	// answer. A single-process backend never fails partially.
+	ListPartial() ([]*Session, []ShardError)
 	Delete(id string) error
 	Cancel(id string) error
 	Run(s *Session) error
@@ -42,6 +46,34 @@ var (
 	_ Backend = (*Router)(nil)
 )
 
+// ListPartial on a single Manager is just List: one process, no partial
+// failure domain.
+func (m *Manager) ListPartial() ([]*Session, []ShardError) { return m.List(), nil }
+
+// listSessions adapts List to the shard-slot shape.
+func (m *Manager) listSessions() ([]*Session, error) { return m.List(), nil }
+
+// shardSlot is one slot in the router's shard table: a local *Manager or a
+// *RemoteBackend proxying a shard process. The router treats them
+// uniformly; only construction, Restore, and per-shard tuning distinguish
+// local from remote.
+type shardSlot interface {
+	createSession(ctx context.Context, id, name string, cfg SessionConfig) (*Session, error)
+	listSessions() ([]*Session, error)
+	shardInfo() (ShardInfo, error)
+	Get(id string) (*Session, error)
+	Delete(id string) error
+	Cancel(id string) error
+	Run(s *Session) error
+	Wait()
+	Close()
+}
+
+var (
+	_ shardSlot = (*Manager)(nil)
+	_ shardSlot = (*RemoteBackend)(nil)
+)
+
 // Router is the sharded serving backend: a thin stateless request router
 // over N session-executor shards. Each shard is a full Manager — its own
 // session map, worker pool, persist gate, store, and degraded-mode state —
@@ -53,102 +85,256 @@ var (
 //
 // Shard 0 is the control plane: it owns the model registry (and persists
 // its mutations through its own store), while every other shard resolves
-// model references against a read-only replica pushed to it on each commit
-// — so model_ref resolution never takes a cross-shard lock. List, Sweep,
-// and stats are scatter-gather with order-stable aggregation.
+// model references against a read-only replica. Shards may live in this
+// process (in-process replica fan-out) or in other processes behind the
+// shard protocol (see NewRouterTopology): remote shards are fed by a
+// sequence-numbered replication log with catch-up-on-reconnect, and every
+// call to them is a supervised failure domain — per-op deadlines, retries
+// for idempotent operations, and a per-shard circuit breaker. List, Sweep,
+// and stats are scatter-gather with order-stable aggregation; unreachable
+// shards degrade those to partial results instead of failing them.
 type Router struct {
-	shards []*Manager
+	slots   []shardSlot
+	locals  []*Manager       // locals[i] non-nil iff slot i is in-process
+	remotes []*RemoteBackend // remotes[i] non-nil iff slot i is remote
+	replog  *registry.Log
+	wakes   []chan struct{} // per-remote replicator wakeups (nil for local)
 
 	mu  sync.Mutex
 	seq int
+
+	repStop   chan struct{}
+	repWG     sync.WaitGroup
+	closeOnce sync.Once
 }
 
-// NewRouter builds a router over nshards executor shards whose worker pools
-// together run up to parallelism concurrent simulations (default
-// GOMAXPROCS; the pool is divided evenly, rounding up, so a total of 4 over
-// 4 shards gives each shard 1 worker). One shard behaves exactly like a
-// standalone Manager with a router in front.
+// NewRouter builds a router over nshards in-process executor shards whose
+// worker pools together run up to parallelism concurrent simulations
+// (default GOMAXPROCS; the pool is divided evenly, rounding up, so a total
+// of 4 over 4 shards gives each shard 1 worker). One shard behaves exactly
+// like a standalone Manager with a router in front.
 func NewRouter(nshards, parallelism int) *Router {
 	if nshards <= 0 {
 		nshards = 1
 	}
+	r, err := NewRouterTopology(make([]string, nshards), parallelism, nil)
+	if err != nil {
+		panic(err) // unreachable: an all-local topology cannot be invalid
+	}
+	return r
+}
+
+// NewRouterTopology builds a router over a mixed shard topology: one entry
+// per shard, "" for an in-process Manager, an address ("host:port" or
+// "http://host:port") for a shard process serving ShardHandler. Shard 0
+// must be local — it is the control plane, owning the model registry and
+// the durable id high-water mark. parallelism divides over the local
+// shards only; remote shards size their own pools. opts tunes every remote
+// backend's timeouts, retries, and breaker (nil for defaults).
+func NewRouterTopology(topology []string, parallelism int, opts *RemoteOptions) (*Router, error) {
+	nshards := len(topology)
+	if nshards == 0 {
+		return nil, fmt.Errorf("serve: topology needs at least one shard")
+	}
+	if topology[0] != "" {
+		return nil, fmt.Errorf("serve: shard 0 is the control plane and must be local (topology[0] = %q)", topology[0])
+	}
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	per := (parallelism + nshards - 1) / nshards
-	r := &Router{shards: make([]*Manager, nshards)}
-	// All shards share one fit cache: fitting is deterministic in the
-	// recipe, so a session on shard 2 reuses the registry a session on
-	// shard 0 already paid to fit.
-	models := newModelCache()
-	replicas := make([]*registry.Replica, 0, nshards-1)
-	for i := range r.shards {
-		m := NewManager(per)
-		m.models = models
-		m.shard = i
-		if i > 0 {
-			rep := registry.NewReplica()
-			m.resolver = rep
-			replicas = append(replicas, rep)
+	nlocal := 0
+	for _, addr := range topology {
+		if addr == "" {
+			nlocal++
 		}
-		r.shards[i] = m
+	}
+	per := (parallelism + nlocal - 1) / nlocal
+
+	r := &Router{
+		slots:   make([]shardSlot, nshards),
+		locals:  make([]*Manager, nshards),
+		remotes: make([]*RemoteBackend, nshards),
+		replog:  registry.NewLog(),
+		wakes:   make([]chan struct{}, nshards),
+		repStop: make(chan struct{}),
+	}
+	// All local shards share one fit cache: fitting is deterministic in the
+	// recipe, so a session on shard 2 reuses the registry a session on
+	// shard 0 already paid to fit. (A remote shard has its own process-wide
+	// cache.)
+	models := newModelCache()
+	var localReplicas []*registry.Replica
+	for i, addr := range topology {
+		if addr == "" {
+			m := NewManager(per)
+			m.models = models
+			m.shard = i
+			if i > 0 {
+				rep := registry.NewReplica()
+				m.resolver = rep
+				localReplicas = append(localReplicas, rep)
+			}
+			r.locals[i] = m
+			r.slots[i] = m
+			continue
+		}
+		rb := NewRemoteBackend(addr, opts)
+		r.remotes[i] = rb
+		r.slots[i] = rb
+		r.wakes[i] = make(chan struct{}, 1)
 	}
 	// Commit-callback fan-out: every applied registry mutation on the
-	// control plane is pushed to each shard's replica, under the registry
-	// lock, so replicas see versions in commit order.
-	r.control().registry.SetOnApply(func(u registry.Update) {
-		for _, rep := range replicas {
+	// control plane is appended to the replication log and pushed to each
+	// local shard's replica under the registry lock (so replicas see
+	// versions in commit order); remote replicators are woken to push the
+	// delta asynchronously, with the log's cursor arithmetic covering any
+	// batching or reconnection.
+	control := r.control()
+	control.registry.SetOnApply(func(u registry.Update) {
+		r.replog.Append(u)
+		for _, rep := range localReplicas {
 			rep.Apply(u)
 		}
+		for _, w := range r.wakes {
+			if w != nil {
+				select {
+				case w <- struct{}{}:
+				default:
+				}
+			}
+		}
 	})
-	return r
+	for i, rb := range r.remotes {
+		if rb == nil {
+			continue
+		}
+		r.repWG.Add(1)
+		go r.replicateLoop(rb, r.wakes[i])
+	}
+	return r, nil
+}
+
+// replicationInterval paces the remote replicators' reconciliation ticks;
+// commits wake them immediately, the tick only covers reconnection after
+// an outage (and the id high-water-mark refresh).
+const replicationInterval = time.Second
+
+// replicateLoop keeps one remote shard's replica converged with the
+// control plane's replication log.
+func (r *Router) replicateLoop(rb *RemoteBackend, wake chan struct{}) {
+	defer r.repWG.Done()
+	t := time.NewTicker(replicationInterval)
+	defer t.Stop()
+	for {
+		r.syncRemote(rb)
+		select {
+		case <-r.repStop:
+			return
+		case <-wake:
+		case <-t.C:
+		}
+	}
+}
+
+// syncRemote reconciles one remote shard: read its cursor, push the log
+// delta (the full log if the shard's cursor belongs to another epoch —
+// a restarted control plane or a shard restored from an old WAL), and
+// adopt the shard's id high-water mark so a reconnect after a shard-side
+// restore never re-mints an id. Failures are silently dropped; the next
+// wake or tick retries, and the cursor arithmetic makes every push
+// idempotent.
+func (r *Router) syncRemote(rb *RemoteBackend) {
+	info, err := rb.shardInfo()
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	if info.IDSeq > r.seq {
+		r.seq = info.IDSeq
+	}
+	r.mu.Unlock()
+	epoch, seq := r.replog.Cursor()
+	after := uint64(0)
+	if info.ReplicaEpoch == epoch {
+		after = info.ReplicaSeq
+	}
+	if after >= seq {
+		return
+	}
+	entries := r.replog.Since(after)
+	if len(entries) == 0 {
+		return
+	}
+	_, _ = rb.pushReplication(epoch, entries)
+}
+
+// SyncRemotes runs one blocking reconciliation against every remote shard
+// — called after the shard processes are known to be up (batchsvc runs it
+// once the supervisor reports readiness) so the router's id sequence and
+// the shards' replicas start converged instead of one tick behind.
+func (r *Router) SyncRemotes() {
+	for _, rb := range r.remotes {
+		if rb != nil {
+			r.syncRemote(rb)
+		}
+	}
 }
 
 // control returns the control-plane shard (shard 0), which owns the model
 // registry and the global id sequence's durable high-water mark.
-func (r *Router) control() *Manager { return r.shards[0] }
+func (r *Router) control() *Manager { return r.locals[0] }
 
 // Shards returns the number of executor shards.
-func (r *Router) Shards() int { return len(r.shards) }
+func (r *Router) Shards() int { return len(r.slots) }
 
-// Shard exposes one shard's Manager, for tests and per-shard tuning
-// (runHook seams, probe intervals).
-func (r *Router) Shard(i int) *Manager { return r.shards[i] }
+// Shard exposes one shard's local Manager, for tests and per-shard tuning
+// (runHook seams, probe intervals); nil for a remote shard.
+func (r *Router) Shard(i int) *Manager { return r.locals[i] }
 
-// shardFor returns the shard owning id.
-func (r *Router) shardFor(id string) *Manager {
-	return r.shards[placement.Shard(id, len(r.shards))]
+// Remote exposes one shard's RemoteBackend; nil for a local shard.
+func (r *Router) Remote(i int) *RemoteBackend { return r.remotes[i] }
+
+// shardFor returns the slot owning id.
+func (r *Router) shardFor(id string) shardSlot {
+	return r.slots[placement.Shard(id, len(r.slots))]
 }
 
-// SetMaxSessions bounds live sessions across the service; the bound is
-// divided evenly (rounding up) across shards, so a hash-skewed shard can
-// 429 slightly before the global total is reached. 0 means unbounded.
+// SetMaxSessions bounds live sessions across the local shards; the bound
+// is divided evenly (rounding up), so a hash-skewed shard can 429 slightly
+// before the global total is reached. 0 means unbounded. Remote shards
+// enforce their own bounds (their process's -max-sessions flag).
 func (r *Router) SetMaxSessions(n int) {
 	per := 0
 	if n > 0 {
-		per = (n + len(r.shards) - 1) / len(r.shards)
+		per = (n + len(r.slots) - 1) / len(r.slots)
 	}
-	for _, m := range r.shards {
-		m.SetMaxSessions(per)
+	for _, m := range r.locals {
+		if m != nil {
+			m.SetMaxSessions(per)
+		}
 	}
 }
 
 // SetQueueDepth bounds queued runs per the same division as
-// SetMaxSessions. 0 means unbounded.
+// SetMaxSessions. 0 means unbounded. Remote shards enforce their own.
 func (r *Router) SetQueueDepth(n int) {
 	per := 0
 	if n > 0 {
-		per = (n + len(r.shards) - 1) / len(r.shards)
+		per = (n + len(r.slots) - 1) / len(r.slots)
 	}
-	for _, m := range r.shards {
-		m.SetQueueDepth(per)
+	for _, m := range r.locals {
+		if m != nil {
+			m.SetQueueDepth(per)
+		}
 	}
 }
 
-// SetProbeInterval tunes every shard's degraded-mode probe.
+// SetProbeInterval tunes every local shard's degraded-mode probe.
 func (r *Router) SetProbeInterval(d time.Duration) {
-	for _, m := range r.shards {
-		m.SetProbeInterval(d)
+	for _, m := range r.locals {
+		if m != nil {
+			m.SetProbeInterval(d)
+		}
 	}
 }
 
@@ -181,13 +367,29 @@ func (r *Router) CreateCtx(ctx context.Context, name string, cfg SessionConfig) 
 // Get resolves a session on its home shard.
 func (r *Router) Get(id string) (*Session, error) { return r.shardFor(id).Get(id) }
 
-// List scatter-gathers every shard's sessions and merges them into global
-// creation order (by id sequence), so the listing is identical to what a
-// single-shard service would produce.
+// List scatter-gathers every reachable shard's sessions and merges them
+// into global creation order (by id sequence); unreachable shards'
+// sessions are silently absent. Use ListPartial to observe which shards
+// failed.
 func (r *Router) List() []*Session {
+	all, _ := r.ListPartial()
+	return all
+}
+
+// ListPartial scatter-gathers every shard's sessions, reporting shards
+// that could not answer as ShardErrors alongside the merged listing from
+// the shards that could — the partial-results contract: one dead shard
+// must not take down the whole listing.
+func (r *Router) ListPartial() ([]*Session, []ShardError) {
 	var all []*Session
-	for _, m := range r.shards {
-		all = append(all, m.List()...)
+	var errs []ShardError
+	for i, sl := range r.slots {
+		list, err := sl.listSessions()
+		if err != nil {
+			errs = append(errs, r.shardError(i, err))
+			continue
+		}
+		all = append(all, list...)
 	}
 	order := make([]string, len(all))
 	byID := make(map[string]*Session, len(all))
@@ -199,7 +401,16 @@ func (r *Router) List() []*Session {
 	for i, id := range order {
 		all[i] = byID[id]
 	}
-	return all
+	return all, errs
+}
+
+// shardError packages one shard's scatter-gather failure.
+func (r *Router) shardError(i int, err error) ShardError {
+	se := ShardError{Shard: i, Error: err.Error()}
+	if rb := r.remotes[i]; rb != nil {
+		se.Breaker = rb.BreakerState()
+	}
+	return se
 }
 
 // Delete removes a session from its home shard.
@@ -214,7 +425,9 @@ func (r *Router) Run(s *Session) error { return r.shardFor(s.ID()).Run(s) }
 // SweepCtx fans the sweep grid out across the shards: each cell is an
 // ordinary create, so cells land on their id's home shard and the grid's
 // simulations spread over every shard's worker pool. Aggregation is
-// grid-order-stable exactly as on a single Manager.
+// grid-order-stable exactly as on a single Manager; cells whose home
+// shard is unreachable carry the error (and mark the report partial)
+// while the rest of the grid completes.
 func (r *Router) SweepCtx(ctx context.Context, req SweepRequest) (SweepReport, error) {
 	return sweepCtx(ctx, r, req)
 }
@@ -242,13 +455,30 @@ func (r *Router) RefitModel(name, source string) (registry.Version, error) {
 	return r.control().RefitModel(name, source)
 }
 
-// Stats sums per-state session counts across shards.
+// gatherInfo scatter-gathers every shard's ShardInfo; failed shards get a
+// ShardError and a zero info slot.
+func (r *Router) gatherInfo() ([]ShardInfo, []ShardError) {
+	infos := make([]ShardInfo, len(r.slots))
+	var errs []ShardError
+	for i, sl := range r.slots {
+		info, err := sl.shardInfo()
+		if err != nil {
+			errs = append(errs, r.shardError(i, err))
+			continue
+		}
+		infos[i] = info
+	}
+	return infos, errs
+}
+
+// Stats sums per-state session counts across reachable shards.
 func (r *Router) Stats() Stats {
 	st := Stats{Sessions: map[State]int{
 		StateCreated: 0, StateRunning: 0, StateDone: 0, StateFailed: 0, StateCancelled: 0,
 	}}
-	for _, m := range r.shards {
-		for state, n := range m.Stats().Sessions {
+	infos, _ := r.gatherInfo()
+	for _, info := range infos {
+		for state, n := range info.Sessions {
 			st.Sessions[state] += n
 		}
 	}
@@ -256,13 +486,20 @@ func (r *Router) Stats() Stats {
 }
 
 // Health aggregates shard health: the service reports degraded if any
-// shard is degraded (that shard's sessions get 503s; the others keep
-// serving), with the reason naming the shard. Unpersisted sessions are the
-// union across shards.
+// shard is degraded or unreachable (that shard's sessions get 503s; the
+// others keep serving), with the reason naming the shard. Unpersisted
+// sessions are the union across reachable shards.
 func (r *Router) Health() Health {
 	var h Health
-	for i, m := range r.shards {
-		sh := m.Health()
+	infos, errs := r.gatherInfo()
+	for _, se := range errs {
+		if !h.Degraded {
+			h.Degraded = true
+			h.Reason = fmt.Sprintf("shard %d: unreachable: %s", se.Shard, se.Error)
+		}
+	}
+	for i, info := range infos {
+		sh := info.Health
 		if sh.Degraded && !h.Degraded {
 			h.Degraded = true
 			h.Reason = fmt.Sprintf("shard %d: %s", i, sh.Reason)
@@ -273,13 +510,14 @@ func (r *Router) Health() Health {
 	return h
 }
 
-// StoreStats sums store counters across shards (nil when no shard has a
-// store attached). Boolean fault markers are ORed: a torn tail or poisoned
-// WAL anywhere is worth surfacing at the top level.
+// StoreStats sums store counters across reachable shards (nil when no
+// shard has a store attached). Boolean fault markers are ORed: a torn tail
+// or poisoned WAL anywhere is worth surfacing at the top level.
 func (r *Router) StoreStats() *store.Stats {
 	var total *store.Stats
-	for _, m := range r.shards {
-		st := m.StoreStats()
+	infos, _ := r.gatherInfo()
+	for _, info := range infos {
+		st := info.Store
 		if st == nil {
 			continue
 		}
@@ -299,26 +537,38 @@ func (r *Router) StoreStats() *store.Stats {
 	return total
 }
 
-// Wait blocks until every shard's started runs and refits have finished.
+// Wait blocks until every shard's started runs and refits have finished
+// (remote shards are long-polled; an unreachable shard is skipped after a
+// few attempts — a dead process has nothing running in it to wait for).
 func (r *Router) Wait() {
-	for _, m := range r.shards {
-		m.Wait()
+	for _, sl := range r.slots {
+		sl.Wait()
 	}
 }
 
-// Close stops every shard's background workers.
+// Close stops the replicators and every shard's background workers (for
+// remote shards: the proxy's watchers and connections — the shard process
+// itself belongs to its supervisor).
 func (r *Router) Close() {
-	for _, m := range r.shards {
-		m.Close()
+	r.closeOnce.Do(func() { close(r.repStop) })
+	r.repWG.Wait()
+	for _, sl := range r.slots {
+		sl.Close()
 	}
 }
 
-// Restore attaches one store per shard and rebuilds the whole service from
-// their records. stores[i] becomes shard i's store; extras are stores left
+// Restore attaches one store per local shard and rebuilds the service from
+// their records. stores[i] becomes shard i's store and must be nil exactly
+// when shard i is remote: a remote shard restores from its own WAL in its
+// own process, before the router ever connects. extras are stores left
 // behind by a previous boot with more shards (their sessions are re-homed
 // into the live shards and the stores are drained down to a seq record).
-// All stores may be nil-free or the call may be skipped entirely for a
-// memory-only service.
+//
+// Changing which shards are remote is a topology change like any other:
+// sessions only ever re-home across a shard-count change, and a re-homed
+// session can only be rebuilt into a local shard — restoring a store whose
+// sessions hash to a remote slot is refused. Boot all-local once to
+// migrate, then redistribute.
 //
 // The restore pipeline is shard-parallel where it is expensive and
 // sequential where crash-safety demands order:
@@ -327,8 +577,8 @@ func (r *Router) Close() {
 //     preserved within each store; stores are independent logs).
 //  2. Apply model-registry records to the control plane in store-index
 //     order. The replication callback installed at construction seeds every
-//     shard's replica as a side effect, so step 3 can resolve model_ref
-//     configs on any shard.
+//     local shard's replica (and the replication log) as a side effect, so
+//     step 3 can resolve model_ref configs on any shard.
 //  3. Route each parsed session to its hash-placed home shard (a session
 //     found in several stores — possible only mid-migration after a crash —
 //     is taken from the lowest-indexed store) and rebuild all shards
@@ -341,24 +591,33 @@ func (r *Router) Close() {
 //     before low — and live before extras — guarantees a moved session is
 //     durable at its new home before the old home's compaction drops it.
 func (r *Router) Restore(stores []Store, extras ...Store) error {
-	if len(stores) != len(r.shards) {
-		return fmt.Errorf("serve: Restore needs one store per shard (%d stores, %d shards)", len(stores), len(r.shards))
+	if len(stores) != len(r.slots) {
+		return fmt.Errorf("serve: Restore needs one store per shard (%d stores, %d shards)", len(stores), len(r.slots))
 	}
 	for i, st := range stores {
+		if r.locals[i] == nil {
+			if st != nil {
+				return fmt.Errorf("serve: Restore: shard %d is remote; its store belongs to its own process", i)
+			}
+			continue
+		}
 		if st == nil {
 			return fmt.Errorf("serve: Restore: shard %d store is nil", i)
 		}
-		if err := r.shards[i].attachStore(st); err != nil {
+		if err := r.locals[i].attachStore(st); err != nil {
 			return fmt.Errorf("serve: shard %d: %w", i, err)
 		}
 	}
 
-	// 1. Parse all stores concurrently.
+	// 1. Parse all (local) stores concurrently.
 	all := append(append([]Store{}, stores...), extras...)
 	parsed := make([]*parsedStore, len(all))
 	errs := make([]error, len(all))
 	var wg sync.WaitGroup
 	for i, st := range all {
+		if st == nil {
+			continue
+		}
 		wg.Add(1)
 		go func(i int, st Store) {
 			defer wg.Done()
@@ -376,6 +635,9 @@ func (r *Router) Restore(stores []Store, extras ...Store) error {
 	// carries any; applying in store-index order keeps replay deterministic
 	// if they ever spread). Replicas are seeded via the commit fan-out.
 	for _, ps := range parsed {
+		if ps == nil {
+			continue
+		}
 		if err := r.control().applyModelRecords(ps.models); err != nil {
 			return err
 		}
@@ -387,13 +649,16 @@ func (r *Router) Restore(stores []Store, extras ...Store) error {
 		sessions map[string]*pendingSession
 		order    []string
 	}
-	loads := make([]shardLoad, len(r.shards))
+	loads := make([]shardLoad, len(r.slots))
 	for i := range loads {
 		loads[i].sessions = make(map[string]*pendingSession)
 	}
 	seen := make(map[string]bool)
 	maxSeq := 0
 	for _, ps := range parsed {
+		if ps == nil {
+			continue
+		}
 		if ps.maxSeq > maxSeq {
 			maxSeq = ps.maxSeq
 		}
@@ -402,13 +667,19 @@ func (r *Router) Restore(stores []Store, extras ...Store) error {
 				continue
 			}
 			seen[id] = true
-			home := placement.Shard(id, len(r.shards))
+			home := placement.Shard(id, len(r.slots))
+			if r.locals[home] == nil {
+				return fmt.Errorf("serve: session %s re-homes to remote shard %d; boot all-local to migrate a topology change", id, home)
+			}
 			loads[home].sessions[id] = ps.sessions[id]
 			loads[home].order = append(loads[home].order, id)
 		}
 	}
-	rebuildErrs := make([]error, len(r.shards))
-	for i, m := range r.shards {
+	rebuildErrs := make([]error, len(r.slots))
+	for i, m := range r.locals {
+		if m == nil {
+			continue
+		}
 		wg.Add(1)
 		go func(i int, m *Manager) {
 			defer wg.Done()
@@ -423,8 +694,11 @@ func (r *Router) Restore(stores []Store, extras ...Store) error {
 	}
 	// Every shard's durable seq record carries the global high-water mark,
 	// so any single surviving store is enough to never re-mint an id.
-	for _, m := range r.shards {
-		m.bumpSeq(maxSeq)
+	// (Remote shards report theirs through /shard/info on every sync.)
+	for _, m := range r.locals {
+		if m != nil {
+			m.bumpSeq(maxSeq)
+		}
 	}
 	r.mu.Lock()
 	if maxSeq > r.seq {
@@ -434,8 +708,11 @@ func (r *Router) Restore(stores []Store, extras ...Store) error {
 
 	// 4. Compact high-to-low, then drain the extras (see the doc comment
 	// for why this order is what makes a mid-migration crash recoverable).
-	for i := len(r.shards) - 1; i >= 0; i-- {
-		if err := r.shards[i].CompactStore(); err != nil {
+	for i := len(r.locals) - 1; i >= 0; i-- {
+		if r.locals[i] == nil {
+			continue
+		}
+		if err := r.locals[i].CompactStore(); err != nil {
 			return fmt.Errorf("serve: shard %d: compacting: %w", i, err)
 		}
 	}
@@ -446,8 +723,10 @@ func (r *Router) Restore(stores []Store, extras ...Store) error {
 	}
 
 	r.control().rearmAutoRefits()
-	for i, m := range r.shards {
-		m.startMaintenance(stores[i])
+	for i, m := range r.locals {
+		if m != nil {
+			m.startMaintenance(stores[i])
+		}
 	}
 	return nil
 }
@@ -468,30 +747,84 @@ func drainExtraStore(st Store, maxSeq int) error {
 // statsPayload assembles GET /api/stats for the sharded service: the same
 // top-level keys a single Manager emits (sessions, models, schedule_cache,
 // dp_solves, health, store — aggregated across shards) plus a "shards"
-// array with each shard's own counters, health, and store stats.
+// array with each shard's own counters, health, and store stats. An
+// unreachable shard contributes an error entry (with its breaker state)
+// instead of counters, and marks the whole payload "partial".
 func (r *Router) statsPayload() map[string]any {
+	infos, errs := r.gatherInfo()
+	sums := Stats{Sessions: map[State]int{
+		StateCreated: 0, StateRunning: 0, StateDone: 0, StateFailed: 0, StateCancelled: 0,
+	}}
+	failed := make(map[int]ShardError, len(errs))
+	for _, se := range errs {
+		failed[se.Shard] = se
+	}
+	shards := make([]map[string]any, len(r.slots))
+	var storeTotal *store.Stats
+	health := Health{}
+	for i := range r.slots {
+		if se, ok := failed[i]; ok {
+			entry := map[string]any{"shard": i, "error": se.Error}
+			if se.Breaker != "" {
+				entry["breaker"] = se.Breaker
+			}
+			shards[i] = entry
+			if !health.Degraded {
+				health.Degraded = true
+				health.Reason = fmt.Sprintf("shard %d: unreachable: %s", i, se.Error)
+			}
+			continue
+		}
+		info := infos[i]
+		for state, n := range info.Sessions {
+			sums.Sessions[state] += n
+		}
+		if info.Health.Degraded && !health.Degraded {
+			health.Degraded = true
+			health.Reason = fmt.Sprintf("shard %d: %s", i, info.Health.Reason)
+			health.Since = info.Health.Since
+		}
+		health.UnpersistedSessions = append(health.UnpersistedSessions, info.Health.UnpersistedSessions...)
+		entry := map[string]any{
+			"shard":    i,
+			"sessions": info.Sessions,
+			"health":   info.Health,
+		}
+		if rb := r.remotes[i]; rb != nil {
+			entry["remote"] = rb.Addr()
+			entry["breaker"] = rb.BreakerState()
+		}
+		if info.Store != nil {
+			entry["store"] = info.Store
+			if storeTotal == nil {
+				storeTotal = &store.Stats{}
+			}
+			storeTotal.Replayed += info.Store.Replayed
+			storeTotal.Appended += info.Store.Appended
+			storeTotal.Compactions += info.Store.Compactions
+			storeTotal.TornTail = storeTotal.TornTail || info.Store.TornTail
+			storeTotal.Segments += info.Store.Segments
+			storeTotal.Rotations += info.Store.Rotations
+			storeTotal.WALRecords += info.Store.WALRecords
+			storeTotal.WALBytes += info.Store.WALBytes
+			storeTotal.Poisoned = storeTotal.Poisoned || info.Store.Poisoned
+		}
+		shards[i] = entry
+	}
 	payload := map[string]any{
-		"sessions":       r.Stats().Sessions,
+		"sessions":       sums.Sessions,
 		"models":         r.ModelStats(),
 		"schedule_cache": policy.SharedCacheStats(),
 		"dp_solves":      collectDPSolveStats(),
-		"health":         r.Health(),
+		"health":         health,
+		"shards":         shards,
 	}
-	if st := r.StoreStats(); st != nil {
-		payload["store"] = st
+	if storeTotal != nil {
+		payload["store"] = storeTotal
 	}
-	shards := make([]map[string]any, len(r.shards))
-	for i, m := range r.shards {
-		sh := map[string]any{
-			"shard":    i,
-			"sessions": m.Stats().Sessions,
-			"health":   m.Health(),
-		}
-		if st := m.StoreStats(); st != nil {
-			sh["store"] = st
-		}
-		shards[i] = sh
+	if len(errs) > 0 {
+		payload["partial"] = true
+		payload["errors"] = errs
 	}
-	payload["shards"] = shards
 	return payload
 }

@@ -79,6 +79,11 @@ type Session struct {
 	name string
 	cfg  SessionConfig
 
+	// remote, when non-nil, marks this session as a proxy for one living in
+	// a shard process: every method delegates to the RemoteBackend's wire
+	// calls and the fields below stay zero (see remote.go).
+	remote *remoteSession
+
 	mu        sync.Mutex
 	state     State
 	svc       *batch.Service
@@ -140,6 +145,9 @@ func (s *Session) ID() string { return s.id }
 
 // Status returns a point-in-time snapshot of the session.
 func (s *Session) Status() SessionStatus {
+	if s.remote != nil {
+		return s.remote.status()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := SessionStatus{
@@ -194,6 +202,9 @@ func (s *Session) rlockGate() func() {
 
 // SubmitBag adds a bag of jobs; only valid before the session runs.
 func (s *Session) SubmitBag(req BagRequest) (int, float64, error) {
+	if s.remote != nil {
+		return s.remote.submitBag(req)
+	}
 	app, err := validateBagRequest(req)
 	if err != nil {
 		return 0, 0, err
@@ -229,6 +240,9 @@ func (s *Session) SubmitBag(req BagRequest) (int, float64, error) {
 // Estimate quotes a bag against the session's configuration without
 // running anything.
 func (s *Session) Estimate(req BagRequest) (batch.Estimate, error) {
+	if s.remote != nil {
+		return s.remote.estimate(req)
+	}
 	app, err := validateBagRequest(req)
 	if err != nil {
 		return batch.Estimate{}, err
@@ -244,6 +258,9 @@ func (s *Session) Estimate(req BagRequest) (batch.Estimate, error) {
 // Report returns the final report; an apiError with 404 until the run
 // completes.
 func (s *Session) Report() (batch.Report, error) {
+	if s.remote != nil {
+		return s.remote.report()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch s.state {
@@ -288,6 +305,9 @@ func (s *Session) awaitDetail() {
 // one interval old when served); for sessions restored from the store they
 // come from the log.
 func (s *Session) Jobs() ([]batch.JobStatus, error) {
+	if s.remote != nil {
+		return s.remote.jobs()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.deleted {
@@ -322,6 +342,9 @@ type VMState = batch.VMInfo
 // listing comes from a detail refresh at the run loop's next progress
 // interval.
 func (s *Session) VMs() ([]VMState, error) {
+	if s.remote != nil {
+		return s.remote.vms()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.deleted {
@@ -345,12 +368,19 @@ func (s *Session) VMs() ([]VMState, error) {
 
 // Wait blocks until the session's run finishes (it must have been started).
 func (s *Session) Wait() {
-	<-s.done
+	<-s.Done()
 }
 
 // Done returns a channel closed when the session reaches a terminal state
 // (sessions restored from the store in a terminal state are born closed).
-func (s *Session) Done() <-chan struct{} { return s.done }
+// For remote proxies the channel is fed by a long-poll watcher started on
+// first use.
+func (s *Session) Done() <-chan struct{} {
+	if s.remote != nil {
+		return s.remote.doneChan()
+	}
+	return s.done
+}
 
 // modelResolver resolves a model reference ("name", "name@latest",
 // "name@vN") to a pinned version. The control-plane shard resolves against
@@ -379,6 +409,10 @@ type Manager struct {
 	// manager's own registry by default, a registry.Replica on non-control
 	// shards of a Router.
 	resolver modelResolver
+	// replica is set on remote executor shards (see NewShardManager): the
+	// replication-fed registry view the resolver points at, persisted as
+	// kindReplica records so restarts warm-start resolution.
+	replica *registry.Replica
 	// shard is this manager's index within its Router (0 for a standalone
 	// manager), used for logs and the per-shard stats payload.
 	shard int

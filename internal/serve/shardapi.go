@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/store"
+)
+
+// This file implements the server half of the shard protocol: a single
+// Manager exposed over HTTP to a Router in another process. The protocol
+// is the public /api surface — so every session operation a RemoteBackend
+// proxies hits exactly the handlers a client would — plus a small /shard
+// namespace for what the public API deliberately lacks: creates under a
+// router-minted id, long-poll completion waits (Wait and Done are channel
+// operations locally; over the wire they become bounded polls), liveness
+// pings for the supervisor, a stats/cursor snapshot for scatter-gather
+// aggregation, and the registry replication log's push endpoint.
+
+// NewShardManager returns a Manager configured as a remote executor shard:
+// it resolves model references against a replication-fed replica instead
+// of an owned registry, since the control plane lives in the router's
+// process and pushes resolution state here via POST /shard/replication.
+func NewShardManager(parallelism int) *Manager {
+	m := NewManager(parallelism)
+	m.replica = registry.NewReplica()
+	m.resolver = m.replica
+	return m
+}
+
+// SetShardIndex records which router slot this shard serves; it only
+// labels diagnostics (ping payloads, session records), never placement.
+func (m *Manager) SetShardIndex(i int) { m.shard = i }
+
+// ShardInfo is the GET /shard/info payload: one shard's counters, health,
+// and cursors, consumed by the router's scatter-gather stats and by the
+// replicator to decide what catch-up a reconnecting shard needs.
+type ShardInfo struct {
+	Sessions map[State]int `json:"sessions"`
+	Health   Health        `json:"health"`
+	Store    *store.Stats  `json:"store,omitempty"`
+	// IDSeq is the shard's session-id high-water mark (restored from its
+	// WAL), so a router reconnecting to a restarted shard never re-mints an
+	// id the shard already knows.
+	IDSeq int `json:"id_seq"`
+	// ReplicaEpoch/ReplicaSeq is the shard's replication cursor.
+	ReplicaEpoch uint64 `json:"replica_epoch"`
+	ReplicaSeq   uint64 `json:"replica_seq"`
+}
+
+// shardInfo assembles the local Manager's ShardInfo.
+func (m *Manager) shardInfo() (ShardInfo, error) {
+	info := ShardInfo{
+		Sessions: m.Stats().Sessions,
+		Health:   m.Health(),
+		Store:    m.StoreStats(),
+	}
+	m.mu.Lock()
+	info.IDSeq = m.seq
+	m.mu.Unlock()
+	if m.replica != nil {
+		info.ReplicaEpoch, info.ReplicaSeq = m.replica.Cursor()
+	}
+	return info, nil
+}
+
+// shardCreateRequest is the POST /shard/sessions body: a create under an
+// id the router minted from its global sequence.
+type shardCreateRequest struct {
+	ID     string        `json:"id"`
+	Name   string        `json:"name,omitempty"`
+	Config SessionConfig `json:"config"`
+}
+
+// replicationPush is the POST /shard/replication body: a batch of registry
+// log entries under the control plane's epoch.
+type replicationPush struct {
+	Epoch   uint64              `json:"epoch"`
+	Entries []registry.LogEntry `json:"entries"`
+}
+
+// replicationAck is the response: the shard's cursor after applying.
+type replicationAck struct {
+	Epoch uint64 `json:"epoch"`
+	Seq   uint64 `json:"seq"`
+}
+
+// shardAPI serves the /shard namespace over one Manager.
+type shardAPI struct {
+	m *Manager
+}
+
+// ShardHandler exposes m over the shard protocol: the full public /api
+// surface plus the /shard control endpoints. It is what
+// `batchsvc -shard-server` serves, and what a RemoteBackend speaks to.
+func ShardHandler(m *Manager) http.Handler {
+	sa := &shardAPI{m: m}
+	mux := http.NewServeMux()
+	mux.Handle("/api/", NewAPI(m).Handler())
+	mux.HandleFunc("POST /shard/sessions", sa.handleCreate)
+	mux.HandleFunc("GET /shard/sessions/{id}/wait", sa.handleSessionWait)
+	mux.HandleFunc("GET /shard/ping", sa.handlePing)
+	mux.HandleFunc("GET /shard/info", sa.handleInfo)
+	mux.HandleFunc("GET /shard/wait", sa.handleIdleWait)
+	mux.HandleFunc("POST /shard/replication", sa.handleReplication)
+	return jsonErrors(mux)
+}
+
+func (sa *shardAPI) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req shardCreateRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.ID == "" {
+		writeErr(w, http.StatusBadRequest, errf(http.StatusBadRequest, "shard create needs a router-minted id"))
+		return
+	}
+	s, err := sa.m.createSession(r.Context(), req.ID, req.Name, req.Config)
+	if err != nil {
+		writeErr(w, httpCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.Status())
+}
+
+// pollWindow parses the timeout_ms query parameter, bounded to [1ms, 60s].
+func pollWindow(r *http.Request) time.Duration {
+	d := waitPollTimeout
+	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
+		if ms, err := strconv.Atoi(raw); err == nil && ms > 0 {
+			d = time.Duration(ms) * time.Millisecond
+		}
+	}
+	return min(d, time.Minute)
+}
+
+// handleSessionWait is GET /shard/sessions/{id}/wait: a bounded long-poll
+// on the session's terminal transition — the wire form of Session.Wait.
+func (sa *shardAPI) handleSessionWait(w http.ResponseWriter, r *http.Request) {
+	s, err := sa.m.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, httpCode(err), err)
+		return
+	}
+	select {
+	case <-s.Done():
+		st := s.Status()
+		writeJSON(w, http.StatusOK, map[string]any{"done": true, "status": st})
+	case <-time.After(pollWindow(r)):
+		writeJSON(w, http.StatusOK, map[string]any{"done": false})
+	case <-r.Context().Done():
+	}
+}
+
+// handlePing is GET /shard/ping: the supervisor's liveness check. It
+// answers from memory only — a degraded (read-only) shard is alive.
+func (sa *shardAPI) handlePing(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "shard": sa.m.shard})
+}
+
+func (sa *shardAPI) handleInfo(w http.ResponseWriter, r *http.Request) {
+	info, _ := sa.m.shardInfo()
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleIdleWait is GET /shard/wait: a bounded long-poll until every
+// started run and refit has finished — the wire form of Manager.Wait,
+// polled by a router draining remote shards at shutdown.
+func (sa *shardAPI) handleIdleWait(w http.ResponseWriter, r *http.Request) {
+	idle := make(chan struct{})
+	go func() {
+		sa.m.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		writeJSON(w, http.StatusOK, map[string]any{"idle": true})
+	case <-time.After(pollWindow(r)):
+		writeJSON(w, http.StatusOK, map[string]any{"idle": false})
+	case <-r.Context().Done():
+	}
+}
+
+// handleReplication is POST /shard/replication: the control plane pushes
+// registry log entries; the shard applies them to its replica and persists
+// each (best effort) so a restart can resolve pinned references before the
+// control plane reconnects and replays the delta. Apply is authoritative;
+// a failed append only costs warm-start coverage, never resolution state.
+func (sa *shardAPI) handleReplication(w http.ResponseWriter, r *http.Request) {
+	if sa.m.replica == nil {
+		writeErr(w, http.StatusConflict, errf(http.StatusConflict,
+			"shard has no replica: not built with NewShardManager"))
+		return
+	}
+	var push replicationPush
+	if err := decodeStrict(r, &push); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	for _, e := range push.Entries {
+		if err := sa.m.replica.ApplyEntry(push.Epoch, e); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		sa.m.persistReplicaEntry(push.Epoch, e)
+	}
+	epoch, seq := sa.m.replica.Cursor()
+	writeJSON(w, http.StatusOK, replicationAck{Epoch: epoch, Seq: seq})
+}

@@ -1,0 +1,315 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/placement"
+	"repro/internal/store"
+)
+
+// Process-level chaos tests: a real shard subprocess under the supervisor,
+// killed with SIGKILL mid-service, must come back via WAL replay with
+// byte-identical reports while the router degrades to partial answers in
+// between. The shard subprocess is this very test binary re-exec'd —
+// TestMain switches into shard-server mode when SERVE_SHARD_SERVER is set.
+
+func TestMain(m *testing.M) {
+	if addr := os.Getenv("SERVE_SHARD_SERVER"); addr != "" {
+		runShardProcess(addr, os.Getenv("SERVE_SHARD_DIR"))
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runShardProcess is the subprocess body: a shard Manager behind
+// ShardHandler on addr, warm-started from dir's WAL when set, shut down
+// gracefully on SIGTERM. It mirrors `batchsvc -shard-server` without
+// needing a second binary on disk.
+func runShardProcess(addr, dir string) {
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "shard process: %v\n", err)
+		os.Exit(1)
+	}
+	m := NewShardManager(2)
+	m.SetShardIndex(1)
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			die(err)
+		}
+		st, err := store.Open(dir)
+		if err != nil {
+			die(err)
+		}
+		if err := m.Restore(st); err != nil {
+			die(err)
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		die(err)
+	}
+	srv := &http.Server{Handler: ShardHandler(m)}
+	go srv.Serve(ln)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	<-sig
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	m.Close()
+	os.Exit(0)
+}
+
+// freeAddr reserves a loopback port and releases it for the subprocess.
+func freeAddr(t testing.TB) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// shardSpawn re-execs the test binary as a shard server on addr with its
+// WAL in dir.
+func shardSpawn(addr, dir string) func(int, string) *exec.Cmd {
+	return func(i int, a string) *exec.Cmd {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(),
+			"SERVE_SHARD_SERVER="+addr,
+			"SERVE_SHARD_DIR="+dir,
+		)
+		cmd.Stderr = os.Stderr
+		return cmd
+	}
+}
+
+// TestShardProcessKillRestartWALReplay is the end-to-end chaos walk from
+// the issue's acceptance bar: kill -9 one shard subprocess mid-service and
+// check, in order, that (1) the other shard keeps serving and reads go
+// partial, (2) the dead shard's operations fail fast with 503 + Retry-After
+// and the breaker opens, (3) the supervisor restarts it and WAL replay
+// brings every one of its sessions back byte-identically, and (4) the
+// registry replica catches up to the control plane's cursor.
+func TestShardProcessKillRestartWALReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test")
+	}
+	root := t.TempDir()
+	addr := freeAddr(t)
+	shardDir := store.ShardDir(root, 1)
+
+	sup := NewSupervisor([]string{addr}, shardSpawn(addr, shardDir), &SupervisorOptions{
+		PingInterval:   50 * time.Millisecond,
+		PingTimeout:    time.Second,
+		PingFailures:   3,
+		RestartBackoff: 300 * time.Millisecond,
+		ReadyTimeout:   15 * time.Second,
+		Logf:           t.Logf,
+	})
+	if err := sup.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Kill()
+
+	r, err := NewRouterTopology([]string{"", addr}, 2, &RemoteOptions{
+		OpTimeout:        2 * time.Second,
+		Retries:          -1,
+		RetryBase:        5 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	st0, err := store.Open(store.ShardDir(root, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Restore([]Store{st0, nil}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A model registered pre-kill: its replication must survive the restart.
+	if _, err := r.RegisterModel(ModelCreateRequest{
+		Name: "east", VMType: "n1-highcpu-16", Zone: "us-east1-b",
+		Model: &ModelParams{A: 0.45, Tau1: 1.0, Tau2: 0.8, B: 24, L: 24},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.SyncRemotes()
+
+	const n = 6
+	before := runFleet(t, r, n)
+	var remoteIDs, localIDs []string
+	for id := range before {
+		if placement.Shard(id, 2) == 1 {
+			remoteIDs = append(remoteIDs, id)
+		} else {
+			localIDs = append(localIDs, id)
+		}
+	}
+	if len(remoteIDs) == 0 || len(localIDs) == 0 {
+		t.Fatalf("placement split local=%d remote=%d; chaos needs both", len(localIDs), len(remoteIDs))
+	}
+
+	pid := sup.Pid(0)
+	if pid <= 0 {
+		t.Fatalf("supervisor has no pid for the shard (got %d)", pid)
+	}
+	if err := syscall.Kill(pid, syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+
+	// Survivors keep serving; the dead shard's reads 503 with Retry-After
+	// until the breaker opens and fails them fast.
+	if _, err := r.Get(localIDs[0]); err != nil {
+		t.Fatalf("local session unreadable while remote shard dead: %v", err)
+	}
+	rb := r.Remote(1)
+	sawUnavailable := false
+	waitUntil(t, "breaker to open after the kill", func() bool {
+		_, err := rb.Get(remoteIDs[0])
+		if err != nil && httpCode(err) == http.StatusServiceUnavailable && retryAfterOf(err) > 0 {
+			sawUnavailable = true
+		}
+		return rb.BreakerState() == breakerOpen
+	})
+	if !sawUnavailable {
+		t.Fatal("dead-shard reads never returned 503 + Retry-After")
+	}
+	if _, errs := r.ListPartial(); len(errs) != 1 || errs[0].Shard != 1 {
+		t.Fatalf("list while shard dead: errors = %+v, want exactly shard 1", errs)
+	}
+
+	// The supervisor notices, restarts, and the shard comes back ready.
+	waitUntil(t, "supervisor to restart the shard", func() bool {
+		return sup.Restarts(0) >= 1
+	})
+	waitUntil(t, "restarted shard to serve reads again", func() bool {
+		_, err := rb.Get(remoteIDs[0])
+		return err == nil
+	})
+	if got := rb.BreakerState(); got != breakerClosed {
+		t.Fatalf("breaker = %s after recovery, want closed", got)
+	}
+
+	// WAL replay: every remote-homed report is byte-identical to pre-kill.
+	for _, id := range remoteIDs {
+		s, err := r.Get(id)
+		if err != nil {
+			t.Fatalf("post-restart Get(%s): %v", id, err)
+		}
+		rep, err := s.Report()
+		if err != nil {
+			t.Fatalf("post-restart report for %s: %v", id, err)
+		}
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(raw) != before[id] {
+			t.Errorf("session %s: post-replay report differs:\n  %s\nvs\n  %s", id, raw, before[id])
+		}
+	}
+
+	// Registry catch-up: the fresh process replays its persisted replica
+	// records and one sync converges it to the control plane's cursor.
+	r.SyncRemotes()
+	wantEpoch, wantSeq := r.replog.Cursor()
+	info, err := rb.shardInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ReplicaEpoch != wantEpoch || info.ReplicaSeq != wantSeq {
+		t.Fatalf("restarted replica cursor (%d,%d) != control cursor (%d,%d)",
+			info.ReplicaEpoch, info.ReplicaSeq, wantEpoch, wantSeq)
+	}
+
+	// The restarted shard accepts new work, with ids minted past everything
+	// it replayed, resolving the pre-kill model through its replica.
+	cfg := testConfig(9)
+	cfg.Model = nil
+	cfg.ModelRef = "east@latest"
+	created := false
+	for i := 0; i < 8 && !created; i++ {
+		s, err := r.Create("post-restart", cfg)
+		if err != nil {
+			t.Fatalf("create after restart: %v", err)
+		}
+		if _, ok := before[s.ID()]; ok {
+			t.Fatalf("post-restart create re-minted existing id %s", s.ID())
+		}
+		if placement.Shard(s.ID(), 2) == 1 {
+			created = true
+			if got := s.Status().Config.ModelRef; got != "east@v1" {
+				t.Fatalf("post-restart remote session pinned %q, want east@v1", got)
+			}
+		}
+	}
+	if !created {
+		t.Fatal("no post-restart session homed on the restarted shard")
+	}
+
+	// Graceful stop reaps the subprocess: no zombie, no survivor.
+	pid2 := sup.Pid(0)
+	r.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	sup.Stop(ctx)
+	waitUntil(t, "shard process to be gone after Stop", func() bool {
+		return syscall.Kill(pid2, 0) != nil
+	})
+}
+
+// TestSupervisorRestartsUnresponsiveShard covers the other death mode: a
+// process that is alive but not answering pings (SIGSTOP) gets killed and
+// replaced by the supervisor.
+func TestSupervisorRestartsUnresponsiveShard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test")
+	}
+	addr := freeAddr(t)
+	sup := NewSupervisor([]string{addr}, shardSpawn(addr, ""), &SupervisorOptions{
+		PingInterval:   50 * time.Millisecond,
+		PingTimeout:    250 * time.Millisecond,
+		PingFailures:   3,
+		RestartBackoff: 100 * time.Millisecond,
+		ReadyTimeout:   15 * time.Second,
+		Logf:           t.Logf,
+	})
+	if err := sup.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Kill()
+
+	pid := sup.Pid(0)
+	if err := syscall.Kill(pid, syscall.SIGSTOP); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "supervisor to replace the frozen shard", func() bool {
+		return sup.Restarts(0) >= 1 && sup.Pid(0) != pid
+	})
+	// The frozen incarnation was SIGKILLed, not leaked; the replacement
+	// answers pings.
+	waitUntil(t, "frozen incarnation to be reaped", func() bool {
+		return syscall.Kill(pid, 0) != nil
+	})
+	waitUntil(t, "replacement shard to answer pings", func() bool {
+		return sup.ping(addr) == nil
+	})
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 
@@ -59,10 +60,15 @@ type SweepCell struct {
 
 // SweepReport aggregates a sweep: all cells in grid order plus the indices
 // of the cheapest (per job) and fastest (makespan) successful cells.
+// Partial marks a sweep in which one or more cells failed because their
+// home shard was unreachable (see ErrShardUnavailable): the surviving
+// cells' reports — and the cheapest/fastest picks among them — are valid,
+// but the grid is incomplete.
 type SweepReport struct {
 	Cells    []SweepCell `json:"cells"`
 	Cheapest string      `json:"cheapest_session,omitempty"`
 	Fastest  string      `json:"fastest_session,omitempty"`
+	Partial  bool        `json:"partial,omitempty"`
 }
 
 // Sweep runs the grid to completion and aggregates the results. See
@@ -114,6 +120,7 @@ func sweepCtx(ctx context.Context, b Backend, req SweepRequest) (SweepReport, er
 	// errors surface per cell), execution shares the bounded pool.
 	cells := make([]SweepCell, 0, len(req.VMTypes)*len(req.Zones)*len(req.Policies)*len(refs))
 	started := make([]*Session, 0, cap(cells))
+	partial := false
 	for _, vt := range req.VMTypes {
 		for _, zone := range req.Zones {
 			for _, pol := range req.Policies {
@@ -151,6 +158,9 @@ func sweepCtx(ctx context.Context, b Backend, req SweepRequest) (SweepReport, er
 					}
 					if err != nil {
 						cell.Error = err.Error()
+						if errors.Is(err, ErrShardUnavailable) {
+							partial = true
+						}
 						if s != nil {
 							// Don't leave a half-configured session registered
 							// (and, with a store attached, durably persisted):
@@ -182,11 +192,17 @@ func sweepCtx(ctx context.Context, b Backend, req SweepRequest) (SweepReport, er
 		s, err := b.Get(cell.SessionID)
 		if err != nil {
 			cell.Error = err.Error()
+			if errors.Is(err, ErrShardUnavailable) {
+				partial = true
+			}
 			continue
 		}
 		r, err := s.Report()
 		if err != nil {
 			cell.Error = err.Error()
+			if errors.Is(err, ErrShardUnavailable) {
+				partial = true
+			}
 			continue
 		}
 		cell.Report = &r
@@ -197,5 +213,6 @@ func sweepCtx(ctx context.Context, b Backend, req SweepRequest) (SweepReport, er
 			rep.Fastest, bestMakespan = cell.SessionID, r.Makespan
 		}
 	}
+	rep.Partial = partial
 	return rep, nil
 }

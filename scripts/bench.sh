@@ -4,7 +4,7 @@
 # performance trajectory PR over PR. Also diffs two recorded baselines.
 #
 # Usage:
-#   scripts/bench.sh                 # default suite -> BENCH_PR8.json
+#   scripts/bench.sh                 # default suite -> BENCH_PR9.json
 #   scripts/bench.sh 'Benchmark.*'   # custom micro pattern (e.g. the full
 #                                    # figure suite; slow)
 #   scripts/bench.sh PATTERN OUT     # custom pattern and output file
@@ -31,9 +31,11 @@
 #   - service (internal/serve): end-to-end sessions/sec through the
 #     multi-session manager at parallelism 1 vs GOMAXPROCS, the same
 #     workload through the sharded router at 1 vs 4 executor shards
-#     (persistence on, one WAL stream per shard), the process-wide
-#     schedule cache's hit rate, and the cold 3x3x2 sweep (18 sessions
-#     against an empty cache; dp_solves/op shows the planner
+#     (persistence on, one WAL stream per shard), the identical workload
+#     with the second shard behind a loopback subprocess (the shard
+#     protocol's transport cost, vs Sharded1's in-process baseline), the
+#     process-wide schedule cache's hit rate, and the cold 3x3x2 sweep
+#     (18 sessions against an empty cache; dp_solves/op shows the planner
 #     singleflight collapsing the cells onto ~one DP build)
 #   - durability (internal/serve): store replay (sessions restored/sec
 #     when a manager boots from a snapshot+WAL data dir), the same boot
@@ -117,7 +119,7 @@ if [ "${1:-}" = "-compare" ]; then
 fi
 
 pattern="${1:-BenchmarkSample|BenchmarkDPSolve|BenchmarkMCMakespan|BenchmarkRegistryIngest|BenchmarkModelResolve}"
-out="${2:-BENCH_PR8.json}"
+out="${2:-BENCH_PR9.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 

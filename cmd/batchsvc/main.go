@@ -10,6 +10,7 @@
 //	         [-compact-bytes N] [-compact-records N]
 //	         [-max-sessions N] [-queue-depth N]
 //	         [-degraded-probe-interval D] [-shutdown-timeout D]
+//	         [-log-format text|json] [-trace-buffer N]
 //	         [-distribute] [-shard-port-base P]
 //	batchsvc -shard-server ADDR [-shard-index N] [-data-dir DIR] ...
 //
@@ -86,6 +87,18 @@
 // -shard-server ADDR runs one such executor shard by hand (or under an
 // external process manager) serving the shard protocol on ADDR; point the
 // router process at it by running it with the same topology.
+//
+// Observability: GET /metrics renders every counter, gauge, and latency
+// histogram (per-shard sessions, queue depth, WAL and DP-solve latency,
+// breaker states, replication lag) in Prometheus text format, on the public
+// listener and on the -pprof loopback mux; shard processes serve their own.
+// Every API request carries an X-Trace-Id (honored inbound, minted
+// otherwise) whose spans — edge, routing, shard execution, WAL persists —
+// are retrievable at GET /api/trace/{id}, merged across shard processes;
+// -trace-buffer sizes the in-memory span ring. All logs are structured
+// (log/slog) with component/shard/session fields; -log-format picks
+// text or JSON lines, and -distribute forwards both flags to the shard
+// subprocesses.
 package main
 
 import (
@@ -93,7 +106,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -105,10 +118,17 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
+
+// fatal logs one structured error line and exits.
+func fatal(logger *slog.Logger, msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -154,12 +174,22 @@ func main() {
 			"protocol for a -distribute router) instead of the public API")
 	shardIndex := flag.Int("shard-index", 0,
 		"with -shard-server, which router slot this shard serves (diagnostics only)")
+	logFormat := flag.String("log-format", "text",
+		"structured log encoding: text (logfmt-style) or json")
+	traceBuffer := flag.Int("trace-buffer", obs.DefaultTraceBuffer,
+		"capacity of the in-memory trace span ring (oldest spans drop past it)")
 	flag.Parse()
+	if err := obs.InitLog(*logFormat, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "batchsvc: %v\n", err)
+		os.Exit(1)
+	}
+	obs.DefaultTracer().SetCapacity(*traceBuffer)
+	logger := obs.Logger("batchsvc")
 	if *shards < 1 {
-		log.Fatalf("batchsvc: -shards must be at least 1 (got %d)", *shards)
+		fatal(logger, "-shards must be at least 1", "shards", *shards)
 	}
 	if *distribute && *shards < 2 {
-		log.Fatalf("batchsvc: -distribute needs -shards of at least 2 (got %d)", *shards)
+		fatal(logger, "-distribute needs -shards of at least 2", "shards", *shards)
 	}
 
 	policy.SetSharedCacheCapacity(*cacheCap)
@@ -175,10 +205,13 @@ func main() {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		// Metrics ride the same loopback mux, so a deployment that keeps the
+		// public listener lean can still be scraped via the -pprof port.
+		mux.Handle("GET /metrics", obs.Default().Handler())
 		go func() {
-			log.Printf("batchsvc: pprof on http://%s/debug/pprof/", pprofAddr)
+			logger.Info("pprof listening", "url", fmt.Sprintf("http://%s/debug/pprof/", pprofAddr))
 			if err := http.ListenAndServe(pprofAddr, mux); err != nil {
-				log.Printf("batchsvc: pprof server: %v", err)
+				logger.Error("pprof server failed", "err", err)
 			}
 		}()
 	}
@@ -191,11 +224,11 @@ func main() {
 	}
 	openShard := func(dir string) *store.Log {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
-			log.Fatalf("batchsvc: creating store dir %s: %v", dir, err)
+			fatal(logger, "creating store dir failed", "dir", dir, "err", err)
 		}
 		st, err := store.OpenOptions(dir, storeOpts)
 		if err != nil {
-			log.Fatalf("batchsvc: opening store %s: %v", dir, err)
+			fatal(logger, "opening store failed", "dir", dir, "err", err)
 		}
 		return st
 	}
@@ -232,7 +265,7 @@ func main() {
 		}
 		self, err := os.Executable()
 		if err != nil {
-			log.Fatalf("batchsvc: resolving own binary for shard spawn: %v", err)
+			fatal(logger, "resolving own binary for shard spawn failed", "err", err)
 		}
 		spawn := func(j int, shardAddr string) *exec.Cmd {
 			shard := j + 1 // supervisor slot j supervises router shard j+1
@@ -250,6 +283,8 @@ func main() {
 				"-wal-segment-records", strconv.Itoa(*segmentRecords),
 				"-compact-bytes", strconv.FormatInt(*compactBytes, 10),
 				"-compact-records", strconv.Itoa(*compactRecords),
+				"-log-format", *logFormat,
+				"-trace-buffer", strconv.Itoa(*traceBuffer),
 			}
 			if *dataDir != "" {
 				args = append(args, "-data-dir", store.ShardDir(*dataDir, shard))
@@ -261,14 +296,14 @@ func main() {
 		}
 		sup = serve.NewSupervisor(topology[1:], spawn, nil)
 		if err := sup.Start(); err != nil {
-			log.Fatalf("batchsvc: starting shard processes: %v", err)
+			fatal(logger, "starting shard processes failed", "err", err)
 		}
-		log.Printf("batchsvc: supervising %d shard processes (ports %d-%d)",
-			*shards-1, *shardPortBase+1, *shardPortBase+*shards-1)
+		logger.Info("supervising shard processes", "count", *shards-1,
+			"port_first", *shardPortBase+1, "port_last", *shardPortBase+*shards-1)
 	}
 	mgr, err := serve.NewRouterTopology(topology, *parallelism, nil)
 	if err != nil {
-		log.Fatalf("batchsvc: %v", err)
+		fatal(logger, "building shard topology failed", "err", err)
 	}
 	mgr.SetMaxSessions(*maxSessions)
 	mgr.SetQueueDepth(*queueDepth)
@@ -291,7 +326,7 @@ func main() {
 		// refuses the migration rather than doing it half-way.
 		extraIdx, err := store.FindShardDirs(*dataDir)
 		if err != nil {
-			log.Fatalf("batchsvc: %v", err)
+			fatal(logger, "scanning shard dirs failed", "err", err)
 		}
 		var extras []serve.Store
 		for _, i := range extraIdx {
@@ -299,19 +334,19 @@ func main() {
 				continue
 			}
 			if *distribute {
-				log.Fatalf("batchsvc: %s holds shard dirs beyond -shards %d; "+
+				fatal(logger, "data dir holds shard dirs beyond the configured count; "+
 					"boot all-local (without -distribute) once to migrate the topology change",
-					*dataDir, *shards)
+					"data_dir", *dataDir, "shards", *shards)
 			}
 			st := openShard(store.ShardDir(*dataDir, i))
 			defer st.Close()
 			extras = append(extras, st)
 		}
 		if err := mgr.Restore(stores, extras...); err != nil {
-			log.Fatalf("batchsvc: restoring sessions: %v", err)
+			fatal(logger, "restoring sessions failed", "err", err)
 		}
 		if n := len(mgr.List()); n > 0 {
-			log.Printf("batchsvc: restored %d sessions from %s (%d shards)", n, *dataDir, *shards)
+			logger.Info("restored sessions", "count", n, "data_dir", *dataDir, "shards", *shards)
 		}
 	}
 	if *distribute {
@@ -326,9 +361,15 @@ func main() {
 	// wait out its full timeout on any connected events client.
 	connCtx, closeConns := context.WithCancel(context.Background())
 	defer closeConns()
+	// The public mux: the API surface plus the metrics exposition. /metrics
+	// sits outside the /api instrumentation so scrapes never perturb the
+	// request latency series they read.
+	publicMux := http.NewServeMux()
+	publicMux.Handle("/", serve.NewAPI(mgr).Handler())
+	publicMux.Handle("GET /metrics", obs.Default().Handler())
 	srv := &http.Server{
 		Addr:        *addr,
-		Handler:     serve.NewAPI(mgr).Handler(),
+		Handler:     publicMux,
 		BaseContext: func(net.Listener) context.Context { return connCtx },
 	}
 
@@ -337,7 +378,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("batchsvc: serving on %s (%d shards, parallelism %d)", *addr, *shards, *parallelism)
+		logger.Info("serving", "addr", *addr, "shards", *shards, "parallelism", *parallelism)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -346,11 +387,12 @@ func main() {
 		if sup != nil {
 			sup.Kill()
 		}
-		log.Fatalf("batchsvc: %v", err)
+		fatal(logger, "server failed", "err", err)
 	case <-ctx.Done():
 	}
 
-	log.Printf("batchsvc: shutting down; draining in-flight sessions (up to %s; signal again to force exit)", *shutdownTimeout)
+	logger.Info("shutting down; draining in-flight sessions (signal again to force exit)",
+		"drain_timeout", shutdownTimeout.String())
 	// A second signal aborts the drain. stop() releases NotifyContext's
 	// registration; our own watcher takes over so the forced path is
 	// explicit and logged rather than the runtime's default kill.
@@ -359,7 +401,7 @@ func main() {
 	signal.Notify(force, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-force
-		log.Print("batchsvc: second signal; forcing exit")
+		logger.Warn("second signal; forcing exit")
 		if sup != nil {
 			// Reap the shard fleet before dying: a forced exit must not leave
 			// orphaned shard processes holding their ports.
@@ -371,7 +413,7 @@ func main() {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("batchsvc: shutdown: %v", err)
+		logger.Error("shutdown failed", "err", err)
 	}
 	// Let running simulations finish so their reports land in the store (or
 	// at least in the final log lines). A session still running when the
@@ -381,7 +423,8 @@ func main() {
 	select {
 	case <-done:
 	case <-time.After(*shutdownTimeout):
-		log.Printf("batchsvc: sessions still running after %s; exiting anyway", *shutdownTimeout)
+		logger.Warn("sessions still running past drain window; exiting anyway",
+			"drain_timeout", shutdownTimeout.String())
 	}
 	if sup != nil {
 		// Shard processes drain last: their own SIGTERM handlers run the same
@@ -392,7 +435,7 @@ func main() {
 		sup.Stop(drainCtx)
 		cancelDrain()
 	}
-	log.Print("batchsvc: bye")
+	logger.Info("bye")
 }
 
 // shardServerConfig carries the -shard-server flag set.
@@ -415,6 +458,7 @@ type shardServerConfig struct {
 // registry to it; WAL replay on restart makes a crash here a contained
 // fault, not a data loss.
 func runShardServer(cfg shardServerConfig) {
+	logger := obs.Logger("batchsvc").With("shard", cfg.index)
 	m := serve.NewShardManager(cfg.parallelism)
 	m.SetShardIndex(cfg.index)
 	m.SetMaxSessions(cfg.maxSessions)
@@ -424,10 +468,10 @@ func runShardServer(cfg shardServerConfig) {
 		st := cfg.openShard(cfg.dataDir)
 		defer st.Close()
 		if err := m.Restore(st); err != nil {
-			log.Fatalf("batchsvc[shard %d]: restoring: %v", cfg.index, err)
+			fatal(logger, "restoring sessions failed", "err", err)
 		}
 		if n := len(m.List()); n > 0 {
-			log.Printf("batchsvc[shard %d]: restored %d sessions from %s", cfg.index, n, cfg.dataDir)
+			logger.Info("restored sessions", "count", n, "data_dir", cfg.dataDir)
 		}
 	}
 	defer m.Close()
@@ -444,32 +488,31 @@ func runShardServer(cfg shardServerConfig) {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("batchsvc[shard %d]: serving shard protocol on %s (parallelism %d)",
-			cfg.index, cfg.addr, cfg.parallelism)
+		logger.Info("serving shard protocol", "addr", cfg.addr, "parallelism", cfg.parallelism)
 		errc <- srv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
-		log.Fatalf("batchsvc[shard %d]: %v", cfg.index, err)
+		fatal(logger, "shard server failed", "err", err)
 	case <-ctx.Done():
 	}
 
-	log.Printf("batchsvc[shard %d]: shutting down (drain up to %s)", cfg.index, cfg.shutdownTimeout)
+	logger.Info("shutting down", "drain_timeout", cfg.shutdownTimeout.String())
 	stop()
 	closeConns()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("batchsvc[shard %d]: shutdown: %v", cfg.index, err)
+		logger.Error("shutdown failed", "err", err)
 	}
 	done := make(chan struct{})
 	go func() { m.Wait(); close(done) }()
 	select {
 	case <-done:
 	case <-time.After(cfg.shutdownTimeout):
-		log.Printf("batchsvc[shard %d]: sessions still running after %s; exiting anyway",
-			cfg.index, cfg.shutdownTimeout)
+		logger.Warn("sessions still running past drain window; exiting anyway",
+			"drain_timeout", cfg.shutdownTimeout.String())
 	}
-	log.Printf("batchsvc[shard %d]: bye", cfg.index)
+	logger.Info("bye")
 }

@@ -25,6 +25,11 @@ type Report struct {
 	IncreasePct float64 `json:"increase_pct"`
 	// MeanAttempts is the average number of attempts per job.
 	MeanAttempts float64 `json:"mean_attempts"`
+	// TraceID links the report back to the request trace that created its
+	// session (GET /api/trace/{id}), when the session arrived through the
+	// traced HTTP edge. The serving layer sets it before the report is
+	// persisted, so a restored session's report carries the same trace.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func (s *Service) report() Report {

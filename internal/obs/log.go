@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"sync"
+)
+
+// Structured logging: every component logs through log/slog with a
+// `component` attribute (plus `shard`, `session`, `trace_id` where they
+// apply), so one grep — or one jq filter in json mode — attributes any
+// line to the layer and shard that wrote it. InitLog picks the handler
+// once at startup from batchsvc's -log-format flag; libraries call
+// Logger(component) and never care which format is active.
+
+var logMu sync.Mutex
+
+// InitLog installs the process-wide slog handler writing to w in the
+// given format ("text" or "json"; "" defaults to text). It is called once
+// from main (and from tests that want to capture output).
+func InitLog(format string, w io.Writer) error {
+	if w == nil {
+		w = os.Stderr
+	}
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(w, nil)
+	case "json":
+		h = slog.NewJSONHandler(w, nil)
+	default:
+		return fmt.Errorf("obs: unknown log format %q (want \"text\" or \"json\")", format)
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	slog.SetDefault(slog.New(h))
+	return nil
+}
+
+// Logger returns the process logger tagged with its component.
+func Logger(component string) *slog.Logger {
+	return slog.Default().With("component", component)
+}

@@ -1,0 +1,424 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the metric registry: families of named series (counters,
+// gauges, histograms) rendered in the Prometheus text exposition format.
+// Everything is get-or-create — asking for the same (name, labels) series
+// twice returns the same pointer, so packages can register their series at
+// construction time without coordinating, and `-race -count=2` reruns in
+// one process simply keep accumulating. All update paths are lock-free
+// atomics; the registry lock is only taken on registration and scrape.
+//
+// Every method is nil-receiver-safe: a nil *Counter / *Gauge / *Histogram
+// is a no-op sink. Lower layers (internal/store, internal/batch) hold
+// optional metric fields that the serving layer fills in with
+// shard-labeled series; when nobody wires them up, the hot path pays one
+// predicted-not-taken branch and nothing else.
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) write(w *bufio.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, labels, c.Value())
+}
+
+// Gauge is a float64 value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta (CAS loop; gauges are low-frequency).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) write(w *bufio.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(g.Value()))
+}
+
+// gaugeFunc is a gauge whose value is computed at scrape time. The
+// callback must be safe to invoke from any goroutine.
+type gaugeFunc struct {
+	mu sync.Mutex
+	fn func() float64
+}
+
+func (g *gaugeFunc) set(fn func() float64) {
+	g.mu.Lock()
+	g.fn = fn
+	g.mu.Unlock()
+}
+
+func (g *gaugeFunc) write(w *bufio.Writer, name, labels string) {
+	g.mu.Lock()
+	fn := g.fn
+	g.mu.Unlock()
+	v := 0.0
+	if fn != nil {
+		v = fn()
+	}
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(v))
+}
+
+// DefBuckets is the default latency bucket ladder, in seconds: roughly
+// geometric with ratio ~2.2-2.5 from 50µs to 30s, wide enough to span a
+// WAL fsync (~100µs-1ms), a cold DP solve (~20ms), and a slow sweep
+// request (seconds) in one scheme. See doc.go for the rationale.
+var DefBuckets = []float64{
+	5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2,
+	2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// Histogram is a fixed-bucket latency histogram. Buckets are upper bounds
+// in ascending order; one overflow bucket (+Inf) is implicit. Observe is
+// one binary search plus two atomic adds and a CAS for the sum.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64   // float64 bits
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value (typically seconds).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reports how many observations have been recorded.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the total of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+func (h *Histogram) write(w *bufio.Writer, name, labels string) {
+	// Prometheus buckets are cumulative and carry the le label alongside
+	// any series labels.
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(labels, "le", formatFloat(b)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(labels, "le", "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.count.Load())
+}
+
+// metric is anything a family can hold and render.
+type metric interface {
+	write(w *bufio.Writer, name, labels string)
+}
+
+// family is one metric name: its HELP/TYPE header plus every labeled
+// series registered under it.
+type family struct {
+	name, help, typ string
+	series          map[string]metric // rendered label block -> series
+}
+
+// Registry is a set of metric families. The zero value is not usable; use
+// NewRegistry or the process-wide Default.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var (
+	defaultRegistry     *Registry
+	defaultRegistryOnce sync.Once
+)
+
+// Default returns the process-wide registry that /metrics serves.
+func Default() *Registry {
+	defaultRegistryOnce.Do(func() { defaultRegistry = NewRegistry() })
+	return defaultRegistry
+}
+
+// get returns name's family, creating it with the given help/type on
+// first use. A type conflict on an existing family panics: two packages
+// claiming one name as different kinds is a programming error worth
+// failing loudly on.
+func (r *Registry) get(name, help, typ string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]metric)}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// Counter returns the counter series for (name, labels), creating it on
+// first use. Labels are alternating key, value pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	f := r.get(name, help, "counter")
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := f.series[key]; ok {
+		return m.(*Counter)
+	}
+	c := &Counter{}
+	f.series[key] = c
+	return c
+}
+
+// Gauge returns the gauge series for (name, labels), creating it on first
+// use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	f := r.get(name, help, "gauge")
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := f.series[key]; ok {
+		return m.(*Gauge)
+	}
+	g := &Gauge{}
+	f.series[key] = g
+	return g
+}
+
+// GaugeFunc registers fn as the scrape-time value of the gauge series for
+// (name, labels). Re-registering the same series replaces the callback —
+// a restarted Manager (tests, shard respawn in one process) takes over
+// its own series rather than leaving a stale closure behind.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	f := r.get(name, help, "gauge")
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := f.series[key]; ok {
+		m.(*gaugeFunc).set(fn)
+		return
+	}
+	g := &gaugeFunc{}
+	g.set(fn)
+	f.series[key] = g
+}
+
+// Histogram returns the histogram series for (name, labels), creating it
+// with the given bucket bounds on first use (nil bounds selects
+// DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	f := r.get(name, help, "histogram")
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := f.series[key]; ok {
+		return m.(*Histogram)
+	}
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	h := newHistogram(bounds)
+	f.series[key] = h
+	return h
+}
+
+// WriteTo renders the registry in the Prometheus text exposition format
+// (version 0.0.4): families sorted by name, series sorted by label block,
+// each family headed by its # HELP and # TYPE lines.
+func (r *Registry) WriteTo(w *bufio.Writer) {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.RUnlock()
+
+	for _, f := range fams {
+		r.mu.RLock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		series := make([]metric, len(keys))
+		for i, k := range keys {
+			series[i] = f.series[k]
+		}
+		r.mu.RUnlock()
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for i, m := range series {
+			m.write(w, f.name, keys[i])
+		}
+	}
+}
+
+// Handler serves the registry at GET /metrics in the text exposition
+// format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		bw := bufio.NewWriter(w)
+		r.WriteTo(bw)
+		bw.Flush()
+	})
+}
+
+// renderLabels turns alternating key, value pairs into a canonical
+// `{k="v",...}` block, sorted by key ("" for no labels). Values are
+// escaped per the exposition format.
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: labels must be alternating key, value pairs")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabels inserts one extra pair (the histogram le label) into an
+// already-rendered block.
+func mergeLabels(labels, k, v string) string {
+	extra := k + `="` + escapeLabel(v) + `"`
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

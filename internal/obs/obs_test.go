@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the exposition render byte-for-byte: family
+// ordering, HELP/TYPE headers, label sorting and escaping, cumulative
+// histogram buckets with merged le labels, and float formatting. Any
+// scraper-visible change to the format must update this test knowingly.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_requests_total", "Requests.", "route", "/api/sessions", "code", "200").Add(3)
+	r.Counter("zz_requests_total", "Requests.", "route", "/api/stats", "code", "200").Inc()
+	r.Gauge("aa_depth", "Queue depth.", "shard", "0").Set(2)
+	r.GaugeFunc("mm_lag", "Replication lag.", func() float64 { return 1.5 }, "shard", "1")
+	h := r.Histogram("hh_seconds", "Latency.", []float64{0.1, 1}, "op", `we"ird\`)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	w := bufio.NewWriter(&sb)
+	r.WriteTo(w)
+	w.Flush()
+
+	want := `# HELP aa_depth Queue depth.
+# TYPE aa_depth gauge
+aa_depth{shard="0"} 2
+# HELP hh_seconds Latency.
+# TYPE hh_seconds histogram
+hh_seconds_bucket{op="we\"ird\\",le="0.1"} 1
+hh_seconds_bucket{op="we\"ird\\",le="1"} 2
+hh_seconds_bucket{op="we\"ird\\",le="+Inf"} 3
+hh_seconds_sum{op="we\"ird\\"} 5.55
+hh_seconds_count{op="we\"ird\\"} 3
+# HELP mm_lag Replication lag.
+# TYPE mm_lag gauge
+mm_lag{shard="1"} 1.5
+# HELP zz_requests_total Requests.
+# TYPE zz_requests_total counter
+zz_requests_total{code="200",route="/api/sessions"} 3
+zz_requests_total{code="200",route="/api/stats"} 1
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestGetOrCreateReturnsSameSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "c", "shard", "0")
+	b := r.Counter("c_total", "c", "shard", "0")
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatalf("shared counter value = %d, want 1", b.Value())
+	}
+	// Label order must not matter for series identity.
+	g1 := r.Gauge("g", "g", "a", "1", "b", "2")
+	g2 := r.Gauge("g", "g", "b", "2", "a", "1")
+	if g1 != g2 {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x_total as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Tracer
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	tr.Emit(Span{TraceID: "x"})
+	tr.Span("x", "c", "n", 0, "")()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || tr.Spans("x") != nil {
+		t.Fatal("nil metrics leaked state")
+	}
+}
+
+func TestHandlerServesMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "ok").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q missing exposition version", ct)
+	}
+	var sb strings.Builder
+	if _, err := copyAll(&sb, resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ok_total 1") {
+		t.Fatalf("body missing series: %q", sb.String())
+	}
+	req, _ := http.NewRequest(http.MethodPost, srv.URL, nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics = %d, want 405", resp2.StatusCode)
+	}
+}
+
+func copyAll(sb *strings.Builder, resp *http.Response) (int64, error) {
+	buf := make([]byte, 4096)
+	var n int64
+	for {
+		k, err := resp.Body.Read(buf)
+		sb.Write(buf[:k])
+		n += int64(k)
+		if err != nil {
+			if err.Error() == "EOF" {
+				return n, nil
+			}
+			return n, nil
+		}
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		tr.Emit(Span{TraceID: "t", Shard: i})
+	}
+	spans := tr.Spans("t")
+	if len(spans) != 4 {
+		t.Fatalf("ring of 4 holds %d spans", len(spans))
+	}
+	for i, s := range spans {
+		if s.Shard != i+2 {
+			t.Fatalf("span %d shard = %d, want %d (oldest-first after wrap)", i, s.Shard, i+2)
+		}
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+}
+
+func TestTracerIgnoresUntraced(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Emit(Span{})
+	tr.Span("", "c", "n", 0, "")()
+	if got := tr.Spans(""); got != nil {
+		t.Fatalf("untraced spans recorded: %v", got)
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	ctx := context.Background()
+	if TraceID(ctx) != "" {
+		t.Fatal("fresh context has a trace")
+	}
+	ctx2, id := EnsureTrace(ctx)
+	if id == "" || TraceID(ctx2) != id {
+		t.Fatalf("EnsureTrace: id=%q ctx=%q", id, TraceID(ctx2))
+	}
+	ctx3, id3 := EnsureTrace(ctx2)
+	if id3 != id || ctx3 != ctx2 {
+		t.Fatal("EnsureTrace re-minted on a traced context")
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/", nil)
+	req.Header.Set(TraceHeader, "abc123")
+	_, got := TraceFromRequest(req)
+	if got != "abc123" {
+		t.Fatalf("TraceFromRequest ignored header: %q", got)
+	}
+	req2 := httptest.NewRequest(http.MethodGet, "/", nil)
+	_, minted := TraceFromRequest(req2)
+	if len(minted) != 16 {
+		t.Fatalf("minted trace id %q, want 16 hex chars", minted)
+	}
+}
+
+// TestConcurrentScrape hammers every metric type and the tracer from
+// writers while scraping — the in-package half of the scrape-while-serving
+// race coverage (run under -race -count=2 in CI's chaos job).
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(64)
+	// Register the families up front so every scrape below must see them;
+	// the goroutines then only update series.
+	r.Counter("cc_total", "c", "w", "a")
+	r.Histogram("hh_seconds", "h", nil)
+	r.Gauge("gg", "g")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("cc_total", "c", "w", string(rune('a'+w)))
+			h := r.Histogram("hh_seconds", "h", nil)
+			g := r.Gauge("gg", "g")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(float64(i%7) / 100)
+				g.Set(float64(i))
+				tr.Emit(Span{TraceID: "t", Shard: w})
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var sb strings.Builder
+		bw := bufio.NewWriter(&sb)
+		r.WriteTo(bw)
+		bw.Flush()
+		if !strings.Contains(sb.String(), "# TYPE cc_total counter") {
+			t.Fatal("scrape lost a family")
+		}
+		tr.Spans("t")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// BenchmarkObsOverhead isolates the per-event cost the instrumented hot
+// paths pay: one counter increment plus one histogram observation (the
+// combination the HTTP and WAL paths add per request/append), and the
+// span-helper no-op for untraced work.
+func BenchmarkObsOverhead(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "b", "shard", "0")
+	h := r.Histogram("bench_seconds", "b", nil, "shard", "0")
+	tr := NewTracer(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(0.0012)
+		tr.Span("", "bench", "noop", 0, "")()
+	}
+}

@@ -9,6 +9,17 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// dpSolveSeconds is the process-wide DP solve latency distribution: one
+// observation per actual table build (joined flights and cache hits do
+// not observe — they paid nothing). The aggregate per-planner counters
+// stay in SolveStats; the histogram adds the shape /metrics needs.
+var dpSolveSeconds = obs.Default().Histogram(
+	"batchsvc_dp_solve_seconds",
+	"Checkpoint-DP table build latency in seconds (one observation per solve, incremental extensions included).",
+	nil,
 )
 
 // CheckpointPlanner computes optimal checkpoint schedules for bathtub
@@ -425,6 +436,7 @@ func (p *CheckpointPlanner) solve(jobLen float64) *table {
 	start := time.Now()
 	tb, notes := p.extend(base, n)
 	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	dpSolveSeconds.Observe(ms / 1e3)
 
 	p.mu.Lock()
 	p.cached = tb

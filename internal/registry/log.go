@@ -7,6 +7,17 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Replication-traffic counters. Lag itself is computed at scrape time
+// from the two Cursor()s (the router knows both ends); these count the
+// flow so a stalled replica is distinguishable from an idle registry.
+var (
+	replAppends = obs.Default().Counter("batchsvc_replication_appends_total",
+		"Replication log entries appended by the control plane.")
+	replApplies = obs.Default().Counter("batchsvc_replication_applies_total",
+		"Replication log entries applied by replicas in this process (duplicates skipped not counted).")
 )
 
 // This file implements the replication log that carries registry state to
@@ -65,6 +76,7 @@ func (l *Log) Append(u Update) LogEntry {
 	l.seq++
 	e := LogEntry{Seq: l.seq, Name: u.Name, Scenario: u.Scenario, Versions: u.Versions}
 	l.latest[u.Name] = e
+	replAppends.Inc()
 	return e
 }
 
@@ -125,6 +137,7 @@ func (r *Replica) ApplyEntry(epoch uint64, e LogEntry) error {
 	if e.Seq > r.seq {
 		r.seq = e.Seq
 	}
+	replApplies.Inc()
 	return nil
 }
 

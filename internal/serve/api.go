@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/policy"
 )
 
@@ -51,7 +52,11 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("POST /api/models/{name}/refit", a.handleModelRefit)
 	mux.HandleFunc("POST /api/sweep", a.handleSweep)
 	mux.HandleFunc("GET /api/stats", a.handleStats)
-	return jsonErrors(mux)
+	mux.HandleFunc("GET /api/trace/{id}", a.handleTrace)
+	// The edge middleware wraps the whole surface: it owns trace extraction
+	// and the per-route request metrics, consulting the mux for the matched
+	// pattern so the route label never echoes raw request paths.
+	return instrumentHTTP(mux, jsonErrors(mux))
 }
 
 // decodeStrict decodes one JSON value, rejecting unknown fields and
@@ -331,6 +336,20 @@ func collectDPSolveStats() dpSolveStats {
 
 func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, a.b.statsPayload())
+}
+
+// handleTrace returns the recorded spans for one trace ID, oldest first.
+// On a Router the spans are merged from the local ring and every remote
+// shard's, so one call shows the whole edge-to-WAL path. An unknown (or
+// already evicted) trace returns an empty span list, not a 404: absence of
+// spans is indistinguishable from eviction by design.
+func (a *API) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spans := a.b.Trace(id)
+	if spans == nil {
+		spans = []obs.Span{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"trace_id": id, "spans": spans})
 }
 
 // statsPayload assembles GET /api/stats for a single-manager service; the

@@ -9,7 +9,6 @@ package serve
 import (
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
 	"time"
 
@@ -118,7 +117,7 @@ func (m *Manager) enterDegraded(cause error) {
 	m.degraded = true
 	m.degradedReason = cause.Error()
 	m.degradedSince = time.Now()
-	log.Printf("serve: entering degraded read-only mode: %v", cause)
+	m.slogger().Warn("entering degraded read-only mode", "reason", cause.Error())
 	if !m.probing {
 		m.probing = true
 		m.maintWG.Add(1)
@@ -192,7 +191,7 @@ func (m *Manager) tryRecover() bool {
 		return false
 	}
 	if err := m.CompactStore(); err != nil {
-		log.Printf("serve: degraded recovery compaction: %v", err)
+		m.slogger().Error("degraded recovery compaction failed", "err", err)
 		return false
 	}
 	m.exitDegraded()
@@ -225,7 +224,7 @@ func (m *Manager) exitDegraded() {
 		s.unpersisted = false
 		s.mu.Unlock()
 	}
-	log.Printf("serve: store recovered; leaving degraded mode (%d sessions healed)", len(healed))
+	m.slogger().Info("store recovered; leaving degraded mode", "healed_sessions", len(healed))
 	for _, info := range m.registry.List() {
 		if info.AutoRefit && info.Flagged && info.RefitBuffered >= info.MinRefitSamples {
 			m.startAutoRefit(info.Name)
@@ -248,7 +247,7 @@ func (m *Manager) maintain() {
 		}
 		retry = nil
 		if err := m.CompactStore(); err != nil {
-			log.Printf("serve: online compaction: %v", err)
+			m.slogger().Error("online compaction failed", "err", err)
 			retry = time.After(m.probeInterval())
 		}
 	}

@@ -3,7 +3,6 @@ package serve
 import (
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
 	"runtime/debug"
 	"time"
@@ -220,7 +219,7 @@ func (m *Manager) startAutoRefit(name string) {
 		// Losing to a concurrent manual refit (or its detector reset) is
 		// a benign race, not an operator-visible failure.
 		if err != nil && !errors.Is(err, registry.ErrRefitInProgress) && !errors.Is(err, registry.ErrNotReady) {
-			log.Printf("serve: auto-refit of model %s: %v", name, err)
+			m.slogger().Error("auto-refit failed", "model", name, "err", err)
 		}
 	}()
 }

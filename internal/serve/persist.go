@@ -4,11 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
 	"sort"
+	"time"
 
 	"repro/internal/batch"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/store"
 )
@@ -93,10 +94,13 @@ type seqRecord struct {
 	Max int `json:"max"`
 }
 
-// createRecord is the payload of a kindCreate record.
+// createRecord is the payload of a kindCreate record. TraceID preserves
+// the creating request's trace across restarts, so a restored session's
+// status and report still point at the trace that made it.
 type createRecord struct {
-	Name   string        `json:"name,omitempty"`
-	Config SessionConfig `json:"config"`
+	Name    string        `json:"name,omitempty"`
+	Config  SessionConfig `json:"config"`
+	TraceID string        `json:"trace_id,omitempty"`
 }
 
 // terminalRecord is the payload of done/failed/cancelled records. Done
@@ -133,6 +137,16 @@ func boundJobs(jobs []batch.JobStatus) ([]batch.JobStatus, bool) {
 func (s *Session) persist(kind string, v any) error {
 	if s.store == nil {
 		return nil
+	}
+	if s.traceID != "" {
+		start := time.Now()
+		defer func() {
+			obs.DefaultTracer().Emit(obs.Span{
+				TraceID: s.traceID, Component: "wal", Name: "wal.persist",
+				Shard: s.shard, Session: s.id, Detail: kind, Start: start,
+				DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+			})
+		}()
 	}
 	if _, err := s.store.Append(kind, s.id, v); err != nil {
 		if errors.Is(err, ErrDegraded) {
@@ -206,7 +220,8 @@ func (m *Manager) persistTerminal(s *Session, svc *batch.Service) {
 		rec.Error = errMsg
 	}
 	if err := s.persist(kind, rec); err != nil {
-		log.Printf("serve: session %s: %v", s.id, err)
+		m.slogger().Error("terminal persist failed",
+			"session", s.id, "trace_id", s.traceID, "err", err)
 		if errors.Is(err, ErrDegraded) {
 			m.markUnpersisted(s)
 		}
@@ -217,6 +232,7 @@ func (m *Manager) persistTerminal(s *Session, svc *batch.Service) {
 type pendingSession struct {
 	name       string
 	cfg        SessionConfig
+	traceID    string
 	bags       []BagRequest
 	state      State
 	wasRunning bool
@@ -273,7 +289,7 @@ func parseStoreRecords(recs []store.Record) (*parsedStore, error) {
 			if err := json.Unmarshal(rec.Data, &cr); err != nil {
 				return nil, fmt.Errorf("serve: corrupt create record for %s: %w", rec.ID, err)
 			}
-			ps.sessions[rec.ID] = &pendingSession{name: cr.Name, cfg: cr.Config, state: StateCreated}
+			ps.sessions[rec.ID] = &pendingSession{name: cr.Name, cfg: cr.Config, traceID: cr.TraceID, state: StateCreated}
 			ps.order = append(ps.order, rec.ID)
 			// Track the id sequence across every session ever created —
 			// including ones later deleted — so new ids never collide.
@@ -381,7 +397,7 @@ func (m *Manager) persistReplicaEntry(epoch uint64, e registry.LogEntry) {
 	}
 	defer m.rlockPersistGate()()
 	if _, err := st.Append(kindReplica, e.Name, replicaRecord{Epoch: epoch, Entry: e}); err != nil {
-		log.Printf("serve: shard %d: persisting replica entry %s: %v", m.shard, e.Name, err)
+		m.slogger().Error("persisting replica entry failed", "entry", e.Name, "err", err)
 	}
 }
 
@@ -430,6 +446,7 @@ func (m *Manager) attachStore(st Store) error {
 	// must reach the real store even while the guard is failing fast.
 	m.innerStore = st
 	m.store = &guardedStore{m: m, inner: st}
+	m.instrumentStore(st)
 	return nil
 }
 
@@ -558,6 +575,8 @@ func (m *Manager) rebuild(id string, p *pendingSession) (*Session, error) {
 		svc:      svc,
 		done:     make(chan struct{}),
 		restored: true,
+		traceID:  p.traceID,
+		shard:    m.shard,
 	}
 	// Replay bags with no store attached: the records already exist.
 	for _, bag := range p.bags {
@@ -668,7 +687,7 @@ func (m *Manager) CompactStore() error {
 			s.mu.Unlock()
 			continue
 		}
-		if err := appendRec(kindCreate, s.id, createRecord{Name: s.name, Config: s.cfg}); err != nil {
+		if err := appendRec(kindCreate, s.id, createRecord{Name: s.name, Config: s.cfg, TraceID: s.traceID}); err != nil {
 			s.mu.Unlock()
 			return err
 		}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/store"
 )
@@ -100,6 +101,11 @@ type RemoteBackend struct {
 	client  *http.Client
 	opts    RemoteOptions
 	breaker *breaker
+	// shard is the slot index under a Router (-1 standalone), stamped on
+	// the client-side spans; retries counts backoff retries for the
+	// per-shard metric (nil — a safe no-op — outside a Router).
+	shard   int
+	retries *obs.Counter
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -123,6 +129,7 @@ func NewRemoteBackend(addr string, opts *RemoteOptions) *RemoteBackend {
 		client:   o.Client,
 		opts:     o,
 		breaker:  newBreaker(o.BreakerThreshold, o.BreakerCooldown),
+		shard:    -1,
 		sessions: make(map[string]*Session),
 	}
 }
@@ -165,6 +172,11 @@ func (rb *RemoteBackend) do(ctx context.Context, method, path string, in, out an
 // a shard-made decision, not a transport failure: it is returned as an
 // apiError with the shard's code and never retried.
 func (rb *RemoteBackend) doTimeout(ctx context.Context, method, path string, in, out any, idempotent bool, timeout time.Duration) error {
+	if tid := obs.TraceID(ctx); tid != "" {
+		// One client-side span per logical call (retries included), so the
+		// trace shows the router-to-shard hop and its total cost.
+		defer obs.DefaultTracer().Span(tid, "remote", method+" "+path, rb.shard, "")()
+	}
 	var body []byte
 	if in != nil {
 		raw, err := json.Marshal(in)
@@ -182,6 +194,7 @@ func (rb *RemoteBackend) doTimeout(ctx context.Context, method, path string, in,
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			rb.retries.Inc()
 			// Exponential backoff with jitter: base*2^(attempt-1) plus up to
 			// half of itself again, so a thundering herd of retries spreads.
 			d := rb.opts.RetryBase << (attempt - 1)
@@ -233,6 +246,9 @@ func (rb *RemoteBackend) attempt(ctx context.Context, method, path string, body 
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if tid := obs.TraceID(opCtx); tid != "" {
+		req.Header.Set(obs.TraceHeader, tid)
 	}
 	resp, err := rb.client.Do(req)
 	if err != nil {
@@ -443,6 +459,26 @@ func (rb *RemoteBackend) pushReplication(epoch uint64, entries []registry.LogEnt
 	err := rb.do(context.Background(), http.MethodPost, "/shard/replication",
 		replicationPush{Epoch: epoch, Entries: entries}, &ack, true)
 	return ack, err
+}
+
+// traceSpans fetches the shard's recorded spans for one trace ID
+// (GET /api/trace/{id} — the shard serves the same trace endpoint the
+// router does, so no extra protocol surface is needed).
+func (rb *RemoteBackend) traceSpans(id string) ([]obs.Span, error) {
+	var out struct {
+		Spans []obs.Span `json:"spans"`
+	}
+	if err := rb.do(context.Background(), http.MethodGet, "/api/trace/"+id, nil, &out, true); err != nil {
+		return nil, err
+	}
+	return out.Spans, nil
+}
+
+// Trace returns the shard's spans for one trace ID; an unreachable shard
+// contributes none (trace retrieval is best-effort by design).
+func (rb *RemoteBackend) Trace(id string) []obs.Span {
+	spans, _ := rb.traceSpans(id)
+	return spans
 }
 
 // waitPollTimeout is the long-poll window for Wait and session watches; the

@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/policy"
 	"repro/internal/registry"
@@ -36,6 +38,9 @@ type Backend interface {
 	ModelInfo(name string) (registry.Info, error)
 	IngestObservations(name string, lifetimes []float64) (registry.IngestResult, error)
 	RefitModel(name, source string) (registry.Version, error)
+	// Trace returns the recorded spans for one trace ID, oldest first; a
+	// Router merges the local ring with every remote shard's.
+	Trace(id string) []obs.Span
 	Wait()
 	Close()
 	statsPayload() map[string]any
@@ -49,6 +54,15 @@ var (
 // ListPartial on a single Manager is just List: one process, no partial
 // failure domain.
 func (m *Manager) ListPartial() ([]*Session, []ShardError) { return m.List(), nil }
+
+// Trace on a single Manager reads the process-wide span ring. The ring
+// orders spans by when they finished; callers get them by start time, the
+// order a trace viewer would draw them.
+func (m *Manager) Trace(id string) []obs.Span {
+	spans := obs.DefaultTracer().Spans(id)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	return spans
+}
 
 // listSessions adapts List to the shard-slot shape.
 func (m *Manager) listSessions() ([]*Session, error) { return m.List(), nil }
@@ -102,6 +116,10 @@ type Router struct {
 
 	mu  sync.Mutex
 	seq int
+	// remoteAcked[i] is the highest replication seq shard i has confirmed
+	// (via its info cursor or a push ack); the per-shard replication-lag
+	// gauge reads it at scrape time against the log's own cursor.
+	remoteAcked []uint64
 
 	repStop   chan struct{}
 	repWG     sync.WaitGroup
@@ -151,12 +169,13 @@ func NewRouterTopology(topology []string, parallelism int, opts *RemoteOptions) 
 	per := (parallelism + nlocal - 1) / nlocal
 
 	r := &Router{
-		slots:   make([]shardSlot, nshards),
-		locals:  make([]*Manager, nshards),
-		remotes: make([]*RemoteBackend, nshards),
-		replog:  registry.NewLog(),
-		wakes:   make([]chan struct{}, nshards),
-		repStop: make(chan struct{}),
+		slots:       make([]shardSlot, nshards),
+		locals:      make([]*Manager, nshards),
+		remotes:     make([]*RemoteBackend, nshards),
+		replog:      registry.NewLog(),
+		wakes:       make([]chan struct{}, nshards),
+		remoteAcked: make([]uint64, nshards),
+		repStop:     make(chan struct{}),
 	}
 	// All local shards share one fit cache: fitting is deterministic in the
 	// recipe, so a session on shard 2 reuses the registry a session on
@@ -169,6 +188,9 @@ func NewRouterTopology(topology []string, parallelism int, opts *RemoteOptions) 
 			m := NewManager(per)
 			m.models = models
 			m.shard = i
+			// Rebind the metric series to the real shard index (NewManager
+			// bound them to 0).
+			m.obsInit()
 			if i > 0 {
 				rep := registry.NewReplica()
 				m.resolver = rep
@@ -179,6 +201,27 @@ func NewRouterTopology(topology []string, parallelism int, opts *RemoteOptions) 
 			continue
 		}
 		rb := NewRemoteBackend(addr, opts)
+		rb.shard = i
+		rb.retries = obs.Default().Counter("batchsvc_remote_retries_total",
+			"Retried remote shard calls (transport failures on idempotent operations), by shard.",
+			"shard", shardLabel(i))
+		obs.Default().GaugeFunc("batchsvc_shard_breaker_state",
+			"Remote shard circuit-breaker state: 0 closed, 1 half-open, 2 open.",
+			func() float64 { return breakerStateValue(rb.BreakerState()) },
+			"shard", shardLabel(i))
+		shard := i
+		obs.Default().GaugeFunc("batchsvc_replication_lag",
+			"Replication log entries the remote shard has not yet confirmed, by shard.",
+			func() float64 {
+				_, seq := r.replog.Cursor()
+				r.mu.Lock()
+				acked := r.remoteAcked[shard]
+				r.mu.Unlock()
+				if seq <= acked {
+					return 0
+				}
+				return float64(seq - acked)
+			}, "shard", shardLabel(i))
 		r.remotes[i] = rb
 		r.slots[i] = rb
 		r.wakes[i] = make(chan struct{}, 1)
@@ -209,7 +252,7 @@ func NewRouterTopology(topology []string, parallelism int, opts *RemoteOptions) 
 			continue
 		}
 		r.repWG.Add(1)
-		go r.replicateLoop(rb, r.wakes[i])
+		go r.replicateLoop(i, rb, r.wakes[i])
 	}
 	return r, nil
 }
@@ -221,12 +264,12 @@ const replicationInterval = time.Second
 
 // replicateLoop keeps one remote shard's replica converged with the
 // control plane's replication log.
-func (r *Router) replicateLoop(rb *RemoteBackend, wake chan struct{}) {
+func (r *Router) replicateLoop(i int, rb *RemoteBackend, wake chan struct{}) {
 	defer r.repWG.Done()
 	t := time.NewTicker(replicationInterval)
 	defer t.Stop()
 	for {
-		r.syncRemote(rb)
+		r.syncRemote(i, rb)
 		select {
 		case <-r.repStop:
 			return
@@ -243,21 +286,22 @@ func (r *Router) replicateLoop(rb *RemoteBackend, wake chan struct{}) {
 // restore never re-mints an id. Failures are silently dropped; the next
 // wake or tick retries, and the cursor arithmetic makes every push
 // idempotent.
-func (r *Router) syncRemote(rb *RemoteBackend) {
+func (r *Router) syncRemote(i int, rb *RemoteBackend) {
 	info, err := rb.shardInfo()
 	if err != nil {
 		return
 	}
-	r.mu.Lock()
-	if info.IDSeq > r.seq {
-		r.seq = info.IDSeq
-	}
-	r.mu.Unlock()
 	epoch, seq := r.replog.Cursor()
 	after := uint64(0)
 	if info.ReplicaEpoch == epoch {
 		after = info.ReplicaSeq
 	}
+	r.mu.Lock()
+	if info.IDSeq > r.seq {
+		r.seq = info.IDSeq
+	}
+	r.remoteAcked[i] = after
+	r.mu.Unlock()
 	if after >= seq {
 		return
 	}
@@ -265,7 +309,13 @@ func (r *Router) syncRemote(rb *RemoteBackend) {
 	if len(entries) == 0 {
 		return
 	}
-	_, _ = rb.pushReplication(epoch, entries)
+	if ack, err := rb.pushReplication(epoch, entries); err == nil {
+		r.mu.Lock()
+		if ack.Seq > r.remoteAcked[i] {
+			r.remoteAcked[i] = ack.Seq
+		}
+		r.mu.Unlock()
+	}
 }
 
 // SyncRemotes runs one blocking reconciliation against every remote shard
@@ -273,9 +323,9 @@ func (r *Router) syncRemote(rb *RemoteBackend) {
 // once the supervisor reports readiness) so the router's id sequence and
 // the shards' replicas start converged instead of one tick behind.
 func (r *Router) SyncRemotes() {
-	for _, rb := range r.remotes {
+	for i, rb := range r.remotes {
 		if rb != nil {
-			r.syncRemote(rb)
+			r.syncRemote(i, rb)
 		}
 	}
 }
@@ -361,7 +411,14 @@ func (r *Router) Create(name string, cfg SessionConfig) (*Session, error) {
 // gap semantics a standalone Manager has for a failed durable append.
 func (r *Router) CreateCtx(ctx context.Context, name string, cfg SessionConfig) (*Session, error) {
 	id := r.nextID()
-	return r.shardFor(id).createSession(ctx, id, name, cfg)
+	shard := placement.Shard(id, len(r.slots))
+	if tid := obs.TraceID(ctx); tid != "" {
+		// The routing decision, as its own span. The router never mints
+		// trace IDs: untraced creates (internal callers, sweeps) stay
+		// untraced so their persisted reports are byte-stable.
+		defer obs.DefaultTracer().Span(tid, "router", "route.create", shard, id)()
+	}
+	return r.slots[shard].createSession(ctx, id, name, cfg)
 }
 
 // Get resolves a session on its home shard.
@@ -411,6 +468,21 @@ func (r *Router) shardError(i int, err error) ShardError {
 		se.Breaker = rb.BreakerState()
 	}
 	return se
+}
+
+// Trace merges the local span ring with every remote shard's recorded
+// spans for one trace ID, ordered by start time — one call shows the whole
+// edge-to-WAL path regardless of which process each span was recorded in.
+// Unreachable shards contribute nothing (best-effort, like ListPartial).
+func (r *Router) Trace(id string) []obs.Span {
+	spans := obs.DefaultTracer().Spans(id)
+	for _, rb := range r.remotes {
+		if rb != nil {
+			spans = append(spans, rb.Trace(id)...)
+		}
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	return spans
 }
 
 // Delete removes a session from its home shard.

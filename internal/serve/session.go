@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/workload"
 )
@@ -118,6 +119,12 @@ type Session struct {
 	// gate is the manager's persist gate (see Manager.persistGate); it is
 	// read-locked around every persist-then-apply step, never under s.mu.
 	gate *sync.RWMutex
+	// traceID is the request trace that created the session (empty when the
+	// create arrived untraced); shard is the owning manager's index. Both
+	// ride along so lifecycle spans and the final report can be correlated
+	// with the edge request, including after a restore from the store.
+	traceID string
+	shard   int
 	// unpersisted marks a session whose terminal state could not be
 	// appended while the store was degraded; cleared once the recovery
 	// compaction captures it.
@@ -138,6 +145,9 @@ type SessionStatus struct {
 	// Unpersisted marks a session that finished while the store was
 	// degraded; its terminal state lives only in memory until recovery.
 	Unpersisted bool `json:"unpersisted,omitempty"`
+	// TraceID is the request trace that created the session, when it came
+	// through the traced HTTP edge (GET /api/trace/{id} retrieves the spans).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ID returns the session's immutable identifier.
@@ -158,6 +168,7 @@ func (s *Session) Status() SessionStatus {
 		Config:        s.cfg,
 		Restored:      s.restored,
 		Unpersisted:   s.unpersisted,
+		TraceID:       s.traceID,
 	}
 	if s.state != StateCreated && s.hasSnap {
 		p := s.snap.Progress
@@ -461,6 +472,10 @@ type Manager struct {
 	closeOnce sync.Once
 	maintWG   sync.WaitGroup
 
+	// met holds the shard-labeled metric series the session lifecycle
+	// increments; rebound by obsInit whenever the shard index changes.
+	met *serveMetrics
+
 	// Test seams: runHook substitutes for svc.Run in the session worker,
 	// refitHook for the auto-refit body. Set before serving traffic.
 	runHook   func(ctx context.Context, svc *batch.Service) (batch.Report, error)
@@ -485,6 +500,7 @@ func NewManager(parallelism int) *Manager {
 		stopCh:        make(chan struct{}),
 	}
 	m.resolver = m.registry
+	m.obsInit()
 	return m
 }
 
@@ -532,6 +548,8 @@ func (m *Manager) CreateCtx(ctx context.Context, name string, cfg SessionConfig)
 // them in, and the owning shard adopts the id into its sequence so each
 // shard's durable seq record preserves the global high-water mark.
 func (m *Manager) createSession(ctx context.Context, id, name string, cfg SessionConfig) (*Session, error) {
+	traceID := obs.TraceID(ctx)
+	start := time.Now()
 	if err := m.admitSession(); err != nil {
 		return nil, err
 	}
@@ -578,14 +596,16 @@ func (m *Manager) createSession(ctx context.Context, id, name string, cfg Sessio
 	st := m.store
 	m.mu.Unlock()
 	s := &Session{
-		id:    id,
-		name:  name,
-		cfg:   cfg,
-		state: StateCreated,
-		svc:   svc,
-		store: st,
-		gate:  &m.persistGate,
-		done:  make(chan struct{}),
+		id:      id,
+		name:    name,
+		cfg:     cfg,
+		state:   StateCreated,
+		svc:     svc,
+		store:   st,
+		gate:    &m.persistGate,
+		done:    make(chan struct{}),
+		traceID: traceID,
+		shard:   m.shard,
 	}
 	// The durable append (an fsync) runs outside the manager lock: the
 	// session is not yet published, so nothing can observe it, and a failed
@@ -598,13 +618,24 @@ func (m *Manager) createSession(ctx context.Context, id, name string, cfg Sessio
 	if err := m.admitSession(); err != nil {
 		return nil, err
 	}
-	if err := s.persist(kindCreate, createRecord{Name: name, Config: cfg}); err != nil {
+	if err := s.persist(kindCreate, createRecord{Name: name, Config: cfg, TraceID: traceID}); err != nil {
 		return nil, err
 	}
 	m.mu.Lock()
 	m.sessions[s.id] = s
 	m.order = append(m.order, s.id)
 	m.mu.Unlock()
+	m.met.created.Inc()
+	m.met.scenarios[cfg.Policy].Inc()
+	obs.DefaultTracer().Emit(obs.Span{
+		TraceID:    traceID,
+		Component:  "shard",
+		Name:       "session.create",
+		Shard:      m.shard,
+		Session:    s.id,
+		Start:      start,
+		DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
 	return s, nil
 }
 
@@ -786,10 +817,20 @@ func (m *Manager) Run(s *Session) error {
 		defer m.wg.Done()
 		defer m.releaseRun()
 		defer cancel()
+		start := time.Now()
 		var rep batch.Report
 		var err error
 		select {
 		case m.sem <- struct{}{}:
+			if s.traceID != "" {
+				// The wait for a worker slot, as its own span: queueing
+				// delay is the first thing to look for in a slow trace.
+				obs.DefaultTracer().Emit(obs.Span{
+					TraceID: s.traceID, Component: "shard", Name: "session.queued",
+					Shard: m.shard, Session: s.id, Start: start,
+					DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+				})
+			}
 			rep, err = m.runSession(ctx, svc)
 		case <-ctx.Done():
 			// Cancelled while still queued for a worker slot: nothing ran.
@@ -799,6 +840,9 @@ func (m *Manager) Run(s *Session) error {
 		switch {
 		case err == nil:
 			s.state = StateDone
+			// Stamp the report with the create trace before publishing, so
+			// the persisted done record (and a restart's replay) carry it.
+			rep.TraceID = s.traceID
 			s.report = rep
 		case errors.Is(err, context.Canceled):
 			s.state = StateCancelled
@@ -807,7 +851,16 @@ func (m *Manager) Run(s *Session) error {
 			s.state = StateFailed
 			s.runErr = err
 		}
+		state := s.state
 		s.mu.Unlock()
+		m.met.terminal[state].Inc()
+		if s.traceID != "" {
+			obs.DefaultTracer().Emit(obs.Span{
+				TraceID: s.traceID, Component: "shard", Name: "session.run",
+				Shard: m.shard, Session: s.id, Detail: string(state), Start: start,
+				DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+			})
+		}
 		// The run goroutine owns svc again now that Run has returned, so
 		// reading final job statuses for the durable record is safe.
 		m.persistTerminal(s, svc)

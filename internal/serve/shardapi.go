@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/store"
 )
@@ -31,8 +32,12 @@ func NewShardManager(parallelism int) *Manager {
 }
 
 // SetShardIndex records which router slot this shard serves; it only
-// labels diagnostics (ping payloads, session records), never placement.
-func (m *Manager) SetShardIndex(i int) { m.shard = i }
+// labels diagnostics (ping payloads, session records, metric series),
+// never placement.
+func (m *Manager) SetShardIndex(i int) {
+	m.shard = i
+	m.obsInit()
+}
 
 // ShardInfo is the GET /shard/info payload: one shard's counters, health,
 // and cursors, consumed by the router's scatter-gather stats and by the
@@ -105,7 +110,11 @@ func ShardHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /shard/info", sa.handleInfo)
 	mux.HandleFunc("GET /shard/wait", sa.handleIdleWait)
 	mux.HandleFunc("POST /shard/replication", sa.handleReplication)
-	return jsonErrors(mux)
+	// The shard process serves its own metrics, so a fleet is scraped
+	// per-process; withShardTrace threads the router's X-Trace-Id into the
+	// /shard endpoints (the mounted /api surface extracts its own).
+	mux.Handle("GET /metrics", obs.Default().Handler())
+	return withShardTrace(jsonErrors(mux))
 }
 
 func (sa *shardAPI) handleCreate(w http.ResponseWriter, r *http.Request) {

@@ -9,10 +9,12 @@ import (
 	"os"
 	"os/exec"
 	"os/signal"
+	"sort"
 	"syscall"
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/store"
 )
@@ -274,6 +276,86 @@ func TestShardProcessKillRestartWALReplay(t *testing.T) {
 	waitUntil(t, "shard process to be gone after Stop", func() bool {
 		return syscall.Kill(pid2, 0) != nil
 	})
+}
+
+// TestShardProcessTracePropagation proves a trace crosses the process
+// boundary: a traced create routed to a real shard subprocess must come
+// back from Router.Trace as one merged timeline holding this process's
+// router/remote spans and the subprocess's shard/wal spans — the
+// X-Trace-Id header is the only thing connecting the two rings.
+func TestShardProcessTracePropagation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test")
+	}
+	addr := freeAddr(t)
+	// The shard gets a WAL so the trace includes its wal.persist spans.
+	sup := NewSupervisor([]string{addr}, shardSpawn(addr, store.ShardDir(t.TempDir(), 1)), &SupervisorOptions{
+		PingInterval: 50 * time.Millisecond,
+		ReadyTimeout: 15 * time.Second,
+		Logf:         t.Logf,
+	})
+	if err := sup.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Kill()
+
+	r, err := NewRouterTopology([]string{"", addr}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Mint ids until one places on the remote shard; each create carries its
+	// own trace so only the remote-homed one is inspected.
+	var tid, sid string
+	for i := 0; i < 8 && sid == ""; i++ {
+		ctx := obs.WithTrace(context.Background(), obs.NewTraceID())
+		s, err := r.CreateCtx(ctx, "traced", testConfig(uint64(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if placement.Shard(s.ID(), 2) == 1 {
+			tid, sid = obs.TraceID(ctx), s.ID()
+			if _, _, err := s.SubmitBag(BagRequest{App: "shapes", Jobs: 5, Jitter: 0.01, Seed: 1}); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Run(s); err != nil {
+				t.Fatal(err)
+			}
+			s.Wait()
+		}
+	}
+	if sid == "" {
+		t.Fatal("no session placed on the remote shard")
+	}
+
+	// The merged trace must hold spans from both processes: the subprocess
+	// runs its spans through its own ring, fetched over the shard protocol.
+	var spans []obs.Span
+	waitUntil(t, "merged trace to hold remote shard spans", func() bool {
+		spans = r.Trace(tid)
+		for _, sp := range spans {
+			if sp.Component == "shard" && sp.Shard == 1 {
+				return true
+			}
+		}
+		return false
+	})
+	components := map[string]bool{}
+	for _, sp := range spans {
+		components[sp.Component] = true
+		if sp.Session != "" && sp.Session != sid {
+			t.Errorf("span for foreign session %s in trace %s", sp.Session, tid)
+		}
+	}
+	for _, want := range []string{"router", "remote", "shard", "wal"} {
+		if !components[want] {
+			t.Errorf("merged trace missing %q component; have %v", want, sorted(components))
+		}
+	}
+	if !sort.SliceIsSorted(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) }) {
+		t.Error("merged trace not sorted by start time")
+	}
 }
 
 // TestSupervisorRestartsUnresponsiveShard covers the other death mode: a

@@ -3,13 +3,14 @@ package serve
 import (
 	"context"
 	"fmt"
-	"log"
 	"net/http"
 	"os/exec"
 	"strings"
 	"sync"
 	"syscall"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // This file implements the shard supervisor: the piece of the distributed
@@ -39,7 +40,9 @@ type SupervisorOptions struct {
 	// ReadyTimeout bounds how long Start waits for each shard's first
 	// successful ping (default 15s).
 	ReadyTimeout time.Duration
-	// Logf receives supervision events (default log.Printf).
+	// Logf receives supervision events rendered as text. When nil (the
+	// default), events go to the structured logger with shard, pid, and
+	// restart-count fields instead.
 	Logf func(format string, args ...any)
 }
 
@@ -58,9 +61,6 @@ func (o SupervisorOptions) withDefaults() SupervisorOptions {
 	}
 	if o.ReadyTimeout <= 0 {
 		o.ReadyTimeout = 15 * time.Second
-	}
-	if o.Logf == nil {
-		o.Logf = log.Printf
 	}
 	return o
 }
@@ -144,6 +144,27 @@ func (sv *Supervisor) Pid(i int) int {
 		return p.cmd.Process.Pid
 	}
 	return 0
+}
+
+// event reports one supervision event for shard i, with the shard's
+// address, pid, and restart count attached: through Logf as rendered text
+// when one is configured, otherwise through the structured logger. It must
+// not be called with sv.mu held (Pid and Restarts take it).
+func (sv *Supervisor) event(i int, msg string, args ...any) {
+	all := append([]any{
+		"shard", i, "addr", sv.addrs[i], "pid", sv.Pid(i), "restart_count", sv.Restarts(i),
+	}, args...)
+	if sv.opts.Logf != nil {
+		var b strings.Builder
+		b.WriteString("serve: supervisor: ")
+		b.WriteString(msg)
+		for j := 0; j+1 < len(all); j += 2 {
+			fmt.Fprintf(&b, " %v=%v", all[j], all[j+1])
+		}
+		sv.opts.Logf("%s", b.String())
+		return
+	}
+	obs.Logger("supervisor").Info(msg, all...)
 }
 
 // proc returns shard i's current incarnation.
@@ -251,7 +272,7 @@ func (sv *Supervisor) monitor(i int) {
 			if stopping {
 				return
 			}
-			sv.opts.Logf("serve: shard process %s (slot %d) exited: %v; restarting", sv.addrs[i], i, p.err)
+			sv.event(i, "shard process exited; restarting", "err", p.err)
 			if !sv.respawn(i) {
 				return
 			}
@@ -264,7 +285,7 @@ func (sv *Supervisor) monitor(i int) {
 				}
 				// Hung: alive but not answering. Kill it; the next iteration
 				// observes the exit and respawns.
-				sv.opts.Logf("serve: shard process %s (slot %d): %d failed pings; killing", sv.addrs[i], i, pingFailures)
+				sv.event(i, "killing unresponsive shard", "failed_pings", pingFailures)
 				if p.cmd.Process != nil {
 					_ = p.cmd.Process.Kill()
 				}
@@ -293,10 +314,10 @@ func (sv *Supervisor) respawn(i int) bool {
 		// The spawn itself failed (fork/exec): leave the dead incarnation in
 		// place so the monitor loops back through the exit path with growing
 		// backoff.
-		sv.opts.Logf("serve: shard process %s: respawn failed: %v", sv.addrs[i], err)
+		sv.event(i, "respawn failed", "err", err)
 		return true
 	}
-	sv.opts.Logf("serve: shard process %s (slot %d) restarted (pid %d, restart #%d)", sv.addrs[i], i, sv.Pid(i), n)
+	sv.event(i, "shard restarted")
 	return true
 }
 
@@ -323,14 +344,14 @@ func (sv *Supervisor) Stop(ctx context.Context) {
 			_ = p.cmd.Process.Signal(syscall.SIGTERM)
 		}
 	}
-	for _, p := range procs {
+	for i, p := range procs {
 		if p == nil {
 			continue
 		}
 		select {
 		case <-p.done:
 		case <-ctx.Done():
-			sv.opts.Logf("serve: shard drain timed out; killing remaining shards")
+			sv.event(i, "shard drain timed out; killing")
 			if p.cmd.Process != nil {
 				_ = p.cmd.Process.Kill()
 			}

@@ -13,8 +13,10 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"repro/internal/faultfs"
+	"repro/internal/obs"
 )
 
 // Record is one durable event. Seq is assigned by the log and strictly
@@ -99,6 +101,11 @@ type Log struct {
 
 	compactCb func()
 	signaled  bool // trigger fired; reset by Compact
+
+	// Optional latency instrumentation (see Instrument). obs histograms
+	// are nil-receiver-safe, so unwired logs pay one branch per append.
+	appendHist *obs.Histogram
+	fsyncHist  *obs.Histogram
 }
 
 const (
@@ -317,6 +324,19 @@ func (l *Log) SetSync(on bool) {
 	l.sync = on
 }
 
+// Instrument wires latency histograms into the append path: appendHist
+// observes the full durable-append latency (marshal to acknowledged,
+// rotation included), fsyncHist just the WAL fsync. Either may be nil.
+// The serving layer calls this with shard-labeled series when it attaches
+// a store; counters like rotations and compactions are already in Stats
+// and are exported from there at scrape time.
+func (l *Log) Instrument(appendHist, fsyncHist *obs.Histogram) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.appendHist = appendHist
+	l.fsyncHist = fsyncHist
+}
+
 // SetCompactionTrigger installs fn, called at most once — from inside an
 // Append, with the log's lock held — when the total WAL crosses the
 // Options compaction bounds; Compact re-arms it. fn must not block and
@@ -356,6 +376,7 @@ func (l *Log) Records() []Record {
 // the record to the active WAL segment (write + fsync before returning),
 // rotating to a fresh segment first when the active one is full.
 func (l *Log) Append(kind, id string, v any) (Record, error) {
+	start := time.Now()
 	data, err := json.Marshal(v)
 	if err != nil {
 		return Record{}, fmt.Errorf("store: marshaling %s record: %w", kind, err)
@@ -387,10 +408,12 @@ func (l *Log) Append(kind, id string, v any) (Record, error) {
 		return Record{}, fmt.Errorf("store: appending to WAL: %w", err)
 	}
 	if l.sync {
+		syncStart := time.Now()
 		if err := l.wal.Sync(); err != nil {
 			l.rollbackTail()
 			return Record{}, fmt.Errorf("store: syncing WAL: %w", err)
 		}
+		l.fsyncHist.Observe(time.Since(syncStart).Seconds())
 	}
 	l.walSize += int64(len(line))
 	l.walRecs++
@@ -398,6 +421,7 @@ func (l *Log) Append(kind, id string, v any) (Record, error) {
 	l.totRecs++
 	l.stats.Appended++
 	l.maybeSignal()
+	l.appendHist.Observe(time.Since(start).Seconds())
 	return rec, nil
 }
 

@@ -4,7 +4,7 @@
 # performance trajectory PR over PR. Also diffs two recorded baselines.
 #
 # Usage:
-#   scripts/bench.sh                 # default suite -> BENCH_PR9.json
+#   scripts/bench.sh                 # default suite -> BENCH_PR10.json
 #   scripts/bench.sh 'Benchmark.*'   # custom micro pattern (e.g. the full
 #                                    # figure suite; slow)
 #   scripts/bench.sh PATTERN OUT     # custom pattern and output file
@@ -37,6 +37,9 @@
 #     process-wide schedule cache's hit rate, and the cold 3x3x2 sweep
 #     (18 sessions against an empty cache; dp_solves/op shows the planner
 #     singleflight collapsing the cells onto ~one DP build)
+#   - telemetry (internal/obs): the per-event overhead of the metric
+#     registry and span ring the serving tier now feeds on every request
+#     (counter inc, histogram observe, span emit)
 #   - durability (internal/serve): store replay (sessions restored/sec
 #     when a manager boots from a snapshot+WAL data dir), the same boot
 #     spread over four shard stores (Router.Restore parses and rebuilds
@@ -119,7 +122,7 @@ if [ "${1:-}" = "-compare" ]; then
 fi
 
 pattern="${1:-BenchmarkSample|BenchmarkDPSolve|BenchmarkMCMakespan|BenchmarkRegistryIngest|BenchmarkModelResolve}"
-out="${2:-BENCH_PR9.json}"
+out="${2:-BENCH_PR10.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -128,6 +131,7 @@ trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench '^BenchmarkCalibration$' . | tee "$raw"
 go test -run '^$' -bench "$pattern" -benchmem . | tee -a "$raw"
 go test -run '^$' -bench 'BenchmarkServiceSessions|BenchmarkStoreRestore|BenchmarkSSEFanout|BenchmarkColdSweep' -benchmem ./internal/serve | tee -a "$raw"
+go test -run '^$' -bench '^BenchmarkObsOverhead$' -benchmem ./internal/obs | tee -a "$raw"
 
 awk -v out="$out" '
 /^Benchmark/ {
